@@ -1,0 +1,164 @@
+//! Static pattern compaction: merging compatible test cubes.
+//!
+//! The top-up flow already does *dynamic* compaction (fault dropping);
+//! static compaction squeezes the pattern count further by merging cubes
+//! that agree on every specified bit — two cubes are compatible when no
+//! node is assigned opposite values. Fewer top-up patterns means less
+//! tester memory for the deterministic phase, the paper's "# of Top-Up
+//! Patterns" row.
+
+use crate::pattern::TestCube;
+use lbist_netlist::NodeId;
+
+/// Returns `true` when two cubes can be merged (no conflicting
+/// assignment).
+///
+/// # Example
+///
+/// ```
+/// use lbist_atpg::{compatible, TestCube};
+/// use lbist_netlist::NodeId;
+/// let n = NodeId::from_index(0);
+/// let mut a = TestCube::new();
+/// a.assign(n, true);
+/// let mut b = TestCube::new();
+/// b.assign(n, false);
+/// assert!(!compatible(&a, &b));
+/// ```
+pub fn compatible(a: &TestCube, b: &TestCube) -> bool {
+    a.assignments().iter().all(|&(node, va)| b.value_of(node).map_or(true, |vb| vb == va))
+}
+
+/// Merges `b` into `a` (union of assignments).
+///
+/// # Panics
+///
+/// Panics if the cubes conflict.
+pub fn merge(a: &TestCube, b: &TestCube) -> TestCube {
+    assert!(compatible(a, b), "cannot merge conflicting cubes");
+    let mut out = a.clone();
+    for &(node, v) in b.assignments() {
+        out.assign(node, v);
+    }
+    out
+}
+
+/// Greedy static compaction: first-fit merging of compatible cubes.
+///
+/// Classic first-fit-decreasing by specified-bit count: densest cubes
+/// anchor the bins, sparse cubes (mostly don't-cares) fold into them.
+/// Returns the merged cubes plus, for each input cube, which output it
+/// landed in.
+pub fn compact_cubes(cubes: &[TestCube]) -> (Vec<TestCube>, Vec<usize>) {
+    let mut order: Vec<usize> = (0..cubes.len()).collect();
+    order.sort_by_key(|&i| std::cmp::Reverse(cubes[i].specified()));
+    let mut bins: Vec<TestCube> = Vec::new();
+    let mut placement = vec![0usize; cubes.len()];
+    for &i in &order {
+        let cube = &cubes[i];
+        match bins.iter_mut().position(|b| compatible(b, cube)) {
+            Some(slot) => {
+                bins[slot] = merge(&bins[slot], cube);
+                placement[i] = slot;
+            }
+            None => {
+                placement[i] = bins.len();
+                bins.push(cube.clone());
+            }
+        }
+    }
+    (bins, placement)
+}
+
+/// Convenience: the merged cube count for a quick "how much would static
+/// compaction save" probe.
+pub fn compacted_count(cubes: &[TestCube]) -> usize {
+    compact_cubes(cubes).0.len()
+}
+
+/// Helper to build a cube from `(node, value)` pairs.
+pub fn cube_of(assignments: &[(NodeId, bool)]) -> TestCube {
+    let mut c = TestCube::new();
+    for &(n, v) in assignments {
+        c.assign(n, v);
+    }
+    c
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn n(i: usize) -> NodeId {
+        NodeId::from_index(i)
+    }
+
+    #[test]
+    fn disjoint_cubes_merge_into_one() {
+        let a = cube_of(&[(n(0), true)]);
+        let b = cube_of(&[(n(1), false)]);
+        let c = cube_of(&[(n(2), true)]);
+        let (bins, placement) = compact_cubes(&[a, b, c]);
+        assert_eq!(bins.len(), 1);
+        assert_eq!(placement, vec![0, 0, 0]);
+        assert_eq!(bins[0].specified(), 3);
+    }
+
+    #[test]
+    fn conflicting_cubes_stay_apart() {
+        let a = cube_of(&[(n(0), true), (n(1), true)]);
+        let b = cube_of(&[(n(0), false)]);
+        let (bins, _) = compact_cubes(&[a.clone(), b.clone()]);
+        assert_eq!(bins.len(), 2);
+        // ... and merging them directly panics.
+        assert!(!compatible(&a, &b));
+    }
+
+    #[test]
+    fn agreeing_overlap_merges() {
+        let a = cube_of(&[(n(0), true), (n(1), false)]);
+        let b = cube_of(&[(n(1), false), (n(2), true)]);
+        assert!(compatible(&a, &b));
+        let m = merge(&a, &b);
+        assert_eq!(m.specified(), 3);
+        assert_eq!(m.value_of(n(1)), Some(false));
+    }
+
+    #[test]
+    #[should_panic(expected = "conflicting")]
+    fn merge_rejects_conflicts() {
+        let a = cube_of(&[(n(0), true)]);
+        let b = cube_of(&[(n(0), false)]);
+        merge(&a, &b);
+    }
+
+    #[test]
+    fn first_fit_decreasing_is_no_worse_than_input() {
+        // A chain of pairwise-conflicting cubes cannot compact at all.
+        let cubes: Vec<TestCube> =
+            (0..5).map(|i| cube_of(&[(n(0), i % 2 == 0), (n(i + 1), true)])).collect();
+        let (bins, _) = compact_cubes(&cubes);
+        assert!(bins.len() <= cubes.len());
+        assert!(bins.len() >= 2, "alternating n0 polarity forces >= 2 bins");
+    }
+
+    #[test]
+    fn empty_input() {
+        let (bins, placement) = compact_cubes(&[]);
+        assert!(bins.is_empty());
+        assert!(placement.is_empty());
+        assert_eq!(compacted_count(&[]), 0);
+    }
+
+    #[test]
+    fn realistic_sparse_cubes_compact_well() {
+        // PODEM cubes for wide-AND faults specify few bits: dozens of them
+        // collapse into a handful of patterns.
+        let mut cubes = Vec::new();
+        for i in 0..24 {
+            cubes.push(cube_of(&[(n(i * 3), true), (n(i * 3 + 1), true)]));
+        }
+        let count = compacted_count(&cubes);
+        assert_eq!(count, 1, "fully disjoint sparse cubes fold into one pattern");
+    }
+}

@@ -1,0 +1,750 @@
+//! The PODEM test generation algorithm.
+
+use crate::pattern::TestCube;
+use crate::values::{controlling_value, eval_logic, inverts};
+use lbist_fault::Fault;
+use lbist_netlist::{GateKind, NodeId};
+use lbist_sim::{CompiledCircuit, Logic};
+
+/// Outcome of one PODEM run.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum AtpgOutcome {
+    /// A test cube detecting the fault.
+    Test(TestCube),
+    /// The fault is proven untestable (search space exhausted).
+    Untestable,
+    /// The backtrack limit was hit before a verdict.
+    Aborted,
+}
+
+/// PODEM: path-oriented decision making on the full-scan combinational
+/// view.
+///
+/// Decisions are made only at primary inputs and flip-flop outputs
+/// (pseudo-PIs); objectives are backtraced to them, implications run
+/// forward event-driven over a `(good, faulty)` ternary pair per node,
+/// and the search backtracks on conflicts (fault not excitable, empty
+/// D-frontier, or no X-path to an observed node).
+#[derive(Debug)]
+pub struct Podem<'a> {
+    cc: &'a CompiledCircuit,
+    observed: Vec<bool>,
+    assignable: Vec<bool>,
+    backtrack_limit: usize,
+    good: Vec<Logic>,
+    faulty: Vec<Logic>,
+    /// Undo trail: (node, old good, old faulty).
+    trail: Vec<(NodeId, Logic, Logic)>,
+    /// The fault currently being targeted (its transform is applied during
+    /// node evaluation).
+    target: Option<Target>,
+    /// Epoch-stamped scratch marks shared by `d_nodes` and the X-path BFS
+    /// (avoids per-call allocation in the search's hot loop).
+    scratch_stamp: Vec<u32>,
+    scratch_epoch: u32,
+    /// Per-node hop distance to the nearest observed node (u32::MAX when
+    /// unreachable) — guides the D-frontier choice toward the easiest
+    /// propagation path.
+    obs_distance: Vec<u32>,
+}
+
+/// The active fault target.
+#[derive(Debug)]
+struct Target {
+    fault: Fault,
+    stuck: bool,
+}
+
+impl<'a> Podem<'a> {
+    /// Creates a generator observing the given nodes (typically
+    /// [`lbist_fault::StuckAtSim::observe_all_captures`]).
+    pub fn new(cc: &'a CompiledCircuit, observed: Vec<NodeId>) -> Self {
+        let mut obs = vec![false; cc.num_nodes()];
+        for o in observed {
+            obs[o.index()] = true;
+        }
+        let mut assignable = vec![false; cc.num_nodes()];
+        for &pi in cc.inputs() {
+            assignable[pi.index()] = true;
+        }
+        for &ff in cc.dffs() {
+            assignable[ff.index()] = true;
+        }
+        // Reverse BFS from the observed set over fanin edges gives each
+        // node its hop distance to the nearest observation.
+        let mut obs_distance = vec![u32::MAX; cc.num_nodes()];
+        let mut queue = std::collections::VecDeque::new();
+        for (i, &o) in obs.iter().enumerate() {
+            if o {
+                obs_distance[i] = 0;
+                queue.push_back(NodeId::from_index(i));
+            }
+        }
+        while let Some(n) = queue.pop_front() {
+            let d = obs_distance[n.index()];
+            for &f in cc.fanins(n) {
+                if obs_distance[f.index()] == u32::MAX {
+                    obs_distance[f.index()] = d + 1;
+                    queue.push_back(f);
+                }
+            }
+        }
+        Podem {
+            good: vec![Logic::X; cc.num_nodes()],
+            faulty: vec![Logic::X; cc.num_nodes()],
+            trail: Vec::new(),
+            observed: obs,
+            assignable,
+            backtrack_limit: 512,
+            target: None,
+            scratch_stamp: vec![0u32; cc.num_nodes()],
+            scratch_epoch: 0,
+            obs_distance,
+            cc,
+        }
+    }
+
+    /// Adjusts the backtrack limit (default 512).
+    pub fn set_backtrack_limit(&mut self, limit: usize) {
+        self.backtrack_limit = limit.max(1);
+    }
+
+    /// Attempts to generate a test for `fault`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the fault is not stuck-at.
+    pub fn generate(&mut self, fault: &Fault) -> AtpgOutcome {
+        assert!(fault.kind.is_stuck_at(), "PODEM targets stuck-at faults");
+        self.reset();
+        self.install_target(fault);
+        // X-sources are zero-bounded in test mode; treat them as constant 0
+        // (the bounding AND makes this exact when test_mode=1, which the
+        // session guarantees).
+        for x in self.cc.xsources().to_vec() {
+            self.good[x.index()] = Logic::Zero;
+            self.faulty[x.index()] = Logic::Zero;
+        }
+        // Constants participate in implication from the start.
+        for id in self.cc.schedule().to_vec() {
+            let k = self.cc.kind(id);
+            if matches!(k, GateKind::Const0 | GateKind::Const1) {
+                let v = if k == GateKind::Const1 { Logic::One } else { Logic::Zero };
+                self.good[id.index()] = v;
+                self.faulty[id.index()] = v;
+                self.imply_from(id);
+            }
+        }
+        for x in self.cc.xsources().to_vec() {
+            self.imply_from(x);
+        }
+        self.trail.clear(); // initial implications are permanent for this run
+
+        // Decision stack: (pi, value, flipped_already).
+        let mut stack: Vec<(NodeId, bool, bool)> = Vec::new();
+        let mut trail_marks: Vec<usize> = Vec::new();
+        let mut backtracks = 0usize;
+
+        loop {
+            // Re-imply everything from scratch cheaply: implication is
+            // incremental via the trail, so here we only check status.
+            let status = self.status(fault);
+            match status {
+                Status::Detected => {
+                    let mut cube = TestCube::new();
+                    for &(pi, v, _) in &stack {
+                        cube.assign(pi, v);
+                    }
+                    return AtpgOutcome::Test(cube);
+                }
+                Status::Conflict => {
+                    // Backtrack.
+                    loop {
+                        match stack.pop() {
+                            None => return AtpgOutcome::Untestable,
+                            Some((pi, v, flipped)) => {
+                                let mark = trail_marks.pop().expect("marks track stack");
+                                self.undo_to(mark);
+                                backtracks += 1;
+                                if backtracks > self.backtrack_limit {
+                                    return AtpgOutcome::Aborted;
+                                }
+                                if !flipped {
+                                    let mark = self.trail.len();
+                                    if self.assign(pi, !v) {
+                                        stack.push((pi, !v, true));
+                                        trail_marks.push(mark);
+                                        break;
+                                    }
+                                    self.undo_to(mark);
+                                }
+                            }
+                        }
+                    }
+                }
+                Status::Undecided => {
+                    let Some((obj_node, obj_val)) = self.objective(fault) else {
+                        // No objective although undecided: treat as conflict.
+                        let mark = trail_marks.last().copied().unwrap_or(0);
+                        let _ = mark;
+                        // Force the conflict path by popping a decision.
+                        if stack.is_empty() {
+                            return AtpgOutcome::Untestable;
+                        }
+                        // Reuse the conflict handling on the next loop turn:
+                        // mark the situation by backtracking once here.
+                        let (pi, v, flipped) = stack.pop().expect("nonempty");
+                        let mark = trail_marks.pop().expect("marks");
+                        self.undo_to(mark);
+                        backtracks += 1;
+                        if backtracks > self.backtrack_limit {
+                            return AtpgOutcome::Aborted;
+                        }
+                        if !flipped {
+                            let mark = self.trail.len();
+                            if self.assign(pi, !v) {
+                                stack.push((pi, !v, true));
+                                trail_marks.push(mark);
+                            } else {
+                                self.undo_to(mark);
+                            }
+                        }
+                        continue;
+                    };
+                    let Some((pi, pi_val)) = self.backtrace(obj_node, obj_val) else {
+                        // Objective unreachable from any free PI: conflict.
+                        if stack.is_empty() {
+                            return AtpgOutcome::Untestable;
+                        }
+                        let (pi, v, flipped) = stack.pop().expect("nonempty");
+                        let mark = trail_marks.pop().expect("marks");
+                        self.undo_to(mark);
+                        backtracks += 1;
+                        if backtracks > self.backtrack_limit {
+                            return AtpgOutcome::Aborted;
+                        }
+                        if !flipped {
+                            let mark = self.trail.len();
+                            if self.assign(pi, !v) {
+                                stack.push((pi, !v, true));
+                                trail_marks.push(mark);
+                            } else {
+                                self.undo_to(mark);
+                            }
+                        }
+                        continue;
+                    };
+                    let mark = self.trail.len();
+                    if self.assign(pi, pi_val) {
+                        stack.push((pi, pi_val, false));
+                        trail_marks.push(mark);
+                    } else {
+                        // Immediate conflict from this assignment: try the
+                        // other value as a decision.
+                        self.undo_to(mark);
+                        let mark = self.trail.len();
+                        if self.assign(pi, !pi_val) {
+                            stack.push((pi, !pi_val, true));
+                            trail_marks.push(mark);
+                        } else {
+                            self.undo_to(mark);
+                            if stack.is_empty() {
+                                return AtpgOutcome::Untestable;
+                            }
+                            backtracks += 1;
+                            if backtracks > self.backtrack_limit {
+                                return AtpgOutcome::Aborted;
+                            }
+                            let (pi2, v2, flipped) = stack.pop().expect("nonempty");
+                            let mark2 = trail_marks.pop().expect("marks");
+                            self.undo_to(mark2);
+                            if !flipped {
+                                let mark3 = self.trail.len();
+                                if self.assign(pi2, !v2) {
+                                    stack.push((pi2, !v2, true));
+                                    trail_marks.push(mark3);
+                                } else {
+                                    self.undo_to(mark3);
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    fn reset(&mut self) {
+        self.good.fill(Logic::X);
+        self.faulty.fill(Logic::X);
+        self.trail.clear();
+    }
+
+    fn set_value(&mut self, node: NodeId, g: Logic, f: Logic) {
+        self.trail.push((node, self.good[node.index()], self.faulty[node.index()]));
+        self.good[node.index()] = g;
+        self.faulty[node.index()] = f;
+    }
+
+    fn undo_to(&mut self, mark: usize) {
+        while self.trail.len() > mark {
+            let (node, g, f) = self.trail.pop().expect("len checked");
+            self.good[node.index()] = g;
+            self.faulty[node.index()] = f;
+        }
+    }
+
+    /// Assigns a PI and runs forward implication. Returns `false` on an
+    /// immediate excitation conflict (site good value forced equal to the
+    /// stuck value). The caller must `undo_to` its mark on `false`.
+    fn assign(&mut self, pi: NodeId, value: bool) -> bool {
+        debug_assert!(self.assignable[pi.index()]);
+        let v = Logic::from_bool(value);
+        self.set_value(pi, v, v);
+        self.imply_from(pi)
+    }
+
+    /// Event-driven forward implication from `start`. The fault transform
+    /// of the current target is applied by [`Podem::generate`]'s status
+    /// checks instead of being burned in here; faulty values diverge at
+    /// the site via `site_transform`.
+    fn imply_from(&mut self, start: NodeId) -> bool {
+        let mut queue: Vec<NodeId> = self.cc.fanouts(start).to_vec();
+        let mut qi = 0;
+        while qi < queue.len() {
+            let node = queue[qi];
+            qi += 1;
+            if self.cc.kind(node) == GateKind::Dff {
+                continue;
+            }
+            let (g, f) = self.eval_node(node);
+            if g != self.good[node.index()] || f != self.faulty[node.index()] {
+                self.set_value(node, g, f);
+                for &succ in self.cc.fanouts(node) {
+                    queue.push(succ);
+                }
+            }
+        }
+        true
+    }
+
+    /// Evaluates a node's (good, faulty) pair, applying the current fault
+    /// transform (set in `generate` via `self.target`).
+    fn eval_node(&self, node: NodeId) -> (Logic, Logic) {
+        let kind = self.cc.kind(node);
+        let fi = self.cc.fanins(node);
+        let mut gv = Vec::with_capacity(fi.len());
+        let mut fv = Vec::with_capacity(fi.len());
+        for &f in fi {
+            gv.push(self.good[f.index()]);
+            fv.push(self.faulty[f.index()]);
+        }
+        if let Some(t) = &self.target {
+            if t.fault.pin.is_some() && t.fault.node == node {
+                let pin = t.fault.pin.unwrap() as usize;
+                fv[pin] = Logic::from_bool(t.stuck);
+            }
+        }
+        let g = eval_logic(kind, &gv);
+        let mut f = eval_logic(kind, &fv);
+        if let Some(t) = &self.target {
+            if t.fault.pin.is_none() && t.fault.node == node {
+                f = Logic::from_bool(t.stuck);
+            }
+        }
+        (g, f)
+    }
+
+    /// Nodes that may currently carry a fault effect: everything the trail
+    /// touched (values only change through `set_value`) plus the site.
+    fn d_nodes(&mut self, site: NodeId) -> Vec<NodeId> {
+        self.bump_epoch();
+        let epoch = self.scratch_epoch;
+        let mut out = Vec::new();
+        for &(n, _, _) in &self.trail {
+            if self.scratch_stamp[n.index()] != epoch {
+                self.scratch_stamp[n.index()] = epoch;
+                let (g, f) = (self.good[n.index()], self.faulty[n.index()]);
+                if !g.is_x() && !f.is_x() && g != f {
+                    out.push(n);
+                }
+            }
+        }
+        if self.scratch_stamp[site.index()] != epoch {
+            let (g, f) = (self.good[site.index()], self.faulty[site.index()]);
+            if !g.is_x() && !f.is_x() && g != f {
+                out.push(site);
+            }
+        }
+        out
+    }
+
+    fn bump_epoch(&mut self) {
+        self.scratch_epoch = self.scratch_epoch.wrapping_add(1);
+        if self.scratch_epoch == 0 {
+            self.scratch_stamp.fill(0);
+            self.scratch_epoch = 1;
+        }
+    }
+
+    fn status(&mut self, fault: &Fault) -> Status {
+        // Ensure the fault transform is installed (stem faults at sources
+        // never get re-evaluated, so handle them here).
+        let stuck = fault.kind.faulty_value();
+        let site = fault.node;
+        if fault.pin.is_none() {
+            let g = self.good[site.index()];
+            if g == Logic::from_bool(stuck) {
+                return Status::Conflict; // cannot excite
+            }
+            // Install faulty value at the stem.
+            if self.faulty[site.index()] != Logic::from_bool(stuck) && g != Logic::X {
+                self.set_value(site, g, Logic::from_bool(stuck));
+                self.imply_from(site);
+            }
+        }
+        // Detection: only changed nodes can carry a D; scan the trail.
+        let d_nodes = self.d_nodes(site);
+        for &n in &d_nodes {
+            if self.observed[n.index()] {
+                return Status::Detected;
+            }
+        }
+
+        // Excitation still open?
+        let excitable = if fault.pin.is_none() {
+            self.good[site.index()].is_x()
+                || self.good[site.index()] != Logic::from_bool(stuck)
+        } else {
+            let src = self.cc.fanins(site)[fault.pin.unwrap() as usize];
+            let g = self.good[src.index()];
+            if g == Logic::from_bool(stuck) {
+                return Status::Conflict;
+            }
+            true
+        };
+        if !excitable {
+            return Status::Conflict;
+        }
+
+        // X-path check: one multi-source BFS from every live D node (or
+        // the still-unexcited site) toward an observed node.
+        let sources = if d_nodes.is_empty() { vec![site] } else { d_nodes };
+        if self.x_path_to_observed(&sources) {
+            Status::Undecided
+        } else {
+            Status::Conflict
+        }
+    }
+
+    /// Multi-source BFS forward through not-yet-blocked logic toward any
+    /// observed node.
+    fn x_path_to_observed(&mut self, from: &[NodeId]) -> bool {
+        self.bump_epoch();
+        let epoch = self.scratch_epoch;
+        let mut queue = from.to_vec();
+        for n in &queue {
+            self.scratch_stamp[n.index()] = epoch;
+        }
+        while let Some(n) = queue.pop() {
+            if self.observed[n.index()] {
+                return true;
+            }
+            for &succ in self.cc.fanouts(n) {
+                if self.scratch_stamp[succ.index()] == epoch
+                    || self.cc.kind(succ) == GateKind::Dff
+                {
+                    continue;
+                }
+                // Blocked if the successor's good value is already definite
+                // AND its faulty value is definite and equal (no room for a
+                // difference to pass).
+                let g = self.good[succ.index()];
+                let f = self.faulty[succ.index()];
+                if !g.is_x() && !f.is_x() && g == f {
+                    continue;
+                }
+                self.scratch_stamp[succ.index()] = epoch;
+                queue.push(succ);
+            }
+        }
+        false
+    }
+
+    /// PODEM objective: excite first, then extend a D-frontier gate.
+    fn objective(&mut self, fault: &Fault) -> Option<(NodeId, bool)> {
+        let stuck = fault.kind.faulty_value();
+        match fault.pin {
+            None => {
+                if self.good[fault.node.index()].is_x() {
+                    return Some((fault.node, !stuck));
+                }
+            }
+            Some(pin) => {
+                let src = self.cc.fanins(fault.node)[pin as usize];
+                if self.good[src.index()].is_x() {
+                    return Some((src, !stuck));
+                }
+                // Excited branch fault: the reading gate itself is the
+                // initial D-frontier (the divergence lives on its pin, not
+                // on any node value). Justify its remaining X inputs with
+                // non-controlling values so the divergence shows at the
+                // output.
+                let gate = fault.node;
+                if self.good[gate.index()].is_x() || self.faulty[gate.index()].is_x() {
+                    let kind = self.cc.kind(gate);
+                    let want = match controlling_value(kind) {
+                        Some(cv) => !cv,
+                        None => true,
+                    };
+                    for &f in self.cc.fanins(gate) {
+                        if self.good[f.index()].is_x() {
+                            return Some((f, want));
+                        }
+                    }
+                }
+            }
+        }
+        // D-frontier: a gate whose output is X but some input carries a D.
+        // Only readers of changed (D-carrying) nodes qualify; among the
+        // candidates, extend the gate closest to an observed node (the
+        // classic distance-to-PO guidance).
+        let mut best: Option<(u32, NodeId, bool)> = None;
+        for d_node in self.d_nodes(fault.node) {
+            for &reader in self.cc.fanouts(d_node) {
+                let i = reader.index();
+                if !(self.good[i].is_x() || self.faulty[i].is_x()) {
+                    continue;
+                }
+                let kind = self.cc.kind(reader);
+                if kind == GateKind::Dff {
+                    continue;
+                }
+                let dist = self.obs_distance[i];
+                if let Some((bd, _, _)) = best {
+                    if dist >= bd {
+                        continue;
+                    }
+                }
+                let mut has_d = false;
+                let mut x_input = None;
+                for &f in self.cc.fanins(reader) {
+                    let (g, fv) = (self.good[f.index()], self.faulty[f.index()]);
+                    if !g.is_x() && !fv.is_x() && g != fv {
+                        has_d = true;
+                    } else if g.is_x() && x_input.is_none() {
+                        x_input = Some(f);
+                    }
+                }
+                if has_d {
+                    if let Some(xi) = x_input {
+                        // Want the non-controlling value on the side input.
+                        let want = match controlling_value(kind) {
+                            Some(cv) => !cv,
+                            None => true, // XOR-family: either value works
+                        };
+                        best = Some((dist, xi, want));
+                    }
+                }
+            }
+        }
+        best.map(|(_, n, w)| (n, w))
+    }
+
+    /// Backtrace an objective to an unassigned PI, tracking inversions.
+    fn backtrace(&self, mut node: NodeId, mut value: bool) -> Option<(NodeId, bool)> {
+        let mut guard = 0usize;
+        loop {
+            guard += 1;
+            if guard > self.cc.num_nodes() + 8 {
+                return None;
+            }
+            if self.assignable[node.index()] {
+                if self.good[node.index()].is_x() {
+                    return Some((node, value));
+                }
+                return None; // already assigned: objective unreachable here
+            }
+            let kind = self.cc.kind(node);
+            let fanins = self.cc.fanins(node);
+            if fanins.is_empty() {
+                return None; // constant/X-source
+            }
+            let next_value = if inverts(kind) { !value } else { value };
+            // Choose an X-valued fanin. Standard PODEM heuristic: when one
+            // controlling input suffices, take the easiest (shallowest);
+            // when every input must be justified, take the hardest
+            // (deepest) so doomed branches fail fast.
+            let one_input_suffices = match controlling_value(kind) {
+                Some(cv) => {
+                    // Output value achieved by a controlling input: cv for
+                    // AND/OR (inverted kinds flip the output, which
+                    // next_value already accounts for).
+                    next_value == cv
+                }
+                None => false,
+            };
+            let candidate = match kind {
+                GateKind::Mux2 => {
+                    let sel = fanins[0];
+                    match self.good[sel.index()] {
+                        Logic::Zero => Some(fanins[1]),
+                        Logic::One => Some(fanins[2]),
+                        Logic::X => Some(sel),
+                    }
+                }
+                _ => {
+                    let xs = fanins.iter().copied().filter(|f| self.good[f.index()].is_x());
+                    if one_input_suffices {
+                        xs.min_by_key(|f| self.cc.level(*f))
+                    } else {
+                        xs.max_by_key(|f| self.cc.level(*f))
+                    }
+                }
+            };
+            let Some(next) = candidate else { return None };
+            // Through a MUX select we aim for 0 (choose input a).
+            value = if kind == GateKind::Mux2 && next == fanins[0] {
+                false
+            } else if kind == GateKind::Mux2 {
+                value
+            } else {
+                next_value
+            };
+            node = next;
+        }
+    }
+}
+
+#[derive(Debug, PartialEq, Eq)]
+enum Status {
+    Detected,
+    Conflict,
+    Undecided,
+}
+
+impl<'a> Podem<'a> {
+    /// Installs the fault transform used by `eval_node`.
+    fn install_target(&mut self, fault: &Fault) {
+        self.target = Some(Target { fault: *fault, stuck: fault.kind.faulty_value() });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lbist_fault::FaultKind;
+    use lbist_netlist::{DomainId, Netlist};
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    fn observed(cc: &CompiledCircuit) -> Vec<NodeId> {
+        lbist_fault::StuckAtSim::observe_all_captures(cc)
+    }
+
+    /// Validate a cube by fault simulation.
+    fn cube_detects(cc: &CompiledCircuit, fault: &Fault, cube: &TestCube) -> bool {
+        let mut rng = SmallRng::seed_from_u64(9);
+        // Try several fills; every fill of a correct cube must detect.
+        (0..4).all(|_| {
+            let p = cube.fill(cc, &mut rng);
+            let mut frame = cc.new_frame();
+            p.load_into_lane(cc, &mut frame, 0);
+            let mut sim = lbist_fault::StuckAtSim::new(cc, vec![*fault], observed(cc));
+            sim.run_batch(&mut frame, 1);
+            sim.detections()[0] > 0
+        })
+    }
+
+    #[test]
+    fn generates_tests_for_every_fault_of_a_cone() {
+        let mut nl = Netlist::new("cone");
+        let a = nl.add_input("a");
+        let b = nl.add_input("b");
+        let c = nl.add_input("c");
+        let g1 = nl.add_gate(GateKind::And, &[a, b]);
+        let g2 = nl.add_gate(GateKind::Or, &[g1, c]);
+        let g3 = nl.add_gate(GateKind::Xor, &[g2, a]);
+        nl.add_output("y", g3);
+        let cc = CompiledCircuit::compile(&nl).unwrap();
+        let universe = lbist_fault::FaultUniverse::stuck_at(&nl);
+        for fault in universe.representatives() {
+            let mut podem = Podem::new(&cc, observed(&cc));
+            match podem.generate(&fault) {
+                AtpgOutcome::Test(cube) => {
+                    assert!(cube_detects(&cc, &fault, &cube), "cube fails for {fault}");
+                }
+                other => panic!("{fault}: expected test, got {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn proves_untestable_redundant_fault() {
+        // y = OR(a, NOT(a)) is constant 1: y/SA1 is undetectable.
+        let mut nl = Netlist::new("red");
+        let a = nl.add_input("a");
+        let na = nl.add_gate(GateKind::Not, &[a]);
+        let y = nl.add_gate(GateKind::Or, &[a, na]);
+        nl.add_output("o", y);
+        let cc = CompiledCircuit::compile(&nl).unwrap();
+        let mut podem = Podem::new(&cc, observed(&cc));
+        let outcome = podem.generate(&Fault::stem(y, FaultKind::StuckAt1));
+        assert_eq!(outcome, AtpgOutcome::Untestable);
+    }
+
+    #[test]
+    fn detects_through_pseudo_outputs() {
+        // The only observation is a flip-flop D pin.
+        let mut nl = Netlist::new("ff");
+        let a = nl.add_input("a");
+        let b = nl.add_input("b");
+        let g = nl.add_gate(GateKind::Nand, &[a, b]);
+        let _ff = nl.add_dff(g, DomainId::new(0));
+        let cc = CompiledCircuit::compile(&nl).unwrap();
+        let mut podem = Podem::new(&cc, observed(&cc));
+        let fault = Fault::stem(g, FaultKind::StuckAt0);
+        match podem.generate(&fault) {
+            AtpgOutcome::Test(cube) => assert!(cube_detects(&cc, &fault, &cube)),
+            other => panic!("expected test, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn hard_random_fault_is_found_deterministically() {
+        // 12-input AND: random patterns almost never excite SA0 at the
+        // output; PODEM must find the all-ones cube immediately.
+        let mut nl = Netlist::new("wide");
+        let ins: Vec<NodeId> = (0..12).map(|i| nl.add_input(&format!("i{i}"))).collect();
+        let g = nl.add_gate(GateKind::And, &ins);
+        nl.add_output("y", g);
+        let cc = CompiledCircuit::compile(&nl).unwrap();
+        let mut podem = Podem::new(&cc, observed(&cc));
+        match podem.generate(&Fault::stem(g, FaultKind::StuckAt0)) {
+            AtpgOutcome::Test(cube) => {
+                for &i in &ins {
+                    assert_eq!(cube.value_of(i), Some(true));
+                }
+            }
+            other => panic!("expected test, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn branch_faults_get_tests() {
+        let mut nl = Netlist::new("br");
+        let a = nl.add_input("a");
+        let b = nl.add_input("b");
+        let g1 = nl.add_gate(GateKind::Xor, &[a, b]);
+        let g2 = nl.add_gate(GateKind::Xor, &[a, g1]);
+        nl.add_output("y1", g1);
+        nl.add_output("y2", g2);
+        let cc = CompiledCircuit::compile(&nl).unwrap();
+        let fault = Fault::branch(g2, 0, FaultKind::StuckAt1);
+        let mut podem = Podem::new(&cc, observed(&cc));
+        match podem.generate(&fault) {
+            AtpgOutcome::Test(cube) => assert!(cube_detects(&cc, &fault, &cube)),
+            other => panic!("expected test, got {other:?}"),
+        }
+    }
+}

@@ -1,0 +1,261 @@
+//! The top-up flow: deterministic patterns for the random-resistant tail.
+
+use crate::pattern::Pattern;
+use crate::podem::{AtpgOutcome, Podem};
+use lbist_fault::{Fault, StuckAtSim};
+use lbist_netlist::NodeId;
+use lbist_sim::CompiledCircuit;
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use std::fmt;
+
+/// Result of a top-up ATPG run — the numbers behind Table 1's
+/// "# of Top-Up Patterns" and "Fault Coverage 2" rows.
+#[derive(Clone, Debug)]
+pub struct TopUpReport {
+    /// The generated patterns, in generation order.
+    pub patterns: Vec<Pattern>,
+    /// Faults from the target list detected by the patterns (dynamic
+    /// compaction credits patterns with every fault they catch).
+    pub faults_detected: usize,
+    /// Faults proven untestable (excluded from coverage in the usual
+    /// "testable fault coverage" convention — reported separately here).
+    pub untestable: usize,
+    /// Faults abandoned at the backtrack limit.
+    pub aborted: usize,
+}
+
+impl fmt::Display for TopUpReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} top-up patterns, +{} faults, {} untestable, {} aborted",
+            self.patterns.len(),
+            self.faults_detected,
+            self.untestable,
+            self.aborted
+        )
+    }
+}
+
+/// Top-up ATPG: PODEM per surviving fault with dynamic compaction by fault
+/// dropping.
+///
+/// # Example
+///
+/// ```
+/// use lbist_netlist::{Netlist, GateKind, NodeId};
+/// use lbist_sim::CompiledCircuit;
+/// use lbist_fault::{Fault, FaultKind, StuckAtSim};
+/// use lbist_atpg::TopUpAtpg;
+///
+/// // A wide AND is random-resistant: give its output SA0 to top-up.
+/// let mut nl = Netlist::new("t");
+/// let ins: Vec<NodeId> = (0..10).map(|i| nl.add_input(&format!("i{i}"))).collect();
+/// let g = nl.add_gate(GateKind::And, &ins);
+/// nl.add_output("y", g);
+/// let cc = CompiledCircuit::compile(&nl).unwrap();
+///
+/// let targets = vec![Fault::stem(g, FaultKind::StuckAt0)];
+/// let report = TopUpAtpg::new(&cc, StuckAtSim::observe_all_captures(&cc))
+///     .run(&targets, 7);
+/// assert_eq!(report.patterns.len(), 1);
+/// assert_eq!(report.faults_detected, 1);
+/// ```
+#[derive(Debug)]
+pub struct TopUpAtpg<'a> {
+    cc: &'a CompiledCircuit,
+    observed: Vec<NodeId>,
+    backtrack_limit: usize,
+    /// Pins held at fixed values in every generated pattern (e.g.
+    /// `test_mode = 1`).
+    pinned: Vec<(NodeId, bool)>,
+}
+
+impl<'a> TopUpAtpg<'a> {
+    /// Creates the flow over the given observation set.
+    pub fn new(cc: &'a CompiledCircuit, observed: Vec<NodeId>) -> Self {
+        TopUpAtpg { cc, observed, backtrack_limit: 512, pinned: Vec::new() }
+    }
+
+    /// Sets the PODEM backtrack limit.
+    pub fn set_backtrack_limit(&mut self, limit: usize) -> &mut Self {
+        self.backtrack_limit = limit;
+        self
+    }
+
+    /// Holds an input at a fixed value in every pattern (test_mode pins).
+    pub fn pin(&mut self, node: NodeId, value: bool) -> &mut Self {
+        self.pinned.push((node, value));
+        self
+    }
+
+    /// Generates top-up patterns for `targets` (the faults the random
+    /// phase left undetected). Deterministic in `seed`.
+    pub fn run(&self, targets: &[Fault], seed: u64) -> TopUpReport {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let mut sim = StuckAtSim::new(self.cc, targets.to_vec(), self.observed.clone());
+        let mut patterns: Vec<Pattern> = Vec::new();
+        let mut untestable = 0usize;
+        let mut aborted = 0usize;
+        // Batch pending patterns and grade them 64 at a time.
+        let mut pending: Vec<Pattern> = Vec::new();
+
+        let flush =
+            |pending: &mut Vec<Pattern>, sim: &mut StuckAtSim, patterns: &mut Vec<Pattern>| {
+                if pending.is_empty() {
+                    return;
+                }
+                let mut frame = self.cc.new_frame();
+                for (lane, p) in pending.iter().enumerate() {
+                    p.load_into_lane(self.cc, &mut frame, lane);
+                }
+                sim.run_batch(&mut frame, pending.len());
+                patterns.append(pending);
+            };
+
+        // Abort-limited scheduling: a cheap low-backtrack pass clears the
+        // easy faults fast; only its aborts get the full budget.
+        let mut podem = Podem::new(self.cc, self.observed.clone());
+        let mut resolved = vec![false; targets.len()];
+        let limits: Vec<usize> = if self.backtrack_limit > 24 {
+            vec![24, self.backtrack_limit]
+        } else {
+            vec![self.backtrack_limit]
+        };
+        let n_passes = limits.len();
+        for (pass, limit) in limits.into_iter().enumerate() {
+            let last = pass + 1 == n_passes;
+            podem.set_backtrack_limit(limit);
+            for (idx, fault) in targets.iter().enumerate() {
+                // Skip verdicts already reached and faults a previous
+                // top-up pattern already caught.
+                if resolved[idx] || sim.detections()[idx] > 0 {
+                    continue;
+                }
+                match podem.generate(fault) {
+                    AtpgOutcome::Test(mut cube) => {
+                        resolved[idx] = true;
+                        for &(node, value) in &self.pinned {
+                            cube.assign(node, value);
+                        }
+                        let pattern = cube.fill(self.cc, &mut rng);
+                        pending.push(pattern);
+                        if pending.len() == 64 {
+                            flush(&mut pending, &mut sim, &mut patterns);
+                        }
+                    }
+                    AtpgOutcome::Untestable => {
+                        resolved[idx] = true;
+                        untestable += 1;
+                    }
+                    AtpgOutcome::Aborted => {
+                        if last {
+                            aborted += 1;
+                        }
+                    }
+                }
+            }
+            flush(&mut pending, &mut sim, &mut patterns);
+        }
+
+        TopUpReport {
+            patterns,
+            faults_detected: sim.detections().iter().filter(|&&d| d > 0).count(),
+            untestable,
+            aborted,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lbist_fault::{FaultKind, FaultUniverse};
+    use lbist_netlist::{GateKind, Netlist};
+    use rand::Rng;
+
+    /// Random-resistant circuit: several wide ANDs.
+    fn resistant() -> Netlist {
+        let mut nl = Netlist::new("res");
+        let ins: Vec<NodeId> = (0..24).map(|i| nl.add_input(&format!("i{i}"))).collect();
+        let g1 = nl.add_gate(GateKind::And, &ins[0..12].to_vec());
+        let g2 = nl.add_gate(GateKind::Nor, &ins[12..24].to_vec());
+        let g3 = nl.add_gate(GateKind::Xor, &[g1, g2]);
+        nl.add_output("y", g3);
+        nl
+    }
+
+    #[test]
+    fn tops_up_after_random_phase() {
+        let nl = resistant();
+        let cc = CompiledCircuit::compile(&nl).unwrap();
+        let universe = FaultUniverse::stuck_at(&nl);
+        let mut sim = StuckAtSim::new(
+            &cc,
+            universe.representatives(),
+            StuckAtSim::observe_all_captures(&cc),
+        );
+        let mut rng = SmallRng::seed_from_u64(2);
+        for _ in 0..8 {
+            let mut frame = cc.new_frame();
+            for &pi in cc.inputs() {
+                frame[pi.index()] = rng.gen();
+            }
+            sim.run_batch(&mut frame, 64);
+        }
+        let fc1 = sim.coverage();
+        let survivors = sim.undetected();
+        assert!(!survivors.is_empty(), "wide gates must resist 512 random patterns");
+
+        let report = TopUpAtpg::new(&cc, StuckAtSim::observe_all_captures(&cc)).run(&survivors, 11);
+        assert_eq!(report.aborted, 0);
+        assert_eq!(
+            report.faults_detected + report.untestable,
+            survivors.len(),
+            "every survivor is either covered or proven untestable"
+        );
+        // Dynamic compaction: far fewer patterns than survivors.
+        assert!(report.patterns.len() <= survivors.len());
+        // FC2 > FC1 once the top-up patterns are credited.
+        let fc2_detected = fc1.detected + report.faults_detected;
+        assert!(fc2_detected as f64 / fc1.total as f64 > fc1.fault_coverage());
+    }
+
+    #[test]
+    fn pinned_inputs_respected() {
+        let mut nl = Netlist::new("pin");
+        let tm = nl.add_input("test_mode");
+        let a = nl.add_input("a");
+        let g = nl.add_gate(GateKind::Xor, &[a, tm]);
+        nl.add_output("y", g);
+        let cc = CompiledCircuit::compile(&nl).unwrap();
+        let targets = vec![Fault::stem(a, FaultKind::StuckAt0)];
+        let mut atpg = TopUpAtpg::new(&cc, StuckAtSim::observe_all_captures(&cc));
+        atpg.pin(tm, true);
+        let report = atpg.run(&targets, 5);
+        for p in &report.patterns {
+            assert!(p.pi_values[0], "test_mode must stay pinned high");
+        }
+    }
+
+    #[test]
+    fn already_detected_targets_are_skipped() {
+        // Two equivalent-difficulty faults detectable by one pattern: the
+        // second should not need its own PODEM pattern.
+        let mut nl = Netlist::new("shared");
+        let ins: Vec<NodeId> = (0..8).map(|i| nl.add_input(&format!("i{i}"))).collect();
+        let g = nl.add_gate(GateKind::And, &ins);
+        let h = nl.add_gate(GateKind::Buf, &[g]);
+        nl.add_output("y", h);
+        let cc = CompiledCircuit::compile(&nl).unwrap();
+        let targets =
+            vec![Fault::stem(g, FaultKind::StuckAt0), Fault::stem(h, FaultKind::StuckAt0)];
+        let report = TopUpAtpg::new(&cc, StuckAtSim::observe_all_captures(&cc)).run(&targets, 3);
+        assert_eq!(report.faults_detected, 2);
+        // Both faults need the same all-ones cube; the flush-based
+        // compaction may or may not fold them into one pattern depending on
+        // batch timing, but never more than one per fault.
+        assert!(report.patterns.len() <= 2);
+    }
+}

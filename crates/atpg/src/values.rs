@@ -1,0 +1,117 @@
+//! Scalar ternary gate evaluation (the good/faulty halves of PODEM's
+//! five-valued algebra).
+
+use lbist_netlist::GateKind;
+use lbist_sim::Logic;
+
+/// Evaluates one gate over scalar ternary fanin values.
+///
+/// PODEM tracks a `(good, faulty)` [`Logic`] pair per node; both halves
+/// evaluate with this function (the faulty half with the fault site's
+/// override applied by the caller). `D` is then `(One, Zero)` and `D̄`
+/// `(Zero, One)`.
+///
+/// # Panics
+///
+/// Panics if called for a frame-source kind.
+///
+/// # Example
+///
+/// ```
+/// use lbist_netlist::GateKind;
+/// use lbist_sim::Logic;
+/// use lbist_atpg::eval_logic;
+/// assert_eq!(eval_logic(GateKind::And, &[Logic::One, Logic::X]), Logic::X);
+/// assert_eq!(eval_logic(GateKind::And, &[Logic::Zero, Logic::X]), Logic::Zero);
+/// ```
+pub fn eval_logic(kind: GateKind, fanins: &[Logic]) -> Logic {
+    match kind {
+        GateKind::Buf | GateKind::Output => fanins[0],
+        GateKind::Not => !fanins[0],
+        GateKind::And => fanins.iter().fold(Logic::One, |acc, &v| acc & v),
+        GateKind::Nand => !fanins.iter().fold(Logic::One, |acc, &v| acc & v),
+        GateKind::Or => fanins.iter().fold(Logic::Zero, |acc, &v| acc | v),
+        GateKind::Nor => !fanins.iter().fold(Logic::Zero, |acc, &v| acc | v),
+        GateKind::Xor => fanins.iter().fold(Logic::Zero, |acc, &v| acc ^ v),
+        GateKind::Xnor => !fanins.iter().fold(Logic::Zero, |acc, &v| acc ^ v),
+        GateKind::Mux2 => match fanins[0] {
+            Logic::Zero => fanins[1],
+            Logic::One => fanins[2],
+            Logic::X => {
+                if fanins[1] == fanins[2] && !fanins[1].is_x() {
+                    fanins[1]
+                } else {
+                    Logic::X
+                }
+            }
+        },
+        GateKind::Const0 => Logic::Zero,
+        GateKind::Const1 => Logic::One,
+        GateKind::Input | GateKind::Dff | GateKind::XSource => {
+            unreachable!("frame sources are never evaluated")
+        }
+    }
+}
+
+/// The value that forces an AND/OR-family gate's output regardless of its
+/// other inputs, if the kind has one.
+pub(crate) fn controlling_value(kind: GateKind) -> Option<bool> {
+    match kind {
+        GateKind::And | GateKind::Nand => Some(false),
+        GateKind::Or | GateKind::Nor => Some(true),
+        _ => None,
+    }
+}
+
+/// Whether the gate inverts (output parity relative to its inputs).
+pub(crate) fn inverts(kind: GateKind) -> bool {
+    matches!(kind, GateKind::Not | GateKind::Nand | GateKind::Nor | GateKind::Xnor)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matches_bitparallel_semantics_on_definite_values() {
+        // Cross-check against the 64-wide evaluator for all 2-input
+        // definite combinations.
+        use lbist_sim::eval_gate;
+        for kind in [
+            GateKind::And,
+            GateKind::Nand,
+            GateKind::Or,
+            GateKind::Nor,
+            GateKind::Xor,
+            GateKind::Xnor,
+        ] {
+            for a in [false, true] {
+                for b in [false, true] {
+                    let scalar = eval_logic(kind, &[Logic::from_bool(a), Logic::from_bool(b)]);
+                    let wide = eval_gate(kind, &[if a { !0 } else { 0 }, if b { !0 } else { 0 }]);
+                    assert_eq!(scalar.to_bool(), Some(wide & 1 == 1), "{kind} {a} {b}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn mux_select_x_agreement() {
+        assert_eq!(eval_logic(GateKind::Mux2, &[Logic::X, Logic::One, Logic::One]), Logic::One);
+        assert_eq!(eval_logic(GateKind::Mux2, &[Logic::X, Logic::One, Logic::Zero]), Logic::X);
+    }
+
+    #[test]
+    fn controlling_values() {
+        assert_eq!(controlling_value(GateKind::And), Some(false));
+        assert_eq!(controlling_value(GateKind::Nor), Some(true));
+        assert_eq!(controlling_value(GateKind::Xor), None);
+    }
+
+    #[test]
+    fn inversion_parity() {
+        assert!(inverts(GateKind::Nand));
+        assert!(!inverts(GateKind::And));
+        assert!(inverts(GateKind::Xnor));
+    }
+}

@@ -1,0 +1,163 @@
+//! Criterion micro/meso benchmarks for the hot paths behind every
+//! experiment: bit-parallel simulation, PPSFP grading, TPG hardware
+//! stepping, PODEM, and the end-to-end self-test session.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion, Throughput};
+use lbist_core::{SelfTestSession, SessionConfig, StumpsArchitecture, StumpsConfig};
+use lbist_cores::{CoreProfile, CpuCoreGenerator};
+use lbist_dft::{prepare_core, BistReadyCore, PrepConfig, TpiMethod};
+use lbist_fault::{FaultUniverse, StuckAtSim};
+use lbist_sim::CompiledCircuit;
+use lbist_tpg::{Lfsr, LfsrPoly, Misr, PhaseShifter};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use std::time::Duration;
+
+fn bench_core() -> BistReadyCore {
+    let netlist = CpuCoreGenerator::new(CoreProfile::core_x().scaled(100), 7).generate();
+    prepare_core(
+        &netlist,
+        &PrepConfig { total_chains: 8, obs_budget: 0, tpi: TpiMethod::None, ..PrepConfig::default() },
+    )
+}
+
+fn sim_benches(c: &mut Criterion) {
+    let core = bench_core();
+    let cc = CompiledCircuit::compile(&core.netlist).unwrap();
+    let mut g = c.benchmark_group("sim");
+    g.measurement_time(Duration::from_secs(3)).sample_size(20);
+    g.throughput(Throughput::Elements(64 * cc.num_nodes() as u64));
+    g.bench_function("eval2_64wide", |b| {
+        let mut frame = cc.new_frame();
+        let mut rng = SmallRng::seed_from_u64(1);
+        for &pi in cc.inputs() {
+            frame[pi.index()] = rng.gen();
+        }
+        b.iter(|| cc.eval2(&mut frame));
+    });
+    g.finish();
+}
+
+fn fault_benches(c: &mut Criterion) {
+    let core = bench_core();
+    let cc = CompiledCircuit::compile(&core.netlist).unwrap();
+    let universe = FaultUniverse::stuck_at(&core.netlist);
+    let mut g = c.benchmark_group("fault");
+    g.measurement_time(Duration::from_secs(5)).sample_size(10);
+    g.throughput(Throughput::Elements(64));
+    g.bench_function("ppsfp_batch_64_patterns", |b| {
+        b.iter_batched(
+            || {
+                let sim = StuckAtSim::new(
+                    &cc,
+                    universe.representatives(),
+                    StuckAtSim::observe_all_captures(&cc),
+                );
+                let mut frame = cc.new_frame();
+                let mut rng = SmallRng::seed_from_u64(3);
+                for &pi in cc.inputs() {
+                    frame[pi.index()] = rng.gen();
+                }
+                for &ff in cc.dffs() {
+                    frame[ff.index()] = rng.gen();
+                }
+                (sim, frame)
+            },
+            |(mut sim, mut frame)| sim.run_batch(&mut frame, 64),
+            BatchSize::LargeInput,
+        );
+    });
+    g.finish();
+}
+
+fn tpg_benches(c: &mut Criterion) {
+    let mut g = c.benchmark_group("tpg");
+    g.measurement_time(Duration::from_secs(2)).sample_size(30);
+    let poly19 = LfsrPoly::maximal(19).unwrap();
+    g.bench_function("lfsr19_step", |b| {
+        let mut l = Lfsr::with_ones_seed(poly19.clone());
+        b.iter(|| l.step());
+    });
+    let poly99 = LfsrPoly::maximal(99).unwrap();
+    g.bench_function("misr99_clock", |b| {
+        let mut m = Misr::new(poly99.clone(), 99);
+        let bits = vec![true; 99];
+        b.iter(|| m.clock(&bits));
+    });
+    g.bench_function("phase_shifter_synthesis_19x100", |b| {
+        b.iter(|| PhaseShifter::synthesize(&poly19, 14, 64));
+    });
+    g.finish();
+}
+
+fn atpg_benches(c: &mut Criterion) {
+    let core = bench_core();
+    let cc = CompiledCircuit::compile(&core.netlist).unwrap();
+    let universe = FaultUniverse::stuck_at(&core.netlist);
+    let reps = universe.representatives();
+    let mut g = c.benchmark_group("atpg");
+    g.measurement_time(Duration::from_secs(4)).sample_size(10);
+    g.bench_function("podem_100_faults", |b| {
+        let observed = StuckAtSim::observe_all_captures(&cc);
+        b.iter(|| {
+            let mut podem = lbist_atpg::Podem::new(&cc, observed.clone());
+            podem.set_backtrack_limit(24);
+            let mut found = 0;
+            for f in reps.iter().step_by(reps.len() / 100) {
+                if matches!(podem.generate(f), lbist_atpg::AtpgOutcome::Test(_)) {
+                    found += 1;
+                }
+            }
+            found
+        });
+    });
+    g.finish();
+}
+
+fn session_benches(c: &mut Criterion) {
+    let core = bench_core();
+    let mut g = c.benchmark_group("session");
+    g.measurement_time(Duration::from_secs(5)).sample_size(10);
+    g.throughput(Throughput::Elements(8));
+    g.bench_function("self_test_8_patterns", |b| {
+        let mut session = SelfTestSession::new(&core, &StumpsConfig::default());
+        let cfg = SessionConfig { num_patterns: 8, ..Default::default() };
+        b.iter(|| session.run(&cfg));
+    });
+    g.finish();
+}
+
+fn dft_benches(c: &mut Criterion) {
+    let netlist = CpuCoreGenerator::new(CoreProfile::core_x().scaled(200), 7).generate();
+    let mut g = c.benchmark_group("dft");
+    g.measurement_time(Duration::from_secs(5)).sample_size(10);
+    g.bench_function("prepare_core_with_tpi", |b| {
+        b.iter(|| {
+            prepare_core(
+                &netlist,
+                &PrepConfig {
+                    total_chains: 8,
+                    obs_budget: 8,
+                    tpi: TpiMethod::FaultSimGuided { patterns: 256 },
+                    ..PrepConfig::default()
+                },
+            )
+        });
+    });
+    g.bench_function("stumps_build", |b| {
+        let core = bench_core();
+        b.iter(|| StumpsArchitecture::build(&core, &StumpsConfig::default()));
+    });
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    sim_benches,
+    fault_benches,
+    tpg_benches,
+    atpg_benches,
+    session_benches,
+    dft_benches
+);
+criterion_main!(benches);

@@ -1,0 +1,406 @@
+//! The clock gating block: synthesising the Fig. 2 waveforms.
+
+use crate::skew::SkewModel;
+use crate::waveform::{render_chart, render_chart_range, DigitalWave, Pulse, PulseTrain};
+use lbist_netlist::DomainId;
+use std::error::Error;
+use std::fmt;
+
+/// Per-domain timing parameters.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct DomainTimingPlan {
+    /// The clock domain.
+    pub domain: DomainId,
+    /// Functional clock period — the capture pulse pair is exactly this
+    /// far apart (`d2`/`d4` in Fig. 2). 250 MHz → 4000 ps.
+    pub functional_period_ps: u64,
+}
+
+impl DomainTimingPlan {
+    /// Builds a plan from a frequency in MHz.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `freq_mhz` is not positive.
+    pub fn from_mhz(domain: DomainId, freq_mhz: f64) -> Self {
+        assert!(freq_mhz > 0.0, "frequency must be positive");
+        DomainTimingPlan { domain, functional_period_ps: (1_000_000.0 / freq_mhz).round() as u64 }
+    }
+}
+
+/// The complete capture-window timing recipe (Fig. 2's `d1..d5`).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct CaptureTimingPlan {
+    /// Slow shift clock period (shared by all domains during shift).
+    pub shift_period_ps: u64,
+    /// Shift cycles per load/unload (max chain length plus margin).
+    pub shift_cycles: usize,
+    /// Dead time from the last shift pulse to the first capture pulse
+    /// (`d1`) — SE has this long to settle; "can be as long as desired".
+    pub d1_ps: u64,
+    /// Dead time between one domain's second pulse and the next domain's
+    /// first (`d3`) — must exceed the worst inter-domain skew.
+    pub d3_ps: u64,
+    /// Dead time from the last capture pulse back to shifting (`d5`).
+    pub d5_ps: u64,
+    /// Clock pulse width.
+    pub pulse_width_ps: u64,
+    /// The domains, in capture order.
+    pub domains: Vec<DomainTimingPlan>,
+}
+
+impl CaptureTimingPlan {
+    /// A reasonable default plan: 25 MHz shift, generous dead-times.
+    pub fn with_domains(domains: Vec<DomainTimingPlan>, shift_cycles: usize) -> Self {
+        CaptureTimingPlan {
+            shift_period_ps: 40_000, // 25 MHz shift clock
+            shift_cycles,
+            d1_ps: 100_000,
+            d3_ps: 20_000,
+            d5_ps: 100_000,
+            pulse_width_ps: 1_000,
+            domains,
+        }
+    }
+
+    /// Verifies the paper's timing properties against a skew model:
+    /// at-speed pulse pairs, slow SE slack, and `d3 >` max inter-domain
+    /// skew. Generates the waveforms with [`ClockGatingBlock::generate`]
+    /// and delegates to [`CaptureTimingPlan::verify_waveforms`].
+    ///
+    /// # Errors
+    ///
+    /// Returns the first [`TimingViolation`] found.
+    pub fn verify(&self, skew: &SkewModel) -> Result<(), TimingViolation> {
+        self.verify_waveforms(&ClockGatingBlock::generate(self), skew)
+    }
+
+    /// Verifies arbitrary waveforms against this plan — the form a silicon
+    /// validation bench would use, where the waves come from a probe, not
+    /// from the generator. This is what catches *test frequency
+    /// manipulation*: waveforms whose capture pulse gap is anything other
+    /// than the domain's true functional period fail `NotAtSpeed`.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first [`TimingViolation`] found.
+    pub fn verify_waveforms(
+        &self,
+        waves: &CgbWaveforms,
+        skew: &SkewModel,
+    ) -> Result<(), TimingViolation> {
+        // 1. At-speed: each domain's two capture pulses are exactly one
+        //    functional period apart.
+        for (plan, train) in self.domains.iter().zip(&waves.capture_clocks) {
+            let rises = train.rise_times();
+            let capture_rises = &rises[self.shift_cycles..];
+            if capture_rises.len() != 2 {
+                return Err(TimingViolation::WrongPulseCount {
+                    domain: plan.domain,
+                    got: capture_rises.len(),
+                });
+            }
+            let gap = capture_rises[1] - capture_rises[0];
+            if gap != plan.functional_period_ps {
+                return Err(TimingViolation::NotAtSpeed {
+                    domain: plan.domain,
+                    gap_ps: gap,
+                    functional_period_ps: plan.functional_period_ps,
+                });
+            }
+        }
+        // 2. SE slack: distance from SE fall to any capture pulse and from
+        //    the last capture pulse to SE rise is at least d1/d5.
+        let se_fall = waves.scan_enable.transitions()[0].0;
+        let first_capture =
+            waves.capture_clocks.iter().filter_map(|t| t.rise_times().get(self.shift_cycles).copied()).min();
+        if let Some(fc) = first_capture {
+            if fc - se_fall < self.d1_ps {
+                return Err(TimingViolation::ScanEnableTooFast {
+                    slack_ps: fc - se_fall,
+                    required_ps: self.d1_ps,
+                });
+            }
+        }
+        // 3. d3 beats skew.
+        let max_skew = skew.max_inter_domain_skew_ps();
+        if self.d3_ps <= max_skew {
+            return Err(TimingViolation::CaptureGapTooSmall { d3_ps: self.d3_ps, skew_ps: max_skew });
+        }
+        Ok(())
+    }
+}
+
+/// A timing-property violation found by [`CaptureTimingPlan::verify`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum TimingViolation {
+    /// A domain did not get exactly two capture pulses.
+    WrongPulseCount {
+        /// Offending domain.
+        domain: DomainId,
+        /// Pulses seen in the capture window.
+        got: usize,
+    },
+    /// Launch-to-capture gap differs from the functional period.
+    NotAtSpeed {
+        /// Offending domain.
+        domain: DomainId,
+        /// Observed pulse gap.
+        gap_ps: u64,
+        /// The domain's functional period.
+        functional_period_ps: u64,
+    },
+    /// SE transitions too close to a capture pulse.
+    ScanEnableTooFast {
+        /// Observed slack.
+        slack_ps: u64,
+        /// Required dead time.
+        required_ps: u64,
+    },
+    /// The inter-domain gap does not clear the worst skew.
+    CaptureGapTooSmall {
+        /// Configured `d3`.
+        d3_ps: u64,
+        /// Worst-case inter-domain skew.
+        skew_ps: u64,
+    },
+}
+
+impl fmt::Display for TimingViolation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TimingViolation::WrongPulseCount { domain, got } => {
+                write!(f, "domain {domain} received {got} capture pulses instead of 2")
+            }
+            TimingViolation::NotAtSpeed { domain, gap_ps, functional_period_ps } => write!(
+                f,
+                "domain {domain} capture gap {gap_ps} ps differs from functional period {functional_period_ps} ps"
+            ),
+            TimingViolation::ScanEnableTooFast { slack_ps, required_ps } => {
+                write!(f, "scan-enable slack {slack_ps} ps below required {required_ps} ps")
+            }
+            TimingViolation::CaptureGapTooSmall { d3_ps, skew_ps } => {
+                write!(f, "d3 = {d3_ps} ps does not clear inter-domain skew {skew_ps} ps")
+            }
+        }
+    }
+}
+
+impl Error for TimingViolation {}
+
+/// The waveforms one BIST load/capture/unload cycle produces.
+#[derive(Clone, Debug)]
+pub struct CgbWaveforms {
+    /// Per-domain gated test clocks (`TCK1`, `TCK2`, ... in Fig. 2), each
+    /// carrying the shift burst plus its two capture pulses.
+    pub capture_clocks: Vec<PulseTrain>,
+    /// The single slow scan-enable.
+    pub scan_enable: DigitalWave,
+    /// End of the modelled window.
+    pub end_ps: u64,
+}
+
+impl CgbWaveforms {
+    /// ASCII chart of all waveforms (the Fig. 2 picture).
+    pub fn render(&self, resolution_ps: u64) -> String {
+        let trains: Vec<&PulseTrain> = self.capture_clocks.iter().collect();
+        render_chart(&trains, &[&self.scan_enable], self.end_ps, resolution_ps)
+    }
+
+    /// Zoomed ASCII chart of `[from_ps, until_ps]` (e.g. just the capture
+    /// window, where the double pulses are visible).
+    pub fn render_window(&self, from_ps: u64, until_ps: u64, resolution_ps: u64) -> String {
+        let trains: Vec<&PulseTrain> = self.capture_clocks.iter().collect();
+        render_chart_range(&trains, &[&self.scan_enable], from_ps, until_ps, resolution_ps)
+    }
+}
+
+/// The clock gating block of Fig. 1: turns free-running functional clocks
+/// into the shift bursts and double-capture pulse pairs of Fig. 2.
+#[derive(Debug)]
+pub struct ClockGatingBlock;
+
+impl ClockGatingBlock {
+    /// Generates one shift window followed by one capture window.
+    ///
+    /// Shift: `shift_cycles` pulses of the slow shift clock on every
+    /// domain simultaneously, SE high. Capture: SE low, then for each
+    /// domain in order a pulse pair one functional period apart, pairs
+    /// separated by `d3`; finally SE returns high after `d5`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the plan has no domains, a zero shift period, or pulse
+    /// widths that do not fit the smallest functional period.
+    pub fn generate(plan: &CaptureTimingPlan) -> CgbWaveforms {
+        assert!(!plan.domains.is_empty(), "plan needs at least one domain");
+        assert!(plan.shift_period_ps > 0);
+        for d in &plan.domains {
+            assert!(
+                plan.pulse_width_ps < d.functional_period_ps,
+                "pulse width must fit inside the functional period of {}",
+                d.domain
+            );
+        }
+        let mut clocks: Vec<PulseTrain> = plan
+            .domains
+            .iter()
+            .map(|d| PulseTrain::new(format!("TCK{}", d.domain.index() + 1)))
+            .collect();
+
+        // Shift window: all domains pulse together at the slow rate.
+        let mut t = plan.shift_period_ps; // first pulse after one period
+        let mut last_shift_rise = 0;
+        for _ in 0..plan.shift_cycles {
+            for train in &mut clocks {
+                train.push(Pulse::new(t, t + plan.pulse_width_ps));
+            }
+            last_shift_rise = t;
+            t += plan.shift_period_ps;
+        }
+
+        // SE falls d1-early relative to the first capture pulse.
+        let first_capture = last_shift_rise + plan.pulse_width_ps + plan.d1_ps;
+        let mut se = DigitalWave::new("SE", true);
+        se.transition_to(false, last_shift_rise + plan.pulse_width_ps);
+
+        // Capture window: staggered pulse pairs.
+        let mut cursor = first_capture;
+        for (i, d) in plan.domains.iter().enumerate() {
+            clocks[i].push(Pulse::new(cursor, cursor + plan.pulse_width_ps));
+            let second = cursor + d.functional_period_ps;
+            clocks[i].push(Pulse::new(second, second + plan.pulse_width_ps));
+            cursor = second + plan.pulse_width_ps + plan.d3_ps;
+        }
+        let last_capture_end = cursor - plan.d3_ps;
+        let se_rise = last_capture_end + plan.d5_ps;
+        se.transition_to(true, se_rise);
+
+        CgbWaveforms { capture_clocks: clocks, scan_enable: se, end_ps: se_rise + plan.shift_period_ps }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn two_domain_plan() -> CaptureTimingPlan {
+        CaptureTimingPlan::with_domains(
+            vec![
+                DomainTimingPlan::from_mhz(DomainId::new(0), 250.0),
+                DomainTimingPlan::from_mhz(DomainId::new(1), 250.0),
+            ],
+            4,
+        )
+    }
+
+    #[test]
+    fn mhz_conversion() {
+        let d = DomainTimingPlan::from_mhz(DomainId::new(0), 250.0);
+        assert_eq!(d.functional_period_ps, 4_000);
+        let d = DomainTimingPlan::from_mhz(DomainId::new(1), 330.0);
+        assert_eq!(d.functional_period_ps, 3_030);
+    }
+
+    #[test]
+    fn each_domain_gets_shift_burst_plus_two_pulses() {
+        let plan = two_domain_plan();
+        let waves = ClockGatingBlock::generate(&plan);
+        for train in &waves.capture_clocks {
+            assert_eq!(train.len(), plan.shift_cycles + 2);
+        }
+    }
+
+    #[test]
+    fn capture_pairs_are_at_functional_period() {
+        let plan = two_domain_plan();
+        let waves = ClockGatingBlock::generate(&plan);
+        for (d, train) in plan.domains.iter().zip(&waves.capture_clocks) {
+            let rises = train.rise_times();
+            let pair = &rises[plan.shift_cycles..];
+            assert_eq!(pair[1] - pair[0], d.functional_period_ps);
+        }
+    }
+
+    #[test]
+    fn domains_are_staggered_by_d3() {
+        let plan = two_domain_plan();
+        let waves = ClockGatingBlock::generate(&plan);
+        let r0 = waves.capture_clocks[0].rise_times();
+        let r1 = waves.capture_clocks[1].rise_times();
+        let c2_end = r0[plan.shift_cycles + 1] + plan.pulse_width_ps;
+        let c3 = r1[plan.shift_cycles];
+        assert_eq!(c3 - c2_end, plan.d3_ps);
+    }
+
+    #[test]
+    fn verify_passes_with_small_skew_and_fails_with_large() {
+        let plan = two_domain_plan();
+        let ok_skew = SkewModel::uniform(2, plan.d3_ps / 2);
+        assert!(plan.verify(&ok_skew).is_ok());
+        let bad_skew = SkewModel::uniform(2, plan.d3_ps * 2);
+        assert!(matches!(
+            plan.verify(&bad_skew),
+            Err(TimingViolation::CaptureGapTooSmall { .. })
+        ));
+    }
+
+    #[test]
+    fn frequency_manipulation_detected() {
+        // Generate waveforms for a manipulated test frequency (half speed,
+        // the classic "run the whole chip from one slow test clock" hack),
+        // then verify them against the TRUE functional periods: the
+        // at-speed property must fail.
+        let true_plan = two_domain_plan();
+        let mut slow_plan = true_plan.clone();
+        for d in &mut slow_plan.domains {
+            d.functional_period_ps *= 2;
+        }
+        let manipulated_waves = ClockGatingBlock::generate(&slow_plan);
+        assert!(matches!(
+            true_plan.verify_waveforms(&manipulated_waves, &SkewModel::uniform(2, 100)),
+            Err(TimingViolation::NotAtSpeed { .. })
+        ));
+        // The honest waveforms pass.
+        assert!(true_plan.verify(&SkewModel::uniform(2, 100)).is_ok());
+    }
+
+    #[test]
+    fn se_is_slow() {
+        let mut plan = two_domain_plan();
+        plan.d1_ps = 1_000_000; // "as long as desired"
+        plan.d5_ps = 2_000_000;
+        let waves = ClockGatingBlock::generate(&plan);
+        assert!(waves.scan_enable.min_transition_spacing_ps().unwrap() >= 1_000_000);
+        assert!(plan.verify(&SkewModel::uniform(2, 100)).is_ok());
+    }
+
+    #[test]
+    fn mixed_frequencies_supported() {
+        // Fig. 2's point: every domain keeps ITS OWN functional period.
+        let plan = CaptureTimingPlan::with_domains(
+            vec![
+                DomainTimingPlan::from_mhz(DomainId::new(0), 250.0),
+                DomainTimingPlan::from_mhz(DomainId::new(1), 330.0),
+            ],
+            2,
+        );
+        let waves = ClockGatingBlock::generate(&plan);
+        let gap = |i: usize| {
+            let r = waves.capture_clocks[i].rise_times();
+            r[plan.shift_cycles + 1] - r[plan.shift_cycles]
+        };
+        assert_eq!(gap(0), 4_000);
+        assert_eq!(gap(1), 3_030);
+        assert!(plan.verify(&SkewModel::uniform(2, 1_000)).is_ok());
+    }
+
+    #[test]
+    fn render_produces_one_row_per_signal() {
+        let plan = two_domain_plan();
+        let waves = ClockGatingBlock::generate(&plan);
+        let chart = waves.render(waves.end_ps / 100);
+        assert_eq!(chart.lines().count(), 3); // TCK1, TCK2, SE
+    }
+}

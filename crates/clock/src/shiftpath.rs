@@ -1,0 +1,331 @@
+//! Fig. 3: hold/setup timing of the PRPG → chain → MISR shift paths.
+//!
+//! During shift, each PRPG + scan chain + MISR must behave as one long
+//! shift register — but the PRPG/MISR sit in the BIST clock domain while
+//! the chain is clocked by the (gated) core clock, and the skew between
+//! the two "is usually not aggressively managed". The paper's technique:
+//! **keep the PRPG/MISR clock phase ahead of the chain clock**. Then
+//!
+//! * PRPG → chain-head can only fail *hold* (new data races in before the
+//!   chain samples the old bit) — fixed by a retiming flip-flop on the
+//!   opposite edge;
+//! * chain-tail → MISR can only fail *setup* (data arrives after the
+//!   early MISR edge) — avoided by removing logic (the space compactor)
+//!   from that path.
+//!
+//! [`ShiftPathTiming::analyze`] computes both checks; `simulate_shift`
+//! runs an actual bit stream through a behavioural model in which a hold
+//! violation makes the chain head capture the *new* (raced-through) bit
+//! and a setup violation makes the MISR capture the *stale* bit — so the
+//! Fig. 3 bench can show signatures corrupting and being healed.
+
+use std::fmt;
+
+/// Physical parameters of one PRPG→chain→MISR shift path.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ShiftPathConfig {
+    /// Shift clock period.
+    pub shift_period_ps: u64,
+    /// Flip-flop clock-to-Q delay.
+    pub clk2q_ps: u64,
+    /// Flip-flop setup requirement.
+    pub setup_ps: u64,
+    /// Flip-flop hold requirement.
+    pub hold_ps: u64,
+    /// Interconnect delay between the BIST logic and the chain boundary.
+    pub wire_ps: u64,
+    /// Delay per logic level (the space compactor inserts these between
+    /// chain tail and MISR).
+    pub level_delay_ps: u64,
+    /// Logic levels between chain tail and MISR input (0 = paper's
+    /// compactor-less configuration).
+    pub compactor_levels: u32,
+    /// How far the PRPG/MISR clock leads the chain clock. The paper's rule
+    /// keeps this positive.
+    pub phase_lead_ps: i64,
+    /// Retiming flip-flop on the PRPG→chain boundary, clocked on the
+    /// opposite edge (half a period later).
+    pub retiming_ff: bool,
+}
+
+impl Default for ShiftPathConfig {
+    fn default() -> Self {
+        ShiftPathConfig {
+            shift_period_ps: 40_000,
+            clk2q_ps: 120,
+            setup_ps: 80,
+            hold_ps: 60,
+            wire_ps: 100,
+            level_delay_ps: 90,
+            compactor_levels: 0,
+            phase_lead_ps: 0,
+            retiming_ff: false,
+        }
+    }
+}
+
+/// The outcome of the Fig. 3 analysis.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ShiftPathReport {
+    /// Hold slack at the chain head (negative = violation).
+    pub prpg_to_chain_hold_slack_ps: i64,
+    /// Setup slack at the MISR (negative = violation).
+    pub chain_to_misr_setup_slack_ps: i64,
+}
+
+impl ShiftPathReport {
+    /// `true` when both checks pass.
+    pub fn is_clean(&self) -> bool {
+        self.prpg_to_chain_hold_slack_ps >= 0 && self.chain_to_misr_setup_slack_ps >= 0
+    }
+}
+
+impl fmt::Display for ShiftPathReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "hold slack {} ps, setup slack {} ps ({})",
+            self.prpg_to_chain_hold_slack_ps,
+            self.chain_to_misr_setup_slack_ps,
+            if self.is_clean() { "clean" } else { "VIOLATED" }
+        )
+    }
+}
+
+/// Analyses and behaviourally simulates a shift path under skew.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ShiftPathTiming {
+    config: ShiftPathConfig,
+}
+
+impl ShiftPathTiming {
+    /// Wraps a configuration.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the shift period is zero or smaller than the lead's
+    /// magnitude.
+    pub fn new(config: ShiftPathConfig) -> Self {
+        assert!(config.shift_period_ps > 0);
+        assert!(
+            config.phase_lead_ps.unsigned_abs() < config.shift_period_ps,
+            "phase lead must be a fraction of the shift period"
+        );
+        ShiftPathTiming { config }
+    }
+
+    /// The configuration under analysis.
+    pub fn config(&self) -> &ShiftPathConfig {
+        &self.config
+    }
+
+    /// Static timing of both boundary hops.
+    ///
+    /// With the PRPG/MISR clock `lead` ahead of the chain clock:
+    ///
+    /// * **Hold at chain head**: the PRPG launches at `-lead + clk2q` and
+    ///   the new value must not arrive before the chain's hold window ends
+    ///   at `+hold`. Slack = `(-lead + clk2q + wire) - hold`. A retiming
+    ///   flip-flop re-launches on the opposite edge, adding half a period.
+    /// * **Setup at MISR**: the chain tail launches at `0 + clk2q`, crosses
+    ///   `compactor_levels` of XOR, and must arrive `setup` before the
+    ///   MISR's next edge at `period - lead`. Slack =
+    ///   `(period - lead - setup) - (clk2q + levels*delay + wire)`.
+    ///
+    /// Negative lead (chain clock ahead instead) flips the failure modes —
+    /// which is exactly why the paper forbids it: the PRPG→chain hop would
+    /// get *setup* violations that retiming cannot fix without slowing the
+    /// shift clock.
+    pub fn analyze(&self) -> ShiftPathReport {
+        let c = &self.config;
+        let launch_offset = if c.retiming_ff {
+            // Opposite-edge retiming: launch half a period after the PRPG
+            // edge, well clear of the chain's hold window.
+            (c.shift_period_ps / 2) as i64
+        } else {
+            0
+        };
+        let arrival = -c.phase_lead_ps + launch_offset + (c.clk2q_ps + c.wire_ps) as i64;
+        let hold_slack = arrival - c.hold_ps as i64;
+
+        let path = (c.clk2q_ps + c.wire_ps) as i64
+            + (c.compactor_levels as u64 * c.level_delay_ps) as i64;
+        let misr_edge = c.shift_period_ps as i64 - c.phase_lead_ps;
+        let setup_slack = (misr_edge - c.setup_ps as i64) - path;
+
+        ShiftPathReport {
+            prpg_to_chain_hold_slack_ps: hold_slack,
+            chain_to_misr_setup_slack_ps: setup_slack,
+        }
+    }
+
+    /// Behavioural shift simulation: pushes `stream` through the
+    /// PRPG→chain→MISR boundary model and returns the bits the MISR
+    /// actually absorbs, with timing violations corrupting data:
+    ///
+    /// * **clean hold**: each cycle the chain head captures the PRPG's
+    ///   *pre-edge* output (the bit launched one cycle earlier) — normal
+    ///   shift-register behaviour;
+    /// * **hold violation** → the freshly launched bit races through and
+    ///   the head captures the *new* bit, skipping one stream position;
+    /// * **retiming flip-flop** → the boundary transfers through an
+    ///   opposite-edge stage that always meets hold, regardless of lead;
+    /// * **setup violation at the MISR** → the MISR sees the *previous*
+    ///   chain output (one cycle stale).
+    ///
+    /// With clean timing the output equals the input delayed by
+    /// `chain_len + 1` cycles.
+    pub fn simulate_shift(&self, stream: &[bool], chain_len: usize) -> Vec<bool> {
+        let report = self.analyze();
+        let hold_ok = report.prpg_to_chain_hold_slack_ps >= 0;
+        let setup_ok = report.chain_to_misr_setup_slack_ps >= 0;
+        let len = chain_len.max(1);
+        let mut boundary_old = false; // PRPG output before this cycle's edge
+        let mut retime_q = false; // retiming stage output (updates mid-cycle)
+        let mut chain = vec![false; len];
+        let mut last_tail = false;
+        let mut out = Vec::with_capacity(stream.len());
+        for &bit in stream {
+            // Value at the chain head when its (lagging) clock edge samples.
+            let head_in = if self.config.retiming_ff {
+                // The retiming stage launched mid-previous-cycle: its value
+                // is stable long before the edge and long after hold.
+                retime_q
+            } else if hold_ok {
+                boundary_old
+            } else {
+                bit // race-through: the leading PRPG edge already changed it
+            };
+            let tail = chain[len - 1];
+            for i in (1..len).rev() {
+                chain[i] = chain[i - 1];
+            }
+            chain[0] = head_in;
+            // MISR edge: clean setup absorbs this cycle's tail; a setup
+            // violation still shows the previous one.
+            out.push(if setup_ok { tail } else { last_tail });
+            last_tail = tail;
+            // Mid-cycle: the opposite-edge retiming stage captures the
+            // PRPG's new output; by the next chain edge it is stable.
+            retime_q = bit;
+            boundary_old = bit;
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn base() -> ShiftPathConfig {
+        ShiftPathConfig::default()
+    }
+
+    #[test]
+    fn zero_lead_is_clean() {
+        let t = ShiftPathTiming::new(base());
+        let r = t.analyze();
+        assert!(r.is_clean(), "{r}");
+    }
+
+    #[test]
+    fn large_lead_causes_hold_violation_only() {
+        let mut c = base();
+        c.phase_lead_ps = 500; // PRPG well ahead
+        let r = ShiftPathTiming::new(c).analyze();
+        assert!(r.prpg_to_chain_hold_slack_ps < 0, "hold must fail: {r}");
+        assert!(r.chain_to_misr_setup_slack_ps >= 0, "setup must still pass: {r}");
+    }
+
+    #[test]
+    fn retiming_ff_fixes_the_hold_violation() {
+        let mut c = base();
+        c.phase_lead_ps = 500;
+        c.retiming_ff = true;
+        let r = ShiftPathTiming::new(c).analyze();
+        assert!(r.is_clean(), "{r}");
+    }
+
+    #[test]
+    fn compactor_levels_eat_setup_slack() {
+        let mut c = base();
+        c.phase_lead_ps = 500;
+        c.retiming_ff = true;
+        // A huge compactor: levels * delay approaches the period.
+        c.compactor_levels = ((c.shift_period_ps / c.level_delay_ps) - 2) as u32;
+        let r = ShiftPathTiming::new(c.clone()).analyze();
+        assert!(r.chain_to_misr_setup_slack_ps < 0, "setup must fail: {r}");
+        // Removing the compactor (the paper's configuration) heals it.
+        c.compactor_levels = 0;
+        let r = ShiftPathTiming::new(c).analyze();
+        assert!(r.is_clean(), "{r}");
+    }
+
+    #[test]
+    fn clean_simulation_is_a_pure_delay() {
+        let t = ShiftPathTiming::new(base());
+        let stream: Vec<bool> = (0..32).map(|i| i % 3 == 0).collect();
+        let out = t.simulate_shift(&stream, 4);
+        // Output = input delayed by chain length + the boundary stage.
+        for i in 5..stream.len() {
+            assert_eq!(out[i], stream[i - 5], "position {i}");
+        }
+    }
+
+    #[test]
+    fn hold_violation_corrupts_the_stream() {
+        let mut c = base();
+        c.phase_lead_ps = 500;
+        let t = ShiftPathTiming::new(c);
+        let stream: Vec<bool> = (0..32).map(|i| (i / 2) % 2 == 0).collect();
+        let out = t.simulate_shift(&stream, 4);
+        let clean = ShiftPathTiming::new(base()).simulate_shift(&stream, 4);
+        assert_ne!(out, clean, "a hold violation must corrupt the shifted data");
+    }
+
+    #[test]
+    fn retimed_stream_is_clean_again() {
+        let mut c = base();
+        c.phase_lead_ps = 500;
+        c.retiming_ff = true;
+        let t = ShiftPathTiming::new(c);
+        let stream: Vec<bool> = (0..32).map(|i| i % 5 < 2).collect();
+        let out = t.simulate_shift(&stream, 4);
+        // One extra delay stage from the retiming flop.
+        for i in 5..stream.len() {
+            assert_eq!(out[i], stream[i - 5], "position {i}");
+        }
+    }
+
+    #[test]
+    fn setup_violation_delays_misr_data() {
+        let mut c = base();
+        c.compactor_levels = ((c.shift_period_ps / c.level_delay_ps) + 5) as u32;
+        // keep lead 0 so only setup fails
+        let t = ShiftPathTiming::new(c);
+        let r = t.analyze();
+        assert!(r.prpg_to_chain_hold_slack_ps >= 0);
+        assert!(r.chain_to_misr_setup_slack_ps < 0);
+        let stream: Vec<bool> = (0..16).map(|i| i % 2 == 0).collect();
+        let out = t.simulate_shift(&stream, 2);
+        let clean = ShiftPathTiming::new(base()).simulate_shift(&stream, 2);
+        assert_ne!(out, clean);
+    }
+
+    #[test]
+    #[should_panic(expected = "fraction of the shift period")]
+    fn absurd_lead_rejected() {
+        let mut c = base();
+        c.phase_lead_ps = c.shift_period_ps as i64 + 1;
+        ShiftPathTiming::new(c);
+    }
+
+    #[test]
+    fn display_mentions_violation() {
+        let mut c = base();
+        c.phase_lead_ps = 500;
+        let r = ShiftPathTiming::new(c).analyze();
+        assert!(r.to_string().contains("VIOLATED"));
+    }
+}

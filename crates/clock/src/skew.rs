@@ -1,0 +1,106 @@
+//! Clock skew models.
+
+use lbist_netlist::DomainId;
+
+/// Per-domain clock arrival offsets.
+///
+/// Inter-related clock domains of an IP core have skews that "are usually
+/// not aggressively managed" (§2.1) — the architecture must tolerate them
+/// rather than fix them. The model is deliberately simple: each domain's
+/// clock tree delivers edges `offset_ps[d]` late relative to an ideal
+/// reference; the inter-domain skew between `a` and `b` is the absolute
+/// offset difference.
+///
+/// # Example
+///
+/// ```
+/// use lbist_clock::SkewModel;
+/// use lbist_netlist::DomainId;
+/// let skew = SkewModel::new(vec![0, 700, 350]);
+/// assert_eq!(skew.between(DomainId::new(0), DomainId::new(1)), 700);
+/// assert_eq!(skew.max_inter_domain_skew_ps(), 700);
+/// ```
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct SkewModel {
+    offset_ps: Vec<u64>,
+}
+
+impl SkewModel {
+    /// Builds a model from per-domain arrival offsets (ps).
+    ///
+    /// # Panics
+    ///
+    /// Panics if no domain is given.
+    pub fn new(offset_ps: Vec<u64>) -> Self {
+        assert!(!offset_ps.is_empty(), "skew model needs at least one domain");
+        SkewModel { offset_ps }
+    }
+
+    /// All domains share one worst-case pairwise skew: domain `d` arrives
+    /// `d * skew_ps` late — adjacent domains differ by `skew_ps` and the
+    /// extremes by `(n-1) * skew_ps`... for a *uniform pairwise* model we
+    /// instead alternate 0/`skew_ps`, so every adjacent pair sees exactly
+    /// `skew_ps`.
+    pub fn uniform(domains: usize, skew_ps: u64) -> Self {
+        assert!(domains > 0);
+        SkewModel::new((0..domains).map(|d| if d % 2 == 0 { 0 } else { skew_ps }).collect())
+    }
+
+    /// The arrival offset of one domain.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the domain is out of range.
+    pub fn offset_ps(&self, d: DomainId) -> u64 {
+        self.offset_ps[d.index()]
+    }
+
+    /// Number of modelled domains.
+    pub fn num_domains(&self) -> usize {
+        self.offset_ps.len()
+    }
+
+    /// Skew between two domains.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either domain is out of range.
+    pub fn between(&self, a: DomainId, b: DomainId) -> u64 {
+        self.offset_ps[a.index()].abs_diff(self.offset_ps[b.index()])
+    }
+
+    /// The worst pairwise skew — what `d3` must beat.
+    pub fn max_inter_domain_skew_ps(&self) -> u64 {
+        let max = self.offset_ps.iter().max().copied().unwrap_or(0);
+        let min = self.offset_ps.iter().min().copied().unwrap_or(0);
+        max - min
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pairwise_skew_is_symmetric() {
+        let s = SkewModel::new(vec![100, 400, 250]);
+        let a = DomainId::new(0);
+        let b = DomainId::new(1);
+        assert_eq!(s.between(a, b), s.between(b, a));
+        assert_eq!(s.between(a, b), 300);
+    }
+
+    #[test]
+    fn uniform_alternates() {
+        let s = SkewModel::uniform(4, 500);
+        assert_eq!(s.max_inter_domain_skew_ps(), 500);
+        assert_eq!(s.between(DomainId::new(0), DomainId::new(1)), 500);
+        assert_eq!(s.between(DomainId::new(0), DomainId::new(2)), 0);
+    }
+
+    #[test]
+    fn single_domain_has_no_skew() {
+        let s = SkewModel::uniform(1, 999);
+        assert_eq!(s.max_inter_domain_skew_ps(), 0);
+    }
+}

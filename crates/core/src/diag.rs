@@ -1,0 +1,118 @@
+//! Interval-based fault diagnosis via downloaded MISR snapshots.
+//!
+//! The paper's Boundary-Scan interface can "download internal states for
+//! fault diagnosis". The standard coarse-grained flow: re-run self-test
+//! with the MISRs snapshotted every `k` patterns, download the snapshot
+//! stream, and compare against the golden stream — the first diverging
+//! snapshot brackets the first failing pattern to a `k`-pattern window,
+//! which deterministic replay can then bisect.
+
+use crate::session::SessionResult;
+use std::fmt;
+
+/// Outcome of interval diagnosis.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct DiagnosisReport {
+    /// Index of the first snapshot that diverged.
+    pub first_bad_snapshot: usize,
+    /// The bracketing pattern window `[start, end)`.
+    pub pattern_window: (usize, usize),
+    /// Which domains' MISRs diverged at that snapshot.
+    pub bad_domains: Vec<usize>,
+}
+
+impl fmt::Display for DiagnosisReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "first divergence at snapshot {} (patterns {}..{}), domains {:?}",
+            self.first_bad_snapshot, self.pattern_window.0, self.pattern_window.1, self.bad_domains
+        )
+    }
+}
+
+/// Compares golden and faulty snapshot streams (both recorded with
+/// `snapshot_every = interval`) and localises the first failing pattern
+/// window.
+///
+/// Returns `None` when the streams agree everywhere (the defect either
+/// aliased or never propagated).
+///
+/// # Panics
+///
+/// Panics if the two results carry different snapshot counts or
+/// `interval == 0`.
+pub fn diagnose_first_failing_interval(
+    golden: &SessionResult,
+    faulty: &SessionResult,
+    interval: usize,
+) -> Option<DiagnosisReport> {
+    assert!(interval > 0, "snapshot interval must be positive");
+    assert_eq!(
+        golden.snapshots.len(),
+        faulty.snapshots.len(),
+        "snapshot streams must align"
+    );
+    for (i, (g, f)) in golden.snapshots.iter().zip(&faulty.snapshots).enumerate() {
+        if g != f {
+            let bad_domains =
+                g.iter().zip(f).enumerate().filter(|(_, (a, b))| a != b).map(|(d, _)| d).collect();
+            return Some(DiagnosisReport {
+                first_bad_snapshot: i,
+                pattern_window: (i * interval, (i + 1) * interval),
+                bad_domains,
+            });
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{SelfTestSession, SessionConfig, StumpsConfig};
+    use lbist_cores::{CoreProfile, CpuCoreGenerator};
+    use lbist_dft::{prepare_core, PrepConfig, TpiMethod};
+    use lbist_fault::{Fault, FaultKind};
+
+    #[test]
+    fn localises_an_injected_defect() {
+        let nl = CpuCoreGenerator::new(CoreProfile::core_x().scaled(400), 23).generate();
+        let core = prepare_core(
+            &nl,
+            &PrepConfig { total_chains: 6, obs_budget: 0, tpi: TpiMethod::None, ..PrepConfig::default() },
+        );
+        let mut session = SelfTestSession::new(&core, &StumpsConfig::default());
+        let interval = 4;
+        let cfg = SessionConfig {
+            num_patterns: 16,
+            snapshot_every: interval,
+            ..Default::default()
+        };
+        let golden = session.run(&cfg);
+        let site = core.netlist.fanins(core.netlist.dffs()[0])[0];
+        let mut faulty_cfg = cfg.clone();
+        faulty_cfg.injected_fault = Some(Fault::stem(site, FaultKind::StuckAt1));
+        let faulty = session.run(&faulty_cfg);
+
+        let report = diagnose_first_failing_interval(&golden, &faulty, interval)
+            .expect("a stuck-at on a captured net must show up");
+        assert!(report.pattern_window.1 <= 16);
+        assert!(!report.bad_domains.is_empty());
+        assert_eq!(report.pattern_window.1 - report.pattern_window.0, interval);
+    }
+
+    #[test]
+    fn clean_rerun_diagnoses_nothing() {
+        let nl = CpuCoreGenerator::new(CoreProfile::core_x().scaled(800), 29).generate();
+        let core = prepare_core(
+            &nl,
+            &PrepConfig { total_chains: 4, obs_budget: 0, tpi: TpiMethod::None, ..PrepConfig::default() },
+        );
+        let mut session = SelfTestSession::new(&core, &StumpsConfig::default());
+        let cfg = SessionConfig { num_patterns: 8, snapshot_every: 2, ..Default::default() };
+        let a = session.run(&cfg);
+        let b = session.run(&cfg);
+        assert_eq!(diagnose_first_failing_interval(&a, &b, 2), None);
+    }
+}

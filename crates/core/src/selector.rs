@@ -1,0 +1,212 @@
+//! The input selector: random or deterministic patterns into the chains.
+
+use crate::architecture::StumpsArchitecture;
+use lbist_atpg::Pattern;
+
+/// Where the next load's chain bits come from.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum PatternSource {
+    /// Pseudo-random bits from the TPG block (PRPG → phase shifter →
+    /// expander), the normal self-test mode.
+    Random,
+    /// Deterministic top-up patterns (from ATPG), applied through the same
+    /// chains. The selector walks the list in order.
+    TopUp,
+}
+
+/// Fig. 1's input selector: multiplexes the TPG stream with stored top-up
+/// patterns.
+///
+/// # Example
+///
+/// ```
+/// use lbist_core::{InputSelector, PatternSource};
+/// let mut sel = InputSelector::new();
+/// assert_eq!(*sel.source(), PatternSource::Random);
+/// sel.select(PatternSource::TopUp);
+/// assert_eq!(*sel.source(), PatternSource::TopUp);
+/// ```
+#[derive(Clone, Debug, Default)]
+pub struct InputSelector {
+    source: PatternSource,
+    top_up: Vec<Pattern>,
+    next_top_up: usize,
+}
+
+impl Default for PatternSource {
+    fn default() -> Self {
+        PatternSource::Random
+    }
+}
+
+impl InputSelector {
+    /// A selector in random mode with no stored top-up patterns.
+    pub fn new() -> Self {
+        InputSelector::default()
+    }
+
+    /// The active source.
+    pub fn source(&self) -> &PatternSource {
+        &self.source
+    }
+
+    /// Switches source.
+    pub fn select(&mut self, source: PatternSource) {
+        self.source = source;
+    }
+
+    /// Loads the deterministic pattern store (ATPG output).
+    pub fn load_top_up(&mut self, patterns: Vec<Pattern>) {
+        self.top_up = patterns;
+        self.next_top_up = 0;
+    }
+
+    /// Number of stored top-up patterns.
+    pub fn num_top_up(&self) -> usize {
+        self.top_up.len()
+    }
+
+    /// Top-up patterns not yet dispensed.
+    pub fn top_up_remaining(&self) -> usize {
+        self.top_up.len().saturating_sub(self.next_top_up)
+    }
+
+    /// Produces the chain-load bits for one full load, one `Vec<bool>` per
+    /// chain in domain-then-chain order matching `arch`.
+    ///
+    /// In `Random` mode this steps every domain's PRPG `shift_cycles`
+    /// times; bit `s` of a chain's vector is what enters at shift cycle
+    /// `s`. In `TopUp` mode the next stored pattern is dealt into chain
+    /// positions (and `None` is returned when the store is exhausted).
+    pub fn next_load(
+        &mut self,
+        arch: &mut StumpsArchitecture,
+        shift_cycles: usize,
+    ) -> Option<Vec<Vec<bool>>> {
+        match self.source {
+            PatternSource::Random => {
+                let mut per_chain: Vec<Vec<bool>> = Vec::new();
+                let mut chain_base = Vec::new();
+                for db in arch.domains() {
+                    chain_base.push(per_chain.len());
+                    for _ in 0..db.chains.len() {
+                        per_chain.push(Vec::with_capacity(shift_cycles));
+                    }
+                }
+                for _ in 0..shift_cycles {
+                    for (di, db) in arch.domains_mut().iter_mut().enumerate() {
+                        let bits = db.prpg.step_vector();
+                        for (ci, bit) in bits.into_iter().enumerate() {
+                            if ci < db.chains.len() {
+                                per_chain[chain_base[di] + ci].push(bit);
+                            }
+                        }
+                    }
+                }
+                Some(per_chain)
+            }
+            PatternSource::TopUp => {
+                if self.next_top_up >= self.top_up.len() {
+                    return None;
+                }
+                let pattern = &self.top_up[self.next_top_up];
+                self.next_top_up += 1;
+                // Deal the pattern's FF values into chain/shift positions:
+                // the bit destined for cell i of a chain must be inserted
+                // at shift cycle (shift_cycles - 1 - i) so that after the
+                // full load it rests in cell i.
+                let mut ff_cursor = 0usize;
+                let mut per_chain = Vec::new();
+                for db in arch.domains() {
+                    for chain in &db.chains {
+                        let mut bits = vec![false; shift_cycles];
+                        for (i, _cell) in chain.cells.iter().enumerate() {
+                            let v = pattern.ff_values.get(ff_cursor).copied().unwrap_or(false);
+                            ff_cursor += 1;
+                            if shift_cycles > i {
+                                bits[shift_cycles - 1 - i] = v;
+                            }
+                        }
+                        per_chain.push(bits);
+                    }
+                }
+                Some(per_chain)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::architecture::{StumpsArchitecture, StumpsConfig};
+    use lbist_cores::{CoreProfile, CpuCoreGenerator};
+    use lbist_dft::{prepare_core, PrepConfig, TpiMethod};
+
+    fn arch() -> StumpsArchitecture {
+        let nl = CpuCoreGenerator::new(CoreProfile::core_x().scaled(800), 3).generate();
+        let core = prepare_core(
+            &nl,
+            &PrepConfig { total_chains: 4, obs_budget: 0, tpi: TpiMethod::None, ..PrepConfig::default() },
+        );
+        StumpsArchitecture::build(&core, &StumpsConfig::default())
+    }
+
+    #[test]
+    fn random_mode_streams_bits() {
+        let mut a = arch();
+        let mut sel = InputSelector::new();
+        let load1 = sel.next_load(&mut a, 10).unwrap();
+        let load2 = sel.next_load(&mut a, 10).unwrap();
+        let total_chains: usize = a.domains().iter().map(|d| d.chains.len()).sum();
+        assert_eq!(load1.len(), total_chains);
+        assert!(load1.iter().all(|c| c.len() == 10));
+        assert_ne!(load1, load2, "the PRPG advances between loads");
+    }
+
+    #[test]
+    fn top_up_mode_dispenses_then_exhausts() {
+        let mut a = arch();
+        let total_ffs: usize =
+            a.domains().iter().flat_map(|d| &d.chains).map(|c| c.cells.len()).sum();
+        let mut sel = InputSelector::new();
+        sel.load_top_up(vec![lbist_atpg::Pattern {
+            pi_values: vec![],
+            ff_values: (0..total_ffs).map(|i| i % 2 == 0).collect(),
+        }]);
+        sel.select(PatternSource::TopUp);
+        assert_eq!(sel.top_up_remaining(), 1);
+        let shift = a.max_chain_length();
+        let load = sel.next_load(&mut a, shift).unwrap();
+        assert!(!load.is_empty());
+        assert_eq!(sel.top_up_remaining(), 0);
+        assert!(sel.next_load(&mut a, shift).is_none());
+    }
+
+    #[test]
+    fn top_up_bits_land_in_their_cells() {
+        let mut a = arch();
+        let total_ffs: usize =
+            a.domains().iter().flat_map(|d| &d.chains).map(|c| c.cells.len()).sum();
+        let want: Vec<bool> = (0..total_ffs).map(|i| i % 3 == 0).collect();
+        let mut sel = InputSelector::new();
+        sel.load_top_up(vec![lbist_atpg::Pattern { pi_values: vec![], ff_values: want.clone() }]);
+        sel.select(PatternSource::TopUp);
+        let shift = a.max_chain_length();
+        let load = sel.next_load(&mut a, shift).unwrap();
+        // Emulate the shift: cell i ends with the bit inserted at cycle
+        // shift-1-i.
+        let mut cursor = 0usize;
+        let mut chain_idx = 0usize;
+        for db in a.domains() {
+            for chain in &db.chains {
+                for (i, _) in chain.cells.iter().enumerate() {
+                    let inserted = load[chain_idx][shift - 1 - i];
+                    assert_eq!(inserted, want[cursor], "chain {chain_idx} cell {i}");
+                    cursor += 1;
+                }
+                chain_idx += 1;
+            }
+        }
+    }
+}

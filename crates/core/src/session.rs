@@ -1,0 +1,407 @@
+//! Cycle-faithful self-test sessions: the whole Fig. 1 datapath in motion.
+
+use crate::architecture::{StumpsArchitecture, StumpsConfig};
+use crate::controller::{BistController, ControllerConfig};
+use crate::selector::{InputSelector, PatternSource};
+use lbist_atpg::Pattern;
+use lbist_dft::BistReadyCore;
+use lbist_fault::Fault;
+use lbist_netlist::{DomainId, NodeId};
+use lbist_sim::CompiledCircuit;
+use lbist_tpg::Gf2Vec;
+
+/// Session parameters.
+#[derive(Clone, Debug)]
+pub struct SessionConfig {
+    /// Random patterns to apply.
+    pub num_patterns: usize,
+    /// Capture order of the domains (defaults to index order — the `d3`
+    /// stagger of Fig. 2).
+    pub capture_order: Option<Vec<DomainId>>,
+    /// A stem stuck-at fault to inject into the core (defect emulation).
+    pub injected_fault: Option<Fault>,
+    /// Record MISR snapshots every `n` patterns (fault-diagnosis support;
+    /// `0` disables).
+    pub snapshot_every: usize,
+    /// Deterministic top-up patterns appended after the random phase.
+    pub top_up: Vec<Pattern>,
+}
+
+impl Default for SessionConfig {
+    fn default() -> Self {
+        SessionConfig {
+            num_patterns: 64,
+            capture_order: None,
+            injected_fault: None,
+            snapshot_every: 0,
+            top_up: Vec::new(),
+        }
+    }
+}
+
+/// What a self-test run produced.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct SessionResult {
+    /// Final signature of each domain's MISR, in domain order.
+    pub signatures: Vec<Gf2Vec>,
+    /// Patterns applied (random + top-up).
+    pub patterns_applied: usize,
+    /// Total shift cycles spent.
+    pub shift_cycles: u64,
+    /// MISR snapshots (one vector of per-domain signatures per snapshot
+    /// point), empty unless requested.
+    pub snapshots: Vec<Vec<Gf2Vec>>,
+}
+
+impl SessionResult {
+    /// `true` when the signatures equal the golden reference — the
+    /// `Result` pin of Fig. 1.
+    pub fn matches(&self, golden: &SessionResult) -> bool {
+        self.signatures == golden.signatures
+    }
+}
+
+/// A self-test session over a BIST-ready core.
+///
+/// The session is cycle-faithful at the architecture level: every shift
+/// cycle moves one bit per chain (PRPG/phase-shifter/expander on the way
+/// in, compactor/MISR on the way out, responses unloading while the next
+/// pattern loads), and every capture window replays the paper's
+/// double-capture sequence domain by domain.
+///
+/// # Example
+///
+/// ```no_run
+/// use lbist_core::{SelfTestSession, SessionConfig, StumpsConfig};
+/// use lbist_cores::{CoreProfile, CpuCoreGenerator};
+/// use lbist_dft::{prepare_core, PrepConfig};
+///
+/// let nl = CpuCoreGenerator::new(CoreProfile::core_x().scaled(400), 1).generate();
+/// let core = prepare_core(&nl, &PrepConfig::default());
+/// let mut session = SelfTestSession::new(&core, &StumpsConfig::default());
+/// let golden = session.run(&SessionConfig { num_patterns: 32, ..Default::default() });
+/// let retest = session.run(&SessionConfig { num_patterns: 32, ..Default::default() });
+/// assert!(retest.matches(&golden));
+/// ```
+#[derive(Debug)]
+pub struct SelfTestSession<'a> {
+    core: &'a BistReadyCore,
+    cc: CompiledCircuit,
+    arch: StumpsArchitecture,
+}
+
+impl<'a> SelfTestSession<'a> {
+    /// Compiles the core and builds the STUMPS hardware.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the core's netlist fails to compile (combinational
+    /// cycle).
+    pub fn new(core: &'a BistReadyCore, config: &StumpsConfig) -> Self {
+        let cc = CompiledCircuit::compile(&core.netlist).expect("BIST-ready core compiles");
+        let arch = StumpsArchitecture::build(core, config);
+        SelfTestSession { core, cc, arch }
+    }
+
+    /// The architecture in use.
+    pub fn architecture(&self) -> &StumpsArchitecture {
+        &self.arch
+    }
+
+    /// The compiled circuit (shared with fault-simulation flows).
+    pub fn circuit(&self) -> &CompiledCircuit {
+        &self.cc
+    }
+
+    /// Runs one complete self-test. Deterministic: rerunning with the same
+    /// config reproduces the same signatures bit for bit.
+    pub fn run(&mut self, cfg: &SessionConfig) -> SessionResult {
+        self.arch.reset();
+        let mut selector = InputSelector::new();
+        selector.load_top_up(cfg.top_up.clone());
+
+        let shift_cycles = self.arch.max_chain_length().max(1);
+        let order: Vec<DomainId> = cfg
+            .capture_order
+            .clone()
+            .unwrap_or_else(|| {
+                (0..self.core.netlist.num_domains().max(1))
+                    .map(|d| DomainId::new(d as u16))
+                    .collect()
+            });
+        let mut controller = BistController::new(ControllerConfig {
+            shift_cycles,
+            num_patterns: cfg.num_patterns + cfg.top_up.len(),
+            num_domains: order.len(),
+        });
+        controller.start();
+
+        // Chain state: bool per cell, aligned with arch chain order.
+        let mut chain_state: Vec<Vec<bool>> = self
+            .arch
+            .domains()
+            .iter()
+            .flat_map(|d| d.chains.iter().map(|c| vec![false; c.cells.len()]))
+            .collect();
+
+        let mut frame = self.cc.new_frame();
+        // Pads held low, test-mode high for the whole session.
+        frame[self.core.test_mode().index()] = !0;
+
+        let mut snapshots = Vec::new();
+        let mut total_shifts = 0u64;
+        let mut patterns_applied = 0usize;
+        let total_patterns = cfg.num_patterns + cfg.top_up.len();
+
+        for p in 0..=total_patterns {
+            // Pattern source: random first, then top-up, then one flush
+            // load of zeros to push the last responses out.
+            let load_bits: Vec<Vec<bool>> = if p < cfg.num_patterns {
+                selector.select(PatternSource::Random);
+                selector.next_load(&mut self.arch, shift_cycles).expect("random never exhausts")
+            } else if p < total_patterns {
+                selector.select(PatternSource::TopUp);
+                selector.next_load(&mut self.arch, shift_cycles).expect("top-up store sized")
+            } else {
+                chain_state.iter().map(|_| vec![false; shift_cycles]).collect()
+            };
+
+            // ---- shift window: load new pattern, unload previous response.
+            for s in 0..shift_cycles {
+                let mut chain_idx = 0;
+                for db in self.arch.domains_mut() {
+                    let mut tails = Vec::with_capacity(db.chains.len());
+                    for c in 0..db.chains.len() {
+                        let state = &mut chain_state[chain_idx + c];
+                        let out = state.pop().unwrap_or(false);
+                        state.insert(0, load_bits[chain_idx + c][s]);
+                        tails.push(out);
+                    }
+                    let compacted = db.compactor.compact(&tails);
+                    db.misr.clock(&compacted);
+                    chain_idx += db.chains.len();
+                }
+                total_shifts += 1;
+                controller.step();
+            }
+            if p == total_patterns {
+                break; // flush only
+            }
+
+            // ---- capture window: double capture per domain in order.
+            self.write_state_to_frame(&chain_state, &mut frame);
+            self.eval(&mut frame, cfg.injected_fault.as_ref());
+            for &dom in &order {
+                for _pulse in 0..2 {
+                    self.capture_domain(dom, &mut frame);
+                    self.eval(&mut frame, cfg.injected_fault.as_ref());
+                    controller.step();
+                }
+            }
+            self.read_state_from_frame(&frame, &mut chain_state);
+            patterns_applied += 1;
+
+            if cfg.snapshot_every > 0 && patterns_applied % cfg.snapshot_every == 0 {
+                snapshots
+                    .push(self.arch.domains().iter().map(|d| d.misr.signature().clone()).collect());
+            }
+        }
+        // Compare tick.
+        controller.step();
+
+        SessionResult {
+            signatures: self.arch.domains().iter().map(|d| d.misr.signature().clone()).collect(),
+            patterns_applied,
+            shift_cycles: total_shifts,
+            snapshots,
+        }
+    }
+
+    /// Golden + test convenience: runs fault-free, then with `fault`
+    /// injected, and returns (golden, faulty, pass).
+    pub fn run_with_verdict(
+        &mut self,
+        cfg: &SessionConfig,
+        fault: Fault,
+    ) -> (SessionResult, SessionResult, bool) {
+        let golden = self.run(cfg);
+        let mut faulty_cfg = cfg.clone();
+        faulty_cfg.injected_fault = Some(fault);
+        let faulty = self.run(&faulty_cfg);
+        let pass = faulty.matches(&golden);
+        (golden, faulty, pass)
+    }
+
+    fn write_state_to_frame(&self, chain_state: &[Vec<bool>], frame: &mut [u64]) {
+        let mut chain_idx = 0;
+        for db in self.arch.domains() {
+            for chain in &db.chains {
+                for (i, &cell) in chain.cells.iter().enumerate() {
+                    frame[cell.index()] = if chain_state[chain_idx][i] { !0 } else { 0 };
+                }
+                chain_idx += 1;
+            }
+        }
+    }
+
+    fn read_state_from_frame(&self, frame: &[u64], chain_state: &mut [Vec<bool>]) {
+        let mut chain_idx = 0;
+        for db in self.arch.domains() {
+            for chain in &db.chains {
+                for (i, &cell) in chain.cells.iter().enumerate() {
+                    chain_state[chain_idx][i] = frame[cell.index()] & 1 == 1;
+                }
+                chain_idx += 1;
+            }
+        }
+    }
+
+    fn capture_domain(&self, dom: DomainId, frame: &mut [u64]) {
+        // Latch all D values first: edge-triggered capture is race-free.
+        let mut next: Vec<(NodeId, u64)> = Vec::new();
+        for (i, &ff) in self.cc.dffs().iter().enumerate() {
+            if self.cc.dff_domain(i) == dom {
+                let d = self.cc.fanins(ff)[0];
+                next.push((ff, frame[d.index()]));
+            }
+        }
+        for (ff, word) in next {
+            frame[ff.index()] = word;
+        }
+    }
+
+    fn eval(&self, frame: &mut [u64], fault: Option<&Fault>) {
+        match fault {
+            None => self.cc.eval2(frame),
+            Some(f) => {
+                assert!(
+                    f.is_stem() && f.kind.is_stuck_at(),
+                    "session injection supports stem stuck-at faults"
+                );
+                let forced = if f.kind.faulty_value() { !0u64 } else { 0 };
+                if self.cc.kind(f.node).is_frame_source() {
+                    frame[f.node.index()] = forced;
+                }
+                for &node in self.cc.schedule() {
+                    frame[node.index()] = self.cc.eval_node2(node, frame);
+                    if node == f.node {
+                        frame[node.index()] = forced;
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lbist_cores::{CoreProfile, CpuCoreGenerator};
+    use lbist_dft::{prepare_core, PrepConfig, TpiMethod};
+    use lbist_fault::FaultKind;
+
+    fn core() -> BistReadyCore {
+        let nl = CpuCoreGenerator::new(CoreProfile::core_x().scaled(400), 17).generate();
+        prepare_core(
+            &nl,
+            &PrepConfig { total_chains: 6, obs_budget: 4, tpi: TpiMethod::Cop, ..PrepConfig::default() },
+        )
+    }
+
+    #[test]
+    fn deterministic_signatures() {
+        let c = core();
+        let mut s = SelfTestSession::new(&c, &StumpsConfig::default());
+        let cfg = SessionConfig { num_patterns: 16, ..Default::default() };
+        let a = s.run(&cfg);
+        let b = s.run(&cfg);
+        assert_eq!(a, b);
+        assert_eq!(a.patterns_applied, 16);
+        assert!(a.shift_cycles > 0);
+    }
+
+    #[test]
+    fn different_pattern_counts_give_different_signatures() {
+        let c = core();
+        let mut s = SelfTestSession::new(&c, &StumpsConfig::default());
+        let a = s.run(&SessionConfig { num_patterns: 8, ..Default::default() });
+        let b = s.run(&SessionConfig { num_patterns: 16, ..Default::default() });
+        assert!(!a.matches(&b));
+    }
+
+    #[test]
+    fn injected_defect_flips_result() {
+        let c = core();
+        let mut s = SelfTestSession::new(&c, &StumpsConfig::default());
+        // Pick an internal gate with decent connectivity as the defect
+        // site: the D source of the first flip-flop.
+        let ff = c.netlist.dffs()[0];
+        let site = c.netlist.fanins(ff)[0];
+        let cfg = SessionConfig { num_patterns: 24, ..Default::default() };
+        let (_golden, _faulty, pass) =
+            s.run_with_verdict(&cfg, Fault::stem(site, FaultKind::StuckAt0));
+        // A stuck-at on a captured net must corrupt the signature (the
+        // chance of aliasing through >=19-bit MISRs is ~2^-19).
+        assert!(!pass, "defective core must fail signature comparison");
+    }
+
+    #[test]
+    fn fault_free_rerun_passes() {
+        let c = core();
+        let mut s = SelfTestSession::new(&c, &StumpsConfig::default());
+        let cfg = SessionConfig { num_patterns: 12, ..Default::default() };
+        let golden = s.run(&cfg);
+        let retest = s.run(&cfg);
+        assert!(retest.matches(&golden));
+    }
+
+    #[test]
+    fn snapshots_recorded_at_interval() {
+        let c = core();
+        let mut s = SelfTestSession::new(&c, &StumpsConfig::default());
+        let r = s.run(&SessionConfig {
+            num_patterns: 16,
+            snapshot_every: 4,
+            ..Default::default()
+        });
+        assert_eq!(r.snapshots.len(), 4);
+        for snap in &r.snapshots {
+            assert_eq!(snap.len(), s.architecture().domains().len());
+        }
+    }
+
+    #[test]
+    fn capture_order_changes_signatures_with_cross_domain_logic() {
+        let c = core();
+        let n_domains = c.netlist.num_domains();
+        if n_domains < 2 {
+            return;
+        }
+        let mut s = SelfTestSession::new(&c, &StumpsConfig::default());
+        let forward = s.run(&SessionConfig { num_patterns: 12, ..Default::default() });
+        let reversed: Vec<DomainId> =
+            (0..n_domains).rev().map(|d| DomainId::new(d as u16)).collect();
+        let backward = s.run(&SessionConfig {
+            num_patterns: 12,
+            capture_order: Some(reversed),
+            ..Default::default()
+        });
+        // Cross-domain paths make capture order observable.
+        assert!(!forward.matches(&backward));
+    }
+
+    #[test]
+    fn top_up_patterns_extend_the_session() {
+        let c = core();
+        let mut s = SelfTestSession::new(&c, &StumpsConfig::default());
+        let ffs = c.netlist.dffs().len();
+        let top_up = vec![lbist_atpg::Pattern {
+            pi_values: vec![],
+            ff_values: (0..ffs).map(|i| i % 2 == 0).collect(),
+        }];
+        let with = s.run(&SessionConfig { num_patterns: 8, top_up, ..Default::default() });
+        let without = s.run(&SessionConfig { num_patterns: 8, ..Default::default() });
+        assert_eq!(with.patterns_applied, 9);
+        assert!(!with.matches(&without));
+    }
+}

@@ -1,0 +1,476 @@
+//! IEEE 1149.1 TAP controller with LBIST instructions.
+//!
+//! The paper's controller exposes a "standard Boundary-Scan interface,
+//! which can be used for loading initial test data or for downloading
+//! internal states for fault diagnosis". This module provides the 16-state
+//! TAP FSM, a 4-bit instruction register and the LBIST data registers,
+//! decoupled from the BIST engine through the [`TapBackend`] trait.
+
+use std::fmt;
+
+/// The 16 TAP states of IEEE 1149.1.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+#[allow(missing_docs)]
+pub enum TapState {
+    TestLogicReset,
+    RunTestIdle,
+    SelectDrScan,
+    CaptureDr,
+    ShiftDr,
+    Exit1Dr,
+    PauseDr,
+    Exit2Dr,
+    UpdateDr,
+    SelectIrScan,
+    CaptureIr,
+    ShiftIr,
+    Exit1Ir,
+    PauseIr,
+    Exit2Ir,
+    UpdateIr,
+}
+
+impl TapState {
+    /// The IEEE 1149.1 state transition on a TCK rising edge with the
+    /// given TMS level.
+    pub fn next(self, tms: bool) -> TapState {
+        use TapState::*;
+        match (self, tms) {
+            (TestLogicReset, true) => TestLogicReset,
+            (TestLogicReset, false) => RunTestIdle,
+            (RunTestIdle, false) => RunTestIdle,
+            (RunTestIdle, true) => SelectDrScan,
+            (SelectDrScan, false) => CaptureDr,
+            (SelectDrScan, true) => SelectIrScan,
+            (CaptureDr, false) => ShiftDr,
+            (CaptureDr, true) => Exit1Dr,
+            (ShiftDr, false) => ShiftDr,
+            (ShiftDr, true) => Exit1Dr,
+            (Exit1Dr, false) => PauseDr,
+            (Exit1Dr, true) => UpdateDr,
+            (PauseDr, false) => PauseDr,
+            (PauseDr, true) => Exit2Dr,
+            (Exit2Dr, false) => ShiftDr,
+            (Exit2Dr, true) => UpdateDr,
+            (UpdateDr, false) => RunTestIdle,
+            (UpdateDr, true) => SelectDrScan,
+            (SelectIrScan, false) => CaptureIr,
+            (SelectIrScan, true) => TestLogicReset,
+            (CaptureIr, false) => ShiftIr,
+            (CaptureIr, true) => Exit1Ir,
+            (ShiftIr, false) => ShiftIr,
+            (ShiftIr, true) => Exit1Ir,
+            (Exit1Ir, false) => PauseIr,
+            (Exit1Ir, true) => UpdateIr,
+            (PauseIr, false) => PauseIr,
+            (PauseIr, true) => Exit2Ir,
+            (Exit2Ir, false) => ShiftIr,
+            (Exit2Ir, true) => UpdateIr,
+            (UpdateIr, false) => RunTestIdle,
+            (UpdateIr, true) => SelectDrScan,
+        }
+    }
+}
+
+/// The instruction set (4-bit IR).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum TapInstruction {
+    /// Device identification register.
+    Idcode,
+    /// Start logic BIST (UpdateDR of a 1-bit register pulses `Start`).
+    LbistStart,
+    /// Poll `Finish`/`Result` (2-bit capture).
+    LbistStatus,
+    /// Load PRPG seed material.
+    LbistSeed,
+    /// Read back the concatenated MISR signatures (diagnosis download).
+    LbistSignature,
+    /// Mandatory 1-bit bypass.
+    Bypass,
+}
+
+impl TapInstruction {
+    /// IR encoding.
+    pub fn opcode(self) -> u8 {
+        match self {
+            TapInstruction::Idcode => 0b0001,
+            TapInstruction::LbistStart => 0b1000,
+            TapInstruction::LbistStatus => 0b1001,
+            TapInstruction::LbistSeed => 0b1010,
+            TapInstruction::LbistSignature => 0b1011,
+            TapInstruction::Bypass => 0b1111,
+        }
+    }
+
+    /// Decodes an opcode (unknown codes select BYPASS, as the standard
+    /// requires).
+    pub fn decode(op: u8) -> TapInstruction {
+        match op & 0xF {
+            0b0001 => TapInstruction::Idcode,
+            0b1000 => TapInstruction::LbistStart,
+            0b1001 => TapInstruction::LbistStatus,
+            0b1010 => TapInstruction::LbistSeed,
+            0b1011 => TapInstruction::LbistSignature,
+            _ => TapInstruction::Bypass,
+        }
+    }
+}
+
+impl fmt::Display for TapInstruction {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{self:?}")
+    }
+}
+
+/// What the TAP talks to: the BIST engine side of the interface.
+pub trait TapBackend {
+    /// Pulse the `Start` pin.
+    fn start(&mut self);
+    /// `(finish, result)` levels.
+    fn status(&self) -> (bool, bool);
+    /// Accept PRPG seed bits (LSB-first as shifted).
+    fn load_seed(&mut self, bits: &[bool]);
+    /// The concatenated signature bits for download.
+    fn signature_bits(&self) -> Vec<bool>;
+    /// 32-bit IDCODE.
+    fn idcode(&self) -> u32 {
+        0x1B15_70C1
+    }
+}
+
+/// The TAP controller: drive it one TCK edge at a time with
+/// [`TapController::clock`].
+///
+/// # Example
+///
+/// ```
+/// use lbist_core::{TapController, TapState, TapBackend};
+///
+/// struct Nop;
+/// impl TapBackend for Nop {
+///     fn start(&mut self) {}
+///     fn status(&self) -> (bool, bool) { (false, false) }
+///     fn load_seed(&mut self, _bits: &[bool]) {}
+///     fn signature_bits(&self) -> Vec<bool> { vec![false; 8] }
+/// }
+///
+/// let mut tap = TapController::new(Nop);
+/// assert_eq!(tap.state(), TapState::TestLogicReset);
+/// tap.clock(false, false);
+/// assert_eq!(tap.state(), TapState::RunTestIdle);
+/// ```
+#[derive(Debug)]
+pub struct TapController<B: TapBackend> {
+    backend: B,
+    state: TapState,
+    ir: u8,
+    ir_shift: u8,
+    dr_shift: Vec<bool>,
+    seed_buffer: Vec<bool>,
+}
+
+impl<B: TapBackend> TapController<B> {
+    /// A TAP in Test-Logic-Reset with IDCODE selected.
+    pub fn new(backend: B) -> Self {
+        TapController {
+            backend,
+            state: TapState::TestLogicReset,
+            ir: TapInstruction::Idcode.opcode(),
+            ir_shift: 0,
+            dr_shift: Vec::new(),
+            seed_buffer: Vec::new(),
+        }
+    }
+
+    /// Current FSM state.
+    pub fn state(&self) -> TapState {
+        self.state
+    }
+
+    /// Currently effective instruction.
+    pub fn instruction(&self) -> TapInstruction {
+        TapInstruction::decode(self.ir)
+    }
+
+    /// Access to the backend.
+    pub fn backend(&self) -> &B {
+        &self.backend
+    }
+
+    /// Mutable access to the backend.
+    pub fn backend_mut(&mut self) -> &mut B {
+        &mut self.backend
+    }
+
+    /// One TCK rising edge with the given TMS/TDI; returns TDO.
+    ///
+    /// TDO carries the LSB of the selected shift register while in a
+    /// shift state (IEEE semantics: shift toward TDO, TDI enters at the
+    /// MSB end).
+    pub fn clock(&mut self, tms: bool, tdi: bool) -> bool {
+        use TapState::*;
+        let mut tdo = false;
+        // Output and shift happen in the CURRENT state.
+        match self.state {
+            ShiftIr => {
+                tdo = self.ir_shift & 1 == 1;
+                self.ir_shift = (self.ir_shift >> 1) | ((tdi as u8) << 3);
+            }
+            ShiftDr => {
+                if self.instruction() == TapInstruction::LbistSeed {
+                    // The seed register grows with the shift: seeds for
+                    // differently-sized PRPG banks ride the same DR path.
+                    self.seed_buffer.push(tdi);
+                } else {
+                    if self.dr_shift.is_empty() {
+                        self.dr_shift.push(false);
+                    }
+                    tdo = self.dr_shift[0];
+                    self.dr_shift.remove(0);
+                    self.dr_shift.push(tdi);
+                }
+            }
+            _ => {}
+        }
+        // Then the edge moves the FSM.
+        let next = self.state.next(tms);
+        match next {
+            TestLogicReset => {
+                self.ir = TapInstruction::Idcode.opcode();
+            }
+            CaptureIr => {
+                self.ir_shift = 0b0101; // standard 01 in the low bits
+            }
+            UpdateIr => {
+                self.ir = self.ir_shift & 0xF;
+            }
+            CaptureDr => {
+                self.dr_shift = match self.instruction() {
+                    TapInstruction::Idcode => {
+                        let id = self.backend.idcode();
+                        (0..32).map(|i| (id >> i) & 1 == 1).collect()
+                    }
+                    TapInstruction::Bypass => vec![false],
+                    TapInstruction::LbistStart => vec![false],
+                    TapInstruction::LbistStatus => {
+                        let (finish, result) = self.backend.status();
+                        vec![finish, result]
+                    }
+                    TapInstruction::LbistSeed => {
+                        self.seed_buffer.clear();
+                        Vec::new()
+                    }
+                    TapInstruction::LbistSignature => self.backend.signature_bits(),
+                };
+            }
+            UpdateDr => match self.instruction() {
+                TapInstruction::LbistStart => {
+                    if self.dr_shift.first().copied().unwrap_or(false) {
+                        self.backend.start();
+                    }
+                }
+                TapInstruction::LbistSeed => {
+                    let bits = self.seed_buffer.clone();
+                    self.backend.load_seed(&bits);
+                }
+                _ => {}
+            },
+            _ => {}
+        }
+        self.state = next;
+        tdo
+    }
+
+    /// Drives a TMS sequence (TDI low), returning the TDO trace.
+    pub fn pulse_tms(&mut self, tms_bits: &[bool]) -> Vec<bool> {
+        tms_bits.iter().map(|&tms| self.clock(tms, false)).collect()
+    }
+
+    /// High-level helper: loads an instruction through Shift-IR.
+    pub fn load_instruction(&mut self, inst: TapInstruction) {
+        // From anywhere: go to Test-Logic-Reset, then to Shift-IR.
+        self.pulse_tms(&[true; 5]);
+        self.pulse_tms(&[false, true, true, false, false]); // RTI, SelDR, SelIR, CapIR, ShIR
+        let op = inst.opcode();
+        for i in 0..4 {
+            let tdi = (op >> i) & 1 == 1;
+            let tms = i == 3; // exit on the last bit
+            self.clock(tms, tdi);
+        }
+        self.pulse_tms(&[true, false]); // UpdateIR -> RunTestIdle
+        debug_assert_eq!(self.state, TapState::RunTestIdle);
+    }
+
+    /// High-level helper: shifts `bits` through the selected DR, returning
+    /// what came out.
+    pub fn shift_dr(&mut self, bits: &[bool]) -> Vec<bool> {
+        self.pulse_tms(&[true, false, false]); // SelDR, CapDR, ShiftDR
+        let mut out = Vec::with_capacity(bits.len());
+        for (i, &b) in bits.iter().enumerate() {
+            let tms = i == bits.len() - 1;
+            out.push(self.clock(tms, b));
+        }
+        self.pulse_tms(&[true, false]); // UpdateDR -> RTI
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::cell::RefCell;
+    use std::rc::Rc;
+
+    #[derive(Default)]
+    struct SpyState {
+        started: usize,
+        seed: Vec<bool>,
+        finish: bool,
+        result: bool,
+    }
+
+    struct Spy(Rc<RefCell<SpyState>>);
+
+    impl TapBackend for Spy {
+        fn start(&mut self) {
+            self.0.borrow_mut().started += 1;
+        }
+        fn status(&self) -> (bool, bool) {
+            let s = self.0.borrow();
+            (s.finish, s.result)
+        }
+        fn load_seed(&mut self, bits: &[bool]) {
+            self.0.borrow_mut().seed = bits.to_vec();
+        }
+        fn signature_bits(&self) -> Vec<bool> {
+            vec![true, false, true, true]
+        }
+    }
+
+    fn tap() -> (TapController<Spy>, Rc<RefCell<SpyState>>) {
+        let state = Rc::new(RefCell::new(SpyState::default()));
+        (TapController::new(Spy(state.clone())), state)
+    }
+
+    #[test]
+    fn five_tms_ones_reset_from_anywhere() {
+        let (mut t, _) = tap();
+        t.pulse_tms(&[false, true, false, false]); // wander off
+        t.pulse_tms(&[true; 5]);
+        assert_eq!(t.state(), TapState::TestLogicReset);
+    }
+
+    #[test]
+    fn state_walk_matches_standard() {
+        let (mut t, _) = tap();
+        t.clock(false, false);
+        assert_eq!(t.state(), TapState::RunTestIdle);
+        t.clock(true, false);
+        assert_eq!(t.state(), TapState::SelectDrScan);
+        t.clock(false, false);
+        assert_eq!(t.state(), TapState::CaptureDr);
+        t.clock(false, false);
+        assert_eq!(t.state(), TapState::ShiftDr);
+        t.clock(true, false);
+        assert_eq!(t.state(), TapState::Exit1Dr);
+        t.clock(false, false);
+        assert_eq!(t.state(), TapState::PauseDr);
+        t.clock(true, false);
+        assert_eq!(t.state(), TapState::Exit2Dr);
+        t.clock(false, false);
+        assert_eq!(t.state(), TapState::ShiftDr);
+    }
+
+    #[test]
+    fn idcode_reads_back() {
+        let (mut t, _) = tap();
+        t.load_instruction(TapInstruction::Idcode);
+        let out = t.shift_dr(&vec![false; 32]);
+        let word = out.iter().enumerate().fold(0u32, |acc, (i, &b)| acc | ((b as u32) << i));
+        assert_eq!(word, 0x1B15_70C1);
+    }
+
+    #[test]
+    fn lbist_start_pulses_backend() {
+        let (mut t, s) = tap();
+        t.load_instruction(TapInstruction::LbistStart);
+        t.shift_dr(&[true]);
+        assert_eq!(s.borrow().started, 1);
+        // Shifting a 0 must NOT start.
+        t.shift_dr(&[false]);
+        assert_eq!(s.borrow().started, 1);
+    }
+
+    #[test]
+    fn status_capture_reflects_backend() {
+        let (mut t, s) = tap();
+        s.borrow_mut().finish = true;
+        s.borrow_mut().result = true;
+        t.load_instruction(TapInstruction::LbistStatus);
+        let out = t.shift_dr(&[false, false]);
+        assert_eq!(out, vec![true, true]);
+    }
+
+    #[test]
+    fn seed_loads_through_dr() {
+        let (mut t, s) = tap();
+        t.load_instruction(TapInstruction::LbistSeed);
+        let seed = vec![true, false, true, true, false];
+        t.shift_dr(&seed);
+        assert_eq!(s.borrow().seed, seed);
+    }
+
+    #[test]
+    fn signature_downloads() {
+        let (mut t, _) = tap();
+        t.load_instruction(TapInstruction::LbistSignature);
+        let out = t.shift_dr(&vec![false; 4]);
+        assert_eq!(out, vec![true, false, true, true]);
+    }
+
+    #[test]
+    fn unknown_opcode_decodes_to_bypass() {
+        assert_eq!(TapInstruction::decode(0b0111), TapInstruction::Bypass);
+        let (mut t, _) = tap();
+        t.load_instruction(TapInstruction::Bypass);
+        let out = t.shift_dr(&[true, false, true]);
+        // Bypass = 1-bit delay.
+        assert_eq!(out, vec![false, true, false]);
+    }
+
+    #[test]
+    fn every_state_has_defined_transitions() {
+        use TapState::*;
+        let all = [
+            TestLogicReset,
+            RunTestIdle,
+            SelectDrScan,
+            CaptureDr,
+            ShiftDr,
+            Exit1Dr,
+            PauseDr,
+            Exit2Dr,
+            UpdateDr,
+            SelectIrScan,
+            CaptureIr,
+            ShiftIr,
+            Exit1Ir,
+            PauseIr,
+            Exit2Ir,
+            UpdateIr,
+        ];
+        for s in all {
+            let _ = s.next(false);
+            let _ = s.next(true);
+        }
+        // Reset reachability: from every state, five TMS=1 edges land in
+        // Test-Logic-Reset.
+        for s in all {
+            let mut cur = s;
+            for _ in 0..5 {
+                cur = cur.next(true);
+            }
+            assert_eq!(cur, TestLogicReset, "from {s:?}");
+        }
+    }
+}

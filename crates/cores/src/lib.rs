@@ -1,0 +1,36 @@
+//! Circuit sources for the reproduction.
+//!
+//! The paper evaluates on two commercial CPU IP cores that cannot be
+//! redistributed (Table 1: Core X, 218.1K gates / 10.3K FFs / 2 clock
+//! domains @ 250 MHz; Core Y, 633.4K gates / 33.2K FFs / 8 domains @ 330
+//! MHz). What the experiments measure — random-pattern coverage growth,
+//! the value of fault-sim-guided observation points, top-up pattern
+//! counts, per-domain BIST integrity — depends on a core's *structural
+//! testability profile*, not its ISA. This crate synthesises cores with
+//! matching profiles:
+//!
+//! * [`CoreProfile`] — the Table 1 structural parameters, with
+//!   [`CoreProfile::core_x`]/[`CoreProfile::core_y`] presets and a
+//!   [`CoreProfile::scaled`] knob for laptop-scale runs.
+//! * [`CpuCoreGenerator`] — seeded, deterministic generation from CPU-ish
+//!   building blocks: ALU bit-slices with carry chains, instruction-style
+//!   AND-plane decoders, wide comparators (the classic random-pattern-
+//!   resistant structure), mux trees, XOR/parity cones and register
+//!   banks, spread over multiple clock domains with cross-domain paths
+//!   and a few X-sources.
+//! * [`RandomLogicGenerator`] — unstructured layered random logic, for
+//!   stress tests.
+//! * [`benchmarks`] — tiny public-domain circuits (c17, s27) embedded for
+//!   unit tests and examples.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod benchmarks;
+mod cpu;
+mod profile;
+mod randlogic;
+
+pub use cpu::CpuCoreGenerator;
+pub use profile::CoreProfile;
+pub use randlogic::RandomLogicGenerator;

@@ -1,0 +1,154 @@
+//! Structural profiles of the paper's evaluation cores.
+
+use std::fmt;
+
+/// The structural parameters of an IP core, as reported in the top rows of
+/// Table 1.
+///
+/// # Example
+///
+/// ```
+/// use lbist_cores::CoreProfile;
+/// let x = CoreProfile::core_x();
+/// assert_eq!(x.num_domains, 2);
+/// let small = x.scaled(10);
+/// assert_eq!(small.target_ffs, x.target_ffs / 10);
+/// ```
+#[derive(Clone, Debug, PartialEq)]
+pub struct CoreProfile {
+    /// Display name.
+    pub name: String,
+    /// Target logic gate count (the generator lands within a few percent).
+    pub target_gates: usize,
+    /// Target flip-flop count.
+    pub target_ffs: usize,
+    /// Number of clock domains.
+    pub num_domains: usize,
+    /// Functional frequency (MHz) of each domain (cycled if shorter than
+    /// `num_domains`).
+    pub freq_mhz: Vec<f64>,
+    /// Scan chain budget for DFT.
+    pub num_chains: usize,
+    /// Unknown-value sources to embed (memory models etc.).
+    pub num_xsources: usize,
+    /// Primary inputs.
+    pub num_pis: usize,
+    /// Primary outputs.
+    pub num_pos: usize,
+}
+
+impl CoreProfile {
+    /// Core X of Table 1: 218.1K gates, 10.3K FFs, 2 domains @ 250 MHz,
+    /// 100 chains.
+    pub fn core_x() -> Self {
+        CoreProfile {
+            name: "core-x".to_string(),
+            target_gates: 218_100,
+            target_ffs: 10_300,
+            num_domains: 2,
+            freq_mhz: vec![250.0, 250.0],
+            num_chains: 100,
+            num_xsources: 8,
+            num_pis: 128,
+            num_pos: 128,
+        }
+    }
+
+    /// Core Y of Table 1: 633.4K gates, 33.2K FFs, 8 domains @ 330 MHz,
+    /// 106 chains.
+    pub fn core_y() -> Self {
+        CoreProfile {
+            name: "core-y".to_string(),
+            target_gates: 633_400,
+            target_ffs: 33_200,
+            num_domains: 8,
+            freq_mhz: vec![330.0; 8],
+            num_chains: 106,
+            num_xsources: 24,
+            num_pis: 256,
+            num_pos: 256,
+        }
+    }
+
+    /// Shrinks gate/FF/chain counts by `divisor` (domains, frequencies and
+    /// IO stay put), renaming to `<name>@1/<divisor>`. Used for
+    /// laptop-scale experiment runs.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `divisor` is zero.
+    pub fn scaled(&self, divisor: usize) -> Self {
+        assert!(divisor > 0, "scale divisor must be nonzero");
+        if divisor == 1 {
+            return self.clone();
+        }
+        CoreProfile {
+            name: format!("{}@1/{}", self.name, divisor),
+            target_gates: (self.target_gates / divisor).max(200),
+            target_ffs: (self.target_ffs / divisor).max(8 * self.num_domains),
+            num_chains: (self.num_chains / divisor).max(self.num_domains).max(2),
+            num_xsources: (self.num_xsources / divisor).max(1),
+            num_pis: (self.num_pis / divisor).max(8),
+            num_pos: (self.num_pos / divisor).max(8),
+            ..self.clone()
+        }
+    }
+
+    /// Frequency of one domain (cycling the table if needed).
+    pub fn domain_freq_mhz(&self, domain: usize) -> f64 {
+        self.freq_mhz[domain % self.freq_mhz.len()]
+    }
+}
+
+impl fmt::Display for CoreProfile {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}: ~{}K gates, ~{} FFs, {} domains, {} chains",
+            self.name,
+            self.target_gates / 1000,
+            self.target_ffs,
+            self.num_domains,
+            self.num_chains
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table1_presets() {
+        let x = CoreProfile::core_x();
+        assert_eq!(x.target_gates, 218_100);
+        assert_eq!(x.target_ffs, 10_300);
+        assert_eq!(x.num_chains, 100);
+        let y = CoreProfile::core_y();
+        assert_eq!(y.num_domains, 8);
+        assert_eq!(y.domain_freq_mhz(5), 330.0);
+    }
+
+    #[test]
+    fn scaling_keeps_domains() {
+        let y = CoreProfile::core_y().scaled(10);
+        assert_eq!(y.num_domains, 8);
+        assert_eq!(y.target_ffs, 3_320);
+        assert!(y.num_chains >= y.num_domains);
+        assert!(y.name.contains("1/10"));
+    }
+
+    #[test]
+    fn scale_one_is_identity() {
+        let x = CoreProfile::core_x();
+        assert_eq!(x.scaled(1), x);
+    }
+
+    #[test]
+    fn extreme_scaling_clamps() {
+        let x = CoreProfile::core_x().scaled(1_000_000);
+        assert!(x.target_gates >= 200);
+        assert!(x.target_ffs >= 16);
+        assert!(x.num_chains >= 2);
+    }
+}

@@ -1,0 +1,109 @@
+//! Unstructured layered random logic.
+
+use lbist_netlist::{DomainId, GateKind, Netlist, NodeId};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// Generates layered random combinational/sequential logic with no CPU
+/// structure — a null-model counterpart to [`crate::CpuCoreGenerator`] for
+/// stress tests and generator-independent sanity checks.
+///
+/// # Example
+///
+/// ```
+/// use lbist_cores::RandomLogicGenerator;
+/// let nl = RandomLogicGenerator::new(500, 40, 2, 13).generate();
+/// assert!(nl.validate().is_ok());
+/// assert_eq!(nl.dffs().len(), 40);
+/// ```
+#[derive(Clone, Debug)]
+pub struct RandomLogicGenerator {
+    gates: usize,
+    ffs: usize,
+    domains: usize,
+    seed: u64,
+}
+
+impl RandomLogicGenerator {
+    /// Creates a generator for roughly `gates` gates, exactly `ffs`
+    /// flip-flops over `domains` clock domains.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `domains` is zero.
+    pub fn new(gates: usize, ffs: usize, domains: usize, seed: u64) -> Self {
+        assert!(domains > 0, "need at least one clock domain");
+        RandomLogicGenerator { gates, ffs, domains, seed }
+    }
+
+    /// Builds the netlist.
+    pub fn generate(&self) -> Netlist {
+        let mut nl = Netlist::new(format!("rand{}g{}f", self.gates, self.ffs));
+        let mut rng = SmallRng::seed_from_u64(self.seed);
+        let num_pis = (self.gates / 20).clamp(4, 64);
+        let mut pool: Vec<NodeId> =
+            (0..num_pis).map(|i| nl.add_input(&format!("pi{i}"))).collect();
+        let ffs: Vec<NodeId> = (0..self.ffs)
+            .map(|i| {
+                let ff = nl.add_dff_floating(DomainId::new((i % self.domains) as u16));
+                pool.push(ff);
+                ff
+            })
+            .collect();
+        for _ in 0..self.gates {
+            let kind = match rng.gen_range(0..8) {
+                0 | 1 => GateKind::And,
+                2 | 3 => GateKind::Or,
+                4 => GateKind::Nand,
+                5 => GateKind::Nor,
+                6 => GateKind::Xor,
+                _ => GateKind::Not,
+            };
+            let arity = if kind == GateKind::Not { 1 } else { rng.gen_range(2..=3) };
+            let fanins: Vec<NodeId> =
+                (0..arity).map(|_| pool[rng.gen_range(0..pool.len())]).collect();
+            let g = nl.add_gate(kind, &fanins);
+            pool.push(g);
+        }
+        for ff in ffs {
+            let mut src = pool[rng.gen_range(0..pool.len())];
+            if src == ff {
+                src = pool[0];
+            }
+            nl.set_fanin(ff, 0, src).expect("D pin");
+        }
+        let num_pos = (self.gates / 25).clamp(2, 64);
+        for i in 0..num_pos {
+            let src = pool[pool.len() - 1 - rng.gen_range(0..pool.len().min(64))];
+            nl.add_output(&format!("po{i}"), src);
+        }
+        nl
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn respects_requested_sizes() {
+        let nl = RandomLogicGenerator::new(300, 25, 3, 1).generate();
+        assert!(nl.validate().is_ok());
+        assert_eq!(nl.dffs().len(), 25);
+        assert_eq!(nl.num_domains(), 3);
+        assert!(nl.gate_count() >= 300);
+    }
+
+    #[test]
+    fn deterministic() {
+        let a = RandomLogicGenerator::new(100, 10, 1, 4).generate();
+        let b = RandomLogicGenerator::new(100, 10, 1, 4).generate();
+        assert_eq!(lbist_netlist::to_bench(&a), lbist_netlist::to_bench(&b));
+    }
+
+    #[test]
+    fn zero_gates_still_valid() {
+        let nl = RandomLogicGenerator::new(0, 4, 2, 9).generate();
+        assert!(nl.validate().is_ok());
+    }
+}

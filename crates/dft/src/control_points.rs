@@ -1,0 +1,185 @@
+//! Control-point insertion — the baseline the paper deliberately rejects.
+//!
+//! Earlier logic BIST flows inserted *control* points (AND/OR gates that
+//! force hard-to-control nets during test) as well as observation points.
+//! The paper's §1 problem 2 and §2.1: "Control points inserted for
+//! improving fault coverage add delay to functional paths, thus adversely
+//! affecting core performance... no control point is used in order to
+//! meet strict performance requirements for IP cores."
+//!
+//! This module implements that rejected baseline so the cost is
+//! *measurable*: each control point inserts a gate **into** the functional
+//! net (unlike observation points, which are pure taps), and
+//! [`ControlPointPlan::functional_delay_penalty`] reports the worst-case
+//! levels added to functional paths.
+
+use crate::cop::CopMeasures;
+use lbist_netlist::{Fanouts, GateKind, Levelization, Netlist, NodeId};
+
+/// Flavour of a control point.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ControlKind {
+    /// `OR(net, ctrl)` — forces the net toward 1 in test mode.
+    Or1,
+    /// `AND(net, NOT(ctrl))`-style zero-forcing (modelled as
+    /// `AND(net, ctrl_n)` with an active-low control input).
+    And0,
+}
+
+/// A selected control-point plan.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ControlPointPlan {
+    /// `(net, kind)` pairs, best first.
+    pub sites: Vec<(NodeId, ControlKind)>,
+}
+
+impl ControlPointPlan {
+    /// COP-guided selection: nets with the most skewed signal probability
+    /// get a control point of the correcting polarity (a net almost never
+    /// 1 gets `Or1`, almost never 0 gets `And0`).
+    pub fn cop_guided(netlist: &Netlist, budget: usize) -> Self {
+        let cop = CopMeasures::compute(netlist);
+        let mut scored: Vec<(f64, NodeId, ControlKind)> = netlist
+            .ids()
+            .filter(|&id| {
+                let k = netlist.kind(id);
+                k.is_logic() && k != GateKind::Dff
+            })
+            .map(|id| {
+                let c1 = cop.c1(id);
+                if c1 < 0.5 {
+                    (c1, id, ControlKind::Or1)
+                } else {
+                    (1.0 - c1, id, ControlKind::And0)
+                }
+            })
+            .collect();
+        // Most skewed first.
+        scored.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap().then(a.1.cmp(&b.1)));
+        ControlPointPlan {
+            sites: scored.into_iter().take(budget).map(|(_, n, k)| (n, k)).collect(),
+        }
+    }
+
+    /// Materialises the plan: splices one gate into each site's functional
+    /// net, driven by a shared `cp_enable` test input (created on demand).
+    /// Returns the inserted gates, parallel to `sites`.
+    ///
+    /// Unlike observation points this **changes functional paths** — the
+    /// inserted gate sits between the net and all of its readers.
+    pub fn insert(&self, netlist: &mut Netlist) -> Vec<NodeId> {
+        let enable =
+            netlist.find("cp_enable").unwrap_or_else(|| netlist.add_input("cp_enable"));
+        let enable_n = netlist.add_gate(GateKind::Not, &[enable]);
+        let mut gates = Vec::with_capacity(self.sites.len());
+        for &(site, kind) in &self.sites {
+            let gate = match kind {
+                ControlKind::Or1 => netlist.add_gate(GateKind::Or, &[site, enable]),
+                ControlKind::And0 => netlist.add_gate(GateKind::And, &[site, enable_n]),
+            };
+            netlist.rewire_readers(site, gate, &[gate]);
+            gates.push(gate);
+        }
+        gates
+    }
+
+    /// Worst-case logic levels a materialised plan adds to functional
+    /// paths of `netlist` (which must already contain the inserted gates):
+    /// compares the combinational depth against `baseline_depth`.
+    pub fn functional_delay_penalty(netlist: &Netlist, baseline_depth: u32) -> u32 {
+        let lv = Levelization::compute(netlist).expect("acyclic after insertion");
+        lv.max_level().saturating_sub(baseline_depth)
+    }
+
+    /// How many of the plan's sites lie on currently-critical paths
+    /// (within `slack_levels` of the maximum depth) — the paths whose
+    /// slowdown directly costs core frequency.
+    pub fn critical_path_hits(&self, netlist: &Netlist, slack_levels: u32) -> usize {
+        let lv = Levelization::compute(netlist).expect("acyclic");
+        let fo = Fanouts::compute(netlist);
+        let max = lv.max_level();
+        self.sites
+            .iter()
+            .filter(|(site, _)| {
+                // A site is critical if any reader chain reaches near-max
+                // depth; approximation: its own level + downstream slack.
+                lv.level(*site) + slack_levels >= max / 2 && fo.degree(*site) > 0
+            })
+            .count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lbist_netlist::NetlistStats;
+
+    fn skewed_circuit() -> (Netlist, NodeId) {
+        // A wide AND: its output is almost never 1 -> prime Or1 candidate.
+        let mut nl = Netlist::new("cp");
+        let ins: Vec<NodeId> = (0..10).map(|i| nl.add_input(&format!("i{i}"))).collect();
+        let rare = nl.add_gate(GateKind::And, &ins);
+        let out = nl.add_gate(GateKind::Xor, &[rare, ins[0]]);
+        nl.add_output("y", out);
+        (nl, rare)
+    }
+
+    #[test]
+    fn selects_the_most_skewed_net_with_correct_polarity() {
+        let (nl, rare) = skewed_circuit();
+        let plan = ControlPointPlan::cop_guided(&nl, 1);
+        assert_eq!(plan.sites.len(), 1);
+        assert_eq!(plan.sites[0].0, rare);
+        assert_eq!(plan.sites[0].1, ControlKind::Or1);
+    }
+
+    #[test]
+    fn insertion_changes_functional_paths() {
+        let (mut nl, rare) = skewed_circuit();
+        let baseline = NetlistStats::compute(&nl).depth;
+        let plan = ControlPointPlan::cop_guided(&nl, 1);
+        let gates = plan.insert(&mut nl);
+        assert!(nl.validate().is_ok());
+        // The reader of `rare` now reads the control gate instead.
+        let fo = Fanouts::compute(&nl);
+        let readers = fo.readers(rare);
+        assert_eq!(readers.len(), 1, "only the CP gate reads the original net now");
+        assert_eq!(readers[0], gates[0]);
+        // And the functional depth grew — the cost the paper refuses.
+        let penalty = ControlPointPlan::functional_delay_penalty(&nl, baseline);
+        assert!(penalty >= 1, "control points must add functional delay");
+    }
+
+    #[test]
+    fn control_forces_the_net_in_test_mode() {
+        use lbist_sim::CompiledCircuit;
+        let (mut nl, rare) = skewed_circuit();
+        let plan = ControlPointPlan::cop_guided(&nl, 1);
+        let gates = plan.insert(&mut nl);
+        let cc = CompiledCircuit::compile(&nl).unwrap();
+        let enable = nl.find("cp_enable").unwrap();
+        let mut frame = cc.new_frame();
+        frame[enable.index()] = !0; // test mode
+        cc.eval2(&mut frame);
+        assert_eq!(frame[gates[0].index()], !0, "Or1 forces 1 when enabled");
+        frame[enable.index()] = 0; // functional mode
+        cc.eval2(&mut frame);
+        assert_eq!(
+            frame[gates[0].index()],
+            frame[rare.index()],
+            "transparent when disabled"
+        );
+    }
+
+    #[test]
+    fn observation_points_add_no_functional_delay_by_contrast() {
+        let (mut nl, rare) = skewed_circuit();
+        let baseline = NetlistStats::compute(&nl).depth;
+        crate::insert_observation_points(&mut nl, &[rare]);
+        assert_eq!(
+            ControlPointPlan::functional_delay_penalty(&nl, baseline),
+            0,
+            "pure taps leave functional depth untouched — the paper's point"
+        );
+    }
+}

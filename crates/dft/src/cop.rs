@@ -1,0 +1,259 @@
+//! COP testability measures (controllability / observability program).
+//!
+//! The probability-based testability estimate of Brglez's COP: signal
+//! probabilities propagate forward (assuming independence), observabilities
+//! backward. Previous logic BIST schemes chose observation points from
+//! these *calculated* observabilities; the paper replaces that with
+//! fault-simulation-guided selection — COP is kept here as the baseline
+//! the A1 ablation compares against.
+
+use lbist_netlist::{Fanouts, GateKind, Levelization, Netlist, NodeId};
+
+/// COP testability measures for every node of a netlist.
+///
+/// # Example
+///
+/// ```
+/// use lbist_netlist::{Netlist, GateKind};
+/// use lbist_dft::CopMeasures;
+///
+/// let mut nl = Netlist::new("c");
+/// let a = nl.add_input("a");
+/// let b = nl.add_input("b");
+/// let g = nl.add_gate(GateKind::And, &[a, b]);
+/// nl.add_output("y", g);
+/// let cop = CopMeasures::compute(&nl);
+/// assert!((cop.c1(g) - 0.25).abs() < 1e-9); // P(a AND b = 1) = 1/4
+/// assert!((cop.observability(g) - 1.0).abs() < 1e-9); // drives a PO
+/// ```
+#[derive(Clone, Debug)]
+pub struct CopMeasures {
+    c1: Vec<f64>,
+    obs: Vec<f64>,
+}
+
+impl CopMeasures {
+    /// Computes COP measures. Inputs and flip-flop outputs are assumed
+    /// uniform random (probability 0.5 of being 1), which matches the
+    /// PRPG-driven test mode; X-sources count as 0 (they are zero-bounded
+    /// before BIST).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the netlist has a combinational cycle.
+    pub fn compute(netlist: &Netlist) -> Self {
+        let lv = Levelization::compute(netlist).expect("COP requires an acyclic netlist");
+        let fo = Fanouts::compute(netlist);
+        let n = netlist.len();
+        let mut c1 = vec![0.5f64; n];
+
+        for id in netlist.ids() {
+            match netlist.kind(id) {
+                GateKind::Const0 | GateKind::XSource => c1[id.index()] = 0.0,
+                GateKind::Const1 => c1[id.index()] = 1.0,
+                _ => {}
+            }
+        }
+        for &id in lv.order() {
+            let kind = netlist.kind(id);
+            if kind.is_frame_source() {
+                continue;
+            }
+            let fi = netlist.fanins(id);
+            let p = |x: NodeId| c1[x.index()];
+            c1[id.index()] = match kind {
+                GateKind::Buf | GateKind::Output => p(fi[0]),
+                GateKind::Not => 1.0 - p(fi[0]),
+                GateKind::And => fi.iter().map(|&f| p(f)).product(),
+                GateKind::Nand => 1.0 - fi.iter().map(|&f| p(f)).product::<f64>(),
+                GateKind::Or => 1.0 - fi.iter().map(|&f| 1.0 - p(f)).product::<f64>(),
+                GateKind::Nor => fi.iter().map(|&f| 1.0 - p(f)).product(),
+                GateKind::Xor => fi.iter().fold(0.0, |acc, &f| xor_prob(acc, p(f))),
+                GateKind::Xnor => 1.0 - fi.iter().fold(0.0, |acc, &f| xor_prob(acc, p(f))),
+                GateKind::Mux2 => {
+                    let s = p(fi[0]);
+                    (1.0 - s) * p(fi[1]) + s * p(fi[2])
+                }
+                GateKind::Const0 => 0.0,
+                GateKind::Const1 => 1.0,
+                GateKind::Input | GateKind::Dff | GateKind::XSource => unreachable!(),
+            };
+        }
+
+        // Backward observability. Capture points (PO markers, DFF D pins)
+        // observe with probability 1; a net's observability is the max over
+        // its readers of (reader observability × sensitization probability).
+        let mut obs = vec![0.0f64; n];
+        for &po in netlist.outputs() {
+            obs[po.index()] = 1.0;
+        }
+        let mut d_pins: Vec<bool> = vec![false; n];
+        for &ff in netlist.dffs() {
+            d_pins[netlist.fanins(ff)[0].index()] = true;
+        }
+        for &id in lv.order().iter().rev() {
+            if d_pins[id.index()] {
+                obs[id.index()] = 1.0;
+                continue;
+            }
+            let mut best: f64 = obs[id.index()]; // keeps PO markers at 1.0
+            for &reader in fo.readers(id) {
+                let rk = netlist.kind(reader);
+                if rk == GateKind::Dff {
+                    continue; // handled via d_pins
+                }
+                let ro = obs[reader.index()];
+                if ro == 0.0 {
+                    continue;
+                }
+                let fi = netlist.fanins(reader);
+                let sens = match rk {
+                    GateKind::Buf | GateKind::Not | GateKind::Output => 1.0,
+                    GateKind::Xor | GateKind::Xnor => 1.0,
+                    GateKind::And | GateKind::Nand => fi
+                        .iter()
+                        .filter(|&&f| f != id)
+                        .map(|&f| c1[f.index()])
+                        .product(),
+                    GateKind::Or | GateKind::Nor => fi
+                        .iter()
+                        .filter(|&&f| f != id)
+                        .map(|&f| 1.0 - c1[f.index()])
+                        .product(),
+                    GateKind::Mux2 => {
+                        let s = c1[fi[0].index()];
+                        if fi[0] == id {
+                            // Select line: observable when data inputs differ.
+                            let pa = c1[fi[1].index()];
+                            let pb = c1[fi[2].index()];
+                            pa * (1.0 - pb) + pb * (1.0 - pa)
+                        } else if fi[1] == id {
+                            1.0 - s
+                        } else {
+                            s
+                        }
+                    }
+                    _ => 0.0,
+                };
+                best = best.max(ro * sens);
+            }
+            obs[id.index()] = best;
+        }
+
+        CopMeasures { c1, obs }
+    }
+
+    /// Probability the node evaluates to 1 under random stimulus.
+    #[inline]
+    pub fn c1(&self, node: NodeId) -> f64 {
+        self.c1[node.index()]
+    }
+
+    /// Probability the node evaluates to 0.
+    #[inline]
+    pub fn c0(&self, node: NodeId) -> f64 {
+        1.0 - self.c1[node.index()]
+    }
+
+    /// Estimated probability a value change at the node is observed at a
+    /// capture point.
+    #[inline]
+    pub fn observability(&self, node: NodeId) -> f64 {
+        self.obs[node.index()]
+    }
+
+    /// COP estimate of the probability a random pattern detects the
+    /// stuck-at-0 (excite to 1 and observe) at this node.
+    pub fn detectability_sa0(&self, node: NodeId) -> f64 {
+        self.c1(node) * self.observability(node)
+    }
+
+    /// COP estimate for the stuck-at-1.
+    pub fn detectability_sa1(&self, node: NodeId) -> f64 {
+        self.c0(node) * self.observability(node)
+    }
+}
+
+fn xor_prob(a: f64, b: f64) -> f64 {
+    a * (1.0 - b) + b * (1.0 - a)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lbist_netlist::DomainId;
+
+    #[test]
+    fn wide_and_has_tiny_c1() {
+        let mut nl = Netlist::new("wide");
+        let ins: Vec<NodeId> = (0..8).map(|i| nl.add_input(&format!("i{i}"))).collect();
+        let g = nl.add_gate(GateKind::And, &ins);
+        nl.add_output("y", g);
+        let cop = CopMeasures::compute(&nl);
+        assert!((cop.c1(g) - (0.5f64).powi(8)).abs() < 1e-12);
+        // Each input is hard to observe: needs the 7 others at 1.
+        assert!((cop.observability(ins[0]) - (0.5f64).powi(7)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn xor_keeps_probability_half() {
+        let mut nl = Netlist::new("x");
+        let a = nl.add_input("a");
+        let b = nl.add_input("b");
+        let g = nl.add_gate(GateKind::Xor, &[a, b]);
+        nl.add_output("y", g);
+        let cop = CopMeasures::compute(&nl);
+        assert!((cop.c1(g) - 0.5).abs() < 1e-12);
+        assert!((cop.observability(a) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn d_pins_are_observation_points() {
+        let mut nl = Netlist::new("d");
+        let a = nl.add_input("a");
+        let g = nl.add_gate(GateKind::Not, &[a]);
+        let _ff = nl.add_dff(g, DomainId::new(0));
+        let cop = CopMeasures::compute(&nl);
+        assert!((cop.observability(g) - 1.0).abs() < 1e-12);
+        assert!((cop.observability(a) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn unobservable_dead_logic_scores_zero() {
+        let mut nl = Netlist::new("dead");
+        let a = nl.add_input("a");
+        let dead = nl.add_gate(GateKind::Not, &[a]);
+        let live = nl.add_gate(GateKind::Buf, &[a]);
+        nl.add_output("y", live);
+        let cop = CopMeasures::compute(&nl);
+        assert_eq!(cop.observability(dead), 0.0);
+        assert!((cop.observability(live) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn mux_select_observability() {
+        let mut nl = Netlist::new("m");
+        let s = nl.add_input("s");
+        let a = nl.add_input("a");
+        let b = nl.add_input("b");
+        let m = nl.add_gate(GateKind::Mux2, &[s, a, b]);
+        nl.add_output("y", m);
+        let cop = CopMeasures::compute(&nl);
+        // sel observable iff a != b: probability 1/2.
+        assert!((cop.observability(s) - 0.5).abs() < 1e-12);
+        assert!((cop.observability(a) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn detectability_combines_both_measures() {
+        let mut nl = Netlist::new("det");
+        let ins: Vec<NodeId> = (0..6).map(|i| nl.add_input(&format!("i{i}"))).collect();
+        let g = nl.add_gate(GateKind::And, &ins);
+        nl.add_output("y", g);
+        let cop = CopMeasures::compute(&nl);
+        // SA0 at g: need g=1 (2^-6) and it's a PO: detectability = 2^-6.
+        assert!((cop.detectability_sa0(g) - (0.5f64).powi(6)).abs() < 1e-12);
+        // SA1 at g: need g=0, easy.
+        assert!(cop.detectability_sa1(g) > 0.9);
+    }
+}

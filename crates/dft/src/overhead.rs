@@ -1,0 +1,162 @@
+//! Area overhead accounting (Table 1's "Overhead" row).
+
+use std::fmt;
+
+/// Gate-equivalent area added by the DFT/BIST transformations, relative to
+/// the original core.
+///
+/// The cost model is NAND2-normalised, in line with how 2005-era DFT
+/// papers quote "gate count": a scan mux costs ~2.25 GE per flop, a scan
+/// cell (flop + mux) ~7.75 GE, an LFSR/MISR stage ~8 GE (flop + XOR), and
+/// the controller a fixed small block. The paper reports 4.4% (Core X) and
+/// 3.2% (Core Y) for the full scheme including 1K test points.
+///
+/// # Example
+///
+/// ```
+/// use lbist_dft::DftOverhead;
+/// let mut o = DftOverhead::new(100_000.0);
+/// o.add_scan_muxes(1000);
+/// o.add_scan_cells(64);
+/// assert!(o.percent() > 0.0);
+/// ```
+#[derive(Clone, Debug, PartialEq)]
+pub struct DftOverhead {
+    core_ge: f64,
+    added_ge: f64,
+    items: Vec<(String, f64)>,
+}
+
+/// NAND2 gate-equivalents of one scan multiplexer.
+pub const SCAN_MUX_GE: f64 = 2.25;
+/// NAND2 gate-equivalents of one flip-flop.
+pub const DFF_GE: f64 = 5.5;
+/// NAND2 gate-equivalents of one 2-input XOR.
+pub const XOR_GE: f64 = 2.5;
+/// Fixed controller cost (FSM, counters, TAP hookup).
+pub const CONTROLLER_GE: f64 = 450.0;
+
+impl DftOverhead {
+    /// Starts accounting against a core of `core_ge` gate-equivalents.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `core_ge` is not positive.
+    pub fn new(core_ge: f64) -> Self {
+        assert!(core_ge > 0.0, "core area must be positive");
+        DftOverhead { core_ge, added_ge: 0.0, items: Vec::new() }
+    }
+
+    fn add(&mut self, label: &str, ge: f64) {
+        self.added_ge += ge;
+        self.items.push((label.to_string(), ge));
+    }
+
+    /// Scan muxes retrofitted onto existing functing flip-flops.
+    pub fn add_scan_muxes(&mut self, count: usize) {
+        self.add("scan muxes", count as f64 * SCAN_MUX_GE);
+    }
+
+    /// Whole new scan cells (IO wrappers, observation points): flop + mux.
+    pub fn add_scan_cells(&mut self, count: usize) {
+        self.add("scan cells", count as f64 * (DFF_GE + SCAN_MUX_GE));
+    }
+
+    /// X-bounding gates (one AND per X-source plus the shared inverter).
+    pub fn add_x_bounds(&mut self, count: usize) {
+        if count > 0 {
+            self.add("x-bounding", count as f64 * 1.25 + 0.5);
+        }
+    }
+
+    /// LFSR/MISR stages: flop + feedback/injection XOR.
+    pub fn add_register_stages(&mut self, count: usize) {
+        self.add("PRPG/MISR stages", count as f64 * (DFF_GE + XOR_GE));
+    }
+
+    /// Phase shifter / expander / compactor XOR gates.
+    pub fn add_xor_network(&mut self, gates: usize) {
+        self.add("XOR networks", gates as f64 * XOR_GE);
+    }
+
+    /// The BIST controller and clock gating block.
+    pub fn add_controller(&mut self) {
+        self.add("controller", CONTROLLER_GE);
+    }
+
+    /// Total added gate-equivalents.
+    pub fn added_ge(&self) -> f64 {
+        self.added_ge
+    }
+
+    /// Core area the overhead is measured against.
+    pub fn core_ge(&self) -> f64 {
+        self.core_ge
+    }
+
+    /// Overhead percentage — Table 1's row.
+    pub fn percent(&self) -> f64 {
+        self.added_ge / self.core_ge * 100.0
+    }
+
+    /// Labelled breakdown, in insertion order.
+    pub fn breakdown(&self) -> &[(String, f64)] {
+        &self.items
+    }
+}
+
+impl fmt::Display for DftOverhead {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "overhead {:.1} GE on {:.1} GE core = {:.2}%", self.added_ge, self.core_ge, self.percent())?;
+        for (label, ge) in &self.items {
+            writeln!(f, "  {label:<18} {ge:>10.1} GE")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn percent_is_ratio() {
+        let mut o = DftOverhead::new(10_000.0);
+        o.add_scan_muxes(100); // 225 GE
+        assert!((o.percent() - 2.25).abs() < 1e-9);
+    }
+
+    #[test]
+    fn breakdown_sums_to_total() {
+        let mut o = DftOverhead::new(50_000.0);
+        o.add_scan_muxes(500);
+        o.add_scan_cells(40);
+        o.add_x_bounds(3);
+        o.add_register_stages(38);
+        o.add_xor_network(120);
+        o.add_controller();
+        let sum: f64 = o.breakdown().iter().map(|(_, ge)| ge).sum();
+        assert!((sum - o.added_ge()).abs() < 1e-9);
+        assert!(o.percent() > 0.0);
+    }
+
+    #[test]
+    fn zero_x_sources_cost_nothing() {
+        let mut o = DftOverhead::new(1000.0);
+        o.add_x_bounds(0);
+        assert_eq!(o.added_ge(), 0.0);
+    }
+
+    #[test]
+    fn display_contains_percent() {
+        let mut o = DftOverhead::new(1000.0);
+        o.add_controller();
+        assert!(o.to_string().contains('%'));
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_core_rejected() {
+        DftOverhead::new(0.0);
+    }
+}

@@ -1,0 +1,235 @@
+//! Balanced per-domain scan chain stitching.
+
+use lbist_netlist::{DomainId, Netlist, NodeId};
+
+/// One scan chain: an ordered run of flip-flops in a single clock domain.
+///
+/// During shift, bit flow is `scan-in → cells[0] → cells[1] → ... →
+/// scan-out`; `cells.last()` is the flop whose state leaves the chain
+/// first.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ScanChain {
+    /// The clock domain every cell of this chain belongs to.
+    pub domain: DomainId,
+    /// Cells in scan order (scan-in side first).
+    pub cells: Vec<NodeId>,
+}
+
+impl ScanChain {
+    /// Chain length in cells.
+    pub fn len(&self) -> usize {
+        self.cells.len()
+    }
+
+    /// `true` for a chain with no cells.
+    pub fn is_empty(&self) -> bool {
+        self.cells.is_empty()
+    }
+}
+
+/// The stitched scan architecture of a core.
+///
+/// Chains never cross clock domains (the paper avoids inter-domain shift
+/// paths entirely — each domain gets its own PRPG–MISR pair instead, Fig.
+/// 1/3). The chain budget is split over domains proportionally to their
+/// flip-flop counts, every domain getting at least one chain, and cells
+/// are dealt round-robin so chain lengths within a domain differ by at
+/// most one.
+///
+/// # Example
+///
+/// ```
+/// use lbist_netlist::{Netlist, DomainId};
+/// use lbist_dft::ScanChains;
+///
+/// let mut nl = Netlist::new("s");
+/// let a = nl.add_input("a");
+/// let mut prev = a;
+/// for i in 0..10 {
+///     prev = nl.add_dff(prev, DomainId::new(i % 2));
+/// }
+/// let chains = ScanChains::stitch(&nl, 4);
+/// assert_eq!(chains.chains().len(), 4);
+/// assert_eq!(chains.total_cells(), 10);
+/// assert!(chains.max_chain_length() <= 3);
+/// ```
+#[derive(Clone, Debug)]
+pub struct ScanChains {
+    chains: Vec<ScanChain>,
+}
+
+impl ScanChains {
+    /// Stitches all flip-flops of `netlist` into at most `total_chains`
+    /// chains.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `total_chains` is zero, or smaller than the number of
+    /// clock domains (each domain needs its own chain).
+    pub fn stitch(netlist: &Netlist, total_chains: usize) -> Self {
+        assert!(total_chains > 0, "need at least one scan chain");
+        let num_domains = netlist.num_domains().max(1);
+        assert!(
+            total_chains >= num_domains,
+            "{total_chains} chains cannot cover {num_domains} domains (chains never cross domains)"
+        );
+        // Per-domain FF lists in creation order (deterministic).
+        let mut per_domain: Vec<Vec<NodeId>> = vec![Vec::new(); num_domains];
+        for &ff in netlist.dffs() {
+            let d = netlist.domain(ff).expect("DFFs carry domains");
+            per_domain[d.index()].push(ff);
+        }
+        let total_ffs: usize = per_domain.iter().map(Vec::len).sum();
+
+        // Proportional chain budget, >= 1 per non-empty domain (empty
+        // domains still get their mandatory chain so the architecture
+        // stays uniform).
+        let mut budget = vec![1usize; num_domains];
+        let mut remaining = total_chains - num_domains;
+        if total_ffs > 0 {
+            // Largest-remainder apportionment of the extra chains.
+            let mut shares: Vec<(usize, f64)> = per_domain
+                .iter()
+                .enumerate()
+                .map(|(d, ffs)| (d, ffs.len() as f64 / total_ffs as f64 * remaining as f64))
+                .collect();
+            for &(d, share) in &shares {
+                let whole = share.floor() as usize;
+                budget[d] += whole;
+                remaining -= whole;
+            }
+            shares.sort_by(|a, b| {
+                (b.1 - b.1.floor())
+                    .partial_cmp(&(a.1 - a.1.floor()))
+                    .unwrap()
+                    .then(a.0.cmp(&b.0))
+            });
+            for &(d, _) in shares.iter().take(remaining) {
+                budget[d] += 1;
+            }
+        }
+
+        let mut chains = Vec::with_capacity(total_chains);
+        for (d, ffs) in per_domain.iter().enumerate() {
+            let n_chains = budget[d].min(ffs.len()).max(1);
+            let mut domain_chains: Vec<ScanChain> = (0..n_chains)
+                .map(|_| ScanChain { domain: DomainId::new(d as u16), cells: Vec::new() })
+                .collect();
+            for (i, &ff) in ffs.iter().enumerate() {
+                domain_chains[i % n_chains].cells.push(ff);
+            }
+            chains.extend(domain_chains);
+        }
+        ScanChains { chains }
+    }
+
+    /// All chains, grouped by domain, in domain order.
+    pub fn chains(&self) -> &[ScanChain] {
+        &self.chains
+    }
+
+    /// Chains belonging to one domain.
+    pub fn chains_in_domain(&self, domain: DomainId) -> Vec<&ScanChain> {
+        self.chains.iter().filter(|c| c.domain == domain).collect()
+    }
+
+    /// Total number of chains.
+    pub fn num_chains(&self) -> usize {
+        self.chains.len()
+    }
+
+    /// The longest chain — Table 1's "Max. Chain Length" row, and the
+    /// number of shift cycles every load/unload costs.
+    pub fn max_chain_length(&self) -> usize {
+        self.chains.iter().map(ScanChain::len).max().unwrap_or(0)
+    }
+
+    /// Total stitched cells (== flip-flop count of the netlist).
+    pub fn total_cells(&self) -> usize {
+        self.chains.iter().map(ScanChain::len).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn netlist_with_ffs(counts: &[usize]) -> Netlist {
+        let mut nl = Netlist::new("ffs");
+        let a = nl.add_input("a");
+        for (d, &n) in counts.iter().enumerate() {
+            let mut prev = a;
+            for _ in 0..n {
+                prev = nl.add_dff(prev, DomainId::new(d as u16));
+            }
+        }
+        nl
+    }
+
+    #[test]
+    fn balanced_within_domain() {
+        let nl = netlist_with_ffs(&[10]);
+        let chains = ScanChains::stitch(&nl, 3);
+        let lens: Vec<usize> = chains.chains().iter().map(ScanChain::len).collect();
+        assert_eq!(lens.iter().sum::<usize>(), 10);
+        assert!(lens.iter().max().unwrap() - lens.iter().min().unwrap() <= 1);
+    }
+
+    #[test]
+    fn chains_never_cross_domains() {
+        let nl = netlist_with_ffs(&[7, 5, 3]);
+        let chains = ScanChains::stitch(&nl, 6);
+        for chain in chains.chains() {
+            for &cell in &chain.cells {
+                assert_eq!(nl.domain(cell), Some(chain.domain));
+            }
+        }
+    }
+
+    #[test]
+    fn budget_proportional_to_ff_counts() {
+        let nl = netlist_with_ffs(&[90, 10]);
+        let chains = ScanChains::stitch(&nl, 10);
+        let d0 = chains.chains_in_domain(DomainId::new(0)).len();
+        let d1 = chains.chains_in_domain(DomainId::new(1)).len();
+        assert_eq!(d0 + d1, 10);
+        assert!(d0 >= 8, "large domain got {d0} chains");
+        assert!(d1 >= 1);
+    }
+
+    #[test]
+    fn every_ff_stitched_exactly_once() {
+        let nl = netlist_with_ffs(&[13, 8]);
+        let chains = ScanChains::stitch(&nl, 5);
+        let mut seen = std::collections::HashSet::new();
+        for chain in chains.chains() {
+            for &cell in &chain.cells {
+                assert!(seen.insert(cell), "cell {cell} stitched twice");
+            }
+        }
+        assert_eq!(seen.len(), nl.dffs().len());
+    }
+
+    #[test]
+    fn max_chain_length_row() {
+        let nl = netlist_with_ffs(&[104, 4]);
+        // Mirroring Core X's shape: enough chains that max length ~ 11.
+        let chains = ScanChains::stitch(&nl, 11);
+        assert_eq!(chains.max_chain_length(), (104 + 9) / 10);
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot cover")]
+    fn too_few_chains_for_domains() {
+        let nl = netlist_with_ffs(&[1, 1, 1]);
+        ScanChains::stitch(&nl, 2);
+    }
+
+    #[test]
+    fn empty_design_yields_single_empty_chain() {
+        let nl = Netlist::new("empty");
+        let chains = ScanChains::stitch(&nl, 1);
+        assert_eq!(chains.num_chains(), 1);
+        assert_eq!(chains.max_chain_length(), 0);
+    }
+}

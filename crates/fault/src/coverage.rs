@@ -1,0 +1,116 @@
+//! Coverage accounting in the shape of Table 1's result rows.
+
+use crate::Fault;
+use std::fmt;
+
+/// A fault-coverage summary over a (collapsed) fault list.
+///
+/// # Example
+///
+/// ```
+/// use lbist_fault::{CoverageReport, Fault, FaultKind};
+/// use lbist_netlist::NodeId;
+/// let faults = vec![
+///     Fault::stem(NodeId::from_index(0), FaultKind::StuckAt0),
+///     Fault::stem(NodeId::from_index(0), FaultKind::StuckAt1),
+/// ];
+/// let report = CoverageReport::from_detections(&faults, &[3, 0], 64);
+/// assert_eq!(report.detected, 1);
+/// assert_eq!(report.fault_coverage(), 0.5);
+/// ```
+#[derive(Clone, Debug, PartialEq)]
+pub struct CoverageReport {
+    /// Faults graded (size of the collapsed list).
+    pub total: usize,
+    /// Faults detected at least once.
+    pub detected: usize,
+    /// Faults detected at least 5 times (an n-detect quality signal; logic
+    /// BIST gets this "naturally", as the paper's introduction notes).
+    pub detected_5x: usize,
+    /// Patterns applied so far.
+    pub patterns: u64,
+    /// Average detections per detected fault (capped by the drop budget
+    /// under which the simulation ran).
+    pub mean_detections: f64,
+}
+
+impl CoverageReport {
+    /// Builds a report from per-fault detection counts.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `faults` and `detections` lengths differ.
+    pub fn from_detections(faults: &[Fault], detections: &[u32], patterns: u64) -> Self {
+        assert_eq!(faults.len(), detections.len());
+        let detected = detections.iter().filter(|&&d| d > 0).count();
+        let detected_5x = detections.iter().filter(|&&d| d >= 5).count();
+        let sum: u64 = detections.iter().map(|&d| d as u64).sum();
+        CoverageReport {
+            total: faults.len(),
+            detected,
+            detected_5x,
+            patterns,
+            mean_detections: if detected == 0 { 0.0 } else { sum as f64 / detected as f64 },
+        }
+    }
+
+    /// Fault coverage as a fraction in `[0, 1]`.
+    pub fn fault_coverage(&self) -> f64 {
+        if self.total == 0 {
+            return 1.0;
+        }
+        self.detected as f64 / self.total as f64
+    }
+
+    /// Fault coverage as the percentage Table 1 prints (e.g. `93.82`).
+    pub fn percent(&self) -> f64 {
+        self.fault_coverage() * 100.0
+    }
+}
+
+impl fmt::Display for CoverageReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}/{} faults detected = {:.2}% ({} patterns)",
+            self.detected,
+            self.total,
+            self.percent(),
+            self.patterns
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::FaultKind;
+    use lbist_netlist::NodeId;
+
+    fn faults(n: usize) -> Vec<Fault> {
+        (0..n).map(|i| Fault::stem(NodeId::from_index(i), FaultKind::StuckAt0)).collect()
+    }
+
+    #[test]
+    fn empty_list_is_full_coverage() {
+        let r = CoverageReport::from_detections(&[], &[], 0);
+        assert_eq!(r.fault_coverage(), 1.0);
+    }
+
+    #[test]
+    fn percent_matches_fraction() {
+        let r = CoverageReport::from_detections(&faults(4), &[1, 0, 2, 9], 128);
+        assert_eq!(r.detected, 3);
+        assert!((r.percent() - 75.0).abs() < 1e-12);
+        assert_eq!(r.detected_5x, 1);
+        assert!((r.mean_detections - 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn display_mentions_the_numbers() {
+        let r = CoverageReport::from_detections(&faults(2), &[1, 0], 64);
+        let s = r.to_string();
+        assert!(s.contains("1/2"));
+        assert!(s.contains("50.00%"));
+    }
+}

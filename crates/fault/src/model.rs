@@ -1,0 +1,131 @@
+//! Fault kinds and sites.
+
+use lbist_netlist::NodeId;
+use std::fmt;
+
+/// The modelled defect at a fault site.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum FaultKind {
+    /// Net permanently at logic 0.
+    StuckAt0,
+    /// Net permanently at logic 1.
+    StuckAt1,
+    /// Rising transition arrives too late to be captured at speed.
+    SlowToRise,
+    /// Falling transition arrives too late to be captured at speed.
+    SlowToFall,
+}
+
+impl FaultKind {
+    /// `true` for the two stuck-at kinds.
+    pub fn is_stuck_at(self) -> bool {
+        matches!(self, FaultKind::StuckAt0 | FaultKind::StuckAt1)
+    }
+
+    /// `true` for the two transition-delay kinds.
+    pub fn is_transition(self) -> bool {
+        !self.is_stuck_at()
+    }
+
+    /// The logic value the faulty net is stuck at (for transition faults,
+    /// the value the net *holds* during the at-speed frame: a slow-to-rise
+    /// net stays 0).
+    pub fn faulty_value(self) -> bool {
+        matches!(self, FaultKind::StuckAt1 | FaultKind::SlowToFall)
+    }
+
+    /// Short test-engineering name.
+    pub fn code(self) -> &'static str {
+        match self {
+            FaultKind::StuckAt0 => "SA0",
+            FaultKind::StuckAt1 => "SA1",
+            FaultKind::SlowToRise => "STR",
+            FaultKind::SlowToFall => "STF",
+        }
+    }
+}
+
+impl fmt::Display for FaultKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.code())
+    }
+}
+
+/// A single fault: a [`FaultKind`] at a site.
+///
+/// The site is either a node's output **stem** (`pin == None`) or one of a
+/// gate's input **branches** (`pin == Some(i)`, affecting only what that
+/// gate reads on pin `i`).
+///
+/// # Example
+///
+/// ```
+/// use lbist_fault::{Fault, FaultKind};
+/// use lbist_netlist::NodeId;
+/// let stem = Fault::stem(NodeId::from_index(4), FaultKind::StuckAt0);
+/// let branch = Fault::branch(NodeId::from_index(7), 1, FaultKind::StuckAt1);
+/// assert!(stem.is_stem());
+/// assert_eq!(branch.to_string(), "n7.1/SA1");
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub struct Fault {
+    /// The node carrying the fault (for branch faults, the *reading* gate).
+    pub node: NodeId,
+    /// Input pin index for branch faults; `None` for output-stem faults.
+    pub pin: Option<u8>,
+    /// What is wrong at the site.
+    pub kind: FaultKind,
+}
+
+impl Fault {
+    /// A fault on a node's output stem.
+    pub fn stem(node: NodeId, kind: FaultKind) -> Self {
+        Fault { node, pin: None, kind }
+    }
+
+    /// A fault on input pin `pin` of gate `node`.
+    pub fn branch(node: NodeId, pin: u8, kind: FaultKind) -> Self {
+        Fault { node, pin: Some(pin), kind }
+    }
+
+    /// `true` for output-stem faults.
+    pub fn is_stem(&self) -> bool {
+        self.pin.is_none()
+    }
+}
+
+impl fmt::Display for Fault {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.pin {
+            None => write!(f, "{}/{}", self.node, self.kind),
+            Some(p) => write!(f, "{}.{}/{}", self.node, p, self.kind),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kind_predicates_partition() {
+        for k in [FaultKind::StuckAt0, FaultKind::StuckAt1, FaultKind::SlowToRise, FaultKind::SlowToFall] {
+            assert_ne!(k.is_stuck_at(), k.is_transition());
+        }
+    }
+
+    #[test]
+    fn faulty_values() {
+        assert!(!FaultKind::StuckAt0.faulty_value());
+        assert!(FaultKind::StuckAt1.faulty_value());
+        assert!(!FaultKind::SlowToRise.faulty_value()); // stays low
+        assert!(FaultKind::SlowToFall.faulty_value()); // stays high
+    }
+
+    #[test]
+    fn display_formats() {
+        let n = NodeId::from_index(12);
+        assert_eq!(Fault::stem(n, FaultKind::StuckAt0).to_string(), "n12/SA0");
+        assert_eq!(Fault::branch(n, 2, FaultKind::SlowToRise).to_string(), "n12.2/STR");
+    }
+}

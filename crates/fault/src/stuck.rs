@@ -1,0 +1,367 @@
+//! PPSFP stuck-at fault simulation.
+
+use crate::coverage::CoverageReport;
+use crate::propagate::{inject_stuck_at, Propagator};
+use crate::Fault;
+use lbist_netlist::{GateKind, NodeId};
+use lbist_sim::CompiledCircuit;
+
+/// Parallel-pattern single-fault-propagation simulator for stuck-at faults.
+///
+/// Each [`StuckAtSim::run_batch`] grades up to 64 patterns at once: the
+/// caller fills a value frame with source words (PIs + scan state), the
+/// simulator runs the fault-free evaluation, then every still-active fault
+/// is injected and propagated event-driven; a fault is *detected* in a
+/// pattern when its effect reaches an observed node. Detected faults are
+/// dropped once their n-detect budget is met.
+///
+/// Observation follows the paper's BIST-ready core: responses are whatever
+/// the scan capture sees — every flip-flop `D` source, every primary output
+/// marker, plus any observation test points the DFT step added.
+#[derive(Debug)]
+pub struct StuckAtSim<'a> {
+    cc: &'a CompiledCircuit,
+    faults: Vec<Fault>,
+    observed: Vec<bool>,
+    active: Vec<bool>,
+    detections: Vec<u32>,
+    drop_after: u32,
+    patterns_run: u64,
+    prop: Propagator,
+}
+
+impl<'a> StuckAtSim<'a> {
+    /// Creates a simulator over the given fault list (use
+    /// [`crate::FaultUniverse::representatives`] for collapsed grading) and
+    /// observed nodes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a fault is not a stuck-at kind.
+    pub fn new(cc: &'a CompiledCircuit, faults: Vec<Fault>, observed: Vec<NodeId>) -> Self {
+        assert!(
+            faults.iter().all(|f| f.kind.is_stuck_at()),
+            "StuckAtSim grades stuck-at faults only"
+        );
+        let mut obs = vec![false; cc.num_nodes()];
+        for o in observed {
+            obs[o.index()] = true;
+        }
+        let n = faults.len();
+        StuckAtSim {
+            prop: Propagator::new(cc),
+            cc,
+            faults,
+            observed: obs,
+            active: vec![true; n],
+            detections: vec![0; n],
+            drop_after: 1,
+            patterns_run: 0,
+        }
+    }
+
+    /// The standard full-scan observation set: every flip-flop's `D` source
+    /// (captured into the chain), every primary output marker (captured by
+    /// the PO scan cells the paper inserts), in deterministic order.
+    pub fn observe_all_captures(cc: &CompiledCircuit) -> Vec<NodeId> {
+        let mut obs = Vec::new();
+        for &ff in cc.dffs() {
+            obs.push(cc.fanins(ff)[0]);
+        }
+        obs.extend_from_slice(cc.outputs());
+        obs.sort_unstable();
+        obs.dedup();
+        obs
+    }
+
+    /// Sets the n-detect budget: faults are simulated until detected by
+    /// `n` patterns (default 1), then dropped.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0`.
+    pub fn set_drop_after(&mut self, n: u32) {
+        assert!(n > 0, "drop budget must be at least 1");
+        self.drop_after = n;
+    }
+
+    /// Adds observation points (e.g. inserted test points) after
+    /// construction.
+    pub fn add_observed(&mut self, nodes: &[NodeId]) {
+        for &n in nodes {
+            self.observed[n.index()] = true;
+        }
+    }
+
+    /// Grades one batch. The caller must have loaded the source words of
+    /// `frame` (inputs, flip-flop states, X-source substitutes);
+    /// `num_patterns` (1..=64) marks how many lanes carry real patterns.
+    /// On return `frame` holds the fault-free evaluation.
+    ///
+    /// Returns the number of faults newly dropped by this batch.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `num_patterns` is 0 or exceeds 64.
+    pub fn run_batch(&mut self, frame: &mut [u64], num_patterns: usize) -> usize {
+        assert!((1..=64).contains(&num_patterns), "a batch carries 1..=64 patterns");
+        let lane_mask: u64 = if num_patterns == 64 { !0 } else { (1u64 << num_patterns) - 1 };
+        self.cc.eval2(frame);
+        self.patterns_run += num_patterns as u64;
+        let mut newly_dropped = 0usize;
+        for idx in 0..self.faults.len() {
+            if !self.active[idx] {
+                continue;
+            }
+            let fault = self.faults[idx];
+            let mut detected: u64 = 0;
+            match inject_stuck_at(self.cc, &fault, frame) {
+                None => continue,
+                Some((site, word)) => {
+                    if self.cc.kind(site) == GateKind::Dff {
+                        // D-pin branch fault: the pin is captured directly.
+                        let src = self.cc.fanins(site)[0];
+                        detected = (word ^ frame[src.index()]) & lane_mask;
+                    } else {
+                        self.prop.begin();
+                        self.prop.set(site, word);
+                        if self.observed[site.index()] {
+                            detected |= (word ^ frame[site.index()]) & lane_mask;
+                        }
+                        self.prop.enqueue_fanouts(self.cc, site);
+                        let observed = &self.observed;
+                        let det = &mut detected;
+                        self.prop.run(self.cc, frame, None, |node, diff| {
+                            if observed[node.index()] {
+                                *det |= diff & lane_mask;
+                            }
+                        });
+                    }
+                }
+            }
+            if detected != 0 {
+                self.detections[idx] =
+                    self.detections[idx].saturating_add(detected.count_ones());
+                if self.detections[idx] >= self.drop_after {
+                    self.active[idx] = false;
+                    newly_dropped += 1;
+                }
+            }
+        }
+        newly_dropped
+    }
+
+    /// The faults being graded, in index order.
+    pub fn faults(&self) -> &[Fault] {
+        &self.faults
+    }
+
+    /// Per-fault detection counts (saturating at the drop budget).
+    pub fn detections(&self) -> &[u32] {
+        &self.detections
+    }
+
+    /// Faults not yet detected, in index order.
+    pub fn undetected(&self) -> Vec<Fault> {
+        self.faults
+            .iter()
+            .zip(&self.detections)
+            .filter(|&(_, &d)| d == 0)
+            .map(|(f, _)| *f)
+            .collect()
+    }
+
+    /// Indices of faults not yet detected.
+    pub fn undetected_indices(&self) -> Vec<usize> {
+        (0..self.faults.len()).filter(|&i| self.detections[i] == 0).collect()
+    }
+
+    /// Current coverage over the graded fault list.
+    pub fn coverage(&self) -> CoverageReport {
+        CoverageReport::from_detections(&self.faults, &self.detections, self.patterns_run)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{FaultKind, FaultUniverse};
+    use lbist_netlist::{DomainId, Netlist};
+
+    fn and_or() -> (Netlist, [NodeId; 3]) {
+        let mut nl = Netlist::new("ao");
+        let a = nl.add_input("a");
+        let b = nl.add_input("b");
+        let c = nl.add_input("c");
+        let g1 = nl.add_gate(GateKind::And, &[a, b]);
+        let g2 = nl.add_gate(GateKind::Or, &[g1, c]);
+        nl.add_output("y", g2);
+        (nl, [a, b, c])
+    }
+
+    /// Brute-force reference: a (stem) fault is detected by a pattern iff
+    /// the faulty circuit's observed outputs differ from the good
+    /// circuit's. Faulty evaluation walks the schedule topologically,
+    /// pinning the fault site after every step.
+    fn reference_detected(nl: &Netlist, fault: &Fault, assignments: &[(NodeId, bool)]) -> bool {
+        assert!(fault.is_stem(), "reference supports stem faults");
+        let cc = CompiledCircuit::compile(nl).unwrap();
+        let forced = if fault.kind.faulty_value() { !0u64 } else { 0 };
+        let eval = |faulty: bool| -> Vec<bool> {
+            let mut frame = cc.new_frame();
+            for &(n, v) in assignments {
+                frame[n.index()] = if v { !0 } else { 0 };
+            }
+            if faulty {
+                frame[fault.node.index()] = forced;
+            }
+            for &node in cc.schedule() {
+                frame[node.index()] = cc.eval_node2(node, &frame);
+                if faulty && node == fault.node {
+                    frame[node.index()] = forced;
+                }
+            }
+            cc.outputs().iter().map(|&o| frame[o.index()] & 1 == 1).collect()
+        };
+        eval(false) != eval(true)
+    }
+
+    #[test]
+    fn matches_brute_force_on_small_circuit() {
+        let (nl, ins) = and_or();
+        let cc = CompiledCircuit::compile(&nl).unwrap();
+        // Grade every stem fault against every input pattern, one per lane.
+        let stems: Vec<Fault> = nl
+            .ids()
+            .filter(|&n| nl.kind(n).is_logic() || nl.kind(n) == GateKind::Input)
+            .flat_map(|n| [Fault::stem(n, FaultKind::StuckAt0), Fault::stem(n, FaultKind::StuckAt1)])
+            .collect();
+        let mut sim = StuckAtSim::new(&cc, stems.clone(), StuckAtSim::observe_all_captures(&cc));
+        sim.set_drop_after(u32::MAX); // never drop: count every detection
+
+        let mut frame = cc.new_frame();
+        for p in 0..8u64 {
+            for (bit, &input) in ins.iter().enumerate() {
+                if (p >> bit) & 1 == 1 {
+                    frame[input.index()] |= 1 << p;
+                }
+            }
+        }
+        sim.run_batch(&mut frame, 8);
+
+        for (idx, fault) in stems.iter().enumerate() {
+            let mut expect = 0u32;
+            for p in 0..8u64 {
+                let assignments: Vec<(NodeId, bool)> =
+                    ins.iter().enumerate().map(|(bit, &i)| (i, (p >> bit) & 1 == 1)).collect();
+                if reference_detected(&nl, fault, &assignments) {
+                    expect += 1;
+                }
+            }
+            assert_eq!(sim.detections()[idx], expect, "fault {fault}");
+        }
+    }
+
+    #[test]
+    fn exhaustive_patterns_detect_all_collapsed_faults() {
+        let (nl, ins) = and_or();
+        let cc = CompiledCircuit::compile(&nl).unwrap();
+        let universe = FaultUniverse::stuck_at(&nl);
+        let mut sim =
+            StuckAtSim::new(&cc, universe.representatives(), StuckAtSim::observe_all_captures(&cc));
+        let mut frame = cc.new_frame();
+        for p in 0..8u64 {
+            for (bit, &input) in ins.iter().enumerate() {
+                if (p >> bit) & 1 == 1 {
+                    frame[input.index()] |= 1 << p;
+                }
+            }
+        }
+        sim.run_batch(&mut frame, 8);
+        let cov = sim.coverage();
+        assert_eq!(cov.detected, cov.total, "all faults detectable: {:?}", sim.undetected());
+        assert!((cov.fault_coverage() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn lane_mask_ignores_unused_lanes() {
+        let (nl, ins) = and_or();
+        let cc = CompiledCircuit::compile(&nl).unwrap();
+        let universe = FaultUniverse::stuck_at(&nl);
+        let mut sim =
+            StuckAtSim::new(&cc, universe.representatives(), StuckAtSim::observe_all_captures(&cc));
+        let mut frame = cc.new_frame();
+        // Only lane 0 is "real" (all zeros); lanes 1..63 contain garbage
+        // that would detect faults if counted.
+        for &i in &ins {
+            frame[i.index()] = !0 & !1;
+        }
+        sim.run_batch(&mut frame, 1);
+        // With a=b=c=0, only a handful of faults are detectable (those whose
+        // effect makes y=1): g2/SA1, c/SA1, g1/SA1-class...
+        let detected = sim.detections().iter().filter(|&&d| d > 0).count();
+        assert!(detected > 0);
+        assert!(detected < sim.faults().len() / 2, "garbage lanes leaked into grading");
+    }
+
+    #[test]
+    fn dropped_faults_are_skipped() {
+        let (nl, ins) = and_or();
+        let cc = CompiledCircuit::compile(&nl).unwrap();
+        let universe = FaultUniverse::stuck_at(&nl);
+        let mut sim =
+            StuckAtSim::new(&cc, universe.representatives(), StuckAtSim::observe_all_captures(&cc));
+        let mut frame = cc.new_frame();
+        for (bit, &input) in ins.iter().enumerate() {
+            frame[input.index()] = if bit == 0 { !0 } else { 0 };
+        }
+        let dropped_first = sim.run_batch(&mut frame, 64);
+        let mut frame2 = frame.clone();
+        let dropped_second = sim.run_batch(&mut frame2, 64);
+        assert!(dropped_first > 0);
+        assert_eq!(dropped_second, 0, "same patterns cannot drop new faults");
+    }
+
+    #[test]
+    fn dff_d_pin_branch_fault_detected_when_excited() {
+        let mut nl = Netlist::new("d");
+        let a = nl.add_input("a");
+        let ff = nl.add_dff(a, DomainId::new(0));
+        nl.add_output("q", ff);
+        let cc = CompiledCircuit::compile(&nl).unwrap();
+        let fault = Fault::branch(ff, 0, FaultKind::StuckAt0);
+        let mut sim = StuckAtSim::new(&cc, vec![fault], StuckAtSim::observe_all_captures(&cc));
+        let mut frame = cc.new_frame();
+        frame[a.index()] = 0b1; // excites SA0 in lane 0
+        sim.run_batch(&mut frame, 1);
+        assert_eq!(sim.detections()[0], 1);
+    }
+
+    #[test]
+    fn observation_points_increase_coverage() {
+        // XOR cone where one branch is masked from the PO by an AND with 0.
+        let mut nl = Netlist::new("obs");
+        let a = nl.add_input("a");
+        let zero = nl.add_input("tie"); // held 0 in patterns below
+        let hidden = nl.add_gate(GateKind::Not, &[a]);
+        let masked = nl.add_gate(GateKind::And, &[hidden, zero]);
+        nl.add_output("y", masked);
+        let cc = CompiledCircuit::compile(&nl).unwrap();
+        let faults = vec![Fault::stem(hidden, FaultKind::StuckAt0)];
+
+        let run = |observe_hidden: bool| {
+            let mut obs = StuckAtSim::observe_all_captures(&cc);
+            if observe_hidden {
+                obs.push(hidden);
+            }
+            let mut sim = StuckAtSim::new(&cc, faults.clone(), obs);
+            let mut frame = cc.new_frame();
+            frame[a.index()] = 0; // hidden = 1, SA0 excited
+            frame[zero.index()] = 0; // masks the PO path
+            sim.run_batch(&mut frame, 4);
+            sim.detections()[0]
+        };
+        assert_eq!(run(false), 0, "masked fault invisible at PO");
+        assert!(run(true) > 0, "observation point reveals it");
+    }
+}

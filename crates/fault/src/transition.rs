@@ -1,0 +1,471 @@
+//! Launch-on-capture transition-fault simulation across the paper's
+//! double-capture window.
+//!
+//! The capture window (Fig. 2) issues, for each clock domain in `d3`-spaced
+//! sequence, a pair of pulses `d2`/`d4` apart — the functional period. The
+//! first pulse *launches* transitions (flip-flop outputs change from the
+//! scanned-in state to captured functional data); the second pulse
+//! *captures* the response one functional period later. A transition fault
+//! is detected when the launched transition at its site fails to settle in
+//! time and the resulting wrong value is captured into some flip-flop that
+//! the unload then observes.
+//!
+//! The simulator models the whole window frame by frame:
+//!
+//! ```text
+//! F0 (scan state) --C1(dom0)--> F1 --C2(dom0)--> F2 --C1(dom1)--> F3 ...
+//! ```
+//!
+//! Odd frames (between a domain's two pulses) last one functional period —
+//! only there can a slow transition be "caught". Even frames are the long
+//! `d3`/`d5` intervals, where every transition has time to settle; fault
+//! effects cross them only as wrong *values* already captured into
+//! flip-flops, which the simulator carries in a per-fault state overlay.
+
+use crate::propagate::Propagator;
+use crate::{CoverageReport, Fault};
+use lbist_netlist::{DomainId, GateKind, NodeId};
+use lbist_sim::CompiledCircuit;
+use std::collections::HashMap;
+
+/// The capture-window schedule: which domains pulse, in which order.
+///
+/// Each listed domain receives two pulses; the `d3` gap orders domains so
+/// inter-domain skew cannot corrupt capture (the paper sets `d3` larger
+/// than the worst-case skew — the timing side of that argument lives in
+/// `lbist-clock`).
+///
+/// # Example
+///
+/// ```
+/// use lbist_fault::CaptureWindow;
+/// use lbist_netlist::DomainId;
+/// let w = CaptureWindow::all_domains(3);
+/// assert_eq!(w.order().len(), 3);
+/// assert_eq!(w.num_frames(), 7); // F0 + 2 per domain
+/// let custom = CaptureWindow::new(vec![DomainId::new(1), DomainId::new(0)]);
+/// assert_eq!(custom.order()[0], DomainId::new(1));
+/// ```
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct CaptureWindow {
+    order: Vec<DomainId>,
+}
+
+impl CaptureWindow {
+    /// A window pulsing the given domains in the given order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `order` is empty or repeats a domain.
+    pub fn new(order: Vec<DomainId>) -> Self {
+        assert!(!order.is_empty(), "a capture window pulses at least one domain");
+        let mut seen = std::collections::HashSet::new();
+        for d in &order {
+            assert!(seen.insert(*d), "domain {d} pulsed twice in one window");
+        }
+        CaptureWindow { order }
+    }
+
+    /// Domains `0..n` in index order.
+    pub fn all_domains(n: usize) -> Self {
+        CaptureWindow::new((0..n).map(|i| DomainId::new(i as u16)).collect())
+    }
+
+    /// The pulse order.
+    pub fn order(&self) -> &[DomainId] {
+        &self.order
+    }
+
+    /// Number of evaluation frames the window spans (`1 + 2·domains`).
+    pub fn num_frames(&self) -> usize {
+        1 + 2 * self.order.len()
+    }
+
+    /// The domain captured between frame `f` and `f + 1`, if any.
+    fn capturing_domain(&self, frame: usize) -> Option<DomainId> {
+        // Captures happen after F0..F(2n-1): domain k pulses at boundaries
+        // 2k (its launch C1) and 2k+1 (its capture C2).
+        if frame >= 2 * self.order.len() {
+            None
+        } else {
+            Some(self.order[frame / 2])
+        }
+    }
+
+    /// `true` when the frame (by index) is an at-speed frame — between a
+    /// domain's launch and capture pulses.
+    pub fn is_at_speed_frame(&self, frame: usize) -> bool {
+        frame > 0 && frame % 2 == 1 && frame < self.num_frames()
+    }
+}
+
+/// Launch-on-capture transition-fault simulator.
+///
+/// Grades 64 scan patterns per [`TransitionSim::run_batch`]: the caller
+/// loads the scan state (flip-flop words) and primary-input words of the
+/// base frame; the simulator replays the whole double-capture window for
+/// the fault-free circuit and then for every active fault, and compares
+/// final flip-flop states — exactly what the unload-into-MISR observes.
+#[derive(Debug)]
+pub struct TransitionSim<'a> {
+    cc: &'a CompiledCircuit,
+    window: CaptureWindow,
+    faults: Vec<Fault>,
+    active: Vec<bool>,
+    detections: Vec<u32>,
+    drop_after: u32,
+    patterns_run: u64,
+    prop: Propagator,
+    /// Fault-free value frames, one per window frame (reused per batch).
+    good_frames: Vec<Vec<u64>>,
+}
+
+impl<'a> TransitionSim<'a> {
+    /// Creates a simulator for `faults` (transition kinds only) under the
+    /// given capture window.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any fault is not a transition kind, or any fault is a
+    /// branch fault (transition grading here is stem-based, the standard
+    /// model granularity).
+    pub fn new(cc: &'a CompiledCircuit, faults: Vec<Fault>, window: CaptureWindow) -> Self {
+        assert!(
+            faults.iter().all(|f| f.kind.is_transition() && f.is_stem()),
+            "TransitionSim grades stem transition faults"
+        );
+        let n = faults.len();
+        TransitionSim {
+            prop: Propagator::new(cc),
+            good_frames: vec![cc.new_frame(); window.num_frames()],
+            cc,
+            window,
+            faults,
+            active: vec![true; n],
+            detections: vec![0; n],
+            drop_after: 1,
+            patterns_run: 0,
+        }
+    }
+
+    /// Sets the n-detect drop budget (default 1).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0`.
+    pub fn set_drop_after(&mut self, n: u32) {
+        assert!(n > 0);
+        self.drop_after = n;
+    }
+
+    /// Grades one batch of up to 64 scan patterns. `base` must carry the
+    /// scan state in its flip-flop words and the held PI values; it is
+    /// consumed as frame F0.
+    ///
+    /// Returns the number of newly dropped faults.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `num_patterns` is outside `1..=64`.
+    pub fn run_batch(&mut self, base: &[u64], num_patterns: usize) -> usize {
+        assert!((1..=64).contains(&num_patterns));
+        let lane_mask: u64 = if num_patterns == 64 { !0 } else { (1u64 << num_patterns) - 1 };
+        self.compute_good_frames(base);
+        self.patterns_run += num_patterns as u64;
+
+        let nframes = self.window.num_frames();
+        let mut newly_dropped = 0;
+        for idx in 0..self.faults.len() {
+            if !self.active[idx] {
+                continue;
+            }
+            let fault = self.faults[idx];
+            let site = fault.node;
+            // Per-fault overlay of flip-flop states (faulty words).
+            let mut ff_overlay: HashMap<NodeId, u64> = HashMap::new();
+            let mut any_effect = false;
+
+            for frame in 0..nframes {
+                let at_speed = self.window.is_at_speed_frame(frame);
+                // Injection: in an at-speed frame the site holds its
+                // previous-frame value wherever the launch created the
+                // fault's slow transition.
+                let act = if at_speed {
+                    let prev = self.good_frames[frame - 1][site.index()];
+                    let cur = self.good_frames[frame][site.index()];
+                    let rising = !prev & cur;
+                    let falling = prev & !cur;
+                    (match fault.kind {
+                        crate::FaultKind::SlowToRise => rising,
+                        crate::FaultKind::SlowToFall => falling,
+                        _ => unreachable!(),
+                    }) & lane_mask
+                } else {
+                    0
+                };
+
+                let mut dirty_seed: Vec<(NodeId, u64)> = Vec::new();
+                for (&ff, &word) in &ff_overlay {
+                    let good = self.good_frames[frame][ff.index()];
+                    if word != good {
+                        dirty_seed.push((ff, word));
+                    }
+                }
+                if act == 0 && dirty_seed.is_empty() {
+                    continue; // nothing differs in this frame
+                }
+                any_effect = true;
+
+                self.prop.begin();
+                for (ff, word) in dirty_seed {
+                    self.prop.set(ff, word);
+                    self.prop.enqueue_fanouts(self.cc, ff);
+                }
+                if act != 0 && self.cc.kind(site) != GateKind::Dff {
+                    // The site's faulty value: good with the launched
+                    // transition undone on activated lanes.
+                    let cur = self.prop.value(site, &self.good_frames[frame]);
+                    // Note: if the site is also downstream of a dirty FF the
+                    // propagation below may recompute it; injecting before
+                    // running keeps level order intact because the site's
+                    // level precedes its fanouts.
+                    self.prop.set(site, cur ^ act);
+                    self.prop.enqueue_fanouts(self.cc, site);
+                } else if act != 0 {
+                    // Site is a flip-flop output: flip its frame value.
+                    let cur = self.prop.value(site, &self.good_frames[frame]);
+                    self.prop.set(site, cur ^ act);
+                    self.prop.enqueue_fanouts(self.cc, site);
+                }
+                let good = &self.good_frames[frame];
+                let pin = if act != 0 { Some(site) } else { None };
+                self.prop.run(self.cc, good, pin, |_, _| {});
+
+                // Frame boundary: capture.
+                if let Some(dom) = self.window.capturing_domain(frame) {
+                    for (i, &ff) in self.cc.dffs().iter().enumerate() {
+                        if self.cc.dff_domain(i) != dom {
+                            continue;
+                        }
+                        let d_src = self.cc.fanins(ff)[0];
+                        let faulty_d = self.prop.value(d_src, good);
+                        let good_next = self.good_frames[frame + 1][ff.index()];
+                        if faulty_d != good_next {
+                            ff_overlay.insert(ff, faulty_d);
+                        } else {
+                            ff_overlay.remove(&ff);
+                        }
+                    }
+                }
+            }
+            let _ = any_effect;
+
+            // Detection: any flip-flop whose final state differs is shifted
+            // out through the MISR.
+            let final_frame = &self.good_frames[nframes - 1];
+            let mut detected: u64 = 0;
+            for (&ff, &word) in &ff_overlay {
+                detected |= (word ^ final_frame[ff.index()]) & lane_mask;
+            }
+            if detected != 0 {
+                self.detections[idx] = self.detections[idx].saturating_add(detected.count_ones());
+                if self.detections[idx] >= self.drop_after {
+                    self.active[idx] = false;
+                    newly_dropped += 1;
+                }
+            }
+        }
+        newly_dropped
+    }
+
+    fn compute_good_frames(&mut self, base: &[u64]) {
+        let nframes = self.window.num_frames();
+        self.good_frames[0].copy_from_slice(base);
+        self.cc.eval2(&mut self.good_frames[0]);
+        for frame in 1..nframes {
+            let (prev_slice, rest) = self.good_frames.split_at_mut(frame);
+            let prev = &prev_slice[frame - 1];
+            let cur = &mut rest[0];
+            cur.copy_from_slice(prev);
+            let dom = self
+                .window
+                .capturing_domain(frame - 1)
+                .expect("every non-final frame boundary captures");
+            for (i, &ff) in self.cc.dffs().iter().enumerate() {
+                if self.cc.dff_domain(i) == dom {
+                    let d_src = self.cc.fanins(ff)[0];
+                    cur[ff.index()] = prev[d_src.index()];
+                }
+            }
+            self.cc.eval2(cur);
+        }
+    }
+
+    /// The faults being graded.
+    pub fn faults(&self) -> &[Fault] {
+        &self.faults
+    }
+
+    /// Per-fault detection counts.
+    pub fn detections(&self) -> &[u32] {
+        &self.detections
+    }
+
+    /// Faults not yet detected.
+    pub fn undetected(&self) -> Vec<Fault> {
+        self.faults
+            .iter()
+            .zip(&self.detections)
+            .filter(|&(_, &d)| d == 0)
+            .map(|(f, _)| *f)
+            .collect()
+    }
+
+    /// Current coverage.
+    pub fn coverage(&self) -> CoverageReport {
+        CoverageReport::from_detections(&self.faults, &self.detections, self.patterns_run)
+    }
+
+    /// The window schedule in use.
+    pub fn window(&self) -> &CaptureWindow {
+        &self.window
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::FaultKind;
+    use lbist_netlist::{DomainId, GateKind, Netlist};
+
+    /// ff_a -> NOT -> ff_b, both domain 0. Scan in ff_a=0: C1 captures
+    /// ff_b=NOT(0)=1 while ff_a reloads its own D... build with explicit
+    /// feedback so values are controlled.
+    fn inv_pipe() -> (Netlist, NodeId, NodeId, NodeId, NodeId) {
+        let mut nl = Netlist::new("pipe");
+        let pi = nl.add_input("pi");
+        let ff_a = nl.add_dff(pi, DomainId::new(0));
+        let inv = nl.add_gate(GateKind::Not, &[ff_a]);
+        let ff_b = nl.add_dff(inv, DomainId::new(0));
+        nl.add_output("q", ff_b);
+        (nl, pi, ff_a, inv, ff_b)
+    }
+
+    #[test]
+    fn single_capture_cannot_detect_transitions() {
+        // With only ONE pulse (model: window where the domain appears but we
+        // check after frame 1 semantics), a slow transition launched by the
+        // pulse is never sampled again. Our window always double-pulses, so
+        // emulate single capture by checking that detection requires the
+        // at-speed frame: a fault whose site never transitions in the
+        // window is undetected.
+        let (nl, pi, ff_a, inv, _ff_b) = inv_pipe();
+        let cc = CompiledCircuit::compile(&nl).unwrap();
+        let w = CaptureWindow::all_domains(1);
+        let faults = vec![Fault::stem(inv, FaultKind::SlowToRise)];
+        let mut sim = TransitionSim::new(&cc, faults, w);
+        let mut base = cc.new_frame();
+        // pi=0 and ff_a=0: inv=1 stays 1 all window -> no rising transition
+        // at inv; STR cannot be excited.
+        base[pi.index()] = 0;
+        base[ff_a.index()] = 0;
+        sim.run_batch(&base, 4);
+        assert_eq!(sim.detections()[0], 0);
+    }
+
+    #[test]
+    fn launch_on_capture_detects_slow_to_rise() {
+        let (nl, pi, ff_a, inv, _ff_b) = inv_pipe();
+        let cc = CompiledCircuit::compile(&nl).unwrap();
+        let w = CaptureWindow::all_domains(1);
+        let faults = vec![Fault::stem(inv, FaultKind::SlowToRise)];
+        let mut sim = TransitionSim::new(&cc, faults, w);
+        let mut base = cc.new_frame();
+        // Scan state: ff_a=1 (inv=0). PI=0, so C1 captures ff_a=0, making
+        // inv rise 0->1 in the at-speed frame; C2 should capture ff_b=1 but
+        // the slow-to-rise keeps inv at 0 -> ff_b captures 0. Detected.
+        base[pi.index()] = 0;
+        base[ff_a.index()] = !0;
+        sim.run_batch(&base, 8);
+        assert_eq!(sim.detections()[0], 8, "STR detected in every lane");
+    }
+
+    #[test]
+    fn slow_to_fall_needs_falling_launch() {
+        let (nl, pi, ff_a, inv, _ff_b) = inv_pipe();
+        let cc = CompiledCircuit::compile(&nl).unwrap();
+        let w = CaptureWindow::all_domains(1);
+        let faults =
+            vec![Fault::stem(inv, FaultKind::SlowToFall), Fault::stem(inv, FaultKind::SlowToRise)];
+        let mut sim = TransitionSim::new(&cc, faults, w);
+        let mut base = cc.new_frame();
+        // ff_a=0 (inv=1), PI=1: C1 captures ff_a=1, inv falls 1->0.
+        base[pi.index()] = !0;
+        base[ff_a.index()] = 0;
+        sim.run_batch(&base, 8);
+        assert_eq!(sim.detections()[0], 8, "STF detected");
+        assert_eq!(sim.detections()[1], 0, "STR not excited by a falling launch");
+    }
+
+    #[test]
+    fn cross_domain_effect_carries_through_later_capture() {
+        // dom0: ff_a -> inv -> ff_b(dom0); ff_b -> buf -> ff_c(dom1).
+        // A fault detected into ff_b at dom0's C2 then propagates into
+        // ff_c when dom1 captures later in the same window.
+        let mut nl = Netlist::new("xdom");
+        let pi = nl.add_input("pi");
+        let ff_a = nl.add_dff(pi, DomainId::new(0));
+        let inv = nl.add_gate(GateKind::Not, &[ff_a]);
+        let ff_b = nl.add_dff(inv, DomainId::new(0));
+        let buf = nl.add_gate(GateKind::Buf, &[ff_b]);
+        let ff_c = nl.add_dff(buf, DomainId::new(1));
+        nl.add_output("q", ff_c);
+        let cc = CompiledCircuit::compile(&nl).unwrap();
+        let w = CaptureWindow::all_domains(2);
+        let faults = vec![Fault::stem(inv, FaultKind::SlowToRise)];
+        let mut sim = TransitionSim::new(&cc, faults, w);
+        let mut base = cc.new_frame();
+        base[pi.index()] = 0;
+        base[ff_a.index()] = !0; // launch a rise at inv
+        sim.run_batch(&base, 1);
+        assert_eq!(sim.detections()[0], 1);
+    }
+
+    #[test]
+    fn domain_order_respects_schedule() {
+        let w = CaptureWindow::new(vec![DomainId::new(2), DomainId::new(0)]);
+        assert_eq!(w.capturing_domain(0), Some(DomainId::new(2)));
+        assert_eq!(w.capturing_domain(1), Some(DomainId::new(2)));
+        assert_eq!(w.capturing_domain(2), Some(DomainId::new(0)));
+        assert_eq!(w.capturing_domain(3), Some(DomainId::new(0)));
+        assert_eq!(w.capturing_domain(4), None);
+        assert!(w.is_at_speed_frame(1));
+        assert!(!w.is_at_speed_frame(2));
+        assert!(w.is_at_speed_frame(3));
+    }
+
+    #[test]
+    #[should_panic(expected = "pulsed twice")]
+    fn duplicate_domain_rejected() {
+        CaptureWindow::new(vec![DomainId::new(0), DomainId::new(0)]);
+    }
+
+    #[test]
+    fn transition_coverage_reported() {
+        let (nl, pi, ff_a, inv, _) = inv_pipe();
+        let cc = CompiledCircuit::compile(&nl).unwrap();
+        let faults = vec![
+            Fault::stem(inv, FaultKind::SlowToRise),
+            Fault::stem(inv, FaultKind::SlowToFall),
+        ];
+        let mut sim = TransitionSim::new(&cc, faults, CaptureWindow::all_domains(1));
+        let mut base = cc.new_frame();
+        base[pi.index()] = 0;
+        base[ff_a.index()] = !0;
+        sim.run_batch(&base, 2);
+        let cov = sim.coverage();
+        assert_eq!(cov.total, 2);
+        assert_eq!(cov.detected, 1);
+        assert!((cov.percent() - 50.0).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,412 @@
+//! Fault enumeration and structural equivalence collapsing.
+
+use crate::{Fault, FaultKind};
+use lbist_netlist::{Fanouts, GateKind, Netlist, NodeId};
+
+/// The complete fault list of a design plus its equivalence classes.
+///
+/// Faults are enumerated on every *testable* site: output stems of primary
+/// inputs, logic gates and flip-flop `Q` outputs, and input branches of
+/// logic gates and flip-flop `D` pins. Constants, X-sources and output
+/// markers carry no faults (ties are untestable; markers are not physical).
+///
+/// Structural equivalence collapsing merges:
+///
+/// * **wire classes** — a single-fanout stem is the same physical net as
+///   the branch it feeds;
+/// * **gate rules** — e.g. any AND input SA0 ≡ the output SA0, any NAND
+///   input SA0 ≡ the output SA1, a NOT input SA-v ≡ the output SA-v̄.
+///
+/// Coverage is conventionally reported over the collapsed classes, which is
+/// what [`FaultUniverse::representatives`] exposes.
+///
+/// # Example
+///
+/// ```
+/// use lbist_netlist::{Netlist, GateKind};
+/// use lbist_fault::FaultUniverse;
+///
+/// let mut nl = Netlist::new("u");
+/// let a = nl.add_input("a");
+/// let b = nl.add_input("b");
+/// let g = nl.add_gate(GateKind::And, &[a, b]);
+/// nl.add_output("y", g);
+///
+/// let u = FaultUniverse::stuck_at(&nl);
+/// // a/SA0, b/SA0 and g's input branches SA0 all collapse into g/SA0.
+/// assert!(u.num_collapsed() < u.num_total());
+/// ```
+#[derive(Clone, Debug)]
+pub struct FaultUniverse {
+    faults: Vec<Fault>,
+    class_of: Vec<u32>,
+    representatives: Vec<u32>,
+}
+
+struct UnionFind {
+    parent: Vec<u32>,
+}
+
+impl UnionFind {
+    fn new(n: usize) -> Self {
+        UnionFind { parent: (0..n as u32).collect() }
+    }
+
+    fn find(&mut self, i: u32) -> u32 {
+        let mut root = i;
+        while self.parent[root as usize] != root {
+            root = self.parent[root as usize];
+        }
+        let mut cur = i;
+        while self.parent[cur as usize] != root {
+            let next = self.parent[cur as usize];
+            self.parent[cur as usize] = root;
+            cur = next;
+        }
+        root
+    }
+
+    fn union(&mut self, a: u32, b: u32) {
+        let (ra, rb) = (self.find(a), self.find(b));
+        if ra != rb {
+            // Deterministic: smaller index wins, so representatives are stable.
+            let (lo, hi) = if ra < rb { (ra, rb) } else { (rb, ra) };
+            self.parent[hi as usize] = lo;
+        }
+    }
+}
+
+fn stem_site_eligible(kind: GateKind) -> bool {
+    matches!(
+        kind,
+        GateKind::Input
+            | GateKind::Buf
+            | GateKind::Not
+            | GateKind::And
+            | GateKind::Nand
+            | GateKind::Or
+            | GateKind::Nor
+            | GateKind::Xor
+            | GateKind::Xnor
+            | GateKind::Mux2
+            | GateKind::Dff
+    )
+}
+
+fn branch_site_eligible(kind: GateKind) -> bool {
+    matches!(
+        kind,
+        GateKind::Buf
+            | GateKind::Not
+            | GateKind::And
+            | GateKind::Nand
+            | GateKind::Or
+            | GateKind::Nor
+            | GateKind::Xor
+            | GateKind::Xnor
+            | GateKind::Mux2
+            | GateKind::Dff
+    )
+}
+
+impl FaultUniverse {
+    /// Enumerates and collapses the single-stuck-at universe of `netlist`.
+    pub fn stuck_at(netlist: &Netlist) -> Self {
+        Self::build(netlist, FaultKind::StuckAt0, FaultKind::StuckAt1)
+    }
+
+    /// Enumerates and collapses the transition-delay universe of `netlist`.
+    ///
+    /// The same structural classes apply: a slow-to-rise on a single-fanout
+    /// stem is a slow-to-rise on its branch, and a slow output transition
+    /// of an AND is indistinguishable from the corresponding slow input
+    /// transition for the controlling polarity.
+    pub fn transition(netlist: &Netlist) -> Self {
+        Self::build(netlist, FaultKind::SlowToRise, FaultKind::SlowToFall)
+    }
+
+    fn build(netlist: &Netlist, kind0: FaultKind, kind1: FaultKind) -> Self {
+        // kind0 plays the role of "value 0 at the site" (SA0 / slow-to-rise
+        // = stays 0), kind1 the role of "value 1".
+        let fanouts = Fanouts::compute(netlist);
+        let mut faults: Vec<Fault> = Vec::new();
+        // Index maps: stem_base[node] -> index of kind0 stem fault;
+        // branch bases per (node, pin) in enumeration order.
+        let mut stem_base = vec![u32::MAX; netlist.len()];
+        for id in netlist.ids() {
+            if stem_site_eligible(netlist.kind(id)) {
+                stem_base[id.index()] = faults.len() as u32;
+                faults.push(Fault::stem(id, kind0));
+                faults.push(Fault::stem(id, kind1));
+            }
+        }
+        let mut branch_base = vec![u32::MAX; netlist.len()];
+        for id in netlist.ids() {
+            if branch_site_eligible(netlist.kind(id)) {
+                branch_base[id.index()] = faults.len() as u32;
+                for pin in 0..netlist.fanins(id).len() {
+                    let src = netlist.fanins(id)[pin];
+                    if !stem_site_eligible(netlist.kind(src)) {
+                        // Branch fed by a constant/X-source: untestable, skip.
+                        // Two placeholder slots keep pin arithmetic simple.
+                        faults.push(Fault::branch(id, pin as u8, kind0));
+                        faults.push(Fault::branch(id, pin as u8, kind1));
+                        continue;
+                    }
+                    faults.push(Fault::branch(id, pin as u8, kind0));
+                    faults.push(Fault::branch(id, pin as u8, kind1));
+                }
+            }
+        }
+
+        let mut uf = UnionFind::new(faults.len());
+        let branch_idx = |node: NodeId, pin: usize, one: bool| -> u32 {
+            branch_base[node.index()] + 2 * pin as u32 + one as u32
+        };
+        let stem_idx = |node: NodeId, one: bool| -> u32 { stem_base[node.index()] + one as u32 };
+
+        for id in netlist.ids() {
+            let kind = netlist.kind(id);
+            if !branch_site_eligible(kind) {
+                continue;
+            }
+            for pin in 0..netlist.fanins(id).len() {
+                let src = netlist.fanins(id)[pin];
+                if stem_base[src.index()] == u32::MAX {
+                    continue;
+                }
+                // Wire rule: single fanout means stem and branch are one net.
+                if fanouts.degree(src) == 1 {
+                    uf.union(branch_idx(id, pin, false), stem_idx(src, false));
+                    uf.union(branch_idx(id, pin, true), stem_idx(src, true));
+                }
+            }
+            if stem_base[id.index()] == u32::MAX {
+                continue; // no stem on this gate (cannot apply gate rules)
+            }
+            // Gate rules: controlling-value input faults are equivalent to
+            // the corresponding output fault.
+            let npins = netlist.fanins(id).len();
+            match kind {
+                GateKind::Buf => {
+                    uf.union(branch_idx(id, 0, false), stem_idx(id, false));
+                    uf.union(branch_idx(id, 0, true), stem_idx(id, true));
+                }
+                GateKind::Not => {
+                    uf.union(branch_idx(id, 0, false), stem_idx(id, true));
+                    uf.union(branch_idx(id, 0, true), stem_idx(id, false));
+                }
+                GateKind::And => {
+                    for pin in 0..npins {
+                        uf.union(branch_idx(id, pin, false), stem_idx(id, false));
+                    }
+                }
+                GateKind::Nand => {
+                    for pin in 0..npins {
+                        uf.union(branch_idx(id, pin, false), stem_idx(id, true));
+                    }
+                }
+                GateKind::Or => {
+                    for pin in 0..npins {
+                        uf.union(branch_idx(id, pin, true), stem_idx(id, true));
+                    }
+                }
+                GateKind::Nor => {
+                    for pin in 0..npins {
+                        uf.union(branch_idx(id, pin, true), stem_idx(id, false));
+                    }
+                }
+                // XOR/XNOR/MUX2/DFF: no structural equivalences.
+                _ => {}
+            }
+        }
+
+        // Remove the untestable placeholder faults (branches fed by
+        // constants/X-sources) by filtering classes that contain them.
+        let mut untestable = vec![false; faults.len()];
+        for id in netlist.ids() {
+            if branch_base[id.index()] == u32::MAX {
+                continue;
+            }
+            for pin in 0..netlist.fanins(id).len() {
+                let src = netlist.fanins(id)[pin];
+                if !stem_site_eligible(netlist.kind(src)) {
+                    untestable[branch_idx(id, pin, false) as usize] = true;
+                    untestable[branch_idx(id, pin, true) as usize] = true;
+                }
+            }
+        }
+
+        let mut class_of = vec![0u32; faults.len()];
+        let mut representatives = Vec::new();
+        let mut keep = Vec::with_capacity(faults.len());
+        let mut root_to_class: std::collections::HashMap<u32, u32> = std::collections::HashMap::new();
+        let mut kept_faults = Vec::new();
+        for i in 0..faults.len() as u32 {
+            if untestable[i as usize] {
+                continue;
+            }
+            let root = uf.find(i);
+            let class = *root_to_class.entry(root).or_insert_with(|| {
+                let c = representatives.len() as u32;
+                representatives.push(kept_faults.len() as u32);
+                c
+            });
+            if representatives[class as usize] == kept_faults.len() as u32 {
+                // First member of the class becomes the representative.
+            }
+            keep.push((i, class));
+            kept_faults.push(faults[i as usize]);
+        }
+        // Re-index: class_of is parallel to kept_faults.
+        class_of.truncate(0);
+        class_of.extend(keep.iter().map(|&(_, c)| c));
+
+        FaultUniverse { faults: kept_faults, class_of, representatives }
+    }
+
+    /// Every enumerated (testable) fault, uncollapsed.
+    pub fn faults(&self) -> &[Fault] {
+        &self.faults
+    }
+
+    /// Total number of (testable) faults before collapsing.
+    pub fn num_total(&self) -> usize {
+        self.faults.len()
+    }
+
+    /// Number of equivalence classes.
+    pub fn num_collapsed(&self) -> usize {
+        self.representatives.len()
+    }
+
+    /// The equivalence-class index of fault `i` (parallel to
+    /// [`FaultUniverse::faults`]).
+    pub fn class_of(&self, i: usize) -> u32 {
+        self.class_of[i]
+    }
+
+    /// One representative fault per equivalence class, in stable order.
+    pub fn representatives(&self) -> Vec<Fault> {
+        self.representatives.iter().map(|&i| self.faults[i as usize]).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lbist_netlist::DomainId;
+
+    fn and2() -> Netlist {
+        let mut nl = Netlist::new("and2");
+        let a = nl.add_input("a");
+        let b = nl.add_input("b");
+        let g = nl.add_gate(GateKind::And, &[a, b]);
+        nl.add_output("y", g);
+        nl
+    }
+
+    #[test]
+    fn and_gate_collapsing_matches_textbook() {
+        // AND2 with PIs: 6 stem faults (a0,a1,b0,b1,g0,g1) + 4 branch
+        // faults. Classes: {a0,g.0/SA0,g0,b0,g.1/SA0} (wire+gate rules),
+        // {a1,g.0/SA1}, {b1,g.1/SA1}, {g1}. Textbook answer: 4 classes for
+        // the gate cone... plus output stem g/SA1 belongs with a1? No:
+        // non-controlling input SA1 on AND is *not* equivalent to output
+        // SA1 (only dominant). So: classes = {a0,b0,branches SA0,g0},
+        // {a1, branch0 SA1}, {b1, branch1 SA1}, {g1} = 4.
+        let nl = and2();
+        let u = FaultUniverse::stuck_at(&nl);
+        assert_eq!(u.num_total(), 10);
+        assert_eq!(u.num_collapsed(), 4);
+    }
+
+    #[test]
+    fn inverter_chain_collapses_to_two_classes() {
+        // a -> NOT -> NOT -> y : every fault is equivalent to one of two
+        // classes (the wire + inversion rules chain through).
+        let mut nl = Netlist::new("chain");
+        let a = nl.add_input("a");
+        let n1 = nl.add_gate(GateKind::Not, &[a]);
+        let n2 = nl.add_gate(GateKind::Not, &[n1]);
+        nl.add_output("y", n2);
+        let u = FaultUniverse::stuck_at(&nl);
+        assert_eq!(u.num_collapsed(), 2);
+    }
+
+    #[test]
+    fn fanout_branches_not_collapsed_with_stem() {
+        // a feeds two gates: branch faults must stay distinct from the stem.
+        let mut nl = Netlist::new("fan");
+        let a = nl.add_input("a");
+        let b = nl.add_input("b");
+        let g1 = nl.add_gate(GateKind::Xor, &[a, b]);
+        let g2 = nl.add_gate(GateKind::Xor, &[a, b]);
+        nl.add_output("y1", g1);
+        nl.add_output("y2", g2);
+        let u = FaultUniverse::stuck_at(&nl);
+        // XOR has no gate rules; b also fans out twice. Nothing collapses.
+        assert_eq!(u.num_collapsed(), u.num_total());
+    }
+
+    #[test]
+    fn xsource_and_const_sites_excluded() {
+        let mut nl = Netlist::new("x");
+        let x = nl.add_xsource();
+        let c = nl.add_const(true);
+        let a = nl.add_input("a");
+        let g = nl.add_gate(GateKind::And, &[x, c]);
+        let h = nl.add_gate(GateKind::Or, &[g, a]);
+        nl.add_output("y", h);
+        let u = FaultUniverse::stuck_at(&nl);
+        for f in u.faults() {
+            assert_ne!(f.node, x, "no faults on X-source stems");
+            assert_ne!(f.node, c, "no faults on constant stems");
+            if f.node == g {
+                // g's input branches are fed by x and c: untestable, dropped.
+                assert!(f.is_stem(), "branch {f} on untestable pin survived");
+            }
+        }
+    }
+
+    #[test]
+    fn dff_pins_carry_faults_but_do_not_collapse_across() {
+        let mut nl = Netlist::new("d");
+        let a = nl.add_input("a");
+        let inv = nl.add_gate(GateKind::Not, &[a]);
+        let q = nl.add_dff(inv, DomainId::new(0));
+        nl.add_output("y", q);
+        let u = FaultUniverse::stuck_at(&nl);
+        let has_q_stem = u.faults().iter().any(|f| f.node == q && f.is_stem());
+        let has_d_branch = u.faults().iter().any(|f| f.node == q && !f.is_stem());
+        assert!(has_q_stem && has_d_branch);
+        // D-branch collapses with inv's stem (wire rule), never with Q.
+        let reps = u.representatives();
+        let q_classes: Vec<&Fault> = reps.iter().filter(|f| f.node == q).collect();
+        assert_eq!(q_classes.len(), 2, "Q stem SA0/SA1 remain distinct classes");
+    }
+
+    #[test]
+    fn transition_universe_mirrors_stuck_at_structure() {
+        let nl = and2();
+        let sa = FaultUniverse::stuck_at(&nl);
+        let tr = FaultUniverse::transition(&nl);
+        assert_eq!(sa.num_total(), tr.num_total());
+        assert_eq!(sa.num_collapsed(), tr.num_collapsed());
+        assert!(tr.faults().iter().all(|f| f.kind.is_transition()));
+    }
+
+    #[test]
+    fn representatives_are_stable_and_unique() {
+        let nl = and2();
+        let u = FaultUniverse::stuck_at(&nl);
+        let reps = u.representatives();
+        assert_eq!(reps.len(), u.num_collapsed());
+        let mut seen = std::collections::HashSet::new();
+        for f in &reps {
+            assert!(seen.insert(*f), "duplicate representative {f}");
+        }
+        // Deterministic across rebuilds.
+        assert_eq!(reps, FaultUniverse::stuck_at(&nl).representatives());
+    }
+}

@@ -1,0 +1,105 @@
+//! Error type for netlist construction and validation.
+
+use crate::{GateKind, NodeId};
+use std::error::Error;
+use std::fmt;
+
+/// Errors raised while building or validating a [`crate::Netlist`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum NetlistError {
+    /// A gate was given a fanin count outside its legal bounds.
+    BadFaninCount {
+        /// The offending gate kind.
+        kind: GateKind,
+        /// The fanin count that was supplied.
+        got: usize,
+    },
+    /// A fanin referenced a node id that does not exist in this netlist.
+    DanglingFanin {
+        /// The node whose fanin is dangling.
+        node: NodeId,
+        /// The nonexistent fanin id.
+        fanin: NodeId,
+    },
+    /// A node drives an `Output` marker but is itself an `Output` marker.
+    OutputFeedsOutput {
+        /// The inner output node.
+        node: NodeId,
+    },
+    /// The combinational part of the netlist contains a cycle through the
+    /// given node (cycles must be cut by flip-flops).
+    CombinationalCycle {
+        /// A node on the cycle.
+        node: NodeId,
+    },
+    /// Two nodes carry the same name.
+    DuplicateName {
+        /// The repeated name.
+        name: String,
+    },
+    /// A name lookup failed.
+    UnknownName {
+        /// The name that was not found.
+        name: String,
+    },
+    /// A pin index was out of range for the node.
+    BadPin {
+        /// The node whose pin was addressed.
+        node: NodeId,
+        /// The out-of-range pin index.
+        pin: usize,
+    },
+}
+
+impl fmt::Display for NetlistError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NetlistError::BadFaninCount { kind, got } => {
+                let (lo, hi) = kind.fanin_bounds();
+                match hi {
+                    Some(hi) if lo == hi => {
+                        write!(f, "{kind} expects exactly {lo} fanin(s), got {got}")
+                    }
+                    Some(hi) => write!(f, "{kind} expects {lo}..={hi} fanins, got {got}"),
+                    None => write!(f, "{kind} expects at least {lo} fanins, got {got}"),
+                }
+            }
+            NetlistError::DanglingFanin { node, fanin } => {
+                write!(f, "node {node} references nonexistent fanin {fanin}")
+            }
+            NetlistError::OutputFeedsOutput { node } => {
+                write!(f, "output marker {node} drives another output marker")
+            }
+            NetlistError::CombinationalCycle { node } => {
+                write!(f, "combinational cycle through node {node}")
+            }
+            NetlistError::DuplicateName { name } => write!(f, "duplicate node name `{name}`"),
+            NetlistError::UnknownName { name } => write!(f, "unknown node name `{name}`"),
+            NetlistError::BadPin { node, pin } => write!(f, "pin {pin} out of range on node {node}"),
+        }
+    }
+}
+
+impl Error for NetlistError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_lowercase_and_concise() {
+        let e = NetlistError::BadFaninCount { kind: GateKind::Not, got: 2 };
+        assert_eq!(e.to_string(), "NOT expects exactly 1 fanin(s), got 2");
+        let e = NetlistError::BadFaninCount { kind: GateKind::And, got: 1 };
+        assert_eq!(e.to_string(), "AND expects at least 2 fanins, got 1");
+        let e = NetlistError::CombinationalCycle { node: NodeId::from_index(4) };
+        assert!(e.to_string().contains("n4"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<NetlistError>();
+    }
+}

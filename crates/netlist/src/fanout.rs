@@ -1,0 +1,112 @@
+//! Fanout (reader) maps in compressed sparse row form.
+
+use crate::{Netlist, NodeId};
+
+/// The fanout map of a netlist: for every node, the list of nodes that read
+/// it, in arena order.
+///
+/// Built once and queried many times by fault propagation, test point
+/// scoring and scan stitching. Stored CSR-style so a 600K-gate netlist costs
+/// two flat arrays rather than 600K `Vec`s.
+///
+/// # Example
+///
+/// ```
+/// use lbist_netlist::{Netlist, GateKind, Fanouts};
+///
+/// let mut nl = Netlist::new("f");
+/// let a = nl.add_input("a");
+/// let g1 = nl.add_gate(GateKind::Not, &[a]);
+/// let g2 = nl.add_gate(GateKind::Buf, &[a]);
+/// let fo = Fanouts::compute(&nl);
+/// assert_eq!(fo.readers(a), &[g1, g2]);
+/// assert_eq!(fo.degree(a), 2);
+/// assert!(fo.readers(g2).is_empty());
+/// ```
+#[derive(Clone, Debug)]
+pub struct Fanouts {
+    start: Vec<u32>,
+    readers: Vec<NodeId>,
+}
+
+impl Fanouts {
+    /// Builds the fanout map of `netlist`.
+    pub fn compute(netlist: &Netlist) -> Self {
+        let n = netlist.len();
+        let mut start = vec![0u32; n + 1];
+        for id in netlist.ids() {
+            for &f in netlist.fanins(id) {
+                start[f.index() + 1] += 1;
+            }
+        }
+        for i in 0..n {
+            start[i + 1] += start[i];
+        }
+        let mut readers = vec![NodeId::from_index(0); start[n] as usize];
+        let mut cursor = start.clone();
+        for id in netlist.ids() {
+            for &f in netlist.fanins(id) {
+                readers[cursor[f.index()] as usize] = id;
+                cursor[f.index()] += 1;
+            }
+        }
+        Fanouts { start, readers }
+    }
+
+    /// The nodes that read `node`'s output.
+    #[inline]
+    pub fn readers(&self, node: NodeId) -> &[NodeId] {
+        let lo = self.start[node.index()] as usize;
+        let hi = self.start[node.index() + 1] as usize;
+        &self.readers[lo..hi]
+    }
+
+    /// Fanout degree of `node`.
+    #[inline]
+    pub fn degree(&self, node: NodeId) -> usize {
+        self.readers(node).len()
+    }
+
+    /// Total number of fanin↔fanout edges in the netlist.
+    pub fn num_edges(&self) -> usize {
+        self.readers.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::GateKind;
+
+    #[test]
+    fn degrees_match_explicit_count() {
+        let mut nl = Netlist::new("t");
+        let a = nl.add_input("a");
+        let b = nl.add_input("b");
+        let g1 = nl.add_gate(GateKind::And, &[a, b]);
+        let g2 = nl.add_gate(GateKind::Or, &[a, g1]);
+        nl.add_output("y", g2);
+        let fo = Fanouts::compute(&nl);
+        assert_eq!(fo.degree(a), 2);
+        assert_eq!(fo.degree(b), 1);
+        assert_eq!(fo.degree(g1), 1);
+        assert_eq!(fo.degree(g2), 1);
+        assert_eq!(fo.num_edges(), 5);
+    }
+
+    #[test]
+    fn multi_pin_reader_listed_per_pin() {
+        let mut nl = Netlist::new("t");
+        let a = nl.add_input("a");
+        let g = nl.add_gate(GateKind::Xor, &[a, a]);
+        let fo = Fanouts::compute(&nl);
+        // A gate reading the same net on two pins appears twice.
+        assert_eq!(fo.readers(a), &[g, g]);
+    }
+
+    #[test]
+    fn empty_netlist() {
+        let fo = Fanouts::compute(&Netlist::new("e"));
+        assert_eq!(fo.num_edges(), 0);
+    }
+}

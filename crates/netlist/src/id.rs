@@ -1,0 +1,138 @@
+//! Typed identifiers for netlist entities.
+
+use std::fmt;
+
+/// Identifier of a node (gate, flip-flop, input, ...) inside a [`crate::Netlist`].
+///
+/// `NodeId`s are dense indices into the netlist arena; they are only
+/// meaningful relative to the netlist that created them.
+///
+/// # Example
+///
+/// ```
+/// use lbist_netlist::NodeId;
+/// let id = NodeId::from_index(3);
+/// assert_eq!(id.index(), 3);
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct NodeId(u32);
+
+impl NodeId {
+    /// Builds a `NodeId` from a raw arena index.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` does not fit in `u32`.
+    #[inline]
+    pub fn from_index(index: usize) -> Self {
+        NodeId(u32::try_from(index).expect("netlist node index exceeds u32::MAX"))
+    }
+
+    /// Returns the raw arena index of this node.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// Returns the raw `u32` behind this id.
+    #[inline]
+    pub fn as_u32(self) -> u32 {
+        self.0
+    }
+}
+
+impl fmt::Debug for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "n{}", self.0)
+    }
+}
+
+impl fmt::Display for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "n{}", self.0)
+    }
+}
+
+/// Identifier of a clock domain.
+///
+/// The paper's scheme instantiates one PRPG–MISR pair per clock domain, so
+/// domains are first-class throughout the workspace. Domains are dense small
+/// integers (Core Y in the paper has eight).
+///
+/// # Example
+///
+/// ```
+/// use lbist_netlist::DomainId;
+/// let d = DomainId::new(2);
+/// assert_eq!(d.index(), 2);
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct DomainId(u16);
+
+impl DomainId {
+    /// Builds a domain id from a dense index.
+    #[inline]
+    pub fn new(index: u16) -> Self {
+        DomainId(index)
+    }
+
+    /// Returns the dense index of this domain.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// Returns the raw `u16` behind this id.
+    #[inline]
+    pub fn as_u16(self) -> u16 {
+        self.0
+    }
+}
+
+impl fmt::Debug for DomainId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "clk{}", self.0)
+    }
+}
+
+impl fmt::Display for DomainId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "clk{}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn node_id_round_trip() {
+        for i in [0usize, 1, 17, 1 << 20] {
+            assert_eq!(NodeId::from_index(i).index(), i);
+        }
+    }
+
+    #[test]
+    fn node_id_display() {
+        assert_eq!(NodeId::from_index(5).to_string(), "n5");
+        assert_eq!(format!("{:?}", NodeId::from_index(5)), "n5");
+    }
+
+    #[test]
+    fn domain_id_round_trip() {
+        assert_eq!(DomainId::new(7).index(), 7);
+        assert_eq!(DomainId::new(7).as_u16(), 7);
+        assert_eq!(DomainId::default().index(), 0);
+    }
+
+    #[test]
+    fn domain_id_display() {
+        assert_eq!(DomainId::new(3).to_string(), "clk3");
+    }
+
+    #[test]
+    fn ids_are_ordered() {
+        assert!(NodeId::from_index(1) < NodeId::from_index(2));
+        assert!(DomainId::new(0) < DomainId::new(1));
+    }
+}

@@ -1,0 +1,273 @@
+//! The cell library: every node kind a netlist may contain.
+
+use std::fmt;
+
+/// The kind of a netlist node.
+///
+/// The library is deliberately small — it is the least common denominator of
+/// the 2005-era gate libraries the paper's flow would have consumed, plus
+/// the two test-specific pseudo-cells `XSource` (an unknown-value driver to
+/// be bounded by DFT) and `Output` (an explicit primary-output marker so
+/// output observability can be modelled independently of fanout).
+///
+/// # Example
+///
+/// ```
+/// use lbist_netlist::GateKind;
+/// assert!(GateKind::Nand.is_combinational());
+/// assert!(GateKind::Dff.is_sequential());
+/// assert_eq!(GateKind::Mux2.fanin_bounds(), (3, Some(3)));
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum GateKind {
+    /// Primary input. No fanins.
+    Input,
+    /// Primary output marker. Exactly one fanin; behaves as a buffer.
+    Output,
+    /// Constant logic 0. No fanins.
+    Const0,
+    /// Constant logic 1. No fanins.
+    Const1,
+    /// Non-inverting buffer. Exactly one fanin.
+    Buf,
+    /// Inverter. Exactly one fanin.
+    Not,
+    /// n-ary AND (n >= 2).
+    And,
+    /// n-ary NAND (n >= 2).
+    Nand,
+    /// n-ary OR (n >= 2).
+    Or,
+    /// n-ary NOR (n >= 2).
+    Nor,
+    /// n-ary XOR (n >= 2).
+    Xor,
+    /// n-ary XNOR (n >= 2).
+    Xnor,
+    /// Two-way multiplexer. Fanins are `[sel, a, b]`; output is `a` when
+    /// `sel == 0` and `b` when `sel == 1`.
+    Mux2,
+    /// Rising-edge D flip-flop. Exactly one fanin (the `D` pin); carries a
+    /// [`crate::DomainId`] naming its clock domain. The node's value is the
+    /// flop's `Q` output.
+    Dff,
+    /// A net of unknown value during test (uninitialized RAM output, analog
+    /// macro, untimed interface). DFT must bound these ("X-blocking") before
+    /// signatures are meaningful. No fanins.
+    XSource,
+}
+
+impl GateKind {
+    /// All kinds, in a fixed order (useful for exhaustive tests).
+    pub const ALL: [GateKind; 15] = [
+        GateKind::Input,
+        GateKind::Output,
+        GateKind::Const0,
+        GateKind::Const1,
+        GateKind::Buf,
+        GateKind::Not,
+        GateKind::And,
+        GateKind::Nand,
+        GateKind::Or,
+        GateKind::Nor,
+        GateKind::Xor,
+        GateKind::Xnor,
+        GateKind::Mux2,
+        GateKind::Dff,
+        GateKind::XSource,
+    ];
+
+    /// Returns `true` for gates whose output is a pure function of their
+    /// current fanin values (everything except `Dff`).
+    ///
+    /// Sources with no fanins (`Input`, `Const*`, `XSource`) count as
+    /// combinational: they hold a value within an evaluation frame.
+    #[inline]
+    pub fn is_combinational(self) -> bool {
+        !matches!(self, GateKind::Dff)
+    }
+
+    /// Returns `true` only for the D flip-flop.
+    #[inline]
+    pub fn is_sequential(self) -> bool {
+        matches!(self, GateKind::Dff)
+    }
+
+    /// Returns `true` for nodes that act as value sources in a combinational
+    /// evaluation frame: primary inputs, constants, X-sources and flip-flop
+    /// outputs.
+    #[inline]
+    pub fn is_frame_source(self) -> bool {
+        matches!(
+            self,
+            GateKind::Input | GateKind::Const0 | GateKind::Const1 | GateKind::XSource | GateKind::Dff
+        )
+    }
+
+    /// Returns `true` for real logic gates — nodes that cost area and carry
+    /// faults (excludes `Input`/`Output` markers and constants).
+    #[inline]
+    pub fn is_logic(self) -> bool {
+        matches!(
+            self,
+            GateKind::Buf
+                | GateKind::Not
+                | GateKind::And
+                | GateKind::Nand
+                | GateKind::Or
+                | GateKind::Nor
+                | GateKind::Xor
+                | GateKind::Xnor
+                | GateKind::Mux2
+                | GateKind::Dff
+        )
+    }
+
+    /// Minimum and maximum allowed fanin counts as `(min, Some(max))`, or
+    /// `(min, None)` when the gate is n-ary with no upper bound.
+    #[inline]
+    pub fn fanin_bounds(self) -> (usize, Option<usize>) {
+        match self {
+            GateKind::Input | GateKind::Const0 | GateKind::Const1 | GateKind::XSource => (0, Some(0)),
+            GateKind::Output | GateKind::Buf | GateKind::Not | GateKind::Dff => (1, Some(1)),
+            GateKind::And | GateKind::Nand | GateKind::Or | GateKind::Nor | GateKind::Xor | GateKind::Xnor => {
+                (2, None)
+            }
+            GateKind::Mux2 => (3, Some(3)),
+        }
+    }
+
+    /// Checks a fanin count against [`GateKind::fanin_bounds`].
+    #[inline]
+    pub fn accepts_fanins(self, n: usize) -> bool {
+        let (lo, hi) = self.fanin_bounds();
+        n >= lo && hi.map_or(true, |h| n <= h)
+    }
+
+    /// Area of the cell in NAND2 gate-equivalents.
+    ///
+    /// A coarse 2-input-NAND-normalised cost model in the style of the area
+    /// numbers DFT papers of the era reported ("gate count", "overhead %").
+    /// n-ary gates are costed as a tree of 2-input cells.
+    pub fn gate_equivalents(self, fanin_count: usize) -> f64 {
+        let two_input_cost = match self {
+            GateKind::Input | GateKind::Output | GateKind::Const0 | GateKind::Const1 | GateKind::XSource => {
+                return 0.0
+            }
+            GateKind::Buf => return 0.75,
+            GateKind::Not => return 0.5,
+            GateKind::And | GateKind::Or => 1.25,
+            GateKind::Nand | GateKind::Nor => 1.0,
+            GateKind::Xor | GateKind::Xnor => 2.5,
+            GateKind::Mux2 => return 2.25,
+            GateKind::Dff => return 5.5,
+        };
+        // A balanced tree of (n-1) two-input gates realises an n-ary gate.
+        two_input_cost * fanin_count.saturating_sub(1).max(1) as f64
+    }
+
+    /// The canonical upper-case name used by the text format.
+    pub fn text_name(self) -> &'static str {
+        match self {
+            GateKind::Input => "INPUT",
+            GateKind::Output => "OUTPUT",
+            GateKind::Const0 => "CONST0",
+            GateKind::Const1 => "CONST1",
+            GateKind::Buf => "BUF",
+            GateKind::Not => "NOT",
+            GateKind::And => "AND",
+            GateKind::Nand => "NAND",
+            GateKind::Or => "OR",
+            GateKind::Nor => "NOR",
+            GateKind::Xor => "XOR",
+            GateKind::Xnor => "XNOR",
+            GateKind::Mux2 => "MUX2",
+            GateKind::Dff => "DFF",
+            GateKind::XSource => "XSOURCE",
+        }
+    }
+
+    /// Parses a gate name as written in the text format (case-insensitive).
+    /// `BUFF` is accepted as an alias for `BUF` for ISCAS compatibility.
+    pub fn from_text_name(name: &str) -> Option<GateKind> {
+        let upper = name.to_ascii_uppercase();
+        Some(match upper.as_str() {
+            "INPUT" => GateKind::Input,
+            "OUTPUT" => GateKind::Output,
+            "CONST0" => GateKind::Const0,
+            "CONST1" => GateKind::Const1,
+            "BUF" | "BUFF" => GateKind::Buf,
+            "NOT" | "INV" => GateKind::Not,
+            "AND" => GateKind::And,
+            "NAND" => GateKind::Nand,
+            "OR" => GateKind::Or,
+            "NOR" => GateKind::Nor,
+            "XOR" => GateKind::Xor,
+            "XNOR" => GateKind::Xnor,
+            "MUX2" | "MUX" => GateKind::Mux2,
+            "DFF" => GateKind::Dff,
+            "XSOURCE" => GateKind::XSource,
+            _ => return None,
+        })
+    }
+}
+
+impl fmt::Display for GateKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.text_name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn text_names_round_trip() {
+        for kind in GateKind::ALL {
+            assert_eq!(GateKind::from_text_name(kind.text_name()), Some(kind));
+            assert_eq!(GateKind::from_text_name(&kind.text_name().to_lowercase()), Some(kind));
+        }
+        assert_eq!(GateKind::from_text_name("BUFF"), Some(GateKind::Buf));
+        assert_eq!(GateKind::from_text_name("INV"), Some(GateKind::Not));
+        assert_eq!(GateKind::from_text_name("FROB"), None);
+    }
+
+    #[test]
+    fn fanin_bounds_are_consistent() {
+        for kind in GateKind::ALL {
+            let (lo, hi) = kind.fanin_bounds();
+            assert!(kind.accepts_fanins(lo));
+            if let Some(hi) = hi {
+                assert!(kind.accepts_fanins(hi));
+                assert!(!kind.accepts_fanins(hi + 1));
+            } else {
+                assert!(kind.accepts_fanins(64));
+            }
+            if lo > 0 {
+                assert!(!kind.accepts_fanins(lo - 1));
+            }
+        }
+    }
+
+    #[test]
+    fn combinational_and_sequential_partition() {
+        for kind in GateKind::ALL {
+            assert_ne!(kind.is_combinational(), kind.is_sequential());
+        }
+    }
+
+    #[test]
+    fn gate_equivalents_monotonic_in_fanin() {
+        assert!(GateKind::And.gate_equivalents(4) > GateKind::And.gate_equivalents(2));
+        assert_eq!(GateKind::Input.gate_equivalents(0), 0.0);
+        assert!(GateKind::Dff.gate_equivalents(1) > GateKind::Nand.gate_equivalents(2));
+    }
+
+    #[test]
+    fn frame_sources_have_no_comb_fanin_dependence() {
+        assert!(GateKind::Dff.is_frame_source());
+        assert!(GateKind::Input.is_frame_source());
+        assert!(!GateKind::Nand.is_frame_source());
+    }
+}

@@ -1,0 +1,217 @@
+//! Levelization: topological ordering of the combinational graph.
+//!
+//! Full-scan test generation and fault simulation treat flip-flop outputs as
+//! pseudo-primary-inputs and flip-flop `D` pins as pseudo-primary-outputs.
+//! [`Levelization`] computes an evaluation order compatible with that view:
+//! frame sources (inputs, constants, X-sources, flip-flop `Q` outputs) sit
+//! at level 0 and every combinational gate is placed after all of its
+//! fanins.
+
+use crate::{Netlist, NetlistError, NodeId};
+
+/// A topological ordering of a netlist's combinational graph with per-node
+/// logic levels.
+///
+/// # Example
+///
+/// ```
+/// use lbist_netlist::{Netlist, GateKind, Levelization};
+///
+/// let mut nl = Netlist::new("lv");
+/// let a = nl.add_input("a");
+/// let b = nl.add_input("b");
+/// let g = nl.add_gate(GateKind::And, &[a, b]);
+/// let h = nl.add_gate(GateKind::Not, &[g]);
+/// nl.add_output("y", h);
+///
+/// let lv = Levelization::compute(&nl).unwrap();
+/// assert_eq!(lv.level(a), 0);
+/// assert_eq!(lv.level(g), 1);
+/// assert_eq!(lv.level(h), 2);
+/// assert_eq!(lv.max_level(), 3); // the OUTPUT marker sits one past NOT
+/// ```
+#[derive(Clone, Debug)]
+pub struct Levelization {
+    order: Vec<NodeId>,
+    level: Vec<u32>,
+    max_level: u32,
+}
+
+impl Levelization {
+    /// Computes the levelization of `netlist`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NetlistError::CombinationalCycle`] if the combinational
+    /// graph (ignoring edges *into* flip-flops) contains a cycle.
+    pub fn compute(netlist: &Netlist) -> Result<Self, NetlistError> {
+        let n = netlist.len();
+        let mut level = vec![0u32; n];
+        let mut indegree = vec![0u32; n];
+        let mut order = Vec::with_capacity(n);
+
+        // Frame sources have no combinational dependence on their fanins.
+        for id in netlist.ids() {
+            if netlist.kind(id).is_frame_source() {
+                continue;
+            }
+            indegree[id.index()] = netlist.fanins(id).len() as u32;
+        }
+
+        // Kahn's algorithm; a simple FIFO keeps the order deterministic.
+        let mut queue: std::collections::VecDeque<NodeId> = netlist
+            .ids()
+            .filter(|&id| indegree[id.index()] == 0)
+            .collect();
+
+        // Fanout adjacency restricted to combinational consumers.
+        let mut fanout_start = vec![0u32; n + 1];
+        for id in netlist.ids() {
+            if netlist.kind(id).is_frame_source() {
+                continue;
+            }
+            for &f in netlist.fanins(id) {
+                fanout_start[f.index() + 1] += 1;
+            }
+        }
+        for i in 0..n {
+            fanout_start[i + 1] += fanout_start[i];
+        }
+        let mut fanout = vec![NodeId::from_index(0); fanout_start[n] as usize];
+        let mut cursor = fanout_start.clone();
+        for id in netlist.ids() {
+            if netlist.kind(id).is_frame_source() {
+                continue;
+            }
+            for &f in netlist.fanins(id) {
+                fanout[cursor[f.index()] as usize] = id;
+                cursor[f.index()] += 1;
+            }
+        }
+
+        let mut max_level = 0u32;
+        while let Some(id) = queue.pop_front() {
+            order.push(id);
+            let my_level = level[id.index()];
+            let (lo, hi) = (fanout_start[id.index()] as usize, fanout_start[id.index() + 1] as usize);
+            for &succ in &fanout[lo..hi] {
+                let s = succ.index();
+                level[s] = level[s].max(my_level + 1);
+                max_level = max_level.max(level[s]);
+                indegree[s] -= 1;
+                if indegree[s] == 0 {
+                    queue.push_back(succ);
+                }
+            }
+        }
+
+        if order.len() != n {
+            // Some node never reached indegree 0: it sits on a cycle.
+            let culprit = netlist
+                .ids()
+                .find(|&id| indegree[id.index()] > 0)
+                .expect("cycle implies a node with positive indegree");
+            return Err(NetlistError::CombinationalCycle { node: culprit });
+        }
+
+        Ok(Levelization { order, level, max_level })
+    }
+
+    /// All nodes in a valid combinational evaluation order (frame sources
+    /// first).
+    pub fn order(&self) -> &[NodeId] {
+        &self.order
+    }
+
+    /// The logic level of a node (0 for frame sources).
+    #[inline]
+    pub fn level(&self, node: NodeId) -> u32 {
+        self.level[node.index()]
+    }
+
+    /// The largest level in the design (combinational depth including output
+    /// markers).
+    pub fn max_level(&self) -> u32 {
+        self.max_level
+    }
+
+    /// Nodes of the evaluation order that are *not* frame sources — i.e. the
+    /// gates a simulator actually needs to evaluate each frame, in order.
+    pub fn eval_order<'a>(&'a self, netlist: &'a Netlist) -> impl Iterator<Item = NodeId> + 'a {
+        self.order.iter().copied().filter(move |&id| !netlist.kind(id).is_frame_source())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{DomainId, GateKind};
+
+    #[test]
+    fn order_respects_dependencies() {
+        let mut nl = Netlist::new("t");
+        let a = nl.add_input("a");
+        let b = nl.add_input("b");
+        let g1 = nl.add_gate(GateKind::Xor, &[a, b]);
+        let g2 = nl.add_gate(GateKind::And, &[g1, b]);
+        let g3 = nl.add_gate(GateKind::Or, &[g2, g1]);
+        nl.add_output("y", g3);
+        let lv = Levelization::compute(&nl).unwrap();
+        let pos: Vec<usize> =
+            nl.ids().map(|id| lv.order().iter().position(|&o| o == id).unwrap()).collect();
+        for id in nl.ids() {
+            if nl.kind(id).is_frame_source() {
+                continue;
+            }
+            for &f in nl.fanins(id) {
+                assert!(pos[f.index()] < pos[id.index()], "{f} must precede {id}");
+            }
+        }
+    }
+
+    #[test]
+    fn dff_breaks_dependence() {
+        let mut nl = Netlist::new("t");
+        let ff = nl.add_dff_floating(DomainId::new(0));
+        let inv = nl.add_gate(GateKind::Not, &[ff]);
+        nl.set_fanin(ff, 0, inv).unwrap();
+        let lv = Levelization::compute(&nl).unwrap();
+        assert_eq!(lv.level(ff), 0);
+        assert_eq!(lv.level(inv), 1);
+    }
+
+    #[test]
+    fn eval_order_skips_sources() {
+        let mut nl = Netlist::new("t");
+        let a = nl.add_input("a");
+        let x = nl.add_xsource();
+        let g = nl.add_gate(GateKind::Or, &[a, x]);
+        nl.add_output("y", g);
+        let lv = Levelization::compute(&nl).unwrap();
+        let evals: Vec<NodeId> = lv.eval_order(&nl).collect();
+        assert_eq!(evals.len(), 2); // OR gate + OUTPUT marker
+        assert!(!evals.contains(&a));
+        assert!(!evals.contains(&x));
+    }
+
+    #[test]
+    fn reports_cycles() {
+        let mut nl = Netlist::new("c");
+        let a = nl.add_input("a");
+        let g1 = nl.add_gate(GateKind::And, &[a, a]);
+        let g2 = nl.add_gate(GateKind::And, &[g1, a]);
+        nl.set_fanin(g1, 1, g2).unwrap();
+        assert!(matches!(
+            Levelization::compute(&nl),
+            Err(NetlistError::CombinationalCycle { .. })
+        ));
+    }
+
+    #[test]
+    fn empty_netlist_levelizes() {
+        let nl = Netlist::new("e");
+        let lv = Levelization::compute(&nl).unwrap();
+        assert!(lv.order().is_empty());
+        assert_eq!(lv.max_level(), 0);
+    }
+}

@@ -1,0 +1,53 @@
+//! Gate-level netlist substrate for the at-speed logic BIST reproduction.
+//!
+//! This crate provides the circuit representation every other crate in the
+//! workspace builds on: a compact arena-based netlist of logic gates and
+//! D flip-flops annotated with clock domains, plus the structural analyses
+//! (levelization, fanout maps, statistics) and a text format
+//! (ISCAS-`.bench`-style) used by tests and examples.
+//!
+//! # Model
+//!
+//! A [`Netlist`] is a directed graph of [`GateKind`] nodes. Combinational
+//! gates are n-ary where that makes sense (`AND`, `OR`, `XOR`, ...);
+//! sequential elements are single-input D flip-flops ([`GateKind::Dff`])
+//! tagged with a [`DomainId`] naming the clock domain that drives them.
+//! [`GateKind::XSource`] models a net whose value is unknown during test
+//! (uninitialized memory output, analog block, ...) — the DFT crate bounds
+//! these before BIST is applied.
+//!
+//! # Example
+//!
+//! ```
+//! use lbist_netlist::{Netlist, GateKind, DomainId};
+//!
+//! let mut nl = Netlist::new("demo");
+//! let a = nl.add_input("a");
+//! let b = nl.add_input("b");
+//! let g = nl.add_gate(GateKind::Nand, &[a, b]);
+//! let q = nl.add_dff(g, DomainId::new(0));
+//! nl.add_output("y", q);
+//! assert!(nl.validate().is_ok());
+//! assert_eq!(nl.dffs().len(), 1);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod bench_io;
+mod error;
+mod fanout;
+mod id;
+mod kind;
+mod level;
+mod netlist;
+mod stats;
+
+pub use bench_io::{parse_bench, to_bench, BenchParseError};
+pub use error::NetlistError;
+pub use fanout::Fanouts;
+pub use id::{DomainId, NodeId};
+pub use kind::GateKind;
+pub use level::Levelization;
+pub use netlist::Netlist;
+pub use stats::NetlistStats;

@@ -1,0 +1,501 @@
+//! The netlist arena and its builder API.
+
+use crate::{DomainId, GateKind, NetlistError, NodeId};
+use std::collections::HashMap;
+use std::fmt;
+
+#[derive(Clone, Debug)]
+struct Node {
+    kind: GateKind,
+    fanins: Vec<NodeId>,
+    /// Clock domain, meaningful only for `Dff` nodes.
+    domain: DomainId,
+}
+
+/// A gate-level netlist: the circuit representation used across the
+/// workspace.
+///
+/// Nodes live in an append-only arena indexed by [`NodeId`]. Node fanins can
+/// be rewired after creation (needed by scan insertion and X-bounding), but
+/// nodes are never removed, so ids handed out stay valid for the lifetime of
+/// the netlist.
+///
+/// # Example
+///
+/// ```
+/// use lbist_netlist::{Netlist, GateKind, DomainId};
+///
+/// let mut nl = Netlist::new("sr");
+/// let d = nl.add_input("d");
+/// let q = nl.add_dff(d, DomainId::new(0));
+/// let n = nl.add_gate(GateKind::Not, &[q]);
+/// nl.add_output("qn", n);
+/// assert_eq!(nl.len(), 4);
+/// assert_eq!(nl.kind(q), GateKind::Dff);
+/// assert_eq!(nl.fanins(n), &[q]);
+/// ```
+#[derive(Clone)]
+pub struct Netlist {
+    name: String,
+    nodes: Vec<Node>,
+    inputs: Vec<NodeId>,
+    outputs: Vec<NodeId>,
+    dffs: Vec<NodeId>,
+    xsources: Vec<NodeId>,
+    names: HashMap<String, NodeId>,
+    node_names: HashMap<NodeId, String>,
+}
+
+impl Netlist {
+    /// Creates an empty netlist with the given design name.
+    pub fn new(name: impl Into<String>) -> Self {
+        Netlist {
+            name: name.into(),
+            nodes: Vec::new(),
+            inputs: Vec::new(),
+            outputs: Vec::new(),
+            dffs: Vec::new(),
+            xsources: Vec::new(),
+            names: HashMap::new(),
+            node_names: HashMap::new(),
+        }
+    }
+
+    /// The design name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Renames the design.
+    pub fn set_design_name(&mut self, name: impl Into<String>) {
+        self.name = name.into();
+    }
+
+    fn push(&mut self, node: Node) -> NodeId {
+        let id = NodeId::from_index(self.nodes.len());
+        match node.kind {
+            GateKind::Input => self.inputs.push(id),
+            GateKind::Output => self.outputs.push(id),
+            GateKind::Dff => self.dffs.push(id),
+            GateKind::XSource => self.xsources.push(id),
+            _ => {}
+        }
+        self.nodes.push(node);
+        id
+    }
+
+    /// Adds a named primary input.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the name is already taken.
+    pub fn add_input(&mut self, name: &str) -> NodeId {
+        let id = self.push(Node { kind: GateKind::Input, fanins: Vec::new(), domain: DomainId::default() });
+        self.set_name(id, name);
+        id
+    }
+
+    /// Adds a named primary output marker driven by `src`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the name is already taken.
+    pub fn add_output(&mut self, name: &str, src: NodeId) -> NodeId {
+        let id = self.push(Node { kind: GateKind::Output, fanins: vec![src], domain: DomainId::default() });
+        self.set_name(id, name);
+        id
+    }
+
+    /// Adds a combinational gate.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `kind` is sequential or the fanin count violates
+    /// [`GateKind::fanin_bounds`]; use [`Netlist::try_add_gate`] for a
+    /// fallible version.
+    pub fn add_gate(&mut self, kind: GateKind, fanins: &[NodeId]) -> NodeId {
+        self.try_add_gate(kind, fanins).expect("invalid gate construction")
+    }
+
+    /// Fallible version of [`Netlist::add_gate`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NetlistError::BadFaninCount`] if the fanin count is illegal
+    /// for `kind`, and [`NetlistError::DanglingFanin`] if a fanin id does not
+    /// exist yet.
+    pub fn try_add_gate(&mut self, kind: GateKind, fanins: &[NodeId]) -> Result<NodeId, NetlistError> {
+        if kind == GateKind::Dff {
+            return Err(NetlistError::BadFaninCount { kind, got: fanins.len() });
+        }
+        if !kind.accepts_fanins(fanins.len()) {
+            return Err(NetlistError::BadFaninCount { kind, got: fanins.len() });
+        }
+        let next = NodeId::from_index(self.nodes.len());
+        for &f in fanins {
+            if f.index() >= self.nodes.len() {
+                return Err(NetlistError::DanglingFanin { node: next, fanin: f });
+            }
+        }
+        Ok(self.push(Node { kind, fanins: fanins.to_vec(), domain: DomainId::default() }))
+    }
+
+    /// Adds a rising-edge D flip-flop in clock domain `domain`, fed by `d`.
+    pub fn add_dff(&mut self, d: NodeId, domain: DomainId) -> NodeId {
+        assert!(d.index() < self.nodes.len(), "dangling D fanin");
+        self.push(Node { kind: GateKind::Dff, fanins: vec![d], domain })
+    }
+
+    /// Adds a D flip-flop whose `D` pin will be connected later with
+    /// [`Netlist::set_fanin`]. Until then it feeds back on itself (a legal
+    /// hold register), so validation still passes.
+    pub fn add_dff_floating(&mut self, domain: DomainId) -> NodeId {
+        let id = NodeId::from_index(self.nodes.len());
+        self.push(Node { kind: GateKind::Dff, fanins: vec![id], domain })
+    }
+
+    /// Adds an unknown-value source (to be X-bounded by DFT).
+    pub fn add_xsource(&mut self) -> NodeId {
+        self.push(Node { kind: GateKind::XSource, fanins: Vec::new(), domain: DomainId::default() })
+    }
+
+    /// Adds a constant node.
+    pub fn add_const(&mut self, value: bool) -> NodeId {
+        let kind = if value { GateKind::Const1 } else { GateKind::Const0 };
+        self.push(Node { kind, fanins: Vec::new(), domain: DomainId::default() })
+    }
+
+    /// Rewires pin `pin` of `node` to `src`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NetlistError::BadPin`] if the pin index is out of range and
+    /// [`NetlistError::DanglingFanin`] if `src` does not exist.
+    pub fn set_fanin(&mut self, node: NodeId, pin: usize, src: NodeId) -> Result<(), NetlistError> {
+        if src.index() >= self.nodes.len() {
+            return Err(NetlistError::DanglingFanin { node, fanin: src });
+        }
+        let n = &mut self.nodes[node.index()];
+        if pin >= n.fanins.len() {
+            return Err(NetlistError::BadPin { node, pin });
+        }
+        n.fanins[pin] = src;
+        Ok(())
+    }
+
+    /// Replaces every fanin reference to `from` with `to`, across all nodes.
+    ///
+    /// This is the primitive DFT transformations use to splice bounding or
+    /// observation logic into existing nets. References inside `skip` nodes
+    /// are left untouched (so the splice itself can keep reading `from`).
+    pub fn rewire_readers(&mut self, from: NodeId, to: NodeId, skip: &[NodeId]) -> usize {
+        let mut count = 0;
+        for (idx, node) in self.nodes.iter_mut().enumerate() {
+            if skip.iter().any(|s| s.index() == idx) {
+                continue;
+            }
+            for f in &mut node.fanins {
+                if *f == from {
+                    *f = to;
+                    count += 1;
+                }
+            }
+        }
+        count
+    }
+
+    /// Assigns a name to a node.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the name is already used by a different node.
+    pub fn set_name(&mut self, node: NodeId, name: &str) {
+        if let Some(&existing) = self.names.get(name) {
+            assert_eq!(existing, node, "duplicate node name `{name}`");
+            return;
+        }
+        if let Some(old) = self.node_names.insert(node, name.to_string()) {
+            self.names.remove(&old);
+        }
+        self.names.insert(name.to_string(), node);
+    }
+
+    /// Looks up the name of a node, if it has one.
+    pub fn node_name(&self, node: NodeId) -> Option<&str> {
+        self.node_names.get(&node).map(String::as_str)
+    }
+
+    /// Finds a node by name.
+    pub fn find(&self, name: &str) -> Option<NodeId> {
+        self.names.get(name).copied()
+    }
+
+    /// Number of nodes in the arena (all kinds).
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Returns `true` if the netlist has no nodes.
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// Iterates over all node ids in arena order.
+    pub fn ids(&self) -> impl ExactSizeIterator<Item = NodeId> + '_ {
+        (0..self.nodes.len()).map(NodeId::from_index)
+    }
+
+    /// The kind of a node.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `node` is out of range.
+    #[inline]
+    pub fn kind(&self, node: NodeId) -> GateKind {
+        self.nodes[node.index()].kind
+    }
+
+    /// The fanins of a node, in pin order.
+    #[inline]
+    pub fn fanins(&self, node: NodeId) -> &[NodeId] {
+        &self.nodes[node.index()].fanins
+    }
+
+    /// The clock domain of a node. Only meaningful for `Dff` nodes; other
+    /// kinds return `None`.
+    #[inline]
+    pub fn domain(&self, node: NodeId) -> Option<DomainId> {
+        let n = &self.nodes[node.index()];
+        if n.kind == GateKind::Dff {
+            Some(n.domain)
+        } else {
+            None
+        }
+    }
+
+    /// Moves a flip-flop to a different clock domain.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `node` is not a `Dff`.
+    pub fn set_domain(&mut self, node: NodeId, domain: DomainId) {
+        let n = &mut self.nodes[node.index()];
+        assert_eq!(n.kind, GateKind::Dff, "set_domain on non-DFF node");
+        n.domain = domain;
+    }
+
+    /// Primary inputs, in creation order.
+    pub fn inputs(&self) -> &[NodeId] {
+        &self.inputs
+    }
+
+    /// Primary output markers, in creation order.
+    pub fn outputs(&self) -> &[NodeId] {
+        &self.outputs
+    }
+
+    /// All flip-flops, in creation order.
+    pub fn dffs(&self) -> &[NodeId] {
+        &self.dffs
+    }
+
+    /// All unknown-value sources, in creation order.
+    pub fn xsources(&self) -> &[NodeId] {
+        &self.xsources
+    }
+
+    /// Number of clock domains (one more than the highest domain index used
+    /// by any flip-flop; zero when there are no flip-flops).
+    pub fn num_domains(&self) -> usize {
+        self.dffs
+            .iter()
+            .map(|&ff| self.nodes[ff.index()].domain.index() + 1)
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// Flip-flops belonging to the given clock domain, in creation order.
+    pub fn dffs_in_domain(&self, domain: DomainId) -> Vec<NodeId> {
+        self.dffs
+            .iter()
+            .copied()
+            .filter(|&ff| self.nodes[ff.index()].domain == domain)
+            .collect()
+    }
+
+    /// Count of logic gates (see [`GateKind::is_logic`]).
+    pub fn gate_count(&self) -> usize {
+        self.nodes.iter().filter(|n| n.kind.is_logic()).count()
+    }
+
+    /// Total area in NAND2 gate-equivalents (see
+    /// [`GateKind::gate_equivalents`]).
+    pub fn gate_equivalents(&self) -> f64 {
+        self.nodes.iter().map(|n| n.kind.gate_equivalents(n.fanins.len())).sum()
+    }
+
+    /// Structural sanity check: fanin arities, no dangling references, no
+    /// output-feeding-output chains, and no combinational cycles.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first violation found.
+    pub fn validate(&self) -> Result<(), NetlistError> {
+        for (idx, node) in self.nodes.iter().enumerate() {
+            let id = NodeId::from_index(idx);
+            if !node.kind.accepts_fanins(node.fanins.len()) {
+                return Err(NetlistError::BadFaninCount { kind: node.kind, got: node.fanins.len() });
+            }
+            for &f in &node.fanins {
+                if f.index() >= self.nodes.len() {
+                    return Err(NetlistError::DanglingFanin { node: id, fanin: f });
+                }
+                if node.kind == GateKind::Output && self.nodes[f.index()].kind == GateKind::Output {
+                    return Err(NetlistError::OutputFeedsOutput { node: f });
+                }
+            }
+        }
+        // Cycle check over the combinational graph (DFF outputs are sources,
+        // DFF D-pins are sinks, so edges into a DFF are not followed).
+        crate::level::Levelization::compute(self).map(|_| ())
+    }
+}
+
+impl fmt::Debug for Netlist {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Netlist")
+            .field("name", &self.name)
+            .field("nodes", &self.nodes.len())
+            .field("inputs", &self.inputs.len())
+            .field("outputs", &self.outputs.len())
+            .field("dffs", &self.dffs.len())
+            .field("xsources", &self.xsources.len())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> Netlist {
+        let mut nl = Netlist::new("tiny");
+        let a = nl.add_input("a");
+        let b = nl.add_input("b");
+        let g = nl.add_gate(GateKind::And, &[a, b]);
+        nl.add_output("y", g);
+        nl
+    }
+
+    #[test]
+    fn build_and_query() {
+        let nl = tiny();
+        assert_eq!(nl.len(), 4);
+        assert_eq!(nl.inputs().len(), 2);
+        assert_eq!(nl.outputs().len(), 1);
+        assert_eq!(nl.gate_count(), 1);
+        assert!(nl.validate().is_ok());
+        assert_eq!(nl.find("a"), Some(nl.inputs()[0]));
+        assert_eq!(nl.node_name(nl.inputs()[1]), Some("b"));
+        assert_eq!(nl.find("nope"), None);
+    }
+
+    #[test]
+    fn arity_is_enforced() {
+        let mut nl = tiny();
+        let a = nl.inputs()[0];
+        let err = nl.try_add_gate(GateKind::Not, &[a, a]).unwrap_err();
+        assert!(matches!(err, NetlistError::BadFaninCount { .. }));
+        let err = nl.try_add_gate(GateKind::And, &[a]).unwrap_err();
+        assert!(matches!(err, NetlistError::BadFaninCount { .. }));
+        assert!(nl.try_add_gate(GateKind::And, &[a, a, a, a]).is_ok());
+    }
+
+    #[test]
+    fn dangling_fanin_is_rejected() {
+        let mut nl = tiny();
+        let ghost = NodeId::from_index(999);
+        let err = nl.try_add_gate(GateKind::Buf, &[ghost]).unwrap_err();
+        assert!(matches!(err, NetlistError::DanglingFanin { .. }));
+    }
+
+    #[test]
+    fn dff_domains() {
+        let mut nl = Netlist::new("d");
+        let a = nl.add_input("a");
+        let f0 = nl.add_dff(a, DomainId::new(0));
+        let f1 = nl.add_dff(f0, DomainId::new(3));
+        assert_eq!(nl.num_domains(), 4);
+        assert_eq!(nl.domain(f1), Some(DomainId::new(3)));
+        assert_eq!(nl.domain(a), None);
+        assert_eq!(nl.dffs_in_domain(DomainId::new(3)), vec![f1]);
+        nl.set_domain(f1, DomainId::new(1));
+        assert_eq!(nl.num_domains(), 2);
+    }
+
+    #[test]
+    fn floating_dff_then_connect() {
+        let mut nl = Netlist::new("f");
+        let ff = nl.add_dff_floating(DomainId::new(0));
+        assert!(nl.validate().is_ok()); // self-loop through a FF is legal
+        let a = nl.add_input("a");
+        nl.set_fanin(ff, 0, a).unwrap();
+        assert_eq!(nl.fanins(ff), &[a]);
+        assert!(nl.validate().is_ok());
+    }
+
+    #[test]
+    fn rewire_readers_respects_skip() {
+        let mut nl = Netlist::new("r");
+        let a = nl.add_input("a");
+        let b1 = nl.add_gate(GateKind::Buf, &[a]);
+        let b2 = nl.add_gate(GateKind::Buf, &[a]);
+        let n = nl.rewire_readers(a, b1, &[b1]);
+        assert_eq!(n, 1);
+        assert_eq!(nl.fanins(b2), &[b1]);
+        assert_eq!(nl.fanins(b1), &[a]);
+    }
+
+    #[test]
+    fn combinational_cycle_detected() {
+        let mut nl = Netlist::new("c");
+        let a = nl.add_input("a");
+        let g1 = nl.add_gate(GateKind::And, &[a, a]);
+        let g2 = nl.add_gate(GateKind::Or, &[g1, a]);
+        nl.set_fanin(g1, 1, g2).unwrap();
+        let err = nl.validate().unwrap_err();
+        assert!(matches!(err, NetlistError::CombinationalCycle { .. }));
+    }
+
+    #[test]
+    fn cycle_through_dff_is_fine() {
+        let mut nl = Netlist::new("ok");
+        let ff = nl.add_dff_floating(DomainId::new(0));
+        let inv = nl.add_gate(GateKind::Not, &[ff]);
+        nl.set_fanin(ff, 0, inv).unwrap(); // toggle flop
+        assert!(nl.validate().is_ok());
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate node name")]
+    fn duplicate_names_panic() {
+        let mut nl = Netlist::new("dup");
+        nl.add_input("a");
+        nl.add_input("a");
+    }
+
+    #[test]
+    fn gate_equivalents_accumulate() {
+        let nl = tiny();
+        assert!(nl.gate_equivalents() > 0.0);
+        let mut bigger = tiny();
+        let a = bigger.inputs()[0];
+        bigger.add_gate(GateKind::Xor, &[a, a]);
+        assert!(bigger.gate_equivalents() > nl.gate_equivalents());
+    }
+
+    #[test]
+    fn debug_is_nonempty() {
+        assert!(!format!("{:?}", tiny()).is_empty());
+    }
+}

@@ -1,0 +1,128 @@
+//! Design statistics in the shape of Table 1's structural rows.
+
+use crate::{Fanouts, GateKind, Levelization, Netlist};
+use std::fmt;
+
+/// Summary statistics of a netlist, matching the structural rows the paper
+/// reports for each core (gate count, #FFs, #clock domains, ...).
+///
+/// # Example
+///
+/// ```
+/// use lbist_netlist::{Netlist, GateKind, DomainId, NetlistStats};
+///
+/// let mut nl = Netlist::new("s");
+/// let a = nl.add_input("a");
+/// let g = nl.add_gate(GateKind::Not, &[a]);
+/// let q = nl.add_dff(g, DomainId::new(0));
+/// nl.add_output("y", q);
+/// let st = NetlistStats::compute(&nl);
+/// assert_eq!(st.num_ffs, 1);
+/// assert_eq!(st.num_domains, 1);
+/// ```
+#[derive(Clone, Debug, PartialEq)]
+pub struct NetlistStats {
+    /// Design name.
+    pub name: String,
+    /// Total arena nodes.
+    pub num_nodes: usize,
+    /// Logic gates (area-carrying cells).
+    pub num_gates: usize,
+    /// Flip-flops.
+    pub num_ffs: usize,
+    /// Primary inputs.
+    pub num_inputs: usize,
+    /// Primary outputs.
+    pub num_outputs: usize,
+    /// Unknown-value sources.
+    pub num_xsources: usize,
+    /// Clock domains.
+    pub num_domains: usize,
+    /// Combinational depth (max logic level).
+    pub depth: u32,
+    /// Area in NAND2 gate-equivalents.
+    pub gate_equivalents: f64,
+    /// Maximum fanout degree.
+    pub max_fanout: usize,
+    /// Mean fanin of logic gates.
+    pub avg_fanin: f64,
+}
+
+impl NetlistStats {
+    /// Computes statistics for `netlist`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the netlist contains a combinational cycle (validate
+    /// first).
+    pub fn compute(netlist: &Netlist) -> Self {
+        let lv = Levelization::compute(netlist).expect("stats require an acyclic netlist");
+        let fo = Fanouts::compute(netlist);
+        let mut fanin_sum = 0usize;
+        let mut fanin_gates = 0usize;
+        for id in netlist.ids() {
+            if netlist.kind(id).is_logic() && netlist.kind(id) != GateKind::Dff {
+                fanin_sum += netlist.fanins(id).len();
+                fanin_gates += 1;
+            }
+        }
+        NetlistStats {
+            name: netlist.name().to_string(),
+            num_nodes: netlist.len(),
+            num_gates: netlist.gate_count(),
+            num_ffs: netlist.dffs().len(),
+            num_inputs: netlist.inputs().len(),
+            num_outputs: netlist.outputs().len(),
+            num_xsources: netlist.xsources().len(),
+            num_domains: netlist.num_domains(),
+            depth: lv.max_level(),
+            gate_equivalents: netlist.gate_equivalents(),
+            max_fanout: netlist.ids().map(|id| fo.degree(id)).max().unwrap_or(0),
+            avg_fanin: if fanin_gates == 0 { 0.0 } else { fanin_sum as f64 / fanin_gates as f64 },
+        }
+    }
+}
+
+impl fmt::Display for NetlistStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "design           {}", self.name)?;
+        writeln!(f, "gate count       {:.1}K GE ({} gates)", self.gate_equivalents / 1000.0, self.num_gates)?;
+        writeln!(f, "# of FFs         {}", self.num_ffs)?;
+        writeln!(f, "PIs / POs        {} / {}", self.num_inputs, self.num_outputs)?;
+        writeln!(f, "X sources        {}", self.num_xsources)?;
+        writeln!(f, "clock domains    {}", self.num_domains)?;
+        writeln!(f, "depth            {}", self.depth)?;
+        write!(f, "max fanout       {}", self.max_fanout)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::DomainId;
+
+    #[test]
+    fn stats_reflect_structure() {
+        let mut nl = Netlist::new("t");
+        let a = nl.add_input("a");
+        let b = nl.add_input("b");
+        let g = nl.add_gate(GateKind::And, &[a, b]);
+        let h = nl.add_gate(GateKind::Xor, &[g, a]);
+        let q = nl.add_dff(h, DomainId::new(1));
+        nl.add_output("y", q);
+        nl.add_xsource();
+        let st = NetlistStats::compute(&nl);
+        assert_eq!(st.num_nodes, 7);
+        assert_eq!(st.num_gates, 3); // AND, XOR, DFF
+        assert_eq!(st.num_ffs, 1);
+        assert_eq!(st.num_inputs, 2);
+        assert_eq!(st.num_outputs, 1);
+        assert_eq!(st.num_xsources, 1);
+        assert_eq!(st.num_domains, 2); // domain index 1 implies domains {0,1}
+        assert_eq!(st.depth, 2); // AND -> XOR; the DFF restarts at level 0
+        assert!(st.gate_equivalents > 0.0);
+        assert_eq!(st.max_fanout, 2);
+        assert!((st.avg_fanin - 2.0).abs() < 1e-9);
+        assert!(!st.to_string().is_empty());
+    }
+}

@@ -1,0 +1,84 @@
+//! MISR aliasing analysis.
+//!
+//! A MISR maps an error stream (the XOR difference between faulty and good
+//! responses) linearly to a signature difference; the fault escapes only if
+//! a *nonzero* error stream maps to the zero difference. For an `n`-bit
+//! MISR absorbing a long random error stream the escape probability is the
+//! classic `2^-n` [Bardell, McAnney & Savir]. This module provides both the
+//! closed form and an empirical estimator used by tests and the bench
+//! suite to confirm the implementation behaves like the theory.
+
+use crate::{LfsrPoly, Misr};
+
+/// Theoretical asymptotic aliasing probability of an `n`-bit MISR: `2^-n`.
+///
+/// # Example
+///
+/// ```
+/// assert_eq!(lbist_tpg::aliasing::theoretical(10), 2f64.powi(-10));
+/// ```
+pub fn theoretical(width: usize) -> f64 {
+    2f64.powi(-(width as i32))
+}
+
+/// Empirically estimates the aliasing probability of a MISR built from
+/// `poly` with `inputs` ports: injects `trials` random nonzero error
+/// streams of `cycles` cycles and counts how many produce a zero signature
+/// difference (by superposition, the signature of the error stream alone).
+///
+/// Returns the observed aliasing fraction. Deterministic in `seed`.
+pub fn empirical(poly: &LfsrPoly, inputs: usize, cycles: usize, trials: usize, seed: u64) -> f64 {
+    let mut x = seed.max(1);
+    let mut rng = move || {
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        x
+    };
+    let mut aliased = 0usize;
+    for _ in 0..trials {
+        let mut m = Misr::new(poly.clone(), inputs);
+        let mut any = false;
+        for _ in 0..cycles {
+            let bits: Vec<bool> = (0..inputs).map(|_| rng() & 1 == 1).collect();
+            any |= bits.iter().any(|&b| b);
+            m.clock(&bits);
+        }
+        if !any {
+            continue; // zero stream is not an error
+        }
+        if m.signature().is_zero() {
+            aliased += 1;
+        }
+    }
+    aliased as f64 / trials as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn theoretical_halves_per_bit() {
+        assert!((theoretical(8) / theoretical(9) - 2.0).abs() < 1e-12);
+        assert_eq!(theoretical(0), 1.0);
+    }
+
+    #[test]
+    fn small_misr_alias_rate_matches_theory() {
+        // 6-bit MISR: expect ~1/64 = 1.56%; with 20_000 trials the estimate
+        // lands well inside [0.5x, 2x] of theory.
+        let poly = LfsrPoly::maximal(6).unwrap();
+        let rate = empirical(&poly, 4, 32, 20_000, 42);
+        let expect = theoretical(6);
+        assert!(rate > expect * 0.5 && rate < expect * 2.0, "rate={rate}, theory={expect}");
+    }
+
+    #[test]
+    fn wide_misr_never_aliases_in_small_sample() {
+        // 2^-19 ~ 1.9e-6: 5_000 trials should see zero aliasing.
+        let poly = LfsrPoly::maximal(19).unwrap();
+        let rate = empirical(&poly, 8, 64, 5_000, 7);
+        assert_eq!(rate, 0.0);
+    }
+}

@@ -1,0 +1,226 @@
+//! Galois-form LFSRs and PRPG reseeding.
+//!
+//! The Fibonacci form (`crate::Lfsr`) computes one XOR of several taps per
+//! cycle; the Galois form spreads the feedback into per-stage XORs, which
+//! is how high-speed silicon actually implements PRPGs (one XOR2 per tap,
+//! no wide XOR tree in the feedback path). Both generate maximal sequences
+//! for the same primitive polynomial; [`GaloisLfsr`] exists so the
+//! hardware-faithful form is available and its equivalence is testable.
+//!
+//! [`ReseedSchedule`] models the classic coverage booster the paper's
+//! Boundary-Scan seed-load path enables: splitting the random budget over
+//! several seeds decorrelates the pattern set across session segments.
+
+use crate::{Gf2Vec, Lfsr, LfsrPoly};
+
+/// A Galois (internal-XOR) LFSR.
+///
+/// # Example
+///
+/// ```
+/// use lbist_tpg::{GaloisLfsr, LfsrPoly};
+/// let mut g = GaloisLfsr::with_ones_seed(LfsrPoly::maximal(8).unwrap());
+/// let bits: Vec<bool> = (0..10).map(|_| g.step()).collect();
+/// assert_eq!(bits.len(), 10);
+/// ```
+#[derive(Clone, Debug)]
+pub struct GaloisLfsr {
+    poly: LfsrPoly,
+    mask: Gf2Vec,
+    state: Gf2Vec,
+}
+
+impl GaloisLfsr {
+    /// Creates a Galois LFSR with the given polynomial and seed.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the seed length differs from the degree or is all-zero.
+    pub fn new(poly: LfsrPoly, seed: Gf2Vec) -> Self {
+        assert_eq!(seed.len(), poly.degree());
+        assert!(!seed.is_zero(), "an all-zero state never advances");
+        GaloisLfsr { mask: poly.feedback_mask(), poly, state: seed }
+    }
+
+    /// All-ones seed (the conventional reset).
+    pub fn with_ones_seed(poly: LfsrPoly) -> Self {
+        let seed = Gf2Vec::from_fn(poly.degree(), |_| true);
+        GaloisLfsr::new(poly, seed)
+    }
+
+    /// The feedback polynomial.
+    pub fn poly(&self) -> &LfsrPoly {
+        &self.poly
+    }
+
+    /// Current state.
+    pub fn state(&self) -> &Gf2Vec {
+        &self.state
+    }
+
+    /// Advances one cycle, returning the output bit (stage 0).
+    ///
+    /// Galois update: the output bit leaves stage 0; the register shifts
+    /// down; where the polynomial has a term, the *output* bit is XORed
+    /// into the shifted stage. This computes the same sequence as the
+    /// Fibonacci form (time-reversed tap view), with single-XOR depth.
+    pub fn step(&mut self) -> bool {
+        let out = self.state.get(0);
+        self.state.shift_down();
+        if out {
+            self.state.xor_assign(&self.galois_injection());
+        }
+        out
+    }
+
+    fn galois_injection(&self) -> Gf2Vec {
+        // Injection positions derive from the feedback mask: stage j of the
+        // shifted register receives the output when coefficient j+1 ... the
+        // top stage always receives it (x^n term).
+        let n = self.poly.degree();
+        Gf2Vec::from_fn(n, |j| {
+            if j == n - 1 {
+                true
+            } else {
+                self.mask.get(j + 1)
+            }
+        })
+    }
+}
+
+/// A reseeding plan: seeds applied at fixed pattern intervals, as loaded
+/// through the TAP's `LBIST_SEED` instruction.
+///
+/// # Example
+///
+/// ```
+/// use lbist_tpg::{LfsrPoly, ReseedSchedule};
+/// let poly = LfsrPoly::maximal(19).unwrap();
+/// let plan = ReseedSchedule::spread(&poly, 4, 0xFEED);
+/// assert_eq!(plan.seeds().len(), 4);
+/// assert_eq!(plan.seed_for_pattern(0, 1000), 0);
+/// assert_eq!(plan.seed_for_pattern(999, 1000), 3);
+/// ```
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ReseedSchedule {
+    seeds: Vec<Gf2Vec>,
+}
+
+impl ReseedSchedule {
+    /// Derives `count` distinct nonzero seeds from `entropy`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `count` is zero.
+    pub fn spread(poly: &LfsrPoly, count: usize, entropy: u64) -> Self {
+        assert!(count > 0, "a schedule needs at least one seed");
+        let mut seeds = Vec::with_capacity(count);
+        let mut x = entropy | 1;
+        for _ in 0..count {
+            // splitmix-style scramble per seed.
+            let mut word = x;
+            let seed = Gf2Vec::from_fn(poly.degree(), |i| {
+                if i % 64 == 0 {
+                    word = word.wrapping_mul(0x9E37_79B9_7F4A_7C15).rotate_left(31);
+                }
+                (word >> (i % 64)) & 1 == 1 || i == 0 // bit 0 set: never zero
+            });
+            seeds.push(seed);
+            x = x.wrapping_add(0xA24B_AED4_963E_E407);
+        }
+        ReseedSchedule { seeds }
+    }
+
+    /// The seeds, in application order.
+    pub fn seeds(&self) -> &[Gf2Vec] {
+        &self.seeds
+    }
+
+    /// Which seed segment pattern `p` of a `total`-pattern session uses.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `total` is zero or `p >= total`.
+    pub fn seed_for_pattern(&self, p: usize, total: usize) -> usize {
+        assert!(total > 0 && p < total);
+        (p * self.seeds.len()) / total
+    }
+
+    /// Applies segment `idx`'s seed to an LFSR.
+    ///
+    /// # Panics
+    ///
+    /// Panics on index or width mismatch.
+    pub fn apply(&self, idx: usize, lfsr: &mut Lfsr) {
+        lfsr.set_state(self.seeds[idx].clone());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Galois and Fibonacci forms of the same primitive polynomial both
+    /// have maximal period.
+    #[test]
+    fn galois_period_is_maximal() {
+        for d in [4usize, 7, 10] {
+            let poly = LfsrPoly::maximal(d).unwrap();
+            let mut g = GaloisLfsr::with_ones_seed(poly);
+            let start = g.state().clone();
+            let mut period = 0u64;
+            loop {
+                g.step();
+                period += 1;
+                if *g.state() == start {
+                    break;
+                }
+                assert!(period < 1 << 12, "period runaway at degree {d}");
+            }
+            assert_eq!(period, (1 << d) - 1, "degree {d}");
+        }
+    }
+
+    /// The two forms generate the same *set* of states (both maximal), and
+    /// their output streams are balanced the same way.
+    #[test]
+    fn galois_stream_is_balanced() {
+        let d = 9;
+        let poly = LfsrPoly::maximal(d).unwrap();
+        let mut g = GaloisLfsr::with_ones_seed(poly);
+        let ones: u32 = (0..(1u32 << d) - 1).map(|_| g.step() as u32).sum();
+        assert_eq!(ones, 1 << (d - 1));
+    }
+
+    #[test]
+    fn reseed_schedule_segments_patterns_evenly() {
+        let poly = LfsrPoly::maximal(19).unwrap();
+        let plan = ReseedSchedule::spread(&poly, 4, 99);
+        let mut counts = [0usize; 4];
+        for p in 0..1000 {
+            counts[plan.seed_for_pattern(p, 1000)] += 1;
+        }
+        assert_eq!(counts, [250, 250, 250, 250]);
+    }
+
+    #[test]
+    fn seeds_are_distinct_and_nonzero() {
+        let poly = LfsrPoly::maximal(19).unwrap();
+        let plan = ReseedSchedule::spread(&poly, 8, 12345);
+        for (i, a) in plan.seeds().iter().enumerate() {
+            assert!(!a.is_zero());
+            for b in plan.seeds().iter().skip(i + 1) {
+                assert_ne!(a, b, "duplicate seeds defeat reseeding");
+            }
+        }
+    }
+
+    #[test]
+    fn apply_loads_the_lfsr() {
+        let poly = LfsrPoly::maximal(11).unwrap();
+        let plan = ReseedSchedule::spread(&poly, 2, 5);
+        let mut lfsr = Lfsr::with_ones_seed(poly);
+        plan.apply(1, &mut lfsr);
+        assert_eq!(lfsr.state(), &plan.seeds()[1]);
+    }
+}

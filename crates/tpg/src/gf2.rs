@@ -1,0 +1,369 @@
+//! Dense GF(2) vectors and matrices.
+//!
+//! Small, bespoke linear algebra used to synthesise phase shifters and to
+//! reason about LFSR state evolution. Vectors are bit-packed in `u64`
+//! words; matrix multiplication XORs whole rows, so a 64×64 product is a
+//! few hundred word operations.
+
+use std::fmt;
+
+/// A fixed-length bit vector over GF(2).
+///
+/// # Example
+///
+/// ```
+/// use lbist_tpg::Gf2Vec;
+/// let mut v = Gf2Vec::zeros(70);
+/// v.set(0, true);
+/// v.set(69, true);
+/// assert_eq!(v.count_ones(), 2);
+/// assert!(v.get(69));
+/// ```
+#[derive(Clone, PartialEq, Eq, Hash)]
+pub struct Gf2Vec {
+    words: Vec<u64>,
+    len: usize,
+}
+
+impl Gf2Vec {
+    /// An all-zero vector of the given bit length.
+    pub fn zeros(len: usize) -> Self {
+        Gf2Vec { words: vec![0u64; len.div_ceil(64)], len }
+    }
+
+    /// Builds a vector from booleans.
+    pub fn from_bools(bits: &[bool]) -> Self {
+        let mut v = Gf2Vec::zeros(bits.len());
+        for (i, &b) in bits.iter().enumerate() {
+            v.set(i, b);
+        }
+        v
+    }
+
+    /// Builds a vector of length `len` by evaluating `f` at each index.
+    pub fn from_fn(len: usize, mut f: impl FnMut(usize) -> bool) -> Self {
+        let mut v = Gf2Vec::zeros(len);
+        for i in 0..len {
+            v.set(i, f(i));
+        }
+        v
+    }
+
+    /// Vector length in bits.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Returns `true` if the vector has zero length.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Reads bit `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= len`.
+    #[inline]
+    pub fn get(&self, i: usize) -> bool {
+        assert!(i < self.len);
+        (self.words[i / 64] >> (i % 64)) & 1 == 1
+    }
+
+    /// Writes bit `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= len`.
+    #[inline]
+    pub fn set(&mut self, i: usize, value: bool) {
+        assert!(i < self.len);
+        let mask = 1u64 << (i % 64);
+        if value {
+            self.words[i / 64] |= mask;
+        } else {
+            self.words[i / 64] &= !mask;
+        }
+    }
+
+    /// XORs `other` into `self`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on length mismatch.
+    pub fn xor_assign(&mut self, other: &Gf2Vec) {
+        assert_eq!(self.len, other.len, "gf2 vector length mismatch");
+        for (a, b) in self.words.iter_mut().zip(&other.words) {
+            *a ^= b;
+        }
+    }
+
+    /// GF(2) dot product: parity of `self AND other`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on length mismatch.
+    pub fn dot(&self, other: &Gf2Vec) -> bool {
+        assert_eq!(self.len, other.len, "gf2 vector length mismatch");
+        let mut acc = 0u64;
+        for (a, b) in self.words.iter().zip(&other.words) {
+            acc ^= a & b;
+        }
+        acc.count_ones() % 2 == 1
+    }
+
+    /// Number of set bits.
+    pub fn count_ones(&self) -> usize {
+        self.words.iter().map(|w| w.count_ones() as usize).sum()
+    }
+
+    /// Returns `true` if no bit is set.
+    pub fn is_zero(&self) -> bool {
+        self.words.iter().all(|&w| w == 0)
+    }
+
+    /// Right-shifts by one bit (bit 1 moves to bit 0; the top bit becomes 0).
+    pub fn shift_down(&mut self) {
+        let n = self.words.len();
+        for i in 0..n {
+            let carry = if i + 1 < n { self.words[i + 1] & 1 } else { 0 };
+            self.words[i] = (self.words[i] >> 1) | (carry << 63);
+        }
+        self.mask_top();
+    }
+
+    fn mask_top(&mut self) {
+        let extra = self.words.len() * 64 - self.len;
+        if extra > 0 {
+            let keep = 64 - extra;
+            if let Some(last) = self.words.last_mut() {
+                *last &= if keep == 64 { !0 } else { (1u64 << keep) - 1 };
+            }
+        }
+    }
+
+    /// Expands into booleans.
+    pub fn to_bools(&self) -> Vec<bool> {
+        (0..self.len).map(|i| self.get(i)).collect()
+    }
+}
+
+impl fmt::Debug for Gf2Vec {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Gf2Vec[")?;
+        for i in (0..self.len).rev() {
+            write!(f, "{}", if self.get(i) { 1 } else { 0 })?;
+        }
+        write!(f, "]")
+    }
+}
+
+/// A square matrix over GF(2), stored as bit-packed rows.
+///
+/// Used to model LFSR state evolution: if `A` is the transition matrix then
+/// the state after `k` steps is `A^k · s`, and the phase-shifter tap row for
+/// a delay of `k` cycles is row 0 of `A^k`.
+///
+/// # Example
+///
+/// ```
+/// use lbist_tpg::Gf2Matrix;
+/// let i = Gf2Matrix::identity(8);
+/// assert_eq!(i.mul(&i), i);
+/// ```
+#[derive(Clone, PartialEq, Eq)]
+pub struct Gf2Matrix {
+    rows: Vec<Gf2Vec>,
+    n: usize,
+}
+
+impl Gf2Matrix {
+    /// The n×n zero matrix.
+    pub fn zeros(n: usize) -> Self {
+        Gf2Matrix { rows: vec![Gf2Vec::zeros(n); n], n }
+    }
+
+    /// The n×n identity.
+    pub fn identity(n: usize) -> Self {
+        let mut m = Gf2Matrix::zeros(n);
+        for i in 0..n {
+            m.rows[i].set(i, true);
+        }
+        m
+    }
+
+    /// Matrix dimension.
+    pub fn dim(&self) -> usize {
+        self.n
+    }
+
+    /// Immutable access to row `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= dim()`.
+    pub fn row(&self, i: usize) -> &Gf2Vec {
+        &self.rows[i]
+    }
+
+    /// Mutable access to row `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= dim()`.
+    pub fn row_mut(&mut self, i: usize) -> &mut Gf2Vec {
+        &mut self.rows[i]
+    }
+
+    /// Matrix–vector product `self · v`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v.len() != dim()`.
+    pub fn mul_vec(&self, v: &Gf2Vec) -> Gf2Vec {
+        Gf2Vec::from_fn(self.n, |i| self.rows[i].dot(v))
+    }
+
+    /// Matrix product `self · other`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on dimension mismatch.
+    pub fn mul(&self, other: &Gf2Matrix) -> Gf2Matrix {
+        assert_eq!(self.n, other.n, "gf2 matrix dimension mismatch");
+        let mut out = Gf2Matrix::zeros(self.n);
+        for i in 0..self.n {
+            let mut acc = Gf2Vec::zeros(self.n);
+            for j in 0..self.n {
+                if self.rows[i].get(j) {
+                    acc.xor_assign(&other.rows[j]);
+                }
+            }
+            out.rows[i] = acc;
+        }
+        out
+    }
+
+    /// Matrix power by square-and-multiply.
+    pub fn pow(&self, mut e: u64) -> Gf2Matrix {
+        let mut result = Gf2Matrix::identity(self.n);
+        let mut base = self.clone();
+        while e > 0 {
+            if e & 1 == 1 {
+                result = result.mul(&base);
+            }
+            base = base.mul(&base);
+            e >>= 1;
+        }
+        result
+    }
+}
+
+impl fmt::Debug for Gf2Matrix {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "Gf2Matrix {}x{} [", self.n, self.n)?;
+        for r in &self.rows {
+            writeln!(f, "  {r:?}")?;
+        }
+        write!(f, "]")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn vec_set_get_round_trip() {
+        let mut v = Gf2Vec::zeros(130);
+        for i in (0..130).step_by(7) {
+            v.set(i, true);
+        }
+        for i in 0..130 {
+            assert_eq!(v.get(i), i % 7 == 0);
+        }
+    }
+
+    #[test]
+    fn dot_product_is_parity_of_and() {
+        let a = Gf2Vec::from_bools(&[true, true, false, true]);
+        let b = Gf2Vec::from_bools(&[true, false, true, true]);
+        // overlap at indices 0 and 3 -> parity 0
+        assert!(!a.dot(&b));
+        let c = Gf2Vec::from_bools(&[true, false, false, false]);
+        assert!(a.dot(&c));
+    }
+
+    #[test]
+    fn shift_down_moves_bits() {
+        let mut v = Gf2Vec::from_bools(&[false, true, false, true]);
+        v.shift_down();
+        assert_eq!(v.to_bools(), vec![true, false, true, false]);
+        v.shift_down();
+        assert_eq!(v.to_bools(), vec![false, true, false, false]);
+    }
+
+    #[test]
+    fn shift_down_across_word_boundary() {
+        let mut v = Gf2Vec::zeros(70);
+        v.set(64, true);
+        v.shift_down();
+        assert!(v.get(63));
+        assert!(!v.get(64));
+    }
+
+    #[test]
+    fn identity_is_multiplicative_unit() {
+        let n = 9;
+        let mut m = Gf2Matrix::zeros(n);
+        for i in 0..n {
+            for j in 0..n {
+                m.row_mut(i).set(j, (i * 3 + j * 5) % 4 == 1);
+            }
+        }
+        let i = Gf2Matrix::identity(n);
+        assert_eq!(m.mul(&i), m);
+        assert_eq!(i.mul(&m), m);
+    }
+
+    #[test]
+    fn pow_matches_repeated_multiplication() {
+        let n = 6;
+        let mut a = Gf2Matrix::zeros(n);
+        // Companion-like matrix of x^6 + x + 1.
+        for i in 0..n - 1 {
+            a.row_mut(i).set(i + 1, true);
+        }
+        a.row_mut(n - 1).set(0, true);
+        a.row_mut(n - 1).set(1, true);
+        let mut by_mul = Gf2Matrix::identity(n);
+        for _ in 0..13 {
+            by_mul = by_mul.mul(&a);
+        }
+        assert_eq!(a.pow(13), by_mul);
+        assert_eq!(a.pow(0), Gf2Matrix::identity(n));
+    }
+
+    #[test]
+    fn mul_vec_agrees_with_mul() {
+        let n = 5;
+        let mut a = Gf2Matrix::zeros(n);
+        for i in 0..n {
+            for j in 0..n {
+                a.row_mut(i).set(j, (i + j) % 3 == 0);
+            }
+        }
+        let v = Gf2Vec::from_bools(&[true, false, true, true, false]);
+        let av = a.mul_vec(&v);
+        // (A * I_v) where I_v has v as column 0.
+        let mut col = Gf2Matrix::zeros(n);
+        for i in 0..n {
+            col.row_mut(i).set(0, v.get(i));
+        }
+        let prod = a.mul(&col);
+        for i in 0..n {
+            assert_eq!(av.get(i), prod.row(i).get(0));
+        }
+    }
+}

@@ -1,0 +1,215 @@
+//! Fibonacci LFSRs of arbitrary width.
+
+use crate::{Gf2Matrix, Gf2Vec, LfsrPoly};
+
+/// A Fibonacci linear-feedback shift register.
+///
+/// State bit 0 is the output stage; each [`Lfsr::step`] emits bit 0, shifts
+/// the register down, and inserts the XOR of the tap stages at the top.
+/// With a maximal polynomial and any nonzero seed the state sequence visits
+/// all `2^n - 1` nonzero states.
+///
+/// # Example
+///
+/// ```
+/// use lbist_tpg::{Lfsr, LfsrPoly};
+/// let mut l = Lfsr::with_ones_seed(LfsrPoly::maximal(4).unwrap());
+/// let period = {
+///     let start = l.state().clone();
+///     let mut n = 0u64;
+///     loop {
+///         l.step();
+///         n += 1;
+///         if *l.state() == start { break n; }
+///     }
+/// };
+/// assert_eq!(period, 15); // 2^4 - 1
+/// ```
+#[derive(Clone, Debug)]
+pub struct Lfsr {
+    poly: LfsrPoly,
+    tap_mask: Gf2Vec,
+    state: Gf2Vec,
+}
+
+impl Lfsr {
+    /// Creates an LFSR with the given polynomial and seed.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the seed length differs from the polynomial degree or the
+    /// seed is all-zero (the LFSR would be stuck).
+    pub fn new(poly: LfsrPoly, seed: Gf2Vec) -> Self {
+        assert_eq!(seed.len(), poly.degree(), "seed length must equal the LFSR degree");
+        assert!(!seed.is_zero(), "an all-zero LFSR seed never leaves state 0");
+        let tap_mask = poly.feedback_mask();
+        Lfsr { poly, tap_mask, state: seed }
+    }
+
+    /// Creates an LFSR seeded with all ones — the conventional BIST reset
+    /// value.
+    pub fn with_ones_seed(poly: LfsrPoly) -> Self {
+        let seed = Gf2Vec::from_fn(poly.degree(), |_| true);
+        Lfsr::new(poly, seed)
+    }
+
+    /// The feedback polynomial.
+    pub fn poly(&self) -> &LfsrPoly {
+        &self.poly
+    }
+
+    /// Register width.
+    pub fn len(&self) -> usize {
+        self.poly.degree()
+    }
+
+    /// Always `false`: an LFSR has at least degree-2 state. Present for
+    /// API symmetry with collections.
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// Current state (bit 0 = output stage).
+    pub fn state(&self) -> &Gf2Vec {
+        &self.state
+    }
+
+    /// Overwrites the state (e.g. a seed loaded through Boundary-Scan).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the length mismatches or `state` is all-zero.
+    pub fn set_state(&mut self, state: Gf2Vec) {
+        assert_eq!(state.len(), self.poly.degree());
+        assert!(!state.is_zero(), "an all-zero LFSR state never advances");
+        self.state = state;
+    }
+
+    /// Advances one cycle and returns the bit shifted out of stage 0.
+    pub fn step(&mut self) -> bool {
+        let out = self.state.get(0);
+        let fb = self.state.dot(&self.tap_mask);
+        self.state.shift_down();
+        let top = self.poly.degree() - 1;
+        self.state.set(top, fb);
+        out
+    }
+
+    /// The GF(2) state-transition matrix `A` with `state(t+1) = A·state(t)`.
+    ///
+    /// Row `i < n-1` selects bit `i+1` (the shift); row `n-1` is the tap
+    /// mask (the feedback). Phase-shifter synthesis raises this matrix to
+    /// large powers.
+    pub fn transition_matrix(&self) -> Gf2Matrix {
+        let n = self.poly.degree();
+        let mut a = Gf2Matrix::zeros(n);
+        for i in 0..n - 1 {
+            a.row_mut(i).set(i + 1, true);
+        }
+        let mask = self.poly.feedback_mask();
+        for j in 0..n {
+            if mask.get(j) {
+                a.row_mut(n - 1).set(j, true);
+            }
+        }
+        a
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn period_of(mut l: Lfsr) -> u64 {
+        let start = l.state().clone();
+        let mut n = 0u64;
+        loop {
+            l.step();
+            n += 1;
+            if *l.state() == start {
+                return n;
+            }
+            assert!(n < 1 << 20, "period runaway");
+        }
+    }
+
+    /// Exhaustive primitivity check for every tabulated degree up to 16:
+    /// the LFSR must have period 2^d - 1.
+    #[test]
+    fn tabulated_polynomials_are_maximal_up_to_16() {
+        for d in LfsrPoly::tabulated_degrees() {
+            if d > 16 {
+                continue;
+            }
+            let poly = LfsrPoly::maximal(d).unwrap();
+            let l = Lfsr::with_ones_seed(poly);
+            assert_eq!(period_of(l), (1u64 << d) - 1, "degree {d} not maximal");
+        }
+    }
+
+    /// Spot-check a mid-size degree (19 = the paper's PRPG length) by
+    /// confirming the state does not return within a large prefix and that
+    /// A^(2^19 - 1) = I.
+    #[test]
+    fn degree_19_is_maximal_via_matrix_order() {
+        let poly = LfsrPoly::maximal(19).unwrap();
+        let l = Lfsr::with_ones_seed(poly);
+        let a = l.transition_matrix();
+        assert_eq!(a.pow((1 << 19) - 1), Gf2Matrix::identity(19));
+        // ... and the order is not a proper divisor: (2^19-1) = 7*73*127*... is
+        // actually 524287, a Mersenne prime, so checking != I at 1 step suffices.
+        assert_ne!(a.pow(1), Gf2Matrix::identity(19));
+    }
+
+    #[test]
+    fn transition_matrix_matches_step() {
+        let poly = LfsrPoly::maximal(8).unwrap();
+        let mut l = Lfsr::with_ones_seed(poly);
+        let a = l.transition_matrix();
+        for _ in 0..100 {
+            let predicted = a.mul_vec(l.state());
+            l.step();
+            assert_eq!(*l.state(), predicted);
+        }
+    }
+
+    #[test]
+    fn output_bit_is_stage_zero() {
+        let poly = LfsrPoly::maximal(5).unwrap();
+        let mut l = Lfsr::with_ones_seed(poly);
+        for _ in 0..40 {
+            let expect = l.state().get(0);
+            assert_eq!(l.step(), expect);
+        }
+    }
+
+    #[test]
+    fn wide_lfsr_steps() {
+        // 99 bits: the paper's Core X MISR length.
+        let poly = LfsrPoly::maximal(99).unwrap();
+        let mut l = Lfsr::with_ones_seed(poly);
+        let s0 = l.state().clone();
+        for _ in 0..500 {
+            l.step();
+        }
+        assert_ne!(*l.state(), s0);
+        assert!(!l.state().is_zero());
+    }
+
+    #[test]
+    #[should_panic(expected = "all-zero")]
+    fn zero_seed_rejected() {
+        let poly = LfsrPoly::maximal(4).unwrap();
+        Lfsr::new(poly, Gf2Vec::zeros(4));
+    }
+
+    #[test]
+    fn balanced_output_stream() {
+        // Maximal LFSR output over a full period has 2^(n-1) ones.
+        let d = 10;
+        let poly = LfsrPoly::maximal(d).unwrap();
+        let mut l = Lfsr::with_ones_seed(poly);
+        let ones: u32 = (0..(1u32 << d) - 1).map(|_| l.step() as u32).sum();
+        assert_eq!(ones, 1 << (d - 1));
+    }
+}

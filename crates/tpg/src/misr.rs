@@ -1,0 +1,231 @@
+//! Multiple-input signature registers.
+
+use crate::{Gf2Vec, Lfsr, LfsrPoly};
+
+/// A multiple-input signature register (MISR).
+///
+/// Each [`Misr::clock`] absorbs one bit per input port: the register shifts
+/// like its underlying LFSR and the input vector is XORed into the low
+/// stages. Because every operation is linear over GF(2), signatures obey
+/// superposition — `sig(a ⊕ b) = sig(a) ⊕ sig(b)` for equal-length streams
+/// from a zero start — which is what makes aliasing analysis tractable
+/// (and is property-tested below).
+///
+/// The paper's configuration notes matter here: when no space compactor is
+/// used, the MISR must be at least as wide as the chain count, which is why
+/// Core X carries a 99-bit MISR and Core Y an 80-bit one.
+///
+/// # Example
+///
+/// ```
+/// use lbist_tpg::{LfsrPoly, Misr};
+/// let mut m = Misr::new(LfsrPoly::maximal(19).unwrap(), 4);
+/// m.clock(&[true, false, true, true]);
+/// m.clock(&[false, false, true, false]);
+/// assert!(!m.signature().is_zero());
+/// ```
+#[derive(Clone, Debug)]
+pub struct Misr {
+    lfsr_poly: LfsrPoly,
+    tap_mask: Gf2Vec,
+    state: Gf2Vec,
+    inputs: usize,
+}
+
+impl Misr {
+    /// Creates a MISR of the polynomial's width with `inputs` parallel input
+    /// ports, starting from the all-zero signature.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `inputs` exceeds the register width.
+    pub fn new(poly: LfsrPoly, inputs: usize) -> Self {
+        assert!(
+            inputs <= poly.degree(),
+            "a {}-bit MISR cannot absorb {} parallel inputs",
+            poly.degree(),
+            inputs
+        );
+        let tap_mask = poly.feedback_mask();
+        Misr { state: Gf2Vec::zeros(poly.degree()), tap_mask, lfsr_poly: poly, inputs }
+    }
+
+    /// Register width in bits.
+    pub fn width(&self) -> usize {
+        self.lfsr_poly.degree()
+    }
+
+    /// Number of parallel input ports.
+    pub fn num_inputs(&self) -> usize {
+        self.inputs
+    }
+
+    /// The feedback polynomial.
+    pub fn poly(&self) -> &LfsrPoly {
+        &self.lfsr_poly
+    }
+
+    /// Absorbs one cycle of input bits.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bits.len() != num_inputs()`.
+    pub fn clock(&mut self, bits: &[bool]) {
+        assert_eq!(bits.len(), self.inputs, "MISR input width mismatch");
+        // LFSR shift (zero state is fine for a MISR: inputs perturb it).
+        let fb = self.state.dot(&self.tap_mask);
+        self.state.shift_down();
+        let top = self.width() - 1;
+        self.state.set(top, fb);
+        // Inject inputs into the low stages.
+        for (i, &b) in bits.iter().enumerate() {
+            if b {
+                let cur = self.state.get(i);
+                self.state.set(i, !cur);
+            }
+        }
+    }
+
+    /// The current signature.
+    pub fn signature(&self) -> &Gf2Vec {
+        &self.state
+    }
+
+    /// Resets the signature to zero.
+    pub fn reset(&mut self) {
+        self.state = Gf2Vec::zeros(self.width());
+    }
+
+    /// Overwrites the signature (diagnosis replay via Boundary-Scan).
+    ///
+    /// # Panics
+    ///
+    /// Panics on width mismatch.
+    pub fn set_signature(&mut self, sig: Gf2Vec) {
+        assert_eq!(sig.len(), self.width());
+        self.state = sig;
+    }
+
+    /// Builds the MISR whose shift structure matches an existing LFSR
+    /// (convenience for tests that cross-check against [`Lfsr`]).
+    pub fn from_lfsr(lfsr: &Lfsr, inputs: usize) -> Self {
+        Misr::new(lfsr.poly().clone(), inputs)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn stream(seed: u64, len: usize, width: usize) -> Vec<Vec<bool>> {
+        // Simple deterministic bit stream for tests.
+        let mut x = seed.max(1);
+        (0..len)
+            .map(|_| {
+                (0..width)
+                    .map(|_| {
+                        x ^= x << 13;
+                        x ^= x >> 7;
+                        x ^= x << 17;
+                        x & 1 == 1
+                    })
+                    .collect()
+            })
+            .collect()
+    }
+
+    #[test]
+    fn different_streams_give_different_signatures() {
+        let poly = LfsrPoly::maximal(16).unwrap();
+        let mut a = Misr::new(poly.clone(), 4);
+        let mut b = Misr::new(poly, 4);
+        for bits in stream(1, 64, 4) {
+            a.clock(&bits);
+        }
+        for bits in stream(2, 64, 4) {
+            b.clock(&bits);
+        }
+        assert_ne!(a.signature(), b.signature());
+    }
+
+    #[test]
+    fn single_bit_error_always_changes_signature() {
+        // With fewer cycles than the register width, a single injected error
+        // cannot alias (it has not had time to feed back and cancel).
+        let poly = LfsrPoly::maximal(19).unwrap();
+        let data = stream(7, 16, 8);
+        let golden = {
+            let mut m = Misr::new(poly.clone(), 8);
+            for bits in &data {
+                m.clock(bits);
+            }
+            m.signature().clone()
+        };
+        for cycle in 0..data.len() {
+            for lane in 0..8 {
+                let mut m = Misr::new(poly.clone(), 8);
+                for (t, bits) in data.iter().enumerate() {
+                    let mut b = bits.clone();
+                    if t == cycle {
+                        b[lane] = !b[lane];
+                    }
+                    m.clock(&b);
+                }
+                assert_ne!(*m.signature(), golden, "error at ({cycle},{lane}) aliased");
+            }
+        }
+    }
+
+    #[test]
+    fn superposition_property() {
+        // sig(a XOR b) == sig(a) XOR sig(b) from a zero start.
+        let poly = LfsrPoly::maximal(17).unwrap();
+        let a = stream(11, 100, 6);
+        let b = stream(23, 100, 6);
+        let run = |data: &[Vec<bool>]| {
+            let mut m = Misr::new(poly.clone(), 6);
+            for bits in data {
+                m.clock(bits);
+            }
+            m.signature().clone()
+        };
+        let xored: Vec<Vec<bool>> = a
+            .iter()
+            .zip(&b)
+            .map(|(x, y)| x.iter().zip(y).map(|(&p, &q)| p ^ q).collect())
+            .collect();
+        let mut lhs = run(&a);
+        lhs.xor_assign(&run(&b));
+        assert_eq!(lhs, run(&xored));
+    }
+
+    #[test]
+    fn reset_and_set_signature() {
+        let poly = LfsrPoly::maximal(9).unwrap();
+        let mut m = Misr::new(poly, 3);
+        m.clock(&[true, true, false]);
+        assert!(!m.signature().is_zero());
+        let snap = m.signature().clone();
+        m.reset();
+        assert!(m.signature().is_zero());
+        m.set_signature(snap.clone());
+        assert_eq!(*m.signature(), snap);
+    }
+
+    #[test]
+    fn paper_sized_misrs_construct() {
+        // 19-bit (small domains), 80-bit (Core Y main), 99-bit (Core X main).
+        for (width, inputs) in [(19, 19), (80, 80), (99, 99)] {
+            let poly = LfsrPoly::maximal(width).unwrap();
+            let mut m = Misr::new(poly, inputs);
+            m.clock(&vec![true; inputs]);
+            assert_eq!(m.width(), width);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot absorb")]
+    fn too_many_inputs_rejected() {
+        Misr::new(LfsrPoly::maximal(8).unwrap(), 9);
+    }
+}

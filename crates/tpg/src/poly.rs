@@ -1,0 +1,249 @@
+//! Feedback polynomials for LFSRs and MISRs.
+
+use std::fmt;
+
+/// Tap positions (XAPP052 convention) for maximal-length LFSRs, indexed by
+/// degree. Entry `d` lists the 1-based stages whose XOR feeds the register;
+/// a nonzero seed then cycles through all `2^d - 1` states.
+///
+/// Degrees 2..=64 come from the standard table of primitive polynomials;
+/// unit tests verify the maximal period exhaustively for every degree up to
+/// 16 and by spot checks beyond. Degrees above 64 cover the sizes the paper
+/// uses for compactor-less MISRs (80 and 99 bits for Core Y / Core X).
+const MAXIMAL_TAPS: &[(usize, &[usize])] = &[
+    (2, &[2, 1]),
+    (3, &[3, 2]),
+    (4, &[4, 3]),
+    (5, &[5, 3]),
+    (6, &[6, 5]),
+    (7, &[7, 6]),
+    (8, &[8, 6, 5, 4]),
+    (9, &[9, 5]),
+    (10, &[10, 7]),
+    (11, &[11, 9]),
+    (12, &[12, 6, 4, 1]),
+    (13, &[13, 4, 3, 1]),
+    (14, &[14, 5, 3, 1]),
+    (15, &[15, 14]),
+    (16, &[16, 15, 13, 4]),
+    (17, &[17, 14]),
+    (18, &[18, 11]),
+    (19, &[19, 6, 2, 1]),
+    (20, &[20, 17]),
+    (21, &[21, 19]),
+    (22, &[22, 21]),
+    (23, &[23, 18]),
+    (24, &[24, 23, 22, 17]),
+    (25, &[25, 22]),
+    (26, &[26, 6, 2, 1]),
+    (27, &[27, 5, 2, 1]),
+    (28, &[28, 25]),
+    (29, &[29, 27]),
+    (30, &[30, 6, 4, 1]),
+    (31, &[31, 28]),
+    (32, &[32, 22, 2, 1]),
+    (33, &[33, 20]),
+    (34, &[34, 27, 2, 1]),
+    (35, &[35, 33]),
+    (36, &[36, 25]),
+    (37, &[37, 5, 4, 3, 2, 1]),
+    (38, &[38, 6, 5, 1]),
+    (39, &[39, 35]),
+    (40, &[40, 38, 21, 19]),
+    (41, &[41, 38]),
+    (42, &[42, 41, 20, 19]),
+    (43, &[43, 42, 38, 37]),
+    (44, &[44, 43, 18, 17]),
+    (45, &[45, 44, 42, 41]),
+    (46, &[46, 45, 26, 25]),
+    (47, &[47, 42]),
+    (48, &[48, 47, 21, 20]),
+    (49, &[49, 40]),
+    (50, &[50, 49, 24, 23]),
+    (51, &[51, 50, 36, 35]),
+    (52, &[52, 49]),
+    (53, &[53, 52, 38, 37]),
+    (54, &[54, 53, 18, 17]),
+    (55, &[55, 31]),
+    (56, &[56, 55, 35, 34]),
+    (57, &[57, 50]),
+    (58, &[58, 39]),
+    (59, &[59, 58, 38, 37]),
+    (60, &[60, 59]),
+    (61, &[61, 60, 46, 45]),
+    (62, &[62, 61, 6, 5]),
+    (63, &[63, 62]),
+    (64, &[64, 63, 61, 60]),
+    (65, &[65, 47]),
+    (66, &[66, 65, 57, 56]),
+    (68, &[68, 59]),
+    (72, &[72, 66, 25, 19]),
+    (79, &[79, 70]),
+    (80, &[80, 79, 43, 42]),
+    (84, &[84, 71]),
+    (87, &[87, 74]),
+    (89, &[89, 51]),
+    (93, &[93, 91]),
+    (96, &[96, 94, 49, 47]),
+    (99, &[99, 97, 54, 52]),
+    (100, &[100, 63]),
+];
+
+/// An LFSR feedback polynomial, stored as XAPP052-style tap positions.
+///
+/// # Example
+///
+/// ```
+/// use lbist_tpg::LfsrPoly;
+/// let p = LfsrPoly::maximal(19).unwrap(); // the paper's PRPG size
+/// assert_eq!(p.degree(), 19);
+/// assert!(p.taps().contains(&19));
+/// ```
+#[derive(Clone, PartialEq, Eq, Hash)]
+pub struct LfsrPoly {
+    degree: usize,
+    taps: Vec<usize>,
+}
+
+impl LfsrPoly {
+    /// Looks up a maximal-length (primitive) polynomial of the given degree.
+    ///
+    /// Returns `None` for degrees outside the table; use
+    /// [`LfsrPoly::nearest_maximal`] when any nearby width will do (MISRs
+    /// sized to chain counts), or [`LfsrPoly::from_taps`] to supply your
+    /// own.
+    pub fn maximal(degree: usize) -> Option<Self> {
+        MAXIMAL_TAPS
+            .iter()
+            .find(|&&(d, _)| d == degree)
+            .map(|&(d, taps)| LfsrPoly { degree: d, taps: taps.to_vec() })
+    }
+
+    /// The smallest tabulated maximal polynomial with degree >= `degree`
+    /// (falls back to the largest table entry when `degree` exceeds it).
+    ///
+    /// Hardware sizes registers up, never down, so "at least this many
+    /// stages" is the natural request when a MISR must absorb `n` chains.
+    pub fn nearest_maximal(degree: usize) -> Self {
+        MAXIMAL_TAPS
+            .iter()
+            .find(|&&(d, _)| d >= degree)
+            .or_else(|| MAXIMAL_TAPS.last())
+            .map(|&(d, taps)| LfsrPoly { degree: d, taps: taps.to_vec() })
+            .expect("tap table is non-empty")
+    }
+
+    /// Builds a polynomial from explicit tap positions (1-based, must
+    /// include the degree itself as the highest tap).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `taps` is empty, unsorted-descending, contains 0 or has
+    /// duplicate entries.
+    pub fn from_taps(taps: Vec<usize>) -> Self {
+        assert!(!taps.is_empty(), "tap list must not be empty");
+        let degree = taps[0];
+        assert!(taps.windows(2).all(|w| w[0] > w[1]), "taps must be strictly descending");
+        assert!(*taps.last().unwrap() >= 1, "taps are 1-based");
+        LfsrPoly { degree, taps }
+    }
+
+    /// Register length / polynomial degree.
+    pub fn degree(&self) -> usize {
+        self.degree
+    }
+
+    /// Tap positions, highest first (the degree is always included).
+    pub fn taps(&self) -> &[usize] {
+        &self.taps
+    }
+
+    /// The degrees available from the built-in maximal table.
+    pub fn tabulated_degrees() -> Vec<usize> {
+        MAXIMAL_TAPS.iter().map(|&(d, _)| d).collect()
+    }
+
+    /// The feedback coefficient mask for a shift-down register.
+    ///
+    /// With state update `s_i' = s_(i+1)`, `s_(n-1)' = fb`, the register
+    /// realises the characteristic polynomial
+    /// `x^n + Σ c_i x^i` when `fb = XOR_i c_i·s_i`. The XAPP052 tap list
+    /// `[n, a, b, ...]` names the polynomial `x^n + x^a + x^b + ... + 1`,
+    /// so the mask has bit 0 set (the constant term) plus bit `t` for each
+    /// intermediate tap `t < n`.
+    pub fn feedback_mask(&self) -> crate::Gf2Vec {
+        let mut mask = crate::Gf2Vec::zeros(self.degree);
+        mask.set(0, true);
+        for &t in &self.taps {
+            if t < self.degree {
+                mask.set(t, true);
+            }
+        }
+        mask
+    }
+}
+
+impl fmt::Debug for LfsrPoly {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "LfsrPoly(")?;
+        for (i, t) in self.taps.iter().enumerate() {
+            if i > 0 {
+                write!(f, " + ")?;
+            }
+            write!(f, "x^{t}")?;
+        }
+        write!(f, " + 1)")
+    }
+}
+
+impl fmt::Display for LfsrPoly {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{self:?}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_entries_are_well_formed() {
+        for &(d, taps) in MAXIMAL_TAPS {
+            assert_eq!(taps[0], d, "highest tap must equal the degree for degree {d}");
+            assert!(taps.windows(2).all(|w| w[0] > w[1]), "taps descending for degree {d}");
+            assert!(*taps.last().unwrap() >= 1);
+            assert!(taps.len() == 2 || taps.len() == 4 || taps.len() == 6, "degree {d}");
+        }
+    }
+
+    #[test]
+    fn lookup_and_nearest() {
+        assert_eq!(LfsrPoly::maximal(19).unwrap().degree(), 19);
+        assert!(LfsrPoly::maximal(67).is_none());
+        assert_eq!(LfsrPoly::nearest_maximal(67).degree(), 68);
+        assert_eq!(LfsrPoly::nearest_maximal(99).degree(), 99);
+        assert_eq!(LfsrPoly::nearest_maximal(3).degree(), 3);
+        // Beyond the table: clamps to the largest entry.
+        assert_eq!(LfsrPoly::nearest_maximal(500).degree(), 100);
+    }
+
+    #[test]
+    fn from_taps_validates() {
+        let p = LfsrPoly::from_taps(vec![7, 6]);
+        assert_eq!(p.degree(), 7);
+    }
+
+    #[test]
+    #[should_panic(expected = "descending")]
+    fn from_taps_rejects_unsorted() {
+        LfsrPoly::from_taps(vec![6, 7]);
+    }
+
+    #[test]
+    fn display_shows_polynomial() {
+        let p = LfsrPoly::maximal(19).unwrap();
+        let s = p.to_string();
+        assert!(s.contains("x^19"));
+        assert!(s.ends_with("+ 1)"));
+    }
+}

@@ -1,0 +1,133 @@
+//! The pseudo-random pattern generator: LFSR → phase shifter → expander.
+
+use crate::{Lfsr, PhaseShifter, SpaceExpander};
+
+/// A complete PRPG channel: one per clock domain in the paper's
+/// architecture.
+///
+/// Every call to [`Prpg::step_vector`] produces the bit entering each scan
+/// chain of the domain on this shift cycle, then advances the LFSR.
+///
+/// # Example
+///
+/// ```
+/// use lbist_tpg::{Lfsr, LfsrPoly, PhaseShifter, Prpg, SpaceExpander};
+///
+/// let poly = LfsrPoly::maximal(19).unwrap();
+/// let lfsr = Lfsr::with_ones_seed(poly.clone());
+/// let ps = PhaseShifter::synthesize(&poly, 8, 64);
+/// let mut prpg = Prpg::with_expander(lfsr, ps, SpaceExpander::new(8, 20));
+/// assert_eq!(prpg.num_chains(), 20);
+/// let cycle0 = prpg.step_vector();
+/// let cycle1 = prpg.step_vector();
+/// assert_eq!(cycle0.len(), 20);
+/// assert_ne!(cycle0, cycle1); // the stream advances
+/// ```
+#[derive(Clone, Debug)]
+pub struct Prpg {
+    lfsr: Lfsr,
+    shifter: PhaseShifter,
+    expander: Option<SpaceExpander>,
+}
+
+impl Prpg {
+    /// PRPG without a space expander: chains == shifter channels.
+    pub fn new(lfsr: Lfsr, shifter: PhaseShifter) -> Self {
+        Prpg { lfsr, shifter, expander: None }
+    }
+
+    /// PRPG with a space expander widening the shifter outputs.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the expander's channel count differs from the shifter's.
+    pub fn with_expander(lfsr: Lfsr, shifter: PhaseShifter, expander: SpaceExpander) -> Self {
+        assert_eq!(
+            expander.num_channels(),
+            shifter.num_channels(),
+            "expander input width must match shifter output width"
+        );
+        Prpg { lfsr, shifter, expander: Some(expander) }
+    }
+
+    /// Number of scan chains this PRPG feeds.
+    pub fn num_chains(&self) -> usize {
+        self.expander
+            .as_ref()
+            .map(SpaceExpander::num_chains)
+            .unwrap_or_else(|| self.shifter.num_channels())
+    }
+
+    /// The underlying LFSR (e.g. for seed load via Boundary-Scan).
+    pub fn lfsr(&self) -> &Lfsr {
+        &self.lfsr
+    }
+
+    /// Mutable access to the underlying LFSR.
+    pub fn lfsr_mut(&mut self) -> &mut Lfsr {
+        &mut self.lfsr
+    }
+
+    /// Produces this cycle's chain input bits and advances the LFSR.
+    pub fn step_vector(&mut self) -> Vec<bool> {
+        let channel_bits = self.shifter.outputs(self.lfsr.state());
+        let out = match &self.expander {
+            Some(e) => e.expand(&channel_bits),
+            None => channel_bits,
+        };
+        self.lfsr.step();
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::LfsrPoly;
+
+    #[test]
+    fn stream_is_deterministic_from_seed() {
+        let poly = LfsrPoly::maximal(13).unwrap();
+        let make = || {
+            Prpg::new(
+                Lfsr::with_ones_seed(poly.clone()),
+                PhaseShifter::synthesize(&poly, 4, 32),
+            )
+        };
+        let mut a = make();
+        let mut b = make();
+        for _ in 0..100 {
+            assert_eq!(a.step_vector(), b.step_vector());
+        }
+    }
+
+    #[test]
+    fn chains_get_balanced_bit_streams() {
+        let poly = LfsrPoly::maximal(11).unwrap();
+        let lfsr = Lfsr::with_ones_seed(poly.clone());
+        let ps = PhaseShifter::synthesize(&poly, 3, 101);
+        let mut prpg = Prpg::with_expander(lfsr, ps, SpaceExpander::new(3, 6));
+        let n = 2000;
+        let mut ones = vec![0usize; prpg.num_chains()];
+        for _ in 0..n {
+            for (c, b) in prpg.step_vector().into_iter().enumerate() {
+                ones[c] += b as usize;
+            }
+        }
+        for (c, &o) in ones.iter().enumerate() {
+            let frac = o as f64 / n as f64;
+            assert!((0.4..0.6).contains(&frac), "chain {c} biased: {frac}");
+        }
+    }
+
+    #[test]
+    fn expander_width_mismatch_panics() {
+        let poly = LfsrPoly::maximal(9).unwrap();
+        let lfsr = Lfsr::with_ones_seed(poly.clone());
+        let ps = PhaseShifter::synthesize(&poly, 4, 16);
+        let result = std::panic::catch_unwind(|| {
+            Prpg::with_expander(lfsr, ps, SpaceExpander::new(3, 5))
+        });
+        assert!(result.is_err());
+    }
+}

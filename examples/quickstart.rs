@@ -1,0 +1,74 @@
+//! Quickstart: make a core BIST-ready, run self-test, check the result pin.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use lbist::core::{SelfTestSession, SessionConfig, StumpsConfig};
+use lbist::cores::{CoreProfile, CpuCoreGenerator};
+use lbist::dft::{prepare_core, PrepConfig, TpiMethod};
+use lbist::fault::{Fault, FaultKind};
+use lbist::netlist::NetlistStats;
+
+fn main() {
+    // 1. The IP core under test: a synthetic CPU-like block with the
+    //    structural profile of the paper's Core X, scaled for a demo.
+    let profile = CoreProfile::core_x().scaled(100);
+    println!("generating {profile}");
+    let netlist = CpuCoreGenerator::new(profile, 2025).generate();
+    println!("{}\n", NetlistStats::compute(&netlist));
+
+    // 2. BIST preparation: X-bounding, PI/PO scan cells, balanced
+    //    per-domain chains, fault-sim-guided observation points.
+    let core = prepare_core(
+        &netlist,
+        &PrepConfig {
+            total_chains: 12,
+            wrap_ios: true,
+            obs_budget: 16,
+            tpi: TpiMethod::FaultSimGuided { patterns: 512 },
+            seed: 1,
+        },
+    );
+    println!(
+        "BIST-ready: {} chains (max length {}), {} observation points, overhead {:.2}%",
+        core.chains.num_chains(),
+        core.chains.max_chain_length(),
+        core.observation_cells.len(),
+        core.overhead.percent()
+    );
+
+    // 3. Build the per-domain PRPG/MISR architecture and run self-test.
+    let mut session = SelfTestSession::new(&core, &StumpsConfig::default());
+    for db in session.architecture().domains() {
+        println!(
+            "  domain {}: {} chains, PRPG {} bits, MISR {} bits (compactor: {})",
+            db.domain,
+            db.chains.len(),
+            db.prpg.lfsr().len(),
+            db.misr.width(),
+            if db.compactor.is_passthrough() { "none" } else { "XOR tree" }
+        );
+    }
+    let cfg = SessionConfig { num_patterns: 64, ..Default::default() };
+    let golden = session.run(&cfg);
+    println!(
+        "\ngolden run: {} patterns, {} shift cycles",
+        golden.patterns_applied, golden.shift_cycles
+    );
+
+    // 4. A healthy chip passes...
+    let retest = session.run(&cfg);
+    println!("healthy re-run   -> Result = {}", if retest.matches(&golden) { "PASS" } else { "FAIL" });
+
+    // 5. ...and a defective one fails.
+    let site = core.netlist.fanins(core.netlist.dffs()[3])[0];
+    let mut bad = cfg.clone();
+    bad.injected_fault = Some(Fault::stem(site, FaultKind::StuckAt0));
+    let faulty = session.run(&bad);
+    println!(
+        "defective re-run -> Result = {}  (injected {} )",
+        if faulty.matches(&golden) { "PASS" } else { "FAIL" },
+        Fault::stem(site, FaultKind::StuckAt0)
+    );
+}

@@ -1,0 +1,126 @@
+//! Driving BIST through Boundary-Scan and diagnosing a failing core.
+//!
+//! The paper's pure-BIST interface is three pins plus a TAP: start
+//! self-test over JTAG, poll `Finish`, read `Result`, and on failure
+//! download MISR snapshots to localise the first failing pattern window.
+//!
+//! ```text
+//! cargo run --release --example tap_diagnosis
+//! ```
+
+use lbist::core::{
+    diagnose_first_failing_interval, SelfTestSession, SessionConfig, StumpsConfig, TapBackend,
+    TapController, TapInstruction,
+};
+use lbist::cores::{CoreProfile, CpuCoreGenerator};
+use lbist::dft::{prepare_core, PrepConfig, TpiMethod};
+use lbist::fault::{Fault, FaultKind};
+
+/// A chip model: BIST engine state the TAP pokes at. The sessions
+/// themselves run when `start` is pulsed.
+struct Chip<'a> {
+    session: SelfTestSession<'a>,
+    cfg: SessionConfig,
+    finish: bool,
+    pass: Option<bool>,
+    golden: Option<lbist::core::SessionResult>,
+    signature_bits: Vec<bool>,
+}
+
+impl<'a> TapBackend for Chip<'a> {
+    fn start(&mut self) {
+        let result = self.session.run(&self.cfg);
+        let pass = self.golden.as_ref().map(|g| result.matches(g));
+        self.signature_bits = result
+            .signatures
+            .iter()
+            .flat_map(|sig| (0..sig.len()).map(move |i| sig.get(i)))
+            .collect();
+        if self.golden.is_none() {
+            self.golden = Some(result);
+        }
+        self.finish = true;
+        self.pass = pass.or(Some(true));
+    }
+    fn status(&self) -> (bool, bool) {
+        (self.finish, self.pass.unwrap_or(false))
+    }
+    fn load_seed(&mut self, _bits: &[bool]) {}
+    fn signature_bits(&self) -> Vec<bool> {
+        self.signature_bits.clone()
+    }
+}
+
+fn main() {
+    let netlist =
+        CpuCoreGenerator::new(CoreProfile::core_x().scaled(200), 99).generate();
+    let core = prepare_core(
+        &netlist,
+        &PrepConfig {
+            total_chains: 8,
+            wrap_ios: true,
+            obs_budget: 0,
+            tpi: TpiMethod::None,
+            seed: 4,
+        },
+    );
+    let session = SelfTestSession::new(&core, &StumpsConfig::default());
+    let cfg = SessionConfig { num_patterns: 48, snapshot_every: 8, ..Default::default() };
+
+    println!("=== golden pass over JTAG ===");
+    let chip = Chip {
+        session,
+        cfg: cfg.clone(),
+        finish: false,
+        pass: None,
+        golden: None,
+        signature_bits: Vec::new(),
+    };
+    let mut tap = TapController::new(chip);
+
+    // Start BIST: IR <- LBIST_START, DR <- 1.
+    tap.load_instruction(TapInstruction::LbistStart);
+    tap.shift_dr(&[true]);
+    // Poll status.
+    tap.load_instruction(TapInstruction::LbistStatus);
+    let status = tap.shift_dr(&[false, false]);
+    println!("finish = {}, result = {} (golden recorded)", status[0], status[1]);
+
+    // Download the signature.
+    tap.load_instruction(TapInstruction::LbistSignature);
+    let n = tap.backend().signature_bits.len();
+    let sig = tap.shift_dr(&vec![false; n]);
+    let ones = sig.iter().filter(|&&b| b).count();
+    println!("downloaded {} signature bits ({} ones)", sig.len(), ones);
+
+    println!("\n=== defective chip ===");
+    let site = core.netlist.fanins(core.netlist.dffs()[1])[0];
+    let fault = Fault::stem(site, FaultKind::StuckAt1);
+    println!("injecting {fault}");
+    let golden_snapshot_run = {
+        let mut s = SelfTestSession::new(&core, &StumpsConfig::default());
+        s.run(&cfg)
+    };
+    {
+        let backend = tap.backend_mut();
+        backend.cfg.injected_fault = Some(fault);
+        backend.finish = false;
+    }
+    tap.load_instruction(TapInstruction::LbistStart);
+    tap.shift_dr(&[true]);
+    tap.load_instruction(TapInstruction::LbistStatus);
+    let status = tap.shift_dr(&[false, false]);
+    println!("finish = {}, result = {}", status[0], status[1]);
+
+    // Diagnosis: re-run with snapshots and bracket the first failure.
+    let faulty_run = {
+        let mut s = SelfTestSession::new(&core, &StumpsConfig::default());
+        let mut c = cfg.clone();
+        c.injected_fault = Some(fault);
+        s.run(&c)
+    };
+    match diagnose_first_failing_interval(&golden_snapshot_run, &faulty_run, 8) {
+        Some(report) => println!("diagnosis: {report}"),
+        None => println!("diagnosis: no divergence (aliased)"),
+    }
+}
