@@ -26,7 +26,7 @@ use lbist_netlist::NodeId;
 /// assert!(!compatible(&a, &b));
 /// ```
 pub fn compatible(a: &TestCube, b: &TestCube) -> bool {
-    a.assignments().iter().all(|&(node, va)| b.value_of(node).map_or(true, |vb| vb == va))
+    a.assignments().iter().all(|&(node, va)| b.value_of(node).is_none_or(|vb| vb == va))
 }
 
 /// Merges `b` into `a` (union of assignments).

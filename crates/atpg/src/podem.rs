@@ -340,9 +340,8 @@ impl<'a> Podem<'a> {
             fv.push(self.faulty[f.index()]);
         }
         if let Some(t) = &self.target {
-            if t.fault.pin.is_some() && t.fault.node == node {
-                let pin = t.fault.pin.unwrap() as usize;
-                fv[pin] = Logic::from_bool(t.stuck);
+            if let (Some(pin), true) = (t.fault.pin, t.fault.node == node) {
+                fv[pin as usize] = Logic::from_bool(t.stuck);
             }
         }
         let g = eval_logic(kind, &gv);
@@ -412,16 +411,15 @@ impl<'a> Podem<'a> {
         }
 
         // Excitation still open?
-        let excitable = if fault.pin.is_none() {
-            self.good[site.index()].is_x()
-                || self.good[site.index()] != Logic::from_bool(stuck)
-        } else {
-            let src = self.cc.fanins(site)[fault.pin.unwrap() as usize];
+        let excitable = if let Some(pin) = fault.pin {
+            let src = self.cc.fanins(site)[pin as usize];
             let g = self.good[src.index()];
             if g == Logic::from_bool(stuck) {
                 return Status::Conflict;
             }
             true
+        } else {
+            self.good[site.index()].is_x() || self.good[site.index()] != Logic::from_bool(stuck)
         };
         if !excitable {
             return Status::Conflict;
@@ -451,8 +449,7 @@ impl<'a> Podem<'a> {
                 return true;
             }
             for &succ in self.cc.fanouts(n) {
-                if self.scratch_stamp[succ.index()] == epoch
-                    || self.cc.kind(succ) == GateKind::Dff
+                if self.scratch_stamp[succ.index()] == epoch || self.cc.kind(succ) == GateKind::Dff
                 {
                     continue;
                 }
@@ -602,7 +599,7 @@ impl<'a> Podem<'a> {
                     }
                 }
             };
-            let Some(next) = candidate else { return None };
+            let next = candidate?;
             // Through a MUX select we aim for 0 (choose input a).
             value = if kind == GateKind::Mux2 && next == fanins[0] {
                 false

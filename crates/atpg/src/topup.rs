@@ -179,8 +179,8 @@ mod tests {
     fn resistant() -> Netlist {
         let mut nl = Netlist::new("res");
         let ins: Vec<NodeId> = (0..24).map(|i| nl.add_input(&format!("i{i}"))).collect();
-        let g1 = nl.add_gate(GateKind::And, &ins[0..12].to_vec());
-        let g2 = nl.add_gate(GateKind::Nor, &ins[12..24].to_vec());
+        let g1 = nl.add_gate(GateKind::And, &ins[0..12]);
+        let g2 = nl.add_gate(GateKind::Nor, &ins[12..24]);
         let g3 = nl.add_gate(GateKind::Xor, &[g1, g2]);
         nl.add_output("y", g3);
         nl
@@ -191,11 +191,8 @@ mod tests {
         let nl = resistant();
         let cc = CompiledCircuit::compile(&nl).unwrap();
         let universe = FaultUniverse::stuck_at(&nl);
-        let mut sim = StuckAtSim::new(
-            &cc,
-            universe.representatives(),
-            StuckAtSim::observe_all_captures(&cc),
-        );
+        let mut sim =
+            StuckAtSim::new(&cc, universe.representatives(), StuckAtSim::observe_all_captures(&cc));
         let mut rng = SmallRng::seed_from_u64(2);
         for _ in 0..8 {
             let mut frame = cc.new_frame();

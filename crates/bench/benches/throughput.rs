@@ -17,7 +17,12 @@ fn bench_core() -> BistReadyCore {
     let netlist = CpuCoreGenerator::new(CoreProfile::core_x().scaled(100), 7).generate();
     prepare_core(
         &netlist,
-        &PrepConfig { total_chains: 8, obs_budget: 0, tpi: TpiMethod::None, ..PrepConfig::default() },
+        &PrepConfig {
+            total_chains: 8,
+            obs_budget: 0,
+            tpi: TpiMethod::None,
+            ..PrepConfig::default()
+        },
     )
 }
 

@@ -10,7 +10,7 @@
 //! cargo run --release -p lbist-bench --bin ablation_capture
 //! ```
 
-use lbist_bench::arg_value;
+use lbist_bench::{arg_value, cli_thread_budget};
 use lbist_cores::{CoreProfile, CpuCoreGenerator};
 use lbist_dft::{prepare_core, PrepConfig, TpiMethod};
 use lbist_fault::{CaptureWindow, FaultUniverse, TransitionSim};
@@ -26,7 +26,12 @@ fn main() {
     let netlist = CpuCoreGenerator::new(profile, 9).generate();
     let core = prepare_core(
         &netlist,
-        &PrepConfig { total_chains: 8, obs_budget: 0, tpi: TpiMethod::None, ..PrepConfig::default() },
+        &PrepConfig {
+            total_chains: 8,
+            obs_budget: 0,
+            tpi: TpiMethod::None,
+            ..PrepConfig::default()
+        },
     );
     let cc = CompiledCircuit::compile(&core.netlist).expect("compiles");
     let stems: Vec<_> = FaultUniverse::transition(&core.netlist)
@@ -39,6 +44,9 @@ fn main() {
     // Double capture: the real window.
     let window = CaptureWindow::all_domains(core.netlist.num_domains());
     let mut double = TransitionSim::new(&cc, stems.clone(), window);
+    if let Some(threads) = cli_thread_budget() {
+        double.set_threads(threads);
+    }
     let mut rng = SmallRng::seed_from_u64(4);
     let mut base = cc.new_frame();
     for _ in 0..batches {
@@ -60,7 +68,10 @@ fn main() {
     println!("{:<28} {:>12}", "scheme", "TF coverage");
     println!("{:<28} {:>11.2}%", "single slow capture", 0.0);
     println!("{:<28} {:>11.2}%", "double capture (paper)", dc.percent());
-    println!("\n  n-detect profile under double capture: {:.1} mean detections/fault", dc.mean_detections);
+    println!(
+        "\n  n-detect profile under double capture: {:.1} mean detections/fault",
+        dc.mean_detections
+    );
     println!(
         "\n  [{}] double capture detects transition faults a slow scheme cannot",
         if dc.detected > 0 { "ok" } else { "MISS" }

@@ -25,7 +25,12 @@ fn main() {
     // Core X main domain has ~99 chains).
     let core = prepare_core(
         &netlist,
-        &PrepConfig { total_chains: 64, obs_budget: 0, tpi: TpiMethod::None, ..PrepConfig::default() },
+        &PrepConfig {
+            total_chains: 64,
+            obs_budget: 0,
+            tpi: TpiMethod::None,
+            ..PrepConfig::default()
+        },
     );
 
     println!(
@@ -38,22 +43,15 @@ fn main() {
         let config = StumpsConfig { use_compactor, ..StumpsConfig::default() };
         let arch = StumpsArchitecture::build(&core, &config);
         let stages: usize = arch.misr_widths().iter().sum();
-        let levels =
-            arch.domains().iter().map(|d| d.compactor.logic_levels()).max().unwrap_or(0);
+        let levels = arch.domains().iter().map(|d| d.compactor.logic_levels()).max().unwrap_or(0);
         let timing = ShiftPathTiming::new(ShiftPathConfig {
             compactor_levels: levels * 40, // model a congested layout: each
             // logical XOR level costs extra routing on the wide bus
             ..ShiftPathConfig::default()
         });
         let slack = timing.analyze().chain_to_misr_setup_slack_ps;
-        let alias: f64 = arch
-            .domains()
-            .iter()
-            .map(|d| aliasing::theoretical(d.misr.width()))
-            .sum();
-        println!(
-            "{label:<26} {stages:>14} {levels:>14} {slack:>13} ps {alias:>14.2e}",
-        );
+        let alias: f64 = arch.domains().iter().map(|d| aliasing::theoretical(d.misr.width())).sum();
+        println!("{label:<26} {stages:>14} {levels:>14} {slack:>13} ps {alias:>14.2e}",);
     }
 
     println!("\nempirical aliasing cross-check (19-bit vs 6-bit MISR, random error streams):");

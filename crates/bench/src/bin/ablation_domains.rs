@@ -20,11 +20,8 @@ fn shift_ok(lead_ps: i64) -> bool {
     // Signature integrity over a probe stream.
     let stream: Vec<bool> = (0..128u32).map(|i| i.wrapping_mul(2654435769) & 8 != 0).collect();
     let out = t.simulate_shift(&stream, 6);
-    let clean = ShiftPathTiming::new(ShiftPathConfig {
-        phase_lead_ps: 0,
-        ..cfg
-    })
-    .simulate_shift(&stream, 6);
+    let clean = ShiftPathTiming::new(ShiftPathConfig { phase_lead_ps: 0, ..cfg })
+        .simulate_shift(&stream, 6);
     let sig = |bits: &[bool]| {
         let mut m = Misr::new(LfsrPoly::maximal(19).unwrap(), 1);
         for &b in bits {
@@ -63,8 +60,14 @@ fn main() {
         );
     }
     println!();
-    println!("  [{}] shared pair corrupts once skew exceeds the hold window", if shared_fail > 0 { "ok" } else { "MISS" });
-    println!("  [{}] per-domain pairs never see inter-domain skew", if perdomain_fail == 0 { "ok" } else { "MISS" });
+    println!(
+        "  [{}] shared pair corrupts once skew exceeds the hold window",
+        if shared_fail > 0 { "ok" } else { "MISS" }
+    );
+    println!(
+        "  [{}] per-domain pairs never see inter-domain skew",
+        if perdomain_fail == 0 { "ok" } else { "MISS" }
+    );
     println!("\n(the paper additionally gains: no clock-tree balancing work across");
     println!(" domains, and the d3 stagger handles the capture side — see fig3_skew)");
 }

@@ -9,7 +9,7 @@
 //! cargo run --release -p lbist-bench --bin ablation_phase
 //! ```
 
-use lbist_bench::{arg_value, fill_frame_from_prpg};
+use lbist_bench::{arg_value, cli_thread_budget, fill_frame_from_prpg};
 use lbist_core::{StumpsArchitecture, StumpsConfig};
 use lbist_cores::{CoreProfile, CpuCoreGenerator};
 use lbist_dft::{prepare_core, PrepConfig, TpiMethod};
@@ -24,7 +24,12 @@ fn main() {
     let netlist = CpuCoreGenerator::new(profile, 11).generate();
     let core = prepare_core(
         &netlist,
-        &PrepConfig { total_chains: 8, obs_budget: 0, tpi: TpiMethod::None, ..PrepConfig::default() },
+        &PrepConfig {
+            total_chains: 8,
+            obs_budget: 0,
+            tpi: TpiMethod::None,
+            ..PrepConfig::default()
+        },
     );
     let cc = CompiledCircuit::compile(&core.netlist).expect("compiles");
     let universe = FaultUniverse::stuck_at(&core.netlist);
@@ -40,11 +45,11 @@ fn main() {
         // ~100% agreement at offset ±1; a phase shifter keeps every offset
         // near 50%.
         let mut corr = 0.0f64;
-        let mut sim = StuckAtSim::new(
-            &cc,
-            universe.representatives(),
-            StuckAtSim::observe_all_captures(&cc),
-        );
+        let mut sim =
+            StuckAtSim::new(&cc, universe.representatives(), StuckAtSim::observe_all_captures(&cc));
+        if let Some(threads) = cli_thread_budget() {
+            sim.set_threads(threads);
+        }
         let mut frame = cc.new_frame();
         for _ in 0..batches {
             fill_frame_from_prpg(&mut arch, &core, &cc, &mut frame);

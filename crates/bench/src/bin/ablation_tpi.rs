@@ -8,7 +8,7 @@
 //! cargo run --release -p lbist-bench --bin ablation_tpi
 //! ```
 
-use lbist_bench::arg_value;
+use lbist_bench::{arg_value, cli_thread_budget};
 use lbist_cores::{CoreProfile, CpuCoreGenerator};
 use lbist_dft::{prepare_core, PrepConfig, TpiMethod};
 use lbist_fault::{FaultUniverse, StuckAtSim};
@@ -16,7 +16,12 @@ use lbist_sim::CompiledCircuit;
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 
-fn coverage_with(netlist: &lbist_netlist::Netlist, tpi: TpiMethod, budget: usize, patterns: usize) -> f64 {
+fn coverage_with(
+    netlist: &lbist_netlist::Netlist,
+    tpi: TpiMethod,
+    budget: usize,
+    patterns: usize,
+) -> f64 {
     let core = prepare_core(
         netlist,
         &PrepConfig { total_chains: 8, wrap_ios: true, obs_budget: budget, tpi, seed: 7 },
@@ -25,6 +30,9 @@ fn coverage_with(netlist: &lbist_netlist::Netlist, tpi: TpiMethod, budget: usize
     let universe = FaultUniverse::stuck_at(&core.netlist);
     let mut sim =
         StuckAtSim::new(&cc, universe.representatives(), StuckAtSim::observe_all_captures(&cc));
+    if let Some(threads) = cli_thread_budget() {
+        sim.set_threads(threads);
+    }
     let mut rng = SmallRng::seed_from_u64(1);
     let mut frame = cc.new_frame();
     for _ in 0..patterns.div_ceil(64) {
@@ -59,12 +67,7 @@ fn main() {
         let fsg = if budget == 0 {
             none
         } else {
-            coverage_with(
-                &netlist,
-                TpiMethod::FaultSimGuided { patterns },
-                budget,
-                patterns,
-            )
+            coverage_with(&netlist, TpiMethod::FaultSimGuided { patterns }, budget, patterns)
         };
         println!("{budget:>10} | {none:>9.2}% | {cop:>9.2}% | {fsg:>13.2}%");
         rows.push((budget, none, cop, fsg));

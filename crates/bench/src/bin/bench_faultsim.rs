@@ -1,0 +1,198 @@
+//! Fault-simulation throughput benchmark: serial vs rayon-sharded PPSFP
+//! and launch-on-capture transition grading on a generated CPU core.
+//!
+//! Emits `BENCH_faultsim.json` (in the working directory) with
+//! patterns/sec, faults-graded/sec and the serial-vs-parallel speedup —
+//! the perf baseline later PRs compare against.
+//!
+//! ```text
+//! cargo run --release --bin bench_faultsim [--scale N] [--batches N]
+//!           [--threads N] [--out PATH]
+//! ```
+
+use lbist_bench::{arg_value, fill_frame_from_prpg};
+use lbist_core::{StumpsArchitecture, StumpsConfig};
+use lbist_cores::{CoreProfile, CpuCoreGenerator};
+use lbist_dft::{prepare_core, PrepConfig, TpiMethod};
+use lbist_fault::{CaptureWindow, CoverageReport, FaultUniverse, StuckAtSim, TransitionSim};
+use lbist_sim::CompiledCircuit;
+use std::fmt::Write as _;
+use std::time::Instant;
+
+struct RunStats {
+    seconds: f64,
+    patterns: u64,
+    /// Fault-grading operations: Σ over batches of the active-fault count
+    /// entering the batch (what the engine actually scans — shrinks as
+    /// compaction drops detected faults).
+    faults_graded: u64,
+    coverage: CoverageReport,
+}
+
+impl RunStats {
+    fn patterns_per_sec(&self) -> f64 {
+        self.patterns as f64 / self.seconds.max(1e-9)
+    }
+    fn faults_graded_per_sec(&self) -> f64 {
+        self.faults_graded as f64 / self.seconds.max(1e-9)
+    }
+}
+
+fn json_run(stats: &RunStats) -> String {
+    format!(
+        "{{\"seconds\": {:.6}, \"patterns\": {}, \"faults_graded\": {}, \
+         \"patterns_per_sec\": {:.1}, \"faults_graded_per_sec\": {:.1}, \
+         \"coverage_percent\": {:.4}, \"detected\": {}, \"total\": {}}}",
+        stats.seconds,
+        stats.patterns,
+        stats.faults_graded,
+        stats.patterns_per_sec(),
+        stats.faults_graded_per_sec(),
+        stats.coverage.percent(),
+        stats.coverage.detected,
+        stats.coverage.total,
+    )
+}
+
+fn main() {
+    let scale: usize = arg_value("--scale").unwrap_or(300);
+    let batches: usize = arg_value("--batches").unwrap_or(16);
+    let parallel_threads: usize = arg_value("--threads").unwrap_or_else(rayon::current_num_threads);
+    let out_path: String = arg_value("--out").unwrap_or_else(|| "BENCH_faultsim.json".to_string());
+
+    let profile = CoreProfile::core_x().scaled(scale);
+    println!("generating {} (scale {scale})...", profile.name);
+    let netlist = CpuCoreGenerator::new(profile, 7).generate();
+    let core = prepare_core(
+        &netlist,
+        &PrepConfig {
+            total_chains: 16,
+            obs_budget: 0,
+            tpi: TpiMethod::None,
+            ..PrepConfig::default()
+        },
+    );
+    let cc = CompiledCircuit::compile(&core.netlist).expect("core compiles");
+    let stuck_universe = FaultUniverse::stuck_at(&core.netlist);
+    let stuck_faults = stuck_universe.representatives();
+    let transition_faults: Vec<_> = FaultUniverse::transition(&core.netlist)
+        .representatives()
+        .into_iter()
+        .filter(|f| f.is_stem())
+        .collect();
+    println!(
+        "core: {} gates, {} FFs, {} collapsed stuck-at faults, {} transition stems",
+        core.netlist.gate_count(),
+        core.netlist.dffs().len(),
+        stuck_faults.len(),
+        transition_faults.len()
+    );
+
+    // Each run gets a fresh architecture so every configuration grades the
+    // identical PRPG pattern stream.
+    let stuck_run = |threads: usize| -> RunStats {
+        let mut arch = StumpsArchitecture::build(&core, &StumpsConfig::default());
+        let mut sim =
+            StuckAtSim::new(&cc, stuck_faults.clone(), StuckAtSim::observe_all_captures(&cc));
+        sim.set_threads(threads);
+        let mut frame = cc.new_frame();
+        let mut faults_graded = 0u64;
+        let t0 = Instant::now();
+        for _ in 0..batches {
+            fill_frame_from_prpg(&mut arch, &core, &cc, &mut frame);
+            faults_graded += sim.active_faults() as u64;
+            sim.run_batch(&mut frame, 64);
+        }
+        RunStats {
+            seconds: t0.elapsed().as_secs_f64(),
+            patterns: batches as u64 * 64,
+            faults_graded,
+            coverage: sim.coverage(),
+        }
+    };
+
+    let transition_run = |threads: usize| -> RunStats {
+        let mut arch = StumpsArchitecture::build(&core, &StumpsConfig::default());
+        let window = CaptureWindow::all_domains(core.netlist.num_domains().max(1));
+        let mut sim = TransitionSim::new(&cc, transition_faults.clone(), window);
+        sim.set_threads(threads);
+        let mut base = cc.new_frame();
+        let mut faults_graded = 0u64;
+        let t0 = Instant::now();
+        for _ in 0..batches {
+            fill_frame_from_prpg(&mut arch, &core, &cc, &mut base);
+            faults_graded += sim.active_faults() as u64;
+            sim.run_batch(&base, 64);
+        }
+        RunStats {
+            seconds: t0.elapsed().as_secs_f64(),
+            patterns: batches as u64 * 64,
+            faults_graded,
+            coverage: sim.coverage(),
+        }
+    };
+
+    println!("stuck-at serial...");
+    let stuck_serial = stuck_run(1);
+    println!("stuck-at parallel ({parallel_threads} threads)...");
+    let stuck_parallel = stuck_run(parallel_threads);
+    println!("transition serial...");
+    let tr_serial = transition_run(1);
+    println!("transition parallel ({parallel_threads} threads)...");
+    let tr_parallel = transition_run(parallel_threads);
+
+    // The determinism contract, enforced at bench time too.
+    assert_eq!(
+        stuck_serial.coverage, stuck_parallel.coverage,
+        "serial and parallel stuck-at coverage must be bit-identical"
+    );
+    assert_eq!(
+        tr_serial.coverage, tr_parallel.coverage,
+        "serial and parallel transition coverage must be bit-identical"
+    );
+
+    let stuck_speedup = stuck_serial.seconds / stuck_parallel.seconds.max(1e-9);
+    let tr_speedup = tr_serial.seconds / tr_parallel.seconds.max(1e-9);
+
+    let mut json = String::new();
+    let _ = writeln!(json, "{{");
+    let _ = writeln!(json, "  \"bench\": \"faultsim\",");
+    let _ = writeln!(
+        json,
+        "  \"core\": {{\"profile\": \"core_x\", \"scale\": {scale}, \"gates\": {}, \"ffs\": {}, \
+         \"stuck_faults\": {}, \"transition_faults\": {}}},",
+        core.netlist.gate_count(),
+        core.netlist.dffs().len(),
+        stuck_faults.len(),
+        transition_faults.len()
+    );
+    let _ = writeln!(json, "  \"threads\": {parallel_threads},");
+    let _ = writeln!(json, "  \"batches\": {batches},");
+    let _ = writeln!(json, "  \"stuck_at\": {{");
+    let _ = writeln!(json, "    \"serial\": {},", json_run(&stuck_serial));
+    let _ = writeln!(json, "    \"parallel\": {},", json_run(&stuck_parallel));
+    let _ = writeln!(json, "    \"speedup\": {stuck_speedup:.3},");
+    let _ = writeln!(json, "    \"coverage_identical\": true");
+    let _ = writeln!(json, "  }},");
+    let _ = writeln!(json, "  \"transition\": {{");
+    let _ = writeln!(json, "    \"serial\": {},", json_run(&tr_serial));
+    let _ = writeln!(json, "    \"parallel\": {},", json_run(&tr_parallel));
+    let _ = writeln!(json, "    \"speedup\": {tr_speedup:.3},");
+    let _ = writeln!(json, "    \"coverage_identical\": true");
+    let _ = writeln!(json, "  }}");
+    let _ = writeln!(json, "}}");
+
+    std::fs::write(&out_path, &json).expect("write benchmark JSON");
+    println!("\n{json}");
+    println!(
+        "stuck-at: {:.0} patterns/s serial, {:.0} patterns/s parallel ({stuck_speedup:.2}x)",
+        stuck_serial.patterns_per_sec(),
+        stuck_parallel.patterns_per_sec()
+    );
+    println!(
+        "transition: {:.0} patterns/s serial, {:.0} patterns/s parallel ({tr_speedup:.2}x)",
+        tr_serial.patterns_per_sec(),
+        tr_parallel.patterns_per_sec()
+    );
+    println!("wrote {out_path}");
+}

@@ -79,19 +79,29 @@ fn main() {
     for (tick, phase) in transitions.iter().take(6) {
         println!("  tick {tick:>6}: -> {phase:?}");
     }
-    println!("  ... Finish = {}, patterns done = {}", controller.finish(), controller.patterns_done());
+    println!(
+        "  ... Finish = {}, patterns done = {}",
+        controller.finish(),
+        controller.patterns_done()
+    );
 
     // The self-test itself: golden vs defective.
     let mut session = session;
     let cfg = SessionConfig { num_patterns: 32, ..Default::default() };
     let golden = session.run(&cfg);
-    println!("\nself-test: {} patterns, {} shift cycles", golden.patterns_applied, golden.shift_cycles);
+    println!(
+        "\nself-test: {} patterns, {} shift cycles",
+        golden.patterns_applied, golden.shift_cycles
+    );
     for (db, sig) in session.architecture().domains().iter().zip(&golden.signatures) {
         let ones = (0..sig.len()).filter(|&i| sig.get(i)).count();
         println!("  clk{} signature: {} bits, {} ones", db.domain.index(), sig.len(), ones);
     }
     let retest = session.run(&cfg);
-    println!("healthy rerun   -> Result = {}", if retest.matches(&golden) { "PASS" } else { "FAIL" });
+    println!(
+        "healthy rerun   -> Result = {}",
+        if retest.matches(&golden) { "PASS" } else { "FAIL" }
+    );
     // Inject defects on a few capture nets until one is excited by this
     // pattern set (a stuck-at matching a net's idle polarity needs the
     // right stimulus, exactly like silicon).

@@ -31,7 +31,10 @@ fn main() {
     println!("capture window zoom (C1/C2 pairs, {} ps/char):", 500);
     println!("{}", waves.render_window(first_c1.saturating_sub(3_000), last + 3_000, 500));
 
-    println!("shift window: {} pulses @ {} ps period (slow, both TCKs together)", plan.shift_cycles, plan.shift_period_ps);
+    println!(
+        "shift window: {} pulses @ {} ps period (slow, both TCKs together)",
+        plan.shift_cycles, plan.shift_period_ps
+    );
     println!("capture window:");
     for (d, train) in plan.domains.iter().zip(&waves.capture_clocks) {
         let rises = train.rise_times();
@@ -54,7 +57,9 @@ fn main() {
     println!("\nproperty checks:");
     let skew = SkewModel::uniform(2, plan.d3_ps / 2);
     match plan.verify_waveforms(&waves, &skew) {
-        Ok(()) => println!("  [ok] two pulses per domain, at functional period, d3 > skew, SE slack"),
+        Ok(()) => {
+            println!("  [ok] two pulses per domain, at functional period, d3 > skew, SE slack")
+        }
         Err(v) => println!("  [MISS] {v}"),
     }
     // Counterexample: a frequency-manipulated plan fails verification.

@@ -15,7 +15,8 @@ use lbist_tpg::{LfsrPoly, Misr};
 /// Shifts a fixed stream through the boundary model and signs it with a
 /// MISR: corrupted shifts yield a different signature.
 fn signature_of(timing: &ShiftPathTiming, chain_len: usize) -> lbist_tpg::Gf2Vec {
-    let stream: Vec<bool> = (0..256u32).map(|i| (i * 2654435769u32.wrapping_mul(i)) & 4 != 0).collect();
+    let stream: Vec<bool> =
+        (0..256u32).map(|i| (i * 2654435769u32.wrapping_mul(i)) & 4 != 0).collect();
     let out = timing.simulate_shift(&stream, chain_len);
     let mut misr = Misr::new(LfsrPoly::maximal(19).unwrap(), 1);
     for b in out {
@@ -52,8 +53,12 @@ fn main() {
         let fsig = if signature_of(&fixed, 8) == fixed_golden { "PASS" } else { "FAIL" };
         println!(
             "{:>8} | {:>12} {:>12} | {:>10} | {:>12} {:>10}",
-            lead, pr.prpg_to_chain_hold_slack_ps, pr.chain_to_misr_setup_slack_ps, psig,
-            fr.prpg_to_chain_hold_slack_ps, fsig
+            lead,
+            pr.prpg_to_chain_hold_slack_ps,
+            pr.chain_to_misr_setup_slack_ps,
+            psig,
+            fr.prpg_to_chain_hold_slack_ps,
+            fsig
         );
     }
     println!("\n(paper: phase-ahead clocking makes PRPG-side failures hold-only;");

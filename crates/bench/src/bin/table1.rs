@@ -112,8 +112,7 @@ fn main() {
         let s = scale_override.unwrap_or(32);
         (s, s.max(48))
     };
-    let patterns: usize =
-        arg_value("--patterns").unwrap_or(if full { 20_000 } else { 2_048 });
+    let patterns: usize = arg_value("--patterns").unwrap_or(if full { 20_000 } else { 2_048 });
     let obs_budget: usize =
         arg_value("--obs").unwrap_or(if full { 1_000 } else { 1_000 / scale_x.max(8) });
 

@@ -33,6 +33,12 @@ use std::time::{Duration, Instant};
 /// lane is what the chains hold after a full shift-in, exactly as the
 /// self-test session loads them. Primary inputs are held at zero
 /// (`test_mode` high), as in BIST mode.
+///
+/// Word-level fill: each domain PRPG steps all 64 loads bit-parallel
+/// ([`lbist_tpg::Prpg::fill_lanes`]), so every shift cycle yields one
+/// packed 64-lane word per chain that is stored straight into the scan
+/// cell's frame word. No per-lane shift loops, no per-lane heap
+/// allocation — the hot path of every random-phase batch.
 pub fn fill_frame_from_prpg(
     arch: &mut StumpsArchitecture,
     core: &BistReadyCore,
@@ -44,36 +50,20 @@ pub fn fill_frame_from_prpg(
     }
     frame[core.test_mode().index()] = !0;
     let shift_cycles = arch.max_chain_length().max(1);
-    for lane in 0..64 {
-        // One load per lane.
-        let mut per_chain: Vec<Vec<bool>> = Vec::new();
-        for _ in 0..shift_cycles {
-            let mut chain_idx = 0;
-            for db in arch.domains_mut() {
-                let bits = db.prpg.step_vector();
-                if per_chain.len() < chain_idx + bits.len() {
-                    per_chain.resize(chain_idx + bits.len(), Vec::new());
+    for db in arch.domains_mut() {
+        let chains = &db.chains;
+        db.prpg.fill_lanes(shift_cycles, |cycle, words| {
+            // After `shift_cycles` shifts, cell i holds the bit inserted
+            // at cycle shift_cycles-1-i; equivalently the bits of cycle
+            // `cycle` land in cell `shift_cycles - 1 - cycle` of every
+            // chain long enough to still hold them.
+            let cell_pos = shift_cycles - 1 - cycle;
+            for (chain, &word) in chains.iter().zip(words) {
+                if let Some(&cell) = chain.cells.get(cell_pos) {
+                    frame[cell.index()] = word;
                 }
-                for (c, bit) in bits.into_iter().enumerate() {
-                    per_chain[chain_idx + c].push(bit);
-                }
-                chain_idx += db.chains.len();
             }
-        }
-        // After `shift_cycles` shifts, cell i holds the bit inserted at
-        // cycle shift_cycles-1-i.
-        let mut chain_idx = 0;
-        for db in arch.domains() {
-            for chain in &db.chains {
-                for (i, &cell) in chain.cells.iter().enumerate() {
-                    let bit = per_chain[chain_idx][shift_cycles - 1 - i];
-                    if bit {
-                        frame[cell.index()] |= 1 << lane;
-                    }
-                }
-                chain_idx += 1;
-            }
-        }
+        });
     }
 }
 
@@ -145,6 +135,10 @@ pub fn run_table1_flow(
     let universe = FaultUniverse::stuck_at(&core.netlist);
     let mut sim =
         StuckAtSim::new(&cc, universe.representatives(), StuckAtSim::observe_all_captures(&cc));
+    // Rayon-sharded PPSFP by default; `--serial` / `--threads N` override.
+    if let Some(threads) = cli_thread_budget() {
+        sim.set_threads(threads);
+    }
 
     // Random phase with genuine PRPG patterns through the architecture.
     let stumps = StumpsConfig::default();
@@ -168,7 +162,8 @@ pub fn run_table1_flow(
 
     // Overhead: core-side DFT plus the BIST hardware.
     let mut overhead = core.overhead.clone();
-    overhead.add_register_stages(arch.total_prpg_stages() + arch.misr_widths().iter().sum::<usize>());
+    overhead
+        .add_register_stages(arch.total_prpg_stages() + arch.misr_widths().iter().sum::<usize>());
     let shifter_xors: usize = arch.domains().iter().map(|d| d.chains.len() * 2).sum();
     overhead.add_xor_network(shifter_xors);
     overhead.add_controller();
@@ -216,6 +211,18 @@ pub fn arg_flag(name: &str) -> bool {
     std::env::args().any(|a| a == name)
 }
 
+/// The shared fault-sim threading knobs every experiment binary honours:
+/// `--serial` pins grading to one thread (the determinism escape hatch),
+/// `--threads N` sets an explicit worker budget, and absent both the
+/// simulators keep their default (all available hardware threads).
+pub fn cli_thread_budget() -> Option<usize> {
+    if arg_flag("--serial") {
+        Some(1)
+    } else {
+        arg_value("--threads")
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -236,6 +243,75 @@ mod tests {
         assert_eq!(col.domains, 2);
         assert_eq!(col.prpgs, (2, 19));
         assert!(col.overhead > 0.0);
+    }
+
+    /// The word-level fill must reproduce, bit for bit, what the original
+    /// per-lane scalar shift loops produced — the PRPG stream semantics
+    /// are part of the paper reproduction.
+    #[test]
+    fn word_level_fill_matches_scalar_reference() {
+        let profile = CoreProfile::core_x().scaled(800);
+        let netlist = CpuCoreGenerator::new(profile, 9).generate();
+        let core = prepare_core(
+            &netlist,
+            &PrepConfig {
+                total_chains: 6,
+                obs_budget: 0,
+                tpi: TpiMethod::None,
+                ..PrepConfig::default()
+            },
+        );
+        let cc = CompiledCircuit::compile(&core.netlist).unwrap();
+        let stumps = StumpsConfig::default();
+        let mut arch = StumpsArchitecture::build(&core, &stumps);
+        let mut arch_ref = StumpsArchitecture::build(&core, &stumps);
+
+        // Scalar reference: one load per lane via step_vector (the
+        // original implementation).
+        let scalar_fill = |arch: &mut StumpsArchitecture, frame: &mut [u64]| {
+            for w in frame.iter_mut() {
+                *w = 0;
+            }
+            frame[core.test_mode().index()] = !0;
+            let shift_cycles = arch.max_chain_length().max(1);
+            for lane in 0..64 {
+                let mut per_chain: Vec<Vec<bool>> = Vec::new();
+                for _ in 0..shift_cycles {
+                    let mut chain_idx = 0;
+                    for db in arch.domains_mut() {
+                        let bits = db.prpg.step_vector();
+                        if per_chain.len() < chain_idx + bits.len() {
+                            per_chain.resize(chain_idx + bits.len(), Vec::new());
+                        }
+                        for (c, bit) in bits.into_iter().enumerate() {
+                            per_chain[chain_idx + c].push(bit);
+                        }
+                        chain_idx += db.chains.len();
+                    }
+                }
+                let mut chain_idx = 0;
+                for db in arch.domains() {
+                    for chain in &db.chains {
+                        for (i, &cell) in chain.cells.iter().enumerate() {
+                            if per_chain[chain_idx][shift_cycles - 1 - i] {
+                                frame[cell.index()] |= 1 << lane;
+                            }
+                        }
+                        chain_idx += 1;
+                    }
+                }
+            }
+        };
+
+        // Two consecutive batches: covers both the cold path (lane cache
+        // build) and the steady-state reuse path.
+        for batch in 0..2 {
+            let mut frame = cc.new_frame();
+            let mut ref_frame = cc.new_frame();
+            fill_frame_from_prpg(&mut arch, &core, &cc, &mut frame);
+            scalar_fill(&mut arch_ref, &mut ref_frame);
+            assert_eq!(frame, ref_frame, "word-level fill diverged in batch {batch}");
+        }
     }
 
     #[test]
@@ -259,8 +335,7 @@ mod tests {
         let ff_words: Vec<u64> = cc.dffs().iter().map(|&ff| frame[ff.index()]).collect();
         assert!(ff_words.iter().any(|&w| w != 0));
         let lane0: Vec<bool> = cc.dffs().iter().map(|&ff| frame[ff.index()] & 1 == 1).collect();
-        let lane1: Vec<bool> =
-            cc.dffs().iter().map(|&ff| frame[ff.index()] & 2 == 2).collect();
+        let lane1: Vec<bool> = cc.dffs().iter().map(|&ff| frame[ff.index()] & 2 == 2).collect();
         assert_ne!(lane0, lane1);
     }
 }

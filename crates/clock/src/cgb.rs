@@ -112,8 +112,11 @@ impl CaptureTimingPlan {
         // 2. SE slack: distance from SE fall to any capture pulse and from
         //    the last capture pulse to SE rise is at least d1/d5.
         let se_fall = waves.scan_enable.transitions()[0].0;
-        let first_capture =
-            waves.capture_clocks.iter().filter_map(|t| t.rise_times().get(self.shift_cycles).copied()).min();
+        let first_capture = waves
+            .capture_clocks
+            .iter()
+            .filter_map(|t| t.rise_times().get(self.shift_cycles).copied())
+            .min();
         if let Some(fc) = first_capture {
             if fc - se_fall < self.d1_ps {
                 return Err(TimingViolation::ScanEnableTooFast {
@@ -125,7 +128,10 @@ impl CaptureTimingPlan {
         // 3. d3 beats skew.
         let max_skew = skew.max_inter_domain_skew_ps();
         if self.d3_ps <= max_skew {
-            return Err(TimingViolation::CaptureGapTooSmall { d3_ps: self.d3_ps, skew_ps: max_skew });
+            return Err(TimingViolation::CaptureGapTooSmall {
+                d3_ps: self.d3_ps,
+                skew_ps: max_skew,
+            });
         }
         Ok(())
     }
@@ -277,7 +283,11 @@ impl ClockGatingBlock {
         let se_rise = last_capture_end + plan.d5_ps;
         se.transition_to(true, se_rise);
 
-        CgbWaveforms { capture_clocks: clocks, scan_enable: se, end_ps: se_rise + plan.shift_period_ps }
+        CgbWaveforms {
+            capture_clocks: clocks,
+            scan_enable: se,
+            end_ps: se_rise + plan.shift_period_ps,
+        }
     }
 }
 
@@ -340,10 +350,7 @@ mod tests {
         let ok_skew = SkewModel::uniform(2, plan.d3_ps / 2);
         assert!(plan.verify(&ok_skew).is_ok());
         let bad_skew = SkewModel::uniform(2, plan.d3_ps * 2);
-        assert!(matches!(
-            plan.verify(&bad_skew),
-            Err(TimingViolation::CaptureGapTooSmall { .. })
-        ));
+        assert!(matches!(plan.verify(&bad_skew), Err(TimingViolation::CaptureGapTooSmall { .. })));
     }
 
     #[test]

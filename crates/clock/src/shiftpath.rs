@@ -148,8 +148,8 @@ impl ShiftPathTiming {
         let arrival = -c.phase_lead_ps + launch_offset + (c.clk2q_ps + c.wire_ps) as i64;
         let hold_slack = arrival - c.hold_ps as i64;
 
-        let path = (c.clk2q_ps + c.wire_ps) as i64
-            + (c.compactor_levels as u64 * c.level_delay_ps) as i64;
+        let path =
+            (c.clk2q_ps + c.wire_ps) as i64 + (c.compactor_levels as u64 * c.level_delay_ps) as i64;
         let misr_edge = c.shift_period_ps as i64 - c.phase_lead_ps;
         let setup_slack = (misr_edge - c.setup_ps as i64) - path;
 

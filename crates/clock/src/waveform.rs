@@ -140,8 +140,7 @@ impl DigitalWave {
     /// Panics if transitions are not strictly time-ordered or the level
     /// does not actually change.
     pub fn transition_to(&mut self, level: bool, at_ps: u64) {
-        let (last_t, last_l) =
-            self.transitions.last().copied().unwrap_or((0, self.initial));
+        let (last_t, last_l) = self.transitions.last().copied().unwrap_or((0, self.initial));
         assert!(at_ps > last_t || self.transitions.is_empty(), "transitions must be ordered");
         assert_ne!(level, last_l, "transition must change the level");
         self.transitions.push((at_ps, level));

@@ -33,7 +33,7 @@ impl Default for StumpsConfig {
             use_phase_shifter: true,
             use_compactor: false,
             misr_min_length: 19,
-            seed: 0xB15_7,
+            seed: 0xB157,
         }
     }
 }
@@ -187,7 +187,12 @@ mod tests {
         let nl = CpuCoreGenerator::new(CoreProfile::core_x().scaled(400), 5).generate();
         prepare_core(
             &nl,
-            &PrepConfig { total_chains: 6, obs_budget: 0, tpi: TpiMethod::None, ..PrepConfig::default() },
+            &PrepConfig {
+                total_chains: 6,
+                obs_budget: 0,
+                tpi: TpiMethod::None,
+                ..PrepConfig::default()
+            },
         )
     }
 

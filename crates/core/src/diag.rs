@@ -48,11 +48,7 @@ pub fn diagnose_first_failing_interval(
     interval: usize,
 ) -> Option<DiagnosisReport> {
     assert!(interval > 0, "snapshot interval must be positive");
-    assert_eq!(
-        golden.snapshots.len(),
-        faulty.snapshots.len(),
-        "snapshot streams must align"
-    );
+    assert_eq!(golden.snapshots.len(), faulty.snapshots.len(), "snapshot streams must align");
     for (i, (g, f)) in golden.snapshots.iter().zip(&faulty.snapshots).enumerate() {
         if g != f {
             let bad_domains =
@@ -80,15 +76,17 @@ mod tests {
         let nl = CpuCoreGenerator::new(CoreProfile::core_x().scaled(400), 23).generate();
         let core = prepare_core(
             &nl,
-            &PrepConfig { total_chains: 6, obs_budget: 0, tpi: TpiMethod::None, ..PrepConfig::default() },
+            &PrepConfig {
+                total_chains: 6,
+                obs_budget: 0,
+                tpi: TpiMethod::None,
+                ..PrepConfig::default()
+            },
         );
         let mut session = SelfTestSession::new(&core, &StumpsConfig::default());
         let interval = 4;
-        let cfg = SessionConfig {
-            num_patterns: 16,
-            snapshot_every: interval,
-            ..Default::default()
-        };
+        let cfg =
+            SessionConfig { num_patterns: 16, snapshot_every: interval, ..Default::default() };
         let golden = session.run(&cfg);
         let site = core.netlist.fanins(core.netlist.dffs()[0])[0];
         let mut faulty_cfg = cfg.clone();
@@ -107,7 +105,12 @@ mod tests {
         let nl = CpuCoreGenerator::new(CoreProfile::core_x().scaled(800), 29).generate();
         let core = prepare_core(
             &nl,
-            &PrepConfig { total_chains: 4, obs_budget: 0, tpi: TpiMethod::None, ..PrepConfig::default() },
+            &PrepConfig {
+                total_chains: 4,
+                obs_budget: 0,
+                tpi: TpiMethod::None,
+                ..PrepConfig::default()
+            },
         );
         let mut session = SelfTestSession::new(&core, &StumpsConfig::default());
         let cfg = SessionConfig { num_patterns: 8, snapshot_every: 2, ..Default::default() };

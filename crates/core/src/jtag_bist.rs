@@ -110,7 +110,12 @@ mod tests {
         let nl = CpuCoreGenerator::new(CoreProfile::core_x().scaled(400), 77).generate();
         prepare_core(
             &nl,
-            &PrepConfig { total_chains: 4, obs_budget: 0, tpi: TpiMethod::None, ..PrepConfig::default() },
+            &PrepConfig {
+                total_chains: 4,
+                obs_budget: 0,
+                tpi: TpiMethod::None,
+                ..PrepConfig::default()
+            },
         )
     }
 
@@ -131,13 +136,7 @@ mod tests {
 
         // Signature download: width equals the sum of MISR widths.
         tap.load_instruction(TapInstruction::LbistSignature);
-        let width: usize = tap
-            .backend()
-            .session()
-            .architecture()
-            .misr_widths()
-            .iter()
-            .sum();
+        let width: usize = tap.backend().session().architecture().misr_widths().iter().sum();
         let sig = tap.shift_dr(&vec![false; width]);
         assert_eq!(sig.len(), width);
         assert!(sig.iter().any(|&b| b), "a real signature is not all-zero");
@@ -152,7 +151,7 @@ mod tests {
         let mut tap = TapController::new(backend);
         tap.load_instruction(TapInstruction::LbistStart);
         tap.shift_dr(&[true]); // golden
-        // Find an injectable defect the pattern set catches.
+                               // Find an injectable defect the pattern set catches.
         let mut caught = false;
         for i in 0..c.netlist.dffs().len().min(8) {
             let site = c.netlist.fanins(c.netlist.dffs()[i])[0];

@@ -4,10 +4,11 @@ use crate::architecture::StumpsArchitecture;
 use lbist_atpg::Pattern;
 
 /// Where the next load's chain bits come from.
-#[derive(Clone, Debug, PartialEq, Eq)]
+#[derive(Clone, Debug, PartialEq, Eq, Default)]
 pub enum PatternSource {
     /// Pseudo-random bits from the TPG block (PRPG → phase shifter →
     /// expander), the normal self-test mode.
+    #[default]
     Random,
     /// Deterministic top-up patterns (from ATPG), applied through the same
     /// chains. The selector walks the list in order.
@@ -31,12 +32,6 @@ pub struct InputSelector {
     source: PatternSource,
     top_up: Vec<Pattern>,
     next_top_up: usize,
-}
-
-impl Default for PatternSource {
-    fn default() -> Self {
-        PatternSource::Random
-    }
 }
 
 impl InputSelector {
@@ -147,7 +142,12 @@ mod tests {
         let nl = CpuCoreGenerator::new(CoreProfile::core_x().scaled(800), 3).generate();
         let core = prepare_core(
             &nl,
-            &PrepConfig { total_chains: 4, obs_budget: 0, tpi: TpiMethod::None, ..PrepConfig::default() },
+            &PrepConfig {
+                total_chains: 4,
+                obs_budget: 0,
+                tpi: TpiMethod::None,
+                ..PrepConfig::default()
+            },
         );
         StumpsArchitecture::build(&core, &StumpsConfig::default())
     }

@@ -121,14 +121,9 @@ impl<'a> SelfTestSession<'a> {
         selector.load_top_up(cfg.top_up.clone());
 
         let shift_cycles = self.arch.max_chain_length().max(1);
-        let order: Vec<DomainId> = cfg
-            .capture_order
-            .clone()
-            .unwrap_or_else(|| {
-                (0..self.core.netlist.num_domains().max(1))
-                    .map(|d| DomainId::new(d as u16))
-                    .collect()
-            });
+        let order: Vec<DomainId> = cfg.capture_order.clone().unwrap_or_else(|| {
+            (0..self.core.netlist.num_domains().max(1)).map(|d| DomainId::new(d as u16)).collect()
+        });
         let mut controller = BistController::new(ControllerConfig {
             shift_cycles,
             num_patterns: cfg.num_patterns + cfg.top_up.len(),
@@ -167,6 +162,7 @@ impl<'a> SelfTestSession<'a> {
             };
 
             // ---- shift window: load new pattern, unload previous response.
+            #[allow(clippy::needless_range_loop)] // `s` indexes a per-chain inner dimension
             for s in 0..shift_cycles {
                 let mut chain_idx = 0;
                 for db in self.arch.domains_mut() {
@@ -201,7 +197,7 @@ impl<'a> SelfTestSession<'a> {
             self.read_state_from_frame(&frame, &mut chain_state);
             patterns_applied += 1;
 
-            if cfg.snapshot_every > 0 && patterns_applied % cfg.snapshot_every == 0 {
+            if cfg.snapshot_every > 0 && patterns_applied.is_multiple_of(cfg.snapshot_every) {
                 snapshots
                     .push(self.arch.domains().iter().map(|d| d.misr.signature().clone()).collect());
             }
@@ -304,7 +300,12 @@ mod tests {
         let nl = CpuCoreGenerator::new(CoreProfile::core_x().scaled(400), 17).generate();
         prepare_core(
             &nl,
-            &PrepConfig { total_chains: 6, obs_budget: 4, tpi: TpiMethod::Cop, ..PrepConfig::default() },
+            &PrepConfig {
+                total_chains: 6,
+                obs_budget: 4,
+                tpi: TpiMethod::Cop,
+                ..PrepConfig::default()
+            },
         )
     }
 
@@ -359,11 +360,7 @@ mod tests {
     fn snapshots_recorded_at_interval() {
         let c = core();
         let mut s = SelfTestSession::new(&c, &StumpsConfig::default());
-        let r = s.run(&SessionConfig {
-            num_patterns: 16,
-            snapshot_every: 4,
-            ..Default::default()
-        });
+        let r = s.run(&SessionConfig { num_patterns: 16, snapshot_every: 4, ..Default::default() });
         assert_eq!(r.snapshots.len(), 4);
         for snap in &r.snapshots {
             assert_eq!(snap.len(), s.architecture().domains().len());

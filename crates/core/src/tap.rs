@@ -264,10 +264,8 @@ impl<B: TapBackend> TapController<B> {
                 };
             }
             UpdateDr => match self.instruction() {
-                TapInstruction::LbistStart => {
-                    if self.dr_shift.first().copied().unwrap_or(false) {
-                        self.backend.start();
-                    }
+                TapInstruction::LbistStart if self.dr_shift.first().copied().unwrap_or(false) => {
+                    self.backend.start();
                 }
                 TapInstruction::LbistSeed => {
                     let bits = self.seed_buffer.clone();
@@ -385,7 +383,7 @@ mod tests {
     fn idcode_reads_back() {
         let (mut t, _) = tap();
         t.load_instruction(TapInstruction::Idcode);
-        let out = t.shift_dr(&vec![false; 32]);
+        let out = t.shift_dr(&[false; 32]);
         let word = out.iter().enumerate().fold(0u32, |acc, (i, &b)| acc | ((b as u32) << i));
         assert_eq!(word, 0x1B15_70C1);
     }
@@ -424,7 +422,7 @@ mod tests {
     fn signature_downloads() {
         let (mut t, _) = tap();
         t.load_instruction(TapInstruction::LbistSignature);
-        let out = t.shift_dr(&vec![false; 4]);
+        let out = t.shift_dr(&[false; 4]);
         assert_eq!(out, vec![true, false, true, true]);
     }
 

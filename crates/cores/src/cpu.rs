@@ -105,9 +105,8 @@ impl<'a> Builder<'a> {
         let nsels: Vec<NodeId> =
             sels.iter().map(|&s| self.emit(domain, GateKind::Not, &[s])).collect();
         for o in 0..outputs {
-            let term: Vec<NodeId> = (0..sel_bits)
-                .map(|b| if (o >> b) & 1 == 1 { sels[b] } else { nsels[b] })
-                .collect();
+            let term: Vec<NodeId> =
+                (0..sel_bits).map(|b| if (o >> b) & 1 == 1 { sels[b] } else { nsels[b] }).collect();
             self.emit(domain, GateKind::And, &term);
         }
     }
@@ -244,11 +243,8 @@ impl CpuCoreGenerator {
         // low 90s like the paper's cores.
         while b.gates < p.target_gates {
             let domain = b.rng.gen_range(0..b.pools.len());
-            let (kind_roll, p1, p2) = (
-                b.rng.gen_range(0..100),
-                b.rng.gen_range(0..64usize),
-                b.rng.gen_range(0..64usize),
-            );
+            let (kind_roll, p1, p2) =
+                (b.rng.gen_range(0..100), b.rng.gen_range(0..64usize), b.rng.gen_range(0..64usize));
             match kind_roll {
                 0..=29 => b.alu_block(domain, 4 + p1 % 13),
                 30..=44 => b.decoder_block(domain, 3 + p1 % 3, 8),
@@ -344,7 +340,12 @@ mod tests {
         let nl = CpuCoreGenerator::new(p.clone(), 3).generate();
         assert!(nl.validate().is_ok());
         let stats = NetlistStats::compute(&nl);
-        assert!(stats.num_gates >= p.target_gates, "gates {} < {}", stats.num_gates, p.target_gates);
+        assert!(
+            stats.num_gates >= p.target_gates,
+            "gates {} < {}",
+            stats.num_gates,
+            p.target_gates
+        );
         assert!(stats.num_gates < p.target_gates * 2);
         assert_eq!(stats.num_domains, p.num_domains);
         assert!(stats.num_ffs >= p.target_ffs);
@@ -362,11 +363,7 @@ mod tests {
             if !nl.kind(id).is_logic() {
                 continue;
             }
-            let domains: Vec<_> = nl
-                .fanins(id)
-                .iter()
-                .filter_map(|&f| nl.domain(f))
-                .collect();
+            let domains: Vec<_> = nl.fanins(id).iter().filter_map(|&f| nl.domain(f)).collect();
             if domains.windows(2).any(|w| w[0] != w[1]) {
                 found = true;
                 break 'outer;

@@ -41,8 +41,7 @@ impl RandomLogicGenerator {
         let mut nl = Netlist::new(format!("rand{}g{}f", self.gates, self.ffs));
         let mut rng = SmallRng::seed_from_u64(self.seed);
         let num_pis = (self.gates / 20).clamp(4, 64);
-        let mut pool: Vec<NodeId> =
-            (0..num_pis).map(|i| nl.add_input(&format!("pi{i}"))).collect();
+        let mut pool: Vec<NodeId> = (0..num_pis).map(|i| nl.add_input(&format!("pi{i}"))).collect();
         let ffs: Vec<NodeId> = (0..self.ffs)
             .map(|i| {
                 let ff = nl.add_dff_floating(DomainId::new((i % self.domains) as u16));

@@ -68,8 +68,7 @@ impl ControlPointPlan {
     /// Unlike observation points this **changes functional paths** — the
     /// inserted gate sits between the net and all of its readers.
     pub fn insert(&self, netlist: &mut Netlist) -> Vec<NodeId> {
-        let enable =
-            netlist.find("cp_enable").unwrap_or_else(|| netlist.add_input("cp_enable"));
+        let enable = netlist.find("cp_enable").unwrap_or_else(|| netlist.add_input("cp_enable"));
         let enable_n = netlist.add_gate(GateKind::Not, &[enable]);
         let mut gates = Vec::with_capacity(self.sites.len());
         for &(site, kind) in &self.sites {
@@ -164,11 +163,7 @@ mod tests {
         assert_eq!(frame[gates[0].index()], !0, "Or1 forces 1 when enabled");
         frame[enable.index()] = 0; // functional mode
         cc.eval2(&mut frame);
-        assert_eq!(
-            frame[gates[0].index()],
-            frame[rare.index()],
-            "transparent when disabled"
-        );
+        assert_eq!(frame[gates[0].index()], frame[rare.index()], "transparent when disabled");
     }
 
     #[test]

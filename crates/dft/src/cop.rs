@@ -110,16 +110,12 @@ impl CopMeasures {
                 let sens = match rk {
                     GateKind::Buf | GateKind::Not | GateKind::Output => 1.0,
                     GateKind::Xor | GateKind::Xnor => 1.0,
-                    GateKind::And | GateKind::Nand => fi
-                        .iter()
-                        .filter(|&&f| f != id)
-                        .map(|&f| c1[f.index()])
-                        .product(),
-                    GateKind::Or | GateKind::Nor => fi
-                        .iter()
-                        .filter(|&&f| f != id)
-                        .map(|&f| 1.0 - c1[f.index()])
-                        .product(),
+                    GateKind::And | GateKind::Nand => {
+                        fi.iter().filter(|&&f| f != id).map(|&f| c1[f.index()]).product()
+                    }
+                    GateKind::Or | GateKind::Nor => {
+                        fi.iter().filter(|&&f| f != id).map(|&f| 1.0 - c1[f.index()]).product()
+                    }
                     GateKind::Mux2 => {
                         let s = c1[fi[0].index()];
                         if fi[0] == id {

@@ -107,7 +107,13 @@ impl DftOverhead {
 
 impl fmt::Display for DftOverhead {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        writeln!(f, "overhead {:.1} GE on {:.1} GE core = {:.2}%", self.added_ge, self.core_ge, self.percent())?;
+        writeln!(
+            f,
+            "overhead {:.1} GE on {:.1} GE core = {:.2}%",
+            self.added_ge,
+            self.core_ge,
+            self.percent()
+        )?;
         for (label, ge) in &self.items {
             writeln!(f, "  {label:<18} {ge:>10.1} GE")?;
         }

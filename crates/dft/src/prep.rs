@@ -1,12 +1,12 @@
 //! The end-to-end BIST-ready-core preparation pipeline.
 
 use crate::{
-    insert_observation_points, wrap_ios, DftOverhead, IoWrapReport, ScanChains,
-    TestPointInsertion, XBoundReport, XBounding,
+    insert_observation_points, wrap_ios, DftOverhead, IoWrapReport, ScanChains, TestPointInsertion,
+    XBoundReport, XBounding,
 };
+use lbist_fault::{FaultUniverse, StuckAtSim};
 use lbist_netlist::{DomainId, Netlist, NodeId};
 use lbist_sim::CompiledCircuit;
-use lbist_fault::{FaultUniverse, StuckAtSim};
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 
@@ -47,7 +47,7 @@ impl Default for PrepConfig {
             wrap_ios: true,
             obs_budget: 32,
             tpi: TpiMethod::FaultSimGuided { patterns: 512 },
-            seed: 0x1b15_7,
+            seed: 0x1_b157,
         }
     }
 }
@@ -166,10 +166,8 @@ pub fn prepare_core(netlist: &Netlist, config: &PrepConfig) -> BistReadyCore {
 
     let mut overhead = DftOverhead::new(core_ge);
     overhead.add_scan_muxes(original_ffs);
-    let io_cells = io_report
-        .as_ref()
-        .map(|r| r.input_cells.len() + r.output_cells.len())
-        .unwrap_or(0);
+    let io_cells =
+        io_report.as_ref().map(|r| r.input_cells.len() + r.output_cells.len()).unwrap_or(0);
     overhead.add_scan_cells(io_cells + observation_cells.len());
     overhead.add_x_bounds(xbound.bounding_gates.len());
 
@@ -231,11 +229,7 @@ mod tests {
 
     #[test]
     fn obs_cells_match_sites() {
-        let cfg = PrepConfig {
-            obs_budget: 4,
-            tpi: TpiMethod::Cop,
-            ..PrepConfig::default()
-        };
+        let cfg = PrepConfig { obs_budget: 4, tpi: TpiMethod::Cop, ..PrepConfig::default() };
         let core = prepare_core(&sample(), &cfg);
         assert_eq!(core.observation_cells.len(), core.observation_sites.len());
         for (cell, site) in core.observation_cells.iter().zip(&core.observation_sites) {

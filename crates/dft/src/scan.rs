@@ -99,10 +99,7 @@ impl ScanChains {
                 remaining -= whole;
             }
             shares.sort_by(|a, b| {
-                (b.1 - b.1.floor())
-                    .partial_cmp(&(a.1 - a.1.floor()))
-                    .unwrap()
-                    .then(a.0.cmp(&b.0))
+                (b.1 - b.1.floor()).partial_cmp(&(a.1 - a.1.floor())).unwrap().then(a.0.cmp(&b.0))
             });
             for &(d, _) in shares.iter().take(remaining) {
                 budget[d] += 1;
@@ -215,7 +212,7 @@ mod tests {
         let nl = netlist_with_ffs(&[104, 4]);
         // Mirroring Core X's shape: enough chains that max length ~ 11.
         let chains = ScanChains::stitch(&nl, 11);
-        assert_eq!(chains.max_chain_length(), (104 + 9) / 10);
+        assert_eq!(chains.max_chain_length(), 104_usize.div_ceil(10));
     }
 
     #[test]

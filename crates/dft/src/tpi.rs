@@ -188,7 +188,7 @@ mod tests {
         let x1 = nl.add_gate(GateKind::Xor, &[ins[0], ins[1]]);
         let x2 = nl.add_gate(GateKind::Xor, &[x1, ins[2]]);
         let hidden = nl.add_gate(GateKind::Xor, &[x2, ins[3]]);
-        let mask = nl.add_gate(GateKind::And, &ins[4..16].to_vec());
+        let mask = nl.add_gate(GateKind::And, &ins[4..16]);
         let out = nl.add_gate(GateKind::And, &[hidden, mask]);
         nl.add_output("y", out);
         (nl, hidden)
@@ -286,8 +286,7 @@ mod tests {
         }
         // The shadowed XOR cone should rank among them.
         assert!(
-            plan.sites.contains(&hidden)
-                || plan.sites.iter().any(|&s| cop.observability(s) < 0.1)
+            plan.sites.contains(&hidden) || plan.sites.iter().any(|&s| cop.observability(s) < 0.1)
         );
     }
 
@@ -296,8 +295,7 @@ mod tests {
         let (nl, _) = shadowed();
         let cc = CompiledCircuit::compile(&nl).unwrap();
         let po_src = nl.fanins(nl.outputs()[0])[0];
-        let fake_faults =
-            vec![Fault::stem(nl.inputs()[0], FaultKind::StuckAt0)];
+        let fake_faults = vec![Fault::stem(nl.inputs()[0], FaultKind::StuckAt0)];
         let plan = TestPointInsertion::fault_sim_guided(&cc, &fake_faults, 10, 2, 3);
         assert!(!plan.sites.contains(&po_src));
         let cop_plan = TestPointInsertion::cop_guided(&nl, 100);

@@ -43,8 +43,7 @@ impl XBounding {
     /// Applies zero-bounding to every X-source in `netlist`. Reuses an
     /// existing input named `test_mode` if present, otherwise creates one.
     pub fn apply(netlist: &mut Netlist) -> XBoundReport {
-        let test_mode =
-            netlist.find("test_mode").unwrap_or_else(|| netlist.add_input("test_mode"));
+        let test_mode = netlist.find("test_mode").unwrap_or_else(|| netlist.add_input("test_mode"));
         let inv_tm = netlist.add_gate(GateKind::Not, &[test_mode]);
         let mut bounding_gates = Vec::new();
         for &x in &netlist.xsources().to_vec() {

@@ -46,8 +46,7 @@ impl FaultDictionary {
             cc.eval2(&mut frame);
             let base = detections.len();
             detections.resize_with(base + num_patterns, Vec::new);
-            let lane_mask: u64 =
-                if num_patterns == 64 { !0 } else { (1u64 << num_patterns) - 1 };
+            let lane_mask: u64 = if num_patterns == 64 { !0 } else { (1u64 << num_patterns) - 1 };
             for (fi, fault) in faults.iter().enumerate() {
                 let mut detected = 0u64;
                 match inject_stuck_at(cc, fault, &frame) {
@@ -166,18 +165,11 @@ mod tests {
         let (nl, ins) = circuit();
         let cc = CompiledCircuit::compile(&nl).unwrap();
         let universe = FaultUniverse::stuck_at(&nl);
-        let dict = build_dictionary(
-            &cc,
-            universe.representatives(),
-            [exhaustive_batch(&cc, &ins)],
-        );
+        let dict = build_dictionary(&cc, universe.representatives(), [exhaustive_batch(&cc, &ins)]);
         assert_eq!(dict.num_patterns(), 8);
         // Cross-check against StuckAtSim with no dropping.
-        let mut sim = StuckAtSim::new(
-            &cc,
-            universe.representatives(),
-            StuckAtSim::observe_all_captures(&cc),
-        );
+        let mut sim =
+            StuckAtSim::new(&cc, universe.representatives(), StuckAtSim::observe_all_captures(&cc));
         sim.set_drop_after(u32::MAX);
         let (mut frame, n) = exhaustive_batch(&cc, &ins);
         sim.run_batch(&mut frame, n);
@@ -199,10 +191,8 @@ mod tests {
         // Pretend fault #0 is the real defect: its pass/fail signature is
         // exactly its dictionary column.
         let truth = 0u32;
-        let failing: Vec<usize> =
-            (0..8).filter(|&p| dict.entry(p).contains(&truth)).collect();
-        let passing: Vec<usize> =
-            (0..8).filter(|&p| !dict.entry(p).contains(&truth)).collect();
+        let failing: Vec<usize> = (0..8).filter(|&p| dict.entry(p).contains(&truth)).collect();
+        let passing: Vec<usize> = (0..8).filter(|&p| !dict.entry(p).contains(&truth)).collect();
         assert!(!failing.is_empty());
         let candidates = dict.candidates(&failing, &passing);
         assert!(

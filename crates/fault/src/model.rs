@@ -109,7 +109,9 @@ mod tests {
 
     #[test]
     fn kind_predicates_partition() {
-        for k in [FaultKind::StuckAt0, FaultKind::StuckAt1, FaultKind::SlowToRise, FaultKind::SlowToFall] {
+        for k in
+            [FaultKind::StuckAt0, FaultKind::StuckAt1, FaultKind::SlowToRise, FaultKind::SlowToFall]
+        {
             assert_ne!(k.is_stuck_at(), k.is_transition());
         }
     }

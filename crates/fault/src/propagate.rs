@@ -220,7 +220,7 @@ pub fn propagate_fault(
     prop.set(site, word);
     visitor(site, word ^ good_frame[site.index()]);
     prop.enqueue_fanouts(cc, site);
-    prop.run(cc, good_frame, None, |node, diff| visitor(node, diff));
+    prop.run(cc, good_frame, None, visitor);
     true
 }
 

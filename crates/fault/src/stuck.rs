@@ -1,10 +1,16 @@
-//! PPSFP stuck-at fault simulation.
+//! PPSFP stuck-at fault simulation, sharded across rayon workers.
 
 use crate::coverage::CoverageReport;
 use crate::propagate::{inject_stuck_at, Propagator};
 use crate::Fault;
 use lbist_netlist::{GateKind, NodeId};
 use lbist_sim::CompiledCircuit;
+
+/// Minimum faults per worker shard before another worker is engaged:
+/// below this, per-batch thread-spawn overhead outweighs the grading
+/// work (the active list shrinks steadily under compaction, so late
+/// batches fall back toward serial automatically).
+const MIN_SHARD_FAULTS: usize = 64;
 
 /// Parallel-pattern single-fault-propagation simulator for stuck-at faults.
 ///
@@ -15,6 +21,23 @@ use lbist_sim::CompiledCircuit;
 /// pattern when its effect reaches an observed node. Detected faults are
 /// dropped once their n-detect budget is met.
 ///
+/// # Parallel grading
+///
+/// Faults are graded independently against the shared fault-free frame, so
+/// the simulator shards the **active-fault list** across rayon workers.
+/// Each worker owns a thread-local [`Propagator`] scratch (epoch-stamped,
+/// reused across batches) and writes per-fault detection words into its
+/// own slice of the batch result; the serial merge then updates n-detect
+/// counts and compacts the active list (swap-remove on drop) so later
+/// batches stop scanning dead faults. The active list is ordered by logic
+/// level so each shard walks a cache-friendly cone of the circuit.
+///
+/// Because every fault's detection word depends only on the fault-free
+/// frame — never on other faults or on scheduling — parallel and serial
+/// grading produce **bit-identical** detection counts and coverage. The
+/// [`StuckAtSim::serial`] escape hatch pins grading to the calling thread
+/// for debugging or strict single-thread environments.
+///
 /// Observation follows the paper's BIST-ready core: responses are whatever
 /// the scan capture sees — every flip-flop `D` source, every primary output
 /// marker, plus any observation test points the DFT step added.
@@ -23,17 +46,30 @@ pub struct StuckAtSim<'a> {
     cc: &'a CompiledCircuit,
     faults: Vec<Fault>,
     observed: Vec<bool>,
-    active: Vec<bool>,
+    /// Indices into `faults` still being graded, ordered by logic level
+    /// (then node) for shard locality; swap-removed as faults drop.
+    active: Vec<u32>,
     detections: Vec<u32>,
     drop_after: u32,
     patterns_run: u64,
-    prop: Propagator,
+    /// Worker budget for a batch (1 = serial).
+    threads: usize,
+    /// `true` until [`StuckAtSim::set_threads`] is called: in auto mode
+    /// the worker count also respects [`MIN_SHARD_FAULTS`]; an explicit
+    /// budget is honoured exactly (tests force sharding on tiny lists).
+    threads_auto: bool,
+    /// One propagation scratch per worker, reused across batches.
+    scratch: Vec<Propagator>,
+    /// Per-active-fault detection words of the current batch (aligned
+    /// with `active`, swap-removed in lockstep during the merge).
+    batch_det: Vec<u64>,
 }
 
 impl<'a> StuckAtSim<'a> {
     /// Creates a simulator over the given fault list (use
     /// [`crate::FaultUniverse::representatives`] for collapsed grading) and
-    /// observed nodes.
+    /// observed nodes. Grading uses every available hardware thread;
+    /// see [`StuckAtSim::serial`] and [`StuckAtSim::set_threads`].
     ///
     /// # Panics
     ///
@@ -48,15 +84,26 @@ impl<'a> StuckAtSim<'a> {
             obs[o.index()] = true;
         }
         let n = faults.len();
+        let mut active: Vec<u32> = (0..n as u32).collect();
+        // Level-major order: a shard of consecutive entries then touches a
+        // band of adjacent logic levels (fanout-cone locality) instead of
+        // striding the whole netlist.
+        active.sort_unstable_by_key(|&i| {
+            let f = &faults[i as usize];
+            (cc.level(f.node), f.node.index())
+        });
         StuckAtSim {
-            prop: Propagator::new(cc),
             cc,
             faults,
             observed: obs,
-            active: vec![true; n],
+            active,
             detections: vec![0; n],
             drop_after: 1,
             patterns_run: 0,
+            threads: rayon::current_num_threads(),
+            threads_auto: true,
+            scratch: Vec::new(),
+            batch_det: Vec::new(),
         }
     }
 
@@ -72,6 +119,31 @@ impl<'a> StuckAtSim<'a> {
         obs.sort_unstable();
         obs.dedup();
         obs
+    }
+
+    /// Pins grading to the calling thread. Coverage is bit-identical to
+    /// parallel grading (enforced by tests); this is the determinism
+    /// escape hatch for debugging and strict single-thread environments.
+    pub fn serial(mut self) -> Self {
+        self.set_threads(1);
+        self
+    }
+
+    /// Sets the worker-thread budget for subsequent batches (`1` =
+    /// serial). Capped shard-wise by the number of active faults.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0`.
+    pub fn set_threads(&mut self, n: usize) {
+        assert!(n > 0, "at least one grading thread is required");
+        self.threads = n;
+        self.threads_auto = false;
+    }
+
+    /// The current worker-thread budget.
+    pub fn threads(&self) -> usize {
+        self.threads
     }
 
     /// Sets the n-detect budget: faults are simulated until detected by
@@ -93,6 +165,12 @@ impl<'a> StuckAtSim<'a> {
         }
     }
 
+    /// Number of faults still actively graded (shrinks as faults drop —
+    /// the compaction that keeps late batches cheap).
+    pub fn active_faults(&self) -> usize {
+        self.active.len()
+    }
+
     /// Grades one batch. The caller must have loaded the source words of
     /// `frame` (inputs, flip-flop states, X-source substitutes);
     /// `num_patterns` (1..=64) marks how many lanes carry real patterns.
@@ -108,44 +186,78 @@ impl<'a> StuckAtSim<'a> {
         let lane_mask: u64 = if num_patterns == 64 { !0 } else { (1u64 << num_patterns) - 1 };
         self.cc.eval2(frame);
         self.patterns_run += num_patterns as u64;
+
+        let n_active = self.active.len();
+        self.batch_det.clear();
+        self.batch_det.resize(n_active, 0);
+        if n_active == 0 {
+            return 0;
+        }
+
+        // In auto mode each worker must own a meaningful shard: spawning
+        // scoped threads for a handful of survivors (late batches after
+        // compaction) would cost more than the grading itself. An
+        // explicit budget is honoured exactly.
+        let workers = if self.threads_auto {
+            self.threads.min(n_active.div_ceil(MIN_SHARD_FAULTS)).max(1)
+        } else {
+            self.threads.min(n_active)
+        };
+        while self.scratch.len() < workers {
+            self.scratch.push(Propagator::new(self.cc));
+        }
+        let shard = n_active.div_ceil(workers);
+
+        let cc = self.cc;
+        let faults: &[Fault] = &self.faults;
+        let observed: &[bool] = &self.observed;
+        let frame_ro: &[u64] = frame;
+        if workers == 1 {
+            grade_shard(
+                cc,
+                faults,
+                observed,
+                &self.active,
+                frame_ro,
+                lane_mask,
+                &mut self.scratch[0],
+                &mut self.batch_det,
+            );
+        } else {
+            let active: &[u32] = &self.active;
+            let shards = active.chunks(shard);
+            let dets = self.batch_det.chunks_mut(shard);
+            let props = self.scratch.iter_mut();
+            rayon::scope(|s| {
+                for ((idx_shard, det_shard), prop) in shards.zip(dets).zip(props) {
+                    s.spawn(move |_| {
+                        grade_shard(
+                            cc, faults, observed, idx_shard, frame_ro, lane_mask, prop, det_shard,
+                        );
+                    });
+                }
+            });
+        }
+
+        // Serial merge: order-independent counts, then swap-remove
+        // compaction of (active, batch_det) in lockstep.
         let mut newly_dropped = 0usize;
-        for idx in 0..self.faults.len() {
-            if !self.active[idx] {
+        let mut pos = 0usize;
+        while pos < self.active.len() {
+            let detected = self.batch_det[pos];
+            if detected == 0 {
+                pos += 1;
                 continue;
             }
-            let fault = self.faults[idx];
-            let mut detected: u64 = 0;
-            match inject_stuck_at(self.cc, &fault, frame) {
-                None => continue,
-                Some((site, word)) => {
-                    if self.cc.kind(site) == GateKind::Dff {
-                        // D-pin branch fault: the pin is captured directly.
-                        let src = self.cc.fanins(site)[0];
-                        detected = (word ^ frame[src.index()]) & lane_mask;
-                    } else {
-                        self.prop.begin();
-                        self.prop.set(site, word);
-                        if self.observed[site.index()] {
-                            detected |= (word ^ frame[site.index()]) & lane_mask;
-                        }
-                        self.prop.enqueue_fanouts(self.cc, site);
-                        let observed = &self.observed;
-                        let det = &mut detected;
-                        self.prop.run(self.cc, frame, None, |node, diff| {
-                            if observed[node.index()] {
-                                *det |= diff & lane_mask;
-                            }
-                        });
-                    }
-                }
-            }
-            if detected != 0 {
-                self.detections[idx] =
-                    self.detections[idx].saturating_add(detected.count_ones());
-                if self.detections[idx] >= self.drop_after {
-                    self.active[idx] = false;
-                    newly_dropped += 1;
-                }
+            let fault_idx = self.active[pos] as usize;
+            self.detections[fault_idx] =
+                self.detections[fault_idx].saturating_add(detected.count_ones());
+            if self.detections[fault_idx] >= self.drop_after {
+                self.active.swap_remove(pos);
+                self.batch_det.swap_remove(pos);
+                newly_dropped += 1;
+            } else {
+                pos += 1;
             }
         }
         newly_dropped
@@ -179,6 +291,52 @@ impl<'a> StuckAtSim<'a> {
     /// Current coverage over the graded fault list.
     pub fn coverage(&self) -> CoverageReport {
         CoverageReport::from_detections(&self.faults, &self.detections, self.patterns_run)
+    }
+}
+
+/// Grades one shard of the active-fault list against the shared fault-free
+/// frame, writing each fault's 64-lane detection word into `out`. Runs on
+/// a rayon worker with its own `Propagator` scratch; reads only shared
+/// state, so shard scheduling cannot affect results.
+#[allow(clippy::too_many_arguments)]
+fn grade_shard(
+    cc: &CompiledCircuit,
+    faults: &[Fault],
+    observed: &[bool],
+    shard: &[u32],
+    frame: &[u64],
+    lane_mask: u64,
+    prop: &mut Propagator,
+    out: &mut [u64],
+) {
+    debug_assert_eq!(shard.len(), out.len());
+    for (&fault_idx, slot) in shard.iter().zip(out.iter_mut()) {
+        let fault = faults[fault_idx as usize];
+        let mut detected: u64 = 0;
+        match inject_stuck_at(cc, &fault, frame) {
+            None => {}
+            Some((site, word)) => {
+                if cc.kind(site) == GateKind::Dff {
+                    // D-pin branch fault: the pin is captured directly.
+                    let src = cc.fanins(site)[0];
+                    detected = (word ^ frame[src.index()]) & lane_mask;
+                } else {
+                    prop.begin();
+                    prop.set(site, word);
+                    if observed[site.index()] {
+                        detected |= (word ^ frame[site.index()]) & lane_mask;
+                    }
+                    prop.enqueue_fanouts(cc, site);
+                    let det = &mut detected;
+                    prop.run(cc, frame, None, |node, diff| {
+                        if observed[node.index()] {
+                            *det |= diff & lane_mask;
+                        }
+                    });
+                }
+            }
+        }
+        *slot = detected;
     }
 }
 
@@ -234,7 +392,9 @@ mod tests {
         let stems: Vec<Fault> = nl
             .ids()
             .filter(|&n| nl.kind(n).is_logic() || nl.kind(n) == GateKind::Input)
-            .flat_map(|n| [Fault::stem(n, FaultKind::StuckAt0), Fault::stem(n, FaultKind::StuckAt1)])
+            .flat_map(|n| {
+                [Fault::stem(n, FaultKind::StuckAt0), Fault::stem(n, FaultKind::StuckAt1)]
+            })
             .collect();
         let mut sim = StuckAtSim::new(&cc, stems.clone(), StuckAtSim::observe_all_captures(&cc));
         sim.set_drop_after(u32::MAX); // never drop: count every detection
@@ -294,7 +454,7 @@ mod tests {
         // Only lane 0 is "real" (all zeros); lanes 1..63 contain garbage
         // that would detect faults if counted.
         for &i in &ins {
-            frame[i.index()] = !0 & !1;
+            frame[i.index()] = !1;
         }
         sim.run_batch(&mut frame, 1);
         // With a=b=c=0, only a handful of faults are detectable (those whose
@@ -315,11 +475,17 @@ mod tests {
         for (bit, &input) in ins.iter().enumerate() {
             frame[input.index()] = if bit == 0 { !0 } else { 0 };
         }
+        let active_before = sim.active_faults();
         let dropped_first = sim.run_batch(&mut frame, 64);
         let mut frame2 = frame.clone();
         let dropped_second = sim.run_batch(&mut frame2, 64);
         assert!(dropped_first > 0);
         assert_eq!(dropped_second, 0, "same patterns cannot drop new faults");
+        assert_eq!(
+            sim.active_faults(),
+            active_before - dropped_first,
+            "active list compacts by exactly the dropped count"
+        );
     }
 
     #[test]
@@ -363,5 +529,75 @@ mod tests {
         };
         assert_eq!(run(false), 0, "masked fault invisible at PO");
         assert!(run(true) > 0, "observation point reveals it");
+    }
+
+    /// The headline determinism contract: parallel grading (forced to
+    /// several shards) reports exactly the serial detection counts.
+    #[test]
+    fn parallel_and_serial_detections_are_bit_identical() {
+        let (nl, ins) = and_or();
+        let cc = CompiledCircuit::compile(&nl).unwrap();
+        let universe = FaultUniverse::stuck_at(&nl);
+        let observed = StuckAtSim::observe_all_captures(&cc);
+
+        let run = |threads: usize| {
+            let mut sim = StuckAtSim::new(&cc, universe.representatives(), observed.clone());
+            if threads == 1 {
+                sim = sim.serial();
+            } else {
+                sim.set_threads(threads);
+            }
+            sim.set_drop_after(2);
+            let mut frame = cc.new_frame();
+            for p in 0..8u64 {
+                for (bit, &input) in ins.iter().enumerate() {
+                    if (p >> bit) & 1 == 1 {
+                        frame[input.index()] |= 1 << p;
+                    }
+                }
+            }
+            sim.run_batch(&mut frame, 8);
+            let mut frame2 = cc.new_frame();
+            for &i in &ins {
+                frame2[i.index()] = 0x0F;
+            }
+            sim.run_batch(&mut frame2, 8);
+            (sim.detections().to_vec(), sim.coverage(), sim.active_faults())
+        };
+
+        let serial = run(1);
+        for threads in [2, 3, 8] {
+            let parallel = run(threads);
+            assert_eq!(parallel.0, serial.0, "{threads}-thread detections differ");
+            assert_eq!(parallel.1, serial.1, "{threads}-thread coverage differs");
+            assert_eq!(parallel.2, serial.2, "{threads}-thread active count differs");
+        }
+    }
+
+    /// Compaction bookkeeping: a dropped fault leaves the active list but
+    /// every undetected fault stays in it, across several batches.
+    #[test]
+    fn compaction_never_loses_undetected_faults() {
+        let (nl, ins) = and_or();
+        let cc = CompiledCircuit::compile(&nl).unwrap();
+        let universe = FaultUniverse::stuck_at(&nl);
+        let mut sim =
+            StuckAtSim::new(&cc, universe.representatives(), StuckAtSim::observe_all_captures(&cc));
+        sim.set_threads(2);
+        // One input pattern per batch, walking the 8 combinations.
+        for p in 0..8u64 {
+            let mut frame = cc.new_frame();
+            for (bit, &input) in ins.iter().enumerate() {
+                frame[input.index()] = if (p >> bit) & 1 == 1 { 1 } else { 0 };
+            }
+            sim.run_batch(&mut frame, 1);
+            let undetected = sim.undetected_indices().len();
+            assert_eq!(
+                sim.active_faults(),
+                undetected,
+                "after batch {p}: active list must hold exactly the undetected faults"
+            );
+        }
+        assert_eq!(sim.active_faults(), 0, "exhaustive patterns detect everything");
     }
 }

@@ -21,12 +21,23 @@
 //! `d3`/`d5` intervals, where every transition has time to settle; fault
 //! effects cross them only as wrong *values* already captured into
 //! flip-flops, which the simulator carries in a per-fault state overlay.
+//!
+//! Like [`crate::StuckAtSim`], grading is sharded across rayon workers:
+//! the fault-free window frames are computed once and shared read-only;
+//! each worker replays faults from its shard with a thread-local
+//! [`Propagator`] and flip-flop overlay, so parallel and serial coverage
+//! are bit-identical.
 
 use crate::propagate::Propagator;
 use crate::{CoverageReport, Fault};
-use lbist_netlist::{DomainId, GateKind, NodeId};
+use lbist_netlist::{DomainId, NodeId};
 use lbist_sim::CompiledCircuit;
 use std::collections::HashMap;
+
+/// Minimum faults per worker shard before another worker is engaged.
+/// Window replay is heavier per fault than single-frame PPSFP, so the
+/// threshold is lower than `StuckAtSim`'s.
+const MIN_SHARD_FAULTS: usize = 16;
 
 /// The capture-window schedule: which domains pulse, in which order.
 ///
@@ -99,6 +110,26 @@ impl CaptureWindow {
     }
 }
 
+/// Thread-local replay scratch for one worker: event-driven propagation
+/// state plus the per-fault flip-flop overlay, reused across faults and
+/// batches.
+#[derive(Debug)]
+struct ReplayScratch {
+    prop: Propagator,
+    /// Flip-flops currently holding a faulty word for the fault being
+    /// replayed.
+    overlay: HashMap<NodeId, u64>,
+    /// Per-frame seed of overlay flip-flops that differ from the
+    /// fault-free frame (rebuilt each frame without allocating).
+    dirty: Vec<(NodeId, u64)>,
+}
+
+impl ReplayScratch {
+    fn new(cc: &CompiledCircuit) -> Self {
+        ReplayScratch { prop: Propagator::new(cc), overlay: HashMap::new(), dirty: Vec::new() }
+    }
+}
+
 /// Launch-on-capture transition-fault simulator.
 ///
 /// Grades 64 scan patterns per [`TransitionSim::run_batch`]: the caller
@@ -106,23 +137,40 @@ impl CaptureWindow {
 /// base frame; the simulator replays the whole double-capture window for
 /// the fault-free circuit and then for every active fault, and compares
 /// final flip-flop states — exactly what the unload-into-MISR observes.
+///
+/// Active faults are sharded across rayon workers (each with its own
+/// [`Propagator`] and overlay scratch) and the active list is compacted by
+/// swap-remove as faults drop. [`TransitionSim::serial`] pins grading to
+/// the calling thread; parallel and serial results are bit-identical.
 #[derive(Debug)]
 pub struct TransitionSim<'a> {
     cc: &'a CompiledCircuit,
     window: CaptureWindow,
     faults: Vec<Fault>,
-    active: Vec<bool>,
+    /// Indices into `faults` still being graded, level-ordered for shard
+    /// locality; swap-removed as faults drop.
+    active: Vec<u32>,
     detections: Vec<u32>,
     drop_after: u32,
     patterns_run: u64,
-    prop: Propagator,
+    threads: usize,
+    /// `true` until [`TransitionSim::set_threads`] is called: auto mode
+    /// also respects [`MIN_SHARD_FAULTS`]; explicit budgets are honoured
+    /// exactly.
+    threads_auto: bool,
+    /// One replay scratch per worker, reused across batches.
+    scratch: Vec<ReplayScratch>,
+    /// Per-active-fault detection words (aligned with `active`).
+    batch_det: Vec<u64>,
     /// Fault-free value frames, one per window frame (reused per batch).
     good_frames: Vec<Vec<u64>>,
 }
 
 impl<'a> TransitionSim<'a> {
     /// Creates a simulator for `faults` (transition kinds only) under the
-    /// given capture window.
+    /// given capture window. Grading uses every available hardware
+    /// thread; see [`TransitionSim::serial`] and
+    /// [`TransitionSim::set_threads`].
     ///
     /// # Panics
     ///
@@ -135,17 +183,49 @@ impl<'a> TransitionSim<'a> {
             "TransitionSim grades stem transition faults"
         );
         let n = faults.len();
+        let mut active: Vec<u32> = (0..n as u32).collect();
+        active.sort_unstable_by_key(|&i| {
+            let f = &faults[i as usize];
+            (cc.level(f.node), f.node.index())
+        });
         TransitionSim {
-            prop: Propagator::new(cc),
             good_frames: vec![cc.new_frame(); window.num_frames()],
             cc,
             window,
             faults,
-            active: vec![true; n],
+            active,
             detections: vec![0; n],
             drop_after: 1,
             patterns_run: 0,
+            threads: rayon::current_num_threads(),
+            threads_auto: true,
+            scratch: Vec::new(),
+            batch_det: Vec::new(),
         }
+    }
+
+    /// Pins grading to the calling thread (the determinism escape hatch;
+    /// results are bit-identical to parallel grading).
+    pub fn serial(mut self) -> Self {
+        self.set_threads(1);
+        self
+    }
+
+    /// Sets the worker-thread budget for subsequent batches (`1` =
+    /// serial).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0`.
+    pub fn set_threads(&mut self, n: usize) {
+        assert!(n > 0, "at least one grading thread is required");
+        self.threads = n;
+        self.threads_auto = false;
+    }
+
+    /// The current worker-thread budget.
+    pub fn threads(&self) -> usize {
+        self.threads
     }
 
     /// Sets the n-detect drop budget (default 1).
@@ -156,6 +236,11 @@ impl<'a> TransitionSim<'a> {
     pub fn set_drop_after(&mut self, n: u32) {
         assert!(n > 0);
         self.drop_after = n;
+    }
+
+    /// Number of faults still actively graded.
+    pub fn active_faults(&self) -> usize {
+        self.active.len()
     }
 
     /// Grades one batch of up to 64 scan patterns. `base` must carry the
@@ -173,106 +258,83 @@ impl<'a> TransitionSim<'a> {
         self.compute_good_frames(base);
         self.patterns_run += num_patterns as u64;
 
-        let nframes = self.window.num_frames();
-        let mut newly_dropped = 0;
-        for idx in 0..self.faults.len() {
-            if !self.active[idx] {
+        let n_active = self.active.len();
+        self.batch_det.clear();
+        self.batch_det.resize(n_active, 0);
+        if n_active == 0 {
+            return 0;
+        }
+
+        // As in `StuckAtSim`: in auto mode engage another worker only
+        // once it owns a meaningful shard, so compacted late batches skip
+        // thread spawns; explicit budgets are honoured exactly.
+        let workers = if self.threads_auto {
+            self.threads.min(n_active.div_ceil(MIN_SHARD_FAULTS)).max(1)
+        } else {
+            self.threads.min(n_active)
+        };
+        while self.scratch.len() < workers {
+            self.scratch.push(ReplayScratch::new(self.cc));
+        }
+        let shard = n_active.div_ceil(workers);
+
+        let cc = self.cc;
+        let window = &self.window;
+        let faults: &[Fault] = &self.faults;
+        let good_frames: &[Vec<u64>] = &self.good_frames;
+        if workers == 1 {
+            replay_shard(
+                cc,
+                window,
+                faults,
+                good_frames,
+                &self.active,
+                lane_mask,
+                &mut self.scratch[0],
+                &mut self.batch_det,
+            );
+        } else {
+            let active: &[u32] = &self.active;
+            let shards = active.chunks(shard);
+            let dets = self.batch_det.chunks_mut(shard);
+            let scratches = self.scratch.iter_mut();
+            rayon::scope(|s| {
+                for ((idx_shard, det_shard), scratch) in shards.zip(dets).zip(scratches) {
+                    s.spawn(move |_| {
+                        replay_shard(
+                            cc,
+                            window,
+                            faults,
+                            good_frames,
+                            idx_shard,
+                            lane_mask,
+                            scratch,
+                            det_shard,
+                        );
+                    });
+                }
+            });
+        }
+
+        // Serial merge with swap-remove compaction (lockstep on the two
+        // aligned vectors).
+        let mut newly_dropped = 0usize;
+        let mut pos = 0usize;
+        while pos < self.active.len() {
+            let detected = self.batch_det[pos];
+            if detected == 0 {
+                pos += 1;
                 continue;
             }
-            let fault = self.faults[idx];
-            let site = fault.node;
-            // Per-fault overlay of flip-flop states (faulty words).
-            let mut ff_overlay: HashMap<NodeId, u64> = HashMap::new();
-            let mut any_effect = false;
-
-            for frame in 0..nframes {
-                let at_speed = self.window.is_at_speed_frame(frame);
-                // Injection: in an at-speed frame the site holds its
-                // previous-frame value wherever the launch created the
-                // fault's slow transition.
-                let act = if at_speed {
-                    let prev = self.good_frames[frame - 1][site.index()];
-                    let cur = self.good_frames[frame][site.index()];
-                    let rising = !prev & cur;
-                    let falling = prev & !cur;
-                    (match fault.kind {
-                        crate::FaultKind::SlowToRise => rising,
-                        crate::FaultKind::SlowToFall => falling,
-                        _ => unreachable!(),
-                    }) & lane_mask
-                } else {
-                    0
-                };
-
-                let mut dirty_seed: Vec<(NodeId, u64)> = Vec::new();
-                for (&ff, &word) in &ff_overlay {
-                    let good = self.good_frames[frame][ff.index()];
-                    if word != good {
-                        dirty_seed.push((ff, word));
-                    }
-                }
-                if act == 0 && dirty_seed.is_empty() {
-                    continue; // nothing differs in this frame
-                }
-                any_effect = true;
-
-                self.prop.begin();
-                for (ff, word) in dirty_seed {
-                    self.prop.set(ff, word);
-                    self.prop.enqueue_fanouts(self.cc, ff);
-                }
-                if act != 0 && self.cc.kind(site) != GateKind::Dff {
-                    // The site's faulty value: good with the launched
-                    // transition undone on activated lanes.
-                    let cur = self.prop.value(site, &self.good_frames[frame]);
-                    // Note: if the site is also downstream of a dirty FF the
-                    // propagation below may recompute it; injecting before
-                    // running keeps level order intact because the site's
-                    // level precedes its fanouts.
-                    self.prop.set(site, cur ^ act);
-                    self.prop.enqueue_fanouts(self.cc, site);
-                } else if act != 0 {
-                    // Site is a flip-flop output: flip its frame value.
-                    let cur = self.prop.value(site, &self.good_frames[frame]);
-                    self.prop.set(site, cur ^ act);
-                    self.prop.enqueue_fanouts(self.cc, site);
-                }
-                let good = &self.good_frames[frame];
-                let pin = if act != 0 { Some(site) } else { None };
-                self.prop.run(self.cc, good, pin, |_, _| {});
-
-                // Frame boundary: capture.
-                if let Some(dom) = self.window.capturing_domain(frame) {
-                    for (i, &ff) in self.cc.dffs().iter().enumerate() {
-                        if self.cc.dff_domain(i) != dom {
-                            continue;
-                        }
-                        let d_src = self.cc.fanins(ff)[0];
-                        let faulty_d = self.prop.value(d_src, good);
-                        let good_next = self.good_frames[frame + 1][ff.index()];
-                        if faulty_d != good_next {
-                            ff_overlay.insert(ff, faulty_d);
-                        } else {
-                            ff_overlay.remove(&ff);
-                        }
-                    }
-                }
-            }
-            let _ = any_effect;
-
-            // Detection: any flip-flop whose final state differs is shifted
-            // out through the MISR.
-            let final_frame = &self.good_frames[nframes - 1];
-            let mut detected: u64 = 0;
-            for (&ff, &word) in &ff_overlay {
-                detected |= (word ^ final_frame[ff.index()]) & lane_mask;
-            }
-            if detected != 0 {
-                self.detections[idx] = self.detections[idx].saturating_add(detected.count_ones());
-                if self.detections[idx] >= self.drop_after {
-                    self.active[idx] = false;
-                    newly_dropped += 1;
-                }
+            let fault_idx = self.active[pos] as usize;
+            self.detections[fault_idx] =
+                self.detections[fault_idx].saturating_add(detected.count_ones());
+            if self.detections[fault_idx] >= self.drop_after {
+                self.active.swap_remove(pos);
+                self.batch_det.swap_remove(pos);
+                newly_dropped += 1;
+            } else {
+                pos += 1;
             }
         }
         newly_dropped
@@ -280,8 +342,7 @@ impl<'a> TransitionSim<'a> {
 
     fn compute_good_frames(&mut self, base: &[u64]) {
         let nframes = self.window.num_frames();
-        self.good_frames[0].copy_from_slice(base);
-        self.cc.eval2(&mut self.good_frames[0]);
+        self.cc.eval2_into(base, &mut self.good_frames[0]);
         for frame in 1..nframes {
             let (prev_slice, rest) = self.good_frames.split_at_mut(frame);
             let prev = &prev_slice[frame - 1];
@@ -329,6 +390,109 @@ impl<'a> TransitionSim<'a> {
     /// The window schedule in use.
     pub fn window(&self) -> &CaptureWindow {
         &self.window
+    }
+}
+
+/// Replays one shard of active faults across the capture window, writing
+/// each fault's 64-lane detection word into `out`. Reads only the shared
+/// fault-free frames; all mutable state is the worker's own scratch, so
+/// shard scheduling cannot affect results.
+#[allow(clippy::too_many_arguments)]
+fn replay_shard(
+    cc: &CompiledCircuit,
+    window: &CaptureWindow,
+    faults: &[Fault],
+    good_frames: &[Vec<u64>],
+    shard: &[u32],
+    lane_mask: u64,
+    scratch: &mut ReplayScratch,
+    out: &mut [u64],
+) {
+    debug_assert_eq!(shard.len(), out.len());
+    let nframes = window.num_frames();
+    for (&fault_idx, slot) in shard.iter().zip(out.iter_mut()) {
+        let fault = faults[fault_idx as usize];
+        let site = fault.node;
+        // Per-fault overlay of flip-flop states (faulty words).
+        scratch.overlay.clear();
+
+        for frame in 0..nframes {
+            let at_speed = window.is_at_speed_frame(frame);
+            // Injection: in an at-speed frame the site holds its
+            // previous-frame value wherever the launch created the
+            // fault's slow transition.
+            let act = if at_speed {
+                let prev = good_frames[frame - 1][site.index()];
+                let cur = good_frames[frame][site.index()];
+                let rising = !prev & cur;
+                let falling = prev & !cur;
+                (match fault.kind {
+                    crate::FaultKind::SlowToRise => rising,
+                    crate::FaultKind::SlowToFall => falling,
+                    _ => unreachable!(),
+                }) & lane_mask
+            } else {
+                0
+            };
+
+            scratch.dirty.clear();
+            for (&ff, &word) in &scratch.overlay {
+                let good = good_frames[frame][ff.index()];
+                if word != good {
+                    scratch.dirty.push((ff, word));
+                }
+            }
+            if act == 0 && scratch.dirty.is_empty() {
+                continue; // nothing differs in this frame
+            }
+
+            scratch.prop.begin();
+            for &(ff, word) in &scratch.dirty {
+                scratch.prop.set(ff, word);
+                scratch.prop.enqueue_fanouts(cc, ff);
+            }
+            if act != 0 {
+                // The site's faulty value: good with the launched
+                // transition undone on activated lanes. (If the site is
+                // also downstream of a dirty FF the propagation below may
+                // reach it; injecting before running keeps level order
+                // intact because the site's level precedes its fanouts,
+                // and the pin below keeps the injected value
+                // authoritative.)
+                let cur = scratch.prop.value(site, &good_frames[frame]);
+                scratch.prop.set(site, cur ^ act);
+                scratch.prop.enqueue_fanouts(cc, site);
+            }
+            let good = &good_frames[frame];
+            let pin = if act != 0 { Some(site) } else { None };
+            scratch.prop.run(cc, good, pin, |_, _| {});
+
+            // Frame boundary: capture.
+            if let Some(dom) = window.capturing_domain(frame) {
+                for (i, &ff) in cc.dffs().iter().enumerate() {
+                    if cc.dff_domain(i) != dom {
+                        continue;
+                    }
+                    let d_src = cc.fanins(ff)[0];
+                    let faulty_d = scratch.prop.value(d_src, good);
+                    let good_next = good_frames[frame + 1][ff.index()];
+                    if faulty_d != good_next {
+                        scratch.overlay.insert(ff, faulty_d);
+                    } else {
+                        scratch.overlay.remove(&ff);
+                    }
+                }
+            }
+        }
+
+        // Detection: any flip-flop whose final state differs is shifted
+        // out through the MISR.
+        let final_frame = &good_frames[nframes - 1];
+        let mut detected: u64 = 0;
+        for (&ff, &word) in &scratch.overlay {
+            detected |= (word ^ final_frame[ff.index()]) & lane_mask;
+        }
+        *slot = detected;
     }
 }
 
@@ -454,10 +618,8 @@ mod tests {
     fn transition_coverage_reported() {
         let (nl, pi, ff_a, inv, _) = inv_pipe();
         let cc = CompiledCircuit::compile(&nl).unwrap();
-        let faults = vec![
-            Fault::stem(inv, FaultKind::SlowToRise),
-            Fault::stem(inv, FaultKind::SlowToFall),
-        ];
+        let faults =
+            vec![Fault::stem(inv, FaultKind::SlowToRise), Fault::stem(inv, FaultKind::SlowToFall)];
         let mut sim = TransitionSim::new(&cc, faults, CaptureWindow::all_domains(1));
         let mut base = cc.new_frame();
         base[pi.index()] = 0;
@@ -467,5 +629,59 @@ mod tests {
         assert_eq!(cov.total, 2);
         assert_eq!(cov.detected, 1);
         assert!((cov.percent() - 50.0).abs() < 1e-9);
+    }
+
+    /// Parallel transition grading (forced to several shards) reports the
+    /// serial detection counts bit-for-bit, and compaction tracks drops.
+    #[test]
+    fn parallel_and_serial_transition_grading_agree() {
+        let mut nl = Netlist::new("par");
+        let pi = nl.add_input("pi");
+        let mut prev = nl.add_dff(pi, DomainId::new(0));
+        let mut sites = Vec::new();
+        // A chain of inverters and flops across two domains gives a
+        // fault list with varied excitation.
+        for i in 0..6 {
+            let inv = nl.add_gate(GateKind::Not, &[prev]);
+            sites.push(inv);
+            prev = nl.add_dff(inv, DomainId::new((i % 2) as u16));
+        }
+        nl.add_output("q", prev);
+        let cc = CompiledCircuit::compile(&nl).unwrap();
+        let faults: Vec<Fault> = sites
+            .iter()
+            .flat_map(|&s| {
+                [Fault::stem(s, FaultKind::SlowToRise), Fault::stem(s, FaultKind::SlowToFall)]
+            })
+            .collect();
+
+        let run = |threads: usize| {
+            let mut sim = TransitionSim::new(&cc, faults.clone(), CaptureWindow::all_domains(2));
+            if threads == 1 {
+                sim = sim.serial();
+            } else {
+                sim.set_threads(threads);
+            }
+            for seed in 0..4u64 {
+                let mut base = cc.new_frame();
+                base[pi.index()] = seed.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+                for (i, &ff) in cc.dffs().iter().enumerate() {
+                    base[ff.index()] = (seed ^ i as u64).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+                }
+                sim.run_batch(&base, 64);
+            }
+            (sim.detections().to_vec(), sim.coverage(), sim.active_faults())
+        };
+
+        let serial = run(1);
+        assert!(serial.1.detected > 0, "scenario must detect something");
+        for threads in [2, 5] {
+            let parallel = run(threads);
+            assert_eq!(parallel.0, serial.0, "{threads}-thread detections differ");
+            assert_eq!(parallel.1, serial.1, "{threads}-thread coverage differs");
+            assert_eq!(parallel.2, serial.2, "{threads}-thread active count differs");
+        }
+        let undetected = serial.0.iter().filter(|&&d| d == 0).count();
+        assert_eq!(serial.2, undetected, "active list holds exactly the undetected faults");
     }
 }

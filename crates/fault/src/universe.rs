@@ -240,7 +240,8 @@ impl FaultUniverse {
         let mut class_of = vec![0u32; faults.len()];
         let mut representatives = Vec::new();
         let mut keep = Vec::with_capacity(faults.len());
-        let mut root_to_class: std::collections::HashMap<u32, u32> = std::collections::HashMap::new();
+        let mut root_to_class: std::collections::HashMap<u32, u32> =
+            std::collections::HashMap::new();
         let mut kept_faults = Vec::new();
         for i in 0..faults.len() as u32 {
             if untestable[i as usize] {

@@ -87,9 +87,8 @@ pub fn parse_bench(text: &str) -> Result<Netlist, BenchParseError> {
             outputs.push((line, inner_name(stripped, "OUTPUT").map_err(|m| err(line, m))?));
             continue;
         }
-        let (lhs, rhs) = stripped
-            .split_once('=')
-            .ok_or_else(|| err(line, "expected `name = GATE(args)`"))?;
+        let (lhs, rhs) =
+            stripped.split_once('=').ok_or_else(|| err(line, "expected `name = GATE(args)`"))?;
         let lhs = lhs.trim().to_string();
         let rhs = rhs.trim();
         let open = rhs.find('(').ok_or_else(|| err(line, "missing `(` in gate expression"))?;
@@ -212,12 +211,22 @@ pub fn to_bench(netlist: &Netlist) -> String {
                 if dom.index() == 0 {
                     out.push_str(&format!("{} = DFF({})\n", name_of(id), name_of(d)));
                 } else {
-                    out.push_str(&format!("{} = DFF@{}({})\n", name_of(id), dom.index(), name_of(d)));
+                    out.push_str(&format!(
+                        "{} = DFF@{}({})\n",
+                        name_of(id),
+                        dom.index(),
+                        name_of(d)
+                    ));
                 }
             }
             _ => {
                 let args: Vec<String> = netlist.fanins(id).iter().map(|&f| name_of(f)).collect();
-                out.push_str(&format!("{} = {}({})\n", name_of(id), kind.text_name(), args.join(", ")));
+                out.push_str(&format!(
+                    "{} = {}({})\n",
+                    name_of(id),
+                    kind.text_name(),
+                    args.join(", ")
+                ));
             }
         }
     }

@@ -76,7 +76,9 @@ impl fmt::Display for NetlistError {
             }
             NetlistError::DuplicateName { name } => write!(f, "duplicate node name `{name}`"),
             NetlistError::UnknownName { name } => write!(f, "unknown node name `{name}`"),
-            NetlistError::BadPin { node, pin } => write!(f, "pin {pin} out of range on node {node}"),
+            NetlistError::BadPin { node, pin } => {
+                write!(f, "pin {pin} out of range on node {node}")
+            }
         }
     }
 }

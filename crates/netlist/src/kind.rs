@@ -100,7 +100,11 @@ impl GateKind {
     pub fn is_frame_source(self) -> bool {
         matches!(
             self,
-            GateKind::Input | GateKind::Const0 | GateKind::Const1 | GateKind::XSource | GateKind::Dff
+            GateKind::Input
+                | GateKind::Const0
+                | GateKind::Const1
+                | GateKind::XSource
+                | GateKind::Dff
         )
     }
 
@@ -128,11 +132,16 @@ impl GateKind {
     #[inline]
     pub fn fanin_bounds(self) -> (usize, Option<usize>) {
         match self {
-            GateKind::Input | GateKind::Const0 | GateKind::Const1 | GateKind::XSource => (0, Some(0)),
-            GateKind::Output | GateKind::Buf | GateKind::Not | GateKind::Dff => (1, Some(1)),
-            GateKind::And | GateKind::Nand | GateKind::Or | GateKind::Nor | GateKind::Xor | GateKind::Xnor => {
-                (2, None)
+            GateKind::Input | GateKind::Const0 | GateKind::Const1 | GateKind::XSource => {
+                (0, Some(0))
             }
+            GateKind::Output | GateKind::Buf | GateKind::Not | GateKind::Dff => (1, Some(1)),
+            GateKind::And
+            | GateKind::Nand
+            | GateKind::Or
+            | GateKind::Nor
+            | GateKind::Xor
+            | GateKind::Xnor => (2, None),
             GateKind::Mux2 => (3, Some(3)),
         }
     }
@@ -141,7 +150,7 @@ impl GateKind {
     #[inline]
     pub fn accepts_fanins(self, n: usize) -> bool {
         let (lo, hi) = self.fanin_bounds();
-        n >= lo && hi.map_or(true, |h| n <= h)
+        n >= lo && hi.is_none_or(|h| n <= h)
     }
 
     /// Area of the cell in NAND2 gate-equivalents.
@@ -151,9 +160,11 @@ impl GateKind {
     /// n-ary gates are costed as a tree of 2-input cells.
     pub fn gate_equivalents(self, fanin_count: usize) -> f64 {
         let two_input_cost = match self {
-            GateKind::Input | GateKind::Output | GateKind::Const0 | GateKind::Const1 | GateKind::XSource => {
-                return 0.0
-            }
+            GateKind::Input
+            | GateKind::Output
+            | GateKind::Const0
+            | GateKind::Const1
+            | GateKind::XSource => return 0.0,
             GateKind::Buf => return 0.75,
             GateKind::Not => return 0.5,
             GateKind::And | GateKind::Or => 1.25,

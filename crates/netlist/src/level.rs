@@ -59,10 +59,8 @@ impl Levelization {
         }
 
         // Kahn's algorithm; a simple FIFO keeps the order deterministic.
-        let mut queue: std::collections::VecDeque<NodeId> = netlist
-            .ids()
-            .filter(|&id| indegree[id.index()] == 0)
-            .collect();
+        let mut queue: std::collections::VecDeque<NodeId> =
+            netlist.ids().filter(|&id| indegree[id.index()] == 0).collect();
 
         // Fanout adjacency restricted to combinational consumers.
         let mut fanout_start = vec![0u32; n + 1];
@@ -93,7 +91,8 @@ impl Levelization {
         while let Some(id) = queue.pop_front() {
             order.push(id);
             let my_level = level[id.index()];
-            let (lo, hi) = (fanout_start[id.index()] as usize, fanout_start[id.index() + 1] as usize);
+            let (lo, hi) =
+                (fanout_start[id.index()] as usize, fanout_start[id.index() + 1] as usize);
             for &succ in &fanout[lo..hi] {
                 let s = succ.index();
                 level[s] = level[s].max(my_level + 1);
@@ -201,10 +200,7 @@ mod tests {
         let g1 = nl.add_gate(GateKind::And, &[a, a]);
         let g2 = nl.add_gate(GateKind::And, &[g1, a]);
         nl.set_fanin(g1, 1, g2).unwrap();
-        assert!(matches!(
-            Levelization::compute(&nl),
-            Err(NetlistError::CombinationalCycle { .. })
-        ));
+        assert!(matches!(Levelization::compute(&nl), Err(NetlistError::CombinationalCycle { .. })));
     }
 
     #[test]

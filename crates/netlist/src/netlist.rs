@@ -90,7 +90,11 @@ impl Netlist {
     ///
     /// Panics if the name is already taken.
     pub fn add_input(&mut self, name: &str) -> NodeId {
-        let id = self.push(Node { kind: GateKind::Input, fanins: Vec::new(), domain: DomainId::default() });
+        let id = self.push(Node {
+            kind: GateKind::Input,
+            fanins: Vec::new(),
+            domain: DomainId::default(),
+        });
         self.set_name(id, name);
         id
     }
@@ -101,7 +105,11 @@ impl Netlist {
     ///
     /// Panics if the name is already taken.
     pub fn add_output(&mut self, name: &str, src: NodeId) -> NodeId {
-        let id = self.push(Node { kind: GateKind::Output, fanins: vec![src], domain: DomainId::default() });
+        let id = self.push(Node {
+            kind: GateKind::Output,
+            fanins: vec![src],
+            domain: DomainId::default(),
+        });
         self.set_name(id, name);
         id
     }
@@ -124,7 +132,11 @@ impl Netlist {
     /// Returns [`NetlistError::BadFaninCount`] if the fanin count is illegal
     /// for `kind`, and [`NetlistError::DanglingFanin`] if a fanin id does not
     /// exist yet.
-    pub fn try_add_gate(&mut self, kind: GateKind, fanins: &[NodeId]) -> Result<NodeId, NetlistError> {
+    pub fn try_add_gate(
+        &mut self,
+        kind: GateKind,
+        fanins: &[NodeId],
+    ) -> Result<NodeId, NetlistError> {
         if kind == GateKind::Dff {
             return Err(NetlistError::BadFaninCount { kind, got: fanins.len() });
         }
@@ -307,20 +319,12 @@ impl Netlist {
     /// Number of clock domains (one more than the highest domain index used
     /// by any flip-flop; zero when there are no flip-flops).
     pub fn num_domains(&self) -> usize {
-        self.dffs
-            .iter()
-            .map(|&ff| self.nodes[ff.index()].domain.index() + 1)
-            .max()
-            .unwrap_or(0)
+        self.dffs.iter().map(|&ff| self.nodes[ff.index()].domain.index() + 1).max().unwrap_or(0)
     }
 
     /// Flip-flops belonging to the given clock domain, in creation order.
     pub fn dffs_in_domain(&self, domain: DomainId) -> Vec<NodeId> {
-        self.dffs
-            .iter()
-            .copied()
-            .filter(|&ff| self.nodes[ff.index()].domain == domain)
-            .collect()
+        self.dffs.iter().copied().filter(|&ff| self.nodes[ff.index()].domain == domain).collect()
     }
 
     /// Count of logic gates (see [`GateKind::is_logic`]).
@@ -344,7 +348,10 @@ impl Netlist {
         for (idx, node) in self.nodes.iter().enumerate() {
             let id = NodeId::from_index(idx);
             if !node.kind.accepts_fanins(node.fanins.len()) {
-                return Err(NetlistError::BadFaninCount { kind: node.kind, got: node.fanins.len() });
+                return Err(NetlistError::BadFaninCount {
+                    kind: node.kind,
+                    got: node.fanins.len(),
+                });
             }
             for &f in &node.fanins {
                 if f.index() >= self.nodes.len() {

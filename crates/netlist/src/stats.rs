@@ -86,7 +86,12 @@ impl NetlistStats {
 impl fmt::Display for NetlistStats {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         writeln!(f, "design           {}", self.name)?;
-        writeln!(f, "gate count       {:.1}K GE ({} gates)", self.gate_equivalents / 1000.0, self.num_gates)?;
+        writeln!(
+            f,
+            "gate count       {:.1}K GE ({} gates)",
+            self.gate_equivalents / 1000.0,
+            self.num_gates
+        )?;
         writeln!(f, "# of FFs         {}", self.num_ffs)?;
         writeln!(f, "PIs / POs        {} / {}", self.num_inputs, self.num_outputs)?;
         writeln!(f, "X sources        {}", self.num_xsources)?;

@@ -83,10 +83,7 @@ impl CompiledCircuit {
             inputs: netlist.inputs().to_vec(),
             outputs: netlist.outputs().to_vec(),
             xsources: netlist.xsources().to_vec(),
-            const1: netlist
-                .ids()
-                .filter(|&id| netlist.kind(id) == GateKind::Const1)
-                .collect(),
+            const1: netlist.ids().filter(|&id| netlist.kind(id) == GateKind::Const1).collect(),
             num_domains: netlist.num_domains(),
             dffs,
             dff_domain,
@@ -202,7 +199,36 @@ impl CompiledCircuit {
             values[node.index()] = self.eval_node2(node, values);
         }
     }
+
+    /// Evaluates into a caller-owned destination frame, leaving `base`
+    /// untouched: `dst` is overwritten with `base`'s source words and then
+    /// evaluated in place. Lets batch simulators derive evaluated frames
+    /// from a shared, read-only base (e.g. the capture-window replay in
+    /// `lbist-fault`) while reusing their own frame storage instead of
+    /// cloning.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the frame lengths differ from [`CompiledCircuit::num_nodes`].
+    pub fn eval2_into(&self, base: &[u64], dst: &mut [u64]) {
+        assert_eq!(base.len(), self.num_nodes, "base frame length mismatch");
+        assert_eq!(dst.len(), self.num_nodes, "destination frame length mismatch");
+        dst.copy_from_slice(base);
+        self.eval2(dst);
+    }
 }
+
+// A `CompiledCircuit` is immutable after compilation and holds only plain
+// owned data, so shared references (and shared `&[u64]` frame views) can
+// fan out across fault-grading worker threads. This is a compile-time
+// witness of that contract: adding interior mutability or a non-Send
+// cache to `CompiledCircuit` breaks the parallel simulators in
+// `lbist-fault`, and breaks this assertion first, loudly.
+const _: () = {
+    const fn shareable_across_workers<T: Send + Sync>() {}
+    shareable_across_workers::<CompiledCircuit>();
+    shareable_across_workers::<&[u64]>();
+};
 
 /// Evaluates a 2-valued gate function from an explicit slice of fanin
 /// pattern words (`words[i]` = value on pin `i`).

@@ -68,11 +68,7 @@ impl SpaceCompactor {
     /// XOR logic levels on the deepest output — the delay this compactor
     /// adds to the chain→MISR path, consumed by the shift-path timing model.
     pub fn logic_levels(&self) -> u32 {
-        self.groups
-            .iter()
-            .map(|g| (g.len().max(1) as f64).log2().ceil() as u32)
-            .max()
-            .unwrap_or(0)
+        self.groups.iter().map(|g| (g.len().max(1) as f64).log2().ceil() as u32).max().unwrap_or(0)
     }
 
     /// Compacts one cycle of scan-out bits.
@@ -82,10 +78,7 @@ impl SpaceCompactor {
     /// Panics if `bits.len() != num_chains()`.
     pub fn compact(&self, bits: &[bool]) -> Vec<bool> {
         assert_eq!(bits.len(), self.chains, "compactor input width mismatch");
-        self.groups
-            .iter()
-            .map(|g| g.iter().fold(false, |acc, &c| acc ^ bits[c]))
-            .collect()
+        self.groups.iter().map(|g| g.iter().fold(false, |acc, &c| acc ^ bits[c])).collect()
     }
 }
 
@@ -97,7 +90,7 @@ mod tests {
     fn round_robin_grouping() {
         let c = SpaceCompactor::balanced(7, 3);
         assert_eq!(c.num_outputs(), 3);
-        let mut seen = vec![false; 7];
+        let mut seen = [false; 7];
         for g in &c.groups {
             for &ch in g {
                 assert!(!seen[ch], "chain {ch} in two groups");

@@ -104,6 +104,28 @@ impl SpaceExpander {
         self.combos.iter().map(|m| m.dot(&v)).collect()
     }
 
+    /// Expands one cycle of 64-lane channel words to chain words: `out[i]`
+    /// = XOR of the channel words in chain `i`'s combination. Linear in
+    /// GF(2), so it distributes over the 64 packed lanes. Allocation-free.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `channel_words.len() != num_channels()` or
+    /// `out.len() != num_chains()`.
+    pub fn expand_words(&self, channel_words: &[u64], out: &mut [u64]) {
+        assert_eq!(channel_words.len(), self.channels, "channel word count mismatch");
+        assert_eq!(out.len(), self.combos.len(), "chain word buffer mismatch");
+        for (word, combo) in out.iter_mut().zip(&self.combos) {
+            let mut acc = 0u64;
+            for (c, &cw) in channel_words.iter().enumerate() {
+                if combo.get(c) {
+                    acc ^= cw;
+                }
+            }
+            *word = acc;
+        }
+    }
+
     /// Verifies all chains receive distinct combinations (true by
     /// construction; exposed for property tests).
     pub fn combos_distinct(&self) -> bool {
@@ -129,12 +151,12 @@ mod tests {
         assert_eq!(e.combo(0).count_ones(), 1);
         assert_eq!(e.combo(3).count_ones(), 2);
         let outs = e.expand(&[true, false, false]);
-        assert_eq!(outs[0], true);
-        assert_eq!(outs[1], false);
+        assert!(outs[0]);
+        assert!(!outs[1]);
         // chain 3 = ch0 ^ ch1 = 1
-        assert_eq!(outs[3], true);
+        assert!(outs[3]);
         // chain 5 = ch1 ^ ch2 = 0
-        assert_eq!(outs[5], false);
+        assert!(!outs[5]);
     }
 
     #[test]
@@ -164,8 +186,7 @@ mod tests {
         let b = [false, false, true, true, true];
         let axb: Vec<bool> = a.iter().zip(&b).map(|(&x, &y)| x ^ y).collect();
         let lhs = e.expand(&axb);
-        let rhs: Vec<bool> =
-            e.expand(&a).iter().zip(e.expand(&b)).map(|(&x, y)| x ^ y).collect();
+        let rhs: Vec<bool> = e.expand(&a).iter().zip(e.expand(&b)).map(|(&x, y)| x ^ y).collect();
         assert_eq!(lhs, rhs);
     }
 }

@@ -78,13 +78,7 @@ impl GaloisLfsr {
         // shifted register receives the output when coefficient j+1 ... the
         // top stage always receives it (x^n term).
         let n = self.poly.degree();
-        Gf2Vec::from_fn(n, |j| {
-            if j == n - 1 {
-                true
-            } else {
-                self.mask.get(j + 1)
-            }
-        })
+        Gf2Vec::from_fn(n, |j| if j == n - 1 { true } else { self.mask.get(j + 1) })
     }
 }
 

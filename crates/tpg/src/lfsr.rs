@@ -95,6 +95,30 @@ impl Lfsr {
         out
     }
 
+    /// Advances `n` cycles (`1..=64`) and returns the emitted bits packed
+    /// into a word, bit `i` = the output of step `i` — a convenience for
+    /// tooling that wants a run of the scalar output stream in one word.
+    ///
+    /// Note the shape difference from the batch-fill machinery: here the
+    /// 64 bits are **consecutive cycles of one LFSR**, whereas
+    /// [`crate::LaneLfsr`]/[`crate::Prpg::fill_lanes`] produce words whose
+    /// bits are 64 *pattern lanes* at the same cycle. Frames want the
+    /// latter.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` is 0 or exceeds 64.
+    pub fn step_words(&mut self, n: usize) -> u64 {
+        assert!((1..=64).contains(&n), "step_words emits 1..=64 bits");
+        let mut word = 0u64;
+        for i in 0..n {
+            if self.step() {
+                word |= 1u64 << i;
+            }
+        }
+        word
+    }
+
     /// The GF(2) state-transition matrix `A` with `state(t+1) = A·state(t)`.
     ///
     /// Row `i < n-1` selects bit `i+1` (the shift); row `n-1` is the tap
@@ -194,6 +218,29 @@ mod tests {
         }
         assert_ne!(*l.state(), s0);
         assert!(!l.state().is_zero());
+    }
+
+    /// `step_words(n)` is exactly `n` scalar steps, bit `i` = step `i`.
+    #[test]
+    fn step_words_packs_sequential_outputs() {
+        let poly = LfsrPoly::maximal(9).unwrap();
+        let mut scalar = Lfsr::with_ones_seed(poly.clone());
+        let mut packed = Lfsr::with_ones_seed(poly);
+        for n in [1usize, 7, 64] {
+            let word = packed.step_words(n);
+            for i in 0..n {
+                assert_eq!((word >> i) & 1 == 1, scalar.step(), "bit {i} of {n}");
+            }
+            assert!(n == 64 || word >> n == 0, "high bits clean");
+        }
+        assert_eq!(packed.state(), scalar.state(), "states stay in lockstep");
+    }
+
+    #[test]
+    #[should_panic(expected = "1..=64")]
+    fn step_words_rejects_zero() {
+        let poly = LfsrPoly::maximal(4).unwrap();
+        Lfsr::with_ones_seed(poly).step_words(0);
     }
 
     #[test]

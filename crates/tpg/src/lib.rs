@@ -41,6 +41,7 @@ mod compactor;
 mod expander;
 mod galois;
 mod gf2;
+mod lanes;
 mod lfsr;
 mod misr;
 mod phase;
@@ -51,6 +52,7 @@ pub use compactor::SpaceCompactor;
 pub use expander::SpaceExpander;
 pub use galois::{GaloisLfsr, ReseedSchedule};
 pub use gf2::{Gf2Matrix, Gf2Vec};
+pub use lanes::LaneLfsr;
 pub use lfsr::Lfsr;
 pub use misr::Misr;
 pub use phase::PhaseShifter;

@@ -83,10 +83,7 @@ impl PhaseShifter {
     /// Panics if `channels > poly.degree()` — a raw LFSR has only `degree`
     /// stages to tap.
     pub fn identity(poly: &LfsrPoly, channels: usize) -> Self {
-        assert!(
-            channels <= poly.degree(),
-            "identity tapping supports at most `degree` channels"
-        );
+        assert!(channels <= poly.degree(), "identity tapping supports at most `degree` channels");
         let rows = (0..channels)
             .map(|c| {
                 let mut r = Gf2Vec::zeros(poly.degree());
@@ -123,6 +120,30 @@ impl PhaseShifter {
     /// Panics if the state length does not match the tap rows.
     pub fn outputs(&self, state: &Gf2Vec) -> Vec<bool> {
         self.rows.iter().map(|r| r.dot(state)).collect()
+    }
+
+    /// Computes all channel outputs for 64 bit-sliced lanes at once:
+    /// `out[c]` receives the 64-lane pattern word of channel `c` (bit `ℓ`
+    /// = what [`PhaseShifter::outputs`] bit `c` would be for lane `ℓ`'s
+    /// LFSR state). Allocation-free: the XOR tree is evaluated straight
+    /// onto the caller's buffer.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `out.len() != num_channels()` or the lane register width
+    /// differs from the tap rows.
+    pub fn outputs_words(&self, lanes: &crate::LaneLfsr, out: &mut [u64]) {
+        assert_eq!(out.len(), self.rows.len(), "output buffer must cover every channel");
+        for (word, row) in out.iter_mut().zip(&self.rows) {
+            assert_eq!(row.len(), lanes.degree(), "lane register width mismatch");
+            let mut acc = 0u64;
+            for j in 0..row.len() {
+                if row.get(j) {
+                    acc ^= lanes.stage_word(j);
+                }
+            }
+            *word = acc;
+        }
     }
 
     /// Maximum XOR fan-in over all channels — proportional to shifter area
@@ -213,7 +234,10 @@ mod tests {
         let s = collect(&synth);
         let near_matches = (0..n - 1).filter(|&t| s[1][t] == s[0][t + 1]).count();
         // A decorrelated pair agrees about half the time, not always.
-        assert!(near_matches < (n * 3) / 4, "synthesized channels decorrelated, got {near_matches}/{n}");
+        assert!(
+            near_matches < (n * 3) / 4,
+            "synthesized channels decorrelated, got {near_matches}/{n}"
+        );
     }
 
     #[test]

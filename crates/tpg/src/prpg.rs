@@ -1,6 +1,6 @@
 //! The pseudo-random pattern generator: LFSR → phase shifter → expander.
 
-use crate::{Lfsr, PhaseShifter, SpaceExpander};
+use crate::{LaneLfsr, Lfsr, PhaseShifter, SpaceExpander};
 
 /// A complete PRPG channel: one per clock domain in the paper's
 /// architecture.
@@ -28,12 +28,23 @@ pub struct Prpg {
     lfsr: Lfsr,
     shifter: PhaseShifter,
     expander: Option<SpaceExpander>,
+    /// Reusable word-level stepping state (lanes + channel/chain word
+    /// buffers), built lazily by [`Prpg::fill_lanes`] and kept so repeated
+    /// batch fills allocate nothing.
+    lane_scratch: Option<LaneScratch>,
+}
+
+#[derive(Clone, Debug)]
+struct LaneScratch {
+    lanes: LaneLfsr,
+    channel_words: Vec<u64>,
+    chain_words: Vec<u64>,
 }
 
 impl Prpg {
     /// PRPG without a space expander: chains == shifter channels.
     pub fn new(lfsr: Lfsr, shifter: PhaseShifter) -> Self {
-        Prpg { lfsr, shifter, expander: None }
+        Prpg { lfsr, shifter, expander: None, lane_scratch: None }
     }
 
     /// PRPG with a space expander widening the shifter outputs.
@@ -47,7 +58,7 @@ impl Prpg {
             shifter.num_channels(),
             "expander input width must match shifter output width"
         );
-        Prpg { lfsr, shifter, expander: Some(expander) }
+        Prpg { lfsr, shifter, expander: Some(expander), lane_scratch: None }
     }
 
     /// Number of scan chains this PRPG feeds.
@@ -78,6 +89,58 @@ impl Prpg {
         self.lfsr.step();
         out
     }
+
+    /// Runs 64 consecutive scan loads bit-parallel: lane `ℓ` of every
+    /// emitted word is what [`Prpg::step_vector`] would produce on shift
+    /// cycles `[ℓ·shift_cycles, (ℓ+1)·shift_cycles)` of the scalar stream.
+    /// For each of the `shift_cycles` cycles, `sink(cycle, chain_words)`
+    /// receives one packed 64-lane word per scan chain.
+    ///
+    /// After the call the PRPG has advanced exactly `64·shift_cycles`
+    /// cycles, so batches interleave transparently with scalar stepping.
+    /// The lane machinery and word buffers are cached inside the PRPG:
+    /// steady-state batch fills perform **no heap allocation** (the cache
+    /// rebuilds only if `shift_cycles` changes between calls).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `shift_cycles` is 0.
+    pub fn fill_lanes(&mut self, shift_cycles: usize, mut sink: impl FnMut(usize, &[u64])) {
+        assert!(shift_cycles > 0, "a scan load shifts at least one cycle");
+        let stride = shift_cycles as u64;
+        let rebuild = match &self.lane_scratch {
+            Some(s) => s.lanes.stride() != stride,
+            None => true,
+        };
+        if rebuild {
+            self.lane_scratch = Some(LaneScratch {
+                lanes: LaneLfsr::fork(&self.lfsr, stride),
+                channel_words: vec![0u64; self.shifter.num_channels()],
+                chain_words: vec![
+                    0u64;
+                    self.expander.as_ref().map_or(0, SpaceExpander::num_chains)
+                ],
+            });
+        }
+        let scratch = self.lane_scratch.as_mut().expect("scratch just ensured");
+        if !rebuild {
+            scratch.lanes.reload(&self.lfsr);
+        }
+        for cycle in 0..shift_cycles {
+            self.shifter.outputs_words(&scratch.lanes, &mut scratch.channel_words);
+            match &self.expander {
+                Some(e) => {
+                    e.expand_words(&scratch.channel_words, &mut scratch.chain_words);
+                    sink(cycle, &scratch.chain_words);
+                }
+                None => sink(cycle, &scratch.channel_words),
+            }
+            scratch.lanes.step();
+        }
+        // Lane 63 finished at 64·stride cycles past the old scalar state:
+        // resynchronise the scalar LFSR there.
+        self.lfsr.set_state(scratch.lanes.lane_state(63));
+    }
 }
 
 #[cfg(test)]
@@ -89,10 +152,7 @@ mod tests {
     fn stream_is_deterministic_from_seed() {
         let poly = LfsrPoly::maximal(13).unwrap();
         let make = || {
-            Prpg::new(
-                Lfsr::with_ones_seed(poly.clone()),
-                PhaseShifter::synthesize(&poly, 4, 32),
-            )
+            Prpg::new(Lfsr::with_ones_seed(poly.clone()), PhaseShifter::synthesize(&poly, 4, 32))
         };
         let mut a = make();
         let mut b = make();
@@ -120,14 +180,88 @@ mod tests {
         }
     }
 
+    /// The word-level fill is stream-equivalent to 64 consecutive scalar
+    /// loads, and leaves the PRPG in the identical state.
+    #[test]
+    fn fill_lanes_matches_scalar_loads() {
+        let poly = LfsrPoly::maximal(13).unwrap();
+        let make = || {
+            Prpg::with_expander(
+                Lfsr::with_ones_seed(poly.clone()),
+                PhaseShifter::synthesize(&poly, 4, 32),
+                SpaceExpander::new(4, 9),
+            )
+        };
+        let shift_cycles = 11usize;
+
+        // Reference: 64 scalar loads, recorded per (lane, cycle, chain).
+        let mut scalar = make();
+        let mut reference = vec![vec![Vec::new(); shift_cycles]; 64];
+        for lane_loads in reference.iter_mut() {
+            for cycle_bits in lane_loads.iter_mut() {
+                *cycle_bits = scalar.step_vector();
+            }
+        }
+
+        let mut wordwise = make();
+        // Two batches back-to-back exercise the scratch reuse path; only
+        // the first is checked against the reference.
+        for batch in 0..2 {
+            let mut seen_cycles = 0usize;
+            wordwise.fill_lanes(shift_cycles, |cycle, words| {
+                seen_cycles += 1;
+                if batch > 0 {
+                    return;
+                }
+                assert_eq!(words.len(), 9);
+                for (chain, &word) in words.iter().enumerate() {
+                    for (lane, lane_loads) in reference.iter().enumerate() {
+                        assert_eq!(
+                            (word >> lane) & 1 == 1,
+                            lane_loads[cycle][chain],
+                            "lane {lane} cycle {cycle} chain {chain}"
+                        );
+                    }
+                }
+            });
+            assert_eq!(seen_cycles, shift_cycles);
+        }
+        // State equivalence: one word-level batch leaves the LFSR exactly
+        // where 64 scalar loads leave it.
+        let mut scalar_state = make();
+        for _ in 0..64 * shift_cycles {
+            scalar_state.step_vector();
+        }
+        let mut word_state = make();
+        word_state.fill_lanes(shift_cycles, |_, _| {});
+        assert_eq!(word_state.lfsr().state(), scalar_state.lfsr().state());
+    }
+
+    /// Changing the shift length between fills rebuilds the lane cache
+    /// without corrupting the stream.
+    #[test]
+    fn fill_lanes_stride_change_stays_coherent() {
+        let poly = LfsrPoly::maximal(9).unwrap();
+        let make = || {
+            Prpg::new(Lfsr::with_ones_seed(poly.clone()), PhaseShifter::synthesize(&poly, 3, 17))
+        };
+        let mut a = make();
+        a.fill_lanes(5, |_, _| {});
+        a.fill_lanes(8, |_, _| {});
+        let mut b = make();
+        for _ in 0..64 * 5 + 64 * 8 {
+            b.step_vector();
+        }
+        assert_eq!(a.lfsr().state(), b.lfsr().state());
+    }
+
     #[test]
     fn expander_width_mismatch_panics() {
         let poly = LfsrPoly::maximal(9).unwrap();
         let lfsr = Lfsr::with_ones_seed(poly.clone());
         let ps = PhaseShifter::synthesize(&poly, 4, 16);
-        let result = std::panic::catch_unwind(|| {
-            Prpg::with_expander(lfsr, ps, SpaceExpander::new(3, 5))
-        });
+        let result =
+            std::panic::catch_unwind(|| Prpg::with_expander(lfsr, ps, SpaceExpander::new(3, 5)));
         assert!(result.is_err());
     }
 }

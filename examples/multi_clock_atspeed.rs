@@ -49,8 +49,7 @@ fn main() {
     );
     let cc = CompiledCircuit::compile(&core.netlist).expect("compiles");
     let universe = FaultUniverse::transition(&core.netlist);
-    let stems: Vec<_> =
-        universe.representatives().into_iter().filter(|f| f.is_stem()).collect();
+    let stems: Vec<_> = universe.representatives().into_iter().filter(|f| f.is_stem()).collect();
     println!("{} transition fault stems", stems.len());
 
     let window = CaptureWindow::all_domains(core.netlist.num_domains());
@@ -72,10 +71,6 @@ fn main() {
         }
     }
     let cov = sim.coverage();
-    println!(
-        "\ndouble-capture transition coverage: {:.2}% of {} faults",
-        cov.percent(),
-        cov.total
-    );
+    println!("\ndouble-capture transition coverage: {:.2}% of {} faults", cov.percent(), cov.total);
     println!("(a single-capture scheme detects 0% — no launch/capture pair exists)");
 }

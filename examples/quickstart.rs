@@ -59,7 +59,10 @@ fn main() {
 
     // 4. A healthy chip passes...
     let retest = session.run(&cfg);
-    println!("healthy re-run   -> Result = {}", if retest.matches(&golden) { "PASS" } else { "FAIL" });
+    println!(
+        "healthy re-run   -> Result = {}",
+        if retest.matches(&golden) { "PASS" } else { "FAIL" }
+    );
 
     // 5. ...and a defective one fails.
     let site = core.netlist.fanins(core.netlist.dffs()[3])[0];

@@ -52,8 +52,7 @@ impl<'a> TapBackend for Chip<'a> {
 }
 
 fn main() {
-    let netlist =
-        CpuCoreGenerator::new(CoreProfile::core_x().scaled(200), 99).generate();
+    let netlist = CpuCoreGenerator::new(CoreProfile::core_x().scaled(200), 99).generate();
     let core = prepare_core(
         &netlist,
         &PrepConfig {

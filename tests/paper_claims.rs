@@ -103,7 +103,12 @@ fn double_capture_detects_transition_faults_across_domains() {
     let netlist = CpuCoreGenerator::new(CoreProfile::core_x().scaled(200), 3).generate();
     let core = prepare_core(
         &netlist,
-        &PrepConfig { total_chains: 6, obs_budget: 0, tpi: TpiMethod::None, ..PrepConfig::default() },
+        &PrepConfig {
+            total_chains: 6,
+            obs_budget: 0,
+            tpi: TpiMethod::None,
+            ..PrepConfig::default()
+        },
     );
     let cc = CompiledCircuit::compile(&core.netlist).unwrap();
     let stems: Vec<_> = FaultUniverse::transition(&core.netlist)

@@ -1,7 +1,7 @@
 //! Property-based tests over the core data structures and invariants.
 
-use lbist::fault::{Fault, FaultKind, FaultUniverse, StuckAtSim};
-use lbist::netlist::{parse_bench, to_bench, GateKind, Netlist, NodeId};
+use lbist::fault::{CaptureWindow, Fault, FaultKind, FaultUniverse, StuckAtSim, TransitionSim};
+use lbist::netlist::{parse_bench, to_bench, DomainId, GateKind, Netlist, NodeId};
 use lbist::sim::{CompiledCircuit, Logic};
 use lbist::tpg::{Lfsr, LfsrPoly, Misr, PhaseShifter, SpaceCompactor, SpaceExpander};
 use proptest::prelude::*;
@@ -33,6 +33,38 @@ fn arb_comb_netlist() -> impl Strategy<Value = Netlist> {
             }
             let out = *pool.last().unwrap();
             nl.add_output("y", out);
+            nl
+        },
+    )
+}
+
+/// Strategy: a random small *sequential* netlist — gates interleaved with
+/// flip-flops across two clock domains (acyclic by construction).
+fn arb_seq_netlist() -> impl Strategy<Value = Netlist> {
+    (2usize..5, proptest::collection::vec((0usize..6, 0usize..100, 0usize..100), 4..32)).prop_map(
+        |(num_inputs, specs)| {
+            let mut nl = Netlist::new("seqprop");
+            let mut pool: Vec<NodeId> =
+                (0..num_inputs).map(|i| nl.add_input(&format!("i{i}"))).collect();
+            for (sel, a, b) in specs {
+                let fa = pool[a % pool.len()];
+                let fb = pool[b % pool.len()];
+                let node = match sel {
+                    0 => nl.add_gate(GateKind::And, &[fa, fb]),
+                    1 => nl.add_gate(GateKind::Or, &[fa, fb]),
+                    2 => nl.add_gate(GateKind::Xor, &[fa, fb]),
+                    3 => nl.add_gate(GateKind::Not, &[fa]),
+                    4 => nl.add_dff(fa, DomainId::new(0)),
+                    _ => nl.add_dff(fa, DomainId::new(1)),
+                };
+                pool.push(node);
+            }
+            // Guarantee both domains exist (the capture window pulses both)
+            // and something is observed.
+            let last = *pool.last().unwrap();
+            let ff0 = nl.add_dff(last, DomainId::new(0));
+            let ff1 = nl.add_dff(ff0, DomainId::new(1));
+            nl.add_output("y", ff1);
             nl
         },
     )
@@ -100,9 +132,8 @@ proptest! {
         let mut s = stim;
         let mut stims = Vec::new();
         for &pi in cc.inputs() {
-            frame[pi.index()] = s & 1 ^ 0; // single-lane pattern
             stims.push((pi, s & 1 == 1));
-            frame[pi.index()] = if s & 1 == 1 { 1 } else { 0 };
+            frame[pi.index()] = s & 1; // single-lane pattern
             s >>= 1;
         }
         sim.run_batch(&mut frame, 1);
@@ -127,6 +158,80 @@ proptest! {
             };
             let expect = eval(false) != eval(true);
             prop_assert_eq!(sim.detections()[idx] > 0, expect, "fault {}", fault);
+        }
+    }
+
+    /// Rayon-sharded stuck-at grading reports coverage bit-identical to
+    /// serial grading on arbitrary netlists — the determinism contract of
+    /// the parallel fault-simulation engine.
+    #[test]
+    fn parallel_stuck_at_coverage_equals_serial(nl in arb_comb_netlist(), stim: u64) {
+        let cc = CompiledCircuit::compile(&nl).unwrap();
+        let universe = FaultUniverse::stuck_at(&nl);
+        let observed = StuckAtSim::observe_all_captures(&cc);
+        let run = |threads: usize| {
+            let mut sim = StuckAtSim::new(&cc, universe.representatives(), observed.clone());
+            sim.set_threads(threads);
+            let mut s = stim | 1;
+            for batch in 0..2u64 {
+                let mut frame = cc.new_frame();
+                for &pi in cc.inputs() {
+                    frame[pi.index()] = s ^ batch.wrapping_mul(0xA5A5_A5A5_A5A5_A5A5);
+                    s = s.rotate_left(9) ^ 0x0123_4567_89AB_CDEF;
+                }
+                sim.run_batch(&mut frame, 64);
+            }
+            (sim.detections().to_vec(), sim.coverage(), sim.active_faults())
+        };
+        let serial = run(1);
+        for threads in [2, 5] {
+            let parallel = run(threads);
+            prop_assert_eq!(&parallel.0, &serial.0, "detections differ at {} threads", threads);
+            prop_assert_eq!(&parallel.1, &serial.1, "coverage differs at {} threads", threads);
+            prop_assert_eq!(parallel.2, serial.2, "active counts differ at {} threads", threads);
+        }
+    }
+
+    /// The same contract for launch-on-capture transition grading on
+    /// random sequential netlists with two clock domains.
+    #[test]
+    fn parallel_transition_coverage_equals_serial(nl in arb_seq_netlist(), stim: u64) {
+        let cc = CompiledCircuit::compile(&nl).unwrap();
+        let faults: Vec<Fault> = nl
+            .ids()
+            .filter(|&n| nl.kind(n).is_logic())
+            .flat_map(|n| {
+                [Fault::stem(n, FaultKind::SlowToRise), Fault::stem(n, FaultKind::SlowToFall)]
+            })
+            .collect();
+        if faults.is_empty() {
+            return;
+        }
+        let window = CaptureWindow::all_domains(2);
+        let run = |threads: usize| {
+            let mut sim = TransitionSim::new(&cc, faults.clone(), window.clone());
+            sim.set_threads(threads);
+            let mut s = stim | 1;
+            for _ in 0..2 {
+                let mut base = cc.new_frame();
+                for &pi in cc.inputs() {
+                    base[pi.index()] = s;
+                    s = s.rotate_left(17) ^ 0xFEDC_BA98_7654_3210;
+                }
+                for &ff in cc.dffs() {
+                    base[ff.index()] = s;
+                    s = s.wrapping_mul(0x2545_F491_4F6C_DD1D);
+                }
+                sim.run_batch(&base, 64);
+            }
+            (sim.detections().to_vec(), sim.coverage(), sim.active_faults())
+        };
+        let serial = run(1);
+        for threads in [2, 5] {
+            let parallel = run(threads);
+            prop_assert_eq!(&parallel.0, &serial.0, "detections differ at {} threads", threads);
+            prop_assert_eq!(&parallel.1, &serial.1, "coverage differs at {} threads", threads);
+            prop_assert_eq!(parallel.2, serial.2, "active counts differ at {} threads", threads);
         }
     }
 

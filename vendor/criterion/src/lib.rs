@@ -1,0 +1,252 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! The build environment has no network access, so this vendored crate
+//! implements the subset of criterion's API the workspace's benches use:
+//! [`Criterion::benchmark_group`], group configuration
+//! (`measurement_time`, `sample_size`, `throughput`), `bench_function`
+//! with [`Bencher::iter`] / [`Bencher::iter_batched`], and the
+//! [`criterion_group!`]/[`criterion_main!`] macros.
+//!
+//! Instead of criterion's statistical analysis it runs a short warmup,
+//! then samples the routine under a wall-clock budget and prints
+//! mean/min time per iteration (and throughput where configured).
+
+#![forbid(unsafe_code)]
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// How `iter_batched` amortises setup cost. All variants behave the same
+/// here: setup runs once per measured iteration, unmeasured.
+#[derive(Clone, Copy, Debug)]
+pub enum BatchSize {
+    /// Small per-iteration inputs.
+    SmallInput,
+    /// Large per-iteration inputs.
+    LargeInput,
+    /// One setup per iteration.
+    PerIteration,
+}
+
+/// Throughput annotation for a benchmark group.
+#[derive(Clone, Copy, Debug)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// Measurement driver handed to `bench_function` closures.
+pub struct Bencher {
+    budget: Duration,
+    samples: usize,
+    /// (mean, min) nanoseconds per iteration of the last run.
+    result: Option<(f64, f64)>,
+}
+
+impl Bencher {
+    fn new(budget: Duration, samples: usize) -> Self {
+        Bencher { budget, samples, result: None }
+    }
+
+    /// Measures `routine` repeatedly.
+    pub fn iter<R>(&mut self, mut routine: impl FnMut() -> R) {
+        // Warmup.
+        black_box(routine());
+        let started = Instant::now();
+        let mut times = Vec::with_capacity(self.samples);
+        while times.len() < self.samples && started.elapsed() < self.budget {
+            let t0 = Instant::now();
+            black_box(routine());
+            times.push(t0.elapsed().as_nanos() as f64);
+        }
+        self.record(&times);
+    }
+
+    /// Measures `routine` with per-iteration `setup` excluded from timing.
+    pub fn iter_batched<I, R>(
+        &mut self,
+        mut setup: impl FnMut() -> I,
+        mut routine: impl FnMut(I) -> R,
+        _size: BatchSize,
+    ) {
+        black_box(routine(setup()));
+        let started = Instant::now();
+        let mut times = Vec::with_capacity(self.samples);
+        while times.len() < self.samples && started.elapsed() < self.budget {
+            let input = setup();
+            let t0 = Instant::now();
+            black_box(routine(input));
+            times.push(t0.elapsed().as_nanos() as f64);
+        }
+        self.record(&times);
+    }
+
+    fn record(&mut self, times: &[f64]) {
+        if times.is_empty() {
+            self.result = None;
+            return;
+        }
+        let mean = times.iter().sum::<f64>() / times.len() as f64;
+        let min = times.iter().cloned().fold(f64::INFINITY, f64::min);
+        self.result = Some((mean, min));
+    }
+}
+
+fn human_ns(ns: f64) -> String {
+    if ns < 1_000.0 {
+        format!("{ns:.1} ns")
+    } else if ns < 1_000_000.0 {
+        format!("{:.2} µs", ns / 1_000.0)
+    } else if ns < 1_000_000_000.0 {
+        format!("{:.2} ms", ns / 1_000_000.0)
+    } else {
+        format!("{:.3} s", ns / 1_000_000_000.0)
+    }
+}
+
+/// A named group of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    budget: Duration,
+    samples: usize,
+    throughput: Option<Throughput>,
+    _parent: &'a mut Criterion,
+}
+
+impl<'a> BenchmarkGroup<'a> {
+    /// Sets the per-benchmark wall-clock budget.
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.budget = d;
+        self
+    }
+
+    /// Sets the target sample count.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.samples = n.max(1);
+        self
+    }
+
+    /// Annotates per-iteration throughput.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    /// Runs one benchmark.
+    pub fn bench_function(&mut self, name: &str, f: impl FnOnce(&mut Bencher)) -> &mut Self {
+        let mut b = Bencher::new(self.budget, self.samples);
+        f(&mut b);
+        match b.result {
+            Some((mean, min)) => {
+                let mut line =
+                    format!("{}/{name}: mean {} min {}", self.name, human_ns(mean), human_ns(min));
+                if let Some(t) = self.throughput {
+                    let (count, unit) = match t {
+                        Throughput::Elements(n) => (n, "elem"),
+                        Throughput::Bytes(n) => (n, "B"),
+                    };
+                    let per_sec = count as f64 / (mean / 1_000_000_000.0);
+                    line.push_str(&format!(" ({per_sec:.0} {unit}/s)"));
+                }
+                println!("{line}");
+            }
+            None => println!("{}/{name}: no samples collected", self.name),
+        }
+        self
+    }
+
+    /// Ends the group.
+    pub fn finish(self) {}
+}
+
+/// Top-level benchmark driver.
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Applies CLI configuration (accepted and ignored in this stand-in).
+    pub fn configure_from_args(self) -> Self {
+        self
+    }
+
+    /// Opens a named benchmark group.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.to_string(),
+            budget: Duration::from_secs(2),
+            samples: 10,
+            throughput: None,
+            _parent: self,
+        }
+    }
+
+    /// Runs one stand-alone benchmark.
+    pub fn bench_function(&mut self, name: &str, f: impl FnOnce(&mut Bencher)) -> &mut Self {
+        let mut b = Bencher::new(Duration::from_secs(2), 10);
+        f(&mut b);
+        match b.result {
+            Some((mean, min)) => {
+                println!("{name}: mean {} min {}", human_ns(mean), human_ns(min));
+            }
+            None => println!("{name}: no samples collected"),
+        }
+        self
+    }
+}
+
+/// Declares a benchmark group function, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut criterion = $crate::Criterion::default().configure_from_args();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Declares the bench entry point, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_iter_records() {
+        let mut b = Bencher::new(Duration::from_millis(50), 5);
+        let mut acc = 0u64;
+        b.iter(|| {
+            acc = acc.wrapping_add(1);
+            acc
+        });
+        assert!(b.result.is_some());
+    }
+
+    #[test]
+    fn bencher_iter_batched_records() {
+        let mut b = Bencher::new(Duration::from_millis(50), 5);
+        b.iter_batched(|| vec![1u8; 64], |v| v.len(), BatchSize::LargeInput);
+        assert!(b.result.is_some());
+    }
+
+    #[test]
+    fn group_runs_benchmarks() {
+        let mut c = Criterion::default();
+        let mut g = c.benchmark_group("g");
+        g.measurement_time(Duration::from_millis(20)).sample_size(3);
+        g.throughput(Throughput::Elements(10));
+        g.bench_function("noop", |b| b.iter(|| 1 + 1));
+        g.finish();
+    }
+}

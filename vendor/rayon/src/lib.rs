@@ -1,0 +1,117 @@
+//! Offline stand-in for the `rayon` crate.
+//!
+//! The build environment has no network access, so this vendored crate
+//! provides the subset of rayon's API the workspace uses — [`scope`],
+//! [`Scope::spawn`], [`join`] and [`current_num_threads`] — implemented on
+//! `std::thread::scope`. Unlike real rayon there is no work-stealing pool:
+//! every `spawn` is an OS thread. Callers in this workspace spawn one task
+//! per shard with shard count = [`current_num_threads`], for which plain
+//! scoped threads are an excellent substitute.
+
+#![forbid(unsafe_code)]
+
+use std::num::NonZeroUsize;
+
+/// Number of worker threads a parallel region should use: the machine's
+/// available parallelism, overridable (like rayon) with the
+/// `RAYON_NUM_THREADS` environment variable.
+pub fn current_num_threads() -> usize {
+    if let Ok(v) = std::env::var("RAYON_NUM_THREADS") {
+        if let Ok(n) = v.parse::<usize>() {
+            if n > 0 {
+                return n;
+            }
+        }
+    }
+    std::thread::available_parallelism().map(NonZeroUsize::get).unwrap_or(1)
+}
+
+/// A scope in which borrowed-data tasks can be spawned; all tasks join
+/// before [`scope`] returns.
+pub struct Scope<'scope, 'env: 'scope> {
+    inner: &'scope std::thread::Scope<'scope, 'env>,
+}
+
+impl<'scope, 'env> Scope<'scope, 'env> {
+    /// Spawns a task that may borrow from outside the scope. Panics in the
+    /// task are propagated when the scope joins.
+    pub fn spawn<F>(&self, f: F)
+    where
+        F: FnOnce(&Scope<'scope, 'env>) + Send + 'scope,
+    {
+        let handoff = Scope { inner: self.inner };
+        self.inner.spawn(move || f(&handoff));
+    }
+}
+
+/// Creates a scope for spawning borrowed-data tasks; returns once every
+/// spawned task has completed.
+pub fn scope<'env, F, R>(f: F) -> R
+where
+    F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+{
+    std::thread::scope(|s| f(&Scope { inner: s }))
+}
+
+/// Runs two closures, potentially in parallel, and returns both results.
+pub fn join<A, B, RA, RB>(a: A, b: B) -> (RA, RB)
+where
+    A: FnOnce() -> RA + Send,
+    B: FnOnce() -> RB + Send,
+    RA: Send,
+    RB: Send,
+{
+    std::thread::scope(|s| {
+        let hb = s.spawn(b);
+        let ra = a();
+        (ra, hb.join().expect("joined task panicked"))
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn scope_joins_all_tasks() {
+        let counter = AtomicUsize::new(0);
+        let data = vec![1usize; 100];
+        scope(|s| {
+            for chunk in data.chunks(25) {
+                let counter = &counter;
+                s.spawn(move |_| {
+                    counter.fetch_add(chunk.iter().sum::<usize>(), Ordering::Relaxed);
+                });
+            }
+        });
+        assert_eq!(counter.load(Ordering::Relaxed), 100);
+    }
+
+    #[test]
+    fn scope_tasks_can_mutate_disjoint_slices() {
+        let mut buf = vec![0u64; 64];
+        scope(|s| {
+            for (i, chunk) in buf.chunks_mut(16).enumerate() {
+                s.spawn(move |_| {
+                    for v in chunk.iter_mut() {
+                        *v = i as u64 + 1;
+                    }
+                });
+            }
+        });
+        assert!(buf.iter().all(|&v| v > 0));
+    }
+
+    #[test]
+    fn join_returns_both() {
+        let (a, b) = join(|| 2 + 2, || "ok");
+        assert_eq!(a, 4);
+        assert_eq!(b, "ok");
+    }
+
+    #[test]
+    fn num_threads_positive() {
+        assert!(current_num_threads() >= 1);
+    }
+}
