@@ -1,6 +1,6 @@
 //! The top-up flow: deterministic patterns for the random-resistant tail.
 
-use crate::pattern::Pattern;
+use crate::pattern::{Pattern, TestCube};
 use crate::podem::{AtpgOutcome, Podem};
 use lbist_fault::{Fault, StuckAtSim};
 use lbist_netlist::NodeId;
@@ -15,6 +15,11 @@ use std::fmt;
 pub struct TopUpReport {
     /// The generated patterns, in generation order.
     pub patterns: Vec<Pattern>,
+    /// The partially-specified cubes the patterns were filled from,
+    /// aligned with `patterns` (`patterns[i]` is `cubes[i]` random-filled,
+    /// with the pinned inputs applied). Hybrid-BIST reseeding consumes
+    /// these care-bit masks instead of the filled patterns.
+    pub cubes: Vec<TestCube>,
     /// Faults from the target list detected by the patterns (dynamic
     /// compaction credits patterns with every fault they catch).
     pub faults_detected: usize,
@@ -96,6 +101,7 @@ impl<'a> TopUpAtpg<'a> {
         let mut rng = SmallRng::seed_from_u64(seed);
         let mut sim = StuckAtSim::new(self.cc, targets.to_vec(), self.observed.clone());
         let mut patterns: Vec<Pattern> = Vec::new();
+        let mut cubes: Vec<TestCube> = Vec::new();
         let mut untestable = 0usize;
         let mut aborted = 0usize;
         // Batch pending patterns and grade them 64 at a time.
@@ -140,6 +146,7 @@ impl<'a> TopUpAtpg<'a> {
                             cube.assign(node, value);
                         }
                         let pattern = cube.fill(self.cc, &mut rng);
+                        cubes.push(cube);
                         pending.push(pattern);
                         if pending.len() == 64 {
                             flush(&mut pending, &mut sim, &mut patterns);
@@ -161,6 +168,7 @@ impl<'a> TopUpAtpg<'a> {
 
         TopUpReport {
             patterns,
+            cubes,
             faults_detected: sim.detections().iter().filter(|&&d| d > 0).count(),
             untestable,
             aborted,
@@ -217,6 +225,29 @@ mod tests {
         // FC2 > FC1 once the top-up patterns are credited.
         let fc2_detected = fc1.detected + report.faults_detected;
         assert!(fc2_detected as f64 / fc1.total as f64 > fc1.fault_coverage());
+    }
+
+    #[test]
+    fn cubes_align_with_patterns_and_carry_their_care_bits() {
+        let nl = resistant();
+        let cc = CompiledCircuit::compile(&nl).unwrap();
+        let universe = FaultUniverse::stuck_at(&nl);
+        let report = TopUpAtpg::new(&cc, StuckAtSim::observe_all_captures(&cc))
+            .run(&universe.representatives(), 13);
+        assert_eq!(report.cubes.len(), report.patterns.len());
+        for (cube, pattern) in report.cubes.iter().zip(&report.patterns) {
+            assert!(cube.specified() > 0, "a top-up cube specifies at least the excitation");
+            // Every care bit survives into the filled pattern.
+            for &(node, value) in cube.assignments() {
+                let pi_pos = cc.inputs().iter().position(|&n| n == node);
+                let ff_pos = cc.dffs().iter().position(|&n| n == node);
+                match (pi_pos, ff_pos) {
+                    (Some(i), _) => assert_eq!(pattern.pi_values[i], value),
+                    (_, Some(i)) => assert_eq!(pattern.ff_values[i], value),
+                    _ => panic!("cube assigns a non-assignable node"),
+                }
+            }
+        }
     }
 
     #[test]

@@ -10,7 +10,7 @@
 //!           [--threads N] [--out PATH]
 //! ```
 
-use lbist_bench::{arg_value, fill_frame_from_prpg};
+use lbist_bench::{arg_value, cli_thread_budget, fill_frame_from_prpg};
 use lbist_core::{StumpsArchitecture, StumpsConfig};
 use lbist_cores::{CoreProfile, CpuCoreGenerator};
 use lbist_dft::{prepare_core, PrepConfig, TpiMethod};
@@ -57,7 +57,9 @@ fn json_run(stats: &RunStats) -> String {
 fn main() {
     let scale: usize = arg_value("--scale").unwrap_or(300);
     let batches: usize = arg_value("--batches").unwrap_or(16);
-    let parallel_threads: usize = arg_value("--threads").unwrap_or_else(rayon::current_num_threads);
+    // The shared `--serial` / `--threads N` knobs (with the usual
+    // malformed-value diagnostics) instead of a private parse.
+    let parallel_threads: usize = cli_thread_budget().unwrap_or_else(rayon::current_num_threads);
     let out_path: String = arg_value("--out").unwrap_or_else(|| "BENCH_faultsim.json".to_string());
 
     let profile = CoreProfile::core_x().scaled(scale);

@@ -67,6 +67,37 @@ pub fn fill_frame_from_prpg(
     }
 }
 
+/// Fills a single lane of `frame` with one PRPG scan load, stepping every
+/// domain's PRPG exactly one load's worth of cycles — the scalar
+/// counterpart of [`fill_frame_from_prpg`] for streams whose loads are not
+/// 64-aligned (e.g. the single deterministic load after a reseed window).
+/// Only the targeted lane's bits of the scan cells are touched; the
+/// caller zeroes the frame and holds `test_mode` as usual.
+///
+/// # Panics
+///
+/// Panics if `lane >= 64`.
+pub fn fill_lane_from_prpg(arch: &mut StumpsArchitecture, frame: &mut [u64], lane: usize) {
+    assert!(lane < 64, "a frame holds 64 lanes");
+    let shift_cycles = arch.max_chain_length().max(1);
+    let mask = 1u64 << lane;
+    for db in arch.domains_mut() {
+        for cycle in 0..shift_cycles {
+            let bits = db.prpg.step_vector();
+            let cell_pos = shift_cycles - 1 - cycle;
+            for (chain, bit) in db.chains.iter().zip(bits) {
+                if let Some(&cell) = chain.cells.get(cell_pos) {
+                    if bit {
+                        frame[cell.index()] |= mask;
+                    } else {
+                        frame[cell.index()] &= !mask;
+                    }
+                }
+            }
+        }
+    }
+}
+
 /// One core's measured Table 1 column.
 #[derive(Clone, Debug)]
 pub struct Table1Column {
@@ -215,11 +246,28 @@ pub fn arg_flag(name: &str) -> bool {
 /// `--serial` pins grading to one thread (the determinism escape hatch),
 /// `--threads N` sets an explicit worker budget, and absent both the
 /// simulators keep their default (all available hardware threads).
+///
+/// This is the single parsing point for the flags — binaries must not
+/// roll their own. A malformed `--threads` value (missing, non-numeric,
+/// or zero) is a hard usage error: the process prints a diagnostic and
+/// exits with status 2 instead of silently falling back to the default.
 pub fn cli_thread_budget() -> Option<usize> {
     if arg_flag("--serial") {
-        Some(1)
-    } else {
-        arg_value("--threads")
+        return Some(1);
+    }
+    let args: Vec<String> = std::env::args().collect();
+    let flag_pos = args.iter().position(|a| a == "--threads")?;
+    let die = |got: &str| -> ! {
+        eprintln!("error: `--threads` expects a positive integer worker count, got {got}");
+        std::process::exit(2);
+    };
+    match args.get(flag_pos + 1) {
+        None => die("nothing"),
+        Some(v) => match v.parse::<usize>() {
+            Ok(0) => die("`0` (use --serial for single-threaded grading)"),
+            Ok(n) => Some(n),
+            Err(_) => die(&format!("`{v}`")),
+        },
     }
 }
 
@@ -311,6 +359,39 @@ mod tests {
             fill_frame_from_prpg(&mut arch, &core, &cc, &mut frame);
             scalar_fill(&mut arch_ref, &mut ref_frame);
             assert_eq!(frame, ref_frame, "word-level fill diverged in batch {batch}");
+        }
+    }
+
+    /// 64 single-lane fills reproduce one word-level batch fill exactly
+    /// (same PRPG stream position, same cell bits).
+    #[test]
+    fn single_lane_fill_matches_batch_fill() {
+        let profile = CoreProfile::core_x().scaled(800);
+        let netlist = CpuCoreGenerator::new(profile, 11).generate();
+        let core = prepare_core(
+            &netlist,
+            &PrepConfig {
+                total_chains: 5,
+                obs_budget: 0,
+                tpi: TpiMethod::None,
+                ..PrepConfig::default()
+            },
+        );
+        let cc = CompiledCircuit::compile(&core.netlist).unwrap();
+        let stumps = StumpsConfig::default();
+        let mut arch_batch = StumpsArchitecture::build(&core, &stumps);
+        let mut arch_lane = StumpsArchitecture::build(&core, &stumps);
+        let mut batch_frame = cc.new_frame();
+        fill_frame_from_prpg(&mut arch_batch, &core, &cc, &mut batch_frame);
+        let mut lane_frame = cc.new_frame();
+        lane_frame[core.test_mode().index()] = !0;
+        for lane in 0..64 {
+            fill_lane_from_prpg(&mut arch_lane, &mut lane_frame, lane);
+        }
+        assert_eq!(lane_frame, batch_frame);
+        // Both leave the PRPGs in the same stream position.
+        for (a, b) in arch_batch.domains().iter().zip(arch_lane.domains()) {
+            assert_eq!(a.prpg.lfsr().state(), b.prpg.lfsr().state());
         }
     }
 

@@ -14,6 +14,15 @@ pub struct StumpsConfig {
     /// Use a synthesized phase shifter (`false` taps raw LFSR stages — the
     /// A4 ablation's baseline, which leaves adjacent chains correlated).
     pub use_phase_shifter: bool,
+    /// Use a space expander between the shifter and the chains (`true`,
+    /// the paper's choice — it keeps the shifter narrow). `false` gives
+    /// every chain its own phase-shifter channel instead: more XOR rows,
+    /// but the chains become linearly independent per shift cycle, which
+    /// is what hybrid-BIST reseeding needs (an expander caps the
+    /// per-cycle image at `channels` independent bits, so cubes touching
+    /// many chains at one scan position become unsolvable for *any* seed
+    /// length).
+    pub use_expander: bool,
     /// Compact scan-outs into a short MISR (`true`) or connect every chain
     /// straight to a chain-count-wide MISR (`false`, the paper's choice —
     /// §3 note 3 — to keep setup-risk logic off the scan-out path).
@@ -31,6 +40,7 @@ impl Default for StumpsConfig {
             prpg_length: 19,
             phase_separation: 64,
             use_phase_shifter: true,
+            use_expander: true,
             use_compactor: false,
             misr_min_length: 19,
             seed: 0xB157,
@@ -89,13 +99,24 @@ impl StumpsArchitecture {
 
             let poly = LfsrPoly::maximal(config.prpg_length)
                 .unwrap_or_else(|| LfsrPoly::nearest_maximal(config.prpg_length));
-            // Smallest channel count whose <=2-input XOR expander covers
-            // all chains.
-            let mut channels = 1usize;
-            while channels + channels * (channels - 1) / 2 < n_chains {
-                channels += 1;
-            }
-            let channels = channels.min(poly.degree());
+            let channels = if config.use_expander {
+                // Smallest channel count whose <=2-input XOR expander
+                // covers all chains.
+                let mut channels = 1usize;
+                while channels + channels * (channels - 1) / 2 < n_chains {
+                    channels += 1;
+                }
+                channels.min(poly.degree())
+            } else if config.use_phase_shifter {
+                // Direct drive: one shifter channel per chain (a
+                // synthesized shifter can produce any channel count).
+                n_chains
+            } else {
+                // Raw identity tapping has only `degree` stages; cap the
+                // channels there and cover any excess chains with an
+                // expander below.
+                n_chains.min(poly.degree())
+            };
             let shifter = if config.use_phase_shifter {
                 PhaseShifter::synthesize(&poly, channels, config.phase_separation)
             } else {
@@ -107,8 +128,11 @@ impl StumpsArchitecture {
                 (seed_word >> (i % 64)) & 1 == 1 || i == 0
             });
             let lfsr = Lfsr::new(poly, seed);
-            let expander = SpaceExpander::new(channels, n_chains);
-            let prpg = Prpg::with_expander(lfsr, shifter, expander);
+            let prpg = if config.use_expander || channels < n_chains {
+                Prpg::with_expander(lfsr, shifter, SpaceExpander::new(channels, n_chains))
+            } else {
+                Prpg::new(lfsr, shifter)
+            };
 
             let (compactor, misr_width) = if config.use_compactor {
                 let outs = config.misr_min_length.min(n_chains);
@@ -254,6 +278,33 @@ mod tests {
         for (db, init) in arch.domains().iter().zip(&initial) {
             assert_eq!(db.prpg.lfsr().state(), init);
             assert!(db.misr.signature().is_zero());
+        }
+    }
+
+    #[test]
+    fn direct_drive_without_shifter_builds_past_degree() {
+        // More chains in one domain than the 19-bit PRPG has stages: raw
+        // identity tapping can't give every chain its own channel, so the
+        // build must fall back to an expander instead of panicking.
+        let nl = CpuCoreGenerator::new(CoreProfile::core_x().scaled(100), 8).generate();
+        let core = prepare_core(
+            &nl,
+            &PrepConfig {
+                total_chains: 48,
+                obs_budget: 0,
+                tpi: TpiMethod::None,
+                ..PrepConfig::default()
+            },
+        );
+        let cfg = StumpsConfig {
+            use_expander: false,
+            use_phase_shifter: false,
+            ..StumpsConfig::default()
+        };
+        let arch = StumpsArchitecture::build(&core, &cfg);
+        assert!(arch.domains().iter().any(|d| d.chains.len() > 19), "shape exercises the cap");
+        for db in arch.domains() {
+            assert_eq!(db.prpg.num_chains(), db.chains.len().max(1));
         }
     }
 

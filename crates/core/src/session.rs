@@ -7,6 +7,7 @@ use lbist_atpg::Pattern;
 use lbist_dft::BistReadyCore;
 use lbist_fault::Fault;
 use lbist_netlist::{DomainId, NodeId};
+use lbist_reseed::{SeedSchedule, SeedWindow};
 use lbist_sim::CompiledCircuit;
 use lbist_tpg::Gf2Vec;
 
@@ -25,6 +26,13 @@ pub struct SessionConfig {
     pub snapshot_every: usize,
     /// Deterministic top-up patterns appended after the random phase.
     pub top_up: Vec<Pattern>,
+    /// Hybrid-BIST seed schedule. When set, it replaces the plain random
+    /// phase (`num_patterns` is ignored): pseudorandom windows run the
+    /// free-running PRPGs, and each reseed window loads the given
+    /// per-domain LFSR seeds (the paper's Boundary-Scan `LBIST_SEED`
+    /// path) before applying one deterministic load through the normal
+    /// shift plumbing. `top_up` patterns still follow the schedule.
+    pub reseed: Option<SeedSchedule>,
 }
 
 impl Default for SessionConfig {
@@ -35,6 +43,7 @@ impl Default for SessionConfig {
             injected_fault: None,
             snapshot_every: 0,
             top_up: Vec::new(),
+            reseed: None,
         }
     }
 }
@@ -120,13 +129,38 @@ impl<'a> SelfTestSession<'a> {
         let mut selector = InputSelector::new();
         selector.load_top_up(cfg.top_up.clone());
 
+        // The load plan: the seed schedule when one is set (pseudorandom
+        // windows interleaved with single-load reseed windows), otherwise
+        // the plain random phase; top-up patterns follow either way.
+        #[derive(Clone, Copy)]
+        enum LoadStep<'s> {
+            Random,
+            Reseed(&'s [Option<Gf2Vec>]),
+            TopUp,
+        }
+        let mut steps: Vec<LoadStep<'_>> = Vec::new();
+        match &cfg.reseed {
+            Some(schedule) => {
+                for window in schedule.windows() {
+                    match window {
+                        SeedWindow::Random { patterns } => {
+                            steps.extend((0..*patterns).map(|_| LoadStep::Random));
+                        }
+                        SeedWindow::Reseed { seeds } => steps.push(LoadStep::Reseed(seeds)),
+                    }
+                }
+            }
+            None => steps.extend((0..cfg.num_patterns).map(|_| LoadStep::Random)),
+        }
+        steps.extend(cfg.top_up.iter().map(|_| LoadStep::TopUp));
+
         let shift_cycles = self.arch.max_chain_length().max(1);
         let order: Vec<DomainId> = cfg.capture_order.clone().unwrap_or_else(|| {
             (0..self.core.netlist.num_domains().max(1)).map(|d| DomainId::new(d as u16)).collect()
         });
         let mut controller = BistController::new(ControllerConfig {
             shift_cycles,
-            num_patterns: cfg.num_patterns + cfg.top_up.len(),
+            num_patterns: steps.len(),
             num_domains: order.len(),
         });
         controller.start();
@@ -146,17 +180,48 @@ impl<'a> SelfTestSession<'a> {
         let mut snapshots = Vec::new();
         let mut total_shifts = 0u64;
         let mut patterns_applied = 0usize;
-        let total_patterns = cfg.num_patterns + cfg.top_up.len();
+        let total_patterns = steps.len();
 
+        #[allow(clippy::needless_range_loop)] // `p == total_patterns` is the flush load
         for p in 0..=total_patterns {
-            // Pattern source: random first, then top-up, then one flush
-            // load of zeros to push the last responses out.
-            let load_bits: Vec<Vec<bool>> = if p < cfg.num_patterns {
-                selector.select(PatternSource::Random);
-                selector.next_load(&mut self.arch, shift_cycles).expect("random never exhausts")
-            } else if p < total_patterns {
-                selector.select(PatternSource::TopUp);
-                selector.next_load(&mut self.arch, shift_cycles).expect("top-up store sized")
+            // Pattern source per the plan (random, reseed-then-load, or
+            // top-up), then one flush load of zeros to push the last
+            // responses out.
+            let load_bits: Vec<Vec<bool>> = if p < total_patterns {
+                match steps[p] {
+                    LoadStep::Random => {
+                        selector.select(PatternSource::Random);
+                        selector
+                            .next_load(&mut self.arch, shift_cycles)
+                            .expect("random never exhausts")
+                    }
+                    LoadStep::Reseed(seeds) => {
+                        // The Boundary-Scan seed load of the paper's TAP:
+                        // overwrite each seeded domain's PRPG state, then
+                        // generate the next load through the normal
+                        // random-mode plumbing.
+                        assert_eq!(
+                            seeds.len(),
+                            self.arch.domains().len(),
+                            "a reseed window needs one seed slot per domain"
+                        );
+                        for (db, seed) in self.arch.domains_mut().iter_mut().zip(seeds) {
+                            if let Some(s) = seed {
+                                db.prpg.lfsr_mut().set_state(s.clone());
+                            }
+                        }
+                        selector.select(PatternSource::Random);
+                        selector
+                            .next_load(&mut self.arch, shift_cycles)
+                            .expect("random never exhausts")
+                    }
+                    LoadStep::TopUp => {
+                        selector.select(PatternSource::TopUp);
+                        selector
+                            .next_load(&mut self.arch, shift_cycles)
+                            .expect("top-up store sized")
+                    }
+                }
             } else {
                 chain_state.iter().map(|_| vec![false; shift_cycles]).collect()
             };
@@ -385,6 +450,110 @@ mod tests {
         });
         // Cross-domain paths make capture order observable.
         assert!(!forward.matches(&backward));
+    }
+
+    #[test]
+    fn reseeded_session_is_deterministic_and_counts_loads() {
+        let c = core();
+        let mut s = SelfTestSession::new(&c, &StumpsConfig::default());
+        let degree = s.architecture().domains()[0].prpg.lfsr().len();
+        let n_domains = s.architecture().domains().len();
+        let mut seeds: Vec<Option<Gf2Vec>> = vec![None; n_domains];
+        seeds[0] = Some(Gf2Vec::from_fn(degree, |i| i % 3 == 0 || i == 0));
+        let mut schedule = lbist_reseed::SeedSchedule::new();
+        schedule.push_random(5);
+        schedule.push_reseed(seeds);
+        schedule.push_random(4);
+        let cfg = SessionConfig { reseed: Some(schedule.clone()), ..Default::default() };
+        let a = s.run(&cfg);
+        let b = s.run(&cfg);
+        assert_eq!(a, b);
+        assert_eq!(a.patterns_applied, schedule.num_patterns());
+        assert_eq!(a.patterns_applied, 10);
+    }
+
+    #[test]
+    fn reseed_window_changes_signatures() {
+        let c = core();
+        let mut s = SelfTestSession::new(&c, &StumpsConfig::default());
+        let degree = s.architecture().domains()[0].prpg.lfsr().len();
+        let n_domains = s.architecture().domains().len();
+        // Schedule A: 10 plain random loads. Schedule B: same count, but
+        // the PRPG of domain 0 is re-seeded before load 6.
+        let mut plain = lbist_reseed::SeedSchedule::new();
+        plain.push_random(10);
+        let mut reseeded = lbist_reseed::SeedSchedule::new();
+        reseeded.push_random(5);
+        let mut seeds: Vec<Option<Gf2Vec>> = vec![None; n_domains];
+        seeds[0] = Some(Gf2Vec::from_fn(degree, |i| i % 2 == 0));
+        reseeded.push_reseed(seeds);
+        reseeded.push_random(4);
+        let a = s.run(&SessionConfig { reseed: Some(plain), ..Default::default() });
+        let b = s.run(&SessionConfig { reseed: Some(reseeded), ..Default::default() });
+        assert_eq!(a.patterns_applied, b.patterns_applied);
+        assert!(!a.matches(&b), "the reseed must steer the pattern stream");
+    }
+
+    /// End-to-end seed solving against the session's own architecture: a
+    /// cube solved through the linear map, loaded through a reseed
+    /// window's plumbing (selector → shift), lands its care bits in the
+    /// right scan cells.
+    #[test]
+    fn solved_seed_lands_cube_bits_in_cells() {
+        use lbist_reseed::{CubeFate, DomainChannel, ReseedPlanner, ScanLinearMap};
+        let c = core();
+        let mut arch = StumpsArchitecture::build(&c, &StumpsConfig::default());
+        let shift_cycles = arch.max_chain_length().max(1);
+
+        // Care bits: first and last cell of every domain's first chain.
+        let mut cube = lbist_atpg::TestCube::new();
+        for db in arch.domains() {
+            if let Some(chain) = db.chains.first() {
+                cube.assign(chain.cells[0], true);
+                cube.assign(*chain.cells.last().unwrap(), chain.cells.len() % 2 == 0);
+            }
+        }
+        let cc = CompiledCircuit::compile(&c.netlist).unwrap();
+        let (seeds, fate) = {
+            let channels: Vec<DomainChannel<'_>> = arch
+                .domains()
+                .iter()
+                .map(|db| DomainChannel {
+                    lfsr: db.prpg.lfsr(),
+                    shifter: db.prpg.shifter(),
+                    expander: db.prpg.expander(),
+                    chains: &db.chains,
+                })
+                .collect();
+            let map = ScanLinearMap::build(&channels, shift_cycles);
+            let plan = ReseedPlanner::new(&map).plan(std::slice::from_ref(&cube), &cc, 3);
+            (plan.seeds, plan.fates[0].clone())
+        };
+        assert_eq!(fate, CubeFate::Seeded { group: 0 });
+
+        // Apply the seeds the way a reseed window does and run one load.
+        for (db, seed) in arch.domains_mut().iter_mut().zip(&seeds[0]) {
+            if let Some(seed) = seed {
+                db.prpg.lfsr_mut().set_state(seed.clone());
+            }
+        }
+        let mut selector = InputSelector::new();
+        let load = selector.next_load(&mut arch, shift_cycles).unwrap();
+        let mut chain_idx = 0usize;
+        for db in arch.domains() {
+            for chain in &db.chains {
+                for (i, cell) in chain.cells.iter().enumerate() {
+                    if let Some(want) = cube.value_of(*cell) {
+                        assert_eq!(
+                            load[chain_idx][shift_cycles - 1 - i],
+                            want,
+                            "care bit on cell {cell}"
+                        );
+                    }
+                }
+                chain_idx += 1;
+            }
+        }
     }
 
     #[test]

@@ -1,0 +1,81 @@
+//! Hybrid-BIST reseeding: stored LFSR seeds instead of stored patterns.
+//!
+//! The paper's top-up flow (Table 1, "# of Top-Up Patterns") keeps one
+//! fully specified pattern per random-resistant fault cluster — `scan
+//! cells` bits of on-chip/tester storage each. Hybrid BIST exploits that
+//! a test cube is mostly don't-care: everything between the PRPG seed
+//! and the scan cells is *linear over GF(2)*, so a cube's few care bits
+//! are a small linear system in the seed, and the seed (LFSR-degree
+//! bits, e.g. 19) replaces the whole pattern. The PRPG expands it back
+//! on chip through the very shift plumbing the random phase already
+//! uses; the paper's Boundary-Scan seed-load path (`LBIST_SEED`) is the
+//! delivery mechanism.
+//!
+//! The pieces:
+//!
+//! * [`ScanLinearMap`] — composes LFSR transition-matrix powers with the
+//!   phase-shifter tap rows and space-expander combos into one GF(2) row
+//!   per scan cell: `cell = row · seed`.
+//! * [`Gf2Solver`] — incremental Gaussian elimination with checkpoint/
+//!   rollback, so cube packing can *try* a merge and back out.
+//! * [`ReseedPlanner`] — greedy first-fit packing of test cubes into
+//!   seed groups, with stored-pattern fallback for cubes outside the
+//!   seed space and an infeasibility check against held input values.
+//! * [`SeedSchedule`]/[`SeedWindow`] — the session plan: pseudorandom
+//!   windows interleaved with reseed windows, consumed by
+//!   `lbist_core::SelfTestSession` and by the `bench_reseed` grader.
+//! * [`StorageReport`] — the ledger: seed bits + residual pattern bits
+//!   vs the all-stored baseline.
+//!
+//! # Example: solve one cube into a seed
+//!
+//! ```
+//! use lbist_dft::ScanChains;
+//! use lbist_netlist::{DomainId, Netlist};
+//! use lbist_reseed::{CubeFate, DomainChannel, ReseedPlanner, ScanLinearMap};
+//! use lbist_sim::CompiledCircuit;
+//! use lbist_tpg::{Lfsr, LfsrPoly, PhaseShifter};
+//!
+//! // Ten flip-flops in two chains, fed by a 9-bit PRPG.
+//! let mut nl = Netlist::new("demo");
+//! let a = nl.add_input("a");
+//! let mut prev = a;
+//! let mut cells = Vec::new();
+//! for _ in 0..10 {
+//!     prev = nl.add_dff(prev, DomainId::new(0));
+//!     cells.push(prev);
+//! }
+//! nl.add_output("y", prev);
+//! let chains = ScanChains::stitch(&nl, 2);
+//! let poly = LfsrPoly::maximal(9).unwrap();
+//! let lfsr = Lfsr::with_ones_seed(poly.clone());
+//! let shifter = PhaseShifter::synthesize(&poly, 2, 32);
+//! let map = ScanLinearMap::build(
+//!     &[DomainChannel { lfsr: &lfsr, shifter: &shifter, expander: None,
+//!                       chains: chains.chains() }],
+//!     chains.max_chain_length(),
+//! );
+//!
+//! // A cube demanding cells[0] = 1 and cells[7] = 0.
+//! let mut cube = lbist_atpg::TestCube::new();
+//! cube.assign(cells[0], true);
+//! cube.assign(cells[7], false);
+//!
+//! let cc = CompiledCircuit::compile(&nl).unwrap();
+//! let plan = ReseedPlanner::new(&map).plan(&[cube], &cc, 1);
+//! assert!(matches!(plan.fates[0], CubeFate::Seeded { .. }));
+//! assert!(map.predict_cell(cells[0], &plan.seeds[0]));
+//! assert!(!map.predict_cell(cells[7], &plan.seeds[0]));
+//! assert_eq!(plan.storage.seed_bits, 9); // vs 10 pattern bits stored
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod linmap;
+mod plan;
+mod solver;
+
+pub use linmap::{DomainChannel, ScanLinearMap};
+pub use plan::{CubeFate, ReseedPlan, ReseedPlanner, SeedSchedule, SeedWindow, StorageReport};
+pub use solver::{Gf2Solver, Inconsistent};

@@ -1,0 +1,369 @@
+//! The PRPG output-space linear map: which seed bits reach which cells.
+//!
+//! Everything between the LFSR seed and the scan cells is linear over
+//! GF(2): `k` cycles of LFSR evolution multiply the state by `A^k` (the
+//! transition matrix), a phase-shifter channel is an XOR-tap row, and a
+//! space-expander chain is an XOR of channels. Composing them gives, for
+//! every scan cell, one row vector `r` such that the cell's value after a
+//! full scan load equals `r · s` for the seed `s` the load started from.
+//! Those rows are the equation system a reseeding solver works over.
+
+use lbist_dft::ScanChain;
+use lbist_netlist::NodeId;
+use lbist_tpg::{Gf2Vec, Lfsr, PhaseShifter, SpaceExpander};
+use std::collections::HashMap;
+
+/// One clock domain's TPG channel, borrowed from the architecture: the
+/// LFSR (for its polynomial/transition matrix), the phase shifter, the
+/// optional space expander, and the chains the channel feeds.
+#[derive(Clone, Copy, Debug)]
+pub struct DomainChannel<'a> {
+    /// The domain's PRPG LFSR (only its polynomial matters here).
+    pub lfsr: &'a Lfsr,
+    /// Phase shifter between the LFSR and the chain inputs.
+    pub shifter: &'a PhaseShifter,
+    /// Space expander widening the shifter outputs, if fitted.
+    pub expander: Option<&'a SpaceExpander>,
+    /// The domain's scan chains, architecture order.
+    pub chains: &'a [ScanChain],
+}
+
+/// Per-domain piece of the map.
+#[derive(Clone, Debug)]
+struct DomainMap {
+    degree: usize,
+    /// `(cell, row)`: the cell's post-load value is `row · seed`.
+    cells: Vec<(NodeId, Gf2Vec)>,
+}
+
+/// The complete seed → scan-state linear map of a multi-domain BIST
+/// architecture.
+///
+/// Built once per architecture; row lookup by cell [`NodeId`] is O(1).
+///
+/// # Example
+///
+/// ```
+/// use lbist_netlist::{DomainId, Netlist};
+/// use lbist_dft::ScanChains;
+/// use lbist_reseed::{DomainChannel, ScanLinearMap};
+/// use lbist_tpg::{Lfsr, LfsrPoly, PhaseShifter, SpaceExpander};
+///
+/// let mut nl = Netlist::new("m");
+/// let a = nl.add_input("a");
+/// let mut prev = a;
+/// for _ in 0..6 {
+///     prev = nl.add_dff(prev, DomainId::new(0));
+/// }
+/// nl.add_output("y", prev);
+/// let chains = ScanChains::stitch(&nl, 2);
+///
+/// let poly = LfsrPoly::maximal(9).unwrap();
+/// let lfsr = Lfsr::with_ones_seed(poly.clone());
+/// let shifter = PhaseShifter::synthesize(&poly, 2, 16);
+/// let channel = DomainChannel { lfsr: &lfsr, shifter: &shifter, expander: None,
+///                               chains: chains.chains() };
+/// let map = ScanLinearMap::build(&[channel], 3);
+/// assert_eq!(map.num_cells(), 6);
+/// assert_eq!(map.total_seed_bits(), 9);
+/// ```
+#[derive(Clone, Debug)]
+pub struct ScanLinearMap {
+    domains: Vec<DomainMap>,
+    /// Cell node → (domain index, index into that domain's `cells`).
+    position: HashMap<NodeId, (usize, usize)>,
+    shift_cycles: usize,
+}
+
+impl ScanLinearMap {
+    /// Builds the map for the given per-domain channels and the common
+    /// scan load length (the architecture's `max_chain_length`), matching
+    /// the session semantics: the bit inserted into a chain at shift
+    /// cycle `t` comes to rest in cell `shift_cycles - 1 - t`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `shift_cycles` is 0, if a chain is longer than
+    /// `shift_cycles`, or if a domain without an expander has more chains
+    /// than shifter channels.
+    pub fn build(channels: &[DomainChannel], shift_cycles: usize) -> Self {
+        assert!(shift_cycles > 0, "a scan load shifts at least one cycle");
+        let mut domains = Vec::with_capacity(channels.len());
+        let mut position = HashMap::new();
+        for (d, ch) in channels.iter().enumerate() {
+            let degree = ch.lfsr.len();
+            let a = ch.lfsr.transition_matrix();
+            // One row per chain: the XOR of shifter tap rows that feeds
+            // the chain (the expander combo, or the channel itself).
+            let mut chain_rows: Vec<Gf2Vec> = ch
+                .chains
+                .iter()
+                .enumerate()
+                .map(|(c, chain)| {
+                    assert!(
+                        chain.len() <= shift_cycles,
+                        "chain of {} cells cannot load in {shift_cycles} cycles",
+                        chain.len()
+                    );
+                    match ch.expander {
+                        Some(e) => {
+                            let combo = e.combo(c);
+                            let mut row = Gf2Vec::zeros(degree);
+                            for channel in 0..e.num_channels() {
+                                if combo.get(channel) {
+                                    row.xor_assign(ch.shifter.taps(channel));
+                                }
+                            }
+                            row
+                        }
+                        None => {
+                            assert!(
+                                c < ch.shifter.num_channels(),
+                                "chain {c} has no shifter channel and no expander"
+                            );
+                            ch.shifter.taps(c).clone()
+                        }
+                    }
+                })
+                .collect();
+
+            let mut cells = Vec::new();
+            for t in 0..shift_cycles {
+                let cell_pos = shift_cycles - 1 - t;
+                for (c, chain) in ch.chains.iter().enumerate() {
+                    if let Some(&cell) = chain.cells.get(cell_pos) {
+                        cells.push((cell, chain_rows[c].clone()));
+                    }
+                }
+                // Advance every chain row one cycle: row ← rowᵀ·A, i.e.
+                // the XOR of A's rows selected by the current row's bits.
+                if t + 1 < shift_cycles {
+                    for row in chain_rows.iter_mut() {
+                        let mut next = Gf2Vec::zeros(degree);
+                        for i in 0..degree {
+                            if row.get(i) {
+                                next.xor_assign(a.row(i));
+                            }
+                        }
+                        *row = next;
+                    }
+                }
+            }
+            for (i, &(cell, _)) in cells.iter().enumerate() {
+                let clash = position.insert(cell, (d, i));
+                assert!(clash.is_none(), "cell {cell} stitched into two chains");
+            }
+            domains.push(DomainMap { degree, cells });
+        }
+        ScanLinearMap { domains, position, shift_cycles }
+    }
+
+    /// Number of clock domains mapped.
+    pub fn num_domains(&self) -> usize {
+        self.domains.len()
+    }
+
+    /// Seed width (LFSR degree) of one domain.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `domain` is out of range.
+    pub fn degree(&self, domain: usize) -> usize {
+        self.domains[domain].degree
+    }
+
+    /// Total seed storage for one full reseed (all domains), in bits.
+    pub fn total_seed_bits(&self) -> usize {
+        self.domains.iter().map(|d| d.degree).sum()
+    }
+
+    /// Total scan cells mapped — the storage cost, in bits, of one fully
+    /// specified stored pattern.
+    pub fn num_cells(&self) -> usize {
+        self.domains.iter().map(|d| d.cells.len()).sum()
+    }
+
+    /// The scan-load length the map was built for.
+    pub fn shift_cycles(&self) -> usize {
+        self.shift_cycles
+    }
+
+    /// The seed-space row of a scan cell: `Some((domain, row))` with the
+    /// cell's post-load value equal to `row · seed(domain)`, or `None` if
+    /// the node is not a mapped scan cell.
+    pub fn row_of(&self, cell: NodeId) -> Option<(usize, &Gf2Vec)> {
+        let &(d, i) = self.position.get(&cell)?;
+        Some((d, &self.domains[d].cells[i].1))
+    }
+
+    /// Predicts one cell's post-load value for the given per-domain seeds
+    /// (`None` entries fall back to... nothing — the caller must supply a
+    /// seed for the cell's domain).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the cell is unmapped, the domain's seed is absent, or
+    /// the seed width mismatches.
+    pub fn predict_cell(&self, cell: NodeId, seeds: &[Option<Gf2Vec>]) -> bool {
+        let (d, row) = self.row_of(cell).expect("cell must be a mapped scan cell");
+        let seed = seeds[d].as_ref().expect("the cell's domain needs a seed");
+        row.dot(seed)
+    }
+
+    /// Predicts the whole scan state for fully specified per-domain
+    /// seeds, as `(cell, value)` pairs in load order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `seeds.len() != num_domains()` or widths mismatch.
+    pub fn predict_scan_state(&self, seeds: &[Gf2Vec]) -> Vec<(NodeId, bool)> {
+        assert_eq!(seeds.len(), self.domains.len(), "one seed per domain");
+        let mut out = Vec::with_capacity(self.num_cells());
+        for (dm, seed) in self.domains.iter().zip(seeds) {
+            for (cell, row) in &dm.cells {
+                out.push((*cell, row.dot(seed)));
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lbist_dft::ScanChains;
+    use lbist_netlist::{DomainId, Netlist};
+    use lbist_tpg::{LfsrPoly, Prpg};
+
+    /// Builds a netlist whose FFs split across `domains` clock domains.
+    fn ff_netlist(ffs: usize, domains: u16) -> Netlist {
+        let mut nl = Netlist::new("cells");
+        let a = nl.add_input("a");
+        let mut prev = a;
+        for i in 0..ffs {
+            prev = nl.add_dff(prev, DomainId::new(i as u16 % domains));
+        }
+        nl.add_output("y", prev);
+        nl
+    }
+
+    /// Reference: run the real Prpg scalar pipeline for one load and shift
+    /// the bits into per-chain cell states.
+    fn reference_scan_state(
+        prpg: &mut Prpg,
+        chains: &[ScanChain],
+        shift_cycles: usize,
+    ) -> HashMap<NodeId, bool> {
+        let mut state: HashMap<NodeId, bool> = HashMap::new();
+        for t in 0..shift_cycles {
+            let bits = prpg.step_vector();
+            let cell_pos = shift_cycles - 1 - t;
+            for (c, chain) in chains.iter().enumerate() {
+                if let Some(&cell) = chain.cells.get(cell_pos) {
+                    state.insert(cell, bits[c]);
+                }
+            }
+        }
+        state
+    }
+
+    #[test]
+    fn rows_predict_the_real_prpg_pipeline() {
+        let nl = ff_netlist(23, 1);
+        let chains = ScanChains::stitch(&nl, 4);
+        let poly = LfsrPoly::maximal(13).unwrap();
+        let shifter = PhaseShifter::synthesize(&poly, 3, 32);
+        let expander = SpaceExpander::new(3, 4);
+        let shift_cycles = chains.max_chain_length();
+
+        for seed_word in [1u64, 0x5a5a, 0x1234_5678] {
+            let seed = Gf2Vec::from_fn(13, |i| (seed_word >> i) & 1 == 1 || i == 0);
+            let lfsr = Lfsr::new(poly.clone(), seed.clone());
+            let map = ScanLinearMap::build(
+                &[DomainChannel {
+                    lfsr: &lfsr,
+                    shifter: &shifter,
+                    expander: Some(&expander),
+                    chains: chains.chains(),
+                }],
+                shift_cycles,
+            );
+            let mut prpg = Prpg::with_expander(
+                Lfsr::new(poly.clone(), seed.clone()),
+                shifter.clone(),
+                expander.clone(),
+            );
+            let reference = reference_scan_state(&mut prpg, chains.chains(), shift_cycles);
+            let predicted = map.predict_scan_state(&[seed]);
+            assert_eq!(predicted.len(), reference.len());
+            for (cell, value) in predicted {
+                assert_eq!(value, reference[&cell], "cell {cell} (seed {seed_word:#x})");
+            }
+        }
+    }
+
+    #[test]
+    fn no_expander_taps_channels_directly() {
+        let nl = ff_netlist(9, 1);
+        let chains = ScanChains::stitch(&nl, 3);
+        let poly = LfsrPoly::maximal(9).unwrap();
+        let shifter = PhaseShifter::synthesize(&poly, 3, 8);
+        let shift_cycles = chains.max_chain_length();
+        let lfsr = Lfsr::with_ones_seed(poly.clone());
+        let map = ScanLinearMap::build(
+            &[DomainChannel {
+                lfsr: &lfsr,
+                shifter: &shifter,
+                expander: None,
+                chains: chains.chains(),
+            }],
+            shift_cycles,
+        );
+        let mut prpg = Prpg::new(Lfsr::with_ones_seed(poly), shifter);
+        let reference = reference_scan_state(&mut prpg, chains.chains(), shift_cycles);
+        for (cell, value) in map.predict_scan_state(&[lfsr.state().clone()]) {
+            assert_eq!(value, reference[&cell], "cell {cell}");
+        }
+    }
+
+    #[test]
+    fn multi_domain_rows_are_independent() {
+        let nl = ff_netlist(12, 2);
+        let chains = ScanChains::stitch(&nl, 2);
+        let poly = LfsrPoly::maximal(11).unwrap();
+        let shifter = PhaseShifter::synthesize(&poly, 2, 16);
+        let lfsr_a = Lfsr::with_ones_seed(poly.clone());
+        let seed_b = Gf2Vec::from_fn(11, |i| i % 3 == 0);
+        let lfsr_b = Lfsr::new(poly.clone(), seed_b.clone());
+        let dom0: Vec<ScanChain> =
+            chains.chains().iter().filter(|c| c.domain == DomainId::new(0)).cloned().collect();
+        let dom1: Vec<ScanChain> =
+            chains.chains().iter().filter(|c| c.domain == DomainId::new(1)).cloned().collect();
+        let shift_cycles = chains.max_chain_length();
+        let map = ScanLinearMap::build(
+            &[
+                DomainChannel { lfsr: &lfsr_a, shifter: &shifter, expander: None, chains: &dom0 },
+                DomainChannel { lfsr: &lfsr_b, shifter: &shifter, expander: None, chains: &dom1 },
+            ],
+            shift_cycles,
+        );
+        assert_eq!(map.num_domains(), 2);
+        assert_eq!(map.total_seed_bits(), 22);
+        assert_eq!(map.num_cells(), 12);
+        // Each domain's prediction matches its own scalar pipeline.
+        let mut prpg0 = Prpg::new(Lfsr::with_ones_seed(poly.clone()), shifter.clone());
+        let ref0 = reference_scan_state(&mut prpg0, &dom0, shift_cycles);
+        let mut prpg1 = Prpg::new(Lfsr::new(poly, seed_b.clone()), shifter);
+        let ref1 = reference_scan_state(&mut prpg1, &dom1, shift_cycles);
+        for (cell, value) in map.predict_scan_state(&[lfsr_a.state().clone(), seed_b]) {
+            let expect = ref0.get(&cell).or_else(|| ref1.get(&cell)).expect("cell mapped");
+            assert_eq!(value, *expect, "cell {cell}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one cycle")]
+    fn zero_shift_cycles_rejected() {
+        ScanLinearMap::build(&[], 0);
+    }
+}

@@ -79,6 +79,18 @@ impl Prpg {
         &mut self.lfsr
     }
 
+    /// The phase shifter between the LFSR and the chains — the linear
+    /// network a reseeding solver must compose with the LFSR transition
+    /// matrix to know which seed bits reach which scan cells.
+    pub fn shifter(&self) -> &PhaseShifter {
+        &self.shifter
+    }
+
+    /// The space expander widening the shifter outputs, if one is fitted.
+    pub fn expander(&self) -> Option<&SpaceExpander> {
+        self.expander.as_ref()
+    }
+
     /// Produces this cycle's chain input bits and advances the LFSR.
     pub fn step_vector(&mut self) -> Vec<bool> {
         let channel_bits = self.shifter.outputs(self.lfsr.state());

@@ -19,9 +19,10 @@
 //! | [`tpg`] | LFSR/PRPG, phase shifters, space expanders, MISRs, compactors |
 //! | [`fault`] | stuck-at & transition faults, collapsing, PPSFP, LOC grading |
 //! | [`dft`] | X-bounding, IO wrappers, scan stitching, test point insertion |
-//! | [`atpg`] | PODEM and the top-up pattern flow |
+//! | [`atpg`] | PODEM (emitting test cubes) and the top-up pattern flow |
+//! | [`reseed`] | hybrid-BIST reseeding: GF(2) seed solving, cube packing, seed schedules |
 //! | [`clock`] | clock gating block, Fig. 2 waveforms, Fig. 3 skew analysis |
-//! | [`core`] | the BIST architecture, controller, sessions, TAP |
+//! | [`core`] | the BIST architecture, controller, sessions (seed-scheduled too), TAP |
 //! | [`cores`] | synthetic CPU-like IP cores matching Table 1's profiles |
 //!
 //! # Quickstart
@@ -59,5 +60,6 @@ pub use lbist_cores as cores;
 pub use lbist_dft as dft;
 pub use lbist_fault as fault;
 pub use lbist_netlist as netlist;
+pub use lbist_reseed as reseed;
 pub use lbist_sim as sim;
 pub use lbist_tpg as tpg;

@@ -366,3 +366,93 @@ proptest! {
         prop_assert_eq!(!(a & b), !a | !b); // De Morgan holds in Kleene logic
     }
 }
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Hybrid-BIST reseeding through the facade: a seed the GF(2) solver
+    /// produces for a random cube, expanded by the real PRPG → phase
+    /// shifter → expander → shift pipeline, reproduces every care bit;
+    /// stored fallbacks keep the care bits in the pattern instead.
+    #[test]
+    fn reseed_solver_round_trips_through_real_pipeline(
+        ffs in 6usize..30,
+        n_chains in 1usize..5,
+        separation in 1u64..64,
+        care in proptest::collection::vec((0usize..1000, proptest::prelude::any::<bool>()), 1..14),
+    ) {
+        use lbist::dft::ScanChains;
+        use lbist::reseed::{CubeFate, DomainChannel, ReseedPlanner, ScanLinearMap};
+        use lbist::tpg::{LfsrPoly, Prpg, SpaceExpander};
+
+        let mut nl = Netlist::new("reseed-prop");
+        let a = nl.add_input("a");
+        let mut prev = a;
+        let mut cells = Vec::new();
+        for _ in 0..ffs {
+            prev = nl.add_dff(prev, DomainId::new(0));
+            cells.push(prev);
+        }
+        nl.add_output("y", prev);
+        let chains = ScanChains::stitch(&nl, n_chains.min(ffs));
+        let n_chains = chains.chains().len();
+        let poly = LfsrPoly::maximal(13).unwrap();
+        let mut channels = 1usize;
+        while channels + channels * (channels - 1) / 2 < n_chains {
+            channels += 1;
+        }
+        let shifter = PhaseShifter::synthesize(&poly, channels, separation);
+        let expander = SpaceExpander::new(channels, n_chains);
+        let shift_cycles = chains.max_chain_length();
+        let lfsr = Lfsr::with_ones_seed(poly.clone());
+        let map = ScanLinearMap::build(
+            &[DomainChannel {
+                lfsr: &lfsr,
+                shifter: &shifter,
+                expander: Some(&expander),
+                chains: chains.chains(),
+            }],
+            shift_cycles,
+        );
+
+        let mut cube = lbist::atpg::TestCube::new();
+        for &(sel, value) in &care {
+            cube.assign(cells[sel % cells.len()], value);
+        }
+        let cc = CompiledCircuit::compile(&nl).unwrap();
+        let plan = ReseedPlanner::new(&map).plan(std::slice::from_ref(&cube), &cc, 0xCAFE);
+
+        match &plan.fates[0] {
+            CubeFate::Seeded { group } => {
+                let seed = plan.seeds[*group][0].clone().unwrap();
+                // Real pipeline: scalar PRPG stepping, bits shifted into
+                // chain cells exactly as the session loads them.
+                let mut prpg = Prpg::with_expander(
+                    Lfsr::new(poly.clone(), seed),
+                    shifter.clone(),
+                    expander.clone(),
+                );
+                let mut state = std::collections::HashMap::new();
+                for t in 0..shift_cycles {
+                    let bits = prpg.step_vector();
+                    for (c, chain) in chains.chains().iter().enumerate() {
+                        if let Some(&cell) = chain.cells.get(shift_cycles - 1 - t) {
+                            state.insert(cell, bits[c]);
+                        }
+                    }
+                }
+                for &(cell, want) in cube.assignments() {
+                    prop_assert_eq!(state[&cell], want, "care bit on {}", cell);
+                }
+            }
+            CubeFate::Stored { index } => {
+                let pattern = &plan.stored[*index];
+                for &(cell, want) in cube.assignments() {
+                    let pos = cc.dffs().iter().position(|&n| n == cell).unwrap();
+                    prop_assert_eq!(pattern.ff_values[pos], want);
+                }
+            }
+            CubeFate::Infeasible => prop_assert!(false, "scan-only cube cannot be infeasible"),
+        }
+    }
+}
