@@ -43,8 +43,28 @@ impl fmt::Display for TopUpReport {
     }
 }
 
+/// Minimum PODEM targets per worker shard before another pool worker is
+/// engaged: below this, shard dispatch overhead rivals the search work.
+/// Explicit [`TopUpAtpg::set_threads`] budgets are honoured exactly.
+const MIN_SHARD_TARGETS: usize = 4;
+
 /// Top-up ATPG: PODEM per surviving fault with dynamic compaction by fault
 /// dropping.
+///
+/// # Parallel generation
+///
+/// PODEM outcomes are a pure function of (circuit, observation set,
+/// backtrack limit, fault) — [`Podem::generate`] resets all search
+/// state per call — so each pass **speculatively generates the
+/// outcomes of every live target in parallel** on the `lbist-exec`
+/// pool (one `Podem` engine per worker shard), then a serial replay
+/// walks the targets in order applying the exact skip rules, random
+/// fill and 64-pattern flush batching of the serial algorithm. The
+/// replay consumes precomputed outcomes where they exist and generates
+/// on demand where they don't, so parallel and serial runs produce
+/// **byte-identical** [`TopUpReport`]s (patterns, cubes and counts —
+/// enforced by test). Speculation only costs work for targets an
+/// earlier pattern of the same pass happens to catch.
 ///
 /// # Example
 ///
@@ -75,17 +95,51 @@ pub struct TopUpAtpg<'a> {
     /// Pins held at fixed values in every generated pattern (e.g.
     /// `test_mode = 1`).
     pinned: Vec<(NodeId, bool)>,
+    /// Worker budget for speculative generation (1 = fully serial).
+    threads: usize,
+    /// `true` until [`TopUpAtpg::set_threads`]: auto mode also respects
+    /// [`MIN_SHARD_TARGETS`].
+    threads_auto: bool,
 }
 
 impl<'a> TopUpAtpg<'a> {
-    /// Creates the flow over the given observation set.
+    /// Creates the flow over the given observation set. Generation uses
+    /// the shared `lbist-exec` pool; see [`TopUpAtpg::set_threads`] and
+    /// [`TopUpAtpg::serial`].
     pub fn new(cc: &'a CompiledCircuit, observed: Vec<NodeId>) -> Self {
-        TopUpAtpg { cc, observed, backtrack_limit: 512, pinned: Vec::new() }
+        TopUpAtpg {
+            cc,
+            observed,
+            backtrack_limit: 512,
+            pinned: Vec::new(),
+            threads: lbist_exec::current_num_threads(),
+            threads_auto: true,
+        }
     }
 
     /// Sets the PODEM backtrack limit.
     pub fn set_backtrack_limit(&mut self, limit: usize) -> &mut Self {
         self.backtrack_limit = limit;
+        self
+    }
+
+    /// Sets the worker budget for speculative PODEM generation (`1` =
+    /// serial). Reports are byte-identical at every budget.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0`.
+    pub fn set_threads(&mut self, n: usize) -> &mut Self {
+        assert!(n > 0, "at least one generation thread is required");
+        self.threads = n;
+        self.threads_auto = false;
+        self
+    }
+
+    /// Pins generation to the calling thread (the determinism escape
+    /// hatch — though parallel runs are byte-identical anyway).
+    pub fn serial(mut self) -> Self {
+        self.set_threads(1);
         self
     }
 
@@ -133,13 +187,55 @@ impl<'a> TopUpAtpg<'a> {
         for (pass, limit) in limits.into_iter().enumerate() {
             let last = pass + 1 == n_passes;
             podem.set_backtrack_limit(limit);
+
+            // Speculative parallel generation: every target still live at
+            // pass start (unresolved and undetected as of the last flush)
+            // gets its outcome computed up front on the pool, sharded
+            // with one PODEM engine per worker. Outcomes are pure per
+            // fault, so the serial replay below consumes them in target
+            // order with identical results.
+            let candidates: Vec<u32> = (0..targets.len() as u32)
+                .filter(|&i| !resolved[i as usize] && sim.detections()[i as usize] == 0)
+                .collect();
+            let workers = if self.threads_auto {
+                self.threads.min(candidates.len().div_ceil(MIN_SHARD_TARGETS)).max(1)
+            } else {
+                self.threads.min(candidates.len()).max(1)
+            };
+            let mut outcome_of: Vec<Option<AtpgOutcome>> = vec![None; targets.len()];
+            if workers > 1 {
+                let mut shard_out: Vec<Option<AtpgOutcome>> = vec![None; candidates.len()];
+                let shard = candidates.len().div_ceil(workers);
+                let cc = self.cc;
+                let observed: &[NodeId] = &self.observed;
+                lbist_exec::scope(|s| {
+                    for (idx_shard, out_shard) in
+                        candidates.chunks(shard).zip(shard_out.chunks_mut(shard))
+                    {
+                        s.spawn(move |_| {
+                            let mut engine = Podem::new(cc, observed.to_vec());
+                            engine.set_backtrack_limit(limit);
+                            for (&t, slot) in idx_shard.iter().zip(out_shard.iter_mut()) {
+                                *slot = Some(engine.generate(&targets[t as usize]));
+                            }
+                        });
+                    }
+                });
+                for (&t, out) in candidates.iter().zip(shard_out) {
+                    outcome_of[t as usize] = out;
+                }
+            }
+
             for (idx, fault) in targets.iter().enumerate() {
                 // Skip verdicts already reached and faults a previous
                 // top-up pattern already caught.
                 if resolved[idx] || sim.detections()[idx] > 0 {
                     continue;
                 }
-                match podem.generate(fault) {
+                // Precomputed outcome when the parallel pass made one,
+                // on-demand generation otherwise (the serial path).
+                let outcome = outcome_of[idx].take().unwrap_or_else(|| podem.generate(fault));
+                match outcome {
                     AtpgOutcome::Test(mut cube) => {
                         resolved[idx] = true;
                         for &(node, value) in &self.pinned {
@@ -264,6 +360,40 @@ mod tests {
         let report = atpg.run(&targets, 5);
         for p in &report.patterns {
             assert!(p.pi_values[0], "test_mode must stay pinned high");
+        }
+    }
+
+    /// The headline determinism contract of parallel top-up: every
+    /// worker budget produces the byte-identical report — same patterns
+    /// in the same order, same cubes, same verdict counters.
+    #[test]
+    fn parallel_and_serial_top_up_reports_are_byte_identical() {
+        let nl = resistant();
+        let cc = CompiledCircuit::compile(&nl).unwrap();
+        let universe = FaultUniverse::stuck_at(&nl);
+        let targets = universe.representatives();
+
+        let run = |threads: usize| {
+            let mut atpg = TopUpAtpg::new(&cc, StuckAtSim::observe_all_captures(&cc));
+            if threads == 1 {
+                atpg = atpg.serial();
+            } else {
+                atpg.set_threads(threads);
+            }
+            // A low limit forces the two-pass abort-rescheduling path.
+            atpg.set_backtrack_limit(64);
+            atpg.run(&targets, 29)
+        };
+
+        let serial = run(1);
+        assert!(!serial.patterns.is_empty());
+        for threads in [2, 3, 8] {
+            let parallel = run(threads);
+            assert_eq!(parallel.patterns, serial.patterns, "{threads}-thread patterns differ");
+            assert_eq!(parallel.cubes, serial.cubes, "{threads}-thread cubes differ");
+            assert_eq!(parallel.faults_detected, serial.faults_detected);
+            assert_eq!(parallel.untestable, serial.untestable);
+            assert_eq!(parallel.aborted, serial.aborted);
         }
     }
 

@@ -1,19 +1,23 @@
-//! Fault-simulation throughput benchmark: serial vs rayon-sharded PPSFP
-//! and launch-on-capture transition grading on a generated CPU core.
+//! Fault-simulation throughput benchmark: serial vs pool-sharded PPSFP
+//! and launch-on-capture transition grading on a generated CPU core,
+//! plus a worker-count sweep and a lane-width PRPG-fill comparison.
 //!
 //! Emits `BENCH_faultsim.json` (in the working directory) with
-//! patterns/sec, faults-graded/sec and the serial-vs-parallel speedup —
-//! the perf baseline later PRs compare against.
+//! patterns/sec, faults-graded/sec, the serial-vs-parallel speedup, a
+//! 1/2/4/max threads sweep (pool-vs-scoped-spawn visibility) and the
+//! 64/128/256-lane fill throughput — the perf baseline later PRs
+//! compare against.
 //!
 //! ```text
 //! cargo run --release --bin bench_faultsim [--scale N] [--batches N]
 //!           [--threads N] [--out PATH]
 //! ```
 
-use lbist_bench::{arg_value, cli_thread_budget, fill_frame_from_prpg};
+use lbist_bench::{arg_value, cli_thread_budget, fill_frame_from_prpg, fill_frames_from_prpg_wide};
 use lbist_core::{StumpsArchitecture, StumpsConfig};
 use lbist_cores::{CoreProfile, CpuCoreGenerator};
 use lbist_dft::{prepare_core, PrepConfig, TpiMethod};
+use lbist_exec::LaneWord;
 use lbist_fault::{CaptureWindow, CoverageReport, FaultUniverse, StuckAtSim, TransitionSim};
 use lbist_sim::CompiledCircuit;
 use std::fmt::Write as _;
@@ -143,6 +147,60 @@ fn main() {
     println!("transition parallel ({parallel_threads} threads)...");
     let tr_parallel = transition_run(parallel_threads);
 
+    // Worker-count sweep (stuck-at): how faults-graded/s scales with the
+    // shard budget on the persistent pool.
+    let mut sweep_budgets = vec![1usize, 2, 4, parallel_threads];
+    sweep_budgets.sort_unstable();
+    sweep_budgets.dedup();
+    let sweep: Vec<(usize, RunStats)> = sweep_budgets
+        .into_iter()
+        .map(|t| {
+            println!("stuck-at sweep ({t} threads)...");
+            (t, stuck_run(t))
+        })
+        .collect();
+    for (t, stats) in &sweep {
+        assert_eq!(
+            stats.coverage, stuck_serial.coverage,
+            "{t}-thread sweep coverage must be bit-identical"
+        );
+    }
+
+    // Lane-width PRPG fill throughput: identical pattern streams filled
+    // 64, 128 and 256 lanes per pass (bit-identity is enforced by the
+    // lane_width_equivalence property tests; here we time it).
+    struct FillStats {
+        seconds: f64,
+        patterns: u64,
+    }
+    let fill_passes_64 = (batches.max(8) * 16).next_multiple_of(4);
+    let fill_64 = {
+        let mut arch = StumpsArchitecture::build(&core, &StumpsConfig::default());
+        let mut frame = cc.new_frame();
+        let t0 = Instant::now();
+        for _ in 0..fill_passes_64 {
+            fill_frame_from_prpg(&mut arch, &core, &cc, &mut frame);
+        }
+        FillStats { seconds: t0.elapsed().as_secs_f64(), patterns: fill_passes_64 as u64 * 64 }
+    };
+    fn fill_wide<W: LaneWord>(
+        core: &lbist_dft::BistReadyCore,
+        cc: &CompiledCircuit,
+        total_patterns: u64,
+    ) -> FillStats {
+        let mut arch = StumpsArchitecture::build(core, &StumpsConfig::default());
+        let mut frames: Vec<Vec<u64>> = (0..W::WORDS).map(|_| cc.new_frame()).collect();
+        let passes = total_patterns / W::LANES as u64;
+        let t0 = Instant::now();
+        for _ in 0..passes {
+            fill_frames_from_prpg_wide::<W>(&mut arch, core, &mut frames);
+        }
+        FillStats { seconds: t0.elapsed().as_secs_f64(), patterns: passes * W::LANES as u64 }
+    }
+    println!("PRPG fill sweep (64/128/256 lanes)...");
+    let fill_128 = fill_wide::<u128>(&core, &cc, fill_64.patterns);
+    let fill_256 = fill_wide::<[u64; 4]>(&core, &cc, fill_64.patterns);
+
     // The determinism contract, enforced at bench time too.
     assert_eq!(
         stuck_serial.coverage, stuck_parallel.coverage,
@@ -181,6 +239,26 @@ fn main() {
     let _ = writeln!(json, "    \"parallel\": {},", json_run(&tr_parallel));
     let _ = writeln!(json, "    \"speedup\": {tr_speedup:.3},");
     let _ = writeln!(json, "    \"coverage_identical\": true");
+    let _ = writeln!(json, "  }},");
+    let _ = writeln!(json, "  \"threads_sweep\": [");
+    for (i, (t, stats)) in sweep.iter().enumerate() {
+        let comma = if i + 1 < sweep.len() { "," } else { "" };
+        let _ =
+            writeln!(json, "    {{\"threads\": {t}, \"stuck_at\": {}}}{comma}", json_run(stats));
+    }
+    let _ = writeln!(json, "  ],");
+    let json_fill = |f: &FillStats| {
+        format!(
+            "{{\"seconds\": {:.6}, \"patterns\": {}, \"patterns_per_sec\": {:.1}}}",
+            f.seconds,
+            f.patterns,
+            f.patterns as f64 / f.seconds.max(1e-9)
+        )
+    };
+    let _ = writeln!(json, "  \"prpg_fill\": {{");
+    let _ = writeln!(json, "    \"lanes_64\": {},", json_fill(&fill_64));
+    let _ = writeln!(json, "    \"lanes_128\": {},", json_fill(&fill_128));
+    let _ = writeln!(json, "    \"lanes_256\": {}", json_fill(&fill_256));
     let _ = writeln!(json, "  }}");
     let _ = writeln!(json, "}}");
 
@@ -195,6 +273,15 @@ fn main() {
         "transition: {:.0} patterns/s serial, {:.0} patterns/s parallel ({tr_speedup:.2}x)",
         tr_serial.patterns_per_sec(),
         tr_parallel.patterns_per_sec()
+    );
+    let sweep_summary: Vec<String> =
+        sweep.iter().map(|(t, s)| format!("{t}t: {:.0}", s.faults_graded_per_sec())).collect();
+    println!("stuck-at sweep (faults-graded/s): {}", sweep_summary.join(", "));
+    println!(
+        "prpg fill: {:.0}/{:.0}/{:.0} patterns/s at 64/128/256 lanes",
+        fill_64.patterns as f64 / fill_64.seconds.max(1e-9),
+        fill_128.patterns as f64 / fill_128.seconds.max(1e-9),
+        fill_256.patterns as f64 / fill_256.seconds.max(1e-9),
     );
     println!("wrote {out_path}");
 }

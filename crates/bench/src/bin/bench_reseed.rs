@@ -32,7 +32,9 @@ use lbist_core::{StumpsArchitecture, StumpsConfig};
 use lbist_cores::{CoreProfile, CpuCoreGenerator};
 use lbist_dft::{prepare_core, BistReadyCore, PrepConfig, TpiMethod};
 use lbist_fault::{CoverageReport, StuckAtSim};
-use lbist_reseed::{DomainChannel, ReseedPlan, ReseedPlanner, ScanLinearMap, SeedWindow};
+use lbist_reseed::{
+    DomainChannel, PackStrategy, ReseedPlan, ReseedPlanner, ScanLinearMap, SeedWindow,
+};
 use lbist_sim::CompiledCircuit;
 use std::fmt::Write as _;
 
@@ -55,6 +57,10 @@ struct FlowResult {
     fc2_seed: CoverageReport,
     baseline_bits: usize,
     plan: ReseedPlan,
+    /// Seed count / seed bits of the same cubes packed first-fit — the
+    /// baseline the best-fit packer must not exceed.
+    first_fit_seeds: usize,
+    first_fit_seed_bits: usize,
 }
 
 /// One full FC2 flow: shared random phase, top-up cubes, then the
@@ -122,7 +128,7 @@ fn run_flow(
 
     // ---- Hybrid tail: pack the same cubes into seeds.
     let shift_cycles = arch.max_chain_length().max(1);
-    let plan: ReseedPlan = {
+    let (plan, first_fit_seeds, first_fit_seed_bits) = {
         let channels: Vec<DomainChannel<'_>> = arch
             .domains()
             .iter()
@@ -141,7 +147,12 @@ fn run_flow(
         // Stored fallbacks reuse the baseline's filled patterns verbatim,
         // so the two tails differ only where cubes became seeds.
         planner.use_fallback_patterns(&report.patterns);
-        planner.plan(&report.cubes, cc, cfg.gen_seed ^ 0xC0DE)
+        let plan = planner.plan(&report.cubes, cc, cfg.gen_seed ^ 0xC0DE);
+        // The first-fit baseline over the identical cubes: best-fit must
+        // pack at least as tightly (asserted by the caller).
+        planner.set_strategy(PackStrategy::FirstFit);
+        let ff = planner.plan(&report.cubes, cc, cfg.gen_seed ^ 0xC0DE);
+        (plan, ff.storage.seeds, ff.storage.seed_bits)
     };
 
     // The schedule's reseed windows, applied through the live PRPGs the
@@ -224,6 +235,8 @@ fn run_flow(
         fc2_seed,
         baseline_bits: report.patterns.len() * plan.storage.bits_per_pattern,
         plan,
+        first_fit_seeds,
+        first_fit_seed_bits,
     }
 }
 
@@ -264,8 +277,11 @@ fn json_variant(r: &FlowResult) -> String {
     let _ = writeln!(json, "      \"fc2\": {}", json_coverage(&r.fc2_base));
     let _ = writeln!(json, "    }},");
     let _ = writeln!(json, "    \"reseed\": {{");
+    let _ = writeln!(json, "      \"packing\": \"best_fit\",");
     let _ = writeln!(json, "      \"seeds\": {},", storage.seeds);
     let _ = writeln!(json, "      \"seed_bits\": {},", storage.seed_bits);
+    let _ = writeln!(json, "      \"first_fit_seeds\": {},", r.first_fit_seeds);
+    let _ = writeln!(json, "      \"first_fit_seed_bits\": {},", r.first_fit_seed_bits);
     let _ = writeln!(json, "      \"seeded_cubes\": {},", storage.seeded_cubes);
     let _ = writeln!(json, "      \"residual_patterns\": {},", storage.stored_patterns);
     let _ = writeln!(json, "      \"residual_bits\": {},", storage.stored_pattern_bits);
@@ -389,6 +405,18 @@ fn main() {
                 r.baseline_bits
             );
         }
+        // The packing satellite's contract: best-fit never needs more
+        // seeds than the first-fit baseline on the bench cores.
+        println!(
+            "packing: best-fit {} seeds vs first-fit {} seeds",
+            storage.seeds, r.first_fit_seeds
+        );
+        assert!(
+            storage.seeds <= r.first_fit_seeds,
+            "{name}: best-fit used more seeds than first-fit: {} > {}",
+            storage.seeds,
+            r.first_fit_seeds
+        );
         results.push((name, r));
     }
 

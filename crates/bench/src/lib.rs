@@ -67,6 +67,47 @@ pub fn fill_frame_from_prpg(
     }
 }
 
+/// The lane-width-generic batch fill: one PRPG pass produces
+/// `W::LANES` consecutive scan loads, delivered as `W::WORDS` standard
+/// 64-lane frames (`frames[k]` carries loads `64k..64k+63`). By the
+/// [`LaneWord`](lbist_exec::LaneWord) sub-word layout this is
+/// **bit-identical to `W::WORDS` consecutive [`fill_frame_from_prpg`]
+/// calls** — and to the scalar per-lane reference — on any
+/// architecture (enforced by property tests over random cores), while
+/// amortising the per-batch lane fork and phase-shifter evaluation
+/// across 2–4× more patterns.
+///
+/// # Panics
+///
+/// Panics if `frames.len() != W::WORDS`.
+pub fn fill_frames_from_prpg_wide<W: lbist_exec::LaneWord>(
+    arch: &mut StumpsArchitecture,
+    core: &BistReadyCore,
+    frames: &mut [Vec<u64>],
+) {
+    assert_eq!(frames.len(), W::WORDS, "one 64-lane frame per LaneWord sub-word");
+    for frame in frames.iter_mut() {
+        for w in frame.iter_mut() {
+            *w = 0;
+        }
+        frame[core.test_mode().index()] = !0;
+    }
+    let shift_cycles = arch.max_chain_length().max(1);
+    for db in arch.domains_mut() {
+        let chains = &db.chains;
+        db.prpg.fill_lanes_wide::<W>(shift_cycles, |cycle, words| {
+            let cell_pos = shift_cycles - 1 - cycle;
+            for (chain, &word) in chains.iter().zip(words) {
+                if let Some(&cell) = chain.cells.get(cell_pos) {
+                    for (k, frame) in frames.iter_mut().enumerate() {
+                        frame[cell.index()] = word.word(k);
+                    }
+                }
+            }
+        });
+    }
+}
+
 /// Fills a single lane of `frame` with one PRPG scan load, stepping every
 /// domain's PRPG exactly one load's worth of cycles — the scalar
 /// counterpart of [`fill_frame_from_prpg`] for streams whose loads are not
@@ -186,6 +227,11 @@ pub fn run_table1_flow(
     let survivors = sim.undetected();
     let mut atpg = TopUpAtpg::new(&cc, StuckAtSim::observe_all_captures(&cc));
     atpg.pin(core.test_mode(), true);
+    // The same CLI budget steers speculative PODEM generation (reports
+    // are byte-identical at any budget).
+    if let Some(threads) = cli_thread_budget() {
+        atpg.set_threads(threads);
+    }
     let report = atpg.run(&survivors, seed ^ 0xA7B6);
     let testable = fc1.total - report.untestable;
     let fc2 = (fc1.detected + report.faults_detected) as f64 / testable.max(1) as f64 * 100.0;

@@ -97,6 +97,13 @@ pub struct SelfTestSession<'a> {
     core: &'a BistReadyCore,
     cc: CompiledCircuit,
     arch: StumpsArchitecture,
+    /// Kept so verdict runs can build an identical sibling session.
+    stumps: StumpsConfig,
+    /// Lazily-built identical session reused by every
+    /// [`SelfTestSession::run_with_verdict`] call, so repeated verdicts
+    /// (e.g. a per-fault coverage audit) compile the netlist once, not
+    /// per call.
+    sibling: Option<Box<SelfTestSession<'a>>>,
 }
 
 impl<'a> SelfTestSession<'a> {
@@ -109,7 +116,7 @@ impl<'a> SelfTestSession<'a> {
     pub fn new(core: &'a BistReadyCore, config: &StumpsConfig) -> Self {
         let cc = CompiledCircuit::compile(&core.netlist).expect("BIST-ready core compiles");
         let arch = StumpsArchitecture::build(core, config);
-        SelfTestSession { core, cc, arch }
+        SelfTestSession { core, cc, arch, stumps: config.clone(), sibling: None }
     }
 
     /// The architecture in use.
@@ -278,17 +285,31 @@ impl<'a> SelfTestSession<'a> {
         }
     }
 
-    /// Golden + test convenience: runs fault-free, then with `fault`
+    /// Golden + test convenience: runs fault-free and with `fault`
     /// injected, and returns (golden, faulty, pass).
+    ///
+    /// The two runs are independent full sessions (each starts from
+    /// [`StumpsArchitecture::reset`]), so they execute **in parallel**
+    /// on the `lbist-exec` pool: the faulty run uses a cached sibling
+    /// session (built once from the same core and STUMPS configuration,
+    /// reused across verdict calls) while the golden run reuses this
+    /// one. Results are bit-identical to running them back to back
+    /// (enforced by test).
     pub fn run_with_verdict(
         &mut self,
         cfg: &SessionConfig,
         fault: Fault,
     ) -> (SessionResult, SessionResult, bool) {
-        let golden = self.run(cfg);
         let mut faulty_cfg = cfg.clone();
         faulty_cfg.injected_fault = Some(fault);
-        let faulty = self.run(&faulty_cfg);
+        let mut sibling = self
+            .sibling
+            .take()
+            .unwrap_or_else(|| Box::new(SelfTestSession::new(self.core, &self.stumps)));
+        let sibling_ref = &mut *sibling;
+        let (golden, faulty) =
+            lbist_exec::join(|| self.run(cfg), move || sibling_ref.run(&faulty_cfg));
+        self.sibling = Some(sibling);
         let pass = faulty.matches(&golden);
         (golden, faulty, pass)
     }
@@ -409,6 +430,35 @@ mod tests {
         // A stuck-at on a captured net must corrupt the signature (the
         // chance of aliasing through >=19-bit MISRs is ~2^-19).
         assert!(!pass, "defective core must fail signature comparison");
+    }
+
+    /// The parallel verdict is bit-identical to running golden and
+    /// faulty sessions back to back on one session object.
+    #[test]
+    fn parallel_verdict_matches_sequential_runs() {
+        let c = core();
+        let cfg = SessionConfig { num_patterns: 10, ..Default::default() };
+        let ff = c.netlist.dffs()[1];
+        let site = c.netlist.fanins(ff)[0];
+        let fault = Fault::stem(site, FaultKind::StuckAt1);
+
+        let mut sequential = SelfTestSession::new(&c, &StumpsConfig::default());
+        let seq_golden = sequential.run(&cfg);
+        let mut faulty_cfg = cfg.clone();
+        faulty_cfg.injected_fault = Some(fault);
+        let seq_faulty = sequential.run(&faulty_cfg);
+
+        let mut joined = SelfTestSession::new(&c, &StumpsConfig::default());
+        let (golden, faulty, pass) = joined.run_with_verdict(&cfg, fault);
+        assert_eq!(golden, seq_golden);
+        assert_eq!(faulty, seq_faulty);
+        assert_eq!(pass, seq_faulty.matches(&seq_golden));
+        // A second verdict reuses the cached sibling session and must
+        // reproduce the same results bit for bit.
+        let (golden2, faulty2, pass2) = joined.run_with_verdict(&cfg, fault);
+        assert_eq!(golden2, seq_golden);
+        assert_eq!(faulty2, seq_faulty);
+        assert_eq!(pass2, pass);
     }
 
     #[test]

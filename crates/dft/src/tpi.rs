@@ -19,6 +19,15 @@ use lbist_sim::CompiledCircuit;
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 
+/// Minimum surviving faults per worker shard when profiling fault
+/// propagation on the pool (per-fault event-driven propagation is
+/// moderately heavy).
+const MIN_SHARD_FAULTS: usize = 16;
+
+/// Minimum candidate sites per worker shard when scoring the greedy
+/// cover (a gain count is cheap, so shards must be wide to pay off).
+const MIN_SHARD_CANDIDATES: usize = 64;
+
 /// A selected observation-point plan: which nets to tap.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub struct TestPointInsertion {
@@ -37,6 +46,13 @@ impl TestPointInsertion {
     /// phase; `sample_batches` 64-pattern random batches are used to build
     /// each fault's propagation profile. Greedy set cover then picks up to
     /// `budget` sites.
+    ///
+    /// Both expensive stages run on the `lbist-exec` pool: per-batch
+    /// fault propagation is sharded over the survivors (each fault's
+    /// reach profile is owned by one worker), and each greedy round
+    /// scores the candidate sites in parallel chunks reduced under a
+    /// total order (max gain, then lowest node id) — so the selection
+    /// is bit-identical at any worker count.
     ///
     /// Sites already observed (D pins, PO nets) are never selected — an
     /// observation point there would be redundant.
@@ -64,10 +80,29 @@ impl TestPointInsertion {
                 frame[x.index()] = 0;
             }
             cc.eval2(&mut frame);
-            for (fi, fault) in undetected.iter().enumerate() {
-                lbist_fault::propagate_fault(cc, fault, &frame, |node, _diff| {
-                    if !already[node.index()] && cc.kind(node) != GateKind::Output {
-                        reach[fi].push(node.as_u32());
+            let profile_shard =
+                |faults: &[lbist_fault::Fault], out: &mut [Vec<u32>], frame: &[u64]| {
+                    for (fault, r) in faults.iter().zip(out.iter_mut()) {
+                        lbist_fault::propagate_fault(cc, fault, frame, |node, _diff| {
+                            if !already[node.index()] && cc.kind(node) != GateKind::Output {
+                                r.push(node.as_u32());
+                            }
+                        });
+                    }
+                };
+            let workers = lbist_exec::current_num_threads()
+                .min(undetected.len().div_ceil(MIN_SHARD_FAULTS))
+                .max(1);
+            if workers == 1 {
+                profile_shard(undetected, &mut reach, &frame);
+            } else {
+                let shard = undetected.len().div_ceil(workers);
+                let frame_ro: &[u64] = &frame;
+                let profile_shard = &profile_shard;
+                lbist_exec::scope(|s| {
+                    for (f_shard, r_shard) in undetected.chunks(shard).zip(reach.chunks_mut(shard))
+                    {
+                        s.spawn(move |_| profile_shard(f_shard, r_shard, frame_ro));
                     }
                 });
             }
@@ -77,35 +112,32 @@ impl TestPointInsertion {
             r.dedup();
         }
 
-        // Invert to candidate -> fault indices.
-        let mut cand: std::collections::HashMap<u32, Vec<u32>> = std::collections::HashMap::new();
+        // Invert to candidate -> fault indices, node-sorted so chunk
+        // order (and thus the tie-break) is deterministic.
+        let mut by_node: std::collections::HashMap<u32, Vec<u32>> =
+            std::collections::HashMap::new();
         for (fi, r) in reach.iter().enumerate() {
             for &node in r {
-                cand.entry(node).or_default().push(fi as u32);
+                by_node.entry(node).or_default().push(fi as u32);
             }
         }
+        let mut cand: Vec<(u32, Vec<u32>)> = by_node.into_iter().collect();
+        cand.sort_unstable_by_key(|&(node, _)| node);
 
-        // Greedy cover with lazy re-evaluation.
+        // Greedy cover with lazy re-evaluation; every round scores the
+        // remaining candidates in parallel chunks.
         let mut covered = vec![false; undetected.len()];
         let mut sites = Vec::new();
         let mut covered_faults = 0usize;
         for _ in 0..budget {
-            let mut best: Option<(u32, usize)> = None;
-            for (&node, faults) in &cand {
-                let gain = faults.iter().filter(|&&f| !covered[f as usize]).count();
-                match best {
-                    Some((bn, bg)) if gain < bg || (gain == bg && node >= bn) => {}
-                    _ if gain == 0 => {}
-                    _ => best = Some((node, gain)),
-                }
-            }
-            let Some((node, gain)) = best else { break };
+            let Some((gain, node)) = best_candidate(&cand, &covered) else { break };
             sites.push(NodeId::from_index(node as usize));
             covered_faults += gain;
-            for &f in &cand[&node] {
+            let pos = cand.binary_search_by_key(&node, |&(n, _)| n).expect("chosen site exists");
+            for &f in &cand[pos].1 {
                 covered[f as usize] = true;
             }
-            cand.remove(&node);
+            cand.remove(pos);
         }
         TestPointInsertion { sites, covered_faults }
     }
@@ -136,6 +168,53 @@ impl TestPointInsertion {
             covered_faults: 0,
         }
     }
+}
+
+/// The site with the highest uncovered-fault gain (ties broken toward
+/// the lowest node id), scored in parallel chunks on the pool and
+/// reduced under the same total order — worker count cannot change the
+/// winner. Returns `None` when no site covers anything new.
+fn best_candidate(cand: &[(u32, Vec<u32>)], covered: &[bool]) -> Option<(usize, u32)> {
+    // (gain, node) comparator shared by chunk scans and the merge:
+    // keep `new` over `best` iff gain is higher, or equal with a lower
+    // node id.
+    fn fold(best: Option<(usize, u32)>, new: Option<(usize, u32)>) -> Option<(usize, u32)> {
+        match (best, new) {
+            (None, n) => n,
+            (b, None) => b,
+            (Some((bg, bn)), Some((ng, nn))) => {
+                if ng > bg || (ng == bg && nn < bn) {
+                    Some((ng, nn))
+                } else {
+                    Some((bg, bn))
+                }
+            }
+        }
+    }
+    fn scan(entries: &[(u32, Vec<u32>)], covered: &[bool]) -> Option<(usize, u32)> {
+        let mut best = None;
+        for (node, faults) in entries {
+            let gain = faults.iter().filter(|&&f| !covered[f as usize]).count();
+            if gain > 0 {
+                best = fold(best, Some((gain, *node)));
+            }
+        }
+        best
+    }
+
+    let workers =
+        lbist_exec::current_num_threads().min(cand.len().div_ceil(MIN_SHARD_CANDIDATES)).max(1);
+    if workers == 1 {
+        return scan(cand, covered);
+    }
+    let shard = cand.len().div_ceil(workers);
+    let mut chunk_bests: Vec<Option<(usize, u32)>> = vec![None; cand.len().div_ceil(shard)];
+    lbist_exec::scope(|s| {
+        for (c_shard, slot) in cand.chunks(shard).zip(chunk_bests.iter_mut()) {
+            s.spawn(move |_| *slot = scan(c_shard, covered));
+        }
+    });
+    chunk_bests.into_iter().fold(None, fold)
 }
 
 fn already_observed(cc: &CompiledCircuit) -> Vec<bool> {

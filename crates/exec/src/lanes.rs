@@ -1,0 +1,206 @@
+//! Lane-width-generic bit-parallel frame words.
+//!
+//! The simulation and TPG stack packs one pattern per *lane*, bit `ℓ`
+//! of a machine word. The original engine hard-wired that word to
+//! `u64` (64 lanes per pass). [`LaneWord`] abstracts the word so the
+//! bit-sliced LFSR stepping, phase-shifter/expander XOR networks and
+//! PRPG frame fills are generic over the lane count: `u64` (64),
+//! `u128` (128) and `[u64; 4]` (256 lanes per pass).
+//!
+//! Every `LaneWord` is, bit for bit, a sequence of [`LaneWord::WORDS`]
+//! 64-lane `u64` sub-words ([`LaneWord::word`]): lane `ℓ` of the wide
+//! word is lane `ℓ % 64` of sub-word `ℓ / 64`. That layout is what
+//! makes wide fills drop-in: one 256-lane PRPG pass produces exactly
+//! the four consecutive 64-lane frames the graders already consume
+//! (enforced by property tests in the bench crate).
+
+/// A packed multi-lane bit word: the unit of bit-parallel simulation.
+///
+/// # Example
+///
+/// ```
+/// use lbist_exec::LaneWord;
+///
+/// fn ones<W: LaneWord>() -> usize {
+///     let mut w = W::zero();
+///     w.set_lane(0);
+///     w.set_lane(W::LANES - 1);
+///     (0..W::LANES).filter(|&l| w.get_lane(l)).count()
+/// }
+/// assert_eq!(ones::<u64>(), 2);
+/// assert_eq!(ones::<u128>(), 2);
+/// assert_eq!(ones::<[u64; 4]>(), 2);
+/// ```
+pub trait LaneWord: Copy + Send + Sync + Eq + std::fmt::Debug + 'static {
+    /// Patterns carried per word.
+    const LANES: usize;
+    /// 64-lane `u64` sub-words per word (`LANES / 64`).
+    const WORDS: usize;
+
+    /// The all-zero word.
+    fn zero() -> Self;
+
+    /// Lane-wise XOR — the only arithmetic GF(2) networks need.
+    #[must_use]
+    fn xor(self, rhs: Self) -> Self;
+
+    /// Reads lane `ℓ`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lane >= Self::LANES`.
+    fn get_lane(self, lane: usize) -> bool;
+
+    /// Sets lane `ℓ` to 1.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lane >= Self::LANES`.
+    fn set_lane(&mut self, lane: usize);
+
+    /// The `k`-th 64-lane sub-word (lanes `64k..64k+63`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k >= Self::WORDS`.
+    fn word(self, k: usize) -> u64;
+}
+
+impl LaneWord for u64 {
+    const LANES: usize = 64;
+    const WORDS: usize = 1;
+
+    #[inline]
+    fn zero() -> Self {
+        0
+    }
+
+    #[inline]
+    fn xor(self, rhs: Self) -> Self {
+        self ^ rhs
+    }
+
+    #[inline]
+    fn get_lane(self, lane: usize) -> bool {
+        assert!(lane < 64);
+        (self >> lane) & 1 == 1
+    }
+
+    #[inline]
+    fn set_lane(&mut self, lane: usize) {
+        assert!(lane < 64);
+        *self |= 1u64 << lane;
+    }
+
+    #[inline]
+    fn word(self, k: usize) -> u64 {
+        assert!(k < 1);
+        self
+    }
+}
+
+impl LaneWord for u128 {
+    const LANES: usize = 128;
+    const WORDS: usize = 2;
+
+    #[inline]
+    fn zero() -> Self {
+        0
+    }
+
+    #[inline]
+    fn xor(self, rhs: Self) -> Self {
+        self ^ rhs
+    }
+
+    #[inline]
+    fn get_lane(self, lane: usize) -> bool {
+        assert!(lane < 128);
+        (self >> lane) & 1 == 1
+    }
+
+    #[inline]
+    fn set_lane(&mut self, lane: usize) {
+        assert!(lane < 128);
+        *self |= 1u128 << lane;
+    }
+
+    #[inline]
+    fn word(self, k: usize) -> u64 {
+        assert!(k < 2);
+        (self >> (64 * k)) as u64
+    }
+}
+
+impl LaneWord for [u64; 4] {
+    const LANES: usize = 256;
+    const WORDS: usize = 4;
+
+    #[inline]
+    fn zero() -> Self {
+        [0; 4]
+    }
+
+    #[inline]
+    fn xor(self, rhs: Self) -> Self {
+        [self[0] ^ rhs[0], self[1] ^ rhs[1], self[2] ^ rhs[2], self[3] ^ rhs[3]]
+    }
+
+    #[inline]
+    fn get_lane(self, lane: usize) -> bool {
+        assert!(lane < 256);
+        (self[lane / 64] >> (lane % 64)) & 1 == 1
+    }
+
+    #[inline]
+    fn set_lane(&mut self, lane: usize) {
+        assert!(lane < 256);
+        self[lane / 64] |= 1u64 << (lane % 64);
+    }
+
+    #[inline]
+    fn word(self, k: usize) -> u64 {
+        self[k]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip<W: LaneWord>() {
+        let mut w = W::zero();
+        assert!((0..W::LANES).all(|l| !w.get_lane(l)));
+        for lane in (0..W::LANES).step_by(3) {
+            w.set_lane(lane);
+        }
+        for lane in 0..W::LANES {
+            assert_eq!(w.get_lane(lane), lane % 3 == 0, "lane {lane}");
+        }
+        // Sub-word layout: lane ℓ is bit ℓ%64 of sub-word ℓ/64.
+        for k in 0..W::WORDS {
+            let sub = w.word(k);
+            for bit in 0..64 {
+                assert_eq!((sub >> bit) & 1 == 1, w.get_lane(64 * k + bit));
+            }
+        }
+        // XOR clears what was set.
+        assert_eq!(w.xor(w), W::zero());
+        assert_eq!(W::LANES, 64 * W::WORDS);
+    }
+
+    #[test]
+    fn u64_roundtrip() {
+        roundtrip::<u64>();
+    }
+
+    #[test]
+    fn u128_roundtrip() {
+        roundtrip::<u128>();
+    }
+
+    #[test]
+    fn quad_roundtrip() {
+        roundtrip::<[u64; 4]>();
+    }
+}

@@ -1,0 +1,49 @@
+//! The unified parallel execution layer.
+//!
+//! Every parallel consumer in the workspace — PPSFP fault grading,
+//! launch-on-capture transition replay, top-up PODEM, test-point
+//! scoring, session verdicts — used to parallelise ad hoc: scoped OS
+//! threads spawned per batch, frames hard-wired to 64 `u64` lanes.
+//! This crate turns those one-off schemes into one subsystem:
+//!
+//! * [`ThreadPool`] — a **persistent work-stealing pool**: workers are
+//!   spawned once, park when idle, and steal from each other's deques;
+//!   a batch no longer pays OS-thread spawn/join per invocation.
+//!   [`scope`], [`join`] and [`parallel_chunks`] run on the current
+//!   pool (the lazily-initialised [`global`] pool unless a
+//!   [`ThreadPool::install`] overrides it). Threads waiting for a
+//!   scope *help*: they execute queued tasks instead of blocking, so
+//!   nested scopes make progress even on a single-worker pool.
+//! * [`LaneWord`] — the lane-width-generic bit-parallel frame word:
+//!   the `u64` 64-lane assumption of the original TPG/fault-sim stack
+//!   generalised over `u64`/`u128`/`[u64; 4]` (64/128/256 lanes per
+//!   pass).
+//!
+//! Determinism contract: the pool schedules *where* tasks run, never
+//! *what* they compute. Consumers shard work into disjoint output
+//! slices and merge serially, so any thread budget — including the
+//! `--serial` / `--threads N` CLI knobs parsed by
+//! `lbist_bench::cli_thread_budget` — produces bit-identical results.
+//!
+//! # Example
+//!
+//! ```
+//! let mut out = vec![0u64; 1024];
+//! lbist_exec::parallel_chunks(&mut out, 4, |chunk_index, chunk| {
+//!     for (i, v) in chunk.iter_mut().enumerate() {
+//!         *v = (chunk_index * 1_000 + i) as u64;
+//!     }
+//! });
+//! assert_eq!(out[0], 0);
+//! let (a, b) = lbist_exec::join(|| 2 + 2, || "at speed");
+//! assert_eq!((a, b), (4, "at speed"));
+//! ```
+
+#![warn(missing_docs)]
+#![deny(unsafe_op_in_unsafe_fn)]
+
+mod lanes;
+mod pool;
+
+pub use lanes::LaneWord;
+pub use pool::{current_num_threads, global, join, parallel_chunks, scope, Scope, ThreadPool};

@@ -1,0 +1,658 @@
+//! The persistent work-stealing thread pool.
+//!
+//! One [`ThreadPool`] owns a fixed set of worker threads spawned once
+//! and parked when idle. Work enters through [`Scope::spawn`]: a worker
+//! pushes onto its own deque (popped LIFO for cache warmth), any other
+//! thread pushes onto the shared injector, and idle workers steal FIFO
+//! from whichever queue has work. A thread waiting for a scope to
+//! finish *helps* — it executes queued tasks instead of blocking — so
+//! nested scopes cannot deadlock even on a one-worker pool.
+//!
+//! Structured concurrency makes the borrowed-task lifetimes sound: a
+//! scope's tasks may borrow the caller's stack, and [`scope`] does not
+//! return until every spawned task has completed (panics included —
+//! they are captured per scope and re-raised at the scope exit). This
+//! is the same contract as `std::thread::scope`, with persistent
+//! workers instead of per-call OS threads.
+
+use std::collections::VecDeque;
+use std::marker::PhantomData;
+use std::panic::{self, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex, OnceLock};
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// A queued unit of work: the lifetime-erased job plus the latch of the
+/// scope it belongs to (completion and panic capture follow the task,
+/// so *any* thread may execute it).
+struct QueuedTask {
+    latch: Arc<ScopeLatch>,
+    job: Box<dyn FnOnce() + Send + 'static>,
+}
+
+/// Completion tracking for one scope: outstanding-task count plus the
+/// first captured panic payload.
+struct ScopeLatch {
+    state: Mutex<LatchState>,
+    done: Condvar,
+}
+
+struct LatchState {
+    pending: usize,
+    panic: Option<Box<dyn std::any::Any + Send + 'static>>,
+}
+
+impl ScopeLatch {
+    fn new() -> Self {
+        ScopeLatch {
+            state: Mutex::new(LatchState { pending: 0, panic: None }),
+            done: Condvar::new(),
+        }
+    }
+
+    fn add_task(&self) {
+        self.state.lock().expect("latch poisoned").pending += 1;
+    }
+
+    fn complete(&self, panic_payload: Option<Box<dyn std::any::Any + Send + 'static>>) {
+        let mut st = self.state.lock().expect("latch poisoned");
+        st.pending -= 1;
+        if st.panic.is_none() {
+            if let Some(p) = panic_payload {
+                st.panic = Some(p);
+            }
+        }
+        if st.pending == 0 {
+            self.done.notify_all();
+        }
+    }
+
+    fn is_done(&self) -> bool {
+        self.state.lock().expect("latch poisoned").pending == 0
+    }
+
+    /// Parks briefly until the scope completes or the timeout elapses
+    /// (the caller re-runs its help loop either way, so a spurious or
+    /// timed-out wake only costs one queue scan).
+    fn wait_done_briefly(&self) {
+        let st = self.state.lock().expect("latch poisoned");
+        if st.pending > 0 {
+            let _ = self.done.wait_timeout(st, Duration::from_millis(1)).expect("latch poisoned");
+        }
+    }
+
+    fn take_panic(&self) -> Option<Box<dyn std::any::Any + Send + 'static>> {
+        self.state.lock().expect("latch poisoned").panic.take()
+    }
+}
+
+/// Executes one queued task, routing a panic into the task's scope
+/// latch instead of unwinding the executing thread.
+fn run_task(task: QueuedTask) {
+    let result = panic::catch_unwind(AssertUnwindSafe(task.job));
+    task.latch.complete(result.err());
+}
+
+/// State shared between the pool handle, its workers, and live scopes.
+struct PoolShared {
+    /// Per-worker deques: the owner pushes/pops the back, thieves steal
+    /// the front.
+    worker_queues: Vec<Mutex<VecDeque<QueuedTask>>>,
+    /// Spawns from threads outside the pool land here.
+    injector: Mutex<VecDeque<QueuedTask>>,
+    /// Idle-parking: guards the count of parked workers. Workers
+    /// re-check the queues and bump the count under this lock before
+    /// waiting, and pushes notify under it, so a wakeup cannot race
+    /// past a worker that already decided the queues were empty.
+    idle_lock: Mutex<usize>,
+    idle_cv: Condvar,
+    shutdown: AtomicBool,
+    /// Workers currently alive (decremented on worker exit) — the
+    /// teardown regression tests read this.
+    alive: AtomicUsize,
+}
+
+impl PoolShared {
+    /// Pops one task: the hinted worker's own deque (LIFO), then the
+    /// injector, then a FIFO steal sweep over the other workers.
+    fn find_task(&self, own: Option<usize>) -> Option<QueuedTask> {
+        if let Some(idx) = own {
+            if let Some(t) = self.worker_queues[idx].lock().expect("queue poisoned").pop_back() {
+                return Some(t);
+            }
+        }
+        if let Some(t) = self.injector.lock().expect("queue poisoned").pop_front() {
+            return Some(t);
+        }
+        let n = self.worker_queues.len();
+        let start = own.map_or(0, |i| i + 1);
+        for off in 0..n {
+            let q = &self.worker_queues[(start + off) % n];
+            if Some((start + off) % n) == own {
+                continue;
+            }
+            if let Some(t) = q.lock().expect("queue poisoned").pop_front() {
+                return Some(t);
+            }
+        }
+        None
+    }
+
+    fn have_queued(&self) -> bool {
+        if !self.injector.lock().expect("queue poisoned").is_empty() {
+            return true;
+        }
+        self.worker_queues.iter().any(|q| !q.lock().expect("queue poisoned").is_empty())
+    }
+
+    /// Enqueues a task — onto the calling worker's own deque when the
+    /// caller belongs to this pool, else onto the injector — and wakes
+    /// a parked worker.
+    fn push(self: &Arc<Self>, task: QueuedTask) {
+        let own = WORKER.with(|w| {
+            let w = w.borrow();
+            match &*w {
+                Some((shared, idx)) if Arc::ptr_eq(shared, self) => Some(*idx),
+                _ => None,
+            }
+        });
+        match own {
+            Some(idx) => self.worker_queues[idx].lock().expect("queue poisoned").push_back(task),
+            None => self.injector.lock().expect("queue poisoned").push_back(task),
+        }
+        // One task was pushed: wake at most one parked worker (a
+        // thundering notify_all would wake the whole pool per task on
+        // the hottest dispatch path). Skipping the notify when nobody
+        // is parked is safe — a non-parked worker re-checks the queues
+        // under this lock before it ever waits.
+        let parked = self.idle_lock.lock().expect("idle lock poisoned");
+        if *parked > 0 {
+            self.idle_cv.notify_one();
+        }
+    }
+}
+
+thread_local! {
+    /// Set for the lifetime of a worker thread: which pool it belongs
+    /// to and its deque index (spawns from a worker go to its own
+    /// deque; its helping loops pop LIFO from there first).
+    static WORKER: std::cell::RefCell<Option<(Arc<PoolShared>, usize)>> =
+        const { std::cell::RefCell::new(None) };
+    /// Stack of pools installed via [`ThreadPool::install`] (workers
+    /// push their own pool so nested free-function calls stay on it).
+    static INSTALLED: std::cell::RefCell<Vec<Arc<PoolShared>>> =
+        const { std::cell::RefCell::new(Vec::new()) };
+}
+
+fn worker_loop(shared: Arc<PoolShared>, index: usize) {
+    WORKER.with(|w| *w.borrow_mut() = Some((Arc::clone(&shared), index)));
+    INSTALLED.with(|s| s.borrow_mut().push(Arc::clone(&shared)));
+    loop {
+        if let Some(task) = shared.find_task(Some(index)) {
+            run_task(task);
+            continue;
+        }
+        let mut parked = shared.idle_lock.lock().expect("idle lock poisoned");
+        if shared.shutdown.load(Ordering::SeqCst) {
+            break;
+        }
+        // Re-check under the lock (pushes notify under it), then park.
+        if shared.have_queued() {
+            continue;
+        }
+        *parked += 1;
+        let mut parked = shared.idle_cv.wait(parked).expect("idle lock poisoned");
+        *parked -= 1;
+    }
+    shared.alive.fetch_sub(1, Ordering::SeqCst);
+}
+
+/// A persistent work-stealing thread pool.
+///
+/// Workers are spawned at construction and live until the pool is
+/// dropped; [`Drop`] signals shutdown and **joins every worker**, so a
+/// pool cannot leak OS threads across its lifetime (enforced by a
+/// regression test). The process-wide [`global`] pool lives in a
+/// once-cell and is initialised exactly once, on first use.
+///
+/// # Example
+///
+/// ```
+/// let pool = lbist_exec::ThreadPool::new(2);
+/// let mut buf = vec![0u32; 8];
+/// pool.install(|| {
+///     lbist_exec::scope(|s| {
+///         for (i, slot) in buf.iter_mut().enumerate() {
+///             s.spawn(move |_| *slot = i as u32 * 10);
+///         }
+///     });
+/// });
+/// assert_eq!(buf[3], 30);
+/// drop(pool); // joins both workers
+/// ```
+pub struct ThreadPool {
+    shared: Arc<PoolShared>,
+    handles: Vec<JoinHandle<()>>,
+}
+
+impl std::fmt::Debug for ThreadPool {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ThreadPool").field("threads", &self.handles.len()).finish()
+    }
+}
+
+impl ThreadPool {
+    /// Spawns a pool with `threads` persistent workers.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `threads` is 0.
+    pub fn new(threads: usize) -> Self {
+        assert!(threads > 0, "a thread pool needs at least one worker");
+        let shared = Arc::new(PoolShared {
+            worker_queues: (0..threads).map(|_| Mutex::new(VecDeque::new())).collect(),
+            injector: Mutex::new(VecDeque::new()),
+            idle_lock: Mutex::new(0),
+            idle_cv: Condvar::new(),
+            shutdown: AtomicBool::new(false),
+            alive: AtomicUsize::new(threads),
+        });
+        let handles = (0..threads)
+            .map(|i| {
+                let shared = Arc::clone(&shared);
+                std::thread::Builder::new()
+                    .name(format!("lbist-exec-{i}"))
+                    .spawn(move || worker_loop(shared, i))
+                    .expect("spawn pool worker")
+            })
+            .collect();
+        ThreadPool { shared, handles }
+    }
+
+    /// Number of worker threads.
+    pub fn num_threads(&self) -> usize {
+        self.handles.len()
+    }
+
+    /// Worker threads currently alive — `num_threads()` while the pool
+    /// runs, `0` once [`Drop`] has joined them (teardown diagnostics).
+    pub fn alive_workers(&self) -> usize {
+        self.shared.alive.load(Ordering::SeqCst)
+    }
+
+    /// Runs `f` with this pool installed as the calling thread's
+    /// current pool: [`scope`], [`join`], [`parallel_chunks`] and
+    /// [`current_num_threads`] inside `f` target it instead of the
+    /// global pool.
+    pub fn install<R>(&self, f: impl FnOnce() -> R) -> R {
+        struct PopGuard;
+        impl Drop for PopGuard {
+            fn drop(&mut self) {
+                INSTALLED.with(|s| {
+                    s.borrow_mut().pop();
+                });
+            }
+        }
+        INSTALLED.with(|s| s.borrow_mut().push(Arc::clone(&self.shared)));
+        let _guard = PopGuard;
+        f()
+    }
+
+    /// [`scope`] pinned to this pool.
+    pub fn scope<'env, F, R>(&self, f: F) -> R
+    where
+        F: for<'scope> FnOnce(&'scope Scope<'scope, 'env>) -> R,
+    {
+        scope_on(Arc::clone(&self.shared), f)
+    }
+}
+
+impl Drop for ThreadPool {
+    fn drop(&mut self) {
+        {
+            let _guard = self.shared.idle_lock.lock().expect("idle lock poisoned");
+            self.shared.shutdown.store(true, Ordering::SeqCst);
+            self.shared.idle_cv.notify_all();
+        }
+        for h in self.handles.drain(..) {
+            let _ = h.join();
+        }
+    }
+}
+
+static GLOBAL: OnceLock<ThreadPool> = OnceLock::new();
+
+/// The process-wide pool, created on first use (once-cell guarded:
+/// every later call returns the same pool). Size comes from the
+/// `LBIST_THREADS` environment variable, then `RAYON_NUM_THREADS`
+/// (compatibility with the vendored rayon facade), then the machine's
+/// available parallelism.
+pub fn global() -> &'static ThreadPool {
+    GLOBAL.get_or_init(|| ThreadPool::new(default_threads()))
+}
+
+fn default_threads() -> usize {
+    for var in ["LBIST_THREADS", "RAYON_NUM_THREADS"] {
+        if let Ok(v) = std::env::var(var) {
+            if let Ok(n) = v.parse::<usize>() {
+                if n > 0 {
+                    return n;
+                }
+            }
+        }
+    }
+    std::thread::available_parallelism().map(std::num::NonZeroUsize::get).unwrap_or(1)
+}
+
+fn current_shared() -> Arc<PoolShared> {
+    if let Some(shared) = INSTALLED.with(|s| s.borrow().last().cloned()) {
+        return shared;
+    }
+    Arc::clone(&global().shared)
+}
+
+/// Worker-thread budget of the current pool (installed pool if any,
+/// else the global pool).
+pub fn current_num_threads() -> usize {
+    current_shared().worker_queues.len()
+}
+
+/// A scope in which borrowed-data tasks can be spawned onto the pool;
+/// every task completes before [`scope`] returns. Mirrors the
+/// `std::thread::scope` lifetime discipline (`'scope` invariant,
+/// `'env: 'scope` for borrowed data).
+pub struct Scope<'scope, 'env: 'scope> {
+    shared: Arc<PoolShared>,
+    latch: Arc<ScopeLatch>,
+    /// Invariance over `'scope` (the `std::thread::scope` trick): a
+    /// scope cannot be smuggled into an outer or inner lifetime.
+    _scope: PhantomData<&'scope mut &'scope ()>,
+    _env: PhantomData<&'env mut &'env ()>,
+}
+
+/// Cloning hands out another handle onto the *same* scope (two Arc
+/// bumps): every spawn through any clone is counted by the one shared
+/// latch, so [`scope`] still joins them all before returning. This is
+/// what lets facades (the vendored `rayon`) own a handle instead of
+/// borrowing one.
+impl Clone for Scope<'_, '_> {
+    fn clone(&self) -> Self {
+        Scope {
+            shared: Arc::clone(&self.shared),
+            latch: Arc::clone(&self.latch),
+            _scope: PhantomData,
+            _env: PhantomData,
+        }
+    }
+}
+
+impl<'scope, 'env> Scope<'scope, 'env> {
+    /// Spawns a task that may borrow from outside the scope. Panics in
+    /// the task are captured and re-raised when the scope joins.
+    pub fn spawn<F>(&self, f: F)
+    where
+        F: FnOnce(&Scope<'scope, 'env>) + Send + 'scope,
+    {
+        let handoff = Scope {
+            shared: Arc::clone(&self.shared),
+            latch: Arc::clone(&self.latch),
+            _scope: PhantomData,
+            _env: PhantomData,
+        };
+        self.latch.add_task();
+        let job: Box<dyn FnOnce() + Send + 'scope> = Box::new(move || f(&handoff));
+        // SAFETY: the job is erased to 'static so persistent workers
+        // can hold it, but it only ever borrows data outliving 'env.
+        // Soundness rests on structured concurrency: `scope_on` does
+        // not return until the latch reports every task complete
+        // (`add_task` above runs before the push, and `run_task`
+        // completes the latch even when the job panics), so no borrow
+        // inside the job can outlive the frame that owns the data.
+        let job: Box<dyn FnOnce() + Send + 'static> = unsafe {
+            std::mem::transmute::<
+                Box<dyn FnOnce() + Send + 'scope>,
+                Box<dyn FnOnce() + Send + 'static>,
+            >(job)
+        };
+        self.shared.push(QueuedTask { latch: Arc::clone(&self.latch), job });
+    }
+
+    /// Helps the pool until every task of this scope has completed:
+    /// queued tasks (of any scope) run on the waiting thread instead of
+    /// it blocking, which is what lets nested scopes progress on small
+    /// pools.
+    fn wait_all(&self) {
+        let own = WORKER.with(|w| {
+            let w = w.borrow();
+            match &*w {
+                Some((shared, idx)) if Arc::ptr_eq(shared, &self.shared) => Some(*idx),
+                _ => None,
+            }
+        });
+        while !self.latch.is_done() {
+            match self.shared.find_task(own) {
+                Some(task) => run_task(task),
+                None => self.latch.wait_done_briefly(),
+            }
+        }
+    }
+}
+
+fn scope_on<'env, F, R>(shared: Arc<PoolShared>, f: F) -> R
+where
+    F: for<'scope> FnOnce(&'scope Scope<'scope, 'env>) -> R,
+{
+    let scope = Scope {
+        shared,
+        latch: Arc::new(ScopeLatch::new()),
+        _scope: PhantomData,
+        _env: PhantomData,
+    };
+    // The body may panic after spawning: tasks borrowing the caller's
+    // stack must still be joined before the unwind continues.
+    let result = panic::catch_unwind(AssertUnwindSafe(|| f(&scope)));
+    scope.wait_all();
+    match result {
+        Err(body_panic) => panic::resume_unwind(body_panic),
+        Ok(r) => {
+            if let Some(task_panic) = scope.latch.take_panic() {
+                panic::resume_unwind(task_panic);
+            }
+            r
+        }
+    }
+}
+
+/// Creates a scope on the current pool for spawning borrowed-data
+/// tasks; returns once every spawned task has completed.
+pub fn scope<'env, F, R>(f: F) -> R
+where
+    F: for<'scope> FnOnce(&'scope Scope<'scope, 'env>) -> R,
+{
+    scope_on(current_shared(), f)
+}
+
+/// Runs two closures, potentially in parallel on the current pool, and
+/// returns both results.
+pub fn join<A, B, RA, RB>(a: A, b: B) -> (RA, RB)
+where
+    A: FnOnce() -> RA + Send,
+    B: FnOnce() -> RB + Send,
+    RA: Send,
+    RB: Send,
+{
+    let mut rb = None;
+    let ra = scope(|s| {
+        let slot = &mut rb;
+        s.spawn(move |_| *slot = Some(b()));
+        a()
+    });
+    (ra, rb.expect("joined task completed"))
+}
+
+/// Splits `items` into at most `max_workers` contiguous chunks and
+/// processes them in parallel on the current pool: `f(chunk_index,
+/// chunk)` per chunk, chunk boundaries deterministic in `items.len()`
+/// and `max_workers` alone. A budget of 1 (or a single-chunk split)
+/// runs inline on the caller — the `--serial` escape hatch.
+pub fn parallel_chunks<T, F>(items: &mut [T], max_workers: usize, f: F)
+where
+    T: Send,
+    F: Fn(usize, &mut [T]) + Sync,
+{
+    let n = items.len();
+    if n == 0 {
+        return;
+    }
+    let workers = max_workers.clamp(1, n);
+    if workers == 1 {
+        f(0, items);
+        return;
+    }
+    let chunk = n.div_ceil(workers);
+    scope(|s| {
+        for (i, c) in items.chunks_mut(chunk).enumerate() {
+            let f = &f;
+            s.spawn(move |_| f(i, c));
+        }
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicU64;
+
+    #[test]
+    fn scope_joins_all_tasks() {
+        let counter = AtomicUsize::new(0);
+        let data = vec![1usize; 100];
+        scope(|s| {
+            for chunk in data.chunks(7) {
+                let counter = &counter;
+                s.spawn(move |_| {
+                    counter.fetch_add(chunk.iter().sum::<usize>(), Ordering::Relaxed);
+                });
+            }
+        });
+        assert_eq!(counter.load(Ordering::Relaxed), 100);
+    }
+
+    #[test]
+    fn tasks_mutate_disjoint_slices() {
+        let mut buf = vec![0u64; 64];
+        scope(|s| {
+            for (i, chunk) in buf.chunks_mut(16).enumerate() {
+                s.spawn(move |_| {
+                    for v in chunk.iter_mut() {
+                        *v = i as u64 + 1;
+                    }
+                });
+            }
+        });
+        assert!(buf.iter().all(|&v| v > 0));
+    }
+
+    #[test]
+    fn nested_scopes_progress_on_one_worker() {
+        let pool = ThreadPool::new(1);
+        let total = AtomicU64::new(0);
+        pool.scope(|s| {
+            for _ in 0..4 {
+                let total = &total;
+                s.spawn(move |_| {
+                    // Nested scope inside a task of a 1-worker pool:
+                    // only caller-helping makes this terminate.
+                    scope(|inner| {
+                        for k in 0..4u64 {
+                            inner.spawn(move |_| {
+                                total.fetch_add(k, Ordering::Relaxed);
+                            });
+                        }
+                    });
+                });
+            }
+        });
+        assert_eq!(total.load(Ordering::Relaxed), 4 * (1 + 2 + 3));
+    }
+
+    #[test]
+    fn join_returns_both() {
+        let (a, b) = join(|| 2 + 2, || "ok");
+        assert_eq!(a, 4);
+        assert_eq!(b, "ok");
+    }
+
+    #[test]
+    fn join_nests() {
+        let pool = ThreadPool::new(2);
+        let ((a, b), (c, d)) = pool.install(|| join(|| join(|| 1, || 2), || join(|| 3, || 4)));
+        assert_eq!((a, b, c, d), (1, 2, 3, 4));
+    }
+
+    #[test]
+    fn parallel_chunks_covers_every_item() {
+        let mut buf = vec![0u32; 101];
+        parallel_chunks(&mut buf, 8, |ci, chunk| {
+            for v in chunk.iter_mut() {
+                *v = ci as u32 + 1;
+            }
+        });
+        assert!(buf.iter().all(|&v| v > 0));
+        // Deterministic chunking: 101 items over 8 workers -> 13/chunk.
+        assert_eq!(buf[12], 1);
+        assert_eq!(buf[13], 2);
+    }
+
+    #[test]
+    fn task_panic_propagates_at_scope_exit() {
+        let result = panic::catch_unwind(|| {
+            scope(|s| {
+                s.spawn(|_| panic!("task exploded"));
+                s.spawn(|_| {}); // sibling still joins
+            });
+        });
+        assert!(result.is_err(), "the task panic must surface");
+        // The pool survives: workers caught the unwind.
+        let (x, y) = join(|| 1, || 2);
+        assert_eq!((x, y), (1, 2));
+    }
+
+    #[test]
+    fn install_overrides_the_global_pool() {
+        let pool = ThreadPool::new(3);
+        assert_eq!(pool.install(current_num_threads), 3);
+    }
+
+    /// The teardown satellite: dropping a pool joins every worker — no
+    /// OS thread outlives its pool.
+    #[test]
+    fn drop_joins_all_workers() {
+        let pool = ThreadPool::new(4);
+        let shared = Arc::clone(&pool.shared);
+        pool.scope(|s| {
+            for _ in 0..16 {
+                s.spawn(|_| {});
+            }
+        });
+        assert_eq!(pool.alive_workers(), 4);
+        drop(pool);
+        assert_eq!(shared.alive.load(Ordering::SeqCst), 0, "drop must join every worker");
+    }
+
+    /// The once-cell guard: the global pool is initialised exactly once
+    /// and keeps a stable thread count.
+    #[test]
+    fn global_pool_is_a_singleton() {
+        let a = global() as *const ThreadPool;
+        let n = global().num_threads();
+        scope(|s| {
+            s.spawn(|_| {});
+        });
+        let b = global() as *const ThreadPool;
+        assert_eq!(a, b);
+        assert_eq!(global().num_threads(), n);
+        assert!(n >= 1);
+    }
+}

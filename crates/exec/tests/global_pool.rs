@@ -1,0 +1,16 @@
+//! The global pool's once-cell guard: initialised exactly once, stable
+//! thread count, same instance on every access.
+
+use lbist_exec::ThreadPool;
+
+#[test]
+fn global_pool_initialises_once() {
+    let first = lbist_exec::global() as *const ThreadPool;
+    let threads = lbist_exec::current_num_threads();
+    for _ in 0..4 {
+        let (a, b) = lbist_exec::join(|| 1u32, || 2u32);
+        assert_eq!(a + b, 3);
+        assert_eq!(lbist_exec::global() as *const ThreadPool, first);
+        assert_eq!(lbist_exec::current_num_threads(), threads);
+    }
+}

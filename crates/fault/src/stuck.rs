@@ -1,4 +1,4 @@
-//! PPSFP stuck-at fault simulation, sharded across rayon workers.
+//! PPSFP stuck-at fault simulation, sharded across the persistent `lbist-exec` work-stealing pool.
 
 use crate::coverage::CoverageReport;
 use crate::propagate::{inject_stuck_at, Propagator};
@@ -24,7 +24,8 @@ const MIN_SHARD_FAULTS: usize = 64;
 /// # Parallel grading
 ///
 /// Faults are graded independently against the shared fault-free frame, so
-/// the simulator shards the **active-fault list** across rayon workers.
+/// the simulator shards the **active-fault list** across the persistent
+/// `lbist-exec` work-stealing pool.
 /// Each worker owns a thread-local [`Propagator`] scratch (epoch-stamped,
 /// reused across batches) and writes per-fault detection words into its
 /// own slice of the batch result; the serial merge then updates n-detect
@@ -100,7 +101,7 @@ impl<'a> StuckAtSim<'a> {
             detections: vec![0; n],
             drop_after: 1,
             patterns_run: 0,
-            threads: rayon::current_num_threads(),
+            threads: lbist_exec::current_num_threads(),
             threads_auto: true,
             scratch: Vec::new(),
             batch_det: Vec::new(),
@@ -194,10 +195,10 @@ impl<'a> StuckAtSim<'a> {
             return 0;
         }
 
-        // In auto mode each worker must own a meaningful shard: spawning
-        // scoped threads for a handful of survivors (late batches after
-        // compaction) would cost more than the grading itself. An
-        // explicit budget is honoured exactly.
+        // In auto mode each worker must own a meaningful shard:
+        // dispatching pool tasks for a handful of survivors (late
+        // batches after compaction) would cost more than the grading
+        // itself. An explicit budget is honoured exactly.
         let workers = if self.threads_auto {
             self.threads.min(n_active.div_ceil(MIN_SHARD_FAULTS)).max(1)
         } else {
@@ -228,7 +229,7 @@ impl<'a> StuckAtSim<'a> {
             let shards = active.chunks(shard);
             let dets = self.batch_det.chunks_mut(shard);
             let props = self.scratch.iter_mut();
-            rayon::scope(|s| {
+            lbist_exec::scope(|s| {
                 for ((idx_shard, det_shard), prop) in shards.zip(dets).zip(props) {
                     s.spawn(move |_| {
                         grade_shard(
@@ -296,7 +297,7 @@ impl<'a> StuckAtSim<'a> {
 
 /// Grades one shard of the active-fault list against the shared fault-free
 /// frame, writing each fault's 64-lane detection word into `out`. Runs on
-/// a rayon worker with its own `Propagator` scratch; reads only shared
+/// a pool worker with its own `Propagator` scratch; reads only shared
 /// state, so shard scheduling cannot affect results.
 #[allow(clippy::too_many_arguments)]
 fn grade_shard(

@@ -22,7 +22,7 @@
 //! effects cross them only as wrong *values* already captured into
 //! flip-flops, which the simulator carries in a per-fault state overlay.
 //!
-//! Like [`crate::StuckAtSim`], grading is sharded across rayon workers:
+//! Like [`crate::StuckAtSim`], grading is sharded across the persistent `lbist-exec` work-stealing pool:
 //! the fault-free window frames are computed once and shared read-only;
 //! each worker replays faults from its shard with a thread-local
 //! [`Propagator`] and flip-flop overlay, so parallel and serial coverage
@@ -146,7 +146,7 @@ impl ReplayScratch {
 /// the fault-free circuit and then for every active fault, and compares
 /// final flip-flop states — exactly what the unload-into-MISR observes.
 ///
-/// Active faults are sharded across rayon workers (each with its own
+/// Active faults are sharded across the persistent `lbist-exec` work-stealing pool (each with its own
 /// [`Propagator`] and overlay scratch) and the active list is compacted by
 /// swap-remove as faults drop. [`TransitionSim::serial`] pins grading to
 /// the calling thread; parallel and serial results are bit-identical.
@@ -205,7 +205,7 @@ impl<'a> TransitionSim<'a> {
             detections: vec![0; n],
             drop_after: 1,
             patterns_run: 0,
-            threads: rayon::current_num_threads(),
+            threads: lbist_exec::current_num_threads(),
             threads_auto: true,
             scratch: Vec::new(),
             batch_det: Vec::new(),
@@ -306,7 +306,7 @@ impl<'a> TransitionSim<'a> {
             let shards = active.chunks(shard);
             let dets = self.batch_det.chunks_mut(shard);
             let scratches = self.scratch.iter_mut();
-            rayon::scope(|s| {
+            lbist_exec::scope(|s| {
                 for ((idx_shard, det_shard), scratch) in shards.zip(dets).zip(scratches) {
                     s.spawn(move |_| {
                         replay_shard(

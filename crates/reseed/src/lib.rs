@@ -77,5 +77,7 @@ mod plan;
 mod solver;
 
 pub use linmap::{DomainChannel, ScanLinearMap};
-pub use plan::{CubeFate, ReseedPlan, ReseedPlanner, SeedSchedule, SeedWindow, StorageReport};
+pub use plan::{
+    CubeFate, PackStrategy, ReseedPlan, ReseedPlanner, SeedSchedule, SeedWindow, StorageReport,
+};
 pub use solver::{Gf2Solver, Inconsistent};

@@ -223,6 +223,24 @@ impl ReseedPlan {
     }
 }
 
+/// How [`ReseedPlanner::plan`] packs cubes into seed groups.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum PackStrategy {
+    /// One open group: a cube lands in it or (on conflict) in a fresh
+    /// group that replaces it — earlier groups are never revisited.
+    /// Fast, and the historical baseline the benchmark compares
+    /// against.
+    FirstFit,
+    /// Every group stays open: a cube lands in the compatible group
+    /// whose solvers it leaves with the **fewest free equations**
+    /// (tightest fit; ties to the oldest group), opening a new group
+    /// only when none is compatible. Costs one trial solve per open
+    /// group per cube, and packs at least as tightly as first-fit on
+    /// the bench cores (asserted by `bench_reseed`).
+    #[default]
+    BestFit,
+}
+
 /// Greedy cube-to-seed packer over a [`ScanLinearMap`].
 ///
 /// # Example
@@ -249,6 +267,8 @@ pub struct ReseedPlanner<'a> {
     /// cube `i`, keeping the residual store bit-identical to the
     /// all-stored baseline (apples-to-apples coverage comparison).
     fallback: Option<&'a [Pattern]>,
+    /// Packing strategy (default [`PackStrategy::BestFit`]).
+    strategy: PackStrategy,
 }
 
 enum CubeEquations {
@@ -263,7 +283,18 @@ enum CubeEquations {
 impl<'a> ReseedPlanner<'a> {
     /// A planner over the given seed→scan-state map.
     pub fn new(map: &'a ScanLinearMap) -> Self {
-        ReseedPlanner { map, held: HashMap::new(), fallback: None }
+        ReseedPlanner {
+            map,
+            held: HashMap::new(),
+            fallback: None,
+            strategy: PackStrategy::default(),
+        }
+    }
+
+    /// Selects the packing strategy (default [`PackStrategy::BestFit`]).
+    pub fn set_strategy(&mut self, strategy: PackStrategy) -> &mut Self {
+        self.strategy = strategy;
+        self
     }
 
     /// Declares a non-scan input the session holds at a fixed value.
@@ -296,37 +327,28 @@ impl<'a> ReseedPlanner<'a> {
         CubeEquations::Solvable(eqs)
     }
 
-    /// Packs `cubes` into seed groups (greedy first-fit into the open
-    /// group, closing it on the first conflict) with stored-pattern
-    /// fallback. Deterministic in `entropy`, which drives the free-bit
-    /// fill of solved seeds and the random fill of stored patterns.
+    /// Packs `cubes` into seed groups with stored-pattern fallback:
+    /// best-fit by default (each cube into the compatible open group
+    /// with the fewest free equations left), first-fit as the baseline
+    /// strategy ([`ReseedPlanner::set_strategy`]). Deterministic in
+    /// `entropy`, which drives the free-bit fill of solved seeds and
+    /// the random fill of stored patterns.
     pub fn plan(&self, cubes: &[TestCube], cc: &CompiledCircuit, entropy: u64) -> ReseedPlan {
         if let Some(fallback) = self.fallback {
             assert_eq!(fallback.len(), cubes.len(), "fallback patterns align with cubes");
         }
         let mut rng = SmallRng::seed_from_u64(entropy ^ 0x5eed_5eed);
         let mut fates = Vec::with_capacity(cubes.len());
-        let mut seeds: Vec<Vec<Option<Gf2Vec>>> = Vec::new();
         let mut stored: Vec<Pattern> = Vec::new();
         let mut infeasible = 0usize;
         let mut seeded_cubes = 0usize;
 
-        // The open group: one lazily-grown solver per domain.
-        let mut group: Vec<Option<Gf2Solver>> = vec![None; self.map.num_domains()];
-        let mut group_used = false;
-
-        let close_group = |group: &mut Vec<Option<Gf2Solver>>,
-                           seeds: &mut Vec<Vec<Option<Gf2Vec>>>,
-                           salt: &mut u64| {
-            let group_seeds: Vec<Option<Gf2Vec>> = group
-                .iter()
-                .enumerate()
-                .map(|(d, solver)| solver.as_ref().map(|s| solve_nonzero(s, d, salt)))
-                .collect();
-            seeds.push(group_seeds);
-            group.iter_mut().for_each(|s| *s = None);
-        };
-        let mut salt = entropy | 1;
+        // Groups in creation order, each one lazily-grown solver per
+        // domain. First-fit only ever revisits the newest group (and
+        // not even that after a stored fallback — the historical
+        // open/close behaviour); best-fit keeps every group open.
+        let mut groups: Vec<Vec<Option<Gf2Solver>>> = Vec::new();
+        let mut ff_open_is_fresh = true;
 
         for (idx, cube) in cubes.iter().enumerate() {
             let eqs = match self.equations_of(cube) {
@@ -343,33 +365,68 @@ impl<'a> ReseedPlanner<'a> {
                 CubeEquations::Solvable(eqs) => eqs,
             };
 
-            // First-fit: try the open group, then a fresh one.
-            let mut placed = false;
-            for attempt in 0..2 {
-                if attempt == 1 && group_used {
-                    close_group(&mut group, &mut seeds, &mut salt);
-                    group_used = false;
+            let mut placed: Option<usize> = match self.strategy {
+                PackStrategy::FirstFit => groups
+                    .len()
+                    .checked_sub(1)
+                    .filter(|_| !ff_open_is_fresh)
+                    .filter(|&gi| try_add(self.map, &mut groups[gi], &eqs)),
+                PackStrategy::BestFit => {
+                    let mut best: Option<(usize, usize)> = None; // (free, group)
+                    for (gi, group) in groups.iter_mut().enumerate() {
+                        if let Some(free) = trial_free(self.map, group, &eqs) {
+                            if best.is_none_or(|(bf, _)| free < bf) {
+                                best = Some((free, gi));
+                            }
+                        }
+                    }
+                    best.map(|(_, gi)| {
+                        let committed = try_add(self.map, &mut groups[gi], &eqs);
+                        debug_assert!(committed, "a trialled fit must commit");
+                        gi
+                    })
                 }
-                if try_add(self.map, &mut group, &eqs) {
-                    group_used = true;
-                    placed = true;
-                    break;
-                }
-                if !group_used {
-                    break; // failed even in an empty group: unsolvable alone
+            };
+            if placed.is_none() {
+                // No open group fits: a fresh group, if the cube solves
+                // alone at all.
+                let mut fresh = vec![None; self.map.num_domains()];
+                if try_add(self.map, &mut fresh, &eqs) {
+                    groups.push(fresh);
+                    placed = Some(groups.len() - 1);
+                    ff_open_is_fresh = false;
                 }
             }
-            if placed {
-                seeded_cubes += 1;
-                fates.push(CubeFate::Seeded { group: seeds.len() });
-            } else {
-                stored.push(self.stored_pattern(idx, cube, cc, &mut rng));
-                fates.push(CubeFate::Stored { index: stored.len() - 1 });
+            match placed {
+                Some(gi) => {
+                    seeded_cubes += 1;
+                    fates.push(CubeFate::Seeded { group: gi });
+                }
+                None => {
+                    stored.push(self.stored_pattern(idx, cube, cc, &mut rng));
+                    fates.push(CubeFate::Stored { index: stored.len() - 1 });
+                    // First-fit's historical contract: a conflict that
+                    // fell through to storage leaves a *fresh* open
+                    // slot, not the pre-conflict group.
+                    ff_open_is_fresh = true;
+                }
             }
         }
-        if group_used {
-            close_group(&mut group, &mut seeds, &mut salt);
-        }
+
+        // Solve every group into loadable seeds, in creation order (the
+        // salt stream follows group order, keeping first-fit seeds
+        // identical to the historical close-on-conflict packer).
+        let mut salt = entropy | 1;
+        let seeds: Vec<Vec<Option<Gf2Vec>>> = groups
+            .iter()
+            .map(|group| {
+                group
+                    .iter()
+                    .enumerate()
+                    .map(|(d, solver)| solver.as_ref().map(|s| solve_nonzero(s, d, &mut salt)))
+                    .collect()
+            })
+            .collect();
 
         let bits_per_pattern = self.map.num_cells();
         let seed_bits: usize = seeds.iter().flat_map(|g| g.iter().flatten()).map(Gf2Vec::len).sum();
@@ -409,6 +466,41 @@ impl<'a> ReseedPlanner<'a> {
     }
 }
 
+/// Pre-add checkpoints of a group's solvers (`None` = the domain had
+/// no solver yet and should revert to `None` on rollback).
+type GroupMarks = Vec<Option<usize>>;
+
+/// Asserts every equation of one cube into the group's solvers. On
+/// success returns the pre-add checkpoints (so the caller can keep the
+/// additions or undo them); on the first inconsistency rolls the whole
+/// group back and returns `None`.
+fn add_equations(
+    map: &ScanLinearMap,
+    group: &mut [Option<Gf2Solver>],
+    eqs: &[(usize, Gf2Vec, bool)],
+) -> Option<GroupMarks> {
+    let marks: GroupMarks = group.iter().map(|s| s.as_ref().map(Gf2Solver::checkpoint)).collect();
+    for &(domain, ref row, value) in eqs {
+        let solver = group[domain].get_or_insert_with(|| Gf2Solver::new(map.degree(domain)));
+        if solver.assert_eq(row.clone(), value).is_err() {
+            rollback_group(group, &marks);
+            return None;
+        }
+    }
+    Some(marks)
+}
+
+/// Restores a group to its checkpointed state.
+fn rollback_group(group: &mut [Option<Gf2Solver>], marks: &GroupMarks) {
+    for (solver, mark) in group.iter_mut().zip(marks) {
+        match (solver.as_mut(), mark) {
+            (Some(s), Some(m)) => s.rollback(*m),
+            (Some(_), None) => *solver = None,
+            _ => {}
+        }
+    }
+}
+
 /// Tries to add every equation of one cube to the group's solvers,
 /// rolling all of them back on the first inconsistency.
 fn try_add(
@@ -416,22 +508,23 @@ fn try_add(
     group: &mut [Option<Gf2Solver>],
     eqs: &[(usize, Gf2Vec, bool)],
 ) -> bool {
-    let marks: Vec<Option<usize>> =
-        group.iter().map(|s| s.as_ref().map(Gf2Solver::checkpoint)).collect();
-    for &(domain, ref row, value) in eqs {
-        let solver = group[domain].get_or_insert_with(|| Gf2Solver::new(map.degree(domain)));
-        if solver.assert_eq(row.clone(), value).is_err() {
-            for (solver, mark) in group.iter_mut().zip(&marks) {
-                match (solver.as_mut(), mark) {
-                    (Some(s), Some(m)) => s.rollback(*m),
-                    (Some(_), None) => *solver = None,
-                    _ => {}
-                }
-            }
-            return false;
-        }
-    }
-    true
+    add_equations(map, group, eqs).is_some()
+}
+
+/// Best-fit trial: adds every equation of one cube to the group's
+/// solvers and reports how many free equations (unpinned seed
+/// dimensions, summed over the group's instantiated domains) would
+/// remain — then rolls the group back either way. `None` when the cube
+/// conflicts with the group.
+fn trial_free(
+    map: &ScanLinearMap,
+    group: &mut [Option<Gf2Solver>],
+    eqs: &[(usize, Gf2Vec, bool)],
+) -> Option<usize> {
+    let marks = add_equations(map, group, eqs)?;
+    let free = group.iter().flatten().map(|s| s.width() - s.rank()).sum();
+    rollback_group(group, &marks);
+    Some(free)
 }
 
 /// Solves one domain's system into a loadable (nonzero) seed.
@@ -594,6 +687,61 @@ mod tests {
             }
             CubeFate::Infeasible => panic!("scan-cell cube cannot be infeasible"),
         }
+    }
+
+    /// Best-fit revisits earlier groups that first-fit has left behind:
+    /// a cube conflicting with the newest group but compatible with an
+    /// older one packs into the older group instead of opening a third.
+    #[test]
+    fn best_fit_revisits_older_groups() {
+        let f = fixture(12);
+        let cubes = vec![
+            cube(&[(f.cells[0], true)]),
+            cube(&[(f.cells[0], false)]), // conflicts group 0 -> group 1
+            cube(&[(f.cells[0], true), (f.cells[4], true)]), // conflicts group 1, fits group 0
+        ];
+        let mut first_fit = ReseedPlanner::new(&f.map);
+        first_fit.set_strategy(PackStrategy::FirstFit);
+        let ff = first_fit.plan(&cubes, &f.cc, 7);
+        assert_eq!(ff.storage.seeds, 3, "first-fit cannot reopen group 0");
+
+        let bf = ReseedPlanner::new(&f.map).plan(&cubes, &f.cc, 7);
+        assert_eq!(bf.storage.seeds, 2, "best-fit lands cube 3 back in group 0");
+        assert_eq!(bf.fates[2], CubeFate::Seeded { group: 0 });
+        assert!(bf.storage.seed_bits < ff.storage.seed_bits);
+        // Both plans still honour every care bit.
+        for plan in [&ff, &bf] {
+            for (cube, fate) in cubes.iter().zip(&plan.fates) {
+                let CubeFate::Seeded { group } = fate else { panic!("all seeded") };
+                for &(node, value) in cube.assignments() {
+                    assert_eq!(f.map.predict_cell(node, &plan.seeds[*group]), value);
+                }
+            }
+        }
+    }
+
+    /// Among several compatible groups, best-fit picks the tightest
+    /// (fewest free equations after the cube), not merely the first.
+    #[test]
+    fn best_fit_prefers_the_tightest_group() {
+        let f = fixture(12);
+        let cubes = vec![
+            // Group 0: heavily constrained (4 equations).
+            cube(&[
+                (f.cells[0], true),
+                (f.cells[1], false),
+                (f.cells[2], true),
+                (f.cells[3], false),
+            ]),
+            // Group 1 forced open by a conflict with group 0, lightly
+            // constrained (1 equation).
+            cube(&[(f.cells[0], false)]),
+            // Compatible with both; the tight fit is group 0.
+            cube(&[(f.cells[6], true)]),
+        ];
+        let plan = ReseedPlanner::new(&f.map).plan(&cubes, &f.cc, 5);
+        assert_eq!(plan.storage.seeds, 2);
+        assert_eq!(plan.fates[2], CubeFate::Seeded { group: 0 }, "tightest group wins");
     }
 
     #[test]

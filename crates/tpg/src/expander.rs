@@ -104,22 +104,24 @@ impl SpaceExpander {
         self.combos.iter().map(|m| m.dot(&v)).collect()
     }
 
-    /// Expands one cycle of 64-lane channel words to chain words: `out[i]`
-    /// = XOR of the channel words in chain `i`'s combination. Linear in
-    /// GF(2), so it distributes over the 64 packed lanes. Allocation-free.
+    /// Expands one cycle of multi-lane channel words to chain words:
+    /// `out[i]` = XOR of the channel words in chain `i`'s combination.
+    /// Linear in GF(2), so it distributes over the packed lanes at any
+    /// width ([`lbist_exec::LaneWord`]: `u64`/`u128`/`[u64; 4]`).
+    /// Allocation-free.
     ///
     /// # Panics
     ///
     /// Panics if `channel_words.len() != num_channels()` or
     /// `out.len() != num_chains()`.
-    pub fn expand_words(&self, channel_words: &[u64], out: &mut [u64]) {
+    pub fn expand_words<W: lbist_exec::LaneWord>(&self, channel_words: &[W], out: &mut [W]) {
         assert_eq!(channel_words.len(), self.channels, "channel word count mismatch");
         assert_eq!(out.len(), self.combos.len(), "chain word buffer mismatch");
         for (word, combo) in out.iter_mut().zip(&self.combos) {
-            let mut acc = 0u64;
+            let mut acc = W::zero();
             for (c, &cw) in channel_words.iter().enumerate() {
                 if combo.get(c) {
-                    acc ^= cw;
+                    acc = acc.xor(cw);
                 }
             }
             *word = acc;

@@ -1,26 +1,35 @@
-//! Bit-sliced 64-lane LFSR stepping.
+//! Bit-sliced multi-lane LFSR stepping, generic over the lane width.
 //!
-//! The PPSFP fault simulators grade 64 patterns per pass, and each pattern
-//! is a full scan load: lane `ℓ` of a batch holds the chain contents after
-//! shift cycles `[ℓ·stride, (ℓ+1)·stride)` of one continuous PRPG stream.
-//! Stepping a scalar [`Lfsr`] through all of that costs `64·stride`
-//! `Gf2Vec` steps per batch and forces the caller to buffer per-lane bit
+//! The PPSFP fault simulators grade one pattern per lane of a packed
+//! machine word, and each pattern is a full scan load: lane `ℓ` of a
+//! batch holds the chain contents after shift cycles
+//! `[ℓ·stride, (ℓ+1)·stride)` of one continuous PRPG stream. Stepping
+//! a scalar [`Lfsr`] through all of that costs `LANES·stride` `Gf2Vec`
+//! steps per batch and forces the caller to buffer per-lane bit
 //! vectors.
 //!
-//! [`LaneLfsr`] instead keeps the *transpose*: 64 virtual copies of the
-//! LFSR — copy `ℓ` pre-advanced by `ℓ·stride` cycles via the GF(2)
-//! transition matrix — stored bit-sliced, one `u64` word per register
-//! stage with bit `ℓ` belonging to lane `ℓ`. One [`LaneLfsr::step`] then
-//! advances **all 64 lanes one cycle** with a handful of word XORs, and
-//! every tap/phase-shifter read yields a ready-made 64-lane pattern word.
-//! A whole batch costs `stride` word-steps instead of `64·stride` scalar
-//! steps, and the produced words drop straight into simulation frames with
-//! no per-lane allocation.
+//! [`LaneLfsr`] instead keeps the *transpose*: `W::LANES` virtual
+//! copies of the LFSR — copy `ℓ` pre-advanced by `ℓ·stride` cycles via
+//! the GF(2) transition matrix — stored bit-sliced, one [`LaneWord`]
+//! per register stage with lane `ℓ` belonging to virtual copy `ℓ`. One
+//! [`LaneLfsr::step`] then advances **all lanes one cycle** with a
+//! handful of word XORs, and every tap/phase-shifter read yields a
+//! ready-made multi-lane pattern word. A whole batch costs `stride`
+//! word-steps instead of `LANES·stride` scalar steps, and the produced
+//! words drop straight into simulation frames with no per-lane
+//! allocation.
+//!
+//! The width is a type parameter (`u64` 64 lanes — the default and the
+//! frame width the graders consume — `u128` for 128, `[u64; 4]` for
+//! 256 lanes per pass); the stream semantics are identical at every
+//! width, enforced by the tests below and by property tests in the
+//! bench crate.
 
 use crate::{Gf2Matrix, Gf2Vec, Lfsr};
+use lbist_exec::LaneWord;
 
-/// 64 phase-staggered virtual copies of one Fibonacci LFSR, stored
-/// bit-sliced (stage `j` of all lanes packed into one `u64`).
+/// `W::LANES` phase-staggered virtual copies of one Fibonacci LFSR,
+/// stored bit-sliced (stage `j` of all lanes packed into one `W`).
 ///
 /// # Example
 ///
@@ -29,7 +38,7 @@ use crate::{Gf2Matrix, Gf2Vec, Lfsr};
 ///
 /// let poly = LfsrPoly::maximal(19).unwrap();
 /// let mut scalar = Lfsr::with_ones_seed(poly.clone());
-/// let mut lanes = LaneLfsr::fork(&scalar, 5);
+/// let mut lanes: LaneLfsr = LaneLfsr::fork(&scalar, 5);
 ///
 /// // Lane ℓ's output stream equals the scalar stream delayed ℓ·5 cycles.
 /// let stream: Vec<bool> = (0..64 * 5).map(|_| scalar.step()).collect();
@@ -41,9 +50,9 @@ use crate::{Gf2Matrix, Gf2Vec, Lfsr};
 /// }
 /// ```
 #[derive(Clone, Debug)]
-pub struct LaneLfsr {
-    /// `sliced[j]` = stage `j` of every lane; bit `ℓ` is lane `ℓ`.
-    sliced: Vec<u64>,
+pub struct LaneLfsr<W: LaneWord = u64> {
+    /// `sliced[j]` = stage `j` of every lane; lane `ℓ` is virtual copy `ℓ`.
+    sliced: Vec<W>,
     /// Stage indices XORed into the feedback (from the polynomial's
     /// feedback mask).
     taps: Vec<usize>,
@@ -53,11 +62,11 @@ pub struct LaneLfsr {
     stride: u64,
 }
 
-impl LaneLfsr {
-    /// Forks `lfsr` into 64 bit-sliced lanes: lane `ℓ` starts at the
-    /// scalar state advanced by `ℓ·stride` cycles. The scalar LFSR is not
-    /// modified; use [`LaneLfsr::lane_state`] to resynchronise it after a
-    /// batch.
+impl<W: LaneWord> LaneLfsr<W> {
+    /// Forks `lfsr` into `W::LANES` bit-sliced lanes: lane `ℓ` starts
+    /// at the scalar state advanced by `ℓ·stride` cycles. The scalar
+    /// LFSR is not modified; use [`LaneLfsr::lane_state`] to
+    /// resynchronise it after a batch.
     ///
     /// # Panics
     ///
@@ -68,25 +77,25 @@ impl LaneLfsr {
         let mask = lfsr.poly().feedback_mask();
         let taps = (0..degree).filter(|&j| mask.get(j)).collect();
         let jump = lfsr.transition_matrix().pow(stride);
-        let mut lanes = LaneLfsr { sliced: vec![0u64; degree], taps, jump, stride };
+        let mut lanes = LaneLfsr { sliced: vec![W::zero(); degree], taps, jump, stride };
         lanes.reload(lfsr);
         lanes
     }
 
-    /// Re-slices the 64 lane states from the scalar LFSR's current state,
+    /// Re-slices the lane states from the scalar LFSR's current state,
     /// reusing the cached jump matrix. Cheap enough to call once per
-    /// 64-pattern batch.
+    /// batch.
     pub fn reload(&mut self, lfsr: &Lfsr) {
         assert_eq!(lfsr.len(), self.sliced.len(), "LFSR degree changed under a LaneLfsr");
-        self.sliced.fill(0);
+        self.sliced.fill(W::zero());
         let mut state = lfsr.state().clone();
-        for lane in 0..64u32 {
+        for lane in 0..W::LANES {
             for (j, word) in self.sliced.iter_mut().enumerate() {
                 if state.get(j) {
-                    *word |= 1u64 << lane;
+                    word.set_lane(lane);
                 }
             }
-            if lane < 63 {
+            if lane + 1 < W::LANES {
                 state = self.jump.mul_vec(&state);
             }
         }
@@ -102,29 +111,30 @@ impl LaneLfsr {
         self.stride
     }
 
-    /// Stage `j` of all 64 lanes as a packed word.
+    /// Stage `j` of all lanes as a packed word.
     ///
     /// # Panics
     ///
     /// Panics if `j` is out of range.
     #[inline]
-    pub fn stage_word(&self, j: usize) -> u64 {
+    pub fn stage_word(&self, j: usize) -> W {
         self.sliced[j]
     }
 
-    /// The output stage (stage 0) of all 64 lanes.
+    /// The output stage (stage 0) of all lanes.
     #[inline]
-    pub fn output_word(&self) -> u64 {
+    pub fn output_word(&self) -> W {
         self.sliced[0]
     }
 
-    /// Advances every lane one cycle and returns the 64-lane word shifted
-    /// out of stage 0 — the bit-sliced equivalent of [`Lfsr::step`].
-    pub fn step(&mut self) -> u64 {
+    /// Advances every lane one cycle and returns the multi-lane word
+    /// shifted out of stage 0 — the bit-sliced equivalent of
+    /// [`Lfsr::step`].
+    pub fn step(&mut self) -> W {
         let out = self.sliced[0];
-        let mut feedback = 0u64;
+        let mut feedback = W::zero();
         for &t in &self.taps {
-            feedback ^= self.sliced[t];
+            feedback = feedback.xor(self.sliced[t]);
         }
         let degree = self.sliced.len();
         self.sliced.copy_within(1..degree, 0);
@@ -132,15 +142,16 @@ impl LaneLfsr {
         out
     }
 
-    /// Extracts one lane's scalar state (e.g. lane 63 after a batch is the
-    /// state the scalar LFSR would hold after `64·stride` cycles).
+    /// Extracts one lane's scalar state (e.g. the last lane after a
+    /// batch is the state the scalar LFSR would hold after
+    /// `W::LANES·stride` cycles).
     ///
     /// # Panics
     ///
-    /// Panics if `lane >= 64`.
+    /// Panics if `lane >= W::LANES`.
     pub fn lane_state(&self, lane: usize) -> Gf2Vec {
-        assert!(lane < 64, "a LaneLfsr holds 64 lanes");
-        Gf2Vec::from_fn(self.sliced.len(), |j| (self.sliced[j] >> lane) & 1 == 1)
+        assert!(lane < W::LANES, "a LaneLfsr holds {} lanes", W::LANES);
+        Gf2Vec::from_fn(self.sliced.len(), |j| self.sliced[j].get_lane(lane))
     }
 }
 
@@ -159,7 +170,7 @@ mod tests {
             let poly = LfsrPoly::maximal(degree).unwrap();
             let scalar = Lfsr::with_ones_seed(poly);
             let stride = 7u64;
-            let mut lanes = LaneLfsr::fork(&scalar, stride);
+            let mut lanes: LaneLfsr = LaneLfsr::fork(&scalar, stride);
             let stream = scalar_stream(scalar, 64 * stride as usize);
             for t in 0..stride as usize {
                 let word = lanes.step();
@@ -174,12 +185,40 @@ mod tests {
         }
     }
 
+    /// Every lane width replays the identical scalar stream: lane `ℓ`
+    /// of width `W` equals the scalar stream delayed `ℓ·stride` cycles,
+    /// for 64, 128 and 256 lanes.
+    #[test]
+    fn wide_lanes_match_scalar_stream() {
+        fn check<W: LaneWord>() {
+            let poly = LfsrPoly::maximal(13).unwrap();
+            let scalar = Lfsr::with_ones_seed(poly);
+            let stride = 5u64;
+            let mut lanes: LaneLfsr<W> = LaneLfsr::fork(&scalar, stride);
+            let stream = scalar_stream(scalar, W::LANES * stride as usize);
+            for t in 0..stride as usize {
+                let word = lanes.step();
+                for lane in 0..W::LANES {
+                    assert_eq!(
+                        word.get_lane(lane),
+                        stream[lane * stride as usize + t],
+                        "{} lanes, lane {lane} cycle {t}",
+                        W::LANES
+                    );
+                }
+            }
+        }
+        check::<u64>();
+        check::<u128>();
+        check::<[u64; 4]>();
+    }
+
     #[test]
     fn lane63_end_state_is_full_batch_advance() {
         let poly = LfsrPoly::maximal(11).unwrap();
         let scalar = Lfsr::with_ones_seed(poly.clone());
         let stride = 9u64;
-        let mut lanes = LaneLfsr::fork(&scalar, stride);
+        let mut lanes: LaneLfsr = LaneLfsr::fork(&scalar, stride);
         for _ in 0..stride {
             lanes.step();
         }
@@ -190,12 +229,30 @@ mod tests {
         assert_eq!(lanes.lane_state(63), *reference.state());
     }
 
+    /// The wide equivalent: the last lane of a 256-lane fork ends a
+    /// batch at the 256-load advance point.
+    #[test]
+    fn last_wide_lane_end_state_is_full_batch_advance() {
+        let poly = LfsrPoly::maximal(11).unwrap();
+        let scalar = Lfsr::with_ones_seed(poly.clone());
+        let stride = 4u64;
+        let mut lanes: LaneLfsr<[u64; 4]> = LaneLfsr::fork(&scalar, stride);
+        for _ in 0..stride {
+            lanes.step();
+        }
+        let mut reference = Lfsr::with_ones_seed(poly);
+        for _ in 0..256 * stride {
+            reference.step();
+        }
+        assert_eq!(lanes.lane_state(255), *reference.state());
+    }
+
     #[test]
     fn reload_resumes_mid_stream() {
         let poly = LfsrPoly::maximal(10).unwrap();
         let mut scalar = Lfsr::with_ones_seed(poly);
         let stride = 4u64;
-        let mut lanes = LaneLfsr::fork(&scalar, stride);
+        let mut lanes: LaneLfsr = LaneLfsr::fork(&scalar, stride);
         // Consume one batch, resync the scalar, reload, run a second batch.
         for _ in 0..stride {
             lanes.step();
@@ -215,7 +272,7 @@ mod tests {
     fn stage_words_expose_full_state() {
         let poly = LfsrPoly::maximal(6).unwrap();
         let scalar = Lfsr::with_ones_seed(poly);
-        let lanes = LaneLfsr::fork(&scalar, 3);
+        let lanes: LaneLfsr = LaneLfsr::fork(&scalar, 3);
         assert_eq!(lanes.degree(), 6);
         assert_eq!(lanes.output_word(), lanes.stage_word(0));
         // Lane 0 is the unadvanced scalar state.
@@ -226,6 +283,6 @@ mod tests {
     #[should_panic(expected = "nonzero")]
     fn zero_stride_rejected() {
         let poly = LfsrPoly::maximal(4).unwrap();
-        LaneLfsr::fork(&Lfsr::with_ones_seed(poly), 0);
+        let _: LaneLfsr = LaneLfsr::fork(&Lfsr::with_ones_seed(poly), 0);
     }
 }

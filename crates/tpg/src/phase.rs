@@ -122,24 +122,30 @@ impl PhaseShifter {
         self.rows.iter().map(|r| r.dot(state)).collect()
     }
 
-    /// Computes all channel outputs for 64 bit-sliced lanes at once:
-    /// `out[c]` receives the 64-lane pattern word of channel `c` (bit `ℓ`
-    /// = what [`PhaseShifter::outputs`] bit `c` would be for lane `ℓ`'s
-    /// LFSR state). Allocation-free: the XOR tree is evaluated straight
-    /// onto the caller's buffer.
+    /// Computes all channel outputs for bit-sliced lanes at once:
+    /// `out[c]` receives the multi-lane pattern word of channel `c`
+    /// (lane `ℓ` = what [`PhaseShifter::outputs`] bit `c` would be for
+    /// lane `ℓ`'s LFSR state). Generic over the lane width
+    /// ([`lbist_exec::LaneWord`]: `u64`/`u128`/`[u64; 4]`) and
+    /// allocation-free: the XOR tree is evaluated straight onto the
+    /// caller's buffer.
     ///
     /// # Panics
     ///
     /// Panics if `out.len() != num_channels()` or the lane register width
     /// differs from the tap rows.
-    pub fn outputs_words(&self, lanes: &crate::LaneLfsr, out: &mut [u64]) {
+    pub fn outputs_words<W: lbist_exec::LaneWord>(
+        &self,
+        lanes: &crate::LaneLfsr<W>,
+        out: &mut [W],
+    ) {
         assert_eq!(out.len(), self.rows.len(), "output buffer must cover every channel");
         for (word, row) in out.iter_mut().zip(&self.rows) {
             assert_eq!(row.len(), lanes.degree(), "lane register width mismatch");
-            let mut acc = 0u64;
+            let mut acc = W::zero();
             for j in 0..row.len() {
                 if row.get(j) {
-                    acc ^= lanes.stage_word(j);
+                    acc = acc.xor(lanes.stage_word(j));
                 }
             }
             *word = acc;

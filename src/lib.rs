@@ -14,6 +14,7 @@
 //!
 //! | module | contents |
 //! |---|---|
+//! | [`exec`] | persistent work-stealing pool + lane-width-generic frame words |
 //! | [`netlist`] | gate-level circuits, levelization, `.bench` I/O |
 //! | [`sim`] | 64-way bit-parallel 2-/3-valued and sequential simulation |
 //! | [`tpg`] | LFSR/PRPG, phase shifters, space expanders, MISRs, compactors |
@@ -58,6 +59,7 @@ pub use lbist_clock as clock;
 pub use lbist_core as core;
 pub use lbist_cores as cores;
 pub use lbist_dft as dft;
+pub use lbist_exec as exec;
 pub use lbist_fault as fault;
 pub use lbist_netlist as netlist;
 pub use lbist_reseed as reseed;

@@ -2,58 +2,53 @@
 //!
 //! The build environment has no network access, so this vendored crate
 //! provides the subset of rayon's API the workspace uses — [`scope`],
-//! [`Scope::spawn`], [`join`] and [`current_num_threads`] — implemented on
-//! `std::thread::scope`. Unlike real rayon there is no work-stealing pool:
-//! every `spawn` is an OS thread. Callers in this workspace spawn one task
-//! per shard with shard count = [`current_num_threads`], for which plain
-//! scoped threads are an excellent substitute.
+//! [`Scope::spawn`], [`join`] and [`current_num_threads`] — with the
+//! same signatures as the real crate. Since the unified execution
+//! layer landed it is a thin facade over `lbist-exec`: spawns run on
+//! the **persistent work-stealing pool** (workers spawned once, parked
+//! when idle, caller-helping waits) instead of the one-OS-thread-per-
+//! spawn scoped threads of the original stub, so nothing outside the
+//! workspace changes while every `rayon::scope` caller inherits the
+//! pool semantics.
 
 #![forbid(unsafe_code)]
 
-use std::num::NonZeroUsize;
-
-/// Number of worker threads a parallel region should use: the machine's
-/// available parallelism, overridable (like rayon) with the
-/// `RAYON_NUM_THREADS` environment variable.
+/// Number of worker threads a parallel region uses: the persistent
+/// pool's size — the machine's available parallelism, overridable
+/// (like rayon) with the `RAYON_NUM_THREADS` environment variable
+/// (read when the pool first initialises).
 pub fn current_num_threads() -> usize {
-    if let Ok(v) = std::env::var("RAYON_NUM_THREADS") {
-        if let Ok(n) = v.parse::<usize>() {
-            if n > 0 {
-                return n;
-            }
-        }
-    }
-    std::thread::available_parallelism().map(NonZeroUsize::get).unwrap_or(1)
+    lbist_exec::current_num_threads()
 }
 
 /// A scope in which borrowed-data tasks can be spawned; all tasks join
 /// before [`scope`] returns.
 pub struct Scope<'scope, 'env: 'scope> {
-    inner: &'scope std::thread::Scope<'scope, 'env>,
+    inner: lbist_exec::Scope<'scope, 'env>,
 }
 
 impl<'scope, 'env> Scope<'scope, 'env> {
-    /// Spawns a task that may borrow from outside the scope. Panics in the
-    /// task are propagated when the scope joins.
+    /// Spawns a task onto the pool; it may borrow from outside the
+    /// scope. Panics in the task are propagated when the scope joins.
     pub fn spawn<F>(&self, f: F)
     where
         F: FnOnce(&Scope<'scope, 'env>) + Send + 'scope,
     {
-        let handoff = Scope { inner: self.inner };
-        self.inner.spawn(move || f(&handoff));
+        self.inner.spawn(move |inner| f(&Scope { inner: inner.clone() }));
     }
 }
 
-/// Creates a scope for spawning borrowed-data tasks; returns once every
-/// spawned task has completed.
+/// Creates a pool-backed scope for spawning borrowed-data tasks;
+/// returns once every spawned task has completed.
 pub fn scope<'env, F, R>(f: F) -> R
 where
     F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
 {
-    std::thread::scope(|s| f(&Scope { inner: s }))
+    lbist_exec::scope(|inner| f(&Scope { inner: inner.clone() }))
 }
 
-/// Runs two closures, potentially in parallel, and returns both results.
+/// Runs two closures, potentially in parallel on the pool, and returns
+/// both results.
 pub fn join<A, B, RA, RB>(a: A, b: B) -> (RA, RB)
 where
     A: FnOnce() -> RA + Send,
@@ -61,11 +56,7 @@ where
     RA: Send,
     RB: Send,
 {
-    std::thread::scope(|s| {
-        let hb = s.spawn(b);
-        let ra = a();
-        (ra, hb.join().expect("joined task panicked"))
-    })
+    lbist_exec::join(a, b)
 }
 
 #[cfg(test)]
@@ -101,6 +92,22 @@ mod tests {
             }
         });
         assert!(buf.iter().all(|&v| v > 0));
+    }
+
+    #[test]
+    fn nested_spawns_reach_the_same_pool() {
+        let counter = AtomicUsize::new(0);
+        scope(|s| {
+            for _ in 0..3 {
+                let counter = &counter;
+                s.spawn(move |outer| {
+                    outer.spawn(move |_| {
+                        counter.fetch_add(1, Ordering::Relaxed);
+                    });
+                });
+            }
+        });
+        assert_eq!(counter.load(Ordering::Relaxed), 3);
     }
 
     #[test]
