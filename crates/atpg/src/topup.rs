@@ -197,30 +197,32 @@ impl<'a> TopUpAtpg<'a> {
             let candidates: Vec<u32> = (0..targets.len() as u32)
                 .filter(|&i| !resolved[i as usize] && sim.detections()[i as usize] == 0)
                 .collect();
-            let workers = if self.threads_auto {
-                self.threads.min(candidates.len().div_ceil(MIN_SHARD_TARGETS)).max(1)
-            } else {
-                self.threads.min(candidates.len()).max(1)
-            };
+            let min_shard = if self.threads_auto { Some(MIN_SHARD_TARGETS) } else { None };
+            let workers = lbist_exec::worker_budget(self.threads, candidates.len(), min_shard);
             let mut outcome_of: Vec<Option<AtpgOutcome>> = vec![None; targets.len()];
             if workers > 1 {
                 let mut shard_out: Vec<Option<AtpgOutcome>> = vec![None; candidates.len()];
-                let shard = candidates.len().div_ceil(workers);
                 let cc = self.cc;
                 let observed: &[NodeId] = &self.observed;
-                lbist_exec::scope(|s| {
-                    for (idx_shard, out_shard) in
-                        candidates.chunks(shard).zip(shard_out.chunks_mut(shard))
-                    {
-                        s.spawn(move |_| {
-                            let mut engine = Podem::new(cc, observed.to_vec());
-                            engine.set_backtrack_limit(limit);
-                            for (&t, slot) in idx_shard.iter().zip(out_shard.iter_mut()) {
-                                *slot = Some(engine.generate(&targets[t as usize]));
-                            }
-                        });
-                    }
-                });
+                // One PODEM engine per worker, built fresh per pass (the
+                // backtrack limit changes between passes).
+                let mut engines: Vec<Podem> = Vec::new();
+                lbist_exec::parallel_chunks_with_scratch(
+                    &candidates,
+                    &mut shard_out,
+                    workers,
+                    &mut engines,
+                    || {
+                        let mut engine = Podem::new(cc, observed.to_vec());
+                        engine.set_backtrack_limit(limit);
+                        engine
+                    },
+                    |idx_shard, out_shard, engine| {
+                        for (&t, slot) in idx_shard.iter().zip(out_shard.iter_mut()) {
+                            *slot = Some(engine.generate(&targets[t as usize]));
+                        }
+                    },
+                );
                 for (&t, out) in candidates.iter().zip(shard_out) {
                     outcome_of[t as usize] = out;
                 }

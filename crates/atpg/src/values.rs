@@ -88,7 +88,8 @@ mod tests {
             for a in [false, true] {
                 for b in [false, true] {
                     let scalar = eval_logic(kind, &[Logic::from_bool(a), Logic::from_bool(b)]);
-                    let wide = eval_gate(kind, &[if a { !0 } else { 0 }, if b { !0 } else { 0 }]);
+                    let wide =
+                        eval_gate(kind, &[if a { !0u64 } else { 0 }, if b { !0u64 } else { 0 }]);
                     assert_eq!(scalar.to_bool(), Some(wide & 1 == 1), "{kind} {a} {b}");
                 }
             }

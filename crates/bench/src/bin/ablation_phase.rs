@@ -52,7 +52,7 @@ fn main() {
         }
         let mut frame = cc.new_frame();
         for _ in 0..batches {
-            fill_frame_from_prpg(&mut arch, &core, &cc, &mut frame);
+            fill_frame_from_prpg(&mut arch, &core, &mut frame);
             for db in arch.domains() {
                 for pair in db.chains.windows(2) {
                     for off in -2i64..=2 {

@@ -1,24 +1,29 @@
 //! Fault-simulation throughput benchmark: serial vs pool-sharded PPSFP
 //! and launch-on-capture transition grading on a generated CPU core,
-//! plus a worker-count sweep and a lane-width PRPG-fill comparison.
+//! plus a worker-count sweep, a **grading-width sweep** (the whole
+//! fill → sim → detect → MISR pipeline at 64/128/256 lanes per pass)
+//! and a lane-width PRPG-fill comparison.
 //!
 //! Emits `BENCH_faultsim.json` (in the working directory) with
 //! patterns/sec, faults-graded/sec, the serial-vs-parallel speedup, a
-//! 1/2/4/max threads sweep (pool-vs-scoped-spawn visibility) and the
+//! 1/2/4/max threads sweep, the grading-width sweep (with cross-width
+//! coverage and signature identity asserted at run time) and the
 //! 64/128/256-lane fill throughput — the perf baseline later PRs
 //! compare against.
 //!
 //! ```text
 //! cargo run --release --bin bench_faultsim [--scale N] [--batches N]
-//!           [--threads N] [--out PATH]
+//!           [--threads N] [--lanes {64,128,256}] [--out PATH]
 //! ```
+//!
+//! `--lanes` selects the frame width of the headline runs and the
+//! threads sweep; the grading-width sweep always covers all three
+//! widths over the identical pattern stream.
 
 use lbist_bench::{arg_value, cli_thread_budget, fill_frame_from_prpg, fill_frames_from_prpg_wide};
-use lbist_core::{StumpsArchitecture, StumpsConfig};
-use lbist_cores::{CoreProfile, CpuCoreGenerator};
-use lbist_dft::{prepare_core, PrepConfig, TpiMethod};
+use lbist_core::{StumpsArchitecture, StumpsConfig, WideGradingOutcome, WideGradingSession};
 use lbist_exec::LaneWord;
-use lbist_fault::{CaptureWindow, CoverageReport, FaultUniverse, StuckAtSim, TransitionSim};
+use lbist_fault::{CaptureWindow, CoverageReport, Fault, FaultUniverse};
 use lbist_sim::CompiledCircuit;
 use std::fmt::Write as _;
 use std::time::Instant;
@@ -31,9 +36,24 @@ struct RunStats {
     /// compaction drops detected faults).
     faults_graded: u64,
     coverage: CoverageReport,
+    /// Width-invariant identity material: the undetected-fault set and
+    /// the accumulated per-domain MISR signatures.
+    undetected: Vec<usize>,
+    signatures: Vec<lbist_tpg::Gf2Vec>,
 }
 
 impl RunStats {
+    fn from_outcome(outcome: WideGradingOutcome, seconds: f64) -> Self {
+        RunStats {
+            seconds,
+            patterns: outcome.patterns,
+            faults_graded: outcome.faults_graded,
+            undetected: outcome.undetected_indices(),
+            signatures: outcome.signatures,
+            coverage: outcome.coverage,
+        }
+    }
+
     fn patterns_per_sec(&self) -> f64 {
         self.patterns as f64 / self.seconds.max(1e-9)
     }
@@ -58,24 +78,82 @@ fn json_run(stats: &RunStats) -> String {
     )
 }
 
+/// One whole stuck-at random phase at width `W` through the grading
+/// pipeline (PRPG fill → sim → detection → MISR), timed.
+fn stuck_run<W: LaneWord>(
+    core: &lbist_dft::BistReadyCore,
+    cc: &CompiledCircuit,
+    faults: &[Fault],
+    batches_64: usize,
+    threads: usize,
+) -> RunStats {
+    let mut session: WideGradingSession<'_, W> =
+        WideGradingSession::new(core, cc, &StumpsConfig::default());
+    session.set_threads(threads);
+    if threads == 1 {
+        // A true serial baseline: no fill/grade overlap either, so the
+        // 1-thread timing stays comparable to the pre-pipeline runs.
+        session.sequential();
+    }
+    let batches = (batches_64 * 64) / W::LANES;
+    let t0 = Instant::now();
+    let outcome = session.run_stuck_at(faults.to_vec(), batches);
+    RunStats::from_outcome(outcome, t0.elapsed().as_secs_f64())
+}
+
+/// One whole transition random phase at width `W`, timed.
+fn transition_run<W: LaneWord>(
+    core: &lbist_dft::BistReadyCore,
+    cc: &CompiledCircuit,
+    faults: &[Fault],
+    batches_64: usize,
+    threads: usize,
+) -> RunStats {
+    let mut session: WideGradingSession<'_, W> =
+        WideGradingSession::new(core, cc, &StumpsConfig::default());
+    session.set_threads(threads);
+    if threads == 1 {
+        session.sequential();
+    }
+    let window = CaptureWindow::all_domains(core.netlist.num_domains().max(1));
+    let batches = (batches_64 * 64) / W::LANES;
+    let t0 = Instant::now();
+    let outcome = session.run_transition(faults.to_vec(), window, batches);
+    RunStats::from_outcome(outcome, t0.elapsed().as_secs_f64())
+}
+
 fn main() {
     let scale: usize = arg_value("--scale").unwrap_or(300);
-    let batches: usize = arg_value("--batches").unwrap_or(16);
+    // Normalised to a multiple of 4 so 128- and 256-lane runs cover the
+    // identical pattern stream.
+    let batches_requested: usize = arg_value("--batches").unwrap_or(16usize);
+    let batches = batches_requested.next_multiple_of(4);
+    if batches != batches_requested {
+        eprintln!(
+            "note: --batches {batches_requested} rounded up to {batches} \
+             (width sweep needs a multiple of 4)"
+        );
+    }
+    let lanes: usize = arg_value("--lanes").unwrap_or(64);
+    if !matches!(lanes, 64 | 128 | 256) {
+        eprintln!("error: `--lanes` must be 64, 128 or 256, got {lanes}");
+        std::process::exit(2);
+    }
     // The shared `--serial` / `--threads N` knobs (with the usual
     // malformed-value diagnostics) instead of a private parse.
     let parallel_threads: usize = cli_thread_budget().unwrap_or_else(rayon::current_num_threads);
     let out_path: String = arg_value("--out").unwrap_or_else(|| "BENCH_faultsim.json".to_string());
 
-    let profile = CoreProfile::core_x().scaled(scale);
+    let profile = lbist_cores::CoreProfile::core_x().scaled(scale);
     println!("generating {} (scale {scale})...", profile.name);
-    let netlist = CpuCoreGenerator::new(profile, 7).generate();
-    let core = prepare_core(
+    let netlist = lbist_cores::CpuCoreGenerator::new(profile, 7).generate();
+    let core = lbist_dft::prepare_core(
         &netlist,
-        &PrepConfig {
+        &lbist_dft::PrepConfig {
             total_chains: 16,
             obs_budget: 0,
-            tpi: TpiMethod::None,
-            ..PrepConfig::default()
+            tpi: lbist_dft::TpiMethod::None,
+            ..lbist_dft::PrepConfig::default()
         },
     );
     let cc = CompiledCircuit::compile(&core.netlist).expect("core compiles");
@@ -94,58 +172,31 @@ fn main() {
         transition_faults.len()
     );
 
-    // Each run gets a fresh architecture so every configuration grades the
-    // identical PRPG pattern stream.
-    let stuck_run = |threads: usize| -> RunStats {
-        let mut arch = StumpsArchitecture::build(&core, &StumpsConfig::default());
-        let mut sim =
-            StuckAtSim::new(&cc, stuck_faults.clone(), StuckAtSim::observe_all_captures(&cc));
-        sim.set_threads(threads);
-        let mut frame = cc.new_frame();
-        let mut faults_graded = 0u64;
-        let t0 = Instant::now();
-        for _ in 0..batches {
-            fill_frame_from_prpg(&mut arch, &core, &cc, &mut frame);
-            faults_graded += sim.active_faults() as u64;
-            sim.run_batch(&mut frame, 64);
+    // Each run builds a fresh (reset) grading session so every
+    // configuration grades the identical PRPG pattern stream.
+    let stuck_at = |t: usize| -> RunStats {
+        match lanes {
+            64 => stuck_run::<u64>(&core, &cc, &stuck_faults, batches, t),
+            128 => stuck_run::<u128>(&core, &cc, &stuck_faults, batches, t),
+            _ => stuck_run::<[u64; 4]>(&core, &cc, &stuck_faults, batches, t),
         }
-        RunStats {
-            seconds: t0.elapsed().as_secs_f64(),
-            patterns: batches as u64 * 64,
-            faults_graded,
-            coverage: sim.coverage(),
+    };
+    let transition = |t: usize| -> RunStats {
+        match lanes {
+            64 => transition_run::<u64>(&core, &cc, &transition_faults, batches, t),
+            128 => transition_run::<u128>(&core, &cc, &transition_faults, batches, t),
+            _ => transition_run::<[u64; 4]>(&core, &cc, &transition_faults, batches, t),
         }
     };
 
-    let transition_run = |threads: usize| -> RunStats {
-        let mut arch = StumpsArchitecture::build(&core, &StumpsConfig::default());
-        let window = CaptureWindow::all_domains(core.netlist.num_domains().max(1));
-        let mut sim = TransitionSim::new(&cc, transition_faults.clone(), window);
-        sim.set_threads(threads);
-        let mut base = cc.new_frame();
-        let mut faults_graded = 0u64;
-        let t0 = Instant::now();
-        for _ in 0..batches {
-            fill_frame_from_prpg(&mut arch, &core, &cc, &mut base);
-            faults_graded += sim.active_faults() as u64;
-            sim.run_batch(&base, 64);
-        }
-        RunStats {
-            seconds: t0.elapsed().as_secs_f64(),
-            patterns: batches as u64 * 64,
-            faults_graded,
-            coverage: sim.coverage(),
-        }
-    };
-
-    println!("stuck-at serial...");
-    let stuck_serial = stuck_run(1);
-    println!("stuck-at parallel ({parallel_threads} threads)...");
-    let stuck_parallel = stuck_run(parallel_threads);
-    println!("transition serial...");
-    let tr_serial = transition_run(1);
-    println!("transition parallel ({parallel_threads} threads)...");
-    let tr_parallel = transition_run(parallel_threads);
+    println!("stuck-at serial ({lanes} lanes)...");
+    let stuck_serial = stuck_at(1);
+    println!("stuck-at parallel ({parallel_threads} threads, {lanes} lanes)...");
+    let stuck_parallel = stuck_at(parallel_threads);
+    println!("transition serial ({lanes} lanes)...");
+    let tr_serial = transition(1);
+    println!("transition parallel ({parallel_threads} threads, {lanes} lanes)...");
+    let tr_parallel = transition(parallel_threads);
 
     // Worker-count sweep (stuck-at): how faults-graded/s scales with the
     // shard budget on the persistent pool.
@@ -156,13 +207,60 @@ fn main() {
         .into_iter()
         .map(|t| {
             println!("stuck-at sweep ({t} threads)...");
-            (t, stuck_run(t))
+            (t, stuck_at(t))
         })
         .collect();
     for (t, stats) in &sweep {
         assert_eq!(
             stats.coverage, stuck_serial.coverage,
             "{t}-thread sweep coverage must be bit-identical"
+        );
+        assert_eq!(
+            stats.signatures, stuck_serial.signatures,
+            "{t}-thread sweep signatures must be bit-identical"
+        );
+    }
+
+    // Grading-width sweep: the whole pipeline at 64/128/256 lanes over
+    // the identical pattern stream, both fault models. The detected
+    // sets and accumulated MISR signatures must be identical at every
+    // width — asserted here, recorded in the JSON.
+    println!("grading-width sweep (64/128/256 lanes, both models)...");
+    let width_sweep: Vec<(usize, RunStats, RunStats)> = vec![
+        (
+            64,
+            stuck_run::<u64>(&core, &cc, &stuck_faults, batches, parallel_threads),
+            transition_run::<u64>(&core, &cc, &transition_faults, batches, parallel_threads),
+        ),
+        (
+            128,
+            stuck_run::<u128>(&core, &cc, &stuck_faults, batches, parallel_threads),
+            transition_run::<u128>(&core, &cc, &transition_faults, batches, parallel_threads),
+        ),
+        (
+            256,
+            stuck_run::<[u64; 4]>(&core, &cc, &stuck_faults, batches, parallel_threads),
+            transition_run::<[u64; 4]>(&core, &cc, &transition_faults, batches, parallel_threads),
+        ),
+    ];
+    let (_, base_stuck, base_tr) = &width_sweep[0];
+    for (w, stuck, tr) in &width_sweep {
+        assert_eq!(stuck.patterns, base_stuck.patterns, "{w}-lane stuck-at pattern count");
+        assert_eq!(
+            stuck.undetected, base_stuck.undetected,
+            "{w}-lane stuck-at detected set must be width-invariant"
+        );
+        assert_eq!(
+            stuck.signatures, base_stuck.signatures,
+            "{w}-lane stuck-at signatures must be width-invariant"
+        );
+        assert_eq!(
+            tr.undetected, base_tr.undetected,
+            "{w}-lane transition detected set must be width-invariant"
+        );
+        assert_eq!(
+            tr.signatures, base_tr.signatures,
+            "{w}-lane transition signatures must be width-invariant"
         );
     }
 
@@ -179,7 +277,7 @@ fn main() {
         let mut frame = cc.new_frame();
         let t0 = Instant::now();
         for _ in 0..fill_passes_64 {
-            fill_frame_from_prpg(&mut arch, &core, &cc, &mut frame);
+            fill_frame_from_prpg(&mut arch, &core, &mut frame);
         }
         FillStats { seconds: t0.elapsed().as_secs_f64(), patterns: fill_passes_64 as u64 * 64 }
     };
@@ -210,6 +308,8 @@ fn main() {
         tr_serial.coverage, tr_parallel.coverage,
         "serial and parallel transition coverage must be bit-identical"
     );
+    assert_eq!(stuck_serial.signatures, stuck_parallel.signatures);
+    assert_eq!(tr_serial.signatures, tr_parallel.signatures);
 
     let stuck_speedup = stuck_serial.seconds / stuck_parallel.seconds.max(1e-9);
     let tr_speedup = tr_serial.seconds / tr_parallel.seconds.max(1e-9);
@@ -228,6 +328,7 @@ fn main() {
     );
     let _ = writeln!(json, "  \"threads\": {parallel_threads},");
     let _ = writeln!(json, "  \"batches\": {batches},");
+    let _ = writeln!(json, "  \"lanes\": {lanes},");
     let _ = writeln!(json, "  \"stuck_at\": {{");
     let _ = writeln!(json, "    \"serial\": {},", json_run(&stuck_serial));
     let _ = writeln!(json, "    \"parallel\": {},", json_run(&stuck_parallel));
@@ -247,6 +348,21 @@ fn main() {
             writeln!(json, "    {{\"threads\": {t}, \"stuck_at\": {}}}{comma}", json_run(stats));
     }
     let _ = writeln!(json, "  ],");
+    let _ = writeln!(json, "  \"grading_width_sweep\": {{");
+    let _ = writeln!(json, "    \"coverage_identical\": true,");
+    let _ = writeln!(json, "    \"signatures_identical\": true,");
+    let _ = writeln!(json, "    \"widths\": [");
+    for (i, (w, stuck, tr)) in width_sweep.iter().enumerate() {
+        let comma = if i + 1 < width_sweep.len() { "," } else { "" };
+        let _ = writeln!(
+            json,
+            "      {{\"lanes\": {w}, \"stuck_at\": {}, \"transition\": {}}}{comma}",
+            json_run(stuck),
+            json_run(tr)
+        );
+    }
+    let _ = writeln!(json, "    ]");
+    let _ = writeln!(json, "  }},");
     let json_fill = |f: &FillStats| {
         format!(
             "{{\"seconds\": {:.6}, \"patterns\": {}, \"patterns_per_sec\": {:.1}}}",
@@ -277,6 +393,14 @@ fn main() {
     let sweep_summary: Vec<String> =
         sweep.iter().map(|(t, s)| format!("{t}t: {:.0}", s.faults_graded_per_sec())).collect();
     println!("stuck-at sweep (faults-graded/s): {}", sweep_summary.join(", "));
+    // Patterns/s is the cross-width metric: the faults-graded counter
+    // shrinks with the batch count (one wide batch scans the active
+    // list once for 4× the patterns).
+    let width_summary: Vec<String> = width_sweep
+        .iter()
+        .map(|(w, s, t)| format!("{w}l: {:.0}/{:.0}", s.patterns_per_sec(), t.patterns_per_sec()))
+        .collect();
+    println!("grading width sweep (stuck/transition patterns/s): {}", width_summary.join(", "));
     println!(
         "prpg fill: {:.0}/{:.0}/{:.0} patterns/s at 64/128/256 lanes",
         fill_64.patterns as f64 / fill_64.seconds.max(1e-9),

@@ -91,7 +91,7 @@ fn run_flow(
     );
     let mut frame = cc.new_frame();
     for _ in 0..cfg.random_patterns / 64 {
-        fill_frame_from_prpg(&mut arch, core, cc, &mut frame);
+        fill_frame_from_prpg(&mut arch, core, &mut frame);
         sim_base.run_batch(&mut frame, 64);
         sim_seed.run_batch(&mut frame, 64);
     }

@@ -24,120 +24,19 @@
 use lbist_atpg::TopUpAtpg;
 use lbist_core::{StumpsArchitecture, StumpsConfig};
 use lbist_cores::{CoreProfile, CpuCoreGenerator};
-use lbist_dft::{prepare_core, BistReadyCore, PrepConfig, TpiMethod};
+use lbist_dft::{prepare_core, PrepConfig, TpiMethod};
 use lbist_fault::{FaultUniverse, StuckAtSim};
 use lbist_sim::CompiledCircuit;
 use std::time::{Duration, Instant};
 
-/// Fills 64 lanes of `frame` with genuine PRPG-generated scan states: each
-/// lane is what the chains hold after a full shift-in, exactly as the
-/// self-test session loads them. Primary inputs are held at zero
-/// (`test_mode` high), as in BIST mode.
-///
-/// Word-level fill: each domain PRPG steps all 64 loads bit-parallel
-/// ([`lbist_tpg::Prpg::fill_lanes`]), so every shift cycle yields one
-/// packed 64-lane word per chain that is stored straight into the scan
-/// cell's frame word. No per-lane shift loops, no per-lane heap
-/// allocation — the hot path of every random-phase batch.
-pub fn fill_frame_from_prpg(
-    arch: &mut StumpsArchitecture,
-    core: &BistReadyCore,
-    _cc: &CompiledCircuit,
-    frame: &mut [u64],
-) {
-    for w in frame.iter_mut() {
-        *w = 0;
-    }
-    frame[core.test_mode().index()] = !0;
-    let shift_cycles = arch.max_chain_length().max(1);
-    for db in arch.domains_mut() {
-        let chains = &db.chains;
-        db.prpg.fill_lanes(shift_cycles, |cycle, words| {
-            // After `shift_cycles` shifts, cell i holds the bit inserted
-            // at cycle shift_cycles-1-i; equivalently the bits of cycle
-            // `cycle` land in cell `shift_cycles - 1 - cycle` of every
-            // chain long enough to still hold them.
-            let cell_pos = shift_cycles - 1 - cycle;
-            for (chain, &word) in chains.iter().zip(words) {
-                if let Some(&cell) = chain.cells.get(cell_pos) {
-                    frame[cell.index()] = word;
-                }
-            }
-        });
-    }
-}
-
-/// The lane-width-generic batch fill: one PRPG pass produces
-/// `W::LANES` consecutive scan loads, delivered as `W::WORDS` standard
-/// 64-lane frames (`frames[k]` carries loads `64k..64k+63`). By the
-/// [`LaneWord`](lbist_exec::LaneWord) sub-word layout this is
-/// **bit-identical to `W::WORDS` consecutive [`fill_frame_from_prpg`]
-/// calls** — and to the scalar per-lane reference — on any
-/// architecture (enforced by property tests over random cores), while
-/// amortising the per-batch lane fork and phase-shifter evaluation
-/// across 2–4× more patterns.
-///
-/// # Panics
-///
-/// Panics if `frames.len() != W::WORDS`.
-pub fn fill_frames_from_prpg_wide<W: lbist_exec::LaneWord>(
-    arch: &mut StumpsArchitecture,
-    core: &BistReadyCore,
-    frames: &mut [Vec<u64>],
-) {
-    assert_eq!(frames.len(), W::WORDS, "one 64-lane frame per LaneWord sub-word");
-    for frame in frames.iter_mut() {
-        for w in frame.iter_mut() {
-            *w = 0;
-        }
-        frame[core.test_mode().index()] = !0;
-    }
-    let shift_cycles = arch.max_chain_length().max(1);
-    for db in arch.domains_mut() {
-        let chains = &db.chains;
-        db.prpg.fill_lanes_wide::<W>(shift_cycles, |cycle, words| {
-            let cell_pos = shift_cycles - 1 - cycle;
-            for (chain, &word) in chains.iter().zip(words) {
-                if let Some(&cell) = chain.cells.get(cell_pos) {
-                    for (k, frame) in frames.iter_mut().enumerate() {
-                        frame[cell.index()] = word.word(k);
-                    }
-                }
-            }
-        });
-    }
-}
-
-/// Fills a single lane of `frame` with one PRPG scan load, stepping every
-/// domain's PRPG exactly one load's worth of cycles — the scalar
-/// counterpart of [`fill_frame_from_prpg`] for streams whose loads are not
-/// 64-aligned (e.g. the single deterministic load after a reseed window).
-/// Only the targeted lane's bits of the scan cells are touched; the
-/// caller zeroes the frame and holds `test_mode` as usual.
-///
-/// # Panics
-///
-/// Panics if `lane >= 64`.
-pub fn fill_lane_from_prpg(arch: &mut StumpsArchitecture, frame: &mut [u64], lane: usize) {
-    assert!(lane < 64, "a frame holds 64 lanes");
-    let shift_cycles = arch.max_chain_length().max(1);
-    let mask = 1u64 << lane;
-    for db in arch.domains_mut() {
-        for cycle in 0..shift_cycles {
-            let bits = db.prpg.step_vector();
-            let cell_pos = shift_cycles - 1 - cycle;
-            for (chain, bit) in db.chains.iter().zip(bits) {
-                if let Some(&cell) = chain.cells.get(cell_pos) {
-                    if bit {
-                        frame[cell.index()] |= mask;
-                    } else {
-                        frame[cell.index()] &= !mask;
-                    }
-                }
-            }
-        }
-    }
-}
+/// The PRPG frame fills moved into `lbist-core` (`lbist_core::fill`)
+/// when the grading pipeline went lane-width generic — they are
+/// architecture properties, not bench harness code. Re-exported here so
+/// the experiment binaries and property tests keep one import path.
+pub use lbist_core::{
+    fill_frame_from_prpg, fill_frames_from_prpg_wide, fill_lane_from_prpg,
+    fill_wide_frame_from_prpg,
+};
 
 /// One core's measured Table 1 column.
 #[derive(Clone, Debug)]
@@ -218,7 +117,7 @@ pub fn run_table1_flow(
     let mut frame = cc.new_frame();
     let batches = random_patterns.div_ceil(64);
     for _ in 0..batches {
-        fill_frame_from_prpg(&mut arch, &core, &cc, &mut frame);
+        fill_frame_from_prpg(&mut arch, &core, &mut frame);
         sim.run_batch(&mut frame, 64);
     }
     let fc1 = sim.coverage();
@@ -402,7 +301,7 @@ mod tests {
         for batch in 0..2 {
             let mut frame = cc.new_frame();
             let mut ref_frame = cc.new_frame();
-            fill_frame_from_prpg(&mut arch, &core, &cc, &mut frame);
+            fill_frame_from_prpg(&mut arch, &core, &mut frame);
             scalar_fill(&mut arch_ref, &mut ref_frame);
             assert_eq!(frame, ref_frame, "word-level fill diverged in batch {batch}");
         }
@@ -428,7 +327,7 @@ mod tests {
         let mut arch_batch = StumpsArchitecture::build(&core, &stumps);
         let mut arch_lane = StumpsArchitecture::build(&core, &stumps);
         let mut batch_frame = cc.new_frame();
-        fill_frame_from_prpg(&mut arch_batch, &core, &cc, &mut batch_frame);
+        fill_frame_from_prpg(&mut arch_batch, &core, &mut batch_frame);
         let mut lane_frame = cc.new_frame();
         lane_frame[core.test_mode().index()] = !0;
         for lane in 0..64 {
@@ -457,7 +356,7 @@ mod tests {
         let cc = CompiledCircuit::compile(&core.netlist).unwrap();
         let mut arch = StumpsArchitecture::build(&core, &StumpsConfig::default());
         let mut frame = cc.new_frame();
-        fill_frame_from_prpg(&mut arch, &core, &cc, &mut frame);
+        fill_frame_from_prpg(&mut arch, &core, &mut frame);
         // Lanes must differ (the PRPG advances) and chains get nonzero data.
         let ff_words: Vec<u64> = cc.dffs().iter().map(|&ff| frame[ff.index()]).collect();
         assert!(ff_words.iter().any(|&w| w != 0));

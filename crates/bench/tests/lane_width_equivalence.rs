@@ -64,7 +64,7 @@ fn check_width<W: LaneWord>(s: &Scenario) {
 
         for (k, wide_frame) in wide_frames.iter().enumerate() {
             let mut ref_frame = cc.new_frame();
-            fill_frame_from_prpg(&mut arch_64, &core, &cc, &mut ref_frame);
+            fill_frame_from_prpg(&mut arch_64, &core, &mut ref_frame);
             assert_eq!(
                 *wide_frame,
                 ref_frame,

@@ -1,0 +1,209 @@
+//! Architecture-level PRPG frame fills: turning the per-domain PRPG
+//! streams into simulation frames of scan states, at any lane width.
+//!
+//! These used to live in the bench harness, but they are properties of
+//! the STUMPS architecture, not of any experiment: a *fill* is what the
+//! chains hold after a full shift-in, exactly as [`crate::SelfTestSession`]
+//! loads them, packed one scan load per frame lane. The graders
+//! (`lbist-fault`) consume the frames directly, so the whole
+//! fill → simulate → detect pipeline is lane-width generic end to end.
+
+use crate::architecture::StumpsArchitecture;
+use lbist_dft::BistReadyCore;
+use lbist_exec::LaneWord;
+
+/// Fills 64 lanes of `frame` with genuine PRPG-generated scan states —
+/// [`fill_wide_frame_from_prpg`] at the default 64-lane width, kept as
+/// its own entry point because the 64-lane PRPG scratch is cached
+/// inside each [`lbist_tpg::Prpg`]: steady-state batch fills perform
+/// **no heap allocation**. Primary inputs are held at zero
+/// (`test_mode` high), as in BIST mode.
+pub fn fill_frame_from_prpg(
+    arch: &mut StumpsArchitecture,
+    core: &BistReadyCore,
+    frame: &mut [u64],
+) {
+    for w in frame.iter_mut() {
+        *w = 0;
+    }
+    frame[core.test_mode().index()] = !0;
+    let shift_cycles = arch.max_chain_length().max(1);
+    for db in arch.domains_mut() {
+        let chains = &db.chains;
+        db.prpg.fill_lanes(shift_cycles, |cycle, words| {
+            // After `shift_cycles` shifts, cell i holds the bit inserted
+            // at cycle shift_cycles-1-i; equivalently the bits of cycle
+            // `cycle` land in cell `shift_cycles - 1 - cycle` of every
+            // chain long enough to still hold them.
+            let cell_pos = shift_cycles - 1 - cycle;
+            for (chain, &word) in chains.iter().zip(words) {
+                if let Some(&cell) = chain.cells.get(cell_pos) {
+                    frame[cell.index()] = word;
+                }
+            }
+        });
+    }
+}
+
+/// Fills all `W::LANES` lanes of one **wide** frame (one `W` word per
+/// node) with consecutive PRPG scan loads: lane `ℓ` is what the chains
+/// hold after the `ℓ`-th full shift-in of the stream. This is the fill
+/// the lane-width-generic graders consume directly — no de-staging of
+/// a wide PRPG pass into stacks of 64-lane frames. By the
+/// [`LaneWord`] sub-word layout, `frame[node].word(k)` is bit-identical
+/// to the `k`-th of `W::WORDS` consecutive [`fill_frame_from_prpg`]
+/// frames (property-tested in the bench crate).
+///
+/// The wide lane machinery is built per call
+/// ([`lbist_tpg::Prpg::fill_lanes_wide`]); a pass amortises it over
+/// 2–4× more patterns than the cached 64-lane path.
+pub fn fill_wide_frame_from_prpg<W: LaneWord>(
+    arch: &mut StumpsArchitecture,
+    core: &BistReadyCore,
+    frame: &mut [W],
+) {
+    for w in frame.iter_mut() {
+        *w = W::zero();
+    }
+    frame[core.test_mode().index()] = W::ones();
+    let shift_cycles = arch.max_chain_length().max(1);
+    for db in arch.domains_mut() {
+        let chains = &db.chains;
+        db.prpg.fill_lanes_wide::<W>(shift_cycles, |cycle, words| {
+            let cell_pos = shift_cycles - 1 - cycle;
+            for (chain, &word) in chains.iter().zip(words) {
+                if let Some(&cell) = chain.cells.get(cell_pos) {
+                    frame[cell.index()] = word;
+                }
+            }
+        });
+    }
+}
+
+/// The de-staged wide batch fill: one PRPG pass produces `W::LANES`
+/// consecutive scan loads delivered as `W::WORDS` standard 64-lane
+/// frames (`frames[k]` carries loads `64k..64k+63`). Bit-identical to
+/// `W::WORDS` consecutive [`fill_frame_from_prpg`] calls — and to one
+/// [`fill_wide_frame_from_prpg`] call split sub-word by sub-word.
+/// Kept for consumers that still want `u64` frames (the fill-throughput
+/// bench and the lane-width property tests); the graders now take the
+/// wide frame directly.
+///
+/// # Panics
+///
+/// Panics if `frames.len() != W::WORDS`.
+pub fn fill_frames_from_prpg_wide<W: LaneWord>(
+    arch: &mut StumpsArchitecture,
+    core: &BistReadyCore,
+    frames: &mut [Vec<u64>],
+) {
+    assert_eq!(frames.len(), W::WORDS, "one 64-lane frame per LaneWord sub-word");
+    for frame in frames.iter_mut() {
+        for w in frame.iter_mut() {
+            *w = 0;
+        }
+        frame[core.test_mode().index()] = !0;
+    }
+    let shift_cycles = arch.max_chain_length().max(1);
+    for db in arch.domains_mut() {
+        let chains = &db.chains;
+        db.prpg.fill_lanes_wide::<W>(shift_cycles, |cycle, words| {
+            let cell_pos = shift_cycles - 1 - cycle;
+            for (chain, &word) in chains.iter().zip(words) {
+                if let Some(&cell) = chain.cells.get(cell_pos) {
+                    for (k, frame) in frames.iter_mut().enumerate() {
+                        frame[cell.index()] = word.word(k);
+                    }
+                }
+            }
+        });
+    }
+}
+
+/// Fills a single lane of `frame` with one PRPG scan load, stepping every
+/// domain's PRPG exactly one load's worth of cycles — the scalar
+/// counterpart of [`fill_frame_from_prpg`] for streams whose loads are not
+/// 64-aligned (e.g. the single deterministic load after a reseed window).
+/// Only the targeted lane's bits of the scan cells are touched; the
+/// caller zeroes the frame and holds `test_mode` as usual.
+///
+/// # Panics
+///
+/// Panics if `lane >= 64`.
+pub fn fill_lane_from_prpg(arch: &mut StumpsArchitecture, frame: &mut [u64], lane: usize) {
+    assert!(lane < 64, "a frame holds 64 lanes");
+    let shift_cycles = arch.max_chain_length().max(1);
+    let mask = 1u64 << lane;
+    for db in arch.domains_mut() {
+        for cycle in 0..shift_cycles {
+            let bits = db.prpg.step_vector();
+            let cell_pos = shift_cycles - 1 - cycle;
+            for (chain, bit) in db.chains.iter().zip(bits) {
+                if let Some(&cell) = chain.cells.get(cell_pos) {
+                    if bit {
+                        frame[cell.index()] |= mask;
+                    } else {
+                        frame[cell.index()] &= !mask;
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::architecture::StumpsConfig;
+    use lbist_cores::{CoreProfile, CpuCoreGenerator};
+    use lbist_dft::{prepare_core, PrepConfig, TpiMethod};
+    use lbist_sim::CompiledCircuit;
+
+    fn small_core() -> BistReadyCore {
+        let nl = CpuCoreGenerator::new(CoreProfile::core_x().scaled(600), 21).generate();
+        prepare_core(
+            &nl,
+            &PrepConfig {
+                total_chains: 5,
+                obs_budget: 0,
+                tpi: TpiMethod::None,
+                ..PrepConfig::default()
+            },
+        )
+    }
+
+    /// The wide single-frame fill is, sub-word for sub-word, the
+    /// de-staged multi-frame fill (and hence the 64-lane stream).
+    #[test]
+    fn wide_frame_fill_matches_destaged_frames() {
+        fn check<W: LaneWord>() {
+            let core = small_core();
+            let cc = CompiledCircuit::compile(&core.netlist).unwrap();
+            let stumps = StumpsConfig::default();
+            let mut arch_wide = StumpsArchitecture::build(&core, &stumps);
+            let mut arch_destaged = StumpsArchitecture::build(&core, &stumps);
+            for batch in 0..2 {
+                let mut wide: Vec<W> = cc.new_wide_frame();
+                fill_wide_frame_from_prpg(&mut arch_wide, &core, &mut wide);
+                let mut frames: Vec<Vec<u64>> = (0..W::WORDS).map(|_| cc.new_frame()).collect();
+                fill_frames_from_prpg_wide::<W>(&mut arch_destaged, &core, &mut frames);
+                for (k, frame) in frames.iter().enumerate() {
+                    for idx in 0..frame.len() {
+                        assert_eq!(
+                            wide[idx].word(k),
+                            frame[idx],
+                            "{} lanes: batch {batch} node {idx} sub-word {k}",
+                            W::LANES
+                        );
+                    }
+                }
+            }
+            for (a, b) in arch_wide.domains().iter().zip(arch_destaged.domains()) {
+                assert_eq!(a.prpg.lfsr().state(), b.prpg.lfsr().state());
+            }
+        }
+        check::<u64>();
+        check::<u128>();
+        check::<[u64; 4]>();
+    }
+}

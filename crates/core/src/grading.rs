@@ -1,0 +1,423 @@
+//! The lane-width-generic grading pipeline: PRPG fill → bit-parallel
+//! fault simulation → detection → MISR signature compaction, end to
+//! end at 64, 128 or 256 lanes per pass.
+//!
+//! PR 4 made pattern *generation* width-generic; this module closes the
+//! loop on the grade side. A [`WideGradingSession`] owns the STUMPS
+//! architecture and drives whole self-test random phases through the
+//! width-generic engines:
+//!
+//! * **Fill** — [`crate::fill_wide_frame_from_prpg`] packs `W::LANES`
+//!   consecutive scan loads into one wide frame, fed to the graders
+//!   directly (no de-staging into 64-lane frames).
+//! * **Pipeline** — PRPG fill of batch *k+1* runs on the `lbist-exec`
+//!   pool **while batch *k* grades**: the fill touches only the
+//!   architecture's PRPG state, the grader only the simulator and the
+//!   current frame, so the overlap cannot change results (enforced by
+//!   test against the unpipelined loop).
+//! * **Grade** — [`lbist_fault::WideStuckAtSim`] /
+//!   [`lbist_fault::WideTransitionSim`] at the same `W`.
+//! * **Compact** — each batch's fault-free responses unload through the
+//!   domain's [`SpaceCompactor`] (word-level) into a [`LaneMisr`] bank;
+//!   the per-lane signatures fold into one accumulated signature per
+//!   domain. Linearity of the MISR makes the accumulated signature
+//!   **width-invariant**: 64-, 128- and 256-lane runs over the same
+//!   pattern stream produce bit-identical signatures (property-tested
+//!   in the bench crate), so a signature regression caught at 256
+//!   lanes is a real regression, not a width artifact.
+
+use crate::architecture::{StumpsArchitecture, StumpsConfig};
+use crate::fill::fill_wide_frame_from_prpg;
+use lbist_dft::BistReadyCore;
+use lbist_exec::LaneWord;
+use lbist_fault::{CaptureWindow, CoverageReport, Fault, WideStuckAtSim, WideTransitionSim};
+use lbist_netlist::NodeId;
+use lbist_sim::CompiledCircuit;
+use lbist_tpg::{Gf2Vec, LaneMisr, SpaceCompactor};
+
+/// What one graded random phase produced.
+#[derive(Clone, Debug, PartialEq)]
+pub struct WideGradingOutcome {
+    /// Coverage over the graded fault list.
+    pub coverage: CoverageReport,
+    /// Per-fault detection counts, in fault-list order.
+    pub detections: Vec<u32>,
+    /// Accumulated fault-free response signature per domain, in domain
+    /// order (the XOR-fold of every pattern's unload signature).
+    pub signatures: Vec<Gf2Vec>,
+    /// Patterns graded.
+    pub patterns: u64,
+    /// Lanes per pass the phase ran at.
+    pub lanes: usize,
+    /// Fault-grading operations: Σ over batches of the active-fault
+    /// count entering the batch (what the engine actually scans —
+    /// shrinks as compaction drops detected faults).
+    pub faults_graded: u64,
+}
+
+impl WideGradingOutcome {
+    /// Indices of faults the phase left undetected — the
+    /// width-invariant coverage *set* (detection counts are only exact
+    /// across widths when dropping is disabled, because drop timing is
+    /// batch-granular).
+    pub fn undetected_indices(&self) -> Vec<usize> {
+        (0..self.detections.len()).filter(|&i| self.detections[i] == 0).collect()
+    }
+}
+
+/// Snapshot of one domain's unload path, taken at session build so the
+/// response compaction can run while the architecture's PRPG state is
+/// mutably borrowed by the pipelined fill.
+#[derive(Debug)]
+struct DomainUnload {
+    /// Scan cells per chain, chain order preserved.
+    chains: Vec<Vec<NodeId>>,
+    compactor: SpaceCompactor,
+}
+
+/// A whole-session grading run at lane width `W`.
+///
+/// # Example
+///
+/// ```no_run
+/// use lbist_core::{StumpsConfig, WideGradingSession};
+/// use lbist_cores::{CoreProfile, CpuCoreGenerator};
+/// use lbist_dft::{prepare_core, PrepConfig};
+/// use lbist_fault::FaultUniverse;
+/// use lbist_sim::CompiledCircuit;
+///
+/// let nl = CpuCoreGenerator::new(CoreProfile::core_x().scaled(400), 1).generate();
+/// let core = prepare_core(&nl, &PrepConfig::default());
+/// let cc = CompiledCircuit::compile(&core.netlist).unwrap();
+/// let faults = FaultUniverse::stuck_at(&core.netlist).representatives();
+/// // 256 lanes per pass: 4 batches grade 1024 patterns.
+/// let mut session: WideGradingSession<'_, [u64; 4]> =
+///     WideGradingSession::new(&core, &cc, &StumpsConfig::default());
+/// let outcome = session.run_stuck_at(faults, 4);
+/// assert_eq!(outcome.patterns, 1024);
+/// ```
+#[derive(Debug)]
+pub struct WideGradingSession<'a, W: LaneWord = u64> {
+    core: &'a BistReadyCore,
+    cc: &'a CompiledCircuit,
+    arch: StumpsArchitecture,
+    /// Unload-path snapshot per domain (chain cells + compactor).
+    unload: Vec<DomainUnload>,
+    /// One signature bank per domain, reused across batches.
+    banks: Vec<LaneMisr<W>>,
+    /// Accumulated per-domain signatures of the current run.
+    signatures: Vec<Gf2Vec>,
+    shift_cycles: usize,
+    threads: Option<usize>,
+    drop_after: u32,
+    /// `false` disables the fill/grade overlap (the sequential
+    /// reference the pipelining equivalence test compares against).
+    pipelined: bool,
+}
+
+impl<'a, W: LaneWord> WideGradingSession<'a, W> {
+    /// Builds the grading session: STUMPS hardware from `config`, one
+    /// response-signature bank per domain.
+    pub fn new(core: &'a BistReadyCore, cc: &'a CompiledCircuit, config: &StumpsConfig) -> Self {
+        let arch = StumpsArchitecture::build(core, config);
+        let unload: Vec<DomainUnload> = arch
+            .domains()
+            .iter()
+            .map(|db| DomainUnload {
+                chains: db.chains.iter().map(|c| c.cells.clone()).collect(),
+                compactor: db.compactor.clone(),
+            })
+            .collect();
+        let banks: Vec<LaneMisr<W>> = arch
+            .domains()
+            .iter()
+            .map(|db| LaneMisr::new(db.misr.poly().clone(), db.misr.num_inputs()))
+            .collect();
+        let signatures = banks.iter().map(|b| Gf2Vec::zeros(b.width())).collect();
+        WideGradingSession {
+            shift_cycles: arch.max_chain_length().max(1),
+            core,
+            cc,
+            arch,
+            unload,
+            banks,
+            signatures,
+            threads: None,
+            drop_after: 1,
+            pipelined: true,
+        }
+    }
+
+    /// Sets the grading worker budget (`1` = serial grading; the fill
+    /// overlap is unaffected — it is deterministic either way).
+    pub fn set_threads(&mut self, n: usize) -> &mut Self {
+        self.threads = Some(n);
+        self
+    }
+
+    /// Sets the n-detect drop budget (default 1). `u32::MAX` disables
+    /// dropping, which makes detection *counts* exact across lane
+    /// widths (the detected *set* is width-invariant regardless).
+    pub fn set_drop_after(&mut self, n: u32) -> &mut Self {
+        self.drop_after = n;
+        self
+    }
+
+    /// Disables the fill/grade pipeline overlap (sequential reference
+    /// for the equivalence tests; results are bit-identical).
+    pub fn sequential(&mut self) -> &mut Self {
+        self.pipelined = false;
+        self
+    }
+
+    /// Lanes graded per pass.
+    pub fn lanes(&self) -> usize {
+        W::LANES
+    }
+
+    /// Grades `batches` random-phase batches (`batches · W::LANES`
+    /// patterns) against `faults` under the stuck-at model, compacting
+    /// every batch's fault-free responses into the per-domain
+    /// signatures. The architecture is reset first, so identical calls
+    /// reproduce identical outcomes.
+    pub fn run_stuck_at(&mut self, faults: Vec<Fault>, batches: usize) -> WideGradingOutcome {
+        self.begin_run();
+        let observed = lbist_fault::StuckAtSim::observe_all_captures(self.cc);
+        let mut sim: WideStuckAtSim<'_, W> = WideStuckAtSim::new(self.cc, faults, observed);
+        sim.set_drop_after(self.drop_after);
+        if let Some(n) = self.threads {
+            sim.set_threads(n);
+        }
+
+        let cc = self.cc;
+        let core = self.core;
+        let arch = &mut self.arch;
+        let pipelined = self.pipelined;
+        let mut cur: Vec<W> = cc.new_wide_frame();
+        let mut next: Vec<W> = cc.new_wide_frame();
+        let mut faults_graded = 0u64;
+        if batches > 0 {
+            fill_wide_frame_from_prpg(arch, core, &mut cur);
+        }
+        for batch in 0..batches {
+            let last = batch + 1 == batches;
+            faults_graded += sim.active_faults() as u64;
+            if last || !pipelined {
+                sim.run_batch(&mut cur, W::LANES);
+                if !last {
+                    fill_wide_frame_from_prpg(arch, core, &mut next);
+                }
+            } else {
+                // Fill batch k+1 while grading batch k: disjoint state
+                // (PRPG stream vs simulator + current frame), so the
+                // overlap cannot change results.
+                let sim = &mut sim;
+                let cur = &mut cur;
+                let next = &mut next;
+                lbist_exec::join(
+                    || sim.run_batch(cur, W::LANES),
+                    || fill_wide_frame_from_prpg(arch, core, next),
+                );
+            }
+            // `cur` now holds the fault-free evaluation: captured
+            // responses are the D-pin words the capture latches.
+            let frame: &[W] = &cur;
+            absorb_batch(
+                &self.unload,
+                &mut self.banks,
+                &mut self.signatures,
+                self.shift_cycles,
+                |cell| frame[cc.fanins(cell)[0].index()],
+            );
+            std::mem::swap(&mut cur, &mut next);
+        }
+
+        WideGradingOutcome {
+            coverage: sim.coverage(),
+            detections: sim.detections().to_vec(),
+            signatures: self.signatures.clone(),
+            patterns: (batches * W::LANES) as u64,
+            lanes: W::LANES,
+            faults_graded,
+        }
+    }
+
+    /// Grades `batches` random-phase batches against `faults` under the
+    /// launch-on-capture transition model across `window`, compacting
+    /// each batch's fault-free end-of-window flip-flop states into the
+    /// per-domain signatures.
+    pub fn run_transition(
+        &mut self,
+        faults: Vec<Fault>,
+        window: CaptureWindow,
+        batches: usize,
+    ) -> WideGradingOutcome {
+        self.begin_run();
+        let mut sim: WideTransitionSim<'_, W> = WideTransitionSim::new(self.cc, faults, window);
+        sim.set_drop_after(self.drop_after);
+        if let Some(n) = self.threads {
+            sim.set_threads(n);
+        }
+
+        let cc = self.cc;
+        let core = self.core;
+        let arch = &mut self.arch;
+        let pipelined = self.pipelined;
+        let mut cur: Vec<W> = cc.new_wide_frame();
+        let mut next: Vec<W> = cc.new_wide_frame();
+        let mut faults_graded = 0u64;
+        if batches > 0 {
+            fill_wide_frame_from_prpg(arch, core, &mut cur);
+        }
+        for batch in 0..batches {
+            let last = batch + 1 == batches;
+            faults_graded += sim.active_faults() as u64;
+            if last || !pipelined {
+                sim.run_batch(&cur, W::LANES);
+                if !last {
+                    fill_wide_frame_from_prpg(arch, core, &mut next);
+                }
+            } else {
+                let sim = &mut sim;
+                let cur = &cur;
+                let next = &mut next;
+                lbist_exec::join(
+                    || sim.run_batch(cur, W::LANES),
+                    || fill_wide_frame_from_prpg(arch, core, next),
+                );
+            }
+            // The unload observes the end-of-window flip-flop states.
+            let final_frame = sim.last_good_frame();
+            absorb_batch(
+                &self.unload,
+                &mut self.banks,
+                &mut self.signatures,
+                self.shift_cycles,
+                |cell| final_frame[cell.index()],
+            );
+            std::mem::swap(&mut cur, &mut next);
+        }
+
+        WideGradingOutcome {
+            coverage: sim.coverage(),
+            detections: sim.detections().to_vec(),
+            signatures: self.signatures.clone(),
+            patterns: (batches * W::LANES) as u64,
+            lanes: W::LANES,
+            faults_graded,
+        }
+    }
+
+    fn begin_run(&mut self) {
+        self.arch.reset();
+        for bank in &mut self.banks {
+            bank.reset();
+        }
+        for sig in &mut self.signatures {
+            *sig = Gf2Vec::zeros(sig.len());
+        }
+    }
+}
+
+/// Compacts one batch's fault-free responses: for every domain, every
+/// unload cycle feeds the chain-tail words through the space compactor
+/// into the domain's [`LaneMisr`] bank; the bank's lane signatures then
+/// fold (XOR) into the accumulated domain signature. Unload cycle `s`
+/// emits chain cell `len-1-s` (scan-out end first); exhausted chains
+/// contribute zero — a fixed convention, identical at every width.
+fn absorb_batch<W: LaneWord>(
+    unload: &[DomainUnload],
+    banks: &mut [LaneMisr<W>],
+    signatures: &mut [Gf2Vec],
+    shift_cycles: usize,
+    captured: impl Fn(NodeId) -> W,
+) {
+    let mut tails: Vec<W> = Vec::new();
+    let mut compacted: Vec<W> = Vec::new();
+    for ((dom, bank), sig) in unload.iter().zip(banks.iter_mut()).zip(signatures.iter_mut()) {
+        compacted.clear();
+        compacted.resize(dom.compactor.num_outputs(), W::zero());
+        for s in 0..shift_cycles {
+            tails.clear();
+            for cells in &dom.chains {
+                let w =
+                    if s < cells.len() { captured(cells[cells.len() - 1 - s]) } else { W::zero() };
+                tails.push(w);
+            }
+            // Domains sized for at least one chain input pad with zero.
+            tails.resize(dom.compactor.num_chains(), W::zero());
+            dom.compactor.compact_words(&tails, &mut compacted);
+            bank.clock(&compacted);
+        }
+        sig.xor_assign(&bank.folded_signature(W::LANES));
+        bank.reset();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lbist_cores::{CoreProfile, CpuCoreGenerator};
+    use lbist_dft::{prepare_core, PrepConfig, TpiMethod};
+    use lbist_fault::FaultUniverse;
+
+    fn core() -> BistReadyCore {
+        let nl = CpuCoreGenerator::new(CoreProfile::core_x().scaled(500), 23).generate();
+        prepare_core(
+            &nl,
+            &PrepConfig {
+                total_chains: 6,
+                obs_budget: 0,
+                tpi: TpiMethod::None,
+                ..PrepConfig::default()
+            },
+        )
+    }
+
+    /// The pipelined loop (fill k+1 while grading k) is bit-identical
+    /// to the sequential loop, for both fault models.
+    #[test]
+    fn pipelined_and_sequential_runs_are_bit_identical() {
+        let c = core();
+        let cc = CompiledCircuit::compile(&c.netlist).unwrap();
+        let stuck = FaultUniverse::stuck_at(&c.netlist).representatives();
+        let transition: Vec<Fault> = FaultUniverse::transition(&c.netlist)
+            .representatives()
+            .into_iter()
+            .filter(|f| f.is_stem())
+            .collect();
+        let stumps = StumpsConfig::default();
+
+        let mut pipelined: WideGradingSession<'_, u128> = WideGradingSession::new(&c, &cc, &stumps);
+        let mut sequential: WideGradingSession<'_, u128> =
+            WideGradingSession::new(&c, &cc, &stumps);
+        sequential.sequential();
+
+        let a = pipelined.run_stuck_at(stuck.clone(), 3);
+        let b = sequential.run_stuck_at(stuck.clone(), 3);
+        assert_eq!(a, b, "stuck-at: pipelining changed the outcome");
+        assert!(a.coverage.detected > 0);
+        assert!(a.signatures.iter().any(|s| !s.is_zero()));
+
+        let window = CaptureWindow::all_domains(c.netlist.num_domains().max(1));
+        let a = pipelined.run_transition(transition.clone(), window.clone(), 3);
+        let b = sequential.run_transition(transition, window, 3);
+        assert_eq!(a, b, "transition: pipelining changed the outcome");
+    }
+
+    /// Reruns of the same session reproduce the same outcome (the
+    /// architecture and signature state reset per run).
+    #[test]
+    fn reruns_are_deterministic() {
+        let c = core();
+        let cc = CompiledCircuit::compile(&c.netlist).unwrap();
+        let faults = FaultUniverse::stuck_at(&c.netlist).representatives();
+        let mut session: WideGradingSession<'_, [u64; 4]> =
+            WideGradingSession::new(&c, &cc, &StumpsConfig::default());
+        let a = session.run_stuck_at(faults.clone(), 2);
+        let b = session.run_stuck_at(faults, 2);
+        assert_eq!(a, b);
+        assert_eq!(a.patterns, 512);
+        assert_eq!(a.lanes, 256);
+    }
+}

@@ -26,6 +26,11 @@
 //! * [`TapController`] — an IEEE 1149.1 TAP front-end with LBIST
 //!   instructions for starting self-test, polling status, loading PRPG
 //!   seeds and reading signatures (the paper's fault-diagnosis path).
+//! * [`WideGradingSession`] — the lane-width-generic grading pipeline:
+//!   PRPG fill ([`fill_wide_frame_from_prpg`]) → bit-parallel fault
+//!   simulation → detection → [`lbist_tpg::LaneMisr`] signature
+//!   compaction, 64/128/256 lanes per pass, with batch *k+1*'s fill
+//!   pipelined against batch *k*'s grading on the `lbist-exec` pool.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -33,6 +38,8 @@
 mod architecture;
 mod controller;
 mod diag;
+mod fill;
+mod grading;
 mod jtag_bist;
 mod selector;
 mod session;
@@ -41,6 +48,11 @@ mod tap;
 pub use architecture::{DomainBist, StumpsArchitecture, StumpsConfig};
 pub use controller::{BistController, BistPhase, ControllerConfig};
 pub use diag::{diagnose_first_failing_interval, DiagnosisReport};
+pub use fill::{
+    fill_frame_from_prpg, fill_frames_from_prpg_wide, fill_lane_from_prpg,
+    fill_wide_frame_from_prpg,
+};
+pub use grading::{WideGradingOutcome, WideGradingSession};
 pub use jtag_bist::JtagBist;
 pub use selector::{InputSelector, PatternSource};
 pub use session::{SelfTestSession, SessionConfig, SessionResult};

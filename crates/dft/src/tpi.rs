@@ -80,32 +80,29 @@ impl TestPointInsertion {
                 frame[x.index()] = 0;
             }
             cc.eval2(&mut frame);
-            let profile_shard =
-                |faults: &[lbist_fault::Fault], out: &mut [Vec<u32>], frame: &[u64]| {
+            let workers = lbist_exec::worker_budget(
+                lbist_exec::current_num_threads(),
+                undetected.len(),
+                Some(MIN_SHARD_FAULTS),
+            );
+            let frame_ro: &[u64] = &frame;
+            let mut no_scratch: Vec<()> = Vec::new();
+            lbist_exec::parallel_chunks_with_scratch(
+                undetected,
+                &mut reach,
+                workers,
+                &mut no_scratch,
+                || (),
+                |faults, out, ()| {
                     for (fault, r) in faults.iter().zip(out.iter_mut()) {
-                        lbist_fault::propagate_fault(cc, fault, frame, |node, _diff| {
+                        lbist_fault::propagate_fault(cc, fault, frame_ro, |node, _diff| {
                             if !already[node.index()] && cc.kind(node) != GateKind::Output {
                                 r.push(node.as_u32());
                             }
                         });
                     }
-                };
-            let workers = lbist_exec::current_num_threads()
-                .min(undetected.len().div_ceil(MIN_SHARD_FAULTS))
-                .max(1);
-            if workers == 1 {
-                profile_shard(undetected, &mut reach, &frame);
-            } else {
-                let shard = undetected.len().div_ceil(workers);
-                let frame_ro: &[u64] = &frame;
-                let profile_shard = &profile_shard;
-                lbist_exec::scope(|s| {
-                    for (f_shard, r_shard) in undetected.chunks(shard).zip(reach.chunks_mut(shard))
-                    {
-                        s.spawn(move |_| profile_shard(f_shard, r_shard, frame_ro));
-                    }
-                });
-            }
+                },
+            );
         }
         for r in &mut reach {
             r.sort_unstable();
@@ -171,50 +168,41 @@ impl TestPointInsertion {
 }
 
 /// The site with the highest uncovered-fault gain (ties broken toward
-/// the lowest node id), scored in parallel chunks on the pool and
-/// reduced under the same total order — worker count cannot change the
-/// winner. Returns `None` when no site covers anything new.
+/// the lowest node id). Gains are scored per candidate in parallel
+/// chunks on the pool and reduced serially under that total order —
+/// worker count cannot change the winner. Returns `None` when no site
+/// covers anything new.
 fn best_candidate(cand: &[(u32, Vec<u32>)], covered: &[bool]) -> Option<(usize, u32)> {
-    // (gain, node) comparator shared by chunk scans and the merge:
-    // keep `new` over `best` iff gain is higher, or equal with a lower
-    // node id.
-    fn fold(best: Option<(usize, u32)>, new: Option<(usize, u32)>) -> Option<(usize, u32)> {
-        match (best, new) {
-            (None, n) => n,
-            (b, None) => b,
-            (Some((bg, bn)), Some((ng, nn))) => {
-                if ng > bg || (ng == bg && nn < bn) {
-                    Some((ng, nn))
-                } else {
-                    Some((bg, bn))
-                }
+    let workers = lbist_exec::worker_budget(
+        lbist_exec::current_num_threads(),
+        cand.len(),
+        Some(MIN_SHARD_CANDIDATES),
+    );
+    let mut gains = vec![0usize; cand.len()];
+    let mut no_scratch: Vec<()> = Vec::new();
+    lbist_exec::parallel_chunks_with_scratch(
+        cand,
+        &mut gains,
+        workers,
+        &mut no_scratch,
+        || (),
+        |entries, out, ()| {
+            for ((_, faults), gain) in entries.iter().zip(out.iter_mut()) {
+                *gain = faults.iter().filter(|&&f| !covered[f as usize]).count();
             }
+        },
+    );
+    let mut best: Option<(usize, u32)> = None;
+    for (&(node, _), &gain) in cand.iter().zip(&gains) {
+        if gain == 0 {
+            continue;
         }
+        best = match best {
+            Some((bg, bn)) if gain < bg || (gain == bg && node >= bn) => Some((bg, bn)),
+            _ => Some((gain, node)),
+        };
     }
-    fn scan(entries: &[(u32, Vec<u32>)], covered: &[bool]) -> Option<(usize, u32)> {
-        let mut best = None;
-        for (node, faults) in entries {
-            let gain = faults.iter().filter(|&&f| !covered[f as usize]).count();
-            if gain > 0 {
-                best = fold(best, Some((gain, *node)));
-            }
-        }
-        best
-    }
-
-    let workers =
-        lbist_exec::current_num_threads().min(cand.len().div_ceil(MIN_SHARD_CANDIDATES)).max(1);
-    if workers == 1 {
-        return scan(cand, covered);
-    }
-    let shard = cand.len().div_ceil(workers);
-    let mut chunk_bests: Vec<Option<(usize, u32)>> = vec![None; cand.len().div_ceil(shard)];
-    lbist_exec::scope(|s| {
-        for (c_shard, slot) in cand.chunks(shard).zip(chunk_bests.iter_mut()) {
-            s.spawn(move |_| *slot = scan(c_shard, covered));
-        }
-    });
-    chunk_bests.into_iter().fold(None, fold)
+    best
 }
 
 fn already_observed(cc: &CompiledCircuit) -> Vec<bool> {

@@ -3,9 +3,11 @@
 //! The simulation and TPG stack packs one pattern per *lane*, bit `ℓ`
 //! of a machine word. The original engine hard-wired that word to
 //! `u64` (64 lanes per pass). [`LaneWord`] abstracts the word so the
-//! bit-sliced LFSR stepping, phase-shifter/expander XOR networks and
-//! PRPG frame fills are generic over the lane count: `u64` (64),
-//! `u128` (128) and `[u64; 4]` (256 lanes per pass).
+//! bit-sliced LFSR stepping, phase-shifter/expander XOR networks, PRPG
+//! frame fills **and the whole grading kernel** (gate evaluation,
+//! fault propagation, detection popcounts, MISR accumulation) are
+//! generic over the lane count: `u64` (64), `u128` (128) and
+//! `[u64; 4]` (256 lanes per pass).
 //!
 //! Every `LaneWord` is, bit for bit, a sequence of [`LaneWord::WORDS`]
 //! 64-lane `u64` sub-words ([`LaneWord::word`]): lane `ℓ` of the wide
@@ -40,9 +42,25 @@ pub trait LaneWord: Copy + Send + Sync + Eq + std::fmt::Debug + 'static {
     /// The all-zero word.
     fn zero() -> Self;
 
+    /// The all-ones word (every lane 1) — the identity of lane-wise
+    /// AND and the value of a `Const1` net.
+    fn ones() -> Self;
+
     /// Lane-wise XOR — the only arithmetic GF(2) networks need.
     #[must_use]
     fn xor(self, rhs: Self) -> Self;
+
+    /// Lane-wise AND.
+    #[must_use]
+    fn and(self, rhs: Self) -> Self;
+
+    /// Lane-wise OR.
+    #[must_use]
+    fn or(self, rhs: Self) -> Self;
+
+    /// Lane-wise complement.
+    #[must_use]
+    fn not(self) -> Self;
 
     /// Reads lane `ℓ`.
     ///
@@ -64,6 +82,61 @@ pub trait LaneWord: Copy + Send + Sync + Eq + std::fmt::Debug + 'static {
     ///
     /// Panics if `k >= Self::WORDS`.
     fn word(self, k: usize) -> u64;
+
+    /// Overwrites the `k`-th 64-lane sub-word (lanes `64k..64k+63`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k >= Self::WORDS`.
+    fn set_word(&mut self, k: usize, sub: u64);
+
+    /// Number of set lanes — the detection popcount of a grading word.
+    fn count_ones(self) -> u32 {
+        (0..Self::WORDS).map(|k| self.word(k).count_ones()).sum()
+    }
+
+    /// `true` when no lane is set.
+    fn is_zero(self) -> bool {
+        self == Self::zero()
+    }
+
+    /// The word with the first `n` lanes set — the live-lane mask of a
+    /// batch carrying `n` real patterns.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` is 0 or exceeds `Self::LANES`.
+    fn mask_lanes(n: usize) -> Self {
+        assert!(
+            (1..=Self::LANES).contains(&n),
+            "a batch carries 1..={} patterns, got {n}",
+            Self::LANES
+        );
+        let mut w = Self::zero();
+        for k in 0..Self::WORDS {
+            let bits = n.saturating_sub(64 * k).min(64);
+            if bits == 64 {
+                w.set_word(k, !0);
+            } else if bits > 0 {
+                w.set_word(k, (1u64 << bits) - 1);
+            }
+        }
+        w
+    }
+
+    /// Calls `f(lane)` for every set lane, in ascending lane order —
+    /// the width-generic replacement for open-coded `u64`
+    /// trailing-zeros walks (which silently truncate at wider widths).
+    fn for_each_set_lane(self, mut f: impl FnMut(usize)) {
+        for k in 0..Self::WORDS {
+            let mut sub = self.word(k);
+            while sub != 0 {
+                let lane = sub.trailing_zeros() as usize;
+                sub &= sub - 1;
+                f(64 * k + lane);
+            }
+        }
+    }
 }
 
 impl LaneWord for u64 {
@@ -76,8 +149,28 @@ impl LaneWord for u64 {
     }
 
     #[inline]
+    fn ones() -> Self {
+        !0
+    }
+
+    #[inline]
     fn xor(self, rhs: Self) -> Self {
         self ^ rhs
+    }
+
+    #[inline]
+    fn and(self, rhs: Self) -> Self {
+        self & rhs
+    }
+
+    #[inline]
+    fn or(self, rhs: Self) -> Self {
+        self | rhs
+    }
+
+    #[inline]
+    fn not(self) -> Self {
+        !self
     }
 
     #[inline]
@@ -97,6 +190,17 @@ impl LaneWord for u64 {
         assert!(k < 1);
         self
     }
+
+    #[inline]
+    fn set_word(&mut self, k: usize, sub: u64) {
+        assert!(k < 1);
+        *self = sub;
+    }
+
+    #[inline]
+    fn count_ones(self) -> u32 {
+        u64::count_ones(self)
+    }
 }
 
 impl LaneWord for u128 {
@@ -109,8 +213,28 @@ impl LaneWord for u128 {
     }
 
     #[inline]
+    fn ones() -> Self {
+        !0
+    }
+
+    #[inline]
     fn xor(self, rhs: Self) -> Self {
         self ^ rhs
+    }
+
+    #[inline]
+    fn and(self, rhs: Self) -> Self {
+        self & rhs
+    }
+
+    #[inline]
+    fn or(self, rhs: Self) -> Self {
+        self | rhs
+    }
+
+    #[inline]
+    fn not(self) -> Self {
+        !self
     }
 
     #[inline]
@@ -130,6 +254,17 @@ impl LaneWord for u128 {
         assert!(k < 2);
         (self >> (64 * k)) as u64
     }
+
+    #[inline]
+    fn set_word(&mut self, k: usize, sub: u64) {
+        assert!(k < 2);
+        *self = (*self & !(u128::from(u64::MAX) << (64 * k))) | (u128::from(sub) << (64 * k));
+    }
+
+    #[inline]
+    fn count_ones(self) -> u32 {
+        u128::count_ones(self)
+    }
 }
 
 impl LaneWord for [u64; 4] {
@@ -142,8 +277,28 @@ impl LaneWord for [u64; 4] {
     }
 
     #[inline]
+    fn ones() -> Self {
+        [!0; 4]
+    }
+
+    #[inline]
     fn xor(self, rhs: Self) -> Self {
         [self[0] ^ rhs[0], self[1] ^ rhs[1], self[2] ^ rhs[2], self[3] ^ rhs[3]]
+    }
+
+    #[inline]
+    fn and(self, rhs: Self) -> Self {
+        [self[0] & rhs[0], self[1] & rhs[1], self[2] & rhs[2], self[3] & rhs[3]]
+    }
+
+    #[inline]
+    fn or(self, rhs: Self) -> Self {
+        [self[0] | rhs[0], self[1] | rhs[1], self[2] | rhs[2], self[3] | rhs[3]]
+    }
+
+    #[inline]
+    fn not(self) -> Self {
+        [!self[0], !self[1], !self[2], !self[3]]
     }
 
     #[inline]
@@ -161,6 +316,16 @@ impl LaneWord for [u64; 4] {
     #[inline]
     fn word(self, k: usize) -> u64 {
         self[k]
+    }
+
+    #[inline]
+    fn set_word(&mut self, k: usize, sub: u64) {
+        self[k] = sub;
+    }
+
+    #[inline]
+    fn count_ones(self) -> u32 {
+        self[0].count_ones() + self[1].count_ones() + self[2].count_ones() + self[3].count_ones()
     }
 }
 
@@ -187,6 +352,36 @@ mod tests {
         // XOR clears what was set.
         assert_eq!(w.xor(w), W::zero());
         assert_eq!(W::LANES, 64 * W::WORDS);
+        // Boolean algebra against the per-lane reference.
+        assert_eq!(w.and(W::ones()), w);
+        assert_eq!(w.or(W::zero()), w);
+        assert_eq!(w.not().not(), w);
+        assert_eq!(w.and(w.not()), W::zero());
+        assert_eq!(w.or(w.not()), W::ones());
+        assert_eq!(W::ones().count_ones() as usize, W::LANES);
+        assert_eq!(w.count_ones() as usize, W::LANES.div_ceil(3));
+        assert!(W::zero().is_zero());
+        assert!(!w.is_zero());
+        // set_word/word round-trip.
+        let mut v = W::zero();
+        for k in 0..W::WORDS {
+            v.set_word(k, 0xDEAD_BEEF ^ k as u64);
+        }
+        for k in 0..W::WORDS {
+            assert_eq!(v.word(k), 0xDEAD_BEEF ^ k as u64);
+        }
+        // mask_lanes sets exactly the first n lanes.
+        for n in [1, 2, W::LANES / 2 + 1, W::LANES - 1, W::LANES] {
+            let m = W::mask_lanes(n);
+            for lane in 0..W::LANES {
+                assert_eq!(m.get_lane(lane), lane < n, "mask_lanes({n}) lane {lane}");
+            }
+        }
+        // for_each_set_lane visits exactly the set lanes, ascending.
+        let mut seen = Vec::new();
+        w.for_each_set_lane(|l| seen.push(l));
+        let expect: Vec<usize> = (0..W::LANES).step_by(3).collect();
+        assert_eq!(seen, expect);
     }
 
     #[test]

@@ -46,4 +46,7 @@ mod lanes;
 mod pool;
 
 pub use lanes::LaneWord;
-pub use pool::{current_num_threads, global, join, parallel_chunks, scope, Scope, ThreadPool};
+pub use pool::{
+    current_num_threads, global, join, parallel_chunks, parallel_chunks_with_scratch, scope,
+    worker_budget, Scope, ThreadPool,
+};

@@ -519,6 +519,94 @@ where
     });
 }
 
+/// The shared worker-budget rule of every sharded consumer: engage
+/// another worker only once it owns a meaningful shard. With
+/// `min_shard: Some(m)` (auto mode) the budget is
+/// `threads.min(len.div_ceil(m)).max(1)` — small or compacted work
+/// lists fall back toward serial instead of paying dispatch overhead;
+/// with `None` (an explicit `set_threads` budget) it is honoured
+/// exactly, capped only by the item count (tests force sharding on
+/// tiny lists).
+pub fn worker_budget(threads: usize, len: usize, min_shard: Option<usize>) -> usize {
+    match min_shard {
+        Some(m) => threads.min(len.div_ceil(m.max(1))).max(1),
+        None => threads.min(len).max(1),
+    }
+}
+
+/// The 3-way zip dispatch shape shared by every sharded grader:
+/// `items` are split into `workers` contiguous chunks, `out` is split
+/// in lockstep (`out[i]` belongs to `items[i]`), and each chunk runs
+/// with its own reusable per-worker `scratch` entry. `scratch` is
+/// grown on demand with `make_scratch` and kept for the next call —
+/// the allocation-heavy propagation state survives across batches.
+///
+/// A budget of 1 runs inline on the caller (the `--serial` escape
+/// hatch); chunk boundaries depend only on `items.len()` and
+/// `workers`, and every chunk writes its own disjoint `out` slice, so
+/// results are bit-identical at any budget.
+///
+/// # Panics
+///
+/// Panics if `items` and `out` lengths differ.
+///
+/// # Example
+///
+/// ```
+/// let items = [1u32, 2, 3, 4, 5];
+/// let mut out = [0u32; 5];
+/// let mut scratch: Vec<u32> = Vec::new();
+/// lbist_exec::parallel_chunks_with_scratch(
+///     &items,
+///     &mut out,
+///     2,
+///     &mut scratch,
+///     || 100,
+///     |items, out, acc| {
+///         for (i, o) in items.iter().zip(out.iter_mut()) {
+///             *acc += i;
+///             *o = *acc;
+///         }
+///     },
+/// );
+/// assert_eq!(out, [101, 103, 106, 104, 109]);
+/// ```
+pub fn parallel_chunks_with_scratch<T, U, S>(
+    items: &[T],
+    out: &mut [U],
+    workers: usize,
+    scratch: &mut Vec<S>,
+    mut make_scratch: impl FnMut() -> S,
+    f: impl Fn(&[T], &mut [U], &mut S) + Sync,
+) where
+    T: Sync,
+    U: Send,
+    S: Send,
+{
+    assert_eq!(items.len(), out.len(), "items and outputs must align one-to-one");
+    if items.is_empty() {
+        return;
+    }
+    let workers = workers.clamp(1, items.len());
+    while scratch.len() < workers {
+        scratch.push(make_scratch());
+    }
+    if workers == 1 {
+        f(items, out, &mut scratch[0]);
+        return;
+    }
+    let shard = items.len().div_ceil(workers);
+    let item_shards = items.chunks(shard);
+    let out_shards = out.chunks_mut(shard);
+    let scratches = scratch.iter_mut();
+    scope(|s| {
+        for ((item_shard, out_shard), scratch) in item_shards.zip(out_shards).zip(scratches) {
+            let f = &f;
+            s.spawn(move |_| f(item_shard, out_shard, scratch));
+        }
+    });
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -603,6 +691,82 @@ mod tests {
         // Deterministic chunking: 101 items over 8 workers -> 13/chunk.
         assert_eq!(buf[12], 1);
         assert_eq!(buf[13], 2);
+    }
+
+    #[test]
+    fn worker_budget_rules() {
+        // Auto mode: shards must be worth dispatching.
+        assert_eq!(worker_budget(8, 1000, Some(64)), 8);
+        assert_eq!(worker_budget(8, 100, Some(64)), 2);
+        assert_eq!(worker_budget(8, 10, Some(64)), 1);
+        assert_eq!(worker_budget(8, 0, Some(64)), 1);
+        // Explicit budgets are honoured exactly, capped by the items.
+        assert_eq!(worker_budget(8, 3, None), 3);
+        assert_eq!(worker_budget(2, 1000, None), 2);
+        assert_eq!(worker_budget(8, 0, None), 1);
+    }
+
+    #[test]
+    fn chunks_with_scratch_is_budget_invariant() {
+        let items: Vec<u64> = (0..257).collect();
+        let run = |workers: usize| {
+            let mut out = vec![0u64; items.len()];
+            let mut scratch: Vec<Vec<u64>> = Vec::new();
+            parallel_chunks_with_scratch(
+                &items,
+                &mut out,
+                workers,
+                &mut scratch,
+                Vec::new,
+                |items, out, seen| {
+                    for (i, o) in items.iter().zip(out.iter_mut()) {
+                        seen.push(*i);
+                        *o = i * 3 + 1;
+                    }
+                },
+            );
+            (out, scratch)
+        };
+        let (serial, serial_scratch) = run(1);
+        assert_eq!(serial_scratch.len(), 1);
+        for workers in [2, 3, 8, 300] {
+            let (parallel, scratch) = run(workers);
+            assert_eq!(parallel, serial, "{workers}-worker output differs");
+            // Every item was visited exactly once across all workers.
+            let visited: usize = scratch.iter().map(Vec::len).sum();
+            assert_eq!(visited, items.len());
+        }
+    }
+
+    #[test]
+    fn chunks_with_scratch_reuses_scratch_across_calls() {
+        let items = [0u8; 40];
+        let mut out = [0u8; 40];
+        let mut scratch: Vec<u32> = Vec::new();
+        let mut builds = 0;
+        parallel_chunks_with_scratch(&items, &mut out, 4, &mut scratch, || 7, |_, _, _| {});
+        assert_eq!(scratch.len(), 4);
+        parallel_chunks_with_scratch(
+            &items,
+            &mut out,
+            4,
+            &mut scratch,
+            || {
+                builds += 1;
+                7
+            },
+            |_, _, _| {},
+        );
+        assert_eq!(builds, 0, "a second same-budget call must reuse the scratch");
+    }
+
+    #[test]
+    #[should_panic(expected = "align")]
+    fn chunks_with_scratch_rejects_misaligned_outputs() {
+        let items = [1u8, 2];
+        let mut out = [0u8; 3];
+        let mut scratch: Vec<()> = Vec::new();
+        parallel_chunks_with_scratch(&items, &mut out, 2, &mut scratch, || (), |_, _, _| {});
     }
 
     #[test]

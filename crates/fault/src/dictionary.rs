@@ -10,6 +10,7 @@
 
 use crate::propagate::{inject_stuck_at, Propagator};
 use crate::{Fault, StuckAtSim};
+use lbist_exec::LaneWord;
 use lbist_netlist::{GateKind, NodeId};
 use lbist_sim::CompiledCircuit;
 
@@ -27,56 +28,57 @@ pub struct FaultDictionary {
 
 impl FaultDictionary {
     /// Builds the dictionary over `faults` for a sequence of pattern
-    /// batches. `batches` yields filled source frames (as for
-    /// [`StuckAtSim::run_batch`]) plus the live pattern count per batch.
-    pub fn build(
+    /// batches, at any lane width. `batches` yields filled source frames
+    /// (as for [`StuckAtSim::run_batch`]) plus the live pattern count per
+    /// batch; pattern indices advance by `num_patterns` per batch, so a
+    /// 256-lane batch contributes the same dictionary columns as four
+    /// 64-lane batches over the same stream.
+    pub fn build<W: LaneWord>(
         cc: &CompiledCircuit,
         faults: Vec<Fault>,
         observed: Vec<NodeId>,
-        batches: impl IntoIterator<Item = (Vec<u64>, usize)>,
+        batches: impl IntoIterator<Item = (Vec<W>, usize)>,
     ) -> Self {
         let mut obs = vec![false; cc.num_nodes()];
         for o in observed {
             obs[o.index()] = true;
         }
-        let mut prop = Propagator::new(cc);
+        let mut prop: Propagator<W> = Propagator::new(cc);
         let mut detections: Vec<Vec<u32>> = Vec::new();
         for (mut frame, num_patterns) in batches {
-            assert!((1..=64).contains(&num_patterns));
+            let lane_mask = W::mask_lanes(num_patterns);
             cc.eval2(&mut frame);
             let base = detections.len();
             detections.resize_with(base + num_patterns, Vec::new);
-            let lane_mask: u64 = if num_patterns == 64 { !0 } else { (1u64 << num_patterns) - 1 };
             for (fi, fault) in faults.iter().enumerate() {
-                let mut detected = 0u64;
+                let mut detected = W::zero();
                 match inject_stuck_at(cc, fault, &frame) {
                     None => continue,
                     Some((site, word)) => {
                         if cc.kind(site) == GateKind::Dff {
                             let src = cc.fanins(site)[0];
-                            detected = (word ^ frame[src.index()]) & lane_mask;
+                            detected = word.xor(frame[src.index()]).and(lane_mask);
                         } else {
                             prop.begin();
                             prop.set(site, word);
                             if obs[site.index()] {
-                                detected |= (word ^ frame[site.index()]) & lane_mask;
+                                detected =
+                                    detected.or(word.xor(frame[site.index()]).and(lane_mask));
                             }
                             prop.enqueue_fanouts(cc, site);
                             let det = &mut detected;
                             prop.run(cc, &frame, None, |node, diff| {
                                 if obs[node.index()] {
-                                    *det |= diff & lane_mask;
+                                    *det = det.or(diff.and(lane_mask));
                                 }
                             });
                         }
                     }
                 }
-                let mut lanes = detected;
-                while lanes != 0 {
-                    let lane = lanes.trailing_zeros() as usize;
-                    lanes &= lanes - 1;
-                    detections[base + lane].push(fi as u32);
-                }
+                // Lane iteration through `LaneWord` instead of an
+                // open-coded `u64` trailing-zeros walk, which would
+                // silently drop lanes 64+ of a wide batch.
+                detected.for_each_set_lane(|lane| detections[base + lane].push(fi as u32));
             }
         }
         FaultDictionary { faults, detections }
@@ -122,11 +124,12 @@ impl FaultDictionary {
     }
 }
 
-/// Convenience: builds the standard full-capture observation dictionary.
-pub fn build_dictionary(
+/// Convenience: builds the standard full-capture observation dictionary
+/// (any lane width).
+pub fn build_dictionary<W: LaneWord>(
     cc: &CompiledCircuit,
     faults: Vec<Fault>,
-    batches: impl IntoIterator<Item = (Vec<u64>, usize)>,
+    batches: impl IntoIterator<Item = (Vec<W>, usize)>,
 ) -> FaultDictionary {
     FaultDictionary::build(cc, faults, StuckAtSim::observe_all_captures(cc), batches)
 }
@@ -177,6 +180,37 @@ mod tests {
             let dict_count =
                 (0..8).filter(|&p| dict.entry(p).contains(&(fi as u32))).count() as u32;
             assert_eq!(dict_count, d, "fault {}", sim.faults()[fi]);
+        }
+    }
+
+    /// Lane iteration is width-true: patterns living in lanes 64+ of a
+    /// `u128` batch land in the right dictionary columns (an open-coded
+    /// `u64` walk would silently drop them).
+    #[test]
+    fn wide_batches_fill_high_lane_columns() {
+        let (nl, ins) = circuit();
+        let cc = CompiledCircuit::compile(&nl).unwrap();
+        let universe = FaultUniverse::stuck_at(&nl);
+        // The 8 exhaustive patterns in lanes 0..8 AND again in 64..72.
+        let mut frame: Vec<u128> = cc.new_wide_frame();
+        for p in 0..8usize {
+            for (bit, &i) in ins.iter().enumerate() {
+                if (p >> bit) & 1 == 1 {
+                    frame[i.index()] |= (1u128 << p) | (1u128 << (64 + p));
+                }
+            }
+        }
+        let wide = build_dictionary(&cc, universe.representatives(), [(frame, 72)]);
+        assert_eq!(wide.num_patterns(), 72);
+        let narrow =
+            build_dictionary(&cc, universe.representatives(), [exhaustive_batch(&cc, &ins)]);
+        for p in 0..8 {
+            assert_eq!(wide.entry(p), narrow.entry(p), "low lane {p}");
+            assert_eq!(wide.entry(64 + p), narrow.entry(p), "high lane {p}");
+        }
+        // Lanes 8..64 carry all-zero inputs — exactly pattern 0's column.
+        for p in 8..64 {
+            assert_eq!(wide.entry(p), narrow.entry(0), "all-zero lane {p}");
         }
     }
 

@@ -12,13 +12,16 @@
 //! * [`FaultUniverse`] — fault enumeration plus structural equivalence
 //!   collapsing (wire and gate-rule classes via union-find); coverage is
 //!   reported over collapsed classes, as testers do.
-//! * [`StuckAtSim`] — PPSFP: 64 patterns per pass, fault-free simulation
+//! * [`StuckAtSim`] / [`WideStuckAtSim`] — PPSFP: one
+//!   [`lbist_exec::LaneWord`] of patterns per pass (64 for the default
+//!   `u64` frames, 128/256 for `u128`/`[u64; 4]`), fault-free simulation
 //!   followed by event-driven single-fault forward propagation with fault
 //!   dropping and n-detect counting.
-//! * [`TransitionSim`] — launch-on-capture transition grading across the
-//!   paper's **double-capture window**: per-domain pulse pairs in `d3`
-//!   order, launches at each first pulse, captures at the second, fault
-//!   effects carried across the window through flip-flop state.
+//! * [`TransitionSim`] / [`WideTransitionSim`] — launch-on-capture
+//!   transition grading across the paper's **double-capture window**:
+//!   per-domain pulse pairs in `d3` order, launches at each first pulse,
+//!   captures at the second, fault effects carried across the window
+//!   through flip-flop state. Lane-width generic like the stuck-at engine.
 //! * [`CoverageReport`] — the numbers the paper's Table 1 rows report.
 //!
 //! # Example
@@ -59,6 +62,6 @@ pub use coverage::CoverageReport;
 pub use dictionary::{build_dictionary, FaultDictionary};
 pub use model::{Fault, FaultKind};
 pub use propagate::propagate_fault;
-pub use stuck::StuckAtSim;
-pub use transition::{CaptureWindow, TransitionSim};
+pub use stuck::{StuckAtSim, WideStuckAtSim};
+pub use transition::{CaptureWindow, TransitionSim, WideTransitionSim};
 pub use universe::FaultUniverse;

@@ -1,6 +1,8 @@
-//! Event-driven single-fault forward propagation over pattern words.
+//! Event-driven single-fault forward propagation over pattern words,
+//! generic over the lane width.
 
 use crate::Fault;
+use lbist_exec::LaneWord;
 use lbist_netlist::{GateKind, NodeId};
 use lbist_sim::{eval_gate, CompiledCircuit};
 
@@ -9,19 +11,19 @@ use lbist_sim::{eval_gate, CompiledCircuit};
 /// One `Propagator` is allocated per simulator and reused across millions
 /// of fault injections; per-fault cleanup is O(1) thanks to epoch stamps.
 #[derive(Debug)]
-pub(crate) struct Propagator {
-    faulty: Vec<u64>,
+pub(crate) struct Propagator<W: LaneWord = u64> {
+    faulty: Vec<W>,
     stamp: Vec<u32>,
     epoch: u32,
     buckets: Vec<Vec<NodeId>>,
     queued: Vec<u32>,
-    fanin_scratch: Vec<u64>,
+    fanin_scratch: Vec<W>,
 }
 
-impl Propagator {
+impl<W: LaneWord> Propagator<W> {
     pub(crate) fn new(cc: &CompiledCircuit) -> Self {
         Propagator {
-            faulty: vec![0u64; cc.num_nodes()],
+            faulty: vec![W::zero(); cc.num_nodes()],
             stamp: vec![0u32; cc.num_nodes()],
             epoch: 0,
             buckets: vec![Vec::new(); cc.max_level() as usize + 2],
@@ -47,7 +49,7 @@ impl Propagator {
 
     /// The node's value under the current fault (overlay or good).
     #[inline]
-    pub(crate) fn value(&self, node: NodeId, good: &[u64]) -> u64 {
+    pub(crate) fn value(&self, node: NodeId, good: &[W]) -> W {
         if self.stamp[node.index()] == self.epoch {
             self.faulty[node.index()]
         } else {
@@ -57,7 +59,7 @@ impl Propagator {
 
     /// Forces a node's faulty value (fault injection site).
     #[inline]
-    pub(crate) fn set(&mut self, node: NodeId, word: u64) {
+    pub(crate) fn set(&mut self, node: NodeId, word: W) {
         self.faulty[node.index()] = word;
         self.stamp[node.index()] = self.epoch;
     }
@@ -90,9 +92,9 @@ impl Propagator {
     pub(crate) fn run(
         &mut self,
         cc: &CompiledCircuit,
-        good: &[u64],
+        good: &[W],
         pin: Option<NodeId>,
-        mut on_diff: impl FnMut(NodeId, u64),
+        mut on_diff: impl FnMut(NodeId, W),
     ) {
         for level in 0..self.buckets.len() {
             // Buckets may grow at higher levels while this one drains.
@@ -112,7 +114,7 @@ impl Propagator {
                 let val = eval_gate(kind, &self.fanin_scratch);
                 if val != good[node.index()] {
                     self.set(node, val);
-                    on_diff(node, val ^ good[node.index()]);
+                    on_diff(node, val.xor(good[node.index()]));
                     self.enqueue_fanouts(cc, node);
                 }
                 // val == good: event dies (no overlay entry needed: `value`
@@ -127,13 +129,13 @@ impl Propagator {
 /// node and whether injection happens at the site node itself (stem) or at
 /// the reading gate (branch re-evaluation).
 ///
-/// Returns `None` when the fault is not excited by any of the 64 patterns.
-pub(crate) fn inject_stuck_at(
+/// Returns `None` when the fault is not excited by any of the lanes.
+pub(crate) fn inject_stuck_at<W: LaneWord>(
     cc: &CompiledCircuit,
     fault: &Fault,
-    good: &[u64],
-) -> Option<(NodeId, u64)> {
-    let forced = if fault.kind.faulty_value() { !0u64 } else { 0u64 };
+    good: &[W],
+) -> Option<(NodeId, W)> {
+    let forced = if fault.kind.faulty_value() { W::ones() } else { W::zero() };
     match fault.pin {
         None => {
             let g = good[fault.node.index()];
@@ -156,7 +158,7 @@ pub(crate) fn inject_stuck_at(
                 return Some((fault.node, forced));
             }
             let fanins = cc.fanins(fault.node);
-            let mut words: Vec<u64> = fanins.iter().map(|&f| good[f.index()]).collect();
+            let mut words: Vec<W> = fanins.iter().map(|&f| good[f.index()]).collect();
             words[pin as usize] = forced;
             let val = eval_gate(kind, &words);
             if val == good[fault.node.index()] {
@@ -199,14 +201,14 @@ pub(crate) fn inject_stuck_at(
 /// assert!(excited);
 /// assert!(reached.contains(&g));
 /// ```
-pub fn propagate_fault(
+pub fn propagate_fault<W: LaneWord>(
     cc: &CompiledCircuit,
     fault: &Fault,
-    good_frame: &[u64],
-    mut visitor: impl FnMut(NodeId, u64),
+    good_frame: &[W],
+    mut visitor: impl FnMut(NodeId, W),
 ) -> bool {
     assert!(fault.kind.is_stuck_at(), "propagate_fault grades stuck-at faults");
-    let mut prop = Propagator::new(cc);
+    let mut prop: Propagator<W> = Propagator::new(cc);
     prop.begin();
     let Some((site, word)) = inject_stuck_at(cc, fault, good_frame) else {
         return false;
@@ -214,11 +216,11 @@ pub fn propagate_fault(
     if cc.kind(site) == GateKind::Dff {
         // D-pin branch fault: visible at the flop itself, no propagation
         // inside this frame.
-        visitor(site, word ^ good_frame[cc.fanins(site)[0].index()]);
+        visitor(site, word.xor(good_frame[cc.fanins(site)[0].index()]));
         return true;
     }
     prop.set(site, word);
-    visitor(site, word ^ good_frame[site.index()]);
+    visitor(site, word.xor(good_frame[site.index()]));
     prop.enqueue_fanouts(cc, site);
     prop.run(cc, good_frame, None, visitor);
     true

@@ -3,8 +3,13 @@
 use crate::coverage::CoverageReport;
 use crate::propagate::{inject_stuck_at, Propagator};
 use crate::Fault;
+use lbist_exec::LaneWord;
 use lbist_netlist::{GateKind, NodeId};
 use lbist_sim::CompiledCircuit;
+
+/// The default 64-lane PPSFP simulator — [`WideStuckAtSim`] at the
+/// `u64` frame width every existing call site uses.
+pub type StuckAtSim<'a> = WideStuckAtSim<'a, u64>;
 
 /// Minimum faults per worker shard before another worker is engaged:
 /// below this, per-batch thread-spawn overhead outweighs the grading
@@ -12,14 +17,19 @@ use lbist_sim::CompiledCircuit;
 /// batches fall back toward serial automatically).
 const MIN_SHARD_FAULTS: usize = 64;
 
-/// Parallel-pattern single-fault-propagation simulator for stuck-at faults.
+/// Parallel-pattern single-fault-propagation simulator for stuck-at
+/// faults, generic over the lane width (64/128/256 patterns per pass for
+/// `u64`/`u128`/`[u64; 4]` frames).
 ///
-/// Each [`StuckAtSim::run_batch`] grades up to 64 patterns at once: the
-/// caller fills a value frame with source words (PIs + scan state), the
-/// simulator runs the fault-free evaluation, then every still-active fault
-/// is injected and propagated event-driven; a fault is *detected* in a
-/// pattern when its effect reaches an observed node. Detected faults are
-/// dropped once their n-detect budget is met.
+/// Each [`WideStuckAtSim::run_batch`] grades up to `W::LANES` patterns at
+/// once: the caller fills a value frame with source words (PIs + scan
+/// state), the simulator runs the fault-free evaluation, then every
+/// still-active fault is injected and propagated event-driven; a fault is
+/// *detected* in a pattern when its effect reaches an observed node.
+/// Detected faults are dropped once their n-detect budget is met.
+/// Coverage is **width-invariant**: a wide run grades the same patterns
+/// as the equivalent sequence of 64-lane batches and reports bit-identical
+/// detection counts (enforced by property tests in the bench crate).
 ///
 /// # Parallel grading
 ///
@@ -36,14 +46,14 @@ const MIN_SHARD_FAULTS: usize = 64;
 /// Because every fault's detection word depends only on the fault-free
 /// frame — never on other faults or on scheduling — parallel and serial
 /// grading produce **bit-identical** detection counts and coverage. The
-/// [`StuckAtSim::serial`] escape hatch pins grading to the calling thread
-/// for debugging or strict single-thread environments.
+/// [`WideStuckAtSim::serial`] escape hatch pins grading to the calling
+/// thread for debugging or strict single-thread environments.
 ///
 /// Observation follows the paper's BIST-ready core: responses are whatever
 /// the scan capture sees — every flip-flop `D` source, every primary output
 /// marker, plus any observation test points the DFT step added.
 #[derive(Debug)]
-pub struct StuckAtSim<'a> {
+pub struct WideStuckAtSim<'a, W: LaneWord = u64> {
     cc: &'a CompiledCircuit,
     faults: Vec<Fault>,
     observed: Vec<bool>,
@@ -55,22 +65,23 @@ pub struct StuckAtSim<'a> {
     patterns_run: u64,
     /// Worker budget for a batch (1 = serial).
     threads: usize,
-    /// `true` until [`StuckAtSim::set_threads`] is called: in auto mode
-    /// the worker count also respects [`MIN_SHARD_FAULTS`]; an explicit
-    /// budget is honoured exactly (tests force sharding on tiny lists).
+    /// `true` until [`WideStuckAtSim::set_threads`] is called: in auto
+    /// mode the worker count also respects [`MIN_SHARD_FAULTS`]; an
+    /// explicit budget is honoured exactly (tests force sharding on tiny
+    /// lists).
     threads_auto: bool,
     /// One propagation scratch per worker, reused across batches.
-    scratch: Vec<Propagator>,
+    scratch: Vec<Propagator<W>>,
     /// Per-active-fault detection words of the current batch (aligned
     /// with `active`, swap-removed in lockstep during the merge).
-    batch_det: Vec<u64>,
+    batch_det: Vec<W>,
 }
 
-impl<'a> StuckAtSim<'a> {
+impl<'a, W: LaneWord> WideStuckAtSim<'a, W> {
     /// Creates a simulator over the given fault list (use
     /// [`crate::FaultUniverse::representatives`] for collapsed grading) and
     /// observed nodes. Grading uses every available hardware thread;
-    /// see [`StuckAtSim::serial`] and [`StuckAtSim::set_threads`].
+    /// see [`WideStuckAtSim::serial`] and [`WideStuckAtSim::set_threads`].
     ///
     /// # Panics
     ///
@@ -93,7 +104,7 @@ impl<'a> StuckAtSim<'a> {
             let f = &faults[i as usize];
             (cc.level(f.node), f.node.index())
         });
-        StuckAtSim {
+        WideStuckAtSim {
             cc,
             faults,
             observed: obs,
@@ -174,23 +185,22 @@ impl<'a> StuckAtSim<'a> {
 
     /// Grades one batch. The caller must have loaded the source words of
     /// `frame` (inputs, flip-flop states, X-source substitutes);
-    /// `num_patterns` (1..=64) marks how many lanes carry real patterns.
-    /// On return `frame` holds the fault-free evaluation.
+    /// `num_patterns` (1..=`W::LANES`) marks how many lanes carry real
+    /// patterns. On return `frame` holds the fault-free evaluation.
     ///
     /// Returns the number of faults newly dropped by this batch.
     ///
     /// # Panics
     ///
-    /// Panics if `num_patterns` is 0 or exceeds 64.
-    pub fn run_batch(&mut self, frame: &mut [u64], num_patterns: usize) -> usize {
-        assert!((1..=64).contains(&num_patterns), "a batch carries 1..=64 patterns");
-        let lane_mask: u64 = if num_patterns == 64 { !0 } else { (1u64 << num_patterns) - 1 };
+    /// Panics if `num_patterns` is 0 or exceeds `W::LANES`.
+    pub fn run_batch(&mut self, frame: &mut [W], num_patterns: usize) -> usize {
+        let lane_mask = W::mask_lanes(num_patterns);
         self.cc.eval2(frame);
         self.patterns_run += num_patterns as u64;
 
         let n_active = self.active.len();
         self.batch_det.clear();
-        self.batch_det.resize(n_active, 0);
+        self.batch_det.resize(n_active, W::zero());
         if n_active == 0 {
             return 0;
         }
@@ -199,46 +209,23 @@ impl<'a> StuckAtSim<'a> {
         // dispatching pool tasks for a handful of survivors (late
         // batches after compaction) would cost more than the grading
         // itself. An explicit budget is honoured exactly.
-        let workers = if self.threads_auto {
-            self.threads.min(n_active.div_ceil(MIN_SHARD_FAULTS)).max(1)
-        } else {
-            self.threads.min(n_active)
-        };
-        while self.scratch.len() < workers {
-            self.scratch.push(Propagator::new(self.cc));
-        }
-        let shard = n_active.div_ceil(workers);
+        let min_shard = if self.threads_auto { Some(MIN_SHARD_FAULTS) } else { None };
+        let workers = lbist_exec::worker_budget(self.threads, n_active, min_shard);
 
         let cc = self.cc;
         let faults: &[Fault] = &self.faults;
         let observed: &[bool] = &self.observed;
-        let frame_ro: &[u64] = frame;
-        if workers == 1 {
-            grade_shard(
-                cc,
-                faults,
-                observed,
-                &self.active,
-                frame_ro,
-                lane_mask,
-                &mut self.scratch[0],
-                &mut self.batch_det,
-            );
-        } else {
-            let active: &[u32] = &self.active;
-            let shards = active.chunks(shard);
-            let dets = self.batch_det.chunks_mut(shard);
-            let props = self.scratch.iter_mut();
-            lbist_exec::scope(|s| {
-                for ((idx_shard, det_shard), prop) in shards.zip(dets).zip(props) {
-                    s.spawn(move |_| {
-                        grade_shard(
-                            cc, faults, observed, idx_shard, frame_ro, lane_mask, prop, det_shard,
-                        );
-                    });
-                }
-            });
-        }
+        let frame_ro: &[W] = frame;
+        lbist_exec::parallel_chunks_with_scratch(
+            &self.active,
+            &mut self.batch_det,
+            workers,
+            &mut self.scratch,
+            || Propagator::new(cc),
+            |idx_shard, det_shard, prop| {
+                grade_shard(cc, faults, observed, idx_shard, frame_ro, lane_mask, prop, det_shard);
+            },
+        );
 
         // Serial merge: order-independent counts, then swap-remove
         // compaction of (active, batch_det) in lockstep.
@@ -246,7 +233,7 @@ impl<'a> StuckAtSim<'a> {
         let mut pos = 0usize;
         while pos < self.active.len() {
             let detected = self.batch_det[pos];
-            if detected == 0 {
+            if detected.is_zero() {
                 pos += 1;
                 continue;
             }
@@ -296,42 +283,42 @@ impl<'a> StuckAtSim<'a> {
 }
 
 /// Grades one shard of the active-fault list against the shared fault-free
-/// frame, writing each fault's 64-lane detection word into `out`. Runs on
-/// a pool worker with its own `Propagator` scratch; reads only shared
+/// frame, writing each fault's multi-lane detection word into `out`. Runs
+/// on a pool worker with its own `Propagator` scratch; reads only shared
 /// state, so shard scheduling cannot affect results.
 #[allow(clippy::too_many_arguments)]
-fn grade_shard(
+fn grade_shard<W: LaneWord>(
     cc: &CompiledCircuit,
     faults: &[Fault],
     observed: &[bool],
     shard: &[u32],
-    frame: &[u64],
-    lane_mask: u64,
-    prop: &mut Propagator,
-    out: &mut [u64],
+    frame: &[W],
+    lane_mask: W,
+    prop: &mut Propagator<W>,
+    out: &mut [W],
 ) {
     debug_assert_eq!(shard.len(), out.len());
     for (&fault_idx, slot) in shard.iter().zip(out.iter_mut()) {
         let fault = faults[fault_idx as usize];
-        let mut detected: u64 = 0;
+        let mut detected = W::zero();
         match inject_stuck_at(cc, &fault, frame) {
             None => {}
             Some((site, word)) => {
                 if cc.kind(site) == GateKind::Dff {
                     // D-pin branch fault: the pin is captured directly.
                     let src = cc.fanins(site)[0];
-                    detected = (word ^ frame[src.index()]) & lane_mask;
+                    detected = word.xor(frame[src.index()]).and(lane_mask);
                 } else {
                     prop.begin();
                     prop.set(site, word);
                     if observed[site.index()] {
-                        detected |= (word ^ frame[site.index()]) & lane_mask;
+                        detected = detected.or(word.xor(frame[site.index()]).and(lane_mask));
                     }
                     prop.enqueue_fanouts(cc, site);
                     let det = &mut detected;
                     prop.run(cc, frame, None, |node, diff| {
                         if observed[node.index()] {
-                            *det |= diff & lane_mask;
+                            *det = det.or(diff.and(lane_mask));
                         }
                     });
                 }
@@ -573,6 +560,68 @@ mod tests {
             assert_eq!(parallel.1, serial.1, "{threads}-thread coverage differs");
             assert_eq!(parallel.2, serial.2, "{threads}-thread active count differs");
         }
+    }
+
+    /// One wide batch grades exactly like the stack of 64-lane batches
+    /// it packs: identical detection counts without dropping, and the
+    /// identical detected-fault set under the usual drop-after-1 flow
+    /// (drop *timing* is batch-granular, so raw counts legitimately
+    /// differ once faults drop mid-stream).
+    #[test]
+    fn wide_batch_equals_stacked_64_lane_batches() {
+        fn check<W: LaneWord>() {
+            let (nl, ins) = and_or();
+            let cc = CompiledCircuit::compile(&nl).unwrap();
+            let universe = FaultUniverse::stuck_at(&nl);
+            let observed = StuckAtSim::observe_all_captures(&cc);
+            // Distinct input words per 64-lane sub-batch.
+            let word = |k: usize, bit: usize| -> u64 {
+                0x9E37_79B9_7F4A_7C15u64.rotate_left((k * 23 + bit * 7) as u32)
+            };
+
+            let run = |drop_after: u32| {
+                let mut narrow = StuckAtSim::new(&cc, universe.representatives(), observed.clone());
+                narrow.set_drop_after(drop_after);
+                for k in 0..W::WORDS {
+                    let mut frame = cc.new_frame();
+                    for (bit, &i) in ins.iter().enumerate() {
+                        frame[i.index()] = word(k, bit);
+                    }
+                    narrow.run_batch(&mut frame, 64);
+                }
+
+                let mut wide: WideStuckAtSim<'_, W> =
+                    WideStuckAtSim::new(&cc, universe.representatives(), observed.clone());
+                wide.set_drop_after(drop_after);
+                let mut frame: Vec<W> = cc.new_wide_frame();
+                for (bit, &i) in ins.iter().enumerate() {
+                    for k in 0..W::WORDS {
+                        frame[i.index()].set_word(k, word(k, bit));
+                    }
+                }
+                wide.run_batch(&mut frame, W::LANES);
+                (narrow, wide)
+            };
+
+            // No dropping: every count is exact and must match.
+            let (narrow, wide) = run(u32::MAX);
+            assert_eq!(wide.detections(), narrow.detections(), "{} lanes", W::LANES);
+            assert_eq!(wide.coverage(), narrow.coverage(), "{} lanes", W::LANES);
+
+            // Drop-after-1 (the production flow): the detected *set* and
+            // the compacted active list must match.
+            let (narrow, wide) = run(1);
+            assert_eq!(
+                wide.undetected_indices(),
+                narrow.undetected_indices(),
+                "{} lanes: detected sets diverged under dropping",
+                W::LANES
+            );
+            assert_eq!(wide.active_faults(), narrow.active_faults(), "{} lanes", W::LANES);
+            assert_eq!(wide.coverage().detected, narrow.coverage().detected);
+        }
+        check::<u128>();
+        check::<[u64; 4]>();
     }
 
     /// Compaction bookkeeping: a dropped fault leaves the active list but

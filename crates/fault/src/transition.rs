@@ -30,9 +30,15 @@
 
 use crate::propagate::Propagator;
 use crate::{CoverageReport, Fault};
+use lbist_exec::LaneWord;
 use lbist_netlist::{DomainId, NodeId};
 use lbist_sim::CompiledCircuit;
 use std::collections::HashMap;
+
+/// The default 64-lane launch-on-capture simulator —
+/// [`WideTransitionSim`] at the `u64` frame width every existing call
+/// site uses.
+pub type TransitionSim<'a> = WideTransitionSim<'a, u64>;
 
 /// Minimum faults per worker shard before another worker is engaged.
 /// Window replay is heavier per fault than single-frame PPSFP, so the
@@ -114,20 +120,20 @@ impl CaptureWindow {
 /// state plus the per-fault flip-flop overlay, reused across faults and
 /// batches.
 #[derive(Debug)]
-struct ReplayScratch {
-    prop: Propagator,
+struct ReplayScratch<W: LaneWord> {
+    prop: Propagator<W>,
     /// Flip-flops currently holding a faulty word for the fault being
     /// replayed.
-    overlay: HashMap<NodeId, u64>,
+    overlay: HashMap<NodeId, W>,
     /// Per-frame seed of overlay flip-flops that differ from the
     /// fault-free frame (rebuilt each frame without allocating).
-    dirty: Vec<(NodeId, u64)>,
+    dirty: Vec<(NodeId, W)>,
     /// Per-at-speed-frame activation words of the fault being replayed
     /// (indexed by frame, reused across faults without allocating).
-    activation: Vec<u64>,
+    activation: Vec<W>,
 }
 
-impl ReplayScratch {
+impl<W: LaneWord> ReplayScratch<W> {
     fn new(cc: &CompiledCircuit) -> Self {
         ReplayScratch {
             prop: Propagator::new(cc),
@@ -138,20 +144,25 @@ impl ReplayScratch {
     }
 }
 
-/// Launch-on-capture transition-fault simulator.
+/// Launch-on-capture transition-fault simulator, generic over the lane
+/// width (64/128/256 scan patterns per pass for `u64`/`u128`/`[u64; 4]`
+/// frames).
 ///
-/// Grades 64 scan patterns per [`TransitionSim::run_batch`]: the caller
-/// loads the scan state (flip-flop words) and primary-input words of the
-/// base frame; the simulator replays the whole double-capture window for
-/// the fault-free circuit and then for every active fault, and compares
-/// final flip-flop states — exactly what the unload-into-MISR observes.
+/// Grades `W::LANES` scan patterns per [`WideTransitionSim::run_batch`]:
+/// the caller loads the scan state (flip-flop words) and primary-input
+/// words of the base frame; the simulator replays the whole double-capture
+/// window for the fault-free circuit and then for every active fault, and
+/// compares final flip-flop states — exactly what the unload-into-MISR
+/// observes.
 ///
-/// Active faults are sharded across the persistent `lbist-exec` work-stealing pool (each with its own
-/// [`Propagator`] and overlay scratch) and the active list is compacted by
-/// swap-remove as faults drop. [`TransitionSim::serial`] pins grading to
-/// the calling thread; parallel and serial results are bit-identical.
+/// Active faults are sharded across the persistent `lbist-exec`
+/// work-stealing pool (each with its own propagation and overlay scratch)
+/// and the active list is compacted by swap-remove as faults drop.
+/// [`WideTransitionSim::serial`] pins grading to the calling thread;
+/// parallel and serial results are bit-identical, as are wide and 64-lane
+/// runs over the same pattern stream (property-tested in the bench crate).
 #[derive(Debug)]
-pub struct TransitionSim<'a> {
+pub struct WideTransitionSim<'a, W: LaneWord = u64> {
     cc: &'a CompiledCircuit,
     window: CaptureWindow,
     faults: Vec<Fault>,
@@ -162,23 +173,23 @@ pub struct TransitionSim<'a> {
     drop_after: u32,
     patterns_run: u64,
     threads: usize,
-    /// `true` until [`TransitionSim::set_threads`] is called: auto mode
-    /// also respects [`MIN_SHARD_FAULTS`]; explicit budgets are honoured
-    /// exactly.
+    /// `true` until [`WideTransitionSim::set_threads`] is called: auto
+    /// mode also respects [`MIN_SHARD_FAULTS`]; explicit budgets are
+    /// honoured exactly.
     threads_auto: bool,
     /// One replay scratch per worker, reused across batches.
-    scratch: Vec<ReplayScratch>,
+    scratch: Vec<ReplayScratch<W>>,
     /// Per-active-fault detection words (aligned with `active`).
-    batch_det: Vec<u64>,
+    batch_det: Vec<W>,
     /// Fault-free value frames, one per window frame (reused per batch).
-    good_frames: Vec<Vec<u64>>,
+    good_frames: Vec<Vec<W>>,
 }
 
-impl<'a> TransitionSim<'a> {
+impl<'a, W: LaneWord> WideTransitionSim<'a, W> {
     /// Creates a simulator for `faults` (transition kinds only) under the
     /// given capture window. Grading uses every available hardware
-    /// thread; see [`TransitionSim::serial`] and
-    /// [`TransitionSim::set_threads`].
+    /// thread; see [`WideTransitionSim::serial`] and
+    /// [`WideTransitionSim::set_threads`].
     ///
     /// # Panics
     ///
@@ -196,8 +207,8 @@ impl<'a> TransitionSim<'a> {
             let f = &faults[i as usize];
             (cc.level(f.node), f.node.index())
         });
-        TransitionSim {
-            good_frames: vec![cc.new_frame(); window.num_frames()],
+        WideTransitionSim {
+            good_frames: vec![cc.new_wide_frame(); window.num_frames()],
             cc,
             window,
             faults,
@@ -251,78 +262,56 @@ impl<'a> TransitionSim<'a> {
         self.active.len()
     }
 
-    /// Grades one batch of up to 64 scan patterns. `base` must carry the
-    /// scan state in its flip-flop words and the held PI values; it is
-    /// consumed as frame F0.
+    /// Grades one batch of up to `W::LANES` scan patterns. `base` must
+    /// carry the scan state in its flip-flop words and the held PI values;
+    /// it is consumed as frame F0.
     ///
     /// Returns the number of newly dropped faults.
     ///
     /// # Panics
     ///
-    /// Panics if `num_patterns` is outside `1..=64`.
-    pub fn run_batch(&mut self, base: &[u64], num_patterns: usize) -> usize {
-        assert!((1..=64).contains(&num_patterns));
-        let lane_mask: u64 = if num_patterns == 64 { !0 } else { (1u64 << num_patterns) - 1 };
+    /// Panics if `num_patterns` is outside `1..=W::LANES`.
+    pub fn run_batch(&mut self, base: &[W], num_patterns: usize) -> usize {
+        let lane_mask = W::mask_lanes(num_patterns);
         self.compute_good_frames(base);
         self.patterns_run += num_patterns as u64;
 
         let n_active = self.active.len();
         self.batch_det.clear();
-        self.batch_det.resize(n_active, 0);
+        self.batch_det.resize(n_active, W::zero());
         if n_active == 0 {
             return 0;
         }
 
-        // As in `StuckAtSim`: in auto mode engage another worker only
+        // As in `WideStuckAtSim`: in auto mode engage another worker only
         // once it owns a meaningful shard, so compacted late batches skip
         // thread spawns; explicit budgets are honoured exactly.
-        let workers = if self.threads_auto {
-            self.threads.min(n_active.div_ceil(MIN_SHARD_FAULTS)).max(1)
-        } else {
-            self.threads.min(n_active)
-        };
-        while self.scratch.len() < workers {
-            self.scratch.push(ReplayScratch::new(self.cc));
-        }
-        let shard = n_active.div_ceil(workers);
+        let min_shard = if self.threads_auto { Some(MIN_SHARD_FAULTS) } else { None };
+        let workers = lbist_exec::worker_budget(self.threads, n_active, min_shard);
 
         let cc = self.cc;
         let window = &self.window;
         let faults: &[Fault] = &self.faults;
-        let good_frames: &[Vec<u64>] = &self.good_frames;
-        if workers == 1 {
-            replay_shard(
-                cc,
-                window,
-                faults,
-                good_frames,
-                &self.active,
-                lane_mask,
-                &mut self.scratch[0],
-                &mut self.batch_det,
-            );
-        } else {
-            let active: &[u32] = &self.active;
-            let shards = active.chunks(shard);
-            let dets = self.batch_det.chunks_mut(shard);
-            let scratches = self.scratch.iter_mut();
-            lbist_exec::scope(|s| {
-                for ((idx_shard, det_shard), scratch) in shards.zip(dets).zip(scratches) {
-                    s.spawn(move |_| {
-                        replay_shard(
-                            cc,
-                            window,
-                            faults,
-                            good_frames,
-                            idx_shard,
-                            lane_mask,
-                            scratch,
-                            det_shard,
-                        );
-                    });
-                }
-            });
-        }
+        let good_frames: &[Vec<W>] = &self.good_frames;
+        lbist_exec::parallel_chunks_with_scratch(
+            &self.active,
+            &mut self.batch_det,
+            workers,
+            &mut self.scratch,
+            || ReplayScratch::new(cc),
+            |idx_shard, det_shard, scratch| {
+                replay_shard(
+                    cc,
+                    window,
+                    faults,
+                    good_frames,
+                    idx_shard,
+                    lane_mask,
+                    scratch,
+                    det_shard,
+                );
+            },
+        );
 
         // Serial merge with swap-remove compaction (lockstep on the two
         // aligned vectors).
@@ -330,7 +319,7 @@ impl<'a> TransitionSim<'a> {
         let mut pos = 0usize;
         while pos < self.active.len() {
             let detected = self.batch_det[pos];
-            if detected == 0 {
+            if detected.is_zero() {
                 pos += 1;
                 continue;
             }
@@ -348,7 +337,7 @@ impl<'a> TransitionSim<'a> {
         newly_dropped
     }
 
-    fn compute_good_frames(&mut self, base: &[u64]) {
+    fn compute_good_frames(&mut self, base: &[W]) {
         let nframes = self.window.num_frames();
         self.cc.eval2_into(base, &mut self.good_frames[0]);
         for frame in 1..nframes {
@@ -368,6 +357,16 @@ impl<'a> TransitionSim<'a> {
             }
             self.cc.eval2(cur);
         }
+    }
+
+    /// The fault-free value frame at the end of the capture window of
+    /// the **last graded batch** — the flip-flop states the unload then
+    /// shifts into the MISRs. This is what a signature-accumulating
+    /// caller compacts as the batch's fault-free response.
+    ///
+    /// Zeroed until the first [`WideTransitionSim::run_batch`].
+    pub fn last_good_frame(&self) -> &[W] {
+        self.good_frames.last().expect("a capture window spans at least one frame")
     }
 
     /// The faults being graded.
@@ -402,19 +401,19 @@ impl<'a> TransitionSim<'a> {
 }
 
 /// Replays one shard of active faults across the capture window, writing
-/// each fault's 64-lane detection word into `out`. Reads only the shared
-/// fault-free frames; all mutable state is the worker's own scratch, so
-/// shard scheduling cannot affect results.
+/// each fault's multi-lane detection word into `out`. Reads only the
+/// shared fault-free frames; all mutable state is the worker's own
+/// scratch, so shard scheduling cannot affect results.
 #[allow(clippy::too_many_arguments)]
-fn replay_shard(
+fn replay_shard<W: LaneWord>(
     cc: &CompiledCircuit,
     window: &CaptureWindow,
     faults: &[Fault],
-    good_frames: &[Vec<u64>],
+    good_frames: &[Vec<W>],
     shard: &[u32],
-    lane_mask: u64,
-    scratch: &mut ReplayScratch,
-    out: &mut [u64],
+    lane_mask: W,
+    scratch: &mut ReplayScratch<W>,
+    out: &mut [W],
 ) {
     debug_assert_eq!(shard.len(), out.len());
     let nframes = window.num_frames();
@@ -433,7 +432,7 @@ fn replay_shard(
         // common case where only one domain is dirty then replays a
         // couple of frames instead of the whole window.
         scratch.activation.clear();
-        scratch.activation.resize(nframes, 0);
+        scratch.activation.resize(nframes, W::zero());
         let mut first_active = usize::MAX;
         let mut last_active = 0usize;
         for frame in 0..nframes {
@@ -443,11 +442,12 @@ fn replay_shard(
             let prev = good_frames[frame - 1][site.index()];
             let cur = good_frames[frame][site.index()];
             let act = (match fault.kind {
-                crate::FaultKind::SlowToRise => !prev & cur,
-                crate::FaultKind::SlowToFall => prev & !cur,
+                crate::FaultKind::SlowToRise => prev.not().and(cur),
+                crate::FaultKind::SlowToFall => prev.and(cur.not()),
                 _ => unreachable!(),
-            }) & lane_mask;
-            if act != 0 {
+            })
+            .and(lane_mask);
+            if !act.is_zero() {
                 scratch.activation[frame] = act;
                 first_active = first_active.min(frame);
                 last_active = frame;
@@ -455,13 +455,13 @@ fn replay_shard(
         }
         if first_active == usize::MAX {
             // No launch excites the fault anywhere in the window.
-            *slot = 0;
+            *slot = W::zero();
             continue;
         }
 
         for frame in first_active..nframes {
             let act = scratch.activation[frame];
-            if act == 0 && frame > last_active && scratch.overlay.is_empty() {
+            if act.is_zero() && frame > last_active && scratch.overlay.is_empty() {
                 // Every remaining frame is activation-free and no faulty
                 // state survives: the rest of the window is fault-free.
                 break;
@@ -474,7 +474,7 @@ fn replay_shard(
                     scratch.dirty.push((ff, word));
                 }
             }
-            if act == 0 && scratch.dirty.is_empty() {
+            if act.is_zero() && scratch.dirty.is_empty() {
                 continue; // nothing differs in this frame
             }
 
@@ -483,7 +483,7 @@ fn replay_shard(
                 scratch.prop.set(ff, word);
                 scratch.prop.enqueue_fanouts(cc, ff);
             }
-            if act != 0 {
+            if !act.is_zero() {
                 // The site's faulty value: good with the launched
                 // transition undone on activated lanes. (If the site is
                 // also downstream of a dirty FF the propagation below may
@@ -492,11 +492,11 @@ fn replay_shard(
                 // and the pin below keeps the injected value
                 // authoritative.)
                 let cur = scratch.prop.value(site, &good_frames[frame]);
-                scratch.prop.set(site, cur ^ act);
+                scratch.prop.set(site, cur.xor(act));
                 scratch.prop.enqueue_fanouts(cc, site);
             }
             let good = &good_frames[frame];
-            let pin = if act != 0 { Some(site) } else { None };
+            let pin = if act.is_zero() { None } else { Some(site) };
             scratch.prop.run(cc, good, pin, |_, _| {});
 
             // Frame boundary: capture.
@@ -520,9 +520,9 @@ fn replay_shard(
         // Detection: any flip-flop whose final state differs is shifted
         // out through the MISR.
         let final_frame = &good_frames[nframes - 1];
-        let mut detected: u64 = 0;
+        let mut detected = W::zero();
         for (&ff, &word) in &scratch.overlay {
-            detected |= (word ^ final_frame[ff.index()]) & lane_mask;
+            detected = detected.or(word.xor(final_frame[ff.index()]).and(lane_mask));
         }
         *slot = detected;
     }
@@ -691,6 +691,53 @@ mod tests {
         assert_eq!(cov.total, 2);
         assert_eq!(cov.detected, 1);
         assert!((cov.percent() - 50.0).abs() < 1e-9);
+    }
+
+    /// One wide transition batch grades exactly like the stack of
+    /// 64-lane batches it packs (no dropping → exact counts; the
+    /// detected set is batch-granularity-invariant either way).
+    #[test]
+    fn wide_transition_batch_equals_stacked_64_lane_batches() {
+        fn check<W: LaneWord>() {
+            let (nl, pi, _ff_a, inv, _ff_b) = inv_pipe();
+            let cc = CompiledCircuit::compile(&nl).unwrap();
+            let faults = vec![
+                Fault::stem(inv, FaultKind::SlowToRise),
+                Fault::stem(inv, FaultKind::SlowToFall),
+            ];
+            let word = |k: usize, node: usize| -> u64 {
+                0xBF58_476D_1CE4_E5B9u64.rotate_left((k * 13 + node * 29) as u32)
+            };
+
+            let mut narrow = TransitionSim::new(&cc, faults.clone(), CaptureWindow::all_domains(1));
+            narrow.set_drop_after(u32::MAX);
+            for k in 0..W::WORDS {
+                let mut base = cc.new_frame();
+                base[pi.index()] = word(k, 0);
+                for (i, &ff) in cc.dffs().iter().enumerate() {
+                    base[ff.index()] = word(k, 1 + i);
+                }
+                narrow.run_batch(&base, 64);
+            }
+
+            let mut wide: WideTransitionSim<'_, W> =
+                WideTransitionSim::new(&cc, faults.clone(), CaptureWindow::all_domains(1));
+            wide.set_drop_after(u32::MAX);
+            let mut base: Vec<W> = cc.new_wide_frame();
+            for k in 0..W::WORDS {
+                base[pi.index()].set_word(k, word(k, 0));
+                for (i, &ff) in cc.dffs().iter().enumerate() {
+                    base[ff.index()].set_word(k, word(k, 1 + i));
+                }
+            }
+            wide.run_batch(&base, W::LANES);
+
+            assert_eq!(wide.detections(), narrow.detections(), "{} lanes", W::LANES);
+            assert_eq!(wide.coverage(), narrow.coverage(), "{} lanes", W::LANES);
+            assert!(wide.detections().iter().any(|&d| d > 0), "scenario must detect something");
+        }
+        check::<u128>();
+        check::<[u64; 4]>();
     }
 
     /// Parallel transition grading (forced to several shards) reports the

@@ -1,5 +1,6 @@
 //! The flattened circuit representation all simulators share.
 
+use lbist_exec::LaneWord;
 use lbist_netlist::{DomainId, Fanouts, GateKind, Levelization, Netlist, NetlistError, NodeId};
 
 /// A netlist compiled for fast repeated simulation.
@@ -10,8 +11,13 @@ use lbist_netlist::{DomainId, Fanouts, GateKind, Levelization, Netlist, NetlistE
 /// source-node lists (inputs, flip-flops, X-sources, constants). After
 /// compilation the original [`Netlist`] is no longer needed for simulation.
 ///
-/// Pattern-parallel convention: every net's value is a `u64` holding 64
-/// independent patterns; bit `p` of every word belongs to pattern `p`.
+/// Pattern-parallel convention: every net's value is one
+/// [`LaneWord`] holding `W::LANES` independent patterns; lane `p` of
+/// every word belongs to pattern `p`. The evaluation entry points
+/// ([`CompiledCircuit::eval2`], [`eval_gate`]) are generic over the
+/// word, so the same compiled circuit grades 64 (`u64`), 128 (`u128`)
+/// or 256 (`[u64; 4]`) patterns per pass; `u64` remains the default
+/// frame width ([`CompiledCircuit::new_frame`]).
 #[derive(Clone, Debug)]
 pub struct CompiledCircuit {
     num_nodes: usize,
@@ -167,12 +173,19 @@ impl CompiledCircuit {
         &self.xsources
     }
 
-    /// Allocates a zeroed 2-valued value frame (one word per node) with
-    /// constants preloaded.
+    /// Allocates a zeroed 2-valued value frame at the default 64-lane
+    /// width (one `u64` word per node) with constants preloaded.
     pub fn new_frame(&self) -> Vec<u64> {
-        let mut v = vec![0u64; self.num_nodes];
+        self.new_wide_frame::<u64>()
+    }
+
+    /// Allocates a zeroed 2-valued value frame at an arbitrary lane
+    /// width (one `W` word per node) with constants preloaded on every
+    /// lane.
+    pub fn new_wide_frame<W: LaneWord>(&self) -> Vec<W> {
+        let mut v = vec![W::zero(); self.num_nodes];
         for &c in &self.const1 {
-            v[c.index()] = !0;
+            v[c.index()] = W::ones();
         }
         v
     }
@@ -181,7 +194,7 @@ impl CompiledCircuit {
     /// simulators can re-evaluate single gates during event-driven
     /// propagation.
     #[inline]
-    pub fn eval_node2(&self, node: NodeId, values: &[u64]) -> u64 {
+    pub fn eval_node2<W: LaneWord>(&self, node: NodeId, values: &[W]) -> W {
         let kind = self.kinds[node.index()];
         if kind.is_frame_source() {
             // Sources hold whatever the caller loaded for this frame.
@@ -192,8 +205,9 @@ impl CompiledCircuit {
 
     /// Full-frame 2-valued evaluation: assumes the caller has loaded source
     /// words (inputs, flip-flop states, X-source substitutes); evaluates the
-    /// schedule in level order.
-    pub fn eval2(&self, values: &mut [u64]) {
+    /// schedule in level order. Generic over the lane width — each call
+    /// grades `W::LANES` patterns.
+    pub fn eval2<W: LaneWord>(&self, values: &mut [W]) {
         debug_assert_eq!(values.len(), self.num_nodes);
         for &node in &self.schedule {
             values[node.index()] = self.eval_node2(node, values);
@@ -210,7 +224,7 @@ impl CompiledCircuit {
     /// # Panics
     ///
     /// Panics if the frame lengths differ from [`CompiledCircuit::num_nodes`].
-    pub fn eval2_into(&self, base: &[u64], dst: &mut [u64]) {
+    pub fn eval2_into<W: LaneWord>(&self, base: &[W], dst: &mut [W]) {
         assert_eq!(base.len(), self.num_nodes, "base frame length mismatch");
         assert_eq!(dst.len(), self.num_nodes, "destination frame length mismatch");
         dst.copy_from_slice(base);
@@ -231,7 +245,7 @@ const _: () = {
 };
 
 /// Evaluates a 2-valued gate function from an explicit slice of fanin
-/// pattern words (`words[i]` = value on pin `i`).
+/// pattern words (`words[i]` = value on pin `i`), at any lane width.
 ///
 /// This is the primitive event-driven fault propagation uses to
 /// re-evaluate a single gate with some pins overridden.
@@ -245,23 +259,24 @@ const _: () = {
 ///
 /// ```
 /// use lbist_netlist::GateKind;
-/// assert_eq!(lbist_sim::eval_gate(GateKind::Nand, &[0b11, 0b01]), !0b01);
+/// assert_eq!(lbist_sim::eval_gate(GateKind::Nand, &[0b11u64, 0b01]), !0b01);
+/// assert_eq!(lbist_sim::eval_gate(GateKind::Nand, &[0b11u128, 0b01]), !0b01);
 /// ```
 #[inline]
-pub fn eval_gate(kind: GateKind, words: &[u64]) -> u64 {
+pub fn eval_gate<W: LaneWord>(kind: GateKind, words: &[W]) -> W {
     debug_assert!(kind.accepts_fanins(words.len()), "{kind} with {} words", words.len());
     match kind {
         GateKind::Buf | GateKind::Output => words[0],
-        GateKind::Not => !words[0],
-        GateKind::And => words.iter().fold(!0u64, |acc, &w| acc & w),
-        GateKind::Nand => !words.iter().fold(!0u64, |acc, &w| acc & w),
-        GateKind::Or => words.iter().fold(0u64, |acc, &w| acc | w),
-        GateKind::Nor => !words.iter().fold(0u64, |acc, &w| acc | w),
-        GateKind::Xor => words.iter().fold(0u64, |acc, &w| acc ^ w),
-        GateKind::Xnor => !words.iter().fold(0u64, |acc, &w| acc ^ w),
-        GateKind::Mux2 => (!words[0] & words[1]) | (words[0] & words[2]),
-        GateKind::Const0 => 0,
-        GateKind::Const1 => !0,
+        GateKind::Not => words[0].not(),
+        GateKind::And => words.iter().fold(W::ones(), |acc, &w| acc.and(w)),
+        GateKind::Nand => words.iter().fold(W::ones(), |acc, &w| acc.and(w)).not(),
+        GateKind::Or => words.iter().fold(W::zero(), |acc, &w| acc.or(w)),
+        GateKind::Nor => words.iter().fold(W::zero(), |acc, &w| acc.or(w)).not(),
+        GateKind::Xor => words.iter().fold(W::zero(), |acc, &w| acc.xor(w)),
+        GateKind::Xnor => words.iter().fold(W::zero(), |acc, &w| acc.xor(w)).not(),
+        GateKind::Mux2 => words[0].not().and(words[1]).or(words[0].and(words[2])),
+        GateKind::Const0 => W::zero(),
+        GateKind::Const1 => W::ones(),
         GateKind::Input | GateKind::Dff | GateKind::XSource => {
             unreachable!("frame sources are never evaluated")
         }
@@ -270,23 +285,23 @@ pub fn eval_gate(kind: GateKind, words: &[u64]) -> u64 {
 
 /// Evaluates a single 2-valued gate function over pattern words.
 #[inline]
-pub(crate) fn eval_kind2(kind: GateKind, fanins: &[NodeId], values: &[u64]) -> u64 {
+pub(crate) fn eval_kind2<W: LaneWord>(kind: GateKind, fanins: &[NodeId], values: &[W]) -> W {
     let v = |id: NodeId| values[id.index()];
     match kind {
         GateKind::Buf | GateKind::Output => v(fanins[0]),
-        GateKind::Not => !v(fanins[0]),
-        GateKind::And => fanins.iter().fold(!0u64, |acc, &f| acc & v(f)),
-        GateKind::Nand => !fanins.iter().fold(!0u64, |acc, &f| acc & v(f)),
-        GateKind::Or => fanins.iter().fold(0u64, |acc, &f| acc | v(f)),
-        GateKind::Nor => !fanins.iter().fold(0u64, |acc, &f| acc | v(f)),
-        GateKind::Xor => fanins.iter().fold(0u64, |acc, &f| acc ^ v(f)),
-        GateKind::Xnor => !fanins.iter().fold(0u64, |acc, &f| acc ^ v(f)),
+        GateKind::Not => v(fanins[0]).not(),
+        GateKind::And => fanins.iter().fold(W::ones(), |acc, &f| acc.and(v(f))),
+        GateKind::Nand => fanins.iter().fold(W::ones(), |acc, &f| acc.and(v(f))).not(),
+        GateKind::Or => fanins.iter().fold(W::zero(), |acc, &f| acc.or(v(f))),
+        GateKind::Nor => fanins.iter().fold(W::zero(), |acc, &f| acc.or(v(f))).not(),
+        GateKind::Xor => fanins.iter().fold(W::zero(), |acc, &f| acc.xor(v(f))),
+        GateKind::Xnor => fanins.iter().fold(W::zero(), |acc, &f| acc.xor(v(f))).not(),
         GateKind::Mux2 => {
             let s = v(fanins[0]);
-            (!s & v(fanins[1])) | (s & v(fanins[2]))
+            s.not().and(v(fanins[1])).or(s.and(v(fanins[2])))
         }
-        GateKind::Const0 => 0,
-        GateKind::Const1 => !0,
+        GateKind::Const0 => W::zero(),
+        GateKind::Const1 => W::ones(),
         GateKind::Input | GateKind::Dff | GateKind::XSource => {
             unreachable!("frame sources are never evaluated")
         }
@@ -333,6 +348,44 @@ mod tests {
             assert_eq!((vals[outs[0].index()] >> p) & 1, sum & 1, "sum at p={p}");
             assert_eq!((vals[outs[1].index()] >> p) & 1, sum >> 1, "carry at p={p}");
         }
+    }
+
+    /// Wide evaluation is, sub-word for sub-word, the same function as
+    /// 64-lane evaluation: lane `64k+ℓ` of a `W` frame evaluates exactly
+    /// like lane `ℓ` of the `k`-th `u64` frame.
+    #[test]
+    fn wide_eval_matches_64_lane_subwords() {
+        fn check<W: LaneWord>() {
+            let (nl, ins, _) = full_adder();
+            let cc = CompiledCircuit::compile(&nl).unwrap();
+            let mut wide: Vec<W> = cc.new_wide_frame();
+            let mut narrow: Vec<Vec<u64>> = (0..W::WORDS).map(|_| cc.new_frame()).collect();
+            let mut x = 0x9E37_79B9_7F4A_7C15u64;
+            for &i in &ins {
+                for (k, frame) in narrow.iter_mut().enumerate() {
+                    x ^= x << 13;
+                    x ^= x >> 7;
+                    x ^= x << 17;
+                    wide[i.index()].set_word(k, x);
+                    frame[i.index()] = x;
+                }
+            }
+            cc.eval2(&mut wide);
+            for (k, frame) in narrow.iter_mut().enumerate() {
+                cc.eval2(frame);
+                for id in nl.ids() {
+                    assert_eq!(
+                        wide[id.index()].word(k),
+                        frame[id.index()],
+                        "{} lanes: node {id} sub-word {k}",
+                        W::LANES
+                    );
+                }
+            }
+        }
+        check::<u64>();
+        check::<u128>();
+        check::<[u64; 4]>();
     }
 
     #[test]

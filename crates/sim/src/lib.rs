@@ -8,13 +8,16 @@
 //! * [`CompiledCircuit`] — a flattened, cache-friendly copy of a
 //!   [`lbist_netlist::Netlist`] (CSR fanins, level-ordered evaluation
 //!   schedule) that simulators iterate without touching the arena.
-//! * 64-way **2-valued** simulation ([`CompiledCircuit::eval2`]): one `u64`
-//!   word per net carries 64 independent test patterns.
-//! * 64-way **3-valued** simulation ([`CompiledCircuit::eval3`]): a
+//! * **2-valued** simulation ([`CompiledCircuit::eval2`]): one
+//!   [`lbist_exec::LaneWord`] per net carries `W::LANES` independent test
+//!   patterns — 64 (`u64`, the default frame width), 128 (`u128`) or 256
+//!   (`[u64; 4]`) per pass.
+//! * **3-valued** simulation ([`CompiledCircuit::eval3`]): a
 //!   `(value, x-mask)` word pair per net tracks unknowns pessimistically —
 //!   used to prove X-bounding actually blocks every X source.
-//! * A **sequential engine** ([`SeqSim`]) with per-clock-domain capture,
-//!   the primitive underneath the double-capture at-speed scheme.
+//! * A **sequential engine** ([`SeqSim`] / [`WideSeqSim`]) with
+//!   per-clock-domain capture, the primitive underneath the double-capture
+//!   at-speed scheme.
 //!
 //! # Example
 //!
@@ -46,5 +49,5 @@ mod three;
 
 pub use compiled::{eval_gate, CompiledCircuit};
 pub use logic::{pack_bits, unpack_bits, Logic};
-pub use seq::SeqSim;
-pub use three::Frame3;
+pub use seq::{SeqSim, WideSeqSim};
+pub use three::{Frame3, WideFrame3};

@@ -1,13 +1,19 @@
 //! Cycle-based sequential simulation with per-clock-domain capture.
 
 use crate::compiled::CompiledCircuit;
+use lbist_exec::LaneWord;
 use lbist_netlist::{DomainId, NodeId};
 
-/// A 64-way bit-parallel sequential simulator.
+/// The default 64-way sequential simulator — [`WideSeqSim`] at the
+/// `u64` frame width every existing call site uses.
+pub type SeqSim<'a> = WideSeqSim<'a, u64>;
+
+/// A bit-parallel sequential simulator, generic over the lane width
+/// (`W::LANES` independent patterns per pass).
 ///
 /// The simulator owns a value frame plus the flip-flop state vector. A
-/// "cycle" is: load inputs → [`SeqSim::eval`] the combinational logic →
-/// [`SeqSim::capture`] a *subset* of clock domains (the flip-flops of
+/// "cycle" is: load inputs → [`WideSeqSim::eval`] the combinational logic →
+/// [`WideSeqSim::capture`] a *subset* of clock domains (the flip-flops of
 /// unclocked domains hold). Per-domain capture is exactly the primitive the
 /// paper's double-capture scheme sequences: each capture window issues two
 /// `capture` calls per domain, ordered across domains by the `d3` gap.
@@ -35,16 +41,16 @@ use lbist_netlist::{DomainId, NodeId};
 /// assert_eq!(sim.value(ff) & 1, 0); // and back
 /// ```
 #[derive(Clone, Debug)]
-pub struct SeqSim<'a> {
+pub struct WideSeqSim<'a, W: LaneWord = u64> {
     cc: &'a CompiledCircuit,
-    values: Vec<u64>,
+    values: Vec<W>,
 }
 
-impl<'a> SeqSim<'a> {
+impl<'a, W: LaneWord> WideSeqSim<'a, W> {
     /// Creates a simulator with all flip-flops and inputs at 0 and constants
     /// preloaded.
     pub fn new(cc: &'a CompiledCircuit) -> Self {
-        SeqSim { cc, values: cc.new_frame() }
+        WideSeqSim { cc, values: cc.new_wide_frame() }
     }
 
     /// The compiled circuit this simulator runs.
@@ -52,38 +58,38 @@ impl<'a> SeqSim<'a> {
         self.cc
     }
 
-    /// Loads a primary input with a 64-pattern word.
-    pub fn set_input(&mut self, input: NodeId, word: u64) {
+    /// Loads a primary input with a `W::LANES`-pattern word.
+    pub fn set_input(&mut self, input: NodeId, word: W) {
         debug_assert!(self.cc.inputs().contains(&input));
         self.values[input.index()] = word;
     }
 
     /// Forces a flip-flop's state (`Q`) word — scan load, in effect.
-    pub fn set_state(&mut self, ff: NodeId, word: u64) {
+    pub fn set_state(&mut self, ff: NodeId, word: W) {
         debug_assert!(self.cc.dffs().contains(&ff));
         self.values[ff.index()] = word;
     }
 
     /// Forces an X-source substitute value (2-valued simulation has no X;
     /// bounded designs tie these to a constant).
-    pub fn set_xsource(&mut self, x: NodeId, word: u64) {
+    pub fn set_xsource(&mut self, x: NodeId, word: W) {
         debug_assert!(self.cc.xsources().contains(&x));
         self.values[x.index()] = word;
     }
 
     /// Reads any node's current word.
     #[inline]
-    pub fn value(&self, node: NodeId) -> u64 {
+    pub fn value(&self, node: NodeId) -> W {
         self.values[node.index()]
     }
 
     /// Direct access to the whole frame (one word per node).
-    pub fn frame(&self) -> &[u64] {
+    pub fn frame(&self) -> &[W] {
         &self.values
     }
 
     /// Mutable access to the whole frame.
-    pub fn frame_mut(&mut self) -> &mut [u64] {
+    pub fn frame_mut(&mut self) -> &mut [W] {
         &mut self.values
     }
 
@@ -93,15 +99,15 @@ impl<'a> SeqSim<'a> {
     }
 
     /// Clocks the flip-flops of the selected domains: each captures the
-    /// value at its `D` pin. Unselected domains hold. Call [`SeqSim::eval`]
-    /// first so `D` values are up to date, and again afterwards if the new
-    /// state must propagate.
+    /// value at its `D` pin. Unselected domains hold. Call
+    /// [`WideSeqSim::eval`] first so `D` values are up to date, and again
+    /// afterwards if the new state must propagate.
     pub fn capture(&mut self, domains: &[DomainId]) {
         // Two passes: latch all D values first so simultaneous capture is
         // race-free (a FF feeding another FF in the same domain transfers
         // the *old* value, as real edge-triggered hardware does).
         let dffs = self.cc.dffs();
-        let mut next: Vec<(usize, u64)> = Vec::new();
+        let mut next: Vec<(usize, W)> = Vec::new();
         for (i, &ff) in dffs.iter().enumerate() {
             if domains.contains(&self.cc.dff_domain(i)) {
                 let d = self.cc.fanins(ff)[0];
@@ -202,6 +208,32 @@ mod tests {
         sim.set_state(ff_b, 0xBEEF);
         assert_eq!(sim.value(ff_a), 0xDEAD);
         assert_eq!(sim.value(ff_b), 0xBEEF);
+    }
+
+    /// The same gated-toggle machine runs identically at every lane
+    /// width: lane `ℓ` only depends on lane `ℓ` of the inputs.
+    #[test]
+    fn wide_widths_run_independent_lanes() {
+        fn check<W: LaneWord>() {
+            let mut nl = Netlist::new("g");
+            let en = nl.add_input("en");
+            let ff = nl.add_dff_floating(DomainId::new(0));
+            let nxt = nl.add_gate(GateKind::Xor, &[ff, en]);
+            nl.set_fanin(ff, 0, nxt).unwrap();
+            let cc = CompiledCircuit::compile(&nl).unwrap();
+            let mut sim: WideSeqSim<'_, W> = WideSeqSim::new(&cc);
+            let mut mask = W::zero();
+            for lane in (0..W::LANES).step_by(2) {
+                mask.set_lane(lane);
+            }
+            sim.set_input(en, mask);
+            sim.run_cycles(3);
+            assert_eq!(sim.value(ff), mask, "{} lanes: odd toggle count", W::LANES);
+            sim.run_cycles(1);
+            assert_eq!(sim.value(ff), W::zero(), "{} lanes: even toggle count", W::LANES);
+        }
+        check::<u128>();
+        check::<[u64; 4]>();
     }
 
     #[test]

@@ -1,13 +1,19 @@
-//! 64-way 3-valued (0/1/X) simulation frames.
+//! Bit-parallel 3-valued (0/1/X) simulation frames, generic over the
+//! lane width.
 
 use crate::compiled::CompiledCircuit;
 use crate::logic::Logic;
+use lbist_exec::LaneWord;
 use lbist_netlist::{GateKind, NodeId};
 
-/// A 3-valued value frame: per node one `(value, xmask)` word pair, 64
-/// patterns wide.
+/// The default 64-way 3-valued frame — [`WideFrame3`] at the `u64`
+/// width every existing call site uses.
+pub type Frame3 = WideFrame3<u64>;
+
+/// A 3-valued value frame: per node one `(value, xmask)` word pair,
+/// `W::LANES` patterns wide.
 ///
-/// Encoding per pattern bit: `xmask = 1` means unknown (the `value` bit is
+/// Encoding per pattern lane: `xmask = 1` means unknown (the `value` bit is
 /// forced to 0 for canonicity); `xmask = 0` means the `value` bit is a
 /// definite 0/1. The algebra is the usual pessimistic ternary extension:
 /// a controlling definite value dominates (`0` on AND, `1` on OR), XOR of
@@ -34,20 +40,21 @@ use lbist_netlist::{GateKind, NodeId};
 /// assert_eq!(f.get(g, 1), Logic::X);    // 1 lets it through
 /// ```
 #[derive(Clone, Debug)]
-pub struct Frame3 {
+pub struct WideFrame3<W: LaneWord = u64> {
     /// Definite-value bits (canonically 0 where `xmask` is 1).
-    pub value: Vec<u64>,
+    pub value: Vec<W>,
     /// Unknown-mask bits.
-    pub xmask: Vec<u64>,
+    pub xmask: Vec<W>,
 }
 
-impl Frame3 {
+impl<W: LaneWord> WideFrame3<W> {
     /// Allocates a frame for `cc` with constants preloaded and every
-    /// X-source marked unknown on all 64 patterns.
+    /// X-source marked unknown on all lanes.
     pub fn new(cc: &CompiledCircuit) -> Self {
-        let mut f = Frame3 { value: cc.new_frame(), xmask: vec![0u64; cc.num_nodes()] };
+        let mut f =
+            WideFrame3 { value: cc.new_wide_frame(), xmask: vec![W::zero(); cc.num_nodes()] };
         for &x in cc.xsources() {
-            f.xmask[x.index()] = !0;
+            f.xmask[x.index()] = W::ones();
         }
         f
     }
@@ -56,29 +63,31 @@ impl Frame3 {
     ///
     /// # Panics
     ///
-    /// Panics if `pat >= 64`.
+    /// Panics if `pat >= W::LANES`.
     pub fn set(&mut self, node: NodeId, pat: usize, v: Logic) {
-        assert!(pat < 64);
-        let bit = 1u64 << pat;
+        assert!(pat < W::LANES);
+        let mut bit = W::zero();
+        bit.set_lane(pat);
+        let keep = bit.not();
         match v {
             Logic::Zero => {
-                self.value[node.index()] &= !bit;
-                self.xmask[node.index()] &= !bit;
+                self.value[node.index()] = self.value[node.index()].and(keep);
+                self.xmask[node.index()] = self.xmask[node.index()].and(keep);
             }
             Logic::One => {
-                self.value[node.index()] |= bit;
-                self.xmask[node.index()] &= !bit;
+                self.value[node.index()] = self.value[node.index()].or(bit);
+                self.xmask[node.index()] = self.xmask[node.index()].and(keep);
             }
             Logic::X => {
-                self.value[node.index()] &= !bit;
-                self.xmask[node.index()] |= bit;
+                self.value[node.index()] = self.value[node.index()].and(keep);
+                self.xmask[node.index()] = self.xmask[node.index()].or(bit);
             }
         }
     }
 
-    /// Sets all 64 patterns of `node` at once from packed words.
-    pub fn set_words(&mut self, node: NodeId, value: u64, xmask: u64) {
-        self.value[node.index()] = value & !xmask;
+    /// Sets all lanes of `node` at once from packed words.
+    pub fn set_words(&mut self, node: NodeId, value: W, xmask: W) {
+        self.value[node.index()] = value.and(xmask.not());
         self.xmask[node.index()] = xmask;
     }
 
@@ -86,13 +95,12 @@ impl Frame3 {
     ///
     /// # Panics
     ///
-    /// Panics if `pat >= 64`.
+    /// Panics if `pat >= W::LANES`.
     pub fn get(&self, node: NodeId, pat: usize) -> Logic {
-        assert!(pat < 64);
-        let bit = 1u64 << pat;
-        if self.xmask[node.index()] & bit != 0 {
+        assert!(pat < W::LANES);
+        if self.xmask[node.index()].get_lane(pat) {
             Logic::X
-        } else if self.value[node.index()] & bit != 0 {
+        } else if self.value[node.index()].get_lane(pat) {
             Logic::One
         } else {
             Logic::Zero
@@ -100,29 +108,29 @@ impl Frame3 {
     }
 
     /// Returns the X-mask word of a node.
-    pub fn xmask_of(&self, node: NodeId) -> u64 {
+    pub fn xmask_of(&self, node: NodeId) -> W {
         self.xmask[node.index()]
     }
 
     /// Returns the value word of a node.
-    pub fn value_of(&self, node: NodeId) -> u64 {
+    pub fn value_of(&self, node: NodeId) -> W {
         self.value[node.index()]
     }
 }
 
 impl CompiledCircuit {
-    /// Full-frame 3-valued evaluation (see [`Frame3`]).
-    pub fn eval3(&self, frame: &mut Frame3) {
+    /// Full-frame 3-valued evaluation (see [`WideFrame3`]).
+    pub fn eval3<W: LaneWord>(&self, frame: &mut WideFrame3<W>) {
         for &node in self.schedule() {
             let (v, x) = self.eval_node3(node, frame);
-            frame.value[node.index()] = v & !x;
+            frame.value[node.index()] = v.and(x.not());
             frame.xmask[node.index()] = x;
         }
     }
 
     /// Evaluates one node's 3-valued function from its fanin words,
     /// returning `(value, xmask)`.
-    pub fn eval_node3(&self, node: NodeId, frame: &Frame3) -> (u64, u64) {
+    pub fn eval_node3<W: LaneWord>(&self, node: NodeId, frame: &WideFrame3<W>) -> (W, W) {
         let kind = self.kind(node);
         if kind.is_frame_source() {
             return (frame.value[node.index()], frame.xmask[node.index()]);
@@ -132,70 +140,70 @@ impl CompiledCircuit {
         let x = |id: NodeId| frame.xmask[id.index()];
         match kind {
             GateKind::Buf | GateKind::Output => (v(fi[0]), x(fi[0])),
-            GateKind::Not => (!v(fi[0]) & !x(fi[0]), x(fi[0])),
+            GateKind::Not => (v(fi[0]).not().and(x(fi[0]).not()), x(fi[0])),
             GateKind::And | GateKind::Nand => {
-                let mut any_x = 0u64;
-                let mut any_def0 = 0u64;
-                let mut all1 = !0u64;
+                let mut any_x = W::zero();
+                let mut any_def0 = W::zero();
+                let mut all1 = W::ones();
                 for &f in fi {
-                    any_x |= x(f);
-                    any_def0 |= !v(f) & !x(f);
-                    all1 &= v(f);
+                    any_x = any_x.or(x(f));
+                    any_def0 = any_def0.or(v(f).not().and(x(f).not()));
+                    all1 = all1.and(v(f));
                 }
-                let rx = any_x & !any_def0;
-                let rv = all1 & !rx;
+                let rx = any_x.and(any_def0.not());
+                let rv = all1.and(rx.not());
                 if kind == GateKind::And {
                     (rv, rx)
                 } else {
-                    (!rv & !rx, rx)
+                    (rv.not().and(rx.not()), rx)
                 }
             }
             GateKind::Or | GateKind::Nor => {
-                let mut any_x = 0u64;
-                let mut any_def1 = 0u64;
-                let mut any1 = 0u64;
+                let mut any_x = W::zero();
+                let mut any_def1 = W::zero();
+                let mut any1 = W::zero();
                 for &f in fi {
-                    any_x |= x(f);
-                    any_def1 |= v(f) & !x(f);
-                    any1 |= v(f);
+                    any_x = any_x.or(x(f));
+                    any_def1 = any_def1.or(v(f).and(x(f).not()));
+                    any1 = any1.or(v(f));
                 }
-                let rx = any_x & !any_def1;
-                let rv = any1 & !rx;
+                let rx = any_x.and(any_def1.not());
+                let rv = any1.and(rx.not());
                 if kind == GateKind::Or {
                     (rv, rx)
                 } else {
-                    (!rv & !rx, rx)
+                    (rv.not().and(rx.not()), rx)
                 }
             }
             GateKind::Xor | GateKind::Xnor => {
-                let mut any_x = 0u64;
-                let mut parity = 0u64;
+                let mut any_x = W::zero();
+                let mut parity = W::zero();
                 for &f in fi {
-                    any_x |= x(f);
-                    parity ^= v(f);
+                    any_x = any_x.or(x(f));
+                    parity = parity.xor(v(f));
                 }
-                let rv = parity & !any_x;
+                let rv = parity.and(any_x.not());
                 if kind == GateKind::Xor {
                     (rv, any_x)
                 } else {
-                    (!rv & !any_x, any_x)
+                    (rv.not().and(any_x.not()), any_x)
                 }
             }
             GateKind::Mux2 => {
                 let (sv, sx) = (v(fi[0]), x(fi[0]));
                 let (av, ax) = (v(fi[1]), x(fi[1]));
                 let (bv, bx) = (v(fi[2]), x(fi[2]));
-                let def_s0 = !sv & !sx;
-                let def_s1 = sv & !sx;
+                let def_s0 = sv.not().and(sx.not());
+                let def_s1 = sv.and(sx.not());
                 // When sel is X the result is definite only if both data
                 // inputs agree and are definite.
-                let agree = !(av ^ bv) & !ax & !bx;
-                let rx = (def_s0 & ax) | (def_s1 & bx) | (sx & !agree);
-                let rv = ((def_s0 & av) | (def_s1 & bv) | (sx & agree & av)) & !rx;
+                let agree = av.xor(bv).not().and(ax.not()).and(bx.not());
+                let rx = def_s0.and(ax).or(def_s1.and(bx)).or(sx.and(agree.not()));
+                let rv = def_s0.and(av).or(def_s1.and(bv)).or(sx.and(agree).and(av)).and(rx.not());
                 (rv, rx)
             }
-            GateKind::Const0 => (0, 0),
-            GateKind::Const1 => (!0, 0),
+            GateKind::Const0 => (W::zero(), W::zero()),
+            GateKind::Const1 => (W::ones(), W::zero()),
             GateKind::Input | GateKind::Dff | GateKind::XSource => unreachable!(),
         }
     }
@@ -293,6 +301,37 @@ mod tests {
         assert_eq!(f.get(m, 1), Logic::X);
         assert_eq!(f.get(m, 2), Logic::X);
         assert_eq!(f.get(m, 3), Logic::Zero);
+    }
+
+    /// The ternary algebra is width-blind: every 2-input gate evaluated
+    /// on lanes past bit 63 matches the scalar reference.
+    #[test]
+    fn wide_ternary_matches_scalar_algebra_on_high_lanes() {
+        fn check<W: LaneWord>() {
+            let vals = [Logic::Zero, Logic::One, Logic::X];
+            let (nl, ins, g) = one_gate(GateKind::Nand, 2);
+            let cc = CompiledCircuit::compile(&nl).unwrap();
+            let mut frame: WideFrame3<W> = WideFrame3::new(&cc);
+            let base = W::LANES - 9; // the last 9 lanes
+            let mut pat = base;
+            for &a in &vals {
+                for &b in &vals {
+                    frame.set(ins[0], pat, a);
+                    frame.set(ins[1], pat, b);
+                    pat += 1;
+                }
+            }
+            cc.eval3(&mut frame);
+            let mut pat = base;
+            for &a in &vals {
+                for &b in &vals {
+                    assert_eq!(frame.get(g, pat), !(a & b), "{} lanes: ({a},{b})", W::LANES);
+                    pat += 1;
+                }
+            }
+        }
+        check::<u128>();
+        check::<[u64; 4]>();
     }
 
     #[test]

@@ -80,6 +80,24 @@ impl SpaceCompactor {
         assert_eq!(bits.len(), self.chains, "compactor input width mismatch");
         self.groups.iter().map(|g| g.iter().fold(false, |acc, &c| acc ^ bits[c])).collect()
     }
+
+    /// Compacts one cycle of scan-out *pattern words*: lane `ℓ` of every
+    /// output word is [`SpaceCompactor::compact`] applied to lane `ℓ` of
+    /// the input words. This is the word-level form the lane-parallel
+    /// grading pipeline feeds into a [`crate::LaneMisr`], compacting all
+    /// `W::LANES` packed patterns per call.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `words.len() != num_chains()` or
+    /// `out.len() != num_outputs()`.
+    pub fn compact_words<W: lbist_exec::LaneWord>(&self, words: &[W], out: &mut [W]) {
+        assert_eq!(words.len(), self.chains, "compactor input width mismatch");
+        assert_eq!(out.len(), self.groups.len(), "compactor output width mismatch");
+        for (slot, group) in out.iter_mut().zip(&self.groups) {
+            *slot = group.iter().fold(W::zero(), |acc, &c| acc.xor(words[c]));
+        }
+    }
 }
 
 #[cfg(test)]
@@ -142,5 +160,38 @@ mod tests {
     #[should_panic(expected = "cannot compact")]
     fn more_outputs_than_chains_rejected() {
         SpaceCompactor::balanced(2, 3);
+    }
+
+    /// Word-level compaction is the per-lane scalar compaction, at every
+    /// lane width (including lanes past bit 63).
+    #[test]
+    fn compact_words_matches_scalar_per_lane() {
+        fn check<W: lbist_exec::LaneWord>() {
+            let c = SpaceCompactor::balanced(5, 2);
+            let bit = |chain: usize, lane: usize| (chain * 17 + lane * 5).is_multiple_of(4);
+            let words: Vec<W> = (0..5)
+                .map(|chain| {
+                    let mut w = W::zero();
+                    for lane in 0..W::LANES {
+                        if bit(chain, lane) {
+                            w.set_lane(lane);
+                        }
+                    }
+                    w
+                })
+                .collect();
+            let mut out = vec![W::zero(); 2];
+            c.compact_words(&words, &mut out);
+            for lane in [0, 1, W::LANES / 2, W::LANES - 1] {
+                let bits: Vec<bool> = (0..5).map(|chain| bit(chain, lane)).collect();
+                let scalar = c.compact(&bits);
+                for (o, &s) in out.iter().zip(&scalar) {
+                    assert_eq!(o.get_lane(lane), s, "{} lanes: lane {lane}", W::LANES);
+                }
+            }
+        }
+        check::<u64>();
+        check::<u128>();
+        check::<[u64; 4]>();
     }
 }

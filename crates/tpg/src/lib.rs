@@ -54,7 +54,7 @@ pub use galois::{GaloisLfsr, ReseedSchedule};
 pub use gf2::{Gf2Matrix, Gf2Vec};
 pub use lanes::LaneLfsr;
 pub use lfsr::Lfsr;
-pub use misr::Misr;
+pub use misr::{LaneMisr, Misr};
 pub use phase::PhaseShifter;
 pub use poly::LfsrPoly;
 pub use prpg::Prpg;

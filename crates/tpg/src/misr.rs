@@ -1,6 +1,9 @@
-//! Multiple-input signature registers.
+//! Multiple-input signature registers: the scalar cycle-faithful
+//! [`Misr`] and the bit-sliced, lane-parallel [`LaneMisr`] bank the
+//! wide grading pipeline compacts responses with.
 
 use crate::{Gf2Vec, Lfsr, LfsrPoly};
+use lbist_exec::LaneWord;
 
 /// A multiple-input signature register (MISR).
 ///
@@ -110,6 +113,122 @@ impl Misr {
     /// (convenience for tests that cross-check against [`Lfsr`]).
     pub fn from_lfsr(lfsr: &Lfsr, inputs: usize) -> Self {
         Misr::new(lfsr.poly().clone(), inputs)
+    }
+}
+
+/// A bit-sliced bank of `W::LANES` independent MISRs stepping together.
+///
+/// Lane `ℓ` of the bank is a scalar [`Misr`] of the same polynomial,
+/// started from zero and fed lane `ℓ` of every clocked input word —
+/// the signature-side counterpart of [`crate::LaneLfsr`]: one
+/// [`LaneMisr::clock`] absorbs one response cycle of **all** packed
+/// patterns with a handful of word XORs. The wide grading pipeline
+/// compacts each pattern's unloaded responses this way and folds the
+/// per-lane signatures into a batch signature.
+///
+/// Because every MISR is linear from a zero start, the XOR-fold of the
+/// first `n` lane signatures ([`LaneMisr::folded_signature`]) depends
+/// only on the multiset of per-pattern response streams — not on how
+/// many lanes a pass packs — so 64-, 128- and 256-lane runs over the
+/// same pattern stream produce the identical accumulated signature
+/// (property-tested in the bench crate).
+///
+/// # Example
+///
+/// ```
+/// use lbist_tpg::{LaneMisr, LfsrPoly};
+/// let mut bank: LaneMisr<u128> = LaneMisr::new(LfsrPoly::maximal(19).unwrap(), 4);
+/// bank.clock(&[0b1u128, 0, 0b1, 0]); // pattern 0 responds 1,0,1,0
+/// assert!(!bank.lane_signature(0).is_zero());
+/// assert!(bank.lane_signature(77).is_zero()); // idle lane: all-zero stream
+/// ```
+#[derive(Clone, Debug)]
+pub struct LaneMisr<W: LaneWord = u64> {
+    poly: LfsrPoly,
+    /// Stage indices XORed into the feedback bit.
+    taps: Vec<usize>,
+    /// `state[j]` = stage `j` of every lane's register.
+    state: Vec<W>,
+    inputs: usize,
+}
+
+impl<W: LaneWord> LaneMisr<W> {
+    /// Creates a zero-started bank of the polynomial's width with
+    /// `inputs` parallel input ports per lane.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `inputs` exceeds the register width.
+    pub fn new(poly: LfsrPoly, inputs: usize) -> Self {
+        assert!(
+            inputs <= poly.degree(),
+            "a {}-bit MISR cannot absorb {} parallel inputs",
+            poly.degree(),
+            inputs
+        );
+        let mask = poly.feedback_mask();
+        let taps = (0..poly.degree()).filter(|&j| mask.get(j)).collect();
+        LaneMisr { state: vec![W::zero(); poly.degree()], taps, poly, inputs }
+    }
+
+    /// Register width in bits (per lane).
+    pub fn width(&self) -> usize {
+        self.poly.degree()
+    }
+
+    /// Number of parallel input ports (per lane).
+    pub fn num_inputs(&self) -> usize {
+        self.inputs
+    }
+
+    /// Absorbs one cycle: `words[i]` carries input port `i` of every
+    /// lane. Bit-sliced mirror of [`Misr::clock`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `words.len() != num_inputs()`.
+    pub fn clock(&mut self, words: &[W]) {
+        assert_eq!(words.len(), self.inputs, "MISR input width mismatch");
+        // Per-lane feedback bit = XOR of the tap stages (the bit-sliced
+        // form of `state.dot(tap_mask)`).
+        let fb = self.taps.iter().fold(W::zero(), |acc, &t| acc.xor(self.state[t]));
+        let top = self.width() - 1;
+        self.state.copy_within(1.., 0);
+        self.state[top] = fb;
+        for (i, &w) in words.iter().enumerate() {
+            self.state[i] = self.state[i].xor(w);
+        }
+    }
+
+    /// Lane `ℓ`'s signature — bit-identical to a scalar [`Misr`] fed
+    /// lane `ℓ` of every clocked word.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lane >= W::LANES`.
+    pub fn lane_signature(&self, lane: usize) -> Gf2Vec {
+        assert!(lane < W::LANES, "a LaneMisr holds {} lanes", W::LANES);
+        Gf2Vec::from_fn(self.width(), |j| self.state[j].get_lane(lane))
+    }
+
+    /// XOR-fold of the first `num_lanes` lane signatures — the batch
+    /// signature the wide grading pipeline accumulates. Linearity makes
+    /// this width-invariant: folding one 256-lane bank equals XORing
+    /// the folds of the four 64-lane banks covering the same patterns.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `num_lanes` is 0 or exceeds `W::LANES`.
+    pub fn folded_signature(&self, num_lanes: usize) -> Gf2Vec {
+        let mask = W::mask_lanes(num_lanes);
+        Gf2Vec::from_fn(self.width(), |j| self.state[j].and(mask).count_ones() % 2 == 1)
+    }
+
+    /// Resets every lane's signature to zero.
+    pub fn reset(&mut self) {
+        for w in &mut self.state {
+            *w = W::zero();
+        }
     }
 }
 
@@ -227,5 +346,100 @@ mod tests {
     #[should_panic(expected = "cannot absorb")]
     fn too_many_inputs_rejected() {
         Misr::new(LfsrPoly::maximal(8).unwrap(), 9);
+    }
+
+    /// Every lane of a `LaneMisr` bank is bit-identical to a scalar
+    /// `Misr` fed that lane's bools, at 64/128/256 lanes.
+    #[test]
+    fn lane_misr_lanes_match_scalar_misrs() {
+        fn check<W: LaneWord>() {
+            let poly = LfsrPoly::maximal(17).unwrap();
+            let inputs = 5;
+            let cycles = 40;
+            let mut bank: LaneMisr<W> = LaneMisr::new(poly.clone(), inputs);
+            // Deterministic per-(cycle, port, lane) bit.
+            let bit = |t: usize, i: usize, lane: usize| {
+                let mut x = (t as u64 + 1)
+                    .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+                    .wrapping_add((i as u64) << 17)
+                    .wrapping_add(lane as u64);
+                x ^= x >> 29;
+                x & 1 == 1
+            };
+            for t in 0..cycles {
+                let words: Vec<W> = (0..inputs)
+                    .map(|i| {
+                        let mut w = W::zero();
+                        for lane in 0..W::LANES {
+                            if bit(t, i, lane) {
+                                w.set_lane(lane);
+                            }
+                        }
+                        w
+                    })
+                    .collect();
+                bank.clock(&words);
+            }
+            for lane in [0, 1, W::LANES / 2, W::LANES - 1] {
+                let mut scalar = Misr::new(poly.clone(), inputs);
+                for t in 0..cycles {
+                    let bits: Vec<bool> = (0..inputs).map(|i| bit(t, i, lane)).collect();
+                    scalar.clock(&bits);
+                }
+                assert_eq!(
+                    bank.lane_signature(lane),
+                    *scalar.signature(),
+                    "{} lanes: lane {lane}",
+                    W::LANES
+                );
+            }
+        }
+        check::<u64>();
+        check::<u128>();
+        check::<[u64; 4]>();
+    }
+
+    /// The folded batch signature is width-invariant: one 128-lane fold
+    /// equals the XOR of the two 64-lane folds covering the same
+    /// patterns — and a partial fold masks idle lanes out.
+    #[test]
+    fn folded_signature_is_width_invariant() {
+        let poly = LfsrPoly::maximal(19).unwrap();
+        let inputs = 3;
+        let cycles = 25;
+        let bit = |t: usize, i: usize, lane: usize| (t * 7 + i * 31 + lane * 13).is_multiple_of(3);
+
+        let mut wide: LaneMisr<u128> = LaneMisr::new(poly.clone(), inputs);
+        let mut lo: LaneMisr<u64> = LaneMisr::new(poly.clone(), inputs);
+        let mut hi: LaneMisr<u64> = LaneMisr::new(poly.clone(), inputs);
+        for t in 0..cycles {
+            let mut wide_words = vec![0u128; inputs];
+            let mut lo_words = vec![0u64; inputs];
+            let mut hi_words = vec![0u64; inputs];
+            for (i, ((ww, lw), hw)) in
+                wide_words.iter_mut().zip(&mut lo_words).zip(&mut hi_words).enumerate()
+            {
+                for lane in 0..128 {
+                    if bit(t, i, lane) {
+                        *ww |= 1u128 << lane;
+                        if lane < 64 {
+                            *lw |= 1u64 << lane;
+                        } else {
+                            *hw |= 1u64 << (lane - 64);
+                        }
+                    }
+                }
+            }
+            wide.clock(&wide_words);
+            lo.clock(&lo_words);
+            hi.clock(&hi_words);
+        }
+        let mut narrow_fold = lo.folded_signature(64);
+        narrow_fold.xor_assign(&hi.folded_signature(64));
+        assert_eq!(wide.folded_signature(128), narrow_fold);
+        // A 70-lane fold = full low fold XOR the first 6 high lanes.
+        let mut partial = lo.folded_signature(64);
+        partial.xor_assign(&hi.folded_signature(6));
+        assert_eq!(wide.folded_signature(70), partial);
     }
 }

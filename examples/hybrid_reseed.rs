@@ -38,7 +38,7 @@ fn main() {
         StuckAtSim::new(&cc, universe.representatives(), StuckAtSim::observe_all_captures(&cc));
     let mut frame = cc.new_frame();
     for _ in 0..8 {
-        lbist_bench_shim::fill_frame_from_prpg(&mut arch, &core, &cc, &mut frame);
+        lbist::core::fill_frame_from_prpg(&mut arch, &core, &mut frame);
         sim.run_batch(&mut frame, 64);
     }
     let fc1 = sim.coverage();
@@ -106,38 +106,4 @@ fn main() {
         if retest.matches(&golden) { "PASS" } else { "FAIL" },
     );
     assert!(retest.matches(&golden));
-}
-
-/// The word-level PRPG frame fill lives in `lbist-bench`; examples only
-/// link the facade, so a minimal scalar version is inlined here.
-mod lbist_bench_shim {
-    use lbist::core::StumpsArchitecture;
-    use lbist::dft::BistReadyCore;
-    use lbist::sim::CompiledCircuit;
-
-    pub fn fill_frame_from_prpg(
-        arch: &mut StumpsArchitecture,
-        core: &BistReadyCore,
-        _cc: &CompiledCircuit,
-        frame: &mut [u64],
-    ) {
-        for w in frame.iter_mut() {
-            *w = 0;
-        }
-        frame[core.test_mode().index()] = !0;
-        let shift_cycles = arch.max_chain_length().max(1);
-        for lane in 0..64u32 {
-            for db in arch.domains_mut() {
-                for cycle in 0..shift_cycles {
-                    let bits = db.prpg.step_vector();
-                    let cell_pos = shift_cycles - 1 - cycle;
-                    for (chain, bit) in db.chains.iter().zip(bits) {
-                        if let (Some(&cell), true) = (chain.cells.get(cell_pos), bit) {
-                            frame[cell.index()] |= 1u64 << lane;
-                        }
-                    }
-                }
-            }
-        }
-    }
 }
