@@ -14,18 +14,39 @@
 //! ```text
 //! cargo run --release --bin bench_faultsim [--scale N] [--batches N]
 //!           [--threads N] [--lanes {64,128,256}] [--out PATH]
+//!           [--checkpoint PATH [--checkpoint-every N] [--resume]
+//!            [--kill-after-batches N]] [--deadline SECS]
 //! ```
 //!
 //! `--lanes` selects the frame width of the headline runs and the
 //! threads sweep; the grading-width sweep always covers all three
 //! widths over the identical pattern stream.
+//!
+//! Any of the fault-tolerance flags switches the binary into the
+//! **checkpointed flow**: one controlled stuck-at phase through
+//! [`lbist_core::WideGradingSession::run_stuck_at_controlled`] instead
+//! of the full sweep suite. `--kill-after-batches N` stops after `N`
+//! batches with the checkpoint written and **exit status 86** (the
+//! deliberate-interruption marker the CI smoke keys on); `--resume`
+//! picks the run back up from `--checkpoint PATH`; `--deadline SECS`
+//! arms a wall-clock budget that ends the run with a partial-coverage
+//! verdict. Every JSON emitted carries a timing-free `"digest"` of the
+//! verdict (undetected set + MISR signatures), so an interrupted-and-
+//! resumed run is diffable against an uninterrupted reference.
 
-use lbist_bench::{arg_value, cli_thread_budget, fill_frame_from_prpg, fill_frames_from_prpg_wide};
-use lbist_core::{StumpsArchitecture, StumpsConfig, WideGradingOutcome, WideGradingSession};
-use lbist_exec::LaneWord;
+use lbist_bench::{
+    arg_value, cli_run_control, cli_thread_budget, fill_frame_from_prpg,
+    fill_frames_from_prpg_wide, outcome_digest,
+};
+use lbist_core::{
+    ControlledGradingOutcome, RunControl, RunStatus, StumpsArchitecture, StumpsConfig,
+    WideGradingOutcome, WideGradingSession,
+};
+use lbist_exec::{CancelReason, LaneWord};
 use lbist_fault::{CaptureWindow, CoverageReport, Fault, FaultUniverse};
 use lbist_sim::CompiledCircuit;
 use std::fmt::Write as _;
+use std::path::Path;
 use std::time::Instant;
 
 struct RunStats {
@@ -76,6 +97,116 @@ fn json_run(stats: &RunStats) -> String {
         stats.coverage.detected,
         stats.coverage.total,
     )
+}
+
+/// One *controlled* stuck-at phase at width `W`: cancellable, budgeted,
+/// checkpointed per the [`RunControl`]. Exits the process on a
+/// checkpoint error (a mismatched resume is a usage problem, not a
+/// panic).
+fn controlled_stuck_run<W: LaneWord>(
+    core: &lbist_dft::BistReadyCore,
+    cc: &CompiledCircuit,
+    faults: &[Fault],
+    batches_64: usize,
+    threads: usize,
+    control: &RunControl,
+) -> ControlledGradingOutcome {
+    let mut session: WideGradingSession<'_, W> =
+        WideGradingSession::new(core, cc, &StumpsConfig::default());
+    session.set_threads(threads);
+    if threads == 1 {
+        session.sequential();
+    }
+    let batches = (batches_64 * 64) / W::LANES;
+    match session.run_stuck_at_controlled(faults.to_vec(), batches, control) {
+        Ok(res) => res,
+        Err(e) => {
+            eprintln!("error: {e}");
+            std::process::exit(2);
+        }
+    }
+}
+
+/// The fault-tolerant flow: one controlled stuck-at phase with the
+/// checkpoint/deadline/kill knobs applied, emitting a compact JSON with
+/// the digest. Never returns — the exit status reports how the run
+/// ended (0 = verdict written, 86 = deliberately interrupted with the
+/// checkpoint saved).
+#[allow(clippy::too_many_arguments)]
+fn checkpointed_main(
+    core: &lbist_dft::BistReadyCore,
+    cc: &CompiledCircuit,
+    faults: &[Fault],
+    scale: usize,
+    batches: usize,
+    lanes: usize,
+    threads: usize,
+    control: &RunControl,
+    out_path: &str,
+) -> ! {
+    println!("stuck-at controlled run ({threads} threads, {lanes} lanes)...");
+    let t0 = Instant::now();
+    let res = match lanes {
+        64 => controlled_stuck_run::<u64>(core, cc, faults, batches, threads, control),
+        128 => controlled_stuck_run::<u128>(core, cc, faults, batches, threads, control),
+        _ => controlled_stuck_run::<[u64; 4]>(core, cc, faults, batches, threads, control),
+    };
+    let seconds = t0.elapsed().as_secs_f64();
+
+    if res.status == RunStatus::BudgetExhausted {
+        let path =
+            control.checkpoint.as_ref().map(|s| s.path.display().to_string()).unwrap_or_default();
+        println!(
+            "interrupted after {} batches ({} this invocation); checkpoint saved to {path}",
+            res.batches_done,
+            res.batches_done - res.resumed_from.unwrap_or(0),
+        );
+        std::process::exit(86);
+    }
+
+    let status = match res.status {
+        RunStatus::Completed => "completed",
+        RunStatus::Cancelled(CancelReason::Deadline) => "deadline",
+        RunStatus::Cancelled(CancelReason::Requested) => "cancelled",
+        RunStatus::BudgetExhausted => unreachable!("handled above"),
+    };
+    let batches_done = res.batches_done;
+    let resumed_from = res.resumed_from.map_or_else(|| "null".to_string(), |b| b.to_string());
+    let stats = RunStats::from_outcome(res.outcome, seconds);
+    let digest = outcome_digest(&stats.undetected, &stats.signatures);
+
+    let mut json = String::new();
+    let _ = writeln!(json, "{{");
+    let _ = writeln!(json, "  \"bench\": \"faultsim\",");
+    let _ = writeln!(json, "  \"mode\": \"fault_tolerant\",");
+    let _ = writeln!(
+        json,
+        "  \"core\": {{\"profile\": \"core_x\", \"scale\": {scale}, \"gates\": {}, \"ffs\": {}, \
+         \"stuck_faults\": {}}},",
+        core.netlist.gate_count(),
+        core.netlist.dffs().len(),
+        faults.len()
+    );
+    let _ = writeln!(json, "  \"threads\": {threads},");
+    let _ = writeln!(json, "  \"batches\": {batches},");
+    let _ = writeln!(json, "  \"lanes\": {lanes},");
+    let _ = writeln!(json, "  \"status\": \"{status}\",");
+    let _ = writeln!(json, "  \"batches_done\": {batches_done},");
+    let _ = writeln!(json, "  \"resumed_from\": {resumed_from},");
+    let _ = writeln!(json, "  \"stuck_at\": {},", json_run(&stats));
+    let _ = writeln!(json, "  \"digest\": \"{digest:016x}\"");
+    let _ = writeln!(json, "}}");
+
+    lbist_ckpt::write_atomic(Path::new(out_path), json.as_bytes()).expect("write benchmark JSON");
+    println!("\n{json}");
+    println!(
+        "stuck-at ({status}): {:.0} patterns/s, {:.2}% coverage over {} batches",
+        stats.patterns_per_sec(),
+        stats.coverage.percent(),
+        batches_done,
+    );
+    println!("wrote {out_path}");
+    std::process::exit(0);
 }
 
 /// One whole stuck-at random phase at width `W` through the grading
@@ -143,6 +274,9 @@ fn main() {
     // malformed-value diagnostics) instead of a private parse.
     let parallel_threads: usize = cli_thread_budget().unwrap_or_else(rayon::current_num_threads);
     let out_path: String = arg_value("--out").unwrap_or_else(|| "BENCH_faultsim.json".to_string());
+    // Fault-tolerance knobs, validated before the (expensive) core
+    // generation so a bad checkpoint path fails in milliseconds.
+    let run_control = cli_run_control();
 
     let profile = lbist_cores::CoreProfile::core_x().scaled(scale);
     println!("generating {} (scale {scale})...", profile.name);
@@ -171,6 +305,20 @@ fn main() {
         stuck_faults.len(),
         transition_faults.len()
     );
+
+    if let Some(control) = &run_control {
+        checkpointed_main(
+            &core,
+            &cc,
+            &stuck_faults,
+            scale,
+            batches,
+            lanes,
+            parallel_threads,
+            control,
+            &out_path,
+        );
+    }
 
     // Each run builds a fresh (reset) grading session so every
     // configuration grades the identical PRPG pattern stream.
@@ -329,6 +477,11 @@ fn main() {
     let _ = writeln!(json, "  \"threads\": {parallel_threads},");
     let _ = writeln!(json, "  \"batches\": {batches},");
     let _ = writeln!(json, "  \"lanes\": {lanes},");
+    let _ = writeln!(
+        json,
+        "  \"digest\": \"{:016x}\",",
+        outcome_digest(&stuck_serial.undetected, &stuck_serial.signatures)
+    );
     let _ = writeln!(json, "  \"stuck_at\": {{");
     let _ = writeln!(json, "    \"serial\": {},", json_run(&stuck_serial));
     let _ = writeln!(json, "    \"parallel\": {},", json_run(&stuck_parallel));
@@ -378,7 +531,7 @@ fn main() {
     let _ = writeln!(json, "  }}");
     let _ = writeln!(json, "}}");
 
-    std::fs::write(&out_path, &json).expect("write benchmark JSON");
+    lbist_ckpt::write_atomic(Path::new(&out_path), json.as_bytes()).expect("write benchmark JSON");
     println!("\n{json}");
     println!(
         "stuck-at: {:.0} patterns/s serial, {:.0} patterns/s parallel ({stuck_speedup:.2}x)",

@@ -440,7 +440,10 @@ fn main() {
     }
     let _ = writeln!(json, "}}");
 
-    std::fs::write(&out_path, &json).expect("write benchmark JSON");
+    // Atomic replace (tmp + fsync + rename): a crash mid-write can never
+    // leave a torn BENCH_reseed.json behind for a comparison script.
+    lbist_ckpt::write_atomic(std::path::Path::new(&out_path), json.as_bytes())
+        .expect("write benchmark JSON");
     println!("\n{json}");
     println!("wrote {out_path}");
 }

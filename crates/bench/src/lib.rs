@@ -22,11 +22,15 @@
 #![warn(missing_docs)]
 
 use lbist_atpg::TopUpAtpg;
-use lbist_core::{StumpsArchitecture, StumpsConfig};
+use lbist_ckpt::Fnv64;
+use lbist_core::{CheckpointSpec, RunControl, StumpsArchitecture, StumpsConfig};
 use lbist_cores::{CoreProfile, CpuCoreGenerator};
 use lbist_dft::{prepare_core, PrepConfig, TpiMethod};
+use lbist_exec::CancelToken;
 use lbist_fault::{FaultUniverse, StuckAtSim};
 use lbist_sim::CompiledCircuit;
+use lbist_tpg::Gf2Vec;
+use std::path::PathBuf;
 use std::time::{Duration, Instant};
 
 /// The PRPG frame fills moved into `lbist-core` (`lbist_core::fill`)
@@ -187,6 +191,27 @@ pub fn arg_flag(name: &str) -> bool {
     std::env::args().any(|a| a == name)
 }
 
+/// Prints a CLI diagnostic and exits with the usage status (2).
+fn usage_error(msg: &str) -> ! {
+    eprintln!("error: {msg}");
+    std::process::exit(2);
+}
+
+/// Like [`arg_value`], but a flag that is *present* with a missing or
+/// unparseable value is a hard usage error (diagnostic + exit 2) instead
+/// of a silent `None` — `None` here always means "flag absent".
+pub fn arg_value_strict<T: std::str::FromStr>(name: &str) -> Option<T> {
+    let args: Vec<String> = std::env::args().collect();
+    let flag_pos = args.iter().position(|a| a == name)?;
+    match args.get(flag_pos + 1) {
+        None => usage_error(&format!("`{name}` expects a value, got nothing")),
+        Some(v) => match v.parse::<T>() {
+            Ok(t) => Some(t),
+            Err(_) => usage_error(&format!("`{name}` could not parse its value `{v}`")),
+        },
+    }
+}
+
 /// The shared fault-sim threading knobs every experiment binary honours:
 /// `--serial` pins grading to one thread (the determinism escape hatch),
 /// `--threads N` sets an explicit worker budget, and absent both the
@@ -194,17 +219,22 @@ pub fn arg_flag(name: &str) -> bool {
 ///
 /// This is the single parsing point for the flags — binaries must not
 /// roll their own. A malformed `--threads` value (missing, non-numeric,
-/// or zero) is a hard usage error: the process prints a diagnostic and
-/// exits with status 2 instead of silently falling back to the default.
+/// or zero) and the contradictory `--serial --threads N` combination are
+/// hard usage errors: the process prints a diagnostic and exits with
+/// status 2 instead of silently picking one of the two requests.
 pub fn cli_thread_budget() -> Option<usize> {
-    if arg_flag("--serial") {
+    let serial = arg_flag("--serial");
+    let args: Vec<String> = std::env::args().collect();
+    let flag_pos = args.iter().position(|a| a == "--threads");
+    if serial && flag_pos.is_some() {
+        usage_error("`--serial` conflicts with `--threads` — pass one or the other");
+    }
+    if serial {
         return Some(1);
     }
-    let args: Vec<String> = std::env::args().collect();
-    let flag_pos = args.iter().position(|a| a == "--threads")?;
+    let flag_pos = flag_pos?;
     let die = |got: &str| -> ! {
-        eprintln!("error: `--threads` expects a positive integer worker count, got {got}");
-        std::process::exit(2);
+        usage_error(&format!("`--threads` expects a positive integer worker count, got {got}"));
     };
     match args.get(flag_pos + 1) {
         None => die("nothing"),
@@ -216,9 +246,114 @@ pub fn cli_thread_budget() -> Option<usize> {
     }
 }
 
+/// The shared fault-tolerance knobs: parses `--checkpoint PATH`,
+/// `--checkpoint-every N`, `--resume`, `--deadline SECS` and
+/// `--kill-after-batches N` into a [`RunControl`], or `None` when none
+/// of them were passed (the binary then runs its ordinary flow).
+///
+/// Invalid combinations are hard usage errors (diagnostic + exit 2),
+/// checked up front so a misconfigured run fails at argument time, not
+/// hours in:
+///
+/// * `--resume`, `--kill-after-batches` and `--checkpoint-every` require
+///   `--checkpoint PATH` (without one the interrupted progress would be
+///   unrecoverable);
+/// * a `--checkpoint` path must be writable *now*, probed via
+///   [`lbist_ckpt::validate_writable`] (same directory permissions the
+///   eventual atomic write needs);
+/// * `--resume` requires the checkpoint file to already exist;
+/// * `--deadline` must be a non-negative seconds value.
+pub fn cli_run_control() -> Option<RunControl> {
+    let checkpoint: Option<String> = arg_value_strict("--checkpoint");
+    let every: Option<u64> = arg_value_strict("--checkpoint-every");
+    let deadline: Option<f64> = arg_value_strict("--deadline");
+    let kill_after: Option<u64> = arg_value_strict("--kill-after-batches");
+    let resume = arg_flag("--resume");
+
+    let deadline_token = deadline.map(|secs| {
+        if !secs.is_finite() || secs < 0.0 {
+            usage_error(&format!("`--deadline` expects non-negative seconds, got `{secs}`"));
+        }
+        CancelToken::with_deadline(Duration::from_secs_f64(secs))
+    });
+
+    let Some(path) = checkpoint.map(PathBuf::from) else {
+        if resume {
+            usage_error("`--resume` requires `--checkpoint PATH` to resume from");
+        }
+        if kill_after.is_some() {
+            usage_error(
+                "`--kill-after-batches` requires `--checkpoint PATH` \
+                 (the interrupted progress would be lost)",
+            );
+        }
+        if every.is_some() {
+            usage_error("`--checkpoint-every` requires `--checkpoint PATH`");
+        }
+        // A bare deadline is fine: a partial verdict without persistence.
+        return deadline_token.map(RunControl::with_cancel);
+    };
+
+    if let Err(e) = lbist_ckpt::validate_writable(&path) {
+        usage_error(&format!("checkpoint path {} is not writable: {e}", path.display()));
+    }
+    if resume && !path.exists() {
+        usage_error(&format!(
+            "`--resume` was passed but checkpoint {} does not exist",
+            path.display()
+        ));
+    }
+    Some(RunControl {
+        cancel: deadline_token,
+        budget: kill_after,
+        checkpoint: Some(CheckpointSpec::new(path, every.unwrap_or(0))),
+        resume,
+    })
+}
+
+/// Deterministic digest of a grading verdict: FNV-1a-64 over the
+/// undetected-fault set and the accumulated per-domain MISR signatures —
+/// exactly the width-invariant identity material, none of the timing.
+///
+/// Benchmark JSON carries it as the `"digest"` field so an
+/// interrupted-and-resumed run can be diffed against an uninterrupted
+/// reference on one line (the surrounding throughput numbers legitimately
+/// differ run to run).
+pub fn outcome_digest(undetected: &[usize], signatures: &[Gf2Vec]) -> u64 {
+    let mut h = Fnv64::new();
+    h.write_usize(undetected.len());
+    for &i in undetected {
+        h.write_u64(i as u64);
+    }
+    h.write_usize(signatures.len());
+    for sig in signatures {
+        h.write_usize(sig.len());
+        for bit in sig.to_bools() {
+            h.write(&[bit as u8]);
+        }
+    }
+    h.finish()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn outcome_digest_is_deterministic_and_sensitive() {
+        let sigs = vec![Gf2Vec::from_fn(19, |i| i % 3 == 0), Gf2Vec::zeros(7)];
+        let a = outcome_digest(&[1, 4, 9], &sigs);
+        assert_eq!(a, outcome_digest(&[1, 4, 9], &sigs), "digest must be deterministic");
+        assert_ne!(a, outcome_digest(&[1, 4], &sigs), "undetected set must matter");
+        assert_ne!(a, outcome_digest(&[1, 9, 4], &sigs), "order is part of the identity");
+        let mut flipped = sigs.clone();
+        flipped[0] = Gf2Vec::from_fn(19, |i| i % 3 == 1);
+        assert_ne!(a, outcome_digest(&[1, 4, 9], &flipped), "signatures must matter");
+        // Length is hashed, so an empty trailing signature still changes it.
+        let mut extra = sigs.clone();
+        extra.push(Gf2Vec::zeros(0));
+        assert_ne!(a, outcome_digest(&[1, 4, 9], &extra));
+    }
 
     #[test]
     fn misr_width_formatting_matches_table1_style() {

@@ -1,0 +1,138 @@
+//! CLI hardening and end-to-end kill/resume behaviour of
+//! `bench_faultsim`, exercised against the real binary.
+//!
+//! The validation tests all fail at argument-parsing time (before the
+//! core is generated), so they are fast; the smoke test runs the
+//! fault-tolerant flow three times on a tiny core — an uninterrupted
+//! reference, a deliberately interrupted run (exit 86), and a resume —
+//! and asserts the resumed JSON's `"digest"` matches the reference's.
+
+use std::path::PathBuf;
+use std::process::{Command, Output};
+
+fn bench_faultsim(args: &[&str]) -> Output {
+    Command::new(env!("CARGO_BIN_EXE_bench_faultsim"))
+        .args(args)
+        .output()
+        .expect("bench_faultsim spawns")
+}
+
+fn stderr(out: &Output) -> String {
+    String::from_utf8_lossy(&out.stderr).into_owned()
+}
+
+fn scratch_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("lbist-bench-cli-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+#[test]
+fn serial_and_threads_conflict_is_rejected() {
+    let out = bench_faultsim(&["--serial", "--threads", "4"]);
+    assert_eq!(out.status.code(), Some(2), "stderr: {}", stderr(&out));
+    assert!(stderr(&out).contains("conflicts"), "stderr: {}", stderr(&out));
+}
+
+#[test]
+fn malformed_threads_value_is_rejected() {
+    for bad in [&["--threads", "zero"][..], &["--threads", "0"][..], &["--threads"][..]] {
+        let out = bench_faultsim(bad);
+        assert_eq!(out.status.code(), Some(2), "args {bad:?}: {}", stderr(&out));
+    }
+}
+
+#[test]
+fn resume_without_checkpoint_is_rejected() {
+    let out = bench_faultsim(&["--resume"]);
+    assert_eq!(out.status.code(), Some(2));
+    assert!(stderr(&out).contains("--checkpoint"), "stderr: {}", stderr(&out));
+}
+
+#[test]
+fn kill_after_batches_without_checkpoint_is_rejected() {
+    let out = bench_faultsim(&["--kill-after-batches", "2"]);
+    assert_eq!(out.status.code(), Some(2));
+    assert!(stderr(&out).contains("--checkpoint"), "stderr: {}", stderr(&out));
+}
+
+#[test]
+fn unwritable_checkpoint_path_is_rejected_up_front() {
+    let out = bench_faultsim(&["--checkpoint", "/no/such/dir/state.lbck"]);
+    assert_eq!(out.status.code(), Some(2));
+    assert!(stderr(&out).contains("not writable"), "stderr: {}", stderr(&out));
+}
+
+#[test]
+fn resume_from_missing_checkpoint_is_rejected_up_front() {
+    let dir = scratch_dir("missing-ckpt");
+    let path = dir.join("never-written.lbck");
+    let out = bench_faultsim(&["--checkpoint", path.to_str().unwrap(), "--resume"]);
+    assert_eq!(out.status.code(), Some(2));
+    assert!(stderr(&out).contains("does not exist"), "stderr: {}", stderr(&out));
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// Pulls the `"digest"` line out of a bench JSON file.
+fn digest_line(path: &PathBuf) -> String {
+    let json = std::fs::read_to_string(path).expect("bench JSON exists");
+    json.lines()
+        .find(|l| l.contains("\"digest\""))
+        .unwrap_or_else(|| panic!("no digest line in {}", path.display()))
+        .trim()
+        .trim_end_matches(',')
+        .to_string()
+}
+
+#[test]
+fn interrupted_then_resumed_run_matches_uninterrupted_reference() {
+    let dir = scratch_dir("kill-resume");
+    let common = ["--scale", "800", "--batches", "4", "--threads", "2", "--lanes", "64"];
+    let ref_json = dir.join("ref.json");
+    let ref_ckpt = dir.join("ref.lbck");
+    let run_json = dir.join("resumed.json");
+    let run_ckpt = dir.join("run.lbck");
+    let arg = |p: &PathBuf| p.to_str().unwrap().to_string();
+
+    // Uninterrupted reference through the same fault-tolerant flow.
+    let mut args: Vec<String> = common.iter().map(|s| s.to_string()).collect();
+    args.extend(["--checkpoint".into(), arg(&ref_ckpt), "--out".into(), arg(&ref_json)]);
+    let out = bench_faultsim(&args.iter().map(String::as_str).collect::<Vec<_>>());
+    assert_eq!(out.status.code(), Some(0), "reference run failed: {}", stderr(&out));
+
+    // Deliberate interruption: exit 86, checkpoint saved, no JSON.
+    let mut args: Vec<String> = common.iter().map(|s| s.to_string()).collect();
+    args.extend([
+        "--checkpoint".into(),
+        arg(&run_ckpt),
+        "--kill-after-batches".into(),
+        "2".into(),
+        "--out".into(),
+        arg(&run_json),
+    ]);
+    let out = bench_faultsim(&args.iter().map(String::as_str).collect::<Vec<_>>());
+    assert_eq!(out.status.code(), Some(86), "interrupted run: {}", stderr(&out));
+    assert!(run_ckpt.exists(), "interruption must leave a checkpoint");
+    assert!(!run_json.exists(), "an interrupted run writes no verdict JSON");
+
+    // Resume to completion and compare the timing-free digest.
+    let mut args: Vec<String> = common.iter().map(|s| s.to_string()).collect();
+    args.extend([
+        "--checkpoint".into(),
+        arg(&run_ckpt),
+        "--resume".into(),
+        "--out".into(),
+        arg(&run_json),
+    ]);
+    let out = bench_faultsim(&args.iter().map(String::as_str).collect::<Vec<_>>());
+    assert_eq!(out.status.code(), Some(0), "resumed run failed: {}", stderr(&out));
+    let resumed = std::fs::read_to_string(&run_json).unwrap();
+    assert!(resumed.contains("\"resumed_from\": 2"), "json: {resumed}");
+    assert_eq!(
+        digest_line(&ref_json),
+        digest_line(&run_json),
+        "resumed verdict must be bit-identical to the uninterrupted reference"
+    );
+    std::fs::remove_dir_all(&dir).ok();
+}

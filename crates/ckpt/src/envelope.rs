@@ -1,0 +1,143 @@
+//! The on-disk envelope: magic, version, kind, length, payload, checksum.
+//!
+//! Layout (all integers little-endian):
+//!
+//! ```text
+//! offset  size  field
+//! 0       4     magic "LBCK"
+//! 4       2     format version
+//! 6       2     payload kind (caller-defined tag)
+//! 8       8     payload length in bytes
+//! 16      n     payload
+//! 16+n    8     FNV-1a-64 checksum over bytes [0, 16+n)
+//! ```
+//!
+//! The checksum covers the header as well as the payload, so a file whose
+//! kind or length field was corrupted fails validation even if the payload
+//! bytes survived.
+
+use crate::fingerprint::Fnv64;
+use crate::CkptError;
+
+/// First four bytes of every checkpoint file.
+pub const MAGIC: [u8; 4] = *b"LBCK";
+
+/// Current envelope + payload-schema version. Bump on any change to the
+/// field order of a payload kind.
+pub const FORMAT_VERSION: u16 = 1;
+
+const HEADER_LEN: usize = 16;
+const CHECKSUM_LEN: usize = 8;
+
+/// Wraps `payload` in a versioned, checksummed envelope.
+pub fn seal(kind: u16, payload: &[u8]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(HEADER_LEN + payload.len() + CHECKSUM_LEN);
+    out.extend_from_slice(&MAGIC);
+    out.extend_from_slice(&FORMAT_VERSION.to_le_bytes());
+    out.extend_from_slice(&kind.to_le_bytes());
+    out.extend_from_slice(&(payload.len() as u64).to_le_bytes());
+    out.extend_from_slice(payload);
+    let mut h = Fnv64::new();
+    h.write(&out);
+    out.extend_from_slice(&h.finish().to_le_bytes());
+    out
+}
+
+/// Validates an envelope and returns its payload slice.
+///
+/// Checks, in order: magic, version, length consistency, checksum, and
+/// finally the payload kind — so a corrupted file reports corruption
+/// rather than a confusing kind mismatch.
+pub fn open(bytes: &[u8], expected_kind: u16) -> Result<&[u8], CkptError> {
+    if bytes.len() < HEADER_LEN + CHECKSUM_LEN {
+        return Err(CkptError::Truncated);
+    }
+    if bytes[0..4] != MAGIC {
+        return Err(CkptError::BadMagic);
+    }
+    let version = u16::from_le_bytes(bytes[4..6].try_into().unwrap());
+    if version != FORMAT_VERSION {
+        return Err(CkptError::UnsupportedVersion(version));
+    }
+    let kind = u16::from_le_bytes(bytes[6..8].try_into().unwrap());
+    let payload_len = u64::from_le_bytes(bytes[8..16].try_into().unwrap());
+    let expected_total = (HEADER_LEN + CHECKSUM_LEN) as u64 + payload_len;
+    if (bytes.len() as u64) < expected_total {
+        return Err(CkptError::Truncated);
+    }
+    if bytes.len() as u64 != expected_total {
+        return Err(CkptError::Malformed("file longer than its header claims"));
+    }
+    let body_end = bytes.len() - CHECKSUM_LEN;
+    let stored = u64::from_le_bytes(bytes[body_end..].try_into().unwrap());
+    let mut h = Fnv64::new();
+    h.write(&bytes[..body_end]);
+    if h.finish() != stored {
+        return Err(CkptError::ChecksumMismatch);
+    }
+    if kind != expected_kind {
+        return Err(CkptError::WrongKind { expected: expected_kind, found: kind });
+    }
+    Ok(&bytes[HEADER_LEN..body_end])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn seal_open_round_trip() {
+        let sealed = seal(3, b"payload bytes");
+        assert_eq!(open(&sealed, 3).unwrap(), b"payload bytes");
+    }
+
+    #[test]
+    fn empty_payload_round_trip() {
+        let sealed = seal(0, b"");
+        assert_eq!(open(&sealed, 0).unwrap(), b"");
+    }
+
+    #[test]
+    fn wrong_kind_rejected() {
+        let sealed = seal(1, b"x");
+        assert!(matches!(open(&sealed, 2), Err(CkptError::WrongKind { expected: 2, found: 1 })));
+    }
+
+    #[test]
+    fn bad_magic_rejected() {
+        let mut sealed = seal(1, b"x");
+        sealed[0] ^= 0xFF;
+        assert!(matches!(open(&sealed, 1), Err(CkptError::BadMagic)));
+    }
+
+    #[test]
+    fn unsupported_version_rejected() {
+        let mut sealed = seal(1, b"x");
+        sealed[4] = 0xFF;
+        // Version is checked before the checksum: an old reader should say
+        // "too new", not "corrupt".
+        assert!(matches!(open(&sealed, 1), Err(CkptError::UnsupportedVersion(_))));
+    }
+
+    #[test]
+    fn flipped_payload_bit_rejected() {
+        let mut sealed = seal(1, b"some payload");
+        sealed[20] ^= 0x04;
+        assert!(matches!(open(&sealed, 1), Err(CkptError::ChecksumMismatch)));
+    }
+
+    #[test]
+    fn truncated_file_rejected() {
+        let sealed = seal(1, b"some payload");
+        for cut in 0..sealed.len() {
+            assert!(open(&sealed[..cut], 1).is_err(), "prefix of length {cut} accepted");
+        }
+    }
+
+    #[test]
+    fn trailing_garbage_rejected() {
+        let mut sealed = seal(1, b"x");
+        sealed.push(0);
+        assert!(matches!(open(&sealed, 1), Err(CkptError::Malformed(_))));
+    }
+}

@@ -1,0 +1,132 @@
+//! FNV-1a-64 hashing and the structural netlist fingerprint.
+
+use lbist_netlist::Netlist;
+
+/// Incremental FNV-1a 64-bit hasher.
+///
+/// Chosen over `DefaultHasher` because the result must be stable across
+/// Rust versions and processes — it is written into checkpoint files and
+/// compared on resume.
+#[derive(Clone, Copy)]
+pub struct Fnv64(u64);
+
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+impl Fnv64 {
+    /// A hasher at the FNV offset basis.
+    pub fn new() -> Self {
+        Fnv64(FNV_OFFSET)
+    }
+
+    /// Absorbs raw bytes.
+    pub fn write(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.0 ^= b as u64;
+            self.0 = self.0.wrapping_mul(FNV_PRIME);
+        }
+    }
+
+    /// Absorbs a `u64` as eight little-endian bytes.
+    pub fn write_u64(&mut self, v: u64) {
+        self.write(&v.to_le_bytes());
+    }
+
+    /// Absorbs a `usize` as a `u64`.
+    pub fn write_usize(&mut self, v: usize) {
+        self.write_u64(v as u64);
+    }
+
+    /// The digest so far.
+    pub fn finish(&self) -> u64 {
+        self.0
+    }
+}
+
+impl Default for Fnv64 {
+    fn default() -> Self {
+        Fnv64::new()
+    }
+}
+
+/// A structural hash of a netlist: node kinds, fanin wiring, clock
+/// domains, and the I/O, flop, and X-source rosters.
+///
+/// Two netlists built by the same deterministic generator hash equal; any
+/// change to gate structure, connectivity, or domain assignment changes
+/// the hash. Node *names* are excluded so cosmetic renames don't
+/// invalidate checkpoints.
+pub fn netlist_fingerprint(netlist: &Netlist) -> u64 {
+    let mut h = Fnv64::new();
+    h.write_usize(netlist.len());
+    h.write_usize(netlist.num_domains());
+    for id in netlist.ids() {
+        h.write_u64(netlist.kind(id) as u64);
+        let fanins = netlist.fanins(id);
+        h.write_usize(fanins.len());
+        for &f in fanins {
+            h.write_usize(f.index());
+        }
+        match netlist.domain(id) {
+            Some(d) => h.write_u64(d.index() as u64 + 1),
+            None => h.write_u64(0),
+        }
+    }
+    for list in [netlist.inputs(), netlist.outputs(), netlist.dffs(), netlist.xsources()] {
+        h.write_usize(list.len());
+        for &id in list {
+            h.write_usize(id.index());
+        }
+    }
+    h.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lbist_netlist::GateKind;
+
+    #[test]
+    fn fnv_known_vector() {
+        // FNV-1a("hello") — standard published value.
+        let mut h = Fnv64::new();
+        h.write(b"hello");
+        assert_eq!(h.finish(), 0xa430_d846_80aa_bd0b);
+    }
+
+    fn tiny_netlist() -> Netlist {
+        let mut n = Netlist::new("tiny");
+        let a = n.add_input("a");
+        let b = n.add_input("b");
+        let g = n.add_gate(GateKind::And, &[a, b]);
+        n.add_output("y", g);
+        n
+    }
+
+    #[test]
+    fn fingerprint_is_structural() {
+        let n1 = tiny_netlist();
+        let mut n2 = tiny_netlist();
+        assert_eq!(netlist_fingerprint(&n1), netlist_fingerprint(&n2));
+        // A rename is cosmetic and must not change the hash.
+        n2.set_design_name("renamed");
+        assert_eq!(netlist_fingerprint(&n1), netlist_fingerprint(&n2));
+        // A structural edit must.
+        let extra = n2.add_input("c");
+        let _ = extra;
+        assert_ne!(netlist_fingerprint(&n1), netlist_fingerprint(&n2));
+    }
+
+    #[test]
+    fn fingerprint_sees_gate_kind() {
+        let mut n1 = Netlist::new("k");
+        let a = n1.add_input("a");
+        let b = n1.add_input("b");
+        n1.add_gate(GateKind::And, &[a, b]);
+        let mut n2 = Netlist::new("k");
+        let a = n2.add_input("a");
+        let b = n2.add_input("b");
+        n2.add_gate(GateKind::Or, &[a, b]);
+        assert_ne!(netlist_fingerprint(&n1), netlist_fingerprint(&n2));
+    }
+}

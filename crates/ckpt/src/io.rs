@@ -1,0 +1,105 @@
+//! Atomic checkpoint file I/O.
+
+use crate::{envelope, CkptError};
+use std::fs::{self, File, OpenOptions};
+use std::io::Write;
+use std::path::{Path, PathBuf};
+
+/// The sibling temp path a checkpoint is staged at before the rename.
+fn tmp_path(path: &Path) -> PathBuf {
+    let mut name = path.file_name().unwrap_or_default().to_os_string();
+    name.push(".tmp");
+    path.with_file_name(name)
+}
+
+/// Atomically replaces `path` with `bytes`.
+///
+/// The bytes are written to a sibling `<name>.tmp` file, fsynced, and
+/// renamed over the target. A reader never observes a partial file: it
+/// sees either the old checkpoint or the new one.
+pub fn write_atomic(path: &Path, bytes: &[u8]) -> Result<(), CkptError> {
+    let tmp = tmp_path(path);
+    let mut f = File::create(&tmp)?;
+    f.write_all(bytes)?;
+    f.sync_all()?;
+    drop(f);
+    fs::rename(&tmp, path).inspect_err(|_| {
+        let _ = fs::remove_file(&tmp);
+    })?;
+    Ok(())
+}
+
+/// Seals `payload` under `kind` and writes it atomically to `path`.
+pub fn save(path: &Path, kind: u16, payload: &[u8]) -> Result<(), CkptError> {
+    write_atomic(path, &envelope::seal(kind, payload))
+}
+
+/// Reads `path`, validates the envelope, and returns the payload bytes.
+pub fn load(path: &Path, kind: u16) -> Result<Vec<u8>, CkptError> {
+    let bytes = fs::read(path)?;
+    Ok(envelope::open(&bytes, kind)?.to_vec())
+}
+
+/// Checks up front that `path` will be writable, without disturbing any
+/// existing file at that path.
+///
+/// Probes by creating (and removing) the sibling temp file that
+/// [`write_atomic`] would use, so the check exercises the same directory
+/// permissions as the eventual write. Intended for CLI validation: fail
+/// fast at argument-parsing time rather than hours into a grading run.
+pub fn validate_writable(path: &Path) -> Result<(), CkptError> {
+    if path.file_name().is_none() {
+        return Err(CkptError::Io(std::io::Error::new(
+            std::io::ErrorKind::InvalidInput,
+            format!("checkpoint path {} has no file name", path.display()),
+        )));
+    }
+    let tmp = tmp_path(path);
+    // create_new: never clobber a temp file a concurrent writer owns.
+    OpenOptions::new().write(true).create_new(true).open(&tmp)?;
+    fs::remove_file(&tmp)?;
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn scratch_dir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("lbist-ckpt-io-{tag}-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    #[test]
+    fn save_load_round_trip() {
+        let dir = scratch_dir("roundtrip");
+        let path = dir.join("state.lbck");
+        save(&path, 7, b"abc").unwrap();
+        assert_eq!(load(&path, 7).unwrap(), b"abc");
+        // Overwrite in place — rename must clobber the old file.
+        save(&path, 7, b"def").unwrap();
+        assert_eq!(load(&path, 7).unwrap(), b"def");
+        assert!(!tmp_path(&path).exists(), "temp file left behind");
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn load_missing_file_is_io_error() {
+        let dir = scratch_dir("missing");
+        assert!(matches!(load(&dir.join("nope.lbck"), 1), Err(CkptError::Io(_))));
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn validate_writable_accepts_and_rejects() {
+        let dir = scratch_dir("validate");
+        let good = dir.join("ok.lbck");
+        validate_writable(&good).unwrap();
+        assert!(!good.exists(), "probe must not create the checkpoint");
+        let bad = dir.join("no-such-subdir").join("x.lbck");
+        assert!(validate_writable(&bad).is_err());
+        fs::remove_dir_all(&dir).unwrap();
+    }
+}

@@ -1,0 +1,83 @@
+//! Property tests for the checkpoint codec and envelope: encode → seal →
+//! open → decode is the identity, and any single corrupted byte is
+//! rejected.
+
+use lbist_ckpt::{open, seal, CkptError, Decoder, Encoder};
+use lbist_tpg::Gf2Vec;
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn round_trip_is_identity(
+        a in 0u64..u64::MAX,
+        b in 0u32..u32::MAX,
+        flag in 0u8..2,
+        bytes in collection::vec(0u8..=255, 0..48),
+        words in collection::vec(0u64..u64::MAX, 0..16),
+        counts in collection::vec(0u32..10_000, 0..64),
+        bits in collection::vec(0u8..2, 0..200),
+        kind in 0u16..8,
+    ) {
+        let gf2 = Gf2Vec::from_fn(bits.len(), |i| bits[i] == 1);
+        let gf2_list = vec![Gf2Vec::zeros(0), gf2.clone(), Gf2Vec::from_fn(65, |i| i % 2 == 0)];
+
+        let mut e = Encoder::new();
+        e.put_u64(a);
+        e.put_u32(b);
+        e.put_bool(flag == 1);
+        e.put_bytes(&bytes);
+        e.put_u64s(&words);
+        e.put_u32s(&counts);
+        e.put_gf2(&gf2);
+        e.put_gf2s(&gf2_list);
+        let sealed = seal(kind, &e.finish());
+
+        let payload = open(&sealed, kind).expect("sealed file must open");
+        let mut d = Decoder::new(payload);
+        prop_assert_eq!(d.take_u64().unwrap(), a);
+        prop_assert_eq!(d.take_u32().unwrap(), b);
+        prop_assert_eq!(d.take_bool().unwrap(), flag == 1);
+        prop_assert_eq!(d.take_bytes().unwrap(), bytes);
+        prop_assert_eq!(d.take_u64s().unwrap(), words);
+        prop_assert_eq!(d.take_u32s().unwrap(), counts);
+        prop_assert_eq!(d.take_gf2().unwrap(), gf2);
+        prop_assert_eq!(d.take_gf2s().unwrap(), gf2_list);
+        d.expect_end().unwrap();
+    }
+
+    #[test]
+    fn corrupted_byte_is_rejected(
+        payload in collection::vec(0u8..=255, 1..64),
+        pos_seed in 0usize..10_000,
+        flip in 1u8..=255,
+    ) {
+        let sealed = seal(1, &payload);
+        let pos = pos_seed % sealed.len();
+        let mut corrupt = sealed.clone();
+        corrupt[pos] ^= flip;
+        let err = open(&corrupt, 1);
+        prop_assert!(err.is_err(), "corruption at byte {} accepted", pos);
+    }
+
+    #[test]
+    fn truncation_is_rejected(
+        payload in collection::vec(0u8..=255, 0..64),
+        cut_seed in 0usize..10_000,
+    ) {
+        let sealed = seal(2, &payload);
+        let cut = cut_seed % sealed.len();
+        prop_assert!(open(&sealed[..cut], 2).is_err());
+    }
+}
+
+#[test]
+fn checksum_corruption_reports_checksum_mismatch() {
+    // A flip in the payload region specifically must surface as a
+    // checksum mismatch (not a truncation or kind error).
+    let sealed = seal(1, b"determinism matters");
+    let mut corrupt = sealed.clone();
+    corrupt[16] ^= 0x10;
+    assert!(matches!(open(&corrupt, 1), Err(CkptError::ChecksumMismatch)));
+}

@@ -1,0 +1,452 @@
+//! Run control and checkpoint formats for fault-tolerant runs.
+//!
+//! Long grading phases and cycle-faithful sessions are restartable: a
+//! [`RunControl`] threads cancellation (explicit or deadline), a work
+//! budget and a [`CheckpointSpec`] through the run, and the run
+//! serializes its progress into the `lbist-ckpt` envelope at clean
+//! boundaries — batch boundaries for [`crate::WideGradingSession`]
+//! (kind [`KIND_GRADING`]), load-step boundaries for
+//! [`crate::SelfTestSession`] (kind [`KIND_SESSION`]). A checkpoint
+//! captures exactly the cross-boundary state — PRPG/LFSR registers,
+//! MISR banks and accumulated signatures, detection counts, chain
+//! state, progress counters — plus fingerprints of the netlist and the
+//! workload, so a resume against the wrong core or fault list is
+//! rejected with [`CkptError::Mismatch`] instead of producing silently
+//! wrong signatures.
+
+use lbist_ckpt::{CkptError, Decoder, Encoder, Fnv64};
+use lbist_exec::{CancelReason, CancelToken};
+use lbist_fault::Fault;
+use lbist_tpg::Gf2Vec;
+use std::path::{Path, PathBuf};
+use std::time::Duration;
+
+/// Envelope kind tag for [`GradingCheckpoint`] files.
+pub const KIND_GRADING: u16 = 1;
+/// Envelope kind tag for [`SessionCheckpoint`] files.
+pub const KIND_SESSION: u16 = 2;
+
+/// Which fault model a grading checkpoint belongs to (a stuck-at
+/// checkpoint must not resume a transition run).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ModelTag {
+    /// Stuck-at grading ([`crate::WideGradingSession::run_stuck_at`]).
+    StuckAt,
+    /// Launch-on-capture transition grading.
+    Transition,
+}
+
+impl ModelTag {
+    fn code(self) -> u8 {
+        match self {
+            ModelTag::StuckAt => 0,
+            ModelTag::Transition => 1,
+        }
+    }
+
+    fn from_code(code: u8) -> Result<Self, CkptError> {
+        match code {
+            0 => Ok(ModelTag::StuckAt),
+            1 => Ok(ModelTag::Transition),
+            _ => Err(CkptError::Malformed("unknown fault-model tag")),
+        }
+    }
+}
+
+/// Where and how often to checkpoint a controlled run.
+#[derive(Clone, Debug)]
+pub struct CheckpointSpec {
+    /// Checkpoint file path (written atomically: tmp + fsync + rename).
+    pub path: PathBuf,
+    /// Write every `every` completed units of work (grading batches /
+    /// session load steps). `0` writes only the final checkpoint on
+    /// exit — which every controlled run with a spec writes regardless
+    /// of how it ended.
+    pub every: u64,
+}
+
+impl CheckpointSpec {
+    /// A spec that checkpoints every `every` units plus once on exit.
+    pub fn new(path: impl Into<PathBuf>, every: u64) -> Self {
+        CheckpointSpec { path: path.into(), every }
+    }
+}
+
+/// Control plane of a resumable run: cancellation, work budget,
+/// checkpointing.
+#[derive(Clone, Debug, Default)]
+pub struct RunControl {
+    /// Cooperative cancellation (explicit or deadline-armed). The run
+    /// polls it at shard granularity inside the grading dispatch and at
+    /// every work-unit boundary, and unwinds to the last clean
+    /// checkpointable state.
+    pub cancel: Option<CancelToken>,
+    /// Stop after this many units of work (grading batches / session
+    /// load steps) *in this invocation*, reporting
+    /// [`RunStatus::BudgetExhausted`]. The deterministic kill point the
+    /// kill/resume equivalence tests are built on.
+    pub budget: Option<u64>,
+    /// Checkpoint destination and cadence.
+    pub checkpoint: Option<CheckpointSpec>,
+    /// Resume from `checkpoint.path` instead of starting fresh.
+    pub resume: bool,
+}
+
+impl RunControl {
+    /// A control with no cancellation, no budget, no checkpointing.
+    pub fn new() -> Self {
+        RunControl::default()
+    }
+
+    /// A control whose run cancels itself after `deadline`, returning a
+    /// partial-coverage verdict with
+    /// [`RunStatus::Cancelled`]`(`[`CancelReason::Deadline`]`)`.
+    pub fn with_deadline(deadline: Duration) -> Self {
+        RunControl { cancel: Some(CancelToken::with_deadline(deadline)), ..Default::default() }
+    }
+
+    /// A control observing an externally owned token.
+    pub fn with_cancel(token: CancelToken) -> Self {
+        RunControl { cancel: Some(token), ..Default::default() }
+    }
+
+    /// A control that stops after `budget` units of work.
+    pub fn with_budget(budget: u64) -> Self {
+        RunControl { budget: Some(budget), ..Default::default() }
+    }
+
+    pub(crate) fn cancelled_status(&self) -> Option<RunStatus> {
+        let token = self.cancel.as_ref()?;
+        if token.is_cancelled() {
+            Some(RunStatus::Cancelled(token.reason().unwrap_or(CancelReason::Requested)))
+        } else {
+            None
+        }
+    }
+}
+
+/// How a controlled run ended.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum RunStatus {
+    /// All requested work completed.
+    Completed,
+    /// The cancel token fired (explicitly, or via its deadline).
+    Cancelled(CancelReason),
+    /// The per-invocation work budget ran out.
+    BudgetExhausted,
+}
+
+impl RunStatus {
+    /// `true` when the run finished all requested work.
+    pub fn is_complete(&self) -> bool {
+        matches!(self, RunStatus::Completed)
+    }
+}
+
+/// Order-independent fingerprint-by-content of a fault list: a resumed
+/// grading run must be handed the list its checkpoint indexes into.
+pub fn faults_fingerprint(faults: &[Fault]) -> u64 {
+    let mut h = Fnv64::new();
+    h.write_usize(faults.len());
+    for f in faults {
+        h.write_u64(f.node.index() as u64);
+        h.write_u64(match f.pin {
+            None => u64::MAX,
+            Some(p) => p as u64,
+        });
+        h.write_u64(f.kind as u64);
+    }
+    h.finish()
+}
+
+/// Progress snapshot of a [`crate::WideGradingSession`] run at a batch
+/// boundary.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct GradingCheckpoint {
+    /// Structural fingerprint of the graded netlist
+    /// ([`lbist_ckpt::netlist_fingerprint`]).
+    pub netlist_hash: u64,
+    /// Fingerprint of the fault list ([`faults_fingerprint`]).
+    pub faults_hash: u64,
+    /// Fault model of the interrupted run.
+    pub model: ModelTag,
+    /// Lanes per pass (`W::LANES`) of the interrupted run.
+    pub lanes: u64,
+    /// The n-detect drop budget in force.
+    pub drop_after: u32,
+    /// Batches fully graded and absorbed.
+    pub batches_done: u64,
+    /// Patterns the fault simulator has run (`batches_done · lanes`).
+    pub patterns_run: u64,
+    /// Accumulated fault-grading operations.
+    pub faults_graded: u64,
+    /// Per-domain PRPG LFSR state at fill position `batches_done`.
+    pub lfsr_states: Vec<Gf2Vec>,
+    /// Per-domain [`lbist_tpg::LaneMisr`] bank state
+    /// ([`lbist_tpg::LaneMisr::state_words`]; all-zero at a batch
+    /// boundary, captured for format completeness).
+    pub bank_words: Vec<Vec<u64>>,
+    /// Accumulated per-domain signatures.
+    pub signatures: Vec<Gf2Vec>,
+    /// Per-fault detection counts, fault-list order.
+    pub detections: Vec<u32>,
+}
+
+impl GradingCheckpoint {
+    /// Serializes the payload (without the envelope).
+    pub fn encode(&self) -> Vec<u8> {
+        let mut e = Encoder::new();
+        e.put_u64(self.netlist_hash);
+        e.put_u64(self.faults_hash);
+        e.put_u8(self.model.code());
+        e.put_u64(self.lanes);
+        e.put_u32(self.drop_after);
+        e.put_u64(self.batches_done);
+        e.put_u64(self.patterns_run);
+        e.put_u64(self.faults_graded);
+        e.put_gf2s(&self.lfsr_states);
+        e.put_usize(self.bank_words.len());
+        for words in &self.bank_words {
+            e.put_u64s(words);
+        }
+        e.put_gf2s(&self.signatures);
+        e.put_u32s(&self.detections);
+        e.finish()
+    }
+
+    /// Deserializes a payload produced by [`GradingCheckpoint::encode`].
+    pub fn decode(payload: &[u8]) -> Result<Self, CkptError> {
+        let mut d = Decoder::new(payload);
+        let netlist_hash = d.take_u64()?;
+        let faults_hash = d.take_u64()?;
+        let model = ModelTag::from_code(d.take_u8()?)?;
+        let lanes = d.take_u64()?;
+        let drop_after = d.take_u32()?;
+        let batches_done = d.take_u64()?;
+        let patterns_run = d.take_u64()?;
+        let faults_graded = d.take_u64()?;
+        let lfsr_states = d.take_gf2s()?;
+        let num_banks = d.take_usize()?;
+        let mut bank_words = Vec::new();
+        for _ in 0..num_banks {
+            bank_words.push(d.take_u64s()?);
+        }
+        let signatures = d.take_gf2s()?;
+        let detections = d.take_u32s()?;
+        d.expect_end()?;
+        Ok(GradingCheckpoint {
+            netlist_hash,
+            faults_hash,
+            model,
+            lanes,
+            drop_after,
+            batches_done,
+            patterns_run,
+            faults_graded,
+            lfsr_states,
+            bank_words,
+            signatures,
+            detections,
+        })
+    }
+
+    /// Writes the checkpoint atomically (tmp + fsync + rename).
+    pub fn save(&self, path: &Path) -> Result<(), CkptError> {
+        lbist_ckpt::save(path, KIND_GRADING, &self.encode())
+    }
+
+    /// Loads and validates a grading checkpoint.
+    pub fn load(path: &Path) -> Result<Self, CkptError> {
+        Self::decode(&lbist_ckpt::load(path, KIND_GRADING)?)
+    }
+}
+
+/// Progress snapshot of a [`crate::SelfTestSession`] run at a load-step
+/// boundary.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct SessionCheckpoint {
+    /// Structural fingerprint of the core under test.
+    pub netlist_hash: u64,
+    /// Fingerprint of the load plan (random/reseed/top-up step
+    /// sequence, seeds, capture order).
+    pub plan_hash: u64,
+    /// Load steps fully applied (shift + capture + read-back).
+    pub steps_done: u64,
+    /// Total shift cycles spent so far.
+    pub total_shifts: u64,
+    /// Top-up patterns consumed so far.
+    pub top_up_used: u64,
+    /// Per-chain scan-cell state, architecture chain order.
+    pub chain_state: Vec<Gf2Vec>,
+    /// Per-domain PRPG LFSR state.
+    pub lfsr_states: Vec<Gf2Vec>,
+    /// Per-domain MISR signatures.
+    pub misr_signatures: Vec<Gf2Vec>,
+    /// MISR snapshots recorded so far (one per snapshot point).
+    pub snapshots: Vec<Vec<Gf2Vec>>,
+}
+
+impl SessionCheckpoint {
+    /// Serializes the payload (without the envelope).
+    pub fn encode(&self) -> Vec<u8> {
+        let mut e = Encoder::new();
+        e.put_u64(self.netlist_hash);
+        e.put_u64(self.plan_hash);
+        e.put_u64(self.steps_done);
+        e.put_u64(self.total_shifts);
+        e.put_u64(self.top_up_used);
+        e.put_gf2s(&self.chain_state);
+        e.put_gf2s(&self.lfsr_states);
+        e.put_gf2s(&self.misr_signatures);
+        e.put_usize(self.snapshots.len());
+        for snap in &self.snapshots {
+            e.put_gf2s(snap);
+        }
+        e.finish()
+    }
+
+    /// Deserializes a payload produced by [`SessionCheckpoint::encode`].
+    pub fn decode(payload: &[u8]) -> Result<Self, CkptError> {
+        let mut d = Decoder::new(payload);
+        let netlist_hash = d.take_u64()?;
+        let plan_hash = d.take_u64()?;
+        let steps_done = d.take_u64()?;
+        let total_shifts = d.take_u64()?;
+        let top_up_used = d.take_u64()?;
+        let chain_state = d.take_gf2s()?;
+        let lfsr_states = d.take_gf2s()?;
+        let misr_signatures = d.take_gf2s()?;
+        let num_snaps = d.take_usize()?;
+        let mut snapshots = Vec::new();
+        for _ in 0..num_snaps {
+            snapshots.push(d.take_gf2s()?);
+        }
+        d.expect_end()?;
+        Ok(SessionCheckpoint {
+            netlist_hash,
+            plan_hash,
+            steps_done,
+            total_shifts,
+            top_up_used,
+            chain_state,
+            lfsr_states,
+            misr_signatures,
+            snapshots,
+        })
+    }
+
+    /// Writes the checkpoint atomically (tmp + fsync + rename).
+    pub fn save(&self, path: &Path) -> Result<(), CkptError> {
+        lbist_ckpt::save(path, KIND_SESSION, &self.encode())
+    }
+
+    /// Loads and validates a session checkpoint.
+    pub fn load(path: &Path) -> Result<Self, CkptError> {
+        Self::decode(&lbist_ckpt::load(path, KIND_SESSION)?)
+    }
+}
+
+/// `Err(Mismatch)` unless `got == want`, naming `what`.
+pub(crate) fn expect_field<T: PartialEq + std::fmt::Debug>(
+    what: &str,
+    got: T,
+    want: T,
+) -> Result<(), CkptError> {
+    if got == want {
+        Ok(())
+    } else {
+        Err(CkptError::Mismatch(format!(
+            "checkpoint {what} mismatch: file has {got:?}, run has {want:?}"
+        )))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn grading_fixture() -> GradingCheckpoint {
+        GradingCheckpoint {
+            netlist_hash: 0xDEAD_BEEF_0123_4567,
+            faults_hash: 42,
+            model: ModelTag::Transition,
+            lanes: 128,
+            drop_after: 3,
+            batches_done: 7,
+            patterns_run: 896,
+            faults_graded: 123_456,
+            lfsr_states: vec![Gf2Vec::from_fn(19, |i| i % 3 == 0), Gf2Vec::zeros(19)],
+            bank_words: vec![vec![1, 2, 3], vec![]],
+            signatures: vec![Gf2Vec::from_fn(99, |i| i % 7 == 1), Gf2Vec::from_fn(19, |i| i == 4)],
+            detections: vec![0, 1, 0, 5, u32::MAX],
+        }
+    }
+
+    #[test]
+    fn grading_checkpoint_round_trips() {
+        let ckpt = grading_fixture();
+        let decoded = GradingCheckpoint::decode(&ckpt.encode()).unwrap();
+        assert_eq!(decoded, ckpt);
+    }
+
+    #[test]
+    fn session_checkpoint_round_trips() {
+        let ckpt = SessionCheckpoint {
+            netlist_hash: 1,
+            plan_hash: 2,
+            steps_done: 9,
+            total_shifts: 900,
+            top_up_used: 2,
+            chain_state: vec![Gf2Vec::from_fn(33, |i| i % 2 == 0)],
+            lfsr_states: vec![Gf2Vec::from_fn(19, |i| i == 0)],
+            misr_signatures: vec![Gf2Vec::from_fn(19, |i| i > 10)],
+            snapshots: vec![vec![Gf2Vec::zeros(19)], vec![Gf2Vec::from_fn(19, |i| i == 3)]],
+        };
+        let decoded = SessionCheckpoint::decode(&ckpt.encode()).unwrap();
+        assert_eq!(decoded, ckpt);
+    }
+
+    #[test]
+    fn file_round_trip_and_kind_separation() {
+        let dir = std::env::temp_dir().join(format!("lbist-core-ckpt-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("grading.ckpt");
+        let ckpt = grading_fixture();
+        ckpt.save(&path).unwrap();
+        assert_eq!(GradingCheckpoint::load(&path).unwrap(), ckpt);
+        // A session load over a grading file is a kind mismatch, not a
+        // garbled decode.
+        match SessionCheckpoint::load(&path) {
+            Err(CkptError::WrongKind { expected, found }) => {
+                assert_eq!((expected, found), (KIND_SESSION, KIND_GRADING));
+            }
+            other => panic!("expected WrongKind, got {other:?}"),
+        }
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn faults_fingerprint_is_order_and_content_sensitive() {
+        use lbist_fault::FaultKind;
+        use lbist_netlist::NodeId;
+        let a = vec![
+            Fault::stem(NodeId::from_index(1), FaultKind::StuckAt0),
+            Fault::branch(NodeId::from_index(2), 1, FaultKind::StuckAt1),
+        ];
+        let mut b = a.clone();
+        b.swap(0, 1);
+        assert_ne!(faults_fingerprint(&a), faults_fingerprint(&b));
+        let mut c = a.clone();
+        c[0].kind = FaultKind::StuckAt1;
+        assert_ne!(faults_fingerprint(&a), faults_fingerprint(&c));
+        assert_eq!(faults_fingerprint(&a), faults_fingerprint(&a.clone()));
+    }
+
+    #[test]
+    fn model_tag_codes_round_trip() {
+        for tag in [ModelTag::StuckAt, ModelTag::Transition] {
+            assert_eq!(ModelTag::from_code(tag.code()).unwrap(), tag);
+        }
+        assert!(ModelTag::from_code(9).is_err());
+    }
+}

@@ -27,7 +27,11 @@
 //!   lanes is a real regression, not a width artifact.
 
 use crate::architecture::{StumpsArchitecture, StumpsConfig};
+use crate::checkpoint::{
+    expect_field, faults_fingerprint, GradingCheckpoint, ModelTag, RunControl, RunStatus,
+};
 use crate::fill::fill_wide_frame_from_prpg;
+use lbist_ckpt::CkptError;
 use lbist_dft::BistReadyCore;
 use lbist_exec::LaneWord;
 use lbist_fault::{CaptureWindow, CoverageReport, Fault, WideStuckAtSim, WideTransitionSim};
@@ -63,6 +67,23 @@ impl WideGradingOutcome {
     pub fn undetected_indices(&self) -> Vec<usize> {
         (0..self.detections.len()).filter(|&i| self.detections[i] == 0).collect()
     }
+}
+
+/// What a controlled (cancellable / budgeted / checkpointed) grading
+/// run produced: the (possibly partial) coverage verdict plus how the
+/// run ended.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ControlledGradingOutcome {
+    /// Coverage, detections and signatures over the batches that
+    /// completed — a partial verdict unless `status.is_complete()`.
+    pub outcome: WideGradingOutcome,
+    /// How the run ended.
+    pub status: RunStatus,
+    /// Batches fully graded and absorbed (across resume boundaries).
+    pub batches_done: u64,
+    /// `Some(batches)` when the run resumed a checkpoint taken at that
+    /// batch count.
+    pub resumed_from: Option<u64>,
 }
 
 /// Snapshot of one domain's unload path, taken at session build so the
@@ -181,6 +202,30 @@ impl<'a, W: LaneWord> WideGradingSession<'a, W> {
     /// signatures. The architecture is reset first, so identical calls
     /// reproduce identical outcomes.
     pub fn run_stuck_at(&mut self, faults: Vec<Fault>, batches: usize) -> WideGradingOutcome {
+        self.run_stuck_at_controlled(faults, batches, &RunControl::new())
+            .expect("uncontrolled runs perform no checkpoint IO")
+            .outcome
+    }
+
+    /// The controlled form of [`WideGradingSession::run_stuck_at`]:
+    /// observes `control`'s cancel token (at shard granularity inside
+    /// the dispatch and at batch boundaries), stops after its batch
+    /// budget, checkpoints at batch boundaries, and resumes a prior
+    /// checkpoint bit-identically — a killed-and-resumed run produces
+    /// the same detected set and signatures as an uninterrupted one
+    /// (property-tested in the bench crate).
+    ///
+    /// Cancellation unwinds cleanly: an interrupted batch leaves no
+    /// trace (no merge, no signature absorption, no pattern count), so
+    /// the returned partial verdict — and any checkpoint written on
+    /// exit — always describes exactly `batches_done` whole batches.
+    pub fn run_stuck_at_controlled(
+        &mut self,
+        faults: Vec<Fault>,
+        batches: usize,
+        control: &RunControl,
+    ) -> Result<ControlledGradingOutcome, CkptError> {
+        let faults_hash = faults_fingerprint(&faults);
         self.begin_run();
         let observed = lbist_fault::StuckAtSim::observe_all_captures(self.cc);
         let mut sim: WideStuckAtSim<'_, W> = WideStuckAtSim::new(self.cc, faults, observed);
@@ -188,25 +233,64 @@ impl<'a, W: LaneWord> WideGradingSession<'a, W> {
         if let Some(n) = self.threads {
             sim.set_threads(n);
         }
+        sim.set_cancel(control.cancel.clone());
+
+        let netlist_hash = lbist_ckpt::netlist_fingerprint(&self.core.netlist);
+        let mut resumed_from = None;
+        let mut start_batch = 0u64;
+        let mut faults_graded = 0u64;
+        if control.resume {
+            let ckpt = self.resume_grading(
+                control,
+                ModelTag::StuckAt,
+                netlist_hash,
+                faults_hash,
+                sim.detections().len(),
+            )?;
+            sim.restore(&ckpt.detections, ckpt.patterns_run);
+            start_batch = ckpt.batches_done;
+            faults_graded = ckpt.faults_graded;
+            resumed_from = Some(ckpt.batches_done);
+        }
 
         let cc = self.cc;
         let core = self.core;
         let arch = &mut self.arch;
         let pipelined = self.pipelined;
+        let total = batches as u64;
+        let budget_limit = control.budget.map(|b| start_batch.saturating_add(b));
+        let mut batches_done = start_batch;
+        let mut status = RunStatus::Completed;
+        // LFSR snapshot valid for a checkpoint at `batches_done` fills
+        // (the pipelined overlap advances the live LFSRs further).
+        let mut snap_completed: Vec<Gf2Vec> =
+            arch.domains().iter().map(|d| d.prpg.lfsr().state().clone()).collect();
         let mut cur: Vec<W> = cc.new_wide_frame();
         let mut next: Vec<W> = cc.new_wide_frame();
-        let mut faults_graded = 0u64;
-        if batches > 0 {
+        if start_batch < total {
             fill_wide_frame_from_prpg(arch, core, &mut cur);
         }
-        for batch in 0..batches {
-            let last = batch + 1 == batches;
-            faults_graded += sim.active_faults() as u64;
-            if last || !pipelined {
-                sim.run_batch(&mut cur, W::LANES);
-                if !last {
+        for batch in start_batch..total {
+            if budget_limit.is_some_and(|limit| batches_done >= limit) {
+                status = RunStatus::BudgetExhausted;
+                break;
+            }
+            if let Some(cancelled) = control.cancelled_status() {
+                status = cancelled;
+                break;
+            }
+            // The LFSRs sit at fill position `batch + 1` here — the
+            // state a checkpoint taken after this batch must record.
+            let snap_next: Vec<Gf2Vec> =
+                arch.domains().iter().map(|d| d.prpg.lfsr().state().clone()).collect();
+            let last = batch + 1 == total;
+            let active_before = sim.active_faults() as u64;
+            let graded = if last || !pipelined {
+                let graded = sim.try_run_batch(&mut cur, W::LANES);
+                if graded.is_some() && !last {
                     fill_wide_frame_from_prpg(arch, core, &mut next);
                 }
+                graded
             } else {
                 // Fill batch k+1 while grading batch k: disjoint state
                 // (PRPG stream vs simulator + current frame), so the
@@ -214,11 +298,21 @@ impl<'a, W: LaneWord> WideGradingSession<'a, W> {
                 let sim = &mut sim;
                 let cur = &mut cur;
                 let next = &mut next;
-                lbist_exec::join(
-                    || sim.run_batch(cur, W::LANES),
+                let (graded, ()) = lbist_exec::join(
+                    || sim.try_run_batch(cur, W::LANES),
                     || fill_wide_frame_from_prpg(arch, core, next),
                 );
+                graded
+            };
+            if graded.is_none() {
+                // Cancelled mid-batch: the simulator discarded the
+                // batch, so state still describes `batches_done`.
+                status = control
+                    .cancelled_status()
+                    .unwrap_or(RunStatus::Cancelled(lbist_exec::CancelReason::Requested));
+                break;
             }
+            faults_graded += active_before;
             // `cur` now holds the fault-free evaluation: captured
             // responses are the D-pin words the capture latches.
             let frame: &[W] = &cur;
@@ -229,17 +323,61 @@ impl<'a, W: LaneWord> WideGradingSession<'a, W> {
                 self.shift_cycles,
                 |cell| frame[cc.fanins(cell)[0].index()],
             );
+            batches_done += 1;
+            snap_completed = snap_next;
             std::mem::swap(&mut cur, &mut next);
+            if let Some(spec) = &control.checkpoint {
+                if spec.every > 0
+                    && (batches_done - start_batch).is_multiple_of(spec.every)
+                    && batches_done < total
+                {
+                    grading_snapshot(
+                        netlist_hash,
+                        faults_hash,
+                        ModelTag::StuckAt,
+                        self.drop_after,
+                        batches_done,
+                        sim.patterns_run(),
+                        faults_graded,
+                        &snap_completed,
+                        &self.banks,
+                        &self.signatures,
+                        sim.detections(),
+                    )
+                    .save(&spec.path)?;
+                }
+            }
+        }
+        if let Some(spec) = &control.checkpoint {
+            grading_snapshot(
+                netlist_hash,
+                faults_hash,
+                ModelTag::StuckAt,
+                self.drop_after,
+                batches_done,
+                sim.patterns_run(),
+                faults_graded,
+                &snap_completed,
+                &self.banks,
+                &self.signatures,
+                sim.detections(),
+            )
+            .save(&spec.path)?;
         }
 
-        WideGradingOutcome {
-            coverage: sim.coverage(),
-            detections: sim.detections().to_vec(),
-            signatures: self.signatures.clone(),
-            patterns: (batches * W::LANES) as u64,
-            lanes: W::LANES,
-            faults_graded,
-        }
+        Ok(ControlledGradingOutcome {
+            outcome: WideGradingOutcome {
+                coverage: sim.coverage(),
+                detections: sim.detections().to_vec(),
+                signatures: self.signatures.clone(),
+                patterns: batches_done * W::LANES as u64,
+                lanes: W::LANES,
+                faults_graded,
+            },
+            status,
+            batches_done,
+            resumed_from,
+        })
     }
 
     /// Grades `batches` random-phase batches against `faults` under the
@@ -252,40 +390,99 @@ impl<'a, W: LaneWord> WideGradingSession<'a, W> {
         window: CaptureWindow,
         batches: usize,
     ) -> WideGradingOutcome {
+        self.run_transition_controlled(faults, window, batches, &RunControl::new())
+            .expect("uncontrolled runs perform no checkpoint IO")
+            .outcome
+    }
+
+    /// The controlled form of [`WideGradingSession::run_transition`]:
+    /// same cancellation / budget / checkpoint-resume semantics as
+    /// [`WideGradingSession::run_stuck_at_controlled`].
+    pub fn run_transition_controlled(
+        &mut self,
+        faults: Vec<Fault>,
+        window: CaptureWindow,
+        batches: usize,
+        control: &RunControl,
+    ) -> Result<ControlledGradingOutcome, CkptError> {
+        let faults_hash = faults_fingerprint(&faults);
         self.begin_run();
         let mut sim: WideTransitionSim<'_, W> = WideTransitionSim::new(self.cc, faults, window);
         sim.set_drop_after(self.drop_after);
         if let Some(n) = self.threads {
             sim.set_threads(n);
         }
+        sim.set_cancel(control.cancel.clone());
+
+        let netlist_hash = lbist_ckpt::netlist_fingerprint(&self.core.netlist);
+        let mut resumed_from = None;
+        let mut start_batch = 0u64;
+        let mut faults_graded = 0u64;
+        if control.resume {
+            let ckpt = self.resume_grading(
+                control,
+                ModelTag::Transition,
+                netlist_hash,
+                faults_hash,
+                sim.detections().len(),
+            )?;
+            sim.restore(&ckpt.detections, ckpt.patterns_run);
+            start_batch = ckpt.batches_done;
+            faults_graded = ckpt.faults_graded;
+            resumed_from = Some(ckpt.batches_done);
+        }
 
         let cc = self.cc;
         let core = self.core;
         let arch = &mut self.arch;
         let pipelined = self.pipelined;
+        let total = batches as u64;
+        let budget_limit = control.budget.map(|b| start_batch.saturating_add(b));
+        let mut batches_done = start_batch;
+        let mut status = RunStatus::Completed;
+        let mut snap_completed: Vec<Gf2Vec> =
+            arch.domains().iter().map(|d| d.prpg.lfsr().state().clone()).collect();
         let mut cur: Vec<W> = cc.new_wide_frame();
         let mut next: Vec<W> = cc.new_wide_frame();
-        let mut faults_graded = 0u64;
-        if batches > 0 {
+        if start_batch < total {
             fill_wide_frame_from_prpg(arch, core, &mut cur);
         }
-        for batch in 0..batches {
-            let last = batch + 1 == batches;
-            faults_graded += sim.active_faults() as u64;
-            if last || !pipelined {
-                sim.run_batch(&cur, W::LANES);
-                if !last {
+        for batch in start_batch..total {
+            if budget_limit.is_some_and(|limit| batches_done >= limit) {
+                status = RunStatus::BudgetExhausted;
+                break;
+            }
+            if let Some(cancelled) = control.cancelled_status() {
+                status = cancelled;
+                break;
+            }
+            let snap_next: Vec<Gf2Vec> =
+                arch.domains().iter().map(|d| d.prpg.lfsr().state().clone()).collect();
+            let last = batch + 1 == total;
+            let active_before = sim.active_faults() as u64;
+            let graded = if last || !pipelined {
+                let graded = sim.try_run_batch(&cur, W::LANES);
+                if graded.is_some() && !last {
                     fill_wide_frame_from_prpg(arch, core, &mut next);
                 }
+                graded
             } else {
                 let sim = &mut sim;
                 let cur = &cur;
                 let next = &mut next;
-                lbist_exec::join(
-                    || sim.run_batch(cur, W::LANES),
+                let (graded, ()) = lbist_exec::join(
+                    || sim.try_run_batch(cur, W::LANES),
                     || fill_wide_frame_from_prpg(arch, core, next),
                 );
+                graded
+            };
+            if graded.is_none() {
+                status = control
+                    .cancelled_status()
+                    .unwrap_or(RunStatus::Cancelled(lbist_exec::CancelReason::Requested));
+                break;
             }
+            faults_graded += active_before;
             // The unload observes the end-of-window flip-flop states.
             let final_frame = sim.last_good_frame();
             absorb_batch(
@@ -295,17 +492,105 @@ impl<'a, W: LaneWord> WideGradingSession<'a, W> {
                 self.shift_cycles,
                 |cell| final_frame[cell.index()],
             );
+            batches_done += 1;
+            snap_completed = snap_next;
             std::mem::swap(&mut cur, &mut next);
+            if let Some(spec) = &control.checkpoint {
+                if spec.every > 0
+                    && (batches_done - start_batch).is_multiple_of(spec.every)
+                    && batches_done < total
+                {
+                    grading_snapshot(
+                        netlist_hash,
+                        faults_hash,
+                        ModelTag::Transition,
+                        self.drop_after,
+                        batches_done,
+                        sim.patterns_run(),
+                        faults_graded,
+                        &snap_completed,
+                        &self.banks,
+                        &self.signatures,
+                        sim.detections(),
+                    )
+                    .save(&spec.path)?;
+                }
+            }
+        }
+        if let Some(spec) = &control.checkpoint {
+            grading_snapshot(
+                netlist_hash,
+                faults_hash,
+                ModelTag::Transition,
+                self.drop_after,
+                batches_done,
+                sim.patterns_run(),
+                faults_graded,
+                &snap_completed,
+                &self.banks,
+                &self.signatures,
+                sim.detections(),
+            )
+            .save(&spec.path)?;
         }
 
-        WideGradingOutcome {
-            coverage: sim.coverage(),
-            detections: sim.detections().to_vec(),
-            signatures: self.signatures.clone(),
-            patterns: (batches * W::LANES) as u64,
-            lanes: W::LANES,
-            faults_graded,
+        Ok(ControlledGradingOutcome {
+            outcome: WideGradingOutcome {
+                coverage: sim.coverage(),
+                detections: sim.detections().to_vec(),
+                signatures: self.signatures.clone(),
+                patterns: batches_done * W::LANES as u64,
+                lanes: W::LANES,
+                faults_graded,
+            },
+            status,
+            batches_done,
+            resumed_from,
+        })
+    }
+
+    /// Loads `control`'s checkpoint, validates it against this session
+    /// and workload, and restores architecture-side state (PRPG LFSRs,
+    /// MISR banks, accumulated signatures). The caller restores the
+    /// simulator from the returned checkpoint's detections.
+    fn resume_grading(
+        &mut self,
+        control: &RunControl,
+        model: ModelTag,
+        netlist_hash: u64,
+        faults_hash: u64,
+        num_faults: usize,
+    ) -> Result<GradingCheckpoint, CkptError> {
+        let spec = control.checkpoint.as_ref().ok_or_else(|| {
+            CkptError::Mismatch("resume requested without a checkpoint spec".into())
+        })?;
+        let ckpt = GradingCheckpoint::load(&spec.path)?;
+        expect_field("netlist fingerprint", ckpt.netlist_hash, netlist_hash)?;
+        expect_field("fault-list fingerprint", ckpt.faults_hash, faults_hash)?;
+        expect_field("fault model", ckpt.model, model)?;
+        expect_field("lane width", ckpt.lanes, W::LANES as u64)?;
+        expect_field("drop budget", ckpt.drop_after, self.drop_after)?;
+        expect_field("fault count", ckpt.detections.len(), num_faults)?;
+        expect_field("domain count", ckpt.lfsr_states.len(), self.arch.domains().len())?;
+        expect_field("bank count", ckpt.bank_words.len(), self.banks.len())?;
+        expect_field("signature count", ckpt.signatures.len(), self.signatures.len())?;
+        for (db, state) in self.arch.domains().iter().zip(&ckpt.lfsr_states) {
+            expect_field("PRPG width", state.len(), db.prpg.lfsr().len())?;
         }
+        for (bank, words) in self.banks.iter().zip(&ckpt.bank_words) {
+            expect_field("MISR bank words", words.len(), bank.width() * W::WORDS)?;
+        }
+        for (sig, cur) in ckpt.signatures.iter().zip(&self.signatures) {
+            expect_field("signature width", sig.len(), cur.len())?;
+        }
+        for (db, state) in self.arch.domains_mut().iter_mut().zip(&ckpt.lfsr_states) {
+            db.prpg.lfsr_mut().set_state(state.clone());
+        }
+        for (bank, words) in self.banks.iter_mut().zip(&ckpt.bank_words) {
+            bank.load_state_words(words);
+        }
+        self.signatures = ckpt.signatures.clone();
+        Ok(ckpt)
     }
 
     fn begin_run(&mut self) {
@@ -316,6 +601,39 @@ impl<'a, W: LaneWord> WideGradingSession<'a, W> {
         for sig in &mut self.signatures {
             *sig = Gf2Vec::zeros(sig.len());
         }
+    }
+}
+
+/// Assembles a [`GradingCheckpoint`] from the pieces of a controlled
+/// run at a batch boundary (free function: `self` is field-split
+/// between the fill borrow and the absorb state at the call sites).
+#[allow(clippy::too_many_arguments)]
+fn grading_snapshot<W: LaneWord>(
+    netlist_hash: u64,
+    faults_hash: u64,
+    model: ModelTag,
+    drop_after: u32,
+    batches_done: u64,
+    patterns_run: u64,
+    faults_graded: u64,
+    lfsr_states: &[Gf2Vec],
+    banks: &[LaneMisr<W>],
+    signatures: &[Gf2Vec],
+    detections: &[u32],
+) -> GradingCheckpoint {
+    GradingCheckpoint {
+        netlist_hash,
+        faults_hash,
+        model,
+        lanes: W::LANES as u64,
+        drop_after,
+        batches_done,
+        patterns_run,
+        faults_graded,
+        lfsr_states: lfsr_states.to_vec(),
+        bank_words: banks.iter().map(LaneMisr::state_words).collect(),
+        signatures: signatures.to_vec(),
+        detections: detections.to_vec(),
     }
 }
 
@@ -403,6 +721,189 @@ mod tests {
         let a = pipelined.run_transition(transition.clone(), window.clone(), 3);
         let b = sequential.run_transition(transition, window, 3);
         assert_eq!(a, b, "transition: pipelining changed the outcome");
+    }
+
+    fn scratch_dir(tag: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join(format!("lbist-grading-{tag}-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    /// Kill-at-batch + resume is bit-identical to an uninterrupted run,
+    /// for both fault models, at every kill point.
+    #[test]
+    fn killed_and_resumed_runs_match_uninterrupted() {
+        use crate::checkpoint::{CheckpointSpec, RunControl, RunStatus};
+        let c = core();
+        let cc = CompiledCircuit::compile(&c.netlist).unwrap();
+        let stuck = FaultUniverse::stuck_at(&c.netlist).representatives();
+        let stumps = StumpsConfig::default();
+        let batches = 4;
+        let dir = scratch_dir("kill");
+
+        let mut reference: WideGradingSession<'_, u128> = WideGradingSession::new(&c, &cc, &stumps);
+        let want = reference.run_stuck_at(stuck.clone(), batches);
+
+        for kill_after in 0..=batches as u64 {
+            let path = dir.join(format!("kill-{kill_after}.ckpt"));
+            let spec = CheckpointSpec::new(&path, 1);
+            let mut session: WideGradingSession<'_, u128> =
+                WideGradingSession::new(&c, &cc, &stumps);
+            let killed = session
+                .run_stuck_at_controlled(
+                    stuck.clone(),
+                    batches,
+                    &RunControl {
+                        budget: Some(kill_after),
+                        checkpoint: Some(spec.clone()),
+                        ..Default::default()
+                    },
+                )
+                .unwrap();
+            assert_eq!(killed.batches_done, kill_after);
+            if kill_after < batches as u64 {
+                assert_eq!(killed.status, RunStatus::BudgetExhausted);
+            } else {
+                assert_eq!(killed.status, RunStatus::Completed);
+            }
+            let resumed = session
+                .run_stuck_at_controlled(
+                    stuck.clone(),
+                    batches,
+                    &RunControl { checkpoint: Some(spec), resume: true, ..Default::default() },
+                )
+                .unwrap();
+            assert_eq!(resumed.status, RunStatus::Completed);
+            assert_eq!(resumed.resumed_from, Some(kill_after));
+            assert_eq!(resumed.outcome, want, "kill at batch {kill_after} diverged");
+        }
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    /// Transition grading kills and resumes bit-identically too.
+    #[test]
+    fn transition_kill_resume_matches() {
+        use crate::checkpoint::{CheckpointSpec, RunControl};
+        let c = core();
+        let cc = CompiledCircuit::compile(&c.netlist).unwrap();
+        let faults: Vec<Fault> = FaultUniverse::transition(&c.netlist)
+            .representatives()
+            .into_iter()
+            .filter(|f| f.is_stem())
+            .collect();
+        let window = CaptureWindow::all_domains(c.netlist.num_domains().max(1));
+        let stumps = StumpsConfig::default();
+        let dir = scratch_dir("transition");
+        let path = dir.join("t.ckpt");
+
+        let mut reference: WideGradingSession<'_, u64> = WideGradingSession::new(&c, &cc, &stumps);
+        let want = reference.run_transition(faults.clone(), window.clone(), 3);
+
+        let mut session: WideGradingSession<'_, u64> = WideGradingSession::new(&c, &cc, &stumps);
+        session
+            .run_transition_controlled(
+                faults.clone(),
+                window.clone(),
+                3,
+                &RunControl {
+                    budget: Some(2),
+                    checkpoint: Some(CheckpointSpec::new(&path, 1)),
+                    ..Default::default()
+                },
+            )
+            .unwrap();
+        let resumed = session
+            .run_transition_controlled(
+                faults,
+                window,
+                3,
+                &RunControl {
+                    checkpoint: Some(CheckpointSpec::new(&path, 1)),
+                    resume: true,
+                    ..Default::default()
+                },
+            )
+            .unwrap();
+        assert_eq!(resumed.outcome, want);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    /// A fired cancel token stops the run at a clean batch boundary
+    /// with a partial verdict; a pre-fired token grades nothing.
+    #[test]
+    fn cancellation_unwinds_to_partial_verdict() {
+        use crate::checkpoint::{RunControl, RunStatus};
+        use lbist_exec::{CancelReason, CancelToken};
+        let c = core();
+        let cc = CompiledCircuit::compile(&c.netlist).unwrap();
+        let stuck = FaultUniverse::stuck_at(&c.netlist).representatives();
+        let token = CancelToken::new();
+        token.cancel();
+        let mut session: WideGradingSession<'_, u64> =
+            WideGradingSession::new(&c, &cc, &StumpsConfig::default());
+        let out = session
+            .run_stuck_at_controlled(stuck.clone(), 3, &RunControl::with_cancel(token))
+            .unwrap();
+        assert_eq!(out.status, RunStatus::Cancelled(CancelReason::Requested));
+        assert_eq!(out.batches_done, 0);
+        assert_eq!(out.outcome.patterns, 0);
+        assert!(out.outcome.signatures.iter().all(|s| s.is_zero()));
+
+        // An expired deadline reports the deadline reason.
+        let expired = RunControl::with_deadline(std::time::Duration::ZERO);
+        let out = session.run_stuck_at_controlled(stuck, 3, &expired).unwrap();
+        assert_eq!(out.status, RunStatus::Cancelled(CancelReason::Deadline));
+    }
+
+    /// Resume validates the workload: a different fault list, lane
+    /// width or drop budget is rejected with a mismatch, not silently
+    /// regraded.
+    #[test]
+    fn resume_rejects_mismatched_workload() {
+        use crate::checkpoint::{CheckpointSpec, RunControl};
+        use lbist_ckpt::CkptError;
+        let c = core();
+        let cc = CompiledCircuit::compile(&c.netlist).unwrap();
+        let stuck = FaultUniverse::stuck_at(&c.netlist).representatives();
+        let stumps = StumpsConfig::default();
+        let dir = scratch_dir("mismatch");
+        let path = dir.join("m.ckpt");
+        let spec = CheckpointSpec::new(&path, 1);
+
+        let mut session: WideGradingSession<'_, u64> = WideGradingSession::new(&c, &cc, &stumps);
+        session
+            .run_stuck_at_controlled(
+                stuck.clone(),
+                3,
+                &RunControl {
+                    budget: Some(1),
+                    checkpoint: Some(spec.clone()),
+                    ..Default::default()
+                },
+            )
+            .unwrap();
+
+        let resume = RunControl { checkpoint: Some(spec), resume: true, ..Default::default() };
+        // Truncated fault list.
+        let short = stuck[..stuck.len() - 1].to_vec();
+        assert!(matches!(
+            session.run_stuck_at_controlled(short, 3, &resume),
+            Err(CkptError::Mismatch(_))
+        ));
+        // Different drop budget.
+        session.set_drop_after(7);
+        assert!(matches!(
+            session.run_stuck_at_controlled(stuck.clone(), 3, &resume),
+            Err(CkptError::Mismatch(_))
+        ));
+        session.set_drop_after(1);
+        // Different lane width.
+        let mut wide: WideGradingSession<'_, u128> = WideGradingSession::new(&c, &cc, &stumps);
+        assert!(matches!(
+            wide.run_stuck_at_controlled(stuck, 3, &resume),
+            Err(CkptError::Mismatch(_))
+        ));
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     /// Reruns of the same session reproduce the same outcome (the

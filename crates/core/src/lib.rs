@@ -36,6 +36,7 @@
 #![warn(missing_docs)]
 
 mod architecture;
+mod checkpoint;
 mod controller;
 mod diag;
 mod fill;
@@ -46,14 +47,18 @@ mod session;
 mod tap;
 
 pub use architecture::{DomainBist, StumpsArchitecture, StumpsConfig};
+pub use checkpoint::{
+    faults_fingerprint, CheckpointSpec, GradingCheckpoint, ModelTag, RunControl, RunStatus,
+    SessionCheckpoint, KIND_GRADING, KIND_SESSION,
+};
 pub use controller::{BistController, BistPhase, ControllerConfig};
 pub use diag::{diagnose_first_failing_interval, DiagnosisReport};
 pub use fill::{
     fill_frame_from_prpg, fill_frames_from_prpg_wide, fill_lane_from_prpg,
     fill_wide_frame_from_prpg,
 };
-pub use grading::{WideGradingOutcome, WideGradingSession};
+pub use grading::{ControlledGradingOutcome, WideGradingOutcome, WideGradingSession};
 pub use jtag_bist::JtagBist;
 pub use selector::{InputSelector, PatternSource};
-pub use session::{SelfTestSession, SessionConfig, SessionResult};
+pub use session::{ControlledSessionOutcome, SelfTestSession, SessionConfig, SessionResult};
 pub use tap::{TapBackend, TapController, TapInstruction, TapState};

@@ -66,6 +66,13 @@ impl InputSelector {
         self.top_up.len().saturating_sub(self.next_top_up)
     }
 
+    /// Marks the first `n` top-up patterns as already dispensed without
+    /// producing their loads — checkpoint resume fast-forwards the
+    /// store to where the interrupted session left it.
+    pub fn skip_top_up(&mut self, n: usize) {
+        self.next_top_up = n.min(self.top_up.len());
+    }
+
     /// Produces the chain-load bits for one full load, one `Vec<bool>` per
     /// chain in domain-then-chain order matching `arch`.
     ///

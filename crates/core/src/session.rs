@@ -1,9 +1,11 @@
 //! Cycle-faithful self-test sessions: the whole Fig. 1 datapath in motion.
 
 use crate::architecture::{StumpsArchitecture, StumpsConfig};
+use crate::checkpoint::{expect_field, RunControl, RunStatus, SessionCheckpoint};
 use crate::controller::{BistController, ControllerConfig};
 use crate::selector::{InputSelector, PatternSource};
 use lbist_atpg::Pattern;
+use lbist_ckpt::{CkptError, Fnv64};
 use lbist_dft::BistReadyCore;
 use lbist_fault::Fault;
 use lbist_netlist::{DomainId, NodeId};
@@ -70,6 +72,145 @@ impl SessionResult {
     }
 }
 
+/// What a controlled (cancellable / budgeted / checkpointed) self-test
+/// run produced: the (possibly partial) signatures plus how the run
+/// ended.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ControlledSessionOutcome {
+    /// The session result so far. The signatures are a partial verdict
+    /// unless `status.is_complete()` (the final flush load only runs on
+    /// completion).
+    pub result: SessionResult,
+    /// How the run ended.
+    pub status: RunStatus,
+    /// Load steps fully applied (across resume boundaries).
+    pub steps_done: u64,
+    /// `Some(steps)` when the run resumed a checkpoint taken at that
+    /// step count.
+    pub resumed_from: Option<u64>,
+}
+
+/// One entry of a session's load plan.
+#[derive(Clone, Copy)]
+enum LoadStep<'s> {
+    Random,
+    Reseed(&'s [Option<Gf2Vec>]),
+    TopUp,
+}
+
+/// Expands a config into its load-step sequence: the seed schedule when
+/// one is set, otherwise the plain random phase; top-up patterns follow
+/// either way.
+fn build_steps(cfg: &SessionConfig) -> Vec<LoadStep<'_>> {
+    let mut steps: Vec<LoadStep<'_>> = Vec::new();
+    match &cfg.reseed {
+        Some(schedule) => {
+            for window in schedule.windows() {
+                match window {
+                    SeedWindow::Random { patterns } => {
+                        steps.extend((0..*patterns).map(|_| LoadStep::Random));
+                    }
+                    SeedWindow::Reseed { seeds } => steps.push(LoadStep::Reseed(seeds)),
+                }
+            }
+        }
+        None => steps.extend((0..cfg.num_patterns).map(|_| LoadStep::Random)),
+    }
+    steps.extend(cfg.top_up.iter().map(|_| LoadStep::TopUp));
+    steps
+}
+
+/// Fingerprint of everything that steers a session's pattern stream:
+/// the load plan (step kinds, reseed seed bits, top-up bits), capture
+/// order, shift depth and snapshot cadence. A checkpoint resumed under
+/// a different plan would silently diverge, so resume validates this.
+fn plan_hash(cfg: &SessionConfig, order: &[DomainId], shift_cycles: usize) -> u64 {
+    let mut h = Fnv64::new();
+    h.write_usize(shift_cycles);
+    h.write_usize(order.len());
+    for d in order {
+        h.write_u64(d.index() as u64);
+    }
+    h.write_usize(cfg.snapshot_every);
+    match &cfg.injected_fault {
+        None => h.write_u64(0),
+        Some(f) => {
+            h.write_u64(1);
+            h.write_u64(f.node.index() as u64);
+            h.write_u64(f.kind as u64);
+            h.write_u64(f.pin.map_or(u64::MAX, u64::from));
+        }
+    }
+    match &cfg.reseed {
+        None => {
+            h.write_u64(0);
+            h.write_usize(cfg.num_patterns);
+        }
+        Some(schedule) => {
+            h.write_u64(1);
+            h.write_usize(schedule.windows().len());
+            for window in schedule.windows() {
+                match window {
+                    SeedWindow::Random { patterns } => {
+                        h.write_u64(2);
+                        h.write_usize(*patterns);
+                    }
+                    SeedWindow::Reseed { seeds } => {
+                        h.write_u64(3);
+                        h.write_usize(seeds.len());
+                        for seed in seeds {
+                            match seed {
+                                None => h.write_u64(0),
+                                Some(g) => {
+                                    h.write_u64(1);
+                                    hash_bools(&mut h, &g.to_bools());
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+    h.write_usize(cfg.top_up.len());
+    for p in &cfg.top_up {
+        hash_bools(&mut h, &p.pi_values);
+        hash_bools(&mut h, &p.ff_values);
+    }
+    h.finish()
+}
+
+fn hash_bools(h: &mut Fnv64, bits: &[bool]) {
+    h.write_usize(bits.len());
+    let bytes: Vec<u8> = bits.iter().map(|&b| b as u8).collect();
+    h.write(&bytes);
+}
+
+/// Assembles a [`SessionCheckpoint`] at a load-step boundary.
+#[allow(clippy::too_many_arguments)]
+fn session_snapshot(
+    netlist_hash: u64,
+    plan_hash: u64,
+    steps_done: u64,
+    total_shifts: u64,
+    top_up_used: u64,
+    chain_state: &[Vec<bool>],
+    arch: &StumpsArchitecture,
+    snapshots: &[Vec<Gf2Vec>],
+) -> SessionCheckpoint {
+    SessionCheckpoint {
+        netlist_hash,
+        plan_hash,
+        steps_done,
+        total_shifts,
+        top_up_used,
+        chain_state: chain_state.iter().map(|bits| Gf2Vec::from_bools(bits)).collect(),
+        lfsr_states: arch.domains().iter().map(|d| d.prpg.lfsr().state().clone()).collect(),
+        misr_signatures: arch.domains().iter().map(|d| d.misr.signature().clone()).collect(),
+        snapshots: snapshots.to_vec(),
+    }
+}
+
 /// A self-test session over a BIST-ready core.
 ///
 /// The session is cycle-faithful at the architecture level: every shift
@@ -132,39 +273,34 @@ impl<'a> SelfTestSession<'a> {
     /// Runs one complete self-test. Deterministic: rerunning with the same
     /// config reproduces the same signatures bit for bit.
     pub fn run(&mut self, cfg: &SessionConfig) -> SessionResult {
+        self.run_controlled(cfg, &RunControl::new())
+            .expect("uncontrolled runs perform no checkpoint IO")
+            .result
+    }
+
+    /// The controlled form of [`SelfTestSession::run`]: observes
+    /// `control`'s cancel token and load-step budget at load-step
+    /// granularity, checkpoints at load-step boundaries, and resumes a
+    /// prior checkpoint bit-identically — a killed-and-resumed session
+    /// (including reseed-scheduled sessions) produces the same
+    /// signatures, snapshots and counts as an uninterrupted run
+    /// (enforced by test).
+    pub fn run_controlled(
+        &mut self,
+        cfg: &SessionConfig,
+        control: &RunControl,
+    ) -> Result<ControlledSessionOutcome, CkptError> {
         self.arch.reset();
         let mut selector = InputSelector::new();
         selector.load_top_up(cfg.top_up.clone());
 
-        // The load plan: the seed schedule when one is set (pseudorandom
-        // windows interleaved with single-load reseed windows), otherwise
-        // the plain random phase; top-up patterns follow either way.
-        #[derive(Clone, Copy)]
-        enum LoadStep<'s> {
-            Random,
-            Reseed(&'s [Option<Gf2Vec>]),
-            TopUp,
-        }
-        let mut steps: Vec<LoadStep<'_>> = Vec::new();
-        match &cfg.reseed {
-            Some(schedule) => {
-                for window in schedule.windows() {
-                    match window {
-                        SeedWindow::Random { patterns } => {
-                            steps.extend((0..*patterns).map(|_| LoadStep::Random));
-                        }
-                        SeedWindow::Reseed { seeds } => steps.push(LoadStep::Reseed(seeds)),
-                    }
-                }
-            }
-            None => steps.extend((0..cfg.num_patterns).map(|_| LoadStep::Random)),
-        }
-        steps.extend(cfg.top_up.iter().map(|_| LoadStep::TopUp));
-
+        let steps = build_steps(cfg);
         let shift_cycles = self.arch.max_chain_length().max(1);
         let order: Vec<DomainId> = cfg.capture_order.clone().unwrap_or_else(|| {
             (0..self.core.netlist.num_domains().max(1)).map(|d| DomainId::new(d as u16)).collect()
         });
+        let netlist_hash = lbist_ckpt::netlist_fingerprint(&self.core.netlist);
+        let plan = plan_hash(cfg, &order, shift_cycles);
         let mut controller = BistController::new(ControllerConfig {
             shift_cycles,
             num_patterns: steps.len(),
@@ -184,77 +320,103 @@ impl<'a> SelfTestSession<'a> {
         // Pads held low, test-mode high for the whole session.
         frame[self.core.test_mode().index()] = !0;
 
-        let mut snapshots = Vec::new();
+        let mut snapshots: Vec<Vec<Gf2Vec>> = Vec::new();
         let mut total_shifts = 0u64;
         let mut patterns_applied = 0usize;
+        let mut top_up_used = 0u64;
         let total_patterns = steps.len();
+        let mut start_step = 0u64;
+        let mut resumed_from = None;
 
-        #[allow(clippy::needless_range_loop)] // `p == total_patterns` is the flush load
-        for p in 0..=total_patterns {
+        if control.resume {
+            let spec = control.checkpoint.as_ref().ok_or_else(|| {
+                CkptError::Mismatch("resume requested without a checkpoint spec".into())
+            })?;
+            let ckpt = SessionCheckpoint::load(&spec.path)?;
+            expect_field("netlist fingerprint", ckpt.netlist_hash, netlist_hash)?;
+            expect_field("load-plan fingerprint", ckpt.plan_hash, plan)?;
+            expect_field("chain count", ckpt.chain_state.len(), chain_state.len())?;
+            for (saved, live) in ckpt.chain_state.iter().zip(&chain_state) {
+                expect_field("chain length", saved.len(), live.len())?;
+            }
+            expect_field("domain count", ckpt.lfsr_states.len(), self.arch.domains().len())?;
+            for (db, state) in self.arch.domains().iter().zip(&ckpt.lfsr_states) {
+                expect_field("PRPG width", state.len(), db.prpg.lfsr().len())?;
+            }
+            expect_field("MISR count", ckpt.misr_signatures.len(), self.arch.domains().len())?;
+            for (db, sig) in self.arch.domains().iter().zip(&ckpt.misr_signatures) {
+                expect_field("MISR width", sig.len(), db.misr.width())?;
+            }
+            if ckpt.steps_done > total_patterns as u64 {
+                return Err(CkptError::Mismatch(format!(
+                    "checkpoint is {} steps in, but the plan has only {total_patterns}",
+                    ckpt.steps_done
+                )));
+            }
+            for (live, saved) in chain_state.iter_mut().zip(&ckpt.chain_state) {
+                *live = saved.to_bools();
+            }
+            for (db, state) in self.arch.domains_mut().iter_mut().zip(&ckpt.lfsr_states) {
+                db.prpg.lfsr_mut().set_state(state.clone());
+            }
+            for (db, sig) in self.arch.domains_mut().iter_mut().zip(&ckpt.misr_signatures) {
+                db.misr.set_signature(sig.clone());
+            }
+            selector.skip_top_up(ckpt.top_up_used as usize);
+            snapshots = ckpt.snapshots.clone();
+            total_shifts = ckpt.total_shifts;
+            patterns_applied = ckpt.steps_done as usize;
+            top_up_used = ckpt.top_up_used;
+            start_step = ckpt.steps_done;
+            resumed_from = Some(ckpt.steps_done);
+        }
+
+        let budget_limit = control.budget.map(|b| start_step.saturating_add(b));
+        let mut status = RunStatus::Completed;
+
+        #[allow(clippy::needless_range_loop)] // `p` counts steps for the budget/checkpoint math
+        for p in (start_step as usize)..total_patterns {
+            if budget_limit.is_some_and(|limit| patterns_applied as u64 >= limit) {
+                status = RunStatus::BudgetExhausted;
+                break;
+            }
+            if let Some(cancelled) = control.cancelled_status() {
+                status = cancelled;
+                break;
+            }
             // Pattern source per the plan (random, reseed-then-load, or
-            // top-up), then one flush load of zeros to push the last
-            // responses out.
-            let load_bits: Vec<Vec<bool>> = if p < total_patterns {
-                match steps[p] {
-                    LoadStep::Random => {
-                        selector.select(PatternSource::Random);
-                        selector
-                            .next_load(&mut self.arch, shift_cycles)
-                            .expect("random never exhausts")
-                    }
-                    LoadStep::Reseed(seeds) => {
-                        // The Boundary-Scan seed load of the paper's TAP:
-                        // overwrite each seeded domain's PRPG state, then
-                        // generate the next load through the normal
-                        // random-mode plumbing.
-                        assert_eq!(
-                            seeds.len(),
-                            self.arch.domains().len(),
-                            "a reseed window needs one seed slot per domain"
-                        );
-                        for (db, seed) in self.arch.domains_mut().iter_mut().zip(seeds) {
-                            if let Some(s) = seed {
-                                db.prpg.lfsr_mut().set_state(s.clone());
-                            }
-                        }
-                        selector.select(PatternSource::Random);
-                        selector
-                            .next_load(&mut self.arch, shift_cycles)
-                            .expect("random never exhausts")
-                    }
-                    LoadStep::TopUp => {
-                        selector.select(PatternSource::TopUp);
-                        selector
-                            .next_load(&mut self.arch, shift_cycles)
-                            .expect("top-up store sized")
-                    }
+            // top-up).
+            let load_bits: Vec<Vec<bool>> = match steps[p] {
+                LoadStep::Random => {
+                    selector.select(PatternSource::Random);
+                    selector.next_load(&mut self.arch, shift_cycles).expect("random never exhausts")
                 }
-            } else {
-                chain_state.iter().map(|_| vec![false; shift_cycles]).collect()
+                LoadStep::Reseed(seeds) => {
+                    // The Boundary-Scan seed load of the paper's TAP:
+                    // overwrite each seeded domain's PRPG state, then
+                    // generate the next load through the normal
+                    // random-mode plumbing.
+                    assert_eq!(
+                        seeds.len(),
+                        self.arch.domains().len(),
+                        "a reseed window needs one seed slot per domain"
+                    );
+                    for (db, seed) in self.arch.domains_mut().iter_mut().zip(seeds) {
+                        if let Some(s) = seed {
+                            db.prpg.lfsr_mut().set_state(s.clone());
+                        }
+                    }
+                    selector.select(PatternSource::Random);
+                    selector.next_load(&mut self.arch, shift_cycles).expect("random never exhausts")
+                }
+                LoadStep::TopUp => {
+                    selector.select(PatternSource::TopUp);
+                    top_up_used += 1;
+                    selector.next_load(&mut self.arch, shift_cycles).expect("top-up store sized")
+                }
             };
 
-            // ---- shift window: load new pattern, unload previous response.
-            #[allow(clippy::needless_range_loop)] // `s` indexes a per-chain inner dimension
-            for s in 0..shift_cycles {
-                let mut chain_idx = 0;
-                for db in self.arch.domains_mut() {
-                    let mut tails = Vec::with_capacity(db.chains.len());
-                    for c in 0..db.chains.len() {
-                        let state = &mut chain_state[chain_idx + c];
-                        let out = state.pop().unwrap_or(false);
-                        state.insert(0, load_bits[chain_idx + c][s]);
-                        tails.push(out);
-                    }
-                    let compacted = db.compactor.compact(&tails);
-                    db.misr.clock(&compacted);
-                    chain_idx += db.chains.len();
-                }
-                total_shifts += 1;
-                controller.step();
-            }
-            if p == total_patterns {
-                break; // flush only
-            }
+            self.shift_window(&load_bits, &mut chain_state, &mut total_shifts, &mut controller);
 
             // ---- capture window: double capture per domain in order.
             self.write_state_to_frame(&chain_state, &mut frame);
@@ -273,15 +435,98 @@ impl<'a> SelfTestSession<'a> {
                 snapshots
                     .push(self.arch.domains().iter().map(|d| d.misr.signature().clone()).collect());
             }
+            if let Some(spec) = &control.checkpoint {
+                if spec.every > 0
+                    && (patterns_applied as u64 - start_step).is_multiple_of(spec.every)
+                    && patterns_applied < total_patterns
+                {
+                    session_snapshot(
+                        netlist_hash,
+                        plan,
+                        patterns_applied as u64,
+                        total_shifts,
+                        top_up_used,
+                        &chain_state,
+                        &self.arch,
+                        &snapshots,
+                    )
+                    .save(&spec.path)?;
+                }
+            }
         }
-        // Compare tick.
-        controller.step();
 
-        SessionResult {
-            signatures: self.arch.domains().iter().map(|d| d.misr.signature().clone()).collect(),
-            patterns_applied,
-            shift_cycles: total_shifts,
-            snapshots,
+        // A checkpoint can only reach `steps_done == total_patterns` on
+        // the far side of the flush (the budget check sits before the
+        // plan is exhausted), so resuming one must not flush again.
+        let already_flushed = start_step == total_patterns as u64 && resumed_from.is_some();
+        if status.is_complete() && !already_flushed {
+            // One flush load of zeros pushes the last responses out,
+            // then the compare tick.
+            let flush: Vec<Vec<bool>> =
+                chain_state.iter().map(|_| vec![false; shift_cycles]).collect();
+            self.shift_window(&flush, &mut chain_state, &mut total_shifts, &mut controller);
+            controller.step();
+        }
+
+        if let Some(spec) = &control.checkpoint {
+            session_snapshot(
+                netlist_hash,
+                plan,
+                patterns_applied as u64,
+                total_shifts,
+                top_up_used,
+                &chain_state,
+                &self.arch,
+                &snapshots,
+            )
+            .save(&spec.path)?;
+        }
+
+        Ok(ControlledSessionOutcome {
+            result: SessionResult {
+                signatures: self
+                    .arch
+                    .domains()
+                    .iter()
+                    .map(|d| d.misr.signature().clone())
+                    .collect(),
+                patterns_applied,
+                shift_cycles: total_shifts,
+                snapshots,
+            },
+            status,
+            steps_done: patterns_applied as u64,
+            resumed_from,
+        })
+    }
+
+    /// One shift window: loads a new pattern while unloading the
+    /// previous response through compactors into the MISRs.
+    fn shift_window(
+        &mut self,
+        load_bits: &[Vec<bool>],
+        chain_state: &mut [Vec<bool>],
+        total_shifts: &mut u64,
+        controller: &mut BistController,
+    ) {
+        let shift_cycles = self.arch.max_chain_length().max(1);
+        #[allow(clippy::needless_range_loop)] // `s` indexes a per-chain inner dimension
+        for s in 0..shift_cycles {
+            let mut chain_idx = 0;
+            for db in self.arch.domains_mut() {
+                let mut tails = Vec::with_capacity(db.chains.len());
+                for c in 0..db.chains.len() {
+                    let state = &mut chain_state[chain_idx + c];
+                    let out = state.pop().unwrap_or(false);
+                    state.insert(0, load_bits[chain_idx + c][s]);
+                    tails.push(out);
+                }
+                let compacted = db.compactor.compact(&tails);
+                db.misr.clock(&compacted);
+                chain_idx += db.chains.len();
+            }
+            *total_shifts += 1;
+            controller.step();
         }
     }
 
@@ -604,6 +849,119 @@ mod tests {
                 chain_idx += 1;
             }
         }
+    }
+
+    /// A session killed at any load step and resumed from its
+    /// checkpoint reproduces the uninterrupted run bit for bit —
+    /// including a reseed-scheduled session with snapshots and top-up.
+    #[test]
+    fn session_kill_resume_matches_uninterrupted() {
+        use crate::checkpoint::{CheckpointSpec, RunControl, RunStatus};
+        let c = core();
+        let dir = std::env::temp_dir().join(format!("lbist-session-kill-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+
+        let degree = {
+            let s = SelfTestSession::new(&c, &StumpsConfig::default());
+            s.architecture().domains()[0].prpg.lfsr().len()
+        };
+        let n_domains = {
+            let s = SelfTestSession::new(&c, &StumpsConfig::default());
+            s.architecture().domains().len()
+        };
+        let mut seeds: Vec<Option<Gf2Vec>> = vec![None; n_domains];
+        seeds[0] = Some(Gf2Vec::from_fn(degree, |i| i % 3 == 0 || i == 0));
+        let mut schedule = lbist_reseed::SeedSchedule::new();
+        schedule.push_random(3);
+        schedule.push_reseed(seeds);
+        schedule.push_random(2);
+        let ffs = c.netlist.dffs().len();
+        let cfg = SessionConfig {
+            reseed: Some(schedule),
+            snapshot_every: 2,
+            top_up: vec![lbist_atpg::Pattern {
+                pi_values: vec![],
+                ff_values: (0..ffs).map(|i| i % 2 == 0).collect(),
+            }],
+            ..Default::default()
+        };
+
+        let mut reference = SelfTestSession::new(&c, &StumpsConfig::default());
+        let want = reference.run(&cfg);
+        let total_steps = want.patterns_applied as u64;
+        assert_eq!(total_steps, 7); // 3 + 1 reseed + 2 + 1 top-up
+
+        for kill_after in 0..=total_steps {
+            let path = dir.join(format!("s-{kill_after}.ckpt"));
+            let spec = CheckpointSpec::new(&path, 1);
+            let mut session = SelfTestSession::new(&c, &StumpsConfig::default());
+            let killed = session
+                .run_controlled(
+                    &cfg,
+                    &RunControl {
+                        budget: Some(kill_after),
+                        checkpoint: Some(spec.clone()),
+                        ..Default::default()
+                    },
+                )
+                .unwrap();
+            assert_eq!(killed.steps_done, kill_after);
+            if kill_after < total_steps {
+                assert_eq!(killed.status, RunStatus::BudgetExhausted);
+            }
+            let resumed = session
+                .run_controlled(
+                    &cfg,
+                    &RunControl { checkpoint: Some(spec), resume: true, ..Default::default() },
+                )
+                .unwrap();
+            assert_eq!(resumed.status, RunStatus::Completed);
+            assert_eq!(resumed.resumed_from, Some(kill_after));
+            assert_eq!(resumed.result, want, "kill at step {kill_after} diverged");
+        }
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    /// A cancelled session returns a clean partial verdict, and resume
+    /// under a different load plan is rejected.
+    #[test]
+    fn session_cancellation_and_plan_validation() {
+        use crate::checkpoint::{CheckpointSpec, RunControl, RunStatus};
+        use lbist_exec::{CancelReason, CancelToken};
+        let c = core();
+        let dir = std::env::temp_dir().join(format!("lbist-session-plan-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let cfg = SessionConfig { num_patterns: 6, ..Default::default() };
+        let mut session = SelfTestSession::new(&c, &StumpsConfig::default());
+
+        let token = CancelToken::new();
+        token.cancel();
+        let out = session.run_controlled(&cfg, &RunControl::with_cancel(token)).unwrap();
+        assert_eq!(out.status, RunStatus::Cancelled(CancelReason::Requested));
+        assert_eq!(out.steps_done, 0);
+
+        let path = dir.join("plan.ckpt");
+        let spec = CheckpointSpec::new(&path, 1);
+        session
+            .run_controlled(
+                &cfg,
+                &RunControl {
+                    budget: Some(3),
+                    checkpoint: Some(spec.clone()),
+                    ..Default::default()
+                },
+            )
+            .unwrap();
+        // Resuming with a different pattern count is a plan mismatch.
+        let other = SessionConfig { num_patterns: 9, ..Default::default() };
+        let err = session
+            .run_controlled(
+                &other,
+                &RunControl { checkpoint: Some(spec), resume: true, ..Default::default() },
+            )
+            .unwrap_err();
+        assert!(matches!(err, CkptError::Mismatch(_)), "got {err:?}");
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]

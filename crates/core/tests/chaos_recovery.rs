@@ -1,0 +1,134 @@
+//! Chaos-tested pool recovery through the whole grading pipeline.
+//!
+//! The `exec::chaos` hook injects shard panics and stalls into the
+//! resilient dispatch while a parallel [`WideGradingSession`] grades a
+//! core; recovery (pool retries, serial degrade) must not change a
+//! single detection count, coverage bit, or MISR signature relative to
+//! the unperturbed serial run — the same parallel ≡ serial contract the
+//! healthy pool already guarantees.
+
+use lbist_core::{StumpsConfig, WideGradingSession};
+use lbist_cores::{CoreProfile, CpuCoreGenerator};
+use lbist_dft::{prepare_core, BistReadyCore, PrepConfig, TpiMethod};
+use lbist_exec::chaos::{self, ChaosPlan};
+use lbist_exec::ShardPanic;
+use lbist_fault::{CaptureWindow, Fault, FaultUniverse};
+use lbist_sim::CompiledCircuit;
+use std::panic::AssertUnwindSafe;
+use std::time::Duration;
+
+fn small_core(seed: u64) -> BistReadyCore {
+    let netlist = CpuCoreGenerator::new(CoreProfile::core_x().scaled(800), seed).generate();
+    prepare_core(
+        &netlist,
+        &PrepConfig {
+            total_chains: 4,
+            obs_budget: 0,
+            tpi: TpiMethod::None,
+            ..PrepConfig::default()
+        },
+    )
+}
+
+/// A 4-worker grading session with fill/grade overlap disabled, so every
+/// resilient dispatch is issued from the calling thread — where the
+/// chaos plan is installed — while the shard dispatch itself stays
+/// parallel.
+fn chaotic_session<'a>(
+    core: &'a BistReadyCore,
+    cc: &'a CompiledCircuit,
+) -> WideGradingSession<'a, u64> {
+    let mut session: WideGradingSession<'_, u64> =
+        WideGradingSession::new(core, cc, &StumpsConfig::default());
+    session.set_threads(4);
+    session.sequential();
+    session
+}
+
+#[test]
+fn injected_shard_panics_preserve_stuck_at_equivalence() {
+    let core = small_core(21);
+    let cc = CompiledCircuit::compile(&core.netlist).unwrap();
+    let faults = FaultUniverse::stuck_at(&core.netlist).representatives();
+    let batches = 4;
+
+    let mut serial: WideGradingSession<'_, u64> =
+        WideGradingSession::new(&core, &cc, &StumpsConfig::default());
+    serial.set_threads(1);
+    serial.sequential();
+    let want = serial.run_stuck_at(faults.clone(), batches);
+
+    let mut chaotic = chaotic_session(&core, &cc);
+    let plan = ChaosPlan::new()
+        // Transient: recovered by a pool retry.
+        .panic_on(0, 0, 2)
+        // Persistent on the pool: exhausts the default 3 pool attempts,
+        // recovered by the serial degrade on the caller.
+        .panic_on(1, 1, 3)
+        // One injected failure on shard 2 of *every* dispatch.
+        .panic_always(2, 1)
+        // A stall without a failure, racing the other shards' merges.
+        .delay_on(2, 0, Duration::from_millis(2));
+    let got = chaos::with_plan(plan, || chaotic.run_stuck_at(faults.clone(), batches));
+
+    assert_eq!(got.detections, want.detections, "recovery must not change detections");
+    assert_eq!(got.signatures, want.signatures, "recovery must not change signatures");
+    assert_eq!(got.coverage, want.coverage);
+    assert_eq!(got.patterns, want.patterns);
+}
+
+#[test]
+fn injected_shard_panics_preserve_transition_equivalence() {
+    let core = small_core(22);
+    let cc = CompiledCircuit::compile(&core.netlist).unwrap();
+    let faults: Vec<Fault> = FaultUniverse::transition(&core.netlist)
+        .representatives()
+        .into_iter()
+        .filter(|f| f.is_stem())
+        .collect();
+    let window = CaptureWindow::all_domains(core.netlist.num_domains().max(1));
+    let batches = 3;
+
+    let mut serial: WideGradingSession<'_, u64> =
+        WideGradingSession::new(&core, &cc, &StumpsConfig::default());
+    serial.set_threads(1);
+    serial.sequential();
+    let want = serial.run_transition(faults.clone(), window.clone(), batches);
+
+    let mut chaotic = chaotic_session(&core, &cc);
+    let plan = ChaosPlan::new().panic_on(0, 1, 2).panic_on(2, 0, 3).delay_on(
+        1,
+        2,
+        Duration::from_millis(2),
+    );
+    let got = chaos::with_plan(plan, || chaotic.run_transition(faults.clone(), window, batches));
+
+    assert_eq!(got.detections, want.detections, "recovery must not change detections");
+    assert_eq!(got.signatures, want.signatures, "recovery must not change signatures");
+    assert_eq!(got.coverage, want.coverage);
+}
+
+#[test]
+fn permanently_dead_shard_surfaces_its_identity_through_the_session() {
+    let core = small_core(23);
+    let cc = CompiledCircuit::compile(&core.netlist).unwrap();
+    let faults = FaultUniverse::stuck_at(&core.netlist).representatives();
+
+    let mut chaotic = chaotic_session(&core, &cc);
+    // Shard 1 fails every attempt, including the serial degrade: the
+    // session must re-raise the *original* payload wrapped in a
+    // ShardPanic naming the shard, not a generic scope-latch panic.
+    let caught = std::panic::catch_unwind(AssertUnwindSafe(|| {
+        chaos::with_plan(ChaosPlan::new().panic_always(1, u32::MAX), || {
+            chaotic.run_stuck_at(faults.clone(), 2)
+        })
+    }))
+    .expect_err("a permanently dead shard must abort the session");
+    let shard_panic = caught.downcast::<ShardPanic>().expect("payload must be a ShardPanic");
+    assert_eq!(shard_panic.shard, 1, "shard identity must survive the unwind");
+    assert_eq!(
+        shard_panic.message(),
+        Some(chaos::CHAOS_PANIC),
+        "the first (root-cause) payload must be preserved"
+    );
+}

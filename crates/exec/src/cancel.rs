@@ -1,0 +1,177 @@
+//! Cooperative cancellation with optional deadlines.
+//!
+//! A [`CancelToken`] is a cheap, cloneable handle that long-running
+//! consumers poll at shard granularity. Cancellation is *cooperative*
+//! and *clean*: a consumer that observes the token unwinds to its last
+//! consistent state (for the fault sims, the last fully merged batch)
+//! instead of tearing down mid-merge, which is what makes the resulting
+//! state checkpointable.
+
+use std::sync::atomic::{AtomicU8, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Why a token fired.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum CancelReason {
+    /// [`CancelToken::cancel`] was called.
+    Requested,
+    /// The token's deadline passed.
+    Deadline,
+}
+
+const STATE_LIVE: u8 = 0;
+const STATE_REQUESTED: u8 = 1;
+const STATE_DEADLINE: u8 = 2;
+
+struct Inner {
+    /// 0 = live, 1 = cancelled by request, 2 = cancelled by deadline.
+    state: AtomicU8,
+    deadline: Option<Instant>,
+}
+
+/// A cloneable cancellation handle; all clones observe the same state.
+///
+/// # Example
+///
+/// ```
+/// use lbist_exec::CancelToken;
+/// let token = CancelToken::new();
+/// let worker_view = token.clone();
+/// assert!(!worker_view.is_cancelled());
+/// token.cancel();
+/// assert!(worker_view.is_cancelled());
+/// ```
+#[derive(Clone)]
+pub struct CancelToken {
+    inner: Arc<Inner>,
+}
+
+impl CancelToken {
+    /// A token with no deadline; fires only via [`cancel`](Self::cancel).
+    pub fn new() -> Self {
+        CancelToken { inner: Arc::new(Inner { state: AtomicU8::new(STATE_LIVE), deadline: None }) }
+    }
+
+    /// A token that fires on its own once `budget` has elapsed.
+    pub fn with_deadline(budget: Duration) -> Self {
+        Self::with_deadline_at(Instant::now() + budget)
+    }
+
+    /// A token that fires on its own at `deadline`.
+    pub fn with_deadline_at(deadline: Instant) -> Self {
+        CancelToken {
+            inner: Arc::new(Inner { state: AtomicU8::new(STATE_LIVE), deadline: Some(deadline) }),
+        }
+    }
+
+    /// Requests cancellation. Idempotent; a deadline that already fired
+    /// keeps its `Deadline` reason.
+    pub fn cancel(&self) {
+        let _ = self.inner.state.compare_exchange(
+            STATE_LIVE,
+            STATE_REQUESTED,
+            Ordering::SeqCst,
+            Ordering::SeqCst,
+        );
+    }
+
+    /// Polls the token, latching the deadline if it has passed. This is
+    /// the call consumers make once per shard stride.
+    pub fn is_cancelled(&self) -> bool {
+        if self.inner.state.load(Ordering::SeqCst) != STATE_LIVE {
+            return true;
+        }
+        if let Some(deadline) = self.inner.deadline {
+            if Instant::now() >= deadline {
+                let _ = self.inner.state.compare_exchange(
+                    STATE_LIVE,
+                    STATE_DEADLINE,
+                    Ordering::SeqCst,
+                    Ordering::SeqCst,
+                );
+                return true;
+            }
+        }
+        false
+    }
+
+    /// Why the token fired, or `None` while it is still live. Polls the
+    /// deadline like [`is_cancelled`](Self::is_cancelled).
+    pub fn reason(&self) -> Option<CancelReason> {
+        if !self.is_cancelled() {
+            return None;
+        }
+        match self.inner.state.load(Ordering::SeqCst) {
+            STATE_REQUESTED => Some(CancelReason::Requested),
+            STATE_DEADLINE => Some(CancelReason::Deadline),
+            _ => None,
+        }
+    }
+}
+
+impl Default for CancelToken {
+    fn default() -> Self {
+        CancelToken::new()
+    }
+}
+
+impl std::fmt::Debug for CancelToken {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("CancelToken")
+            .field("cancelled", &self.is_cancelled())
+            .field("reason", &self.reason())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clones_share_state() {
+        let t = CancelToken::new();
+        let c = t.clone();
+        assert!(!c.is_cancelled());
+        assert_eq!(c.reason(), None);
+        t.cancel();
+        assert!(c.is_cancelled());
+        assert_eq!(c.reason(), Some(CancelReason::Requested));
+    }
+
+    #[test]
+    fn deadline_fires_and_latches() {
+        let t = CancelToken::with_deadline(Duration::from_millis(0));
+        assert!(t.is_cancelled());
+        assert_eq!(t.reason(), Some(CancelReason::Deadline));
+        // A later explicit cancel does not overwrite the reason.
+        t.cancel();
+        assert_eq!(t.reason(), Some(CancelReason::Deadline));
+    }
+
+    #[test]
+    fn future_deadline_stays_live() {
+        let t = CancelToken::with_deadline(Duration::from_secs(3600));
+        assert!(!t.is_cancelled());
+        t.cancel();
+        assert_eq!(t.reason(), Some(CancelReason::Requested));
+    }
+
+    #[test]
+    fn cancellation_is_visible_across_threads() {
+        let t = CancelToken::new();
+        let seen = std::thread::scope(|s| {
+            let view = t.clone();
+            let h = s.spawn(move || {
+                while !view.is_cancelled() {
+                    std::thread::yield_now();
+                }
+                view.reason()
+            });
+            t.cancel();
+            h.join().unwrap()
+        });
+        assert_eq!(seen, Some(CancelReason::Requested));
+    }
+}

@@ -1,0 +1,225 @@
+//! Deterministic fault injection for chaos-testing the dispatch layer.
+//!
+//! A [`ChaosPlan`] names exactly which shard of which dispatch should
+//! panic (and how many attempts in a row) or stall, so a test can
+//! rehearse worker failure deterministically — no sleeps-and-hope, no
+//! random flakiness. Plans are **scoped to the installing thread** via
+//! [`with_plan`]: `cargo test` runs many tests concurrently in one
+//! process, and a process-global plan would leak injected panics into
+//! innocent neighbours. The resilient dispatcher resolves each shard's
+//! chaos action on the *calling* thread at spawn time, so the plan
+//! still applies even though shards execute on pool workers.
+//!
+//! This hook is compiled unconditionally (it is a couple of thread-local
+//! reads when unused) but is only ever armed by tests.
+
+use std::cell::RefCell;
+use std::time::Duration;
+
+/// The panic message used for injected failures, so tests can assert a
+/// surfaced payload really came from the chaos hook.
+pub const CHAOS_PANIC: &str = "chaos-injected shard failure";
+
+/// One injection rule.
+#[derive(Clone, Debug)]
+pub struct ChaosRule {
+    /// Which resilient dispatch this rule targets, counted from 0 in
+    /// the order dispatches are issued under the plan. `None` matches
+    /// every dispatch.
+    pub dispatch: Option<u64>,
+    /// Which shard of that dispatch to perturb.
+    pub shard: usize,
+    /// Panic on the first `fail_attempts` executions of the shard
+    /// (0 = never panic). `u32::MAX` means fail every attempt,
+    /// including the serial-degrade retry.
+    pub fail_attempts: u32,
+    /// Sleep this long before every execution attempt of the shard.
+    pub delay: Duration,
+}
+
+/// A set of injection rules installed for the duration of a closure.
+#[derive(Clone, Debug, Default)]
+pub struct ChaosPlan {
+    rules: Vec<ChaosRule>,
+}
+
+impl ChaosPlan {
+    /// An empty plan (injects nothing).
+    pub fn new() -> Self {
+        ChaosPlan::default()
+    }
+
+    /// Adds a rule making `shard` of dispatch `dispatch` panic on its
+    /// first `fail_attempts` attempts.
+    pub fn panic_on(mut self, dispatch: u64, shard: usize, fail_attempts: u32) -> Self {
+        self.rules.push(ChaosRule {
+            dispatch: Some(dispatch),
+            shard,
+            fail_attempts,
+            delay: Duration::ZERO,
+        });
+        self
+    }
+
+    /// Adds a rule making `shard` of *every* dispatch panic on its
+    /// first `fail_attempts` attempts.
+    pub fn panic_always(mut self, shard: usize, fail_attempts: u32) -> Self {
+        self.rules.push(ChaosRule { dispatch: None, shard, fail_attempts, delay: Duration::ZERO });
+        self
+    }
+
+    /// Adds a rule delaying every attempt of `shard` in dispatch
+    /// `dispatch` by `delay`.
+    pub fn delay_on(mut self, dispatch: u64, shard: usize, delay: Duration) -> Self {
+        self.rules.push(ChaosRule { dispatch: Some(dispatch), shard, fail_attempts: 0, delay });
+        self
+    }
+
+    /// Adds a fully explicit rule.
+    pub fn rule(mut self, rule: ChaosRule) -> Self {
+        self.rules.push(rule);
+        self
+    }
+}
+
+/// What the dispatcher should do to one shard: combined over all
+/// matching rules.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ChaosAction {
+    /// Panic on attempts `0..fail_attempts`.
+    pub fail_attempts: u32,
+    /// Sleep before every attempt.
+    pub delay: Duration,
+}
+
+impl ChaosAction {
+    /// Whether this action perturbs anything at all.
+    pub fn is_noop(&self) -> bool {
+        self.fail_attempts == 0 && self.delay.is_zero()
+    }
+}
+
+struct ActivePlan {
+    plan: ChaosPlan,
+    /// Dispatches issued so far under this plan (resolved on the
+    /// installing thread, so a plain counter suffices).
+    dispatches: u64,
+}
+
+thread_local! {
+    static ACTIVE: RefCell<Option<ActivePlan>> = const { RefCell::new(None) };
+}
+
+/// Installs `plan` for the duration of `f` on the calling thread.
+///
+/// Nested installs are rejected (the dispatch numbering would be
+/// ambiguous). The plan is removed when `f` returns *or unwinds*.
+pub fn with_plan<R>(plan: ChaosPlan, f: impl FnOnce() -> R) -> R {
+    struct Uninstall;
+    impl Drop for Uninstall {
+        fn drop(&mut self) {
+            ACTIVE.with(|a| *a.borrow_mut() = None);
+        }
+    }
+    ACTIVE.with(|a| {
+        let mut a = a.borrow_mut();
+        assert!(a.is_none(), "chaos plans do not nest");
+        *a = Some(ActivePlan { plan, dispatches: 0 });
+    });
+    let _guard = Uninstall;
+    f()
+}
+
+/// Returns `true` if a chaos plan is installed on this thread.
+pub fn is_armed() -> bool {
+    ACTIVE.with(|a| a.borrow().is_some())
+}
+
+/// Called by the resilient dispatcher at the start of each dispatch:
+/// takes the next dispatch sequence number, or `None` when no plan is
+/// armed on this thread.
+pub(crate) fn begin_dispatch() -> Option<u64> {
+    ACTIVE.with(|a| {
+        let mut a = a.borrow_mut();
+        let active = a.as_mut()?;
+        let seq = active.dispatches;
+        active.dispatches += 1;
+        Some(seq)
+    })
+}
+
+/// Resolves the combined action for `shard` of dispatch `seq`. Must be
+/// called on the thread that installed the plan.
+pub(crate) fn action_for(seq: u64, shard: usize) -> ChaosAction {
+    ACTIVE.with(|a| {
+        let a = a.borrow();
+        let Some(active) = a.as_ref() else {
+            return ChaosAction::default();
+        };
+        let mut action = ChaosAction::default();
+        for rule in &active.plan.rules {
+            if rule.shard != shard {
+                continue;
+            }
+            if rule.dispatch.is_some_and(|d| d != seq) {
+                continue;
+            }
+            action.fail_attempts = action.fail_attempts.max(rule.fail_attempts);
+            action.delay += rule.delay;
+        }
+        action
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unarmed_thread_sees_no_dispatches() {
+        assert!(!is_armed());
+        assert_eq!(begin_dispatch(), None);
+        assert!(action_for(0, 0).is_noop());
+    }
+
+    #[test]
+    fn plan_scopes_to_the_closure() {
+        with_plan(ChaosPlan::new().panic_on(0, 1, 2), || {
+            assert!(is_armed());
+            let seq = begin_dispatch().unwrap();
+            assert_eq!(seq, 0);
+            assert_eq!(action_for(seq, 1).fail_attempts, 2);
+            assert!(action_for(seq, 0).is_noop());
+            // Second dispatch: the rule was pinned to dispatch 0.
+            let seq = begin_dispatch().unwrap();
+            assert_eq!(seq, 1);
+            assert!(action_for(seq, 1).is_noop());
+        });
+        assert!(!is_armed());
+    }
+
+    #[test]
+    fn plan_uninstalls_on_unwind() {
+        let caught = std::panic::catch_unwind(|| {
+            with_plan(ChaosPlan::new(), || panic!("boom"));
+        });
+        assert!(caught.is_err());
+        assert!(!is_armed());
+    }
+
+    #[test]
+    fn rules_combine() {
+        let plan = ChaosPlan::new().panic_always(3, 1).rule(ChaosRule {
+            dispatch: None,
+            shard: 3,
+            fail_attempts: 0,
+            delay: Duration::from_millis(2),
+        });
+        with_plan(plan, || {
+            let seq = begin_dispatch().unwrap();
+            let action = action_for(seq, 3);
+            assert_eq!(action.fail_attempts, 1);
+            assert_eq!(action.delay, Duration::from_millis(2));
+        });
+    }
+}

@@ -18,6 +18,12 @@
 //!   the `u64` 64-lane assumption of the original TPG/fault-sim stack
 //!   generalised over `u64`/`u128`/`[u64; 4]` (64/128/256 lanes per
 //!   pass).
+//! * **Resilience** — [`CancelToken`] for cooperative cancellation and
+//!   deadlines, [`resilient_chunks_with_scratch`] for per-shard panic
+//!   containment with bounded retries and serial degrade (failures
+//!   surface as a [`ShardPanic`] naming the shard and carrying the
+//!   original payload), and the [`chaos`] module's deterministic
+//!   fault-injection hook that lets tests rehearse worker failure.
 //!
 //! Determinism contract: the pool schedules *where* tasks run, never
 //! *what* they compute. Consumers shard work into disjoint output
@@ -42,11 +48,16 @@
 #![warn(missing_docs)]
 #![deny(unsafe_op_in_unsafe_fn)]
 
+mod cancel;
+pub mod chaos;
 mod lanes;
 mod pool;
+mod resilient;
 
+pub use cancel::{CancelReason, CancelToken};
 pub use lanes::LaneWord;
 pub use pool::{
     current_num_threads, global, join, parallel_chunks, parallel_chunks_with_scratch, scope,
     worker_budget, Scope, ThreadPool,
 };
+pub use resilient::{resilient_chunks_with_scratch, RetryPolicy, ShardPanic};

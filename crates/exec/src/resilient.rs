@@ -1,0 +1,407 @@
+//! Resilient sharded dispatch: retries, graceful degradation, and
+//! shard-identified panic propagation.
+//!
+//! [`resilient_chunks_with_scratch`] is the fault-tolerant sibling of
+//! [`parallel_chunks_with_scratch`](crate::parallel_chunks_with_scratch):
+//! the same deterministic 3-way zip split, but each shard runs under
+//! panic containment. A shard that panics is retried on the pool with
+//! doubling backoff ([`RetryPolicy`]); a shard that keeps failing is
+//! **degraded to the serial path** — re-run once on the calling thread —
+//! before the session is given up on; and only when even that fails does
+//! the dispatch panic, re-raising the *original* payload wrapped in a
+//! [`ShardPanic`] that names the shard (the plain scope latch loses
+//! which shard died).
+//!
+//! The shard closure contract is therefore stricter than the plain
+//! dispatcher's: `f` may be executed more than once for the same shard,
+//! so it must fully overwrite its `out` slice on success and tolerate
+//! re-running against a scratch value a failed attempt already touched
+//! (the fault sims' propagators epoch-reset on entry, so they qualify).
+
+use crate::cancel::CancelToken;
+use crate::chaos::{self, ChaosAction};
+use crate::pool::scope;
+use std::any::Any;
+use std::panic::{self, AssertUnwindSafe};
+use std::sync::Mutex;
+use std::time::Duration;
+
+/// How hard to try before declaring a shard dead.
+#[derive(Clone, Debug)]
+pub struct RetryPolicy {
+    /// Pool-side re-executions after the first failed attempt.
+    pub max_retries: u32,
+    /// Sleep before the first retry; doubles per subsequent retry.
+    pub backoff: Duration,
+}
+
+impl Default for RetryPolicy {
+    /// Two retries starting at 1 ms: transient failures get absorbed
+    /// in a few milliseconds, persistent ones degrade quickly.
+    fn default() -> Self {
+        RetryPolicy { max_retries: 2, backoff: Duration::from_millis(1) }
+    }
+}
+
+/// The panic payload raised when a shard failed every pool attempt *and*
+/// the serial degrade. Carries the original payload so callers can still
+/// downcast to the root cause, plus the shard identity the plain scope
+/// capture loses.
+pub struct ShardPanic {
+    /// Index of the shard that died.
+    pub shard: usize,
+    /// Total execution attempts made (pool attempts + the serial one).
+    pub attempts: u32,
+    /// Payload of the shard's *first* panic — the root cause, not the
+    /// last retry's echo.
+    pub payload: Box<dyn Any + Send + 'static>,
+}
+
+impl ShardPanic {
+    /// The original payload rendered as a string when it was a `&str`
+    /// or `String` panic message.
+    pub fn message(&self) -> Option<&str> {
+        if let Some(s) = self.payload.downcast_ref::<&str>() {
+            Some(s)
+        } else {
+            self.payload.downcast_ref::<String>().map(String::as_str)
+        }
+    }
+}
+
+impl std::fmt::Debug for ShardPanic {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ShardPanic")
+            .field("shard", &self.shard)
+            .field("attempts", &self.attempts)
+            .field("message", &self.message())
+            .finish()
+    }
+}
+
+struct ShardFailure {
+    shard: usize,
+    payload: Box<dyn Any + Send + 'static>,
+}
+
+/// Runs one attempt of a shard under panic containment, applying any
+/// chaos action first (delay outside the containment, injected panic
+/// inside it, so an injected payload is captured like a real one).
+fn attempt<T, U, S>(
+    f: &(impl Fn(&[T], &mut [U], &mut S) + Sync),
+    items: &[T],
+    out: &mut [U],
+    scratch: &mut S,
+    action: ChaosAction,
+    attempt_index: u32,
+) -> Result<(), Box<dyn Any + Send + 'static>> {
+    if !action.delay.is_zero() {
+        std::thread::sleep(action.delay);
+    }
+    panic::catch_unwind(AssertUnwindSafe(|| {
+        if attempt_index < action.fail_attempts {
+            panic!("{}", chaos::CHAOS_PANIC);
+        }
+        f(items, out, scratch)
+    }))
+}
+
+/// Sleeps the doubling backoff before retry number `retry` (0-based),
+/// unless the token has already fired.
+fn backoff_sleep(policy: &RetryPolicy, retry: u32, cancel: Option<&CancelToken>) {
+    if policy.backoff.is_zero() || cancel.is_some_and(|c| c.is_cancelled()) {
+        return;
+    }
+    std::thread::sleep(policy.backoff.saturating_mul(1u32 << retry.min(16)));
+}
+
+/// Fault-tolerant variant of
+/// [`parallel_chunks_with_scratch`](crate::parallel_chunks_with_scratch);
+/// identical split and (on success) identical results, plus per-shard
+/// panic containment with bounded retries, serial degrade, and
+/// [`ShardPanic`] propagation.
+///
+/// When `cancel` fires mid-dispatch, pending retries and degrades are
+/// abandoned and the function returns early with `out` unspecified —
+/// callers observing a fired token must discard the output (the fault
+/// sims do: a cancelled batch is never merged).
+///
+/// # Panics
+///
+/// Panics with a [`ShardPanic`] payload if a shard fails every pool
+/// attempt and the serial degrade; panics if `items` and `out` lengths
+/// differ.
+#[allow(clippy::too_many_arguments)]
+pub fn resilient_chunks_with_scratch<T, U, S>(
+    items: &[T],
+    out: &mut [U],
+    workers: usize,
+    scratch: &mut Vec<S>,
+    mut make_scratch: impl FnMut() -> S,
+    f: impl Fn(&[T], &mut [U], &mut S) + Sync,
+    policy: &RetryPolicy,
+    cancel: Option<&CancelToken>,
+) where
+    T: Sync,
+    U: Send,
+    S: Send,
+{
+    assert_eq!(items.len(), out.len(), "items and outputs must align one-to-one");
+    if items.is_empty() {
+        return;
+    }
+    let workers = workers.clamp(1, items.len());
+    while scratch.len() < workers {
+        scratch.push(make_scratch());
+    }
+    let shard_len = items.len().div_ceil(workers);
+    let num_shards = items.len().div_ceil(shard_len);
+    // Chaos actions are resolved on the calling thread (the plan is
+    // thread-local) before any shard is handed to a pool worker.
+    let seq = chaos::begin_dispatch();
+    let actions: Vec<ChaosAction> = match seq {
+        Some(seq) => (0..num_shards).map(|i| chaos::action_for(seq, i)).collect(),
+        None => vec![ChaosAction::default(); num_shards],
+    };
+
+    let failures: Mutex<Vec<ShardFailure>> = Mutex::new(Vec::new());
+    if workers == 1 {
+        run_shard_on_pool(
+            &f,
+            items,
+            out,
+            &mut scratch[0],
+            actions[0],
+            0,
+            policy,
+            cancel,
+            &failures,
+        );
+    } else {
+        let item_shards = items.chunks(shard_len);
+        let out_shards = out.chunks_mut(shard_len);
+        let scratches = scratch.iter_mut();
+        scope(|s| {
+            for (i, ((item_shard, out_shard), scratch)) in
+                item_shards.zip(out_shards).zip(scratches).enumerate()
+            {
+                let f = &f;
+                let failures = &failures;
+                let action = actions[i];
+                s.spawn(move |_| {
+                    run_shard_on_pool(
+                        f, item_shard, out_shard, scratch, action, i, policy, cancel, failures,
+                    );
+                });
+            }
+        });
+    }
+
+    let mut failures = failures.into_inner().expect("failure list poisoned");
+    if failures.is_empty() {
+        return;
+    }
+    failures.sort_by_key(|fail| fail.shard);
+    // Graceful degradation: every failed shard gets one more attempt on
+    // the calling thread, serially, before the session is abandoned.
+    let serial_attempt = policy.max_retries + 1;
+    for fail in failures {
+        if cancel.is_some_and(|c| c.is_cancelled()) {
+            return;
+        }
+        let item_shard =
+            &items[fail.shard * shard_len..(fail.shard * shard_len + shard_len).min(items.len())];
+        let out_shard =
+            out.chunks_mut(shard_len).nth(fail.shard).expect("failed shard index within the split");
+        let result = attempt(
+            &f,
+            item_shard,
+            out_shard,
+            &mut scratch[fail.shard],
+            actions[fail.shard],
+            serial_attempt,
+        );
+        if result.is_err() {
+            panic::panic_any(ShardPanic {
+                shard: fail.shard,
+                attempts: serial_attempt + 1,
+                payload: fail.payload,
+            });
+        }
+    }
+}
+
+/// The pool-side attempt loop for one shard: try, retry with doubling
+/// backoff, and on exhaustion record the first payload for the caller's
+/// serial degrade pass.
+#[allow(clippy::too_many_arguments)]
+fn run_shard_on_pool<T, U, S>(
+    f: &(impl Fn(&[T], &mut [U], &mut S) + Sync),
+    items: &[T],
+    out: &mut [U],
+    scratch: &mut S,
+    action: ChaosAction,
+    shard: usize,
+    policy: &RetryPolicy,
+    cancel: Option<&CancelToken>,
+    failures: &Mutex<Vec<ShardFailure>>,
+) {
+    let mut first_payload = None;
+    for attempt_index in 0..=policy.max_retries {
+        match attempt(f, items, out, scratch, action, attempt_index) {
+            Ok(()) => return,
+            Err(payload) => {
+                if first_payload.is_none() {
+                    first_payload = Some(payload);
+                }
+            }
+        }
+        if cancel.is_some_and(|c| c.is_cancelled()) {
+            break;
+        }
+        if attempt_index < policy.max_retries {
+            backoff_sleep(policy, attempt_index, cancel);
+        }
+    }
+    failures.lock().expect("failure list poisoned").push(ShardFailure {
+        shard,
+        payload: first_payload.expect("exhausted shard recorded no payload"),
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::chaos::ChaosPlan;
+
+    /// Reference output for the shard closure used throughout.
+    fn expected(n: usize) -> Vec<u64> {
+        (0..n as u64).map(|i| i * 3 + 1).collect()
+    }
+
+    fn run_resilient(
+        workers: usize,
+        policy: &RetryPolicy,
+        cancel: Option<&CancelToken>,
+    ) -> Vec<u64> {
+        let items: Vec<u64> = (0..257).collect();
+        let mut out = vec![0u64; items.len()];
+        let mut scratch: Vec<u64> = Vec::new();
+        resilient_chunks_with_scratch(
+            &items,
+            &mut out,
+            workers,
+            &mut scratch,
+            || 0,
+            |items, out, count| {
+                // Scratch is reused across retries: epoch-style reset
+                // behaviour is modelled by overwriting out regardless.
+                *count += 1;
+                for (i, o) in items.iter().zip(out.iter_mut()) {
+                    *o = i * 3 + 1;
+                }
+            },
+            policy,
+            cancel,
+        );
+        out
+    }
+
+    #[test]
+    fn matches_plain_dispatch_without_chaos() {
+        for workers in [1, 2, 3, 8] {
+            assert_eq!(run_resilient(workers, &RetryPolicy::default(), None), expected(257));
+        }
+    }
+
+    #[test]
+    fn recovers_from_transient_shard_panic() {
+        let policy = RetryPolicy { max_retries: 2, backoff: Duration::ZERO };
+        let out = chaos::with_plan(ChaosPlan::new().panic_on(0, 1, 2), || {
+            run_resilient(4, &policy, None)
+        });
+        assert_eq!(out, expected(257), "retried shard must produce correct output");
+    }
+
+    #[test]
+    fn degrades_to_serial_after_repeated_failures() {
+        let policy = RetryPolicy { max_retries: 1, backoff: Duration::ZERO };
+        // fail_attempts = 2 kills both pool attempts; the serial
+        // degrade (attempt index 2) succeeds.
+        let out = chaos::with_plan(ChaosPlan::new().panic_on(0, 2, 2), || {
+            run_resilient(4, &policy, None)
+        });
+        assert_eq!(out, expected(257), "degraded shard must produce correct output");
+    }
+
+    #[test]
+    fn injected_delay_does_not_corrupt_results() {
+        let out =
+            chaos::with_plan(ChaosPlan::new().delay_on(0, 0, Duration::from_millis(5)), || {
+                run_resilient(3, &RetryPolicy::default(), None)
+            });
+        assert_eq!(out, expected(257));
+    }
+
+    #[test]
+    fn persistent_failure_raises_shard_panic_with_original_payload() {
+        let policy = RetryPolicy { max_retries: 1, backoff: Duration::ZERO };
+        let caught = panic::catch_unwind(AssertUnwindSafe(|| {
+            chaos::with_plan(ChaosPlan::new().panic_always(2, u32::MAX), || {
+                run_resilient(4, &policy, None)
+            });
+        }))
+        .expect_err("a permanently dead shard must raise");
+        let shard_panic =
+            caught.downcast::<ShardPanic>().expect("payload must be a ShardPanic naming the shard");
+        assert_eq!(shard_panic.shard, 2, "shard identity must be preserved");
+        assert_eq!(shard_panic.attempts, 3, "2 pool attempts + 1 serial degrade");
+        assert_eq!(
+            shard_panic.message(),
+            Some(chaos::CHAOS_PANIC),
+            "original panic payload must be preserved"
+        );
+    }
+
+    #[test]
+    fn real_panics_are_contained_and_retried_too() {
+        // No chaos plan: a closure that panics by itself on its first
+        // execution of shard 1 (tracked via scratch) still recovers.
+        let items: Vec<u64> = (0..64).collect();
+        let mut out = vec![0u64; items.len()];
+        let mut scratch: Vec<u32> = Vec::new();
+        let policy = RetryPolicy { max_retries: 1, backoff: Duration::ZERO };
+        resilient_chunks_with_scratch(
+            &items,
+            &mut out,
+            2,
+            &mut scratch,
+            || 0,
+            |items, out, attempts| {
+                *attempts += 1;
+                if items[0] == 32 && *attempts == 1 {
+                    panic!("flaky hardware");
+                }
+                for (i, o) in items.iter().zip(out.iter_mut()) {
+                    *o = i + 1;
+                }
+            },
+            &policy,
+            None,
+        );
+        assert_eq!(out, (1..=64).collect::<Vec<u64>>());
+    }
+
+    #[test]
+    fn fired_token_abandons_retries_without_panicking() {
+        let token = CancelToken::new();
+        token.cancel();
+        let policy = RetryPolicy { max_retries: 3, backoff: Duration::from_secs(60) };
+        // Every attempt of every shard fails; with the token fired the
+        // dispatch must give up quickly (no backoff sleeps, no degrade,
+        // no ShardPanic).
+        chaos::with_plan(ChaosPlan::new().panic_always(0, u32::MAX), || {
+            let _ = run_resilient(2, &policy, Some(&token));
+        });
+    }
+}

@@ -3,9 +3,14 @@
 use crate::coverage::CoverageReport;
 use crate::propagate::{inject_stuck_at, Propagator};
 use crate::Fault;
-use lbist_exec::LaneWord;
+use lbist_exec::{CancelToken, LaneWord, RetryPolicy};
 use lbist_netlist::{GateKind, NodeId};
 use lbist_sim::CompiledCircuit;
+
+/// How many faults a shard grades between cancellation polls: frequent
+/// enough that a fired token unwinds within microseconds of work, rare
+/// enough that the atomic load is invisible in profiles.
+pub(crate) const CANCEL_POLL_STRIDE: usize = 64;
 
 /// The default 64-lane PPSFP simulator — [`WideStuckAtSim`] at the
 /// `u64` frame width every existing call site uses.
@@ -75,6 +80,11 @@ pub struct WideStuckAtSim<'a, W: LaneWord = u64> {
     /// Per-active-fault detection words of the current batch (aligned
     /// with `active`, swap-removed in lockstep during the merge).
     batch_det: Vec<W>,
+    /// Cooperative cancellation: polled at batch entry, every
+    /// [`CANCEL_POLL_STRIDE`] faults within a shard, and before the
+    /// merge. A cancelled batch is never merged, so the simulator state
+    /// stays at the last completed batch — clean to checkpoint.
+    cancel: Option<CancelToken>,
 }
 
 impl<'a, W: LaneWord> WideStuckAtSim<'a, W> {
@@ -116,6 +126,7 @@ impl<'a, W: LaneWord> WideStuckAtSim<'a, W> {
             threads_auto: true,
             scratch: Vec::new(),
             batch_det: Vec::new(),
+            cancel: None,
         }
     }
 
@@ -183,6 +194,12 @@ impl<'a, W: LaneWord> WideStuckAtSim<'a, W> {
         self.active.len()
     }
 
+    /// Installs (or clears) a cancellation token polled by subsequent
+    /// batches; see [`WideStuckAtSim::try_run_batch`].
+    pub fn set_cancel(&mut self, cancel: Option<CancelToken>) {
+        self.cancel = cancel;
+    }
+
     /// Grades one batch. The caller must have loaded the source words of
     /// `frame` (inputs, flip-flop states, X-source substitutes);
     /// `num_patterns` (1..=`W::LANES`) marks how many lanes carry real
@@ -192,17 +209,38 @@ impl<'a, W: LaneWord> WideStuckAtSim<'a, W> {
     ///
     /// # Panics
     ///
-    /// Panics if `num_patterns` is 0 or exceeds `W::LANES`.
+    /// Panics if `num_patterns` is 0 or exceeds `W::LANES`, or if a
+    /// cancellation token installed via [`WideStuckAtSim::set_cancel`]
+    /// has fired (use [`WideStuckAtSim::try_run_batch`] on cancellable
+    /// paths).
     pub fn run_batch(&mut self, frame: &mut [W], num_patterns: usize) -> usize {
+        self.try_run_batch(frame, num_patterns)
+            .expect("batch cancelled: cancellable callers must use try_run_batch")
+    }
+
+    /// Cancellable [`WideStuckAtSim::run_batch`]: returns `None` — with
+    /// the batch **discarded, not merged** — once the installed token
+    /// fires. Counts, the active list, and `patterns_run` then still
+    /// describe the last completed batch, so the simulator is in a clean
+    /// state to checkpoint or resume.
+    ///
+    /// Shards are graded under panic containment (bounded retries, then
+    /// serial degrade) and poll the token every
+    /// [`CANCEL_POLL_STRIDE`] faults.
+    pub fn try_run_batch(&mut self, frame: &mut [W], num_patterns: usize) -> Option<usize> {
+        let cancel = self.cancel.as_ref();
+        if cancel.is_some_and(|c| c.is_cancelled()) {
+            return None;
+        }
         let lane_mask = W::mask_lanes(num_patterns);
         self.cc.eval2(frame);
-        self.patterns_run += num_patterns as u64;
 
         let n_active = self.active.len();
         self.batch_det.clear();
         self.batch_det.resize(n_active, W::zero());
         if n_active == 0 {
-            return 0;
+            self.patterns_run += num_patterns as u64;
+            return Some(0);
         }
 
         // In auto mode each worker must own a meaningful shard:
@@ -216,16 +254,25 @@ impl<'a, W: LaneWord> WideStuckAtSim<'a, W> {
         let faults: &[Fault] = &self.faults;
         let observed: &[bool] = &self.observed;
         let frame_ro: &[W] = frame;
-        lbist_exec::parallel_chunks_with_scratch(
+        lbist_exec::resilient_chunks_with_scratch(
             &self.active,
             &mut self.batch_det,
             workers,
             &mut self.scratch,
             || Propagator::new(cc),
             |idx_shard, det_shard, prop| {
-                grade_shard(cc, faults, observed, idx_shard, frame_ro, lane_mask, prop, det_shard);
+                grade_shard(
+                    cc, faults, observed, idx_shard, frame_ro, lane_mask, prop, det_shard, cancel,
+                );
             },
+            &RetryPolicy::default(),
+            cancel,
         );
+        if cancel.is_some_and(|c| c.is_cancelled()) {
+            // Unwind cleanly: the half-graded batch is discarded whole.
+            return None;
+        }
+        self.patterns_run += num_patterns as u64;
 
         // Serial merge: order-independent counts, then swap-remove
         // compaction of (active, batch_det) in lockstep.
@@ -248,7 +295,45 @@ impl<'a, W: LaneWord> WideStuckAtSim<'a, W> {
                 pos += 1;
             }
         }
-        newly_dropped
+        Some(newly_dropped)
+    }
+
+    /// Restores the simulator to a checkpointed position: per-fault
+    /// detection counts plus the pattern counter. The active list is
+    /// rebuilt as every fault with `detections < drop_after`, in the
+    /// constructor's level-major order — the resulting per-batch counts,
+    /// detected sets, and drop decisions are bit-identical to a run that
+    /// was never interrupted, because the batch merge is
+    /// order-independent (enforced by the resume property tests in the
+    /// bench crate).
+    ///
+    /// Call after [`WideStuckAtSim::set_drop_after`] so the rebuilt
+    /// active list honours the run's drop budget.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `detections` does not match the fault-list length.
+    pub fn restore(&mut self, detections: &[u32], patterns_run: u64) {
+        assert_eq!(
+            detections.len(),
+            self.faults.len(),
+            "restored detections must match the fault list"
+        );
+        self.detections = detections.to_vec();
+        self.patterns_run = patterns_run;
+        self.active = (0..self.faults.len() as u32)
+            .filter(|&i| self.detections[i as usize] < self.drop_after)
+            .collect();
+        self.active.sort_unstable_by_key(|&i| {
+            let f = &self.faults[i as usize];
+            (self.cc.level(f.node), f.node.index())
+        });
+        self.batch_det.clear();
+    }
+
+    /// Patterns graded so far (the counter captured by checkpoints).
+    pub fn patterns_run(&self) -> u64 {
+        self.patterns_run
     }
 
     /// The faults being graded, in index order.
@@ -285,7 +370,9 @@ impl<'a, W: LaneWord> WideStuckAtSim<'a, W> {
 /// Grades one shard of the active-fault list against the shared fault-free
 /// frame, writing each fault's multi-lane detection word into `out`. Runs
 /// on a pool worker with its own `Propagator` scratch; reads only shared
-/// state, so shard scheduling cannot affect results.
+/// state, so shard scheduling cannot affect results. Polls `cancel` every
+/// [`CANCEL_POLL_STRIDE`] faults and returns early when it fires (the
+/// caller then discards the whole batch).
 #[allow(clippy::too_many_arguments)]
 fn grade_shard<W: LaneWord>(
     cc: &CompiledCircuit,
@@ -296,9 +383,13 @@ fn grade_shard<W: LaneWord>(
     lane_mask: W,
     prop: &mut Propagator<W>,
     out: &mut [W],
+    cancel: Option<&CancelToken>,
 ) {
     debug_assert_eq!(shard.len(), out.len());
-    for (&fault_idx, slot) in shard.iter().zip(out.iter_mut()) {
+    for (i, (&fault_idx, slot)) in shard.iter().zip(out.iter_mut()).enumerate() {
+        if i % CANCEL_POLL_STRIDE == 0 && cancel.is_some_and(|c| c.is_cancelled()) {
+            return;
+        }
         let fault = faults[fault_idx as usize];
         let mut detected = W::zero();
         match inject_stuck_at(cc, &fault, frame) {

@@ -29,8 +29,9 @@
 //! are bit-identical.
 
 use crate::propagate::Propagator;
+use crate::stuck::CANCEL_POLL_STRIDE;
 use crate::{CoverageReport, Fault};
-use lbist_exec::LaneWord;
+use lbist_exec::{CancelToken, LaneWord, RetryPolicy};
 use lbist_netlist::{DomainId, NodeId};
 use lbist_sim::CompiledCircuit;
 use std::collections::HashMap;
@@ -183,6 +184,9 @@ pub struct WideTransitionSim<'a, W: LaneWord = u64> {
     batch_det: Vec<W>,
     /// Fault-free value frames, one per window frame (reused per batch).
     good_frames: Vec<Vec<W>>,
+    /// Cooperative cancellation; a cancelled batch is discarded unmerged
+    /// so the state stays at the last completed batch.
+    cancel: Option<CancelToken>,
 }
 
 impl<'a, W: LaneWord> WideTransitionSim<'a, W> {
@@ -220,6 +224,7 @@ impl<'a, W: LaneWord> WideTransitionSim<'a, W> {
             threads_auto: true,
             scratch: Vec::new(),
             batch_det: Vec::new(),
+            cancel: None,
         }
     }
 
@@ -262,6 +267,12 @@ impl<'a, W: LaneWord> WideTransitionSim<'a, W> {
         self.active.len()
     }
 
+    /// Installs (or clears) a cancellation token polled by subsequent
+    /// batches; see [`WideTransitionSim::try_run_batch`].
+    pub fn set_cancel(&mut self, cancel: Option<CancelToken>) {
+        self.cancel = cancel;
+    }
+
     /// Grades one batch of up to `W::LANES` scan patterns. `base` must
     /// carry the scan state in its flip-flop words and the held PI values;
     /// it is consumed as frame F0.
@@ -270,17 +281,36 @@ impl<'a, W: LaneWord> WideTransitionSim<'a, W> {
     ///
     /// # Panics
     ///
-    /// Panics if `num_patterns` is outside `1..=W::LANES`.
+    /// Panics if `num_patterns` is outside `1..=W::LANES`, or if a token
+    /// installed via [`WideTransitionSim::set_cancel`] has fired (use
+    /// [`WideTransitionSim::try_run_batch`] on cancellable paths).
     pub fn run_batch(&mut self, base: &[W], num_patterns: usize) -> usize {
+        self.try_run_batch(base, num_patterns)
+            .expect("batch cancelled: cancellable callers must use try_run_batch")
+    }
+
+    /// Cancellable [`WideTransitionSim::run_batch`]: returns `None` —
+    /// with the batch **discarded, not merged** — once the installed
+    /// token fires, leaving counts, the active list, and `patterns_run`
+    /// at the last completed batch (a clean checkpointable state).
+    ///
+    /// Shards replay under panic containment (bounded retries, then
+    /// serial degrade) and poll the token between faults.
+    pub fn try_run_batch(&mut self, base: &[W], num_patterns: usize) -> Option<usize> {
+        let cancel = self.cancel.clone();
+        let cancel = cancel.as_ref();
+        if cancel.is_some_and(|c| c.is_cancelled()) {
+            return None;
+        }
         let lane_mask = W::mask_lanes(num_patterns);
         self.compute_good_frames(base);
-        self.patterns_run += num_patterns as u64;
 
         let n_active = self.active.len();
         self.batch_det.clear();
         self.batch_det.resize(n_active, W::zero());
         if n_active == 0 {
-            return 0;
+            self.patterns_run += num_patterns as u64;
+            return Some(0);
         }
 
         // As in `WideStuckAtSim`: in auto mode engage another worker only
@@ -293,7 +323,7 @@ impl<'a, W: LaneWord> WideTransitionSim<'a, W> {
         let window = &self.window;
         let faults: &[Fault] = &self.faults;
         let good_frames: &[Vec<W>] = &self.good_frames;
-        lbist_exec::parallel_chunks_with_scratch(
+        lbist_exec::resilient_chunks_with_scratch(
             &self.active,
             &mut self.batch_det,
             workers,
@@ -309,9 +339,16 @@ impl<'a, W: LaneWord> WideTransitionSim<'a, W> {
                     lane_mask,
                     scratch,
                     det_shard,
+                    cancel,
                 );
             },
+            &RetryPolicy::default(),
+            cancel,
         );
+        if cancel.is_some_and(|c| c.is_cancelled()) {
+            return None;
+        }
+        self.patterns_run += num_patterns as u64;
 
         // Serial merge with swap-remove compaction (lockstep on the two
         // aligned vectors).
@@ -334,7 +371,42 @@ impl<'a, W: LaneWord> WideTransitionSim<'a, W> {
                 pos += 1;
             }
         }
-        newly_dropped
+        Some(newly_dropped)
+    }
+
+    /// Restores the simulator to a checkpointed position: per-fault
+    /// detection counts plus the pattern counter; the active list is
+    /// rebuilt as every fault below the drop budget in the constructor's
+    /// level-major order (the batch merge is order-independent, so
+    /// resumed results are bit-identical — see
+    /// [`crate::WideStuckAtSim::restore`]).
+    ///
+    /// Call after [`WideTransitionSim::set_drop_after`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `detections` does not match the fault-list length.
+    pub fn restore(&mut self, detections: &[u32], patterns_run: u64) {
+        assert_eq!(
+            detections.len(),
+            self.faults.len(),
+            "restored detections must match the fault list"
+        );
+        self.detections = detections.to_vec();
+        self.patterns_run = patterns_run;
+        self.active = (0..self.faults.len() as u32)
+            .filter(|&i| self.detections[i as usize] < self.drop_after)
+            .collect();
+        self.active.sort_unstable_by_key(|&i| {
+            let f = &self.faults[i as usize];
+            (self.cc.level(f.node), f.node.index())
+        });
+        self.batch_det.clear();
+    }
+
+    /// Patterns graded so far (the counter captured by checkpoints).
+    pub fn patterns_run(&self) -> u64 {
+        self.patterns_run
     }
 
     fn compute_good_frames(&mut self, base: &[W]) {
@@ -403,7 +475,9 @@ impl<'a, W: LaneWord> WideTransitionSim<'a, W> {
 /// Replays one shard of active faults across the capture window, writing
 /// each fault's multi-lane detection word into `out`. Reads only the
 /// shared fault-free frames; all mutable state is the worker's own
-/// scratch, so shard scheduling cannot affect results.
+/// scratch, so shard scheduling cannot affect results. Polls `cancel`
+/// every [`CANCEL_POLL_STRIDE`] faults and returns early when it fires
+/// (the caller discards the whole batch).
 #[allow(clippy::too_many_arguments)]
 fn replay_shard<W: LaneWord>(
     cc: &CompiledCircuit,
@@ -414,10 +488,14 @@ fn replay_shard<W: LaneWord>(
     lane_mask: W,
     scratch: &mut ReplayScratch<W>,
     out: &mut [W],
+    cancel: Option<&CancelToken>,
 ) {
     debug_assert_eq!(shard.len(), out.len());
     let nframes = window.num_frames();
-    for (&fault_idx, slot) in shard.iter().zip(out.iter_mut()) {
+    for (i, (&fault_idx, slot)) in shard.iter().zip(out.iter_mut()).enumerate() {
+        if i % CANCEL_POLL_STRIDE == 0 && cancel.is_some_and(|c| c.is_cancelled()) {
+            return;
+        }
         let fault = faults[fault_idx as usize];
         let site = fault.node;
         // Per-fault overlay of flip-flop states (faulty words).

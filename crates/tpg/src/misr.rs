@@ -230,6 +230,33 @@ impl<W: LaneWord> LaneMisr<W> {
             *w = W::zero();
         }
     }
+
+    /// The raw bank state flattened to `u64` words, stage-major:
+    /// `W::WORDS` words per stage, `width()` stages. Lane-width-neutral
+    /// snapshot form for checkpoint serialization.
+    pub fn state_words(&self) -> Vec<u64> {
+        let mut out = Vec::with_capacity(self.state.len() * W::WORDS);
+        for &w in &self.state {
+            for k in 0..W::WORDS {
+                out.push(w.word(k));
+            }
+        }
+        out
+    }
+
+    /// Restores bank state from a [`LaneMisr::state_words`] snapshot.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `words.len() != width() * W::WORDS`.
+    pub fn load_state_words(&mut self, words: &[u64]) {
+        assert_eq!(words.len(), self.state.len() * W::WORDS, "MISR bank snapshot length mismatch");
+        for (j, w) in self.state.iter_mut().enumerate() {
+            for k in 0..W::WORDS {
+                w.set_word(k, words[j * W::WORDS + k]);
+            }
+        }
+    }
 }
 
 #[cfg(test)]
@@ -393,6 +420,40 @@ mod tests {
                     W::LANES
                 );
             }
+        }
+        check::<u64>();
+        check::<u128>();
+        check::<[u64; 4]>();
+    }
+
+    /// Snapshot / restore of the bank state round-trips at every lane
+    /// width and preserves lane signatures.
+    #[test]
+    fn lane_misr_state_words_round_trip() {
+        fn check<W: LaneWord>() {
+            let poly = LfsrPoly::maximal(13).unwrap();
+            let mut bank: LaneMisr<W> = LaneMisr::new(poly.clone(), 4);
+            for t in 0..17 {
+                let words: Vec<W> = (0..4)
+                    .map(|i| {
+                        let mut w = W::zero();
+                        for lane in 0..W::LANES {
+                            if (t * 5 + i * 3 + lane) % 4 == 0 {
+                                w.set_lane(lane);
+                            }
+                        }
+                        w
+                    })
+                    .collect();
+                bank.clock(&words);
+            }
+            let snap = bank.state_words();
+            assert_eq!(snap.len(), bank.width() * W::WORDS);
+            let sig = bank.lane_signature(W::LANES - 1);
+            let mut fresh: LaneMisr<W> = LaneMisr::new(poly, 4);
+            fresh.load_state_words(&snap);
+            assert_eq!(fresh.lane_signature(W::LANES - 1), sig);
+            assert_eq!(fresh.state_words(), snap);
         }
         check::<u64>();
         check::<u128>();

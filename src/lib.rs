@@ -25,6 +25,7 @@
 //! | [`clock`] | clock gating block, Fig. 2 waveforms, Fig. 3 skew analysis |
 //! | [`core`] | the BIST architecture, controller, sessions (seed-scheduled too), TAP |
 //! | [`cores`] | synthetic CPU-like IP cores matching Table 1's profiles |
+//! | [`ckpt`] | versioned, checksummed checkpoint serialization + atomic file I/O |
 //!
 //! # Quickstart
 //!
@@ -55,6 +56,7 @@
 #![warn(missing_docs)]
 
 pub use lbist_atpg as atpg;
+pub use lbist_ckpt as ckpt;
 pub use lbist_clock as clock;
 pub use lbist_core as core;
 pub use lbist_cores as cores;
