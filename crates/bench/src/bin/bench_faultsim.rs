@@ -26,8 +26,9 @@
 //! **checkpointed flow**: one controlled stuck-at phase through
 //! [`lbist_core::WideGradingSession::run_stuck_at_controlled`] instead
 //! of the full sweep suite. `--kill-after-batches N` stops after `N`
-//! batches with the checkpoint written and **exit status 86** (the
-//! deliberate-interruption marker the CI smoke keys on); `--resume`
+//! batches with the checkpoint written and the deliberate-interruption
+//! exit status ([`lbist_bench::INTERRUPTED_EXIT_CODE`], the marker the
+//! CI smoke keys on); `--resume`
 //! picks the run back up from `--checkpoint PATH`; `--deadline SECS`
 //! arms a wall-clock budget that ends the run with a partial-coverage
 //! verdict. Every JSON emitted carries a timing-free `"digest"` of the
@@ -36,7 +37,7 @@
 
 use lbist_bench::{
     arg_value, cli_run_control, cli_thread_budget, fill_frame_from_prpg,
-    fill_frames_from_prpg_wide, outcome_digest,
+    fill_frames_from_prpg_wide, outcome_digest, INTERRUPTED_EXIT_CODE,
 };
 use lbist_core::{
     ControlledGradingOutcome, RunControl, RunStatus, StumpsArchitecture, StumpsConfig,
@@ -130,8 +131,8 @@ fn controlled_stuck_run<W: LaneWord>(
 /// The fault-tolerant flow: one controlled stuck-at phase with the
 /// checkpoint/deadline/kill knobs applied, emitting a compact JSON with
 /// the digest. Never returns — the exit status reports how the run
-/// ended (0 = verdict written, 86 = deliberately interrupted with the
-/// checkpoint saved).
+/// ended (0 = verdict written, [`INTERRUPTED_EXIT_CODE`] = deliberately
+/// interrupted with the checkpoint saved).
 #[allow(clippy::too_many_arguments)]
 fn checkpointed_main(
     core: &lbist_dft::BistReadyCore,
@@ -161,7 +162,7 @@ fn checkpointed_main(
             res.batches_done,
             res.batches_done - res.resumed_from.unwrap_or(0),
         );
-        std::process::exit(86);
+        std::process::exit(INTERRUPTED_EXIT_CODE);
     }
 
     let status = match res.status {

@@ -27,7 +27,9 @@
 //! ```
 
 use lbist_atpg::{Pattern, TopUpAtpg};
-use lbist_bench::{arg_value, cli_thread_budget, fill_frame_from_prpg, fill_lane_from_prpg};
+use lbist_bench::{
+    arg_value, cli_thread_budget, fill_frame_from_prpg, fill_lane_from_prpg, outcome_digest,
+};
 use lbist_core::{StumpsArchitecture, StumpsConfig};
 use lbist_cores::{CoreProfile, CpuCoreGenerator};
 use lbist_dft::{prepare_core, BistReadyCore, PrepConfig, TpiMethod};
@@ -61,6 +63,10 @@ struct FlowResult {
     /// baseline the best-fit packer must not exceed.
     first_fit_seeds: usize,
     first_fit_seed_bits: usize,
+    /// Faults still undetected after each tail — the timing-free identity
+    /// of the run, folded into the JSON's `"digest"` field.
+    undetected_base: Vec<usize>,
+    undetected_seed: Vec<usize>,
 }
 
 /// One full FC2 flow: shared random phase, top-up cubes, then the
@@ -224,6 +230,10 @@ fn run_flow(
         }
     }
     let fc2_seed = sim_seed.coverage();
+    let undetected_base: Vec<usize> =
+        (0..faults.len()).filter(|&i| sim_base.detections()[i] == 0).collect();
+    let undetected_seed: Vec<usize> =
+        (0..faults.len()).filter(|&i| sim_seed.detections()[i] == 0).collect();
 
     FlowResult {
         fc1,
@@ -237,6 +247,8 @@ fn run_flow(
         plan,
         first_fit_seeds,
         first_fit_seed_bits,
+        undetected_base,
+        undetected_seed,
     }
 }
 
@@ -434,6 +446,18 @@ fn main() {
     );
     let _ = writeln!(json, "  \"random_patterns\": {random_patterns},");
     let _ = writeln!(json, "  \"prpg_length\": {prpg_length},");
+    // Timing-free identity of the whole run: both variants' undetected
+    // sets after each tail, folded into one word. Two invocations on the
+    // same inputs must produce the same digest regardless of thread
+    // budget or wall-clock, so comparison scripts can diff runs on this
+    // one line.
+    let mut digest = lbist_ckpt::Fnv64::new();
+    for (name, r) in &results {
+        digest.write(name.as_bytes());
+        digest.write_u64(outcome_digest(&r.undetected_base, &[]));
+        digest.write_u64(outcome_digest(&r.undetected_seed, &[]));
+    }
+    let _ = writeln!(json, "  \"digest\": {},", digest.finish());
     for (i, (name, r)) in results.iter().enumerate() {
         let comma = if i + 1 < results.len() { "," } else { "" };
         let _ = writeln!(json, "  \"{name}\": {}{comma}", json_variant(r));

@@ -22,14 +22,12 @@
 #![warn(missing_docs)]
 
 use lbist_atpg::TopUpAtpg;
-use lbist_ckpt::Fnv64;
 use lbist_core::{CheckpointSpec, RunControl, StumpsArchitecture, StumpsConfig};
 use lbist_cores::{CoreProfile, CpuCoreGenerator};
 use lbist_dft::{prepare_core, PrepConfig, TpiMethod};
 use lbist_exec::CancelToken;
 use lbist_fault::{FaultUniverse, StuckAtSim};
 use lbist_sim::CompiledCircuit;
-use lbist_tpg::Gf2Vec;
 use std::path::PathBuf;
 use std::time::{Duration, Instant};
 
@@ -41,6 +39,19 @@ pub use lbist_core::{
     fill_frame_from_prpg, fill_frames_from_prpg_wide, fill_lane_from_prpg,
     fill_wide_frame_from_prpg,
 };
+
+/// The verdict digest moved into `lbist-core` when the serve crate's
+/// preempt→resume equivalence checks started needing it; re-exported so
+/// the experiment binaries and CLI tests keep one import path.
+pub use lbist_core::outcome_digest;
+
+/// Exit status of a *deliberately* interrupted benchmark run: the batch
+/// budget (`--kill-after-batches`) ran out, the checkpoint was saved,
+/// and no verdict JSON was written. Distinct from success (0) and from
+/// usage/runtime errors (2) so CI scripts and the `fault_tolerant_cli`
+/// tests can assert the interruption was the planned one — every binary
+/// with a kill knob exits with this, never a hardcoded literal.
+pub const INTERRUPTED_EXIT_CODE: i32 = 86;
 
 /// One core's measured Table 1 column.
 #[derive(Clone, Debug)]
@@ -311,33 +322,10 @@ pub fn cli_run_control() -> Option<RunControl> {
     })
 }
 
-/// Deterministic digest of a grading verdict: FNV-1a-64 over the
-/// undetected-fault set and the accumulated per-domain MISR signatures —
-/// exactly the width-invariant identity material, none of the timing.
-///
-/// Benchmark JSON carries it as the `"digest"` field so an
-/// interrupted-and-resumed run can be diffed against an uninterrupted
-/// reference on one line (the surrounding throughput numbers legitimately
-/// differ run to run).
-pub fn outcome_digest(undetected: &[usize], signatures: &[Gf2Vec]) -> u64 {
-    let mut h = Fnv64::new();
-    h.write_usize(undetected.len());
-    for &i in undetected {
-        h.write_u64(i as u64);
-    }
-    h.write_usize(signatures.len());
-    for sig in signatures {
-        h.write_usize(sig.len());
-        for bit in sig.to_bools() {
-            h.write(&[bit as u8]);
-        }
-    }
-    h.finish()
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
+    use lbist_tpg::Gf2Vec;
 
     #[test]
     fn outcome_digest_is_deterministic_and_sensitive() {

@@ -101,7 +101,8 @@ fn interrupted_then_resumed_run_matches_uninterrupted_reference() {
     let out = bench_faultsim(&args.iter().map(String::as_str).collect::<Vec<_>>());
     assert_eq!(out.status.code(), Some(0), "reference run failed: {}", stderr(&out));
 
-    // Deliberate interruption: exit 86, checkpoint saved, no JSON.
+    // Deliberate interruption: the marker exit status, checkpoint saved,
+    // no JSON.
     let mut args: Vec<String> = common.iter().map(|s| s.to_string()).collect();
     args.extend([
         "--checkpoint".into(),
@@ -112,7 +113,12 @@ fn interrupted_then_resumed_run_matches_uninterrupted_reference() {
         arg(&run_json),
     ]);
     let out = bench_faultsim(&args.iter().map(String::as_str).collect::<Vec<_>>());
-    assert_eq!(out.status.code(), Some(86), "interrupted run: {}", stderr(&out));
+    assert_eq!(
+        out.status.code(),
+        Some(lbist_bench::INTERRUPTED_EXIT_CODE),
+        "interrupted run: {}",
+        stderr(&out)
+    );
     assert!(run_ckpt.exists(), "interruption must leave a checkpoint");
     assert!(!run_json.exists(), "an interrupted run writes no verdict JSON");
 

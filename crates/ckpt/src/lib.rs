@@ -12,7 +12,11 @@
 //! * atomic file replacement ([`write_atomic`]: tmp + fsync + rename) so
 //!   an interrupted writer can never leave a half-written checkpoint, and
 //! * [`netlist_fingerprint`], a structural hash that lets a resume path
-//!   refuse checkpoints taken against a different design.
+//!   refuse checkpoints taken against a different design, and
+//! * exact-arena wire formats for whole netlists and fault lists
+//!   ([`seal_netlist`] / [`open_netlist`], [`seal_faults`] /
+//!   [`open_faults`]) so BIST-as-a-service jobs travel as checksummed
+//!   bytes whose decoded fingerprint equals the submitter's.
 //!
 //! The higher-level checkpoint *contents* (what of a grading session or a
 //! self-test session is captured) live in `lbist-core`; this crate only
@@ -25,11 +29,16 @@ mod codec;
 mod envelope;
 mod fingerprint;
 mod io;
+mod serialize;
 
 pub use codec::{Decoder, Encoder};
 pub use envelope::{open, seal, FORMAT_VERSION, MAGIC};
 pub use fingerprint::{netlist_fingerprint, Fnv64};
 pub use io::{load, save, validate_writable, write_atomic};
+pub use serialize::{
+    decode_faults, decode_netlist, encode_faults, encode_netlist, open_faults, open_netlist,
+    seal_faults, seal_netlist, KIND_FAULTS, KIND_NETLIST,
+};
 
 use std::fmt;
 

@@ -1,0 +1,71 @@
+//! Property tests for the netlist wire format: encode → decode must
+//! reproduce the structural fingerprint exactly on random generated
+//! cores — both raw and after DFT preparation (scan insertion rewires
+//! fanins after creation, so prepared cores exercise the forward-
+//! reference fixup path) — and corrupted or truncated envelopes must be
+//! rejected by the envelope layer, never mis-decoded.
+
+use lbist_ckpt::{netlist_fingerprint, open_netlist, seal_netlist};
+use lbist_cores::{CoreProfile, CpuCoreGenerator};
+use lbist_dft::{prepare_core, PrepConfig, TpiMethod};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    #[test]
+    fn random_core_round_trips_to_identical_fingerprint(gen_seed in 0u64..1024) {
+        let netlist =
+            CpuCoreGenerator::new(CoreProfile::core_x().scaled(600), gen_seed).generate();
+        let decoded = open_netlist(&seal_netlist(&netlist)).unwrap();
+        prop_assert_eq!(netlist_fingerprint(&decoded), netlist_fingerprint(&netlist));
+        prop_assert_eq!(decoded.len(), netlist.len());
+        prop_assert_eq!(decoded.name(), netlist.name());
+    }
+
+    #[test]
+    fn prepared_core_round_trips_to_identical_fingerprint(
+        gen_seed in 0u64..1024,
+        chains in 2usize..6,
+    ) {
+        let netlist =
+            CpuCoreGenerator::new(CoreProfile::core_x().scaled(600), gen_seed).generate();
+        let core = prepare_core(
+            &netlist,
+            &PrepConfig {
+                total_chains: chains,
+                obs_budget: 0,
+                tpi: TpiMethod::None,
+                ..PrepConfig::default()
+            },
+        );
+        let decoded = open_netlist(&seal_netlist(&core.netlist)).unwrap();
+        prop_assert_eq!(netlist_fingerprint(&decoded), netlist_fingerprint(&core.netlist));
+        // Names round-trip too (the fingerprint ignores them).
+        for id in core.netlist.ids() {
+            prop_assert_eq!(decoded.node_name(id), core.netlist.node_name(id));
+        }
+    }
+
+    #[test]
+    fn corruption_anywhere_is_rejected(gen_seed in 0u64..256, flip in 0usize..1_000_000) {
+        let netlist =
+            CpuCoreGenerator::new(CoreProfile::core_x().scaled(400), gen_seed).generate();
+        let bytes = seal_netlist(&netlist);
+        let mut corrupt = bytes.clone();
+        let pos = flip % corrupt.len();
+        corrupt[pos] ^= 0x5A;
+        // The envelope must reject the flip (magic / version / kind /
+        // length / checksum) — a flipped byte never decodes.
+        prop_assert!(open_netlist(&corrupt).is_err(), "flipped byte {pos} survived");
+    }
+
+    #[test]
+    fn truncation_anywhere_is_rejected(gen_seed in 0u64..256, cut in 0usize..1_000_000) {
+        let netlist =
+            CpuCoreGenerator::new(CoreProfile::core_x().scaled(400), gen_seed).generate();
+        let bytes = seal_netlist(&netlist);
+        let cut = cut % bytes.len();
+        prop_assert!(open_netlist(&bytes[..cut]).is_err());
+    }
+}

@@ -67,6 +67,38 @@ impl WideGradingOutcome {
     pub fn undetected_indices(&self) -> Vec<usize> {
         (0..self.detections.len()).filter(|&i| self.detections[i] == 0).collect()
     }
+
+    /// [`outcome_digest`] over this outcome's undetected set and
+    /// signatures — the one-line identity a resumed or replayed run is
+    /// diffed against.
+    pub fn digest(&self) -> u64 {
+        outcome_digest(&self.undetected_indices(), &self.signatures)
+    }
+}
+
+/// Deterministic digest of a grading verdict: FNV-1a-64 over the
+/// undetected-fault set and the accumulated per-domain MISR signatures —
+/// exactly the width-invariant identity material, none of the timing.
+///
+/// Benchmark JSON carries it as the `"digest"` field, and the serve
+/// crate's preempt→resume equivalence checks compare it, so an
+/// interrupted-and-resumed run can be diffed against an uninterrupted
+/// reference on one line (the surrounding throughput numbers
+/// legitimately differ run to run).
+pub fn outcome_digest(undetected: &[usize], signatures: &[Gf2Vec]) -> u64 {
+    let mut h = lbist_ckpt::Fnv64::new();
+    h.write_usize(undetected.len());
+    for &i in undetected {
+        h.write_u64(i as u64);
+    }
+    h.write_usize(signatures.len());
+    for sig in signatures {
+        h.write_usize(sig.len());
+        for bit in sig.to_bools() {
+            h.write(&[bit as u8]);
+        }
+    }
+    h.finish()
 }
 
 /// What a controlled (cancellable / budgeted / checkpointed) grading

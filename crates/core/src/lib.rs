@@ -57,7 +57,9 @@ pub use fill::{
     fill_frame_from_prpg, fill_frames_from_prpg_wide, fill_lane_from_prpg,
     fill_wide_frame_from_prpg,
 };
-pub use grading::{ControlledGradingOutcome, WideGradingOutcome, WideGradingSession};
+pub use grading::{
+    outcome_digest, ControlledGradingOutcome, WideGradingOutcome, WideGradingSession,
+};
 pub use jtag_bist::JtagBist;
 pub use selector::{InputSelector, PatternSource};
 pub use session::{ControlledSessionOutcome, SelfTestSession, SessionConfig, SessionResult};

@@ -60,4 +60,4 @@ pub use pool::{
     current_num_threads, global, join, parallel_chunks, parallel_chunks_with_scratch, scope,
     worker_budget, Scope, ThreadPool,
 };
-pub use resilient::{resilient_chunks_with_scratch, RetryPolicy, ShardPanic};
+pub use resilient::{resilient_chunks_with_scratch, retry_backoff, RetryPolicy, ShardPanic};

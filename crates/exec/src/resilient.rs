@@ -5,7 +5,8 @@
 //! [`parallel_chunks_with_scratch`](crate::parallel_chunks_with_scratch):
 //! the same deterministic 3-way zip split, but each shard runs under
 //! panic containment. A shard that panics is retried on the pool with
-//! doubling backoff ([`RetryPolicy`]); a shard that keeps failing is
+//! per-shard-jittered doubling backoff ([`RetryPolicy`],
+//! [`retry_backoff`]); a shard that keeps failing is
 //! **degraded to the serial path** — re-run once on the calling thread —
 //! before the session is given up on; and only when even that fails does
 //! the dispatch panic, re-raising the *original* payload wrapped in a
@@ -31,7 +32,9 @@ use std::time::Duration;
 pub struct RetryPolicy {
     /// Pool-side re-executions after the first failed attempt.
     pub max_retries: u32,
-    /// Sleep before the first retry; doubles per subsequent retry.
+    /// Sleep before the first retry; doubles per subsequent retry, plus
+    /// a deterministic per-shard jitter (see [`retry_backoff`]) so
+    /// shards felled together don't retry in lockstep.
     pub backoff: Duration,
 }
 
@@ -106,13 +109,36 @@ fn attempt<T, U, S>(
     }))
 }
 
-/// Sleeps the doubling backoff before retry number `retry` (0-based),
-/// unless the token has already fired.
-fn backoff_sleep(policy: &RetryPolicy, retry: u32, cancel: Option<&CancelToken>) {
+/// The delay before retry number `retry` (0-based) of `shard`: the
+/// policy's doubling base plus a deterministic per-shard jitter of up
+/// to half the base.
+///
+/// The jitter is a multiplicative hash of the shard index — no RNG, so
+/// retry timing is exactly reproducible run to run — and exists because
+/// one stalled resource typically fells *many* shards at once: without
+/// it every victim sleeps the identical doubling schedule and the whole
+/// cohort re-stampedes the pool in lockstep at each retry.
+pub fn retry_backoff(policy: &RetryPolicy, retry: u32, shard: usize) -> Duration {
+    let base = policy.backoff.saturating_mul(1u32 << retry.min(16));
+    if base.is_zero() {
+        return base;
+    }
+    // Fibonacci-hash the shard index into a 24-bit value; scaling by
+    // 2^-25 yields a jitter fraction in [0, 0.5) of the base delay.
+    let hashed =
+        (shard as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15).wrapping_add(0xD1B5_4A32_D192_ED03);
+    let frac = (hashed >> 40) as u128;
+    let jitter_nanos = (base.as_nanos().saturating_mul(frac) >> 25).min(u64::MAX as u128);
+    base.saturating_add(Duration::from_nanos(jitter_nanos as u64))
+}
+
+/// Sleeps [`retry_backoff`] before retry number `retry` (0-based) of
+/// `shard`, unless the token has already fired.
+fn backoff_sleep(policy: &RetryPolicy, retry: u32, shard: usize, cancel: Option<&CancelToken>) {
     if policy.backoff.is_zero() || cancel.is_some_and(|c| c.is_cancelled()) {
         return;
     }
-    std::thread::sleep(policy.backoff.saturating_mul(1u32 << retry.min(16)));
+    std::thread::sleep(retry_backoff(policy, retry, shard));
 }
 
 /// Fault-tolerant variant of
@@ -260,7 +286,7 @@ fn run_shard_on_pool<T, U, S>(
             break;
         }
         if attempt_index < policy.max_retries {
-            backoff_sleep(policy, attempt_index, cancel);
+            backoff_sleep(policy, attempt_index, shard, cancel);
         }
     }
     failures.lock().expect("failure list poisoned").push(ShardFailure {
@@ -390,6 +416,41 @@ mod tests {
             None,
         );
         assert_eq!(out, (1..=64).collect::<Vec<u64>>());
+    }
+
+    #[test]
+    fn retry_backoff_is_reproducible_and_jittered() {
+        let policy = RetryPolicy { max_retries: 3, backoff: Duration::from_millis(4) };
+        // Reproducible: identical inputs, identical delay — no RNG.
+        for retry in 0..3 {
+            for shard in 0..32 {
+                assert_eq!(
+                    retry_backoff(&policy, retry, shard),
+                    retry_backoff(&policy, retry, shard),
+                    "retry timing must be deterministic"
+                );
+            }
+        }
+        // Doubling base preserved: every delay lies in [base, 1.5·base).
+        for retry in 0..3 {
+            let base = policy.backoff * (1 << retry);
+            for shard in 0..32 {
+                let d = retry_backoff(&policy, retry, shard);
+                assert!(d >= base, "shard {shard} retry {retry}: {d:?} < base {base:?}");
+                assert!(
+                    d < base + base / 2 + Duration::from_nanos(1),
+                    "shard {shard} retry {retry}: {d:?} exceeds 1.5x base"
+                );
+            }
+        }
+        // Jittered: neighbouring shards must not share a delay.
+        let delays: Vec<Duration> = (0..8).map(|s| retry_backoff(&policy, 0, s)).collect();
+        for pair in delays.windows(2) {
+            assert_ne!(pair[0], pair[1], "adjacent shards retry in lockstep");
+        }
+        // A zero-backoff policy stays zero (tests rely on instant retries).
+        let zero = RetryPolicy { max_retries: 1, backoff: Duration::ZERO };
+        assert_eq!(retry_backoff(&zero, 0, 5), Duration::ZERO);
     }
 
     #[test]

@@ -1,0 +1,168 @@
+//! The compiled-artifact cache: prepared cores, compiled circuits and
+//! default fault universes, shared across every job that submits the
+//! same design.
+//!
+//! Preparation (scan stitching + compile) dwarfs a short grading job,
+//! so the control plane keys finished artifacts by
+//! `(netlist fingerprint, chain count)` and evicts least-recently-used
+//! entries once the configured capacity is reached. The fingerprint is
+//! [`lbist_ckpt::netlist_fingerprint`] over the *submitted* netlist —
+//! names excluded — so byte-for-byte different serializations of the
+//! same structure share one entry.
+
+use lbist_core::ModelTag;
+use lbist_dft::{prepare_core, BistReadyCore, PrepConfig, TpiMethod};
+use lbist_fault::{Fault, FaultUniverse};
+use lbist_netlist::Netlist;
+use lbist_sim::CompiledCircuit;
+use std::panic::{self, AssertUnwindSafe};
+use std::sync::{Arc, OnceLock};
+
+/// Everything a job slice needs that depends only on the design:
+/// the scan-stitched core, its compiled circuit, and the lazily built
+/// default fault universes.
+pub(crate) struct JobAssets {
+    /// The prepared (scan-stitched, test-mode-muxed) core.
+    pub core: BistReadyCore,
+    /// The compiled simulation of `core.netlist`.
+    pub cc: CompiledCircuit,
+    stuck: OnceLock<Arc<Vec<Fault>>>,
+    transition: OnceLock<Arc<Vec<Fault>>>,
+}
+
+impl JobAssets {
+    /// The collapsed representative fault universe of the prepared core
+    /// under `model`, built on first use and shared by every job that
+    /// grades this design without an explicit fault list.
+    pub fn default_faults(&self, model: ModelTag) -> Arc<Vec<Fault>> {
+        match model {
+            ModelTag::StuckAt => self
+                .stuck
+                .get_or_init(|| {
+                    Arc::new(FaultUniverse::stuck_at(&self.core.netlist).representatives())
+                })
+                .clone(),
+            ModelTag::Transition => self
+                .transition
+                .get_or_init(|| {
+                    // Stems only: transition grading is stem-based (the
+                    // sim rejects branch faults).
+                    Arc::new(
+                        FaultUniverse::transition(&self.core.netlist)
+                            .representatives()
+                            .into_iter()
+                            .filter(|f| f.is_stem())
+                            .collect(),
+                    )
+                })
+                .clone(),
+        }
+    }
+}
+
+/// Observability counters for the asset cache.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Admissions that reused a cached prepared core.
+    pub hits: u64,
+    /// Admissions that had to prepare and compile from scratch.
+    pub misses: u64,
+    /// Entries evicted to stay within capacity.
+    pub evictions: u64,
+    /// Entries currently resident.
+    pub entries: usize,
+}
+
+struct CacheEntry {
+    key: (u64, usize),
+    assets: Arc<JobAssets>,
+    last_used: u64,
+}
+
+/// LRU cache of [`JobAssets`] keyed by `(fingerprint, chains)`.
+pub(crate) struct AssetCache {
+    capacity: usize,
+    clock: u64,
+    entries: Vec<CacheEntry>,
+    hits: u64,
+    misses: u64,
+    evictions: u64,
+}
+
+impl AssetCache {
+    pub fn new(capacity: usize) -> Self {
+        AssetCache {
+            capacity: capacity.max(1),
+            clock: 0,
+            entries: Vec::new(),
+            hits: 0,
+            misses: 0,
+            evictions: 0,
+        }
+    }
+
+    pub fn stats(&self) -> CacheStats {
+        CacheStats {
+            hits: self.hits,
+            misses: self.misses,
+            evictions: self.evictions,
+            entries: self.entries.len(),
+        }
+    }
+
+    /// Fetches the prepared artifacts for `(fingerprint, chains)`,
+    /// building them from `netlist` on a miss. Preparation runs under
+    /// `catch_unwind`: a design that breaks the scan stitcher becomes a
+    /// rejection reason, never a dead control plane.
+    pub fn get_or_build(
+        &mut self,
+        fingerprint: u64,
+        chains: usize,
+        netlist: &Netlist,
+    ) -> Result<Arc<JobAssets>, String> {
+        self.clock += 1;
+        let key = (fingerprint, chains);
+        if let Some(entry) = self.entries.iter_mut().find(|e| e.key == key) {
+            entry.last_used = self.clock;
+            self.hits += 1;
+            return Ok(entry.assets.clone());
+        }
+        self.misses += 1;
+        let assets = Arc::new(build_assets(netlist, chains)?);
+        if self.entries.len() >= self.capacity {
+            // Evict the stalest entry. In-flight jobs keep their Arc
+            // alive, so eviction only drops the cache's own reference.
+            let idx = self
+                .entries
+                .iter()
+                .enumerate()
+                .min_by_key(|(_, e)| e.last_used)
+                .map(|(i, _)| i)
+                .expect("capacity >= 1 implies a resident entry");
+            self.entries.swap_remove(idx);
+            self.evictions += 1;
+        }
+        self.entries.push(CacheEntry { key, assets: assets.clone(), last_used: self.clock });
+        Ok(assets)
+    }
+}
+
+fn build_assets(netlist: &Netlist, chains: usize) -> Result<JobAssets, String> {
+    let built = panic::catch_unwind(AssertUnwindSafe(|| {
+        let core = prepare_core(
+            netlist,
+            &PrepConfig {
+                total_chains: chains.max(1),
+                obs_budget: 0,
+                tpi: TpiMethod::None,
+                ..PrepConfig::default()
+            },
+        );
+        let cc = CompiledCircuit::compile(&core.netlist).map_err(|e| e.to_string())?;
+        Ok(JobAssets { core, cc, stuck: OnceLock::new(), transition: OnceLock::new() })
+    }));
+    match built {
+        Ok(result) => result.map_err(|e: String| format!("design failed to compile: {e}")),
+        Err(_) => Err("design preparation panicked".to_string()),
+    }
+}

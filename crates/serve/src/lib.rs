@@ -1,0 +1,57 @@
+//! Multi-tenant job control plane over the grading engine — "BIST as a
+//! service", minus the service: everything is in-process and
+//! synchronous (a network front-end is a separate concern this crate
+//! deliberately excludes).
+//!
+//! Tenants submit *serialized* designs — netlists and optional fault
+//! lists sealed in the `lbist-ckpt` envelope — with a [`JobSpec`]
+//! naming the fault model, batch target and lane width. Each job then
+//! flows through four stages:
+//!
+//! 1. **Admission** ([`AdmissionPolicy`]): the payload is
+//!    authenticated (magic, checksum, structural validation) and
+//!    costed as `gates × batches × lanes`; over-budget or malformed
+//!    jobs are rejected with a reason, immediately and cheaply.
+//! 2. **Fair scheduling**: tenants are stride-scheduled by weight.
+//!    Long jobs run in bounded slices and are **preempted at batch
+//!    boundaries** through the engine's controlled-run checkpoints
+//!    ([`lbist_core::GradingCheckpoint`]), parked to a spool
+//!    directory, and later resumed bit-identically — verdict digests
+//!    equal an uninterrupted run's.
+//! 3. **Retry and shedding**: a slice killed by a worker failure
+//!    (escalated [`lbist_exec::ShardPanic`]) is retried with
+//!    deterministic jittered backoff up to the configured budget;
+//!    queue overflow sheds the costliest queued job. Shed and
+//!    retry-exhausted jobs still complete with partial-coverage
+//!    verdicts — **every accepted job reaches a terminal
+//!    [`Disposition`]**, the invariant the chaos tests pin.
+//! 4. **Asset caching**: prepared cores and compiled circuits are
+//!    cached by netlist fingerprint and chain count with LRU eviction,
+//!    so repeat submissions of one design pay preparation once.
+//!
+//! ```
+//! use lbist_serve::{ControlPlane, JobPayload, JobSpec, ServeConfig};
+//! # use lbist_netlist::{GateKind, Netlist};
+//! # let mut n = Netlist::new("demo");
+//! # let a = n.add_input("a");
+//! # let d = n.add_dff(a, lbist_netlist::DomainId::new(0));
+//! # let g = n.try_add_gate(GateKind::And, &[a, d]).unwrap();
+//! # n.add_output("y", g);
+//! let mut plane = ControlPlane::new(ServeConfig::default()).unwrap();
+//! let tenant = plane.register_tenant("ip-vendor", 1);
+//! let payload = JobPayload { netlist: lbist_ckpt::seal_netlist(&n), faults: None };
+//! let job = plane.submit(tenant, JobSpec::stuck_at(2), &payload);
+//! plane.run_until_idle();
+//! assert!(plane.verdict(job).unwrap().outcome.is_some());
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod cache;
+mod job;
+mod sched;
+
+pub use cache::CacheStats;
+pub use job::{Disposition, JobId, JobPayload, JobSpec, JobVerdict, TenantId};
+pub use sched::{AdmissionPolicy, ControlPlane, PlaneMetrics, ServeConfig};

@@ -1,0 +1,202 @@
+//! Chaos tests for the control plane: worker failures injected through
+//! `lbist_exec::chaos` while a mixed multi-tenant workload runs.
+//!
+//! The invariants pinned here are the tentpole's contract:
+//!
+//! * **No job is ever lost** — every submission reaches a terminal
+//!   disposition, whatever the chaos plan does.
+//! * **Recovery is invisible in the data** — a job that completes
+//!   (after retries, preemptions, or both) carries the same verdict
+//!   digest as an uninterrupted run of the same spec.
+//!
+//! All sessions run `sequential` (fill/grade overlap off) so every
+//! resilient dispatch is issued from this thread, where the thread-local
+//! chaos plan is installed; shard execution itself stays parallel.
+
+use lbist_core::{StumpsConfig, WideGradingSession};
+use lbist_cores::{CoreProfile, CpuCoreGenerator};
+use lbist_dft::{prepare_core, BistReadyCore, PrepConfig, TpiMethod};
+use lbist_exec::chaos::{self, ChaosPlan};
+use lbist_fault::FaultUniverse;
+use lbist_netlist::Netlist;
+use lbist_serve::{ControlPlane, Disposition, JobPayload, JobSpec, ServeConfig};
+use lbist_sim::CompiledCircuit;
+use proptest::prelude::*;
+
+fn small_netlist(seed: u64) -> Netlist {
+    CpuCoreGenerator::new(CoreProfile::core_x().scaled(500), seed).generate()
+}
+
+fn payload(netlist: &Netlist) -> JobPayload {
+    JobPayload { netlist: lbist_ckpt::seal_netlist(netlist), faults: None }
+}
+
+fn chaos_config() -> ServeConfig {
+    ServeConfig { slice_batches: 2, threads: Some(4), sequential: true, ..ServeConfig::default() }
+}
+
+fn prepared(netlist: &Netlist, chains: usize) -> BistReadyCore {
+    prepare_core(
+        netlist,
+        &PrepConfig {
+            total_chains: chains,
+            obs_budget: 0,
+            tpi: TpiMethod::None,
+            ..PrepConfig::default()
+        },
+    )
+}
+
+fn reference_stuck_digest(netlist: &Netlist, spec: &JobSpec) -> u64 {
+    let core = prepared(netlist, spec.chains);
+    let cc = CompiledCircuit::compile(&core.netlist).unwrap();
+    let faults = FaultUniverse::stuck_at(&core.netlist).representatives();
+    let mut session: WideGradingSession<'_, u64> =
+        WideGradingSession::new(&core, &cc, &StumpsConfig::default());
+    session.set_drop_after(spec.drop_after);
+    session.run_stuck_at(faults, spec.batches as usize).digest()
+}
+
+#[test]
+fn transient_shard_death_is_retried_to_a_bit_identical_completion() {
+    let netlist = small_netlist(31);
+    let spec = JobSpec::stuck_at(6);
+    let want = reference_stuck_digest(&netlist, &spec);
+
+    let mut plane = ControlPlane::new(chaos_config()).unwrap();
+    let tenant = plane.register_tenant("acme", 1);
+    let id = plane.submit(tenant, spec, &payload(&netlist));
+
+    // Dispatch 0, shard 0 fails every attempt — pool retries, then the
+    // serial degrade — so the first slice dies with a ShardPanic. The
+    // dispatch counter has moved past 0 by the retry, so the rule never
+    // fires again and the job completes.
+    let plan = ChaosPlan::new().panic_on(0, 0, u32::MAX);
+    chaos::with_plan(plan, || plane.run_until_idle());
+
+    let v = plane.verdict(id).expect("retried job must reach a verdict");
+    assert_eq!(v.disposition, Disposition::Completed, "{:?}", v.reason);
+    assert_eq!(v.retries, 1, "exactly one slice died to the injected panic");
+    assert_eq!(
+        v.digest(),
+        Some(want),
+        "recovery (retry + preempt/resume) must be invisible in the verdict"
+    );
+    assert_eq!(plane.metrics().retries, 1);
+    assert_eq!(plane.metrics().completed, 1);
+}
+
+#[test]
+fn persistent_shard_death_fails_terminally_instead_of_looping() {
+    let netlist = small_netlist(32);
+    let mut plane = ControlPlane::new(chaos_config()).unwrap();
+    let tenant = plane.register_tenant("acme", 1);
+    let id = plane.submit(tenant, JobSpec::stuck_at(4), &payload(&netlist));
+
+    // Shard 0 of *every* dispatch fails every attempt: each retry dies
+    // the same way until the job-level budget runs out.
+    let plan = ChaosPlan::new().panic_always(0, u32::MAX);
+    chaos::with_plan(plan, || plane.run_until_idle());
+
+    let v = plane.verdict(id).expect("a doomed job still gets a verdict");
+    assert_eq!(v.disposition, Disposition::Failed);
+    let max_retries = ServeConfig::default().retry.max_retries;
+    assert_eq!(v.retries, max_retries + 1, "initial attempt + the full retry budget");
+    let reason = v.reason.as_ref().unwrap();
+    assert!(reason.contains("gave up"), "{reason}");
+    assert!(reason.contains("shard 0"), "the root-cause shard identity survives: {reason}");
+    assert_eq!(plane.metrics().failed, 1);
+    assert_eq!(plane.queue_depth(), 0, "the plane is idle, not wedged");
+}
+
+#[test]
+fn checkpointed_state_survives_a_mid_slice_crash() {
+    let netlist = small_netlist(33);
+    let spec = JobSpec::stuck_at(8);
+    let want = reference_stuck_digest(&netlist, &spec);
+
+    let mut plane = ControlPlane::new(chaos_config()).unwrap();
+    let tenant = plane.register_tenant("acme", 1);
+    let id = plane.submit(tenant, spec, &payload(&netlist));
+
+    // Let the job park once cleanly (2 of 8 batches done)...
+    assert!(plane.run_once());
+    assert_eq!(plane.metrics().preemptions, 1);
+
+    // ...then kill the *next* slice mid-flight. The final-only
+    // checkpoint spec means the dead slice never overwrote the parked
+    // state, so the retry resumes from batch 2, not from a torn file.
+    let plan = ChaosPlan::new().panic_on(0, 1, u32::MAX);
+    chaos::with_plan(plan, || plane.run_until_idle());
+
+    let v = plane.verdict(id).unwrap();
+    assert_eq!(v.disposition, Disposition::Completed, "{:?}", v.reason);
+    assert_eq!(v.retries, 1);
+    assert_eq!(v.batches_done, 8);
+    assert_eq!(v.digest(), Some(want), "resume-after-crash must stay bit-identical");
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    /// The headline chaos property: under a randomized chaos plan and a
+    /// mixed two-tenant workload, every accepted job reaches a terminal
+    /// verdict and every *completed* job's digest equals the
+    /// uninterrupted reference for its spec.
+    #[test]
+    fn mixed_workload_under_chaos_terminates_with_faithful_verdicts(
+        gen_seed in 40u64..48,
+        batches_a in 1u64..5,
+        batches_b in 1u64..5,
+        chaos_dispatch in 0u64..6,
+        chaos_shard in 0usize..4,
+        chaos_attempts in 1u32..6,
+        persistent_shard in 0usize..4,
+        use_persistent in any::<bool>(),
+    ) {
+        let netlist = small_netlist(gen_seed);
+        let specs =
+            [JobSpec::stuck_at(batches_a), JobSpec::stuck_at(batches_b), JobSpec::stuck_at(2)];
+
+        let mut plane = ControlPlane::new(chaos_config()).unwrap();
+        let light = plane.register_tenant("light", 1);
+        let heavy = plane.register_tenant("heavy", 3);
+        let ids = [
+            plane.submit(light, specs[0].clone(), &payload(&netlist)),
+            plane.submit(heavy, specs[1].clone(), &payload(&netlist)),
+            plane.submit(heavy, specs[2].clone(), &payload(&netlist)),
+        ];
+
+        let mut plan = ChaosPlan::new().panic_on(chaos_dispatch, chaos_shard, chaos_attempts);
+        if use_persistent {
+            plan = plan.panic_always(persistent_shard, u32::MAX);
+        }
+        chaos::with_plan(plan, || plane.run_until_idle());
+
+        // Invariant 1: no job is ever lost.
+        let m = plane.metrics();
+        prop_assert_eq!(m.submitted, 3);
+        prop_assert_eq!(plane.verdicts().len(), 3);
+        prop_assert_eq!(m.accepted, m.completed + m.failed + m.shed);
+        prop_assert_eq!(plane.queue_depth(), 0);
+
+        // Invariant 2: completion means bit-identical to an
+        // uninterrupted run, no matter what recovery happened en route.
+        for (id, spec) in ids.iter().zip(&specs) {
+            let v = plane.verdict(*id).expect("terminal verdict");
+            match v.disposition {
+                Disposition::Completed => {
+                    prop_assert_eq!(v.batches_done, spec.batches);
+                    let want = reference_stuck_digest(&netlist, spec);
+                    prop_assert_eq!(v.digest(), Some(want));
+                }
+                Disposition::Failed => {
+                    prop_assert!(v.reason.is_some(), "failures must say why");
+                }
+                Disposition::Shed | Disposition::Rejected => {
+                    prop_assert!(false, "nothing here should be shed or rejected");
+                }
+            }
+        }
+    }
+}

@@ -26,6 +26,7 @@
 //! | [`core`] | the BIST architecture, controller, sessions (seed-scheduled too), TAP |
 //! | [`cores`] | synthetic CPU-like IP cores matching Table 1's profiles |
 //! | [`ckpt`] | versioned, checksummed checkpoint serialization + atomic file I/O |
+//! | [`serve`] | multi-tenant job control plane: admission, fair scheduling, preemption |
 //!
 //! # Quickstart
 //!
@@ -65,5 +66,6 @@ pub use lbist_exec as exec;
 pub use lbist_fault as fault;
 pub use lbist_netlist as netlist;
 pub use lbist_reseed as reseed;
+pub use lbist_serve as serve;
 pub use lbist_sim as sim;
 pub use lbist_tpg as tpg;
