@@ -14,9 +14,19 @@
 //! ```text
 //! cargo run --release --bin bench_faultsim [--scale N] [--batches N]
 //!           [--threads N] [--lanes {64,128,256}] [--out PATH]
+//!           [--metrics-out PATH]
 //!           [--checkpoint PATH [--checkpoint-every N] [--resume]
 //!            [--kill-after-batches N]] [--deadline SECS]
 //! ```
+//!
+//! `--metrics-out PATH` additionally writes a snapshot of the engine's
+//! metrics registry (phase histograms, pool counters, resilience
+//! counters) after the run — JSON by default, Prometheus text
+//! exposition for a `.prom`/`.txt` extension. The ordinary flow also
+//! runs one *instrumented* headline configuration against the no-op
+//! registry baseline, asserts the verdict digests match, and records
+//! the throughput delta plus the per-phase trace (fill/sim/detect/
+//! absorb vs batch wall time) under `"observability"` in the JSON.
 //!
 //! `--lanes` selects the frame width of the headline runs and the
 //! threads sweep; the grading-width sweep always covers all three
@@ -36,12 +46,12 @@
 //! resumed run is diffable against an uninterrupted reference.
 
 use lbist_bench::{
-    arg_value, cli_run_control, cli_thread_budget, fill_frame_from_prpg,
-    fill_frames_from_prpg_wide, outcome_digest, INTERRUPTED_EXIT_CODE,
+    arg_value, cli_metrics_out, cli_run_control, cli_thread_budget, fill_frame_from_prpg,
+    fill_frames_from_prpg_wide, outcome_digest, write_metrics_snapshot, INTERRUPTED_EXIT_CODE,
 };
 use lbist_core::{
-    ControlledGradingOutcome, RunControl, RunStatus, StumpsArchitecture, StumpsConfig,
-    WideGradingOutcome, WideGradingSession,
+    ControlledGradingOutcome, GradingMetrics, RunControl, RunStatus, StumpsArchitecture,
+    StumpsConfig, WideGradingOutcome, WideGradingSession,
 };
 use lbist_exec::{CancelReason, LaneWord};
 use lbist_fault::{CaptureWindow, CoverageReport, Fault, FaultUniverse};
@@ -111,12 +121,16 @@ fn controlled_stuck_run<W: LaneWord>(
     batches_64: usize,
     threads: usize,
     control: &RunControl,
+    metered: bool,
 ) -> ControlledGradingOutcome {
     let mut session: WideGradingSession<'_, W> =
         WideGradingSession::new(core, cc, &StumpsConfig::default());
     session.set_threads(threads);
     if threads == 1 {
         session.sequential();
+    }
+    if metered {
+        session.set_metrics(GradingMetrics::from_registry(lbist_obs::global()));
     }
     let batches = (batches_64 * 64) / W::LANES;
     match session.run_stuck_at_controlled(faults.to_vec(), batches, control) {
@@ -144,13 +158,15 @@ fn checkpointed_main(
     threads: usize,
     control: &RunControl,
     out_path: &str,
+    metrics_out: Option<&Path>,
 ) -> ! {
     println!("stuck-at controlled run ({threads} threads, {lanes} lanes)...");
+    let metered = metrics_out.is_some();
     let t0 = Instant::now();
     let res = match lanes {
-        64 => controlled_stuck_run::<u64>(core, cc, faults, batches, threads, control),
-        128 => controlled_stuck_run::<u128>(core, cc, faults, batches, threads, control),
-        _ => controlled_stuck_run::<[u64; 4]>(core, cc, faults, batches, threads, control),
+        64 => controlled_stuck_run::<u64>(core, cc, faults, batches, threads, control, metered),
+        128 => controlled_stuck_run::<u128>(core, cc, faults, batches, threads, control, metered),
+        _ => controlled_stuck_run::<[u64; 4]>(core, cc, faults, batches, threads, control, metered),
     };
     let seconds = t0.elapsed().as_secs_f64();
 
@@ -162,6 +178,12 @@ fn checkpointed_main(
             res.batches_done,
             res.batches_done - res.resumed_from.unwrap_or(0),
         );
+        // Telemetry of the interrupted prefix is still valid data — and
+        // exporting it must not perturb the checkpoint (the resume digest
+        // smoke in CI covers the whole interrupted-and-exported path).
+        if let Some(path) = metrics_out {
+            write_metrics_snapshot(path, &lbist_obs::global().snapshot());
+        }
         std::process::exit(INTERRUPTED_EXIT_CODE);
     }
 
@@ -207,6 +229,9 @@ fn checkpointed_main(
         batches_done,
     );
     println!("wrote {out_path}");
+    if let Some(path) = metrics_out {
+        write_metrics_snapshot(path, &lbist_obs::global().snapshot());
+    }
     std::process::exit(0);
 }
 
@@ -227,6 +252,30 @@ fn stuck_run<W: LaneWord>(
         // 1-thread timing stays comparable to the pre-pipeline runs.
         session.sequential();
     }
+    let batches = (batches_64 * 64) / W::LANES;
+    let t0 = Instant::now();
+    let outcome = session.run_stuck_at(faults.to_vec(), batches);
+    RunStats::from_outcome(outcome, t0.elapsed().as_secs_f64())
+}
+
+/// [`stuck_run`] with full telemetry: the session's phase spans and
+/// counters registered in the process-global metrics registry. The
+/// verdict must be bit-identical to the uninstrumented run — asserted
+/// by the caller, that is the observability layer's core contract.
+fn stuck_run_metered<W: LaneWord>(
+    core: &lbist_dft::BistReadyCore,
+    cc: &CompiledCircuit,
+    faults: &[Fault],
+    batches_64: usize,
+    threads: usize,
+) -> RunStats {
+    let mut session: WideGradingSession<'_, W> =
+        WideGradingSession::new(core, cc, &StumpsConfig::default());
+    session.set_threads(threads);
+    if threads == 1 {
+        session.sequential();
+    }
+    session.set_metrics(GradingMetrics::from_registry(lbist_obs::global()));
     let batches = (batches_64 * 64) / W::LANES;
     let t0 = Instant::now();
     let outcome = session.run_stuck_at(faults.to_vec(), batches);
@@ -275,6 +324,7 @@ fn main() {
     // malformed-value diagnostics) instead of a private parse.
     let parallel_threads: usize = cli_thread_budget().unwrap_or_else(rayon::current_num_threads);
     let out_path: String = arg_value("--out").unwrap_or_else(|| "BENCH_faultsim.json".to_string());
+    let metrics_out = cli_metrics_out();
     // Fault-tolerance knobs, validated before the (expensive) core
     // generation so a bad checkpoint path fails in milliseconds.
     let run_control = cli_run_control();
@@ -318,6 +368,7 @@ fn main() {
             parallel_threads,
             control,
             &out_path,
+            metrics_out.as_deref(),
         );
     }
 
@@ -448,6 +499,49 @@ fn main() {
     let fill_128 = fill_wide::<u128>(&core, &cc, fill_64.patterns);
     let fill_256 = fill_wide::<[u64; 4]>(&core, &cc, fill_64.patterns);
 
+    // Observability: the same headline parallel run with the full
+    // telemetry layer live (phase spans + counters into the global
+    // registry), against the uninstrumented run just measured. Two
+    // contracts checked here: telemetry never changes the verdict
+    // (digest-identical), and the per-phase trace accounts for ≥ 90% of
+    // the measured batch wall time (the spans genuinely cover the work).
+    println!("observability: instrumented stuck-at run ({parallel_threads} threads)...");
+    let instrumented = match lanes {
+        64 => stuck_run_metered::<u64>(&core, &cc, &stuck_faults, batches, parallel_threads),
+        128 => stuck_run_metered::<u128>(&core, &cc, &stuck_faults, batches, parallel_threads),
+        _ => stuck_run_metered::<[u64; 4]>(&core, &cc, &stuck_faults, batches, parallel_threads),
+    };
+    assert_eq!(
+        outcome_digest(&instrumented.undetected, &instrumented.signatures),
+        outcome_digest(&stuck_parallel.undetected, &stuck_parallel.signatures),
+        "telemetry must not change the verdict"
+    );
+    let obs_snap = lbist_obs::global().snapshot();
+    let phase_sum = |name: &str| -> u64 { obs_snap.histogram(name).map(|h| h.sum).unwrap_or(0) };
+    let (fill_ns, sim_ns, detect_ns, absorb_ns, batch_wall_ns) = (
+        phase_sum("grading.fill_ns"),
+        phase_sum("grading.sim_ns"),
+        phase_sum("grading.detect_ns"),
+        phase_sum("grading.absorb_ns"),
+        phase_sum("grading.batch_ns"),
+    );
+    // Pipelined fill overlaps grading, so the accounted sum may exceed
+    // the batch wall time — the check is a lower bound only.
+    let accounted = fill_ns + sim_ns + detect_ns + absorb_ns;
+    assert!(
+        accounted as f64 >= 0.9 * batch_wall_ns as f64,
+        "phase trace accounts for only {accounted} of {batch_wall_ns} batch ns"
+    );
+    // Recorded, not asserted: wall-clock deltas on shared CI runners are
+    // too noisy to gate on, but the trend belongs in the baseline JSON.
+    let obs_overhead_percent =
+        (instrumented.seconds / stuck_parallel.seconds.max(1e-9) - 1.0) * 100.0;
+    println!(
+        "observability: {:+.2}% vs no-op registry; phase trace covers {:.1}% of batch wall time",
+        obs_overhead_percent,
+        accounted as f64 / (batch_wall_ns as f64).max(1.0) * 100.0
+    );
+
     // The determinism contract, enforced at bench time too.
     assert_eq!(
         stuck_serial.coverage, stuck_parallel.coverage,
@@ -529,6 +623,24 @@ fn main() {
     let _ = writeln!(json, "    \"lanes_64\": {},", json_fill(&fill_64));
     let _ = writeln!(json, "    \"lanes_128\": {},", json_fill(&fill_128));
     let _ = writeln!(json, "    \"lanes_256\": {}", json_fill(&fill_256));
+    let _ = writeln!(json, "  }},");
+    let _ = writeln!(json, "  \"observability\": {{");
+    let _ = writeln!(json, "    \"instrumented\": {},", json_run(&instrumented));
+    let _ = writeln!(json, "    \"noop_reference\": {},", json_run(&stuck_parallel));
+    let _ = writeln!(json, "    \"overhead_percent\": {obs_overhead_percent:.3},");
+    let _ = writeln!(json, "    \"digest_identical\": true,");
+    let _ = writeln!(json, "    \"phases\": {{");
+    let _ = writeln!(json, "      \"fill_ns\": {fill_ns},");
+    let _ = writeln!(json, "      \"sim_ns\": {sim_ns},");
+    let _ = writeln!(json, "      \"detect_ns\": {detect_ns},");
+    let _ = writeln!(json, "      \"absorb_ns\": {absorb_ns},");
+    let _ = writeln!(json, "      \"batch_wall_ns\": {batch_wall_ns},");
+    let _ = writeln!(
+        json,
+        "      \"accounted_fraction\": {:.4}",
+        accounted as f64 / (batch_wall_ns as f64).max(1.0)
+    );
+    let _ = writeln!(json, "    }}");
     let _ = writeln!(json, "  }}");
     let _ = writeln!(json, "}}");
 
@@ -562,4 +674,7 @@ fn main() {
         fill_256.patterns as f64 / fill_256.seconds.max(1e-9),
     );
     println!("wrote {out_path}");
+    if let Some(path) = &metrics_out {
+        write_metrics_snapshot(path, &lbist_obs::global().snapshot());
+    }
 }

@@ -23,12 +23,20 @@
 //! ```text
 //! cargo run --release --bin bench_reseed [--scale N] [--random N]
 //!           [--chains N] [--prpg N] [--backtrack N]
-//!           [--serial | --threads N] [--out PATH]
+//!           [--serial | --threads N] [--out PATH] [--metrics-out PATH]
 //! ```
+//!
+//! `--metrics-out PATH` writes a snapshot of the process-global metrics
+//! registry (worker-pool and resilient-dispatch counters accumulated by
+//! the sharded grading underneath both tails) after the run — JSON by
+//! default, Prometheus text exposition for a `.prom`/`.txt` extension.
+//! Telemetry never steers the run: the JSON `"digest"` is identical
+//! with and without the flag.
 
 use lbist_atpg::{Pattern, TopUpAtpg};
 use lbist_bench::{
-    arg_value, cli_thread_budget, fill_frame_from_prpg, fill_lane_from_prpg, outcome_digest,
+    arg_value, cli_metrics_out, cli_thread_budget, fill_frame_from_prpg, fill_lane_from_prpg,
+    outcome_digest, write_metrics_snapshot,
 };
 use lbist_core::{StumpsArchitecture, StumpsConfig};
 use lbist_cores::{CoreProfile, CpuCoreGenerator};
@@ -332,6 +340,7 @@ fn main() {
     let prpg_length: usize = arg_value("--prpg").unwrap_or(19);
     let backtrack: usize = arg_value("--backtrack").unwrap_or(4096);
     let out_path: String = arg_value("--out").unwrap_or_else(|| "BENCH_reseed.json".to_string());
+    let metrics_out = cli_metrics_out();
     let threads = cli_thread_budget();
 
     let profile = CoreProfile::core_x().scaled(scale);
@@ -470,4 +479,7 @@ fn main() {
         .expect("write benchmark JSON");
     println!("\n{json}");
     println!("wrote {out_path}");
+    if let Some(path) = &metrics_out {
+        write_metrics_snapshot(path, &lbist_obs::global().snapshot());
+    }
 }

@@ -20,10 +20,16 @@
 //!
 //! ```text
 //! cargo run --release --bin bench_serve [--scale N] [--short-jobs N]
-//!           [--serial | --threads N] [--out PATH]
+//!           [--serial | --threads N] [--out PATH] [--metrics-out PATH]
 //! ```
+//!
+//! The plane registers its `serve.*` lifecycle counters and queue-wait /
+//! slice-latency histograms in the process-global metrics registry;
+//! `--metrics-out PATH` writes a snapshot of that registry after the
+//! run — JSON by default, Prometheus text exposition for a
+//! `.prom`/`.txt` extension.
 
-use lbist_bench::{arg_value, cli_thread_budget};
+use lbist_bench::{arg_value, cli_metrics_out, cli_thread_budget, write_metrics_snapshot};
 use lbist_core::{StumpsConfig, WideGradingSession};
 use lbist_cores::{CoreProfile, CpuCoreGenerator};
 use lbist_dft::{prepare_core, PrepConfig, TpiMethod};
@@ -46,6 +52,7 @@ fn main() {
     let scale: usize = arg_value("--scale").unwrap_or(600);
     let short_jobs: usize = arg_value("--short-jobs").unwrap_or(6);
     let out_path: String = arg_value("--out").unwrap_or_else(|| "BENCH_serve.json".to_string());
+    let metrics_out = cli_metrics_out();
     let threads = cli_thread_budget();
 
     let profile = CoreProfile::core_x().scaled(scale);
@@ -81,6 +88,9 @@ fn main() {
         admission: AdmissionPolicy { max_job_cost: 4_000_000_000, max_queue_depth: 1 + short_jobs },
         slice_batches: 2, // preempts the 8-batch long job three times
         threads,
+        // One registry for the whole process: serve.* lands next to the
+        // grading and pool counters in the `--metrics-out` snapshot.
+        registry: Some(lbist_obs::global().clone()),
         ..ServeConfig::default()
     })
     .expect("spool dir");
@@ -109,7 +119,14 @@ fn main() {
         plane.verdicts().len(),
         "every submitted job must reach a terminal verdict"
     );
-    assert_eq!(m.accepted, m.completed + m.failed + m.shed, "accepted jobs must balance");
+    // The metrics-balance invariant (every accepted job is terminal or
+    // still queued) — also pinned mid-run, with in-flight jobs, by the
+    // serve crate's metrics_invariants test.
+    assert_eq!(
+        m.accepted,
+        m.completed + m.failed + m.shed + plane.queue_depth() as u64,
+        "accepted jobs must balance"
+    );
     assert_eq!(m.failed, 0, "nothing in this workload should fail");
 
     let rejected = plane.verdict(rejected_job).expect("rejection verdict");
@@ -210,4 +227,7 @@ fn main() {
         .expect("write benchmark JSON");
     println!("\n{json}");
     println!("wrote {out_path}");
+    if let Some(path) = &metrics_out {
+        write_metrics_snapshot(path, &plane.registry().snapshot());
+    }
 }

@@ -257,6 +257,32 @@ pub fn cli_thread_budget() -> Option<usize> {
     }
 }
 
+/// The shared telemetry knob: parses `--metrics-out PATH`, the file the
+/// binary writes a metrics-registry snapshot to after the run. The
+/// format follows the extension: `.prom` / `.txt` get the Prometheus
+/// text exposition, anything else the JSON snapshot (the format
+/// [`lbist_obs::Snapshot::from_json`] round-trips). `None` means the
+/// flag was absent; a present flag with no value is a usage error.
+///
+/// Telemetry never steers the run: the binaries' verdict digests are
+/// bit-identical with and without this flag (asserted in CI).
+pub fn cli_metrics_out() -> Option<PathBuf> {
+    arg_value_strict::<String>("--metrics-out").map(PathBuf::from)
+}
+
+/// Writes `snapshot` to `path` in the format [`cli_metrics_out`]
+/// documents, atomically (tmp + fsync + rename), so a crash mid-write
+/// never leaves a torn metrics file for a scrape or comparison script.
+pub fn write_metrics_snapshot(path: &std::path::Path, snapshot: &lbist_obs::Snapshot) {
+    let prom = matches!(path.extension().and_then(|e| e.to_str()), Some("prom") | Some("txt"));
+    let body = if prom { snapshot.to_prometheus() } else { snapshot.to_json() };
+    if let Err(e) = lbist_ckpt::write_atomic(path, body.as_bytes()) {
+        eprintln!("error: could not write metrics snapshot {}: {e}", path.display());
+        std::process::exit(2);
+    }
+    println!("wrote {}", path.display());
+}
+
 /// The shared fault-tolerance knobs: parses `--checkpoint PATH`,
 /// `--checkpoint-every N`, `--resume`, `--deadline SECS` and
 /// `--kill-after-batches N` into a [`RunControl`], or `None` when none

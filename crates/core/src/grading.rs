@@ -34,10 +34,70 @@ use crate::fill::fill_wide_frame_from_prpg;
 use lbist_ckpt::CkptError;
 use lbist_dft::BistReadyCore;
 use lbist_exec::LaneWord;
-use lbist_fault::{CaptureWindow, CoverageReport, Fault, WideStuckAtSim, WideTransitionSim};
+use lbist_fault::{
+    CaptureWindow, CoverageReport, Fault, SimPhaseMetrics, WideStuckAtSim, WideTransitionSim,
+};
 use lbist_netlist::NodeId;
+use lbist_obs::{Counter, Histogram, Registry};
 use lbist_sim::CompiledCircuit;
 use lbist_tpg::{Gf2Vec, LaneMisr, SpaceCompactor};
+
+/// Telemetry handles for the grading pipeline: per-batch phase timers
+/// (`fill`/`sim`/`detect`/`absorb` plus the whole-batch wall time) and
+/// progress counters. Install on a session via
+/// [`WideGradingSession::set_metrics`]; the default handles are no-ops,
+/// so an uninstrumented session never reads the clock.
+///
+/// Telemetry is observational only — with metrics on, off, or exported
+/// mid-run, outcomes, digests and checkpoints are bit-identical
+/// (enforced by the `metrics_leave_grading_bit_identical` test).
+///
+/// In the pipelined session the `fill` of batch *k+1* overlaps the
+/// `sim`+`detect` of batch *k*, so summed phase times can legitimately
+/// exceed summed batch wall time.
+#[derive(Clone, Debug, Default)]
+pub struct GradingMetrics {
+    /// Batches fully graded and absorbed (`grading.batches`).
+    pub batches: Counter,
+    /// Patterns graded (`grading.patterns`).
+    pub patterns: Counter,
+    /// Fault-grading operations, Σ of active faults entering each batch
+    /// (`grading.faults_graded`).
+    pub faults_graded: Counter,
+    /// PRPG scan-fill time per batch (`grading.fill_ns`).
+    pub fill_ns: Histogram,
+    /// Fault-free evaluation time per batch (`grading.sim_ns`).
+    pub sim_ns: Histogram,
+    /// Sharded propagation + detection-merge time per batch
+    /// (`grading.detect_ns`).
+    pub detect_ns: Histogram,
+    /// MISR signature absorption time per batch (`grading.absorb_ns`).
+    pub absorb_ns: Histogram,
+    /// Whole-batch wall time (`grading.batch_ns`).
+    pub batch_ns: Histogram,
+}
+
+impl GradingMetrics {
+    /// Handles registered under the canonical `grading.*` names (no-ops
+    /// when `registry` is disabled).
+    pub fn from_registry(registry: &Registry) -> Self {
+        GradingMetrics {
+            batches: registry.counter("grading.batches"),
+            patterns: registry.counter("grading.patterns"),
+            faults_graded: registry.counter("grading.faults_graded"),
+            fill_ns: registry.histogram("grading.fill_ns"),
+            sim_ns: registry.histogram("grading.sim_ns"),
+            detect_ns: registry.histogram("grading.detect_ns"),
+            absorb_ns: registry.histogram("grading.absorb_ns"),
+            batch_ns: registry.histogram("grading.batch_ns"),
+        }
+    }
+
+    /// The phase handles the session forwards into the fault simulator.
+    fn sim_phases(&self) -> SimPhaseMetrics {
+        SimPhaseMetrics { sim_ns: self.sim_ns.clone(), detect_ns: self.detect_ns.clone() }
+    }
+}
 
 /// What one graded random phase produced.
 #[derive(Clone, Debug, PartialEq)]
@@ -166,6 +226,9 @@ pub struct WideGradingSession<'a, W: LaneWord = u64> {
     /// `false` disables the fill/grade overlap (the sequential
     /// reference the pipelining equivalence test compares against).
     pipelined: bool,
+    /// Telemetry handles (no-op by default; see
+    /// [`WideGradingSession::set_metrics`]).
+    metrics: GradingMetrics,
 }
 
 impl<'a, W: LaneWord> WideGradingSession<'a, W> {
@@ -198,6 +261,7 @@ impl<'a, W: LaneWord> WideGradingSession<'a, W> {
             threads: None,
             drop_after: 1,
             pipelined: true,
+            metrics: GradingMetrics::default(),
         }
     }
 
@@ -220,6 +284,15 @@ impl<'a, W: LaneWord> WideGradingSession<'a, W> {
     /// for the equivalence tests; results are bit-identical).
     pub fn sequential(&mut self) -> &mut Self {
         self.pipelined = false;
+        self
+    }
+
+    /// Installs telemetry handles: subsequent runs record the per-batch
+    /// `fill`/`sim`/`detect`/`absorb` phase trace plus batch wall time
+    /// and progress counters. Observational only — outcomes, digests
+    /// and checkpoints stay bit-identical (test-enforced).
+    pub fn set_metrics(&mut self, metrics: GradingMetrics) -> &mut Self {
+        self.metrics = metrics;
         self
     }
 
@@ -266,6 +339,7 @@ impl<'a, W: LaneWord> WideGradingSession<'a, W> {
             sim.set_threads(n);
         }
         sim.set_cancel(control.cancel.clone());
+        sim.set_phase_metrics(self.metrics.sim_phases());
 
         let netlist_hash = lbist_ckpt::netlist_fingerprint(&self.core.netlist);
         let mut resumed_from = None;
@@ -287,6 +361,7 @@ impl<'a, W: LaneWord> WideGradingSession<'a, W> {
 
         let cc = self.cc;
         let core = self.core;
+        let metrics = self.metrics.clone();
         let arch = &mut self.arch;
         let pipelined = self.pipelined;
         let total = batches as u64;
@@ -300,6 +375,7 @@ impl<'a, W: LaneWord> WideGradingSession<'a, W> {
         let mut cur: Vec<W> = cc.new_wide_frame();
         let mut next: Vec<W> = cc.new_wide_frame();
         if start_batch < total {
+            let _fill_span = metrics.fill_ns.start();
             fill_wide_frame_from_prpg(arch, core, &mut cur);
         }
         for batch in start_batch..total {
@@ -311,6 +387,9 @@ impl<'a, W: LaneWord> WideGradingSession<'a, W> {
                 status = cancelled;
                 break;
             }
+            // Spans the whole iteration: grade + overlapped fill +
+            // absorb + checkpoint write.
+            let _batch_span = metrics.batch_ns.start();
             // The LFSRs sit at fill position `batch + 1` here — the
             // state a checkpoint taken after this batch must record.
             let snap_next: Vec<Gf2Vec> =
@@ -320,6 +399,7 @@ impl<'a, W: LaneWord> WideGradingSession<'a, W> {
             let graded = if last || !pipelined {
                 let graded = sim.try_run_batch(&mut cur, W::LANES);
                 if graded.is_some() && !last {
+                    let _fill_span = metrics.fill_ns.start();
                     fill_wide_frame_from_prpg(arch, core, &mut next);
                 }
                 graded
@@ -330,9 +410,13 @@ impl<'a, W: LaneWord> WideGradingSession<'a, W> {
                 let sim = &mut sim;
                 let cur = &mut cur;
                 let next = &mut next;
+                let fill_ns = &metrics.fill_ns;
                 let (graded, ()) = lbist_exec::join(
                     || sim.try_run_batch(cur, W::LANES),
-                    || fill_wide_frame_from_prpg(arch, core, next),
+                    || {
+                        let _fill_span = fill_ns.start();
+                        fill_wide_frame_from_prpg(arch, core, next)
+                    },
                 );
                 graded
             };
@@ -348,14 +432,20 @@ impl<'a, W: LaneWord> WideGradingSession<'a, W> {
             // `cur` now holds the fault-free evaluation: captured
             // responses are the D-pin words the capture latches.
             let frame: &[W] = &cur;
-            absorb_batch(
-                &self.unload,
-                &mut self.banks,
-                &mut self.signatures,
-                self.shift_cycles,
-                |cell| frame[cc.fanins(cell)[0].index()],
-            );
+            {
+                let _absorb_span = metrics.absorb_ns.start();
+                absorb_batch(
+                    &self.unload,
+                    &mut self.banks,
+                    &mut self.signatures,
+                    self.shift_cycles,
+                    |cell| frame[cc.fanins(cell)[0].index()],
+                );
+            }
             batches_done += 1;
+            metrics.batches.inc();
+            metrics.patterns.add(W::LANES as u64);
+            metrics.faults_graded.add(active_before);
             snap_completed = snap_next;
             std::mem::swap(&mut cur, &mut next);
             if let Some(spec) = &control.checkpoint {
@@ -445,6 +535,7 @@ impl<'a, W: LaneWord> WideGradingSession<'a, W> {
             sim.set_threads(n);
         }
         sim.set_cancel(control.cancel.clone());
+        sim.set_phase_metrics(self.metrics.sim_phases());
 
         let netlist_hash = lbist_ckpt::netlist_fingerprint(&self.core.netlist);
         let mut resumed_from = None;
@@ -466,6 +557,7 @@ impl<'a, W: LaneWord> WideGradingSession<'a, W> {
 
         let cc = self.cc;
         let core = self.core;
+        let metrics = self.metrics.clone();
         let arch = &mut self.arch;
         let pipelined = self.pipelined;
         let total = batches as u64;
@@ -477,6 +569,7 @@ impl<'a, W: LaneWord> WideGradingSession<'a, W> {
         let mut cur: Vec<W> = cc.new_wide_frame();
         let mut next: Vec<W> = cc.new_wide_frame();
         if start_batch < total {
+            let _fill_span = metrics.fill_ns.start();
             fill_wide_frame_from_prpg(arch, core, &mut cur);
         }
         for batch in start_batch..total {
@@ -488,6 +581,7 @@ impl<'a, W: LaneWord> WideGradingSession<'a, W> {
                 status = cancelled;
                 break;
             }
+            let _batch_span = metrics.batch_ns.start();
             let snap_next: Vec<Gf2Vec> =
                 arch.domains().iter().map(|d| d.prpg.lfsr().state().clone()).collect();
             let last = batch + 1 == total;
@@ -495,6 +589,7 @@ impl<'a, W: LaneWord> WideGradingSession<'a, W> {
             let graded = if last || !pipelined {
                 let graded = sim.try_run_batch(&cur, W::LANES);
                 if graded.is_some() && !last {
+                    let _fill_span = metrics.fill_ns.start();
                     fill_wide_frame_from_prpg(arch, core, &mut next);
                 }
                 graded
@@ -502,9 +597,13 @@ impl<'a, W: LaneWord> WideGradingSession<'a, W> {
                 let sim = &mut sim;
                 let cur = &cur;
                 let next = &mut next;
+                let fill_ns = &metrics.fill_ns;
                 let (graded, ()) = lbist_exec::join(
                     || sim.try_run_batch(cur, W::LANES),
-                    || fill_wide_frame_from_prpg(arch, core, next),
+                    || {
+                        let _fill_span = fill_ns.start();
+                        fill_wide_frame_from_prpg(arch, core, next)
+                    },
                 );
                 graded
             };
@@ -517,14 +616,20 @@ impl<'a, W: LaneWord> WideGradingSession<'a, W> {
             faults_graded += active_before;
             // The unload observes the end-of-window flip-flop states.
             let final_frame = sim.last_good_frame();
-            absorb_batch(
-                &self.unload,
-                &mut self.banks,
-                &mut self.signatures,
-                self.shift_cycles,
-                |cell| final_frame[cell.index()],
-            );
+            {
+                let _absorb_span = metrics.absorb_ns.start();
+                absorb_batch(
+                    &self.unload,
+                    &mut self.banks,
+                    &mut self.signatures,
+                    self.shift_cycles,
+                    |cell| final_frame[cell.index()],
+                );
+            }
             batches_done += 1;
+            metrics.batches.inc();
+            metrics.patterns.add(W::LANES as u64);
+            metrics.faults_graded.add(active_before);
             snap_completed = snap_next;
             std::mem::swap(&mut cur, &mut next);
             if let Some(spec) = &control.checkpoint {

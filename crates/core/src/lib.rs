@@ -58,7 +58,8 @@ pub use fill::{
     fill_wide_frame_from_prpg,
 };
 pub use grading::{
-    outcome_digest, ControlledGradingOutcome, WideGradingOutcome, WideGradingSession,
+    outcome_digest, ControlledGradingOutcome, GradingMetrics, WideGradingOutcome,
+    WideGradingSession,
 };
 pub use jtag_bist::JtagBist;
 pub use selector::{InputSelector, PatternSource};

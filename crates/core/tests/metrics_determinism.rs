@@ -1,0 +1,149 @@
+//! The observability layer's core contract: telemetry observes, never
+//! steers. A grading run with full metrics (enabled registry, phase
+//! spans live on every batch) must produce bit-identical outcomes —
+//! detections, coverage, MISR signatures, digests — to the same run
+//! with a no-op registry and to one with no metrics installed at all,
+//! across fault models, lane widths, and the pipelined/sequential
+//! split. Exporting a snapshot mid-run must not perturb it either.
+
+use lbist_core::{GradingMetrics, StumpsConfig, WideGradingSession};
+use lbist_cores::{CoreProfile, CpuCoreGenerator};
+use lbist_dft::{prepare_core, BistReadyCore, PrepConfig, TpiMethod};
+use lbist_exec::LaneWord;
+use lbist_fault::{CaptureWindow, FaultUniverse};
+use lbist_obs::Registry;
+
+fn small_core(seed: u64) -> BistReadyCore {
+    let netlist = CpuCoreGenerator::new(CoreProfile::core_x().scaled(800), seed).generate();
+    prepare_core(
+        &netlist,
+        &PrepConfig {
+            total_chains: 4,
+            obs_budget: 0,
+            tpi: TpiMethod::None,
+            ..PrepConfig::default()
+        },
+    )
+}
+
+/// One stuck-at run at width `W` with the given metrics handles
+/// installed, returning the timing-free digest.
+fn stuck_digest<W: LaneWord>(
+    core: &BistReadyCore,
+    metrics: Option<GradingMetrics>,
+    sequential: bool,
+) -> u64 {
+    let cc = lbist_sim::CompiledCircuit::compile(&core.netlist).unwrap();
+    let faults = FaultUniverse::stuck_at(&core.netlist).representatives();
+    let mut session: WideGradingSession<'_, W> =
+        WideGradingSession::new(core, &cc, &StumpsConfig::default());
+    session.set_threads(2);
+    if sequential {
+        session.sequential();
+    }
+    if let Some(m) = metrics {
+        session.set_metrics(m);
+    }
+    session.run_stuck_at(faults, 6).digest()
+}
+
+fn transition_digest<W: LaneWord>(core: &BistReadyCore, metrics: Option<GradingMetrics>) -> u64 {
+    let cc = lbist_sim::CompiledCircuit::compile(&core.netlist).unwrap();
+    let faults: Vec<_> = FaultUniverse::transition(&core.netlist)
+        .representatives()
+        .into_iter()
+        .filter(|f| f.is_stem())
+        .collect();
+    let window = CaptureWindow::all_domains(core.netlist.num_domains().max(1));
+    let mut session: WideGradingSession<'_, W> =
+        WideGradingSession::new(core, &cc, &StumpsConfig::default());
+    session.set_threads(2);
+    if let Some(m) = metrics {
+        session.set_metrics(m);
+    }
+    session.run_transition(faults, window, 6).digest()
+}
+
+#[test]
+fn stuck_at_digest_is_identical_with_metrics_on_off_and_noop() {
+    let core = small_core(41);
+    let bare = stuck_digest::<u64>(&core, None, false);
+    let enabled = Registry::new();
+    let on = stuck_digest::<u64>(&core, Some(GradingMetrics::from_registry(&enabled)), false);
+    let noop = stuck_digest::<u64>(
+        &core,
+        Some(GradingMetrics::from_registry(&Registry::disabled())),
+        false,
+    );
+    assert_eq!(on, bare, "enabled metrics changed the stuck-at verdict");
+    assert_eq!(noop, bare, "no-op metrics changed the stuck-at verdict");
+    // The enabled run actually metered: the phase trace is populated.
+    let snap = enabled.snapshot();
+    assert_eq!(snap.counter("grading.batches"), Some(6));
+    assert!(snap.histogram("grading.batch_ns").unwrap().count >= 6);
+    assert!(snap.histogram("grading.sim_ns").unwrap().sum > 0);
+    assert!(snap.histogram("grading.detect_ns").unwrap().sum > 0);
+}
+
+#[test]
+fn metered_digest_is_width_and_pipeline_invariant() {
+    let core = small_core(43);
+    let bare = stuck_digest::<u64>(&core, None, false);
+    for sequential in [false, true] {
+        let r = Registry::new();
+        assert_eq!(
+            stuck_digest::<u64>(&core, Some(GradingMetrics::from_registry(&r)), sequential),
+            bare,
+            "sequential={sequential}"
+        );
+    }
+    let r = Registry::new();
+    assert_eq!(
+        stuck_digest::<u128>(&core, Some(GradingMetrics::from_registry(&r)), false),
+        stuck_digest::<u128>(&core, None, false),
+        "metered 128-lane run diverged from its unmetered twin"
+    );
+}
+
+#[test]
+fn transition_digest_is_identical_with_metrics_on() {
+    let core = small_core(47);
+    let bare = transition_digest::<u64>(&core, None);
+    let enabled = Registry::new();
+    let on = transition_digest::<u64>(&core, Some(GradingMetrics::from_registry(&enabled)));
+    assert_eq!(on, bare, "enabled metrics changed the transition verdict");
+    let snap = enabled.snapshot();
+    assert_eq!(snap.counter("grading.batches"), Some(6));
+    assert!(snap.histogram("grading.sim_ns").unwrap().sum > 0);
+}
+
+/// Snapshotting the registry *while the run is in flight* (from another
+/// thread, as a scraper would) must not perturb the verdict: reads are
+/// relaxed atomics off the record path.
+#[test]
+fn concurrent_snapshot_export_does_not_perturb_the_run() {
+    let core = small_core(53);
+    let bare = stuck_digest::<u64>(&core, None, false);
+    let registry = Registry::new();
+    let metrics = GradingMetrics::from_registry(&registry);
+    let stop = std::sync::atomic::AtomicBool::new(false);
+    let digest = std::thread::scope(|s| {
+        let scraper_registry = registry.clone();
+        let stop = &stop;
+        s.spawn(move || {
+            let mut snapshots = 0u32;
+            while !stop.load(std::sync::atomic::Ordering::Relaxed) {
+                let snap = scraper_registry.snapshot();
+                let _ = snap.to_json();
+                snapshots += 1;
+                if snapshots > 1_000_000 {
+                    break;
+                }
+            }
+        });
+        let digest = stuck_digest::<u64>(&core, Some(metrics), false);
+        stop.store(true, std::sync::atomic::Ordering::Relaxed);
+        digest
+    });
+    assert_eq!(digest, bare, "a concurrent exporter changed the verdict");
+}

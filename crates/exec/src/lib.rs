@@ -24,6 +24,14 @@
 //!   surface as a [`ShardPanic`] naming the shard and carrying the
 //!   original payload), and the [`chaos`] module's deterministic
 //!   fault-injection hook that lets tests rehearse worker failure.
+//! * **Telemetry** — every pool charges per-worker `tasks_run` /
+//!   `steals` counters (readable via [`ThreadPool::stats`] or by name
+//!   through `lbist_obs::global()` snapshots), and resilient dispatch
+//!   counts shards dispatched, retried, serially degraded, and
+//!   escalated to [`ShardPanic`] (`exec.shard_dispatches` /
+//!   `exec.shard_retries` / `exec.serial_degrades` /
+//!   `exec.shard_panics`). Counters observe; they never feed back into
+//!   scheduling, so the determinism contract below is unaffected.
 //!
 //! Determinism contract: the pool schedules *where* tasks run, never
 //! *what* they compute. Consumers shard work into disjoint output
@@ -58,6 +66,6 @@ pub use cancel::{CancelReason, CancelToken};
 pub use lanes::LaneWord;
 pub use pool::{
     current_num_threads, global, join, parallel_chunks, parallel_chunks_with_scratch, scope,
-    worker_budget, Scope, ThreadPool,
+    worker_budget, PoolStats, Scope, ThreadPool, WorkerStats,
 };
 pub use resilient::{resilient_chunks_with_scratch, retry_backoff, RetryPolicy, ShardPanic};

@@ -15,6 +15,7 @@
 //! is the same contract as `std::thread::scope`, with persistent
 //! workers instead of per-call OS threads.
 
+use lbist_obs::Counter;
 use std::collections::VecDeque;
 use std::marker::PhantomData;
 use std::panic::{self, AssertUnwindSafe};
@@ -22,6 +23,63 @@ use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::{Arc, Condvar, Mutex, OnceLock};
 use std::thread::JoinHandle;
 use std::time::Duration;
+
+/// Assigns each pool a process-unique id so its counters get their own
+/// names in the global registry (a fresh pool's stats start at zero).
+static NEXT_POOL_ID: AtomicUsize = AtomicUsize::new(0);
+
+/// Telemetry handles for one execution identity — a worker thread, or
+/// the pooled "external" identity for non-worker threads that help.
+#[derive(Debug)]
+struct WorkerCounters {
+    /// Tasks this identity picked up and executed.
+    tasks_run: Counter,
+    /// Tasks it took from *another* worker's deque.
+    steals: Counter,
+}
+
+impl WorkerCounters {
+    fn register(pool_id: usize, who: &str) -> Self {
+        let registry = lbist_obs::global();
+        WorkerCounters {
+            tasks_run: registry.counter(&format!("exec.pool{pool_id}.{who}.tasks_run")),
+            steals: registry.counter(&format!("exec.pool{pool_id}.{who}.steals")),
+        }
+    }
+}
+
+/// Observed execution counts for one worker (or the external identity).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct WorkerStats {
+    /// Tasks picked up and executed.
+    pub tasks_run: u64,
+    /// Tasks taken from another worker's deque.
+    pub steals: u64,
+}
+
+/// Point-in-time execution counts for a whole pool, from
+/// [`ThreadPool::stats`]. The same numbers are exported by name
+/// (`exec.pool<id>.worker<i>.tasks_run` / `.steals`) through
+/// `lbist_obs::global()` snapshots.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct PoolStats {
+    /// One entry per worker thread, by deque index.
+    pub workers: Vec<WorkerStats>,
+    /// Tasks executed by non-worker threads helping a scope join.
+    pub external: WorkerStats,
+}
+
+impl PoolStats {
+    /// Tasks executed across all workers plus helping threads.
+    pub fn total_tasks(&self) -> u64 {
+        self.workers.iter().map(|w| w.tasks_run).sum::<u64>() + self.external.tasks_run
+    }
+
+    /// Steals across all workers plus helping threads.
+    pub fn total_steals(&self) -> u64 {
+        self.workers.iter().map(|w| w.steals).sum::<u64>() + self.external.steals
+    }
+}
 
 /// A queued unit of work: the lifetime-erased job plus the latch of the
 /// scope it belongs to (completion and panic capture follow the task,
@@ -111,18 +169,33 @@ struct PoolShared {
     /// Workers currently alive (decremented on worker exit) — the
     /// teardown regression tests read this.
     alive: AtomicUsize,
+    /// Per-worker telemetry (indexed like `worker_queues`) plus the
+    /// pooled identity for helping non-worker threads.
+    worker_counters: Vec<WorkerCounters>,
+    external_counters: WorkerCounters,
 }
 
 impl PoolShared {
+    fn counters_for(&self, own: Option<usize>) -> &WorkerCounters {
+        match own {
+            Some(idx) => &self.worker_counters[idx],
+            None => &self.external_counters,
+        }
+    }
+
     /// Pops one task: the hinted worker's own deque (LIFO), then the
-    /// injector, then a FIFO steal sweep over the other workers.
+    /// injector, then a FIFO steal sweep over the other workers. Every
+    /// caller immediately executes what it finds, so the task and steal
+    /// counts are charged here, to the finding identity.
     fn find_task(&self, own: Option<usize>) -> Option<QueuedTask> {
         if let Some(idx) = own {
             if let Some(t) = self.worker_queues[idx].lock().expect("queue poisoned").pop_back() {
+                self.worker_counters[idx].tasks_run.inc();
                 return Some(t);
             }
         }
         if let Some(t) = self.injector.lock().expect("queue poisoned").pop_front() {
+            self.counters_for(own).tasks_run.inc();
             return Some(t);
         }
         let n = self.worker_queues.len();
@@ -133,6 +206,9 @@ impl PoolShared {
                 continue;
             }
             if let Some(t) = q.lock().expect("queue poisoned").pop_front() {
+                let counters = self.counters_for(own);
+                counters.tasks_run.inc();
+                counters.steals.inc();
                 return Some(t);
             }
         }
@@ -250,6 +326,7 @@ impl ThreadPool {
     /// Panics if `threads` is 0.
     pub fn new(threads: usize) -> Self {
         assert!(threads > 0, "a thread pool needs at least one worker");
+        let pool_id = NEXT_POOL_ID.fetch_add(1, Ordering::Relaxed);
         let shared = Arc::new(PoolShared {
             worker_queues: (0..threads).map(|_| Mutex::new(VecDeque::new())).collect(),
             injector: Mutex::new(VecDeque::new()),
@@ -257,6 +334,10 @@ impl ThreadPool {
             idle_cv: Condvar::new(),
             shutdown: AtomicBool::new(false),
             alive: AtomicUsize::new(threads),
+            worker_counters: (0..threads)
+                .map(|i| WorkerCounters::register(pool_id, &format!("worker{i}")))
+                .collect(),
+            external_counters: WorkerCounters::register(pool_id, "external"),
         });
         let handles = (0..threads)
             .map(|i| {
@@ -279,6 +360,19 @@ impl ThreadPool {
     /// runs, `0` once [`Drop`] has joined them (teardown diagnostics).
     pub fn alive_workers(&self) -> usize {
         self.shared.alive.load(Ordering::SeqCst)
+    }
+
+    /// Point-in-time per-worker execution counts (tasks run, steals).
+    /// Purely observational: reading them never perturbs scheduling.
+    pub fn stats(&self) -> PoolStats {
+        let read = |c: &WorkerCounters| WorkerStats {
+            tasks_run: c.tasks_run.value(),
+            steals: c.steals.value(),
+        };
+        PoolStats {
+            workers: self.shared.worker_counters.iter().map(read).collect(),
+            external: read(&self.shared.external_counters),
+        }
     }
 
     /// Runs `f` with this pool installed as the calling thread's

@@ -22,10 +22,35 @@
 use crate::cancel::CancelToken;
 use crate::chaos::{self, ChaosAction};
 use crate::pool::scope;
+use lbist_obs::Counter;
 use std::any::Any;
 use std::panic::{self, AssertUnwindSafe};
-use std::sync::Mutex;
+use std::sync::{Mutex, OnceLock};
 use std::time::Duration;
+
+/// Process-wide resilience telemetry, registered once in
+/// `lbist_obs::global()`. Dispatch counts shards handed to the pool;
+/// retries/degrades/panics count the escalation ladder. Monotonic, so
+/// tests assert before/after deltas even when suites run concurrently.
+struct ResilienceCounters {
+    shard_dispatches: Counter,
+    shard_retries: Counter,
+    serial_degrades: Counter,
+    shard_panics: Counter,
+}
+
+fn counters() -> &'static ResilienceCounters {
+    static COUNTERS: OnceLock<ResilienceCounters> = OnceLock::new();
+    COUNTERS.get_or_init(|| {
+        let registry = lbist_obs::global();
+        ResilienceCounters {
+            shard_dispatches: registry.counter("exec.shard_dispatches"),
+            shard_retries: registry.counter("exec.shard_retries"),
+            serial_degrades: registry.counter("exec.serial_degrades"),
+            shard_panics: registry.counter("exec.shard_panics"),
+        }
+    })
+}
 
 /// How hard to try before declaring a shard dead.
 #[derive(Clone, Debug)]
@@ -190,6 +215,7 @@ pub fn resilient_chunks_with_scratch<T, U, S>(
         None => vec![ChaosAction::default(); num_shards],
     };
 
+    counters().shard_dispatches.add(num_shards as u64);
     let failures: Mutex<Vec<ShardFailure>> = Mutex::new(Vec::new());
     if workers == 1 {
         run_shard_on_pool(
@@ -235,6 +261,7 @@ pub fn resilient_chunks_with_scratch<T, U, S>(
         if cancel.is_some_and(|c| c.is_cancelled()) {
             return;
         }
+        counters().serial_degrades.inc();
         let item_shard =
             &items[fail.shard * shard_len..(fail.shard * shard_len + shard_len).min(items.len())];
         let out_shard =
@@ -248,6 +275,7 @@ pub fn resilient_chunks_with_scratch<T, U, S>(
             serial_attempt,
         );
         if result.is_err() {
+            counters().shard_panics.inc();
             panic::panic_any(ShardPanic {
                 shard: fail.shard,
                 attempts: serial_attempt + 1,
@@ -274,6 +302,9 @@ fn run_shard_on_pool<T, U, S>(
 ) {
     let mut first_payload = None;
     for attempt_index in 0..=policy.max_retries {
+        if attempt_index > 0 {
+            counters().shard_retries.inc();
+        }
         match attempt(f, items, out, scratch, action, attempt_index) {
             Ok(()) => return,
             Err(payload) => {

@@ -53,6 +53,7 @@
 mod coverage;
 mod dictionary;
 mod model;
+mod phases;
 mod propagate;
 mod stuck;
 mod transition;
@@ -61,6 +62,7 @@ mod universe;
 pub use coverage::CoverageReport;
 pub use dictionary::{build_dictionary, FaultDictionary};
 pub use model::{Fault, FaultKind};
+pub use phases::SimPhaseMetrics;
 pub use propagate::propagate_fault;
 pub use stuck::{StuckAtSim, WideStuckAtSim};
 pub use transition::{CaptureWindow, TransitionSim, WideTransitionSim};

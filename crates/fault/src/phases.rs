@@ -1,0 +1,26 @@
+//! Phase-timing handles for the batch pipeline inside the fault
+//! simulators.
+//!
+//! A batch spends its time in two places the caller cannot tell apart
+//! from outside: the shared fault-free evaluation (`sim`) and the
+//! sharded per-fault propagation plus serial merge (`detect`). Sessions
+//! that want a phase trace install a [`SimPhaseMetrics`] whose
+//! histograms were created on their registry; the default handles are
+//! no-ops, so an uninstrumented simulator never reads the clock.
+//!
+//! Timing is observational only: spans never influence grading, so
+//! results stay bit-identical with metrics on or off.
+
+use lbist_obs::Histogram;
+
+/// Per-batch phase timers a grading session installs on its simulator
+/// via `set_phase_metrics`. Each histogram receives one elapsed-ns
+/// record per batch.
+#[derive(Clone, Debug, Default)]
+pub struct SimPhaseMetrics {
+    /// Fault-free evaluation of the batch's frames.
+    pub sim_ns: Histogram,
+    /// Sharded fault propagation (dispatch, retries) plus the serial
+    /// detection merge.
+    pub detect_ns: Histogram,
+}

@@ -1,6 +1,7 @@
 //! PPSFP stuck-at fault simulation, sharded across the persistent `lbist-exec` work-stealing pool.
 
 use crate::coverage::CoverageReport;
+use crate::phases::SimPhaseMetrics;
 use crate::propagate::{inject_stuck_at, Propagator};
 use crate::Fault;
 use lbist_exec::{CancelToken, LaneWord, RetryPolicy};
@@ -85,6 +86,9 @@ pub struct WideStuckAtSim<'a, W: LaneWord = u64> {
     /// merge. A cancelled batch is never merged, so the simulator state
     /// stays at the last completed batch — clean to checkpoint.
     cancel: Option<CancelToken>,
+    /// Per-batch phase timers (no-op unless a session installs real
+    /// handles via [`WideStuckAtSim::set_phase_metrics`]).
+    phases: SimPhaseMetrics,
 }
 
 impl<'a, W: LaneWord> WideStuckAtSim<'a, W> {
@@ -127,6 +131,7 @@ impl<'a, W: LaneWord> WideStuckAtSim<'a, W> {
             scratch: Vec::new(),
             batch_det: Vec::new(),
             cancel: None,
+            phases: SimPhaseMetrics::default(),
         }
     }
 
@@ -200,6 +205,15 @@ impl<'a, W: LaneWord> WideStuckAtSim<'a, W> {
         self.cancel = cancel;
     }
 
+    /// Installs phase timers: each batch records its fault-free
+    /// evaluation time into `phases.sim_ns` and its sharded
+    /// propagation-and-merge time into `phases.detect_ns`. Timing is
+    /// observational only — grading results are bit-identical with or
+    /// without it.
+    pub fn set_phase_metrics(&mut self, phases: SimPhaseMetrics) {
+        self.phases = phases;
+    }
+
     /// Grades one batch. The caller must have loaded the source words of
     /// `frame` (inputs, flip-flop states, X-source substitutes);
     /// `num_patterns` (1..=`W::LANES`) marks how many lanes carry real
@@ -233,7 +247,10 @@ impl<'a, W: LaneWord> WideStuckAtSim<'a, W> {
             return None;
         }
         let lane_mask = W::mask_lanes(num_patterns);
-        self.cc.eval2(frame);
+        {
+            let _sim_span = self.phases.sim_ns.start();
+            self.cc.eval2(frame);
+        }
 
         let n_active = self.active.len();
         self.batch_det.clear();
@@ -250,6 +267,10 @@ impl<'a, W: LaneWord> WideStuckAtSim<'a, W> {
         let min_shard = if self.threads_auto { Some(MIN_SHARD_FAULTS) } else { None };
         let workers = lbist_exec::worker_budget(self.threads, n_active, min_shard);
 
+        // One detect span covers dispatch, retries, and the serial
+        // merge below (it records on every exit path, cancelled included
+        // — a discarded batch still spent the time).
+        let _detect_span = self.phases.detect_ns.start();
         let cc = self.cc;
         let faults: &[Fault] = &self.faults;
         let observed: &[bool] = &self.observed;

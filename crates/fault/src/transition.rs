@@ -28,6 +28,7 @@
 //! [`Propagator`] and flip-flop overlay, so parallel and serial coverage
 //! are bit-identical.
 
+use crate::phases::SimPhaseMetrics;
 use crate::propagate::Propagator;
 use crate::stuck::CANCEL_POLL_STRIDE;
 use crate::{CoverageReport, Fault};
@@ -187,6 +188,9 @@ pub struct WideTransitionSim<'a, W: LaneWord = u64> {
     /// Cooperative cancellation; a cancelled batch is discarded unmerged
     /// so the state stays at the last completed batch.
     cancel: Option<CancelToken>,
+    /// Per-batch phase timers (no-op unless a session installs real
+    /// handles via [`WideTransitionSim::set_phase_metrics`]).
+    phases: SimPhaseMetrics,
 }
 
 impl<'a, W: LaneWord> WideTransitionSim<'a, W> {
@@ -225,6 +229,7 @@ impl<'a, W: LaneWord> WideTransitionSim<'a, W> {
             scratch: Vec::new(),
             batch_det: Vec::new(),
             cancel: None,
+            phases: SimPhaseMetrics::default(),
         }
     }
 
@@ -273,6 +278,14 @@ impl<'a, W: LaneWord> WideTransitionSim<'a, W> {
         self.cancel = cancel;
     }
 
+    /// Installs phase timers: each batch records its fault-free window
+    /// evaluation into `phases.sim_ns` and its sharded replay + merge
+    /// into `phases.detect_ns`. Observational only — grading results
+    /// are bit-identical with or without it.
+    pub fn set_phase_metrics(&mut self, phases: SimPhaseMetrics) {
+        self.phases = phases;
+    }
+
     /// Grades one batch of up to `W::LANES` scan patterns. `base` must
     /// carry the scan state in its flip-flop words and the held PI values;
     /// it is consumed as frame F0.
@@ -303,7 +316,10 @@ impl<'a, W: LaneWord> WideTransitionSim<'a, W> {
             return None;
         }
         let lane_mask = W::mask_lanes(num_patterns);
-        self.compute_good_frames(base);
+        {
+            let _sim_span = self.phases.sim_ns.start();
+            self.compute_good_frames(base);
+        }
 
         let n_active = self.active.len();
         self.batch_det.clear();
@@ -319,6 +335,9 @@ impl<'a, W: LaneWord> WideTransitionSim<'a, W> {
         let min_shard = if self.threads_auto { Some(MIN_SHARD_FAULTS) } else { None };
         let workers = lbist_exec::worker_budget(self.threads, n_active, min_shard);
 
+        // One detect span covers dispatch, retries, and the serial
+        // merge below (records on every exit path, cancelled included).
+        let _detect_span = self.phases.detect_ns.start();
         let cc = self.cc;
         let window = &self.window;
         let faults: &[Fault] = &self.faults;

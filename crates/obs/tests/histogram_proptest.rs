@@ -1,0 +1,103 @@
+//! Property tests for the log2 histogram and the JSON exporter.
+//!
+//! The bucket scheme is identity-adjacent for telemetry consumers: a
+//! value that lands in two buckets (or none) would double-count or drop
+//! latency mass, and an exporter that doesn't round-trip would make the
+//! on-disk snapshot unverifiable in CI. Both properties are pinned here
+//! over arbitrary `u64`s and arbitrary snapshots.
+
+use lbist_obs::{
+    bucket_index, bucket_upper_bound, HistogramSnapshot, Registry, Snapshot, NUM_BUCKETS,
+};
+use proptest::prelude::*;
+
+/// Registry-legal metric names (ASCII alphanumerics plus `.`, `_`, `-`).
+/// The vendored proptest has no regex strategies, so names are built by
+/// indexing a charset.
+fn arb_name() -> impl Strategy<Value = String> {
+    const CHARSET: &[u8] = b"abcxyz0123456789._-";
+    proptest::collection::vec(0usize..CHARSET.len(), 1..24)
+        .prop_map(|picks| picks.into_iter().map(|i| CHARSET[i] as char).collect())
+}
+
+fn arb_snapshot() -> impl Strategy<Value = Snapshot> {
+    let counters = proptest::collection::vec((arb_name(), any::<u64>()), 0..6);
+    let gauges = proptest::collection::vec((arb_name(), any::<i64>()), 0..6);
+    let histograms = proptest::collection::vec(
+        (
+            arb_name(),
+            any::<u64>(),
+            any::<u64>(),
+            proptest::collection::vec((0u32..NUM_BUCKETS as u32, 1u64..u64::MAX), 0..8),
+        )
+            .prop_map(|(name, count, sum, mut buckets)| {
+                // Registry snapshots emit buckets sorted by index with no
+                // duplicates; mirror that normal form.
+                buckets.sort_by_key(|&(i, _)| i);
+                buckets.dedup_by_key(|&mut (i, _)| i);
+                HistogramSnapshot { name, count, sum, buckets }
+            }),
+        0..4,
+    );
+    (counters, gauges, histograms).prop_map(|(counters, gauges, histograms)| Snapshot {
+        counters,
+        gauges,
+        histograms,
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Every u64 lands in exactly one bucket: its index is in range, the
+    /// value is ≤ that bucket's upper bound, and > the previous bucket's.
+    #[test]
+    fn every_value_lands_in_exactly_one_bucket(v in any::<u64>()) {
+        let idx = bucket_index(v);
+        prop_assert!(idx < NUM_BUCKETS);
+        prop_assert!(v <= bucket_upper_bound(idx));
+        if idx > 0 {
+            prop_assert!(v > bucket_upper_bound(idx - 1));
+        } else {
+            prop_assert_eq!(v, 0);
+        }
+    }
+
+    /// Bucket boundaries are exact: each bound maps to its own bucket and
+    /// bound + 1 maps to the next.
+    #[test]
+    fn boundaries_are_exclusive(idx in 0usize..NUM_BUCKETS - 1) {
+        let bound = bucket_upper_bound(idx);
+        prop_assert_eq!(bucket_index(bound), idx);
+        prop_assert_eq!(bucket_index(bound + 1), idx + 1);
+    }
+
+    /// Recording values through a live registry keeps per-bucket counts,
+    /// total count, and sum mutually consistent with a scalar replay.
+    #[test]
+    fn recorded_histograms_are_self_consistent(values in proptest::collection::vec(any::<u64>(), 1..64)) {
+        let registry = Registry::new();
+        let h = registry.histogram("prop.values");
+        for &v in &values {
+            h.record(v);
+        }
+        let snap = registry.snapshot();
+        let hs = snap.histogram("prop.values").unwrap();
+        prop_assert_eq!(hs.count, values.len() as u64);
+        let expect_sum = values.iter().fold(0u64, |acc, &v| acc.wrapping_add(v));
+        prop_assert_eq!(hs.sum, expect_sum);
+        let bucket_total: u64 = hs.buckets.iter().map(|&(_, n)| n).sum();
+        prop_assert_eq!(bucket_total, hs.count);
+        for &(idx, n) in &hs.buckets {
+            let expect = values.iter().filter(|&&v| bucket_index(v) == idx as usize).count();
+            prop_assert_eq!(n, expect as u64);
+        }
+    }
+
+    /// JSON export parses back to exactly the snapshot that produced it.
+    #[test]
+    fn json_snapshot_round_trips(snap in arb_snapshot()) {
+        let parsed = Snapshot::from_json(&snap.to_json()).unwrap();
+        prop_assert_eq!(parsed, snap);
+    }
+}

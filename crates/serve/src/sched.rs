@@ -33,6 +33,7 @@ use lbist_core::{
 use lbist_exec::{retry_backoff, LaneWord, RetryPolicy, ShardPanic};
 use lbist_fault::{CaptureWindow, Fault};
 use lbist_netlist::Netlist;
+use lbist_obs::{Counter, Gauge, Histogram, Registry};
 use std::panic::{self, AssertUnwindSafe};
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -90,6 +91,12 @@ pub struct ServeConfig {
     /// `lbist_exec::chaos` plans (the plan is thread-local); results
     /// are bit-identical either way.
     pub sequential: bool,
+    /// Metrics registry the plane registers its `serve.*` counters in.
+    /// `None` creates a private enabled registry, so
+    /// [`ControlPlane::metrics`] is exact per plane; supplying a shared
+    /// registry (e.g. [`lbist_obs::global`]) aggregates across planes
+    /// that share it.
+    pub registry: Option<Registry>,
 }
 
 impl Default for ServeConfig {
@@ -102,13 +109,15 @@ impl Default for ServeConfig {
             retry: RetryPolicy::default(),
             threads: None,
             sequential: false,
+            registry: None,
         }
     }
 }
 
-/// Scheduler-wide counters. `submitted = accepted + rejected`, and
-/// every accepted job ends in exactly one of `completed`, `failed` or
-/// `shed`.
+/// Scheduler-wide counters, read out of the plane's metrics registry.
+/// `submitted = accepted + rejected`, and every accepted job ends in
+/// exactly one of `completed`, `failed` or `shed` — until then it
+/// counts toward [`ControlPlane::queue_depth`].
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct PlaneMetrics {
     /// Jobs ever submitted.
@@ -130,6 +139,42 @@ pub struct PlaneMetrics {
     pub retries: u64,
 }
 
+/// The plane's live handles into its registry: lifecycle counters
+/// (`serve.submitted` …), the queue-depth gauge, and the queue-wait /
+/// slice-latency histograms. Timing lands only in telemetry — verdicts,
+/// digests and checkpoints never read these.
+struct PlaneCounters {
+    submitted: Counter,
+    accepted: Counter,
+    rejected: Counter,
+    shed: Counter,
+    completed: Counter,
+    failed: Counter,
+    preemptions: Counter,
+    retries: Counter,
+    queue_depth: Gauge,
+    queue_wait_ns: Histogram,
+    slice_ns: Histogram,
+}
+
+impl PlaneCounters {
+    fn register(registry: &Registry) -> Self {
+        PlaneCounters {
+            submitted: registry.counter("serve.submitted"),
+            accepted: registry.counter("serve.accepted"),
+            rejected: registry.counter("serve.rejected"),
+            shed: registry.counter("serve.shed"),
+            completed: registry.counter("serve.completed"),
+            failed: registry.counter("serve.failed"),
+            preemptions: registry.counter("serve.preemptions"),
+            retries: registry.counter("serve.retries"),
+            queue_depth: registry.gauge("serve.queue_depth"),
+            queue_wait_ns: registry.histogram("serve.queue_wait_ns"),
+            slice_ns: registry.histogram("serve.slice_ns"),
+        }
+    }
+}
+
 struct Tenant {
     #[allow(dead_code)]
     name: String,
@@ -149,6 +194,9 @@ struct QueuedJob {
     retries: u32,
     partial: Option<WideGradingOutcome>,
     submitted: Instant,
+    /// When the job last entered the queue (set at admission, reset on
+    /// every preempt/retry re-queue) — the `serve.queue_wait_ns` clock.
+    enqueued: Instant,
     ckpt: PathBuf,
     has_ckpt: bool,
 }
@@ -183,7 +231,8 @@ pub struct ControlPlane {
     queue: Vec<QueuedJob>,
     verdicts: Vec<JobVerdict>,
     cache: AssetCache,
-    metrics: PlaneMetrics,
+    registry: Registry,
+    counters: PlaneCounters,
     next_job: JobId,
     spool: PathBuf,
     owns_spool: bool,
@@ -203,13 +252,16 @@ impl ControlPlane {
         };
         std::fs::create_dir_all(&spool).map_err(CkptError::Io)?;
         let cache = AssetCache::new(cfg.cache_capacity);
+        let registry = cfg.registry.clone().unwrap_or_default();
+        let counters = PlaneCounters::register(&registry);
         Ok(ControlPlane {
             cfg,
             tenants: Vec::new(),
             queue: Vec::new(),
             verdicts: Vec::new(),
             cache,
-            metrics: PlaneMetrics::default(),
+            registry,
+            counters,
             next_job: 0,
             spool,
             owns_spool,
@@ -235,11 +287,11 @@ impl ControlPlane {
     pub fn submit(&mut self, tenant: TenantId, spec: JobSpec, payload: &JobPayload) -> JobId {
         let id = self.next_job;
         self.next_job += 1;
-        self.metrics.submitted += 1;
+        self.counters.submitted.inc();
         let submitted = Instant::now();
         match self.admit(tenant, &spec, payload) {
             Ok(Admitted { assets, faults, gates }) => {
-                self.metrics.accepted += 1;
+                self.counters.accepted.inc();
                 let ckpt = self.spool.join(format!("job-{id}.ckpt"));
                 self.queue.push(QueuedJob {
                     id,
@@ -253,13 +305,15 @@ impl ControlPlane {
                     retries: 0,
                     partial: None,
                     submitted,
+                    enqueued: submitted,
                     ckpt,
                     has_ckpt: false,
                 });
                 self.shed_overflow();
+                self.sync_queue_gauge();
             }
             Err(reason) => {
-                self.metrics.rejected += 1;
+                self.counters.rejected.inc();
                 self.verdicts.push(JobVerdict {
                     job: id,
                     tenant,
@@ -306,9 +360,28 @@ impl ControlPlane {
         self.verdicts.iter().find(|v| v.job == job)
     }
 
-    /// Scheduler-wide counters.
+    /// Scheduler-wide counters, read back out of the plane's registry.
+    /// Exact for a plane with a private registry (the default); with a
+    /// shared [`ServeConfig::registry`] the values aggregate every
+    /// plane registered against it.
     pub fn metrics(&self) -> PlaneMetrics {
-        self.metrics
+        PlaneMetrics {
+            submitted: self.counters.submitted.value(),
+            accepted: self.counters.accepted.value(),
+            rejected: self.counters.rejected.value(),
+            shed: self.counters.shed.value(),
+            completed: self.counters.completed.value(),
+            failed: self.counters.failed.value(),
+            preemptions: self.counters.preemptions.value(),
+            retries: self.counters.retries.value(),
+        }
+    }
+
+    /// The registry holding this plane's `serve.*` metrics — snapshot
+    /// it (`registry().snapshot()`) to export queue-wait and
+    /// slice-latency histograms alongside the lifecycle counters.
+    pub fn registry(&self) -> &Registry {
+        &self.registry
     }
 
     /// Prepared-design cache counters.
@@ -377,7 +450,7 @@ impl ControlPlane {
                 .map(|(i, _)| i)
                 .expect("queue over bound is non-empty");
             let job = self.queue.swap_remove(idx);
-            self.metrics.shed += 1;
+            self.counters.shed.inc();
             let reason = format!(
                 "shed under overload: queue depth exceeded {}",
                 self.cfg.admission.max_queue_depth
@@ -401,8 +474,13 @@ impl ControlPlane {
             .map(|(i, _)| i)
     }
 
+    fn sync_queue_gauge(&self) {
+        self.counters.queue_depth.set(self.queue.len() as i64);
+    }
+
     fn run_slice(&mut self, idx: usize) {
         let mut job = self.queue.swap_remove(idx);
+        self.counters.queue_wait_ns.record(saturating_ns(job.enqueued.elapsed()));
         let slice = self
             .cfg
             .slice_batches
@@ -422,28 +500,32 @@ impl ControlPlane {
         // whose jobs keep dying still consumed its turn.
         self.charge(job.tenant, slice);
 
-        let caught = panic::catch_unwind(AssertUnwindSafe(|| {
-            run_controlled_slice(&job, &control, &self.cfg)
-        }));
+        let caught = {
+            let _slice_span = self.counters.slice_ns.start();
+            panic::catch_unwind(AssertUnwindSafe(|| {
+                run_controlled_slice(&job, &control, &self.cfg)
+            }))
+        };
         match caught {
             Ok(Ok(res)) => {
                 job.batches_done = res.batches_done;
                 match res.status {
                     RunStatus::Completed => {
-                        self.metrics.completed += 1;
+                        self.counters.completed.inc();
                         self.finish(job, Disposition::Completed, Some(res.outcome), None);
                     }
                     RunStatus::BudgetExhausted => {
                         job.partial = Some(res.outcome);
                         job.has_ckpt = true;
                         job.preemptions += 1;
-                        self.metrics.preemptions += 1;
+                        self.counters.preemptions.inc();
+                        job.enqueued = Instant::now();
                         self.queue.push(job);
                     }
                     RunStatus::Cancelled(reason) => {
                         // The plane never arms a cancel token; reaching
                         // here means an external token was smuggled in.
-                        self.metrics.failed += 1;
+                        self.counters.failed.inc();
                         self.finish(
                             job,
                             Disposition::Failed,
@@ -454,7 +536,7 @@ impl ControlPlane {
                 }
             }
             Ok(Err(e)) => {
-                self.metrics.failed += 1;
+                self.counters.failed.inc();
                 let outcome = job.partial.clone();
                 self.finish(
                     job,
@@ -465,10 +547,10 @@ impl ControlPlane {
             }
             Err(payload) => {
                 job.retries += 1;
-                self.metrics.retries += 1;
+                self.counters.retries.inc();
                 let reason = describe_panic(payload.as_ref());
                 if job.retries > self.cfg.retry.max_retries {
-                    self.metrics.failed += 1;
+                    self.counters.failed.inc();
                     let attempts = job.retries;
                     let outcome = job.partial.clone();
                     self.finish(
@@ -482,10 +564,12 @@ impl ControlPlane {
                     if !delay.is_zero() {
                         std::thread::sleep(delay);
                     }
+                    job.enqueued = Instant::now();
                     self.queue.push(job);
                 }
             }
         }
+        self.sync_queue_gauge();
     }
 
     fn charge(&mut self, tenant: TenantId, slice: u64) {
@@ -588,6 +672,10 @@ fn run_controlled<W: LaneWord>(
             session.run_transition_controlled(faults, window, batches, control)
         }
     }
+}
+
+fn saturating_ns(d: std::time::Duration) -> u64 {
+    d.as_nanos().min(u64::MAX as u128) as u64
 }
 
 fn describe_panic(payload: &(dyn std::any::Any + Send)) -> String {

@@ -1,0 +1,141 @@
+//! The control plane's metrics contract, promoted from a bench-time
+//! assert into library-level invariants:
+//!
+//! * **balance** — at *every* scheduling step, `submitted = accepted +
+//!   rejected` and `accepted = completed + failed + shed + in_flight`
+//!   (in-flight = queue depth). No lifecycle path loses a job.
+//! * **registry backing** — [`ControlPlane::metrics`] reads the same
+//!   cells the plane registers in its registry, so an exported snapshot
+//!   (`serve.*`) agrees with the accessor; the `serve.queue_depth`
+//!   gauge tracks the live queue; the queue-wait and slice-latency
+//!   histograms record one entry per slice served.
+
+use lbist_cores::{CoreProfile, CpuCoreGenerator};
+use lbist_netlist::Netlist;
+use lbist_obs::Registry;
+use lbist_serve::{AdmissionPolicy, ControlPlane, JobPayload, JobSpec, PlaneMetrics, ServeConfig};
+
+fn small_netlist(seed: u64) -> Netlist {
+    CpuCoreGenerator::new(CoreProfile::core_x().scaled(600), seed).generate()
+}
+
+fn payload(netlist: &Netlist) -> JobPayload {
+    JobPayload { netlist: lbist_ckpt::seal_netlist(netlist), faults: None }
+}
+
+/// The invariant itself, checked wherever the plane is observable.
+fn assert_balanced(m: &PlaneMetrics, in_flight: usize, at: &str) {
+    assert_eq!(m.submitted, m.accepted + m.rejected, "submission split must balance {at}");
+    assert_eq!(
+        m.accepted,
+        m.completed + m.failed + m.shed + in_flight as u64,
+        "accepted jobs must balance {at}: {m:?}, in_flight {in_flight}"
+    );
+}
+
+/// A workload that exercises every lifecycle edge — accept, reject,
+/// shed, preempt, complete — with the balance checked after every
+/// single scheduling step, not just at idle.
+#[test]
+fn metrics_balance_holds_at_every_scheduling_step() {
+    let mut plane = ControlPlane::new(ServeConfig {
+        admission: AdmissionPolicy { max_job_cost: 4_000_000_000, max_queue_depth: 3 },
+        slice_batches: 1, // forces preemptions on multi-batch jobs
+        ..ServeConfig::default()
+    })
+    .unwrap();
+    let tenant = plane.register_tenant("acme", 1);
+    let netlist = small_netlist(23);
+    let good = payload(&netlist);
+
+    assert_balanced(&plane.metrics(), plane.queue_depth(), "before any submission");
+
+    // Accepted multi-batch jobs (will preempt), one rejection, and one
+    // submission over the depth bound (sheds the costliest queued job).
+    for batches in [3, 2, 2] {
+        plane.submit(tenant, JobSpec::stuck_at(batches), &good);
+        assert_balanced(&plane.metrics(), plane.queue_depth(), "after submit");
+    }
+    plane.submit(tenant, JobSpec::stuck_at(1 << 40), &good); // rejected
+    assert_balanced(&plane.metrics(), plane.queue_depth(), "after rejection");
+    plane.submit(tenant, JobSpec::stuck_at(8), &good); // triggers shedding
+    assert_balanced(&plane.metrics(), plane.queue_depth(), "after shed");
+    let m = plane.metrics();
+    assert_eq!(m.rejected, 1, "the over-budget job must be rejected");
+    assert_eq!(m.shed, 1, "the depth-bound overflow must shed exactly one job");
+
+    // Every individual slice — including mid-run, with preempted jobs
+    // parked and in flight — preserves the balance.
+    let mut steps = 0;
+    while plane.run_once() {
+        steps += 1;
+        assert_balanced(&plane.metrics(), plane.queue_depth(), "mid-run");
+        assert!(steps < 1000, "scheduler failed to drain");
+    }
+    let m = plane.metrics();
+    assert_balanced(&m, plane.queue_depth(), "at idle");
+    assert_eq!(plane.queue_depth(), 0);
+    assert_eq!(m.submitted as usize, plane.verdicts().len(), "every job reaches a verdict");
+    assert!(m.preemptions >= 1, "slice_batches=1 must preempt the multi-batch jobs");
+    assert!(steps >= 1);
+}
+
+/// `metrics()` and the registry snapshot are two views of the same
+/// cells; the gauge and histograms carry the scheduling telemetry.
+#[test]
+fn metrics_accessor_agrees_with_registry_snapshot() {
+    let registry = Registry::new();
+    let mut plane = ControlPlane::new(ServeConfig {
+        slice_batches: 1,
+        registry: Some(registry.clone()),
+        ..ServeConfig::default()
+    })
+    .unwrap();
+    let tenant = plane.register_tenant("acme", 2);
+    let netlist = small_netlist(29);
+    plane.submit(tenant, JobSpec::stuck_at(2), &payload(&netlist));
+
+    // The supplied registry is the one the accessor exposes, and the
+    // queue-depth gauge already tracks the admitted job.
+    let snap = plane.registry().snapshot();
+    assert_eq!(snap.counter("serve.accepted"), Some(1));
+    assert_eq!(snap.gauge("serve.queue_depth"), Some(1));
+
+    plane.run_until_idle();
+    let m = plane.metrics();
+    let snap = registry.snapshot();
+    assert_eq!(snap.counter("serve.submitted"), Some(m.submitted));
+    assert_eq!(snap.counter("serve.accepted"), Some(m.accepted));
+    assert_eq!(snap.counter("serve.rejected"), Some(m.rejected));
+    assert_eq!(snap.counter("serve.shed"), Some(m.shed));
+    assert_eq!(snap.counter("serve.completed"), Some(m.completed));
+    assert_eq!(snap.counter("serve.failed"), Some(m.failed));
+    assert_eq!(snap.counter("serve.preemptions"), Some(m.preemptions));
+    assert_eq!(snap.counter("serve.retries"), Some(m.retries));
+    assert_eq!(snap.gauge("serve.queue_depth"), Some(0), "idle plane has an empty queue");
+
+    // A 2-batch job under slice_batches=1 takes 2 slices; each slice
+    // records one queue wait and one slice latency.
+    let slices = 1 + m.preemptions; // final slice + one per preemption
+    let waits = snap.histogram("serve.queue_wait_ns").expect("queue-wait histogram");
+    let lat = snap.histogram("serve.slice_ns").expect("slice-latency histogram");
+    assert_eq!(waits.count, slices, "one queue-wait sample per slice served");
+    assert_eq!(lat.count, slices, "one latency sample per slice served");
+    assert!(lat.sum > 0, "slices take nonzero time");
+}
+
+/// A plane built without an explicit registry still meters itself (into
+/// a private enabled registry), so `metrics()` never silently reads
+/// no-op cells.
+#[test]
+fn default_plane_gets_a_private_enabled_registry() {
+    let mut plane = ControlPlane::new(ServeConfig::default()).unwrap();
+    let tenant = plane.register_tenant("acme", 1);
+    let netlist = small_netlist(31);
+    plane.submit(tenant, JobSpec::stuck_at(1), &payload(&netlist));
+    plane.run_until_idle();
+    let m = plane.metrics();
+    assert_eq!(m.submitted, 1);
+    assert_eq!(m.completed, 1);
+    assert!(plane.registry().is_enabled());
+}

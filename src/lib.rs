@@ -27,6 +27,7 @@
 //! | [`cores`] | synthetic CPU-like IP cores matching Table 1's profiles |
 //! | [`ckpt`] | versioned, checksummed checkpoint serialization + atomic file I/O |
 //! | [`serve`] | multi-tenant job control plane: admission, fair scheduling, preemption |
+//! | [`obs`] | engine-wide metrics: sharded registry, phase spans, JSON/Prometheus export |
 //!
 //! # Quickstart
 //!
@@ -65,6 +66,7 @@ pub use lbist_dft as dft;
 pub use lbist_exec as exec;
 pub use lbist_fault as fault;
 pub use lbist_netlist as netlist;
+pub use lbist_obs as obs;
 pub use lbist_reseed as reseed;
 pub use lbist_serve as serve;
 pub use lbist_sim as sim;
