@@ -1,19 +1,23 @@
 //! Fault-simulation throughput benchmark: serial vs pool-sharded PPSFP
 //! and launch-on-capture transition grading on a generated CPU core,
 //! plus a worker-count sweep, a **grading-width sweep** (the whole
-//! fill → sim → detect → MISR pipeline at 64/128/256 lanes per pass)
-//! and a lane-width PRPG-fill comparison.
+//! fill → sim → detect → MISR pipeline at 64/128/256/512 lanes per
+//! pass), a **compiled-kernel vs interpreter** comparison and a
+//! lane-width PRPG-fill comparison.
 //!
 //! Emits `BENCH_faultsim.json` (in the working directory) with
 //! patterns/sec, faults-graded/sec, the serial-vs-parallel speedup, a
-//! 1/2/4/max threads sweep, the grading-width sweep (with cross-width
-//! coverage and signature identity asserted at run time) and the
-//! 64/128/256-lane fill throughput — the perf baseline later PRs
-//! compare against.
+//! 1/2/4/max threads sweep (entries oversubscribing the box's
+//! `available_parallelism` are skipped and listed), the grading-width
+//! sweep (with cross-width coverage and signature identity asserted at
+//! run time), a `"kernel"` section (lowering time, program size, and
+//! interpreter-vs-kernel patterns/s with the digests asserted
+//! identical at run time) and the 64/128/256/512-lane fill throughput
+//! — the perf baseline later PRs compare against.
 //!
 //! ```text
 //! cargo run --release --bin bench_faultsim [--scale N] [--batches N]
-//!           [--threads N] [--lanes {64,128,256}] [--out PATH]
+//!           [--threads N] [--lanes {64,128,256,512}] [--out PATH]
 //!           [--metrics-out PATH]
 //!           [--checkpoint PATH [--checkpoint-every N] [--resume]
 //!            [--kill-after-batches N]] [--deadline SECS]
@@ -55,7 +59,7 @@ use lbist_core::{
 };
 use lbist_exec::{CancelReason, LaneWord};
 use lbist_fault::{CaptureWindow, CoverageReport, Fault, FaultUniverse};
-use lbist_sim::CompiledCircuit;
+use lbist_sim::{CompiledCircuit, KernelProgram};
 use std::fmt::Write as _;
 use std::path::Path;
 use std::time::Instant;
@@ -166,7 +170,10 @@ fn checkpointed_main(
     let res = match lanes {
         64 => controlled_stuck_run::<u64>(core, cc, faults, batches, threads, control, metered),
         128 => controlled_stuck_run::<u128>(core, cc, faults, batches, threads, control, metered),
-        _ => controlled_stuck_run::<[u64; 4]>(core, cc, faults, batches, threads, control, metered),
+        256 => {
+            controlled_stuck_run::<[u64; 4]>(core, cc, faults, batches, threads, control, metered)
+        }
+        _ => controlled_stuck_run::<[u64; 8]>(core, cc, faults, batches, threads, control, metered),
     };
     let seconds = t0.elapsed().as_secs_f64();
 
@@ -236,13 +243,16 @@ fn checkpointed_main(
 }
 
 /// One whole stuck-at random phase at width `W` through the grading
-/// pipeline (PRPG fill → sim → detection → MISR), timed.
+/// pipeline (PRPG fill → sim → detection → MISR), timed. `use_kernel =
+/// false` grades on the per-gate interpreter — the reference the
+/// compiled kernel is diffed (and speedup-measured) against.
 fn stuck_run<W: LaneWord>(
     core: &lbist_dft::BistReadyCore,
     cc: &CompiledCircuit,
     faults: &[Fault],
     batches_64: usize,
     threads: usize,
+    use_kernel: bool,
 ) -> RunStats {
     let mut session: WideGradingSession<'_, W> =
         WideGradingSession::new(core, cc, &StumpsConfig::default());
@@ -251,6 +261,9 @@ fn stuck_run<W: LaneWord>(
         // A true serial baseline: no fill/grade overlap either, so the
         // 1-thread timing stays comparable to the pre-pipeline runs.
         session.sequential();
+    }
+    if !use_kernel {
+        session.use_interpreter();
     }
     let batches = (batches_64 * 64) / W::LANES;
     let t0 = Instant::now();
@@ -282,19 +295,24 @@ fn stuck_run_metered<W: LaneWord>(
     RunStats::from_outcome(outcome, t0.elapsed().as_secs_f64())
 }
 
-/// One whole transition random phase at width `W`, timed.
+/// One whole transition random phase at width `W`, timed. `use_kernel`
+/// as in [`stuck_run`].
 fn transition_run<W: LaneWord>(
     core: &lbist_dft::BistReadyCore,
     cc: &CompiledCircuit,
     faults: &[Fault],
     batches_64: usize,
     threads: usize,
+    use_kernel: bool,
 ) -> RunStats {
     let mut session: WideGradingSession<'_, W> =
         WideGradingSession::new(core, cc, &StumpsConfig::default());
     session.set_threads(threads);
     if threads == 1 {
         session.sequential();
+    }
+    if !use_kernel {
+        session.use_interpreter();
     }
     let window = CaptureWindow::all_domains(core.netlist.num_domains().max(1));
     let batches = (batches_64 * 64) / W::LANES;
@@ -304,20 +322,20 @@ fn transition_run<W: LaneWord>(
 }
 
 fn main() {
-    let scale: usize = arg_value("--scale").unwrap_or(300);
-    // Normalised to a multiple of 4 so 128- and 256-lane runs cover the
-    // identical pattern stream.
+    let scale: usize = arg_value("--scale").unwrap_or(100);
+    // Normalised to a multiple of 8 so 128-, 256- and 512-lane runs
+    // cover the identical pattern stream.
     let batches_requested: usize = arg_value("--batches").unwrap_or(16usize);
-    let batches = batches_requested.next_multiple_of(4);
+    let batches = batches_requested.next_multiple_of(8);
     if batches != batches_requested {
         eprintln!(
             "note: --batches {batches_requested} rounded up to {batches} \
-             (width sweep needs a multiple of 4)"
+             (width sweep needs a multiple of 8)"
         );
     }
     let lanes: usize = arg_value("--lanes").unwrap_or(64);
-    if !matches!(lanes, 64 | 128 | 256) {
-        eprintln!("error: `--lanes` must be 64, 128 or 256, got {lanes}");
+    if !matches!(lanes, 64 | 128 | 256 | 512) {
+        eprintln!("error: `--lanes` must be 64, 128, 256 or 512, got {lanes}");
         std::process::exit(2);
     }
     // The shared `--serial` / `--threads N` knobs (with the usual
@@ -374,20 +392,24 @@ fn main() {
 
     // Each run builds a fresh (reset) grading session so every
     // configuration grades the identical PRPG pattern stream.
-    let stuck_at = |t: usize| -> RunStats {
+    let stuck_at_on = |t: usize, kernel: bool| -> RunStats {
         match lanes {
-            64 => stuck_run::<u64>(&core, &cc, &stuck_faults, batches, t),
-            128 => stuck_run::<u128>(&core, &cc, &stuck_faults, batches, t),
-            _ => stuck_run::<[u64; 4]>(&core, &cc, &stuck_faults, batches, t),
+            64 => stuck_run::<u64>(&core, &cc, &stuck_faults, batches, t, kernel),
+            128 => stuck_run::<u128>(&core, &cc, &stuck_faults, batches, t, kernel),
+            256 => stuck_run::<[u64; 4]>(&core, &cc, &stuck_faults, batches, t, kernel),
+            _ => stuck_run::<[u64; 8]>(&core, &cc, &stuck_faults, batches, t, kernel),
         }
     };
-    let transition = |t: usize| -> RunStats {
+    let stuck_at = |t: usize| stuck_at_on(t, true);
+    let transition_on = |t: usize, kernel: bool| -> RunStats {
         match lanes {
-            64 => transition_run::<u64>(&core, &cc, &transition_faults, batches, t),
-            128 => transition_run::<u128>(&core, &cc, &transition_faults, batches, t),
-            _ => transition_run::<[u64; 4]>(&core, &cc, &transition_faults, batches, t),
+            64 => transition_run::<u64>(&core, &cc, &transition_faults, batches, t, kernel),
+            128 => transition_run::<u128>(&core, &cc, &transition_faults, batches, t, kernel),
+            256 => transition_run::<[u64; 4]>(&core, &cc, &transition_faults, batches, t, kernel),
+            _ => transition_run::<[u64; 8]>(&core, &cc, &transition_faults, batches, t, kernel),
         }
     };
+    let transition = |t: usize| transition_on(t, true);
 
     println!("stuck-at serial ({lanes} lanes)...");
     let stuck_serial = stuck_at(1);
@@ -399,10 +421,22 @@ fn main() {
     let tr_parallel = transition(parallel_threads);
 
     // Worker-count sweep (stuck-at): how faults-graded/s scales with the
-    // shard budget on the persistent pool.
+    // shard budget on the persistent pool. Budgets beyond the box's
+    // available parallelism would only measure oversubscription noise
+    // (a "4-thread speedup" on a single-core runner is fiction), so
+    // they are skipped and listed in the JSON instead.
+    let available_parallelism = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
     let mut sweep_budgets = vec![1usize, 2, 4, parallel_threads];
     sweep_budgets.sort_unstable();
     sweep_budgets.dedup();
+    let (sweep_budgets, sweep_skipped): (Vec<usize>, Vec<usize>) =
+        sweep_budgets.into_iter().partition(|&t| t <= available_parallelism);
+    if !sweep_skipped.is_empty() {
+        println!(
+            "threads sweep: skipping {sweep_skipped:?} (box has {available_parallelism} \
+             hardware threads)"
+        );
+    }
     let sweep: Vec<(usize, RunStats)> = sweep_budgets
         .into_iter()
         .map(|t| {
@@ -421,26 +455,32 @@ fn main() {
         );
     }
 
-    // Grading-width sweep: the whole pipeline at 64/128/256 lanes over
-    // the identical pattern stream, both fault models. The detected
-    // sets and accumulated MISR signatures must be identical at every
-    // width — asserted here, recorded in the JSON.
-    println!("grading-width sweep (64/128/256 lanes, both models)...");
+    // Grading-width sweep: the whole pipeline at 64/128/256/512 lanes
+    // over the identical pattern stream, both fault models. The
+    // detected sets and accumulated MISR signatures must be identical
+    // at every width — asserted here, recorded in the JSON.
+    println!("grading-width sweep (64/128/256/512 lanes, both models)...");
+    let t = parallel_threads;
     let width_sweep: Vec<(usize, RunStats, RunStats)> = vec![
         (
             64,
-            stuck_run::<u64>(&core, &cc, &stuck_faults, batches, parallel_threads),
-            transition_run::<u64>(&core, &cc, &transition_faults, batches, parallel_threads),
+            stuck_run::<u64>(&core, &cc, &stuck_faults, batches, t, true),
+            transition_run::<u64>(&core, &cc, &transition_faults, batches, t, true),
         ),
         (
             128,
-            stuck_run::<u128>(&core, &cc, &stuck_faults, batches, parallel_threads),
-            transition_run::<u128>(&core, &cc, &transition_faults, batches, parallel_threads),
+            stuck_run::<u128>(&core, &cc, &stuck_faults, batches, t, true),
+            transition_run::<u128>(&core, &cc, &transition_faults, batches, t, true),
         ),
         (
             256,
-            stuck_run::<[u64; 4]>(&core, &cc, &stuck_faults, batches, parallel_threads),
-            transition_run::<[u64; 4]>(&core, &cc, &transition_faults, batches, parallel_threads),
+            stuck_run::<[u64; 4]>(&core, &cc, &stuck_faults, batches, t, true),
+            transition_run::<[u64; 4]>(&core, &cc, &transition_faults, batches, t, true),
+        ),
+        (
+            512,
+            stuck_run::<[u64; 8]>(&core, &cc, &stuck_faults, batches, t, true),
+            transition_run::<[u64; 8]>(&core, &cc, &transition_faults, batches, t, true),
         ),
     ];
     let (_, base_stuck, base_tr) = &width_sweep[0];
@@ -464,9 +504,47 @@ fn main() {
         );
     }
 
+    // Compiled kernel vs interpreter: the headline serial runs above
+    // already graded on the compiled kernel (the session default), so
+    // time one lowering (keep set covering both fault lists, as the
+    // serve cache shares it) and rerun the serial configurations on the
+    // per-gate interpreter reference. Identity is a runtime assert, not
+    // a recorded claim: digests, coverage and signatures must match
+    // bit for bit — only the clock may differ.
+    println!("kernel vs interpreter ({lanes} lanes, serial)...");
+    let t0 = Instant::now();
+    let kernel_program = {
+        let observed = lbist_fault::StuckAtSim::observe_all_captures(&cc);
+        let keep = lbist_fault::grading_keep_set(
+            &cc,
+            &[stuck_faults.as_slice(), transition_faults.as_slice()],
+            &observed,
+        );
+        KernelProgram::lower(&cc, &keep)
+    };
+    let kernel_compile_seconds = t0.elapsed().as_secs_f64();
+    let interp_stuck = stuck_at_on(1, false);
+    let interp_tr = transition_on(1, false);
+    assert_eq!(
+        outcome_digest(&interp_stuck.undetected, &interp_stuck.signatures),
+        outcome_digest(&stuck_serial.undetected, &stuck_serial.signatures),
+        "kernel and interpreter stuck-at digests must be bit-identical"
+    );
+    assert_eq!(interp_stuck.coverage, stuck_serial.coverage);
+    assert_eq!(interp_stuck.signatures, stuck_serial.signatures);
+    assert_eq!(
+        outcome_digest(&interp_tr.undetected, &interp_tr.signatures),
+        outcome_digest(&tr_serial.undetected, &tr_serial.signatures),
+        "kernel and interpreter transition digests must be bit-identical"
+    );
+    assert_eq!(interp_tr.coverage, tr_serial.coverage);
+    assert_eq!(interp_tr.signatures, tr_serial.signatures);
+    let kernel_stuck_speedup = interp_stuck.seconds / stuck_serial.seconds.max(1e-9);
+    let kernel_tr_speedup = interp_tr.seconds / tr_serial.seconds.max(1e-9);
+
     // Lane-width PRPG fill throughput: identical pattern streams filled
-    // 64, 128 and 256 lanes per pass (bit-identity is enforced by the
-    // lane_width_equivalence property tests; here we time it).
+    // 64, 128, 256 and 512 lanes per pass (bit-identity is enforced by
+    // the lane_width_equivalence property tests; here we time it).
     struct FillStats {
         seconds: f64,
         patterns: u64,
@@ -495,9 +573,10 @@ fn main() {
         }
         FillStats { seconds: t0.elapsed().as_secs_f64(), patterns: passes * W::LANES as u64 }
     }
-    println!("PRPG fill sweep (64/128/256 lanes)...");
+    println!("PRPG fill sweep (64/128/256/512 lanes)...");
     let fill_128 = fill_wide::<u128>(&core, &cc, fill_64.patterns);
     let fill_256 = fill_wide::<[u64; 4]>(&core, &cc, fill_64.patterns);
+    let fill_512 = fill_wide::<[u64; 8]>(&core, &cc, fill_64.patterns);
 
     // Observability: the same headline parallel run with the full
     // telemetry layer live (phase spans + counters into the global
@@ -509,7 +588,8 @@ fn main() {
     let instrumented = match lanes {
         64 => stuck_run_metered::<u64>(&core, &cc, &stuck_faults, batches, parallel_threads),
         128 => stuck_run_metered::<u128>(&core, &cc, &stuck_faults, batches, parallel_threads),
-        _ => stuck_run_metered::<[u64; 4]>(&core, &cc, &stuck_faults, batches, parallel_threads),
+        256 => stuck_run_metered::<[u64; 4]>(&core, &cc, &stuck_faults, batches, parallel_threads),
+        _ => stuck_run_metered::<[u64; 8]>(&core, &cc, &stuck_faults, batches, parallel_threads),
     };
     assert_eq!(
         outcome_digest(&instrumented.undetected, &instrumented.signatures),
@@ -570,6 +650,7 @@ fn main() {
         transition_faults.len()
     );
     let _ = writeln!(json, "  \"threads\": {parallel_threads},");
+    let _ = writeln!(json, "  \"available_parallelism\": {available_parallelism},");
     let _ = writeln!(json, "  \"batches\": {batches},");
     let _ = writeln!(json, "  \"lanes\": {lanes},");
     let _ = writeln!(
@@ -596,6 +677,8 @@ fn main() {
             writeln!(json, "    {{\"threads\": {t}, \"stuck_at\": {}}}{comma}", json_run(stats));
     }
     let _ = writeln!(json, "  ],");
+    let skipped_list = sweep_skipped.iter().map(usize::to_string).collect::<Vec<_>>().join(", ");
+    let _ = writeln!(json, "  \"threads_sweep_skipped\": [{skipped_list}],");
     let _ = writeln!(json, "  \"grading_width_sweep\": {{");
     let _ = writeln!(json, "    \"coverage_identical\": true,");
     let _ = writeln!(json, "    \"signatures_identical\": true,");
@@ -611,6 +694,25 @@ fn main() {
     }
     let _ = writeln!(json, "    ]");
     let _ = writeln!(json, "  }},");
+    let _ = writeln!(json, "  \"kernel\": {{");
+    let _ = writeln!(json, "    \"backend\": \"bytecode\",");
+    let _ = writeln!(json, "    \"compile_seconds\": {kernel_compile_seconds:.6},");
+    let _ = writeln!(json, "    \"instrs\": {},", kernel_program.stats().instrs);
+    let _ = writeln!(json, "    \"fused_gates\": {},", kernel_program.stats().fused_gates);
+    let _ = writeln!(json, "    \"pool_words\": {},", kernel_program.stats().pool_words);
+    let _ = writeln!(json, "    \"stuck_at\": {{");
+    let _ = writeln!(json, "      \"interpreter\": {},", json_run(&interp_stuck));
+    let _ = writeln!(json, "      \"kernel\": {},", json_run(&stuck_serial));
+    let _ = writeln!(json, "      \"speedup\": {kernel_stuck_speedup:.3},");
+    let _ = writeln!(json, "      \"digest_identical\": true");
+    let _ = writeln!(json, "    }},");
+    let _ = writeln!(json, "    \"transition\": {{");
+    let _ = writeln!(json, "      \"interpreter\": {},", json_run(&interp_tr));
+    let _ = writeln!(json, "      \"kernel\": {},", json_run(&tr_serial));
+    let _ = writeln!(json, "      \"speedup\": {kernel_tr_speedup:.3},");
+    let _ = writeln!(json, "      \"digest_identical\": true");
+    let _ = writeln!(json, "    }}");
+    let _ = writeln!(json, "  }},");
     let json_fill = |f: &FillStats| {
         format!(
             "{{\"seconds\": {:.6}, \"patterns\": {}, \"patterns_per_sec\": {:.1}}}",
@@ -622,7 +724,8 @@ fn main() {
     let _ = writeln!(json, "  \"prpg_fill\": {{");
     let _ = writeln!(json, "    \"lanes_64\": {},", json_fill(&fill_64));
     let _ = writeln!(json, "    \"lanes_128\": {},", json_fill(&fill_128));
-    let _ = writeln!(json, "    \"lanes_256\": {}", json_fill(&fill_256));
+    let _ = writeln!(json, "    \"lanes_256\": {},", json_fill(&fill_256));
+    let _ = writeln!(json, "    \"lanes_512\": {}", json_fill(&fill_512));
     let _ = writeln!(json, "  }},");
     let _ = writeln!(json, "  \"observability\": {{");
     let _ = writeln!(json, "    \"instrumented\": {},", json_run(&instrumented));
@@ -668,10 +771,18 @@ fn main() {
         .collect();
     println!("grading width sweep (stuck/transition patterns/s): {}", width_summary.join(", "));
     println!(
-        "prpg fill: {:.0}/{:.0}/{:.0} patterns/s at 64/128/256 lanes",
+        "kernel vs interpreter (serial): {kernel_stuck_speedup:.2}x stuck-at, \
+         {kernel_tr_speedup:.2}x transition ({} instrs, {} gates fused, compiled in {:.1} ms)",
+        kernel_program.stats().instrs,
+        kernel_program.stats().fused_gates,
+        kernel_compile_seconds * 1e3,
+    );
+    println!(
+        "prpg fill: {:.0}/{:.0}/{:.0}/{:.0} patterns/s at 64/128/256/512 lanes",
         fill_64.patterns as f64 / fill_64.seconds.max(1e-9),
         fill_128.patterns as f64 / fill_128.seconds.max(1e-9),
         fill_256.patterns as f64 / fill_256.seconds.max(1e-9),
+        fill_512.patterns as f64 / fill_512.seconds.max(1e-9),
     );
     println!("wrote {out_path}");
     if let Some(path) = &metrics_out {

@@ -107,4 +107,9 @@ proptest! {
     fn quad_u64_fill_matches_64_lane_and_scalar_paths(s in arb_scenario()) {
         check_width::<[u64; 4]>(&s);
     }
+
+    #[test]
+    fn octo_u64_fill_matches_64_lane_and_scalar_paths(s in arb_scenario()) {
+        check_width::<[u64; 8]>(&s);
+    }
 }

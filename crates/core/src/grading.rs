@@ -39,8 +39,9 @@ use lbist_fault::{
 };
 use lbist_netlist::NodeId;
 use lbist_obs::{Counter, Histogram, Registry};
-use lbist_sim::CompiledCircuit;
+use lbist_sim::{CompiledCircuit, KernelProgram};
 use lbist_tpg::{Gf2Vec, LaneMisr, SpaceCompactor};
+use std::sync::Arc;
 
 /// Telemetry handles for the grading pipeline: per-batch phase timers
 /// (`fill`/`sim`/`detect`/`absorb` plus the whole-batch wall time) and
@@ -75,6 +76,13 @@ pub struct GradingMetrics {
     pub absorb_ns: Histogram,
     /// Whole-batch wall time (`grading.batch_ns`).
     pub batch_ns: Histogram,
+    /// Kernel lowering time per run — keep-set construction plus
+    /// bytecode emission (`sim.kernel.compile_ns`).
+    pub kernel_compile_ns: Histogram,
+    /// Instructions in lowered kernel programs (`sim.kernel.instrs`).
+    pub kernel_instrs: Counter,
+    /// Gates fused away during lowering (`sim.kernel.fused_gates`).
+    pub kernel_fused_gates: Counter,
 }
 
 impl GradingMetrics {
@@ -90,6 +98,9 @@ impl GradingMetrics {
             detect_ns: registry.histogram("grading.detect_ns"),
             absorb_ns: registry.histogram("grading.absorb_ns"),
             batch_ns: registry.histogram("grading.batch_ns"),
+            kernel_compile_ns: registry.histogram("sim.kernel.compile_ns"),
+            kernel_instrs: registry.counter("sim.kernel.instrs"),
+            kernel_fused_gates: registry.counter("sim.kernel.fused_gates"),
         }
     }
 
@@ -178,6 +189,21 @@ pub struct ControlledGradingOutcome {
     pub resumed_from: Option<u64>,
 }
 
+/// Which fault-simulation executor a session's grading runs use.
+#[derive(Clone, Debug, Default)]
+enum GradingKernel {
+    /// Lower a compiled program per run from the run's fault list and
+    /// the session's observation points (the default).
+    #[default]
+    Auto,
+    /// Reuse a shared prebuilt program (e.g. a cross-job asset cache);
+    /// its keep set must cover the run's faults and observation points.
+    Prebuilt(Arc<KernelProgram>),
+    /// Per-gate interpreter — the reference path the kernel is diffed
+    /// against.
+    Interpreter,
+}
+
 /// Snapshot of one domain's unload path, taken at session build so the
 /// response compaction can run while the architecture's PRPG state is
 /// mutably borrowed by the pipelined fill.
@@ -229,6 +255,9 @@ pub struct WideGradingSession<'a, W: LaneWord = u64> {
     /// Telemetry handles (no-op by default; see
     /// [`WideGradingSession::set_metrics`]).
     metrics: GradingMetrics,
+    /// Executor choice for fault simulation (compiled kernel by
+    /// default; see [`WideGradingSession::use_interpreter`]).
+    kernel: GradingKernel,
 }
 
 impl<'a, W: LaneWord> WideGradingSession<'a, W> {
@@ -262,6 +291,7 @@ impl<'a, W: LaneWord> WideGradingSession<'a, W> {
             drop_after: 1,
             pipelined: true,
             metrics: GradingMetrics::default(),
+            kernel: GradingKernel::default(),
         }
     }
 
@@ -294,6 +324,55 @@ impl<'a, W: LaneWord> WideGradingSession<'a, W> {
     pub fn set_metrics(&mut self, metrics: GradingMetrics) -> &mut Self {
         self.metrics = metrics;
         self
+    }
+
+    /// Switches grading to the per-gate interpreter instead of the
+    /// compiled word-op kernel. The kernel is the default; this is the
+    /// reference path benchmarks and equivalence tests diff it against
+    /// (outcomes are bit-identical either way, test-enforced).
+    pub fn use_interpreter(&mut self) -> &mut Self {
+        self.kernel = GradingKernel::Interpreter;
+        self
+    }
+
+    /// Installs a prebuilt compiled program, skipping the per-run
+    /// lowering — e.g. one shared through an asset cache across jobs on
+    /// the same netlist. The program must target this session's circuit
+    /// and have been lowered with a keep set covering every run's fault
+    /// list and observation points
+    /// ([`lbist_fault::grading_keep_set`]); the fault engines validate
+    /// this at plan-build time and panic on a violation.
+    pub fn set_kernel_program(&mut self, program: Arc<KernelProgram>) -> &mut Self {
+        assert_eq!(
+            program.num_nodes(),
+            self.cc.num_nodes(),
+            "kernel program was lowered from a different netlist"
+        );
+        self.kernel = GradingKernel::Prebuilt(program);
+        self
+    }
+
+    /// `true` when grading runs execute on the compiled kernel.
+    pub fn uses_kernel(&self) -> bool {
+        !matches!(self.kernel, GradingKernel::Interpreter)
+    }
+
+    /// Resolves the compiled program for a run over `faults`, lowering
+    /// one in auto mode (timed and sized into the `sim.kernel.*`
+    /// telemetry handles).
+    fn kernel_for_run(&self, faults: &[Fault], observed: &[NodeId]) -> Option<Arc<KernelProgram>> {
+        match &self.kernel {
+            GradingKernel::Interpreter => None,
+            GradingKernel::Prebuilt(program) => Some(program.clone()),
+            GradingKernel::Auto => {
+                let _compile_span = self.metrics.kernel_compile_ns.start();
+                let keep = lbist_fault::grading_keep_set(self.cc, &[faults], observed);
+                let program = KernelProgram::lower(self.cc, &keep);
+                self.metrics.kernel_instrs.add(program.stats().instrs as u64);
+                self.metrics.kernel_fused_gates.add(program.stats().fused_gates as u64);
+                Some(Arc::new(program))
+            }
+        }
     }
 
     /// Lanes graded per pass.
@@ -333,7 +412,9 @@ impl<'a, W: LaneWord> WideGradingSession<'a, W> {
         let faults_hash = faults_fingerprint(&faults);
         self.begin_run();
         let observed = lbist_fault::StuckAtSim::observe_all_captures(self.cc);
+        let kernel = self.kernel_for_run(&faults, &observed);
         let mut sim: WideStuckAtSim<'_, W> = WideStuckAtSim::new(self.cc, faults, observed);
+        sim.set_kernel(kernel);
         sim.set_drop_after(self.drop_after);
         if let Some(n) = self.threads {
             sim.set_threads(n);
@@ -529,7 +610,10 @@ impl<'a, W: LaneWord> WideGradingSession<'a, W> {
     ) -> Result<ControlledGradingOutcome, CkptError> {
         let faults_hash = faults_fingerprint(&faults);
         self.begin_run();
+        let observed = lbist_fault::StuckAtSim::observe_all_captures(self.cc);
+        let kernel = self.kernel_for_run(&faults, &observed);
         let mut sim: WideTransitionSim<'_, W> = WideTransitionSim::new(self.cc, faults, window);
+        sim.set_kernel(kernel);
         sim.set_drop_after(self.drop_after);
         if let Some(n) = self.threads {
             sim.set_threads(n);
@@ -1041,6 +1125,62 @@ mod tests {
             Err(CkptError::Mismatch(_))
         ));
         std::fs::remove_dir_all(&dir).ok();
+    }
+
+    /// The compiled kernel (the default) and the interpreter reference
+    /// produce bit-identical whole-session outcomes — detections,
+    /// coverage, signatures and digest — for both fault models, and a
+    /// prebuilt program shared across sessions matches too.
+    #[test]
+    fn kernel_and_interpreter_sessions_are_bit_identical() {
+        let c = core();
+        let cc = CompiledCircuit::compile(&c.netlist).unwrap();
+        let stuck = FaultUniverse::stuck_at(&c.netlist).representatives();
+        let transition: Vec<Fault> = FaultUniverse::transition(&c.netlist)
+            .representatives()
+            .into_iter()
+            .filter(|f| f.is_stem())
+            .collect();
+        let stumps = StumpsConfig::default();
+
+        let mut kernel: WideGradingSession<'_, u64> = WideGradingSession::new(&c, &cc, &stumps);
+        let mut interp: WideGradingSession<'_, u64> = WideGradingSession::new(&c, &cc, &stumps);
+        assert!(kernel.uses_kernel());
+        interp.use_interpreter();
+        assert!(!interp.uses_kernel());
+
+        let stuck_kernel = kernel.run_stuck_at(stuck.clone(), 3);
+        let stuck_interp = interp.run_stuck_at(stuck.clone(), 3);
+        assert_eq!(stuck_kernel, stuck_interp, "stuck-at: kernel diverged from interpreter");
+        assert_eq!(stuck_kernel.digest(), stuck_interp.digest());
+        assert!(stuck_kernel.coverage.detected > 0);
+
+        let window = CaptureWindow::all_domains(c.netlist.num_domains().max(1));
+        let trans_kernel = kernel.run_transition(transition.clone(), window.clone(), 3);
+        let trans_interp = interp.run_transition(transition.clone(), window.clone(), 3);
+        assert_eq!(trans_kernel, trans_interp, "transition: kernel diverged from interpreter");
+
+        // A prebuilt program whose keep set covers both fault lists
+        // serves both models and matches the per-run lowering.
+        let observed = lbist_fault::StuckAtSim::observe_all_captures(&cc);
+        let keep = lbist_fault::grading_keep_set(
+            &cc,
+            &[stuck.as_slice(), transition.as_slice()],
+            &observed,
+        );
+        let program = Arc::new(KernelProgram::lower(&cc, &keep));
+        let mut shared: WideGradingSession<'_, u64> = WideGradingSession::new(&c, &cc, &stumps);
+        shared.set_kernel_program(program);
+        assert_eq!(
+            shared.run_stuck_at(stuck, 3),
+            stuck_kernel,
+            "stuck-at: prebuilt program diverged"
+        );
+        assert_eq!(
+            shared.run_transition(transition, window, 3),
+            trans_kernel,
+            "transition: prebuilt program diverged"
+        );
     }
 
     /// Reruns of the same session reproduce the same outcome (the

@@ -6,8 +6,8 @@
 //! bit-sliced LFSR stepping, phase-shifter/expander XOR networks, PRPG
 //! frame fills **and the whole grading kernel** (gate evaluation,
 //! fault propagation, detection popcounts, MISR accumulation) are
-//! generic over the lane count: `u64` (64), `u128` (128) and
-//! `[u64; 4]` (256 lanes per pass).
+//! generic over the lane count: `u64` (64), `u128` (128), `[u64; 4]`
+//! (256) and `[u64; 8]` (512 lanes per pass).
 //!
 //! Every `LaneWord` is, bit for bit, a sequence of [`LaneWord::WORDS`]
 //! 64-lane `u64` sub-words ([`LaneWord::word`]): lane `ℓ` of the wide
@@ -32,6 +32,7 @@
 /// assert_eq!(ones::<u64>(), 2);
 /// assert_eq!(ones::<u128>(), 2);
 /// assert_eq!(ones::<[u64; 4]>(), 2);
+/// assert_eq!(ones::<[u64; 8]>(), 2);
 /// ```
 pub trait LaneWord: Copy + Send + Sync + Eq + std::fmt::Debug + 'static {
     /// Patterns carried per word.
@@ -329,6 +330,68 @@ impl LaneWord for [u64; 4] {
     }
 }
 
+impl LaneWord for [u64; 8] {
+    const LANES: usize = 512;
+    const WORDS: usize = 8;
+
+    #[inline]
+    fn zero() -> Self {
+        [0; 8]
+    }
+
+    #[inline]
+    fn ones() -> Self {
+        [!0; 8]
+    }
+
+    #[inline]
+    fn xor(self, rhs: Self) -> Self {
+        std::array::from_fn(|k| self[k] ^ rhs[k])
+    }
+
+    #[inline]
+    fn and(self, rhs: Self) -> Self {
+        std::array::from_fn(|k| self[k] & rhs[k])
+    }
+
+    #[inline]
+    fn or(self, rhs: Self) -> Self {
+        std::array::from_fn(|k| self[k] | rhs[k])
+    }
+
+    #[inline]
+    fn not(self) -> Self {
+        std::array::from_fn(|k| !self[k])
+    }
+
+    #[inline]
+    fn get_lane(self, lane: usize) -> bool {
+        assert!(lane < 512);
+        (self[lane / 64] >> (lane % 64)) & 1 == 1
+    }
+
+    #[inline]
+    fn set_lane(&mut self, lane: usize) {
+        assert!(lane < 512);
+        self[lane / 64] |= 1u64 << (lane % 64);
+    }
+
+    #[inline]
+    fn word(self, k: usize) -> u64 {
+        self[k]
+    }
+
+    #[inline]
+    fn set_word(&mut self, k: usize, sub: u64) {
+        self[k] = sub;
+    }
+
+    #[inline]
+    fn count_ones(self) -> u32 {
+        self.iter().map(|w| w.count_ones()).sum()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -397,5 +460,10 @@ mod tests {
     #[test]
     fn quad_roundtrip() {
         roundtrip::<[u64; 4]>();
+    }
+
+    #[test]
+    fn octo_roundtrip() {
+        roundtrip::<[u64; 8]>();
     }
 }

@@ -52,6 +52,7 @@
 
 mod coverage;
 mod dictionary;
+mod kernel;
 mod model;
 mod phases;
 mod propagate;
@@ -61,6 +62,7 @@ mod universe;
 
 pub use coverage::CoverageReport;
 pub use dictionary::{build_dictionary, FaultDictionary};
+pub use kernel::grading_keep_set;
 pub use model::{Fault, FaultKind};
 pub use phases::SimPhaseMetrics;
 pub use propagate::propagate_fault;

@@ -1,12 +1,14 @@
 //! PPSFP stuck-at fault simulation, sharded across the persistent `lbist-exec` work-stealing pool.
 
 use crate::coverage::CoverageReport;
+use crate::kernel::{kernel_grade_shard, KernelScratch, StuckKernelPlan};
 use crate::phases::SimPhaseMetrics;
 use crate::propagate::{inject_stuck_at, Propagator};
 use crate::Fault;
 use lbist_exec::{CancelToken, LaneWord, RetryPolicy};
 use lbist_netlist::{GateKind, NodeId};
-use lbist_sim::CompiledCircuit;
+use lbist_sim::{CompiledCircuit, KernelProgram};
+use std::sync::Arc;
 
 /// How many faults a shard grades between cancellation polls: frequent
 /// enough that a fired token unwinds within microseconds of work, rare
@@ -78,6 +80,17 @@ pub struct WideStuckAtSim<'a, W: LaneWord = u64> {
     threads_auto: bool,
     /// One propagation scratch per worker, reused across batches.
     scratch: Vec<Propagator<W>>,
+    /// Compiled kernel program: when set, fault-free evaluation runs the
+    /// bytecode and per-fault replay runs event-driven over the lowered
+    /// instructions (see
+    /// [`WideStuckAtSim::set_kernel`]); results are bit-identical to the
+    /// interpreter path.
+    kernel: Option<Arc<KernelProgram>>,
+    /// Replay plan for the kernel path, built lazily at the first batch
+    /// (so late [`WideStuckAtSim::add_observed`] calls are honoured).
+    kplan: Option<StuckKernelPlan>,
+    /// One kernel replay scratch per worker.
+    kscratch: Vec<KernelScratch<W>>,
     /// Per-active-fault detection words of the current batch (aligned
     /// with `active`, swap-removed in lockstep during the merge).
     batch_det: Vec<W>,
@@ -129,6 +142,9 @@ impl<'a, W: LaneWord> WideStuckAtSim<'a, W> {
             threads: lbist_exec::current_num_threads(),
             threads_auto: true,
             scratch: Vec::new(),
+            kernel: None,
+            kplan: None,
+            kscratch: Vec::new(),
             batch_det: Vec::new(),
             cancel: None,
             phases: SimPhaseMetrics::default(),
@@ -191,6 +207,42 @@ impl<'a, W: LaneWord> WideStuckAtSim<'a, W> {
         for &n in nodes {
             self.observed[n.index()] = true;
         }
+        // The kernel replay plan bakes in observation flags — rebuild it
+        // at the next batch.
+        self.kplan = None;
+    }
+
+    /// Installs (or clears) a compiled kernel program: subsequent batches
+    /// evaluate the fault-free frame with [`KernelProgram::execute`] and
+    /// replay faults event-driven over the lowered instructions — the sparse form of
+    /// the kernel's patched-instruction execution. Results are
+    /// bit-identical to the interpreter path (property-tested in the
+    /// bench crate).
+    ///
+    /// The program must have been lowered from this simulator's circuit
+    /// with a keep set covering this fault list and observation set —
+    /// use [`crate::grading_keep_set`]. Violations panic at the next
+    /// batch, never misgrade silently.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the program's node count differs from the circuit's.
+    pub fn set_kernel(&mut self, kernel: Option<Arc<KernelProgram>>) {
+        if let Some(k) = &kernel {
+            assert_eq!(
+                k.num_nodes(),
+                self.cc.num_nodes(),
+                "kernel program was lowered from a different circuit"
+            );
+        }
+        self.kernel = kernel;
+        self.kplan = None;
+        self.kscratch.clear();
+    }
+
+    /// `true` when a compiled kernel program drives this simulator.
+    pub fn uses_kernel(&self) -> bool {
+        self.kernel.is_some()
     }
 
     /// Number of faults still actively graded (shrinks as faults drop —
@@ -246,10 +298,23 @@ impl<'a, W: LaneWord> WideStuckAtSim<'a, W> {
         if cancel.is_some_and(|c| c.is_cancelled()) {
             return None;
         }
+        if let Some(prog) = &self.kernel {
+            if self.kplan.is_none() {
+                // One-time replay-plan construction is detection
+                // machinery — charged to the detect span so the phase
+                // trace still accounts for the batch wall time.
+                let _plan_span = self.phases.detect_ns.start();
+                self.kplan =
+                    Some(StuckKernelPlan::build(prog, self.cc, &self.faults, &self.observed));
+            }
+        }
         let lane_mask = W::mask_lanes(num_patterns);
         {
             let _sim_span = self.phases.sim_ns.start();
-            self.cc.eval2(frame);
+            match &self.kernel {
+                Some(prog) => prog.execute(frame),
+                None => self.cc.eval2(frame),
+            }
         }
 
         let n_active = self.active.len();
@@ -275,20 +340,39 @@ impl<'a, W: LaneWord> WideStuckAtSim<'a, W> {
         let faults: &[Fault] = &self.faults;
         let observed: &[bool] = &self.observed;
         let frame_ro: &[W] = frame;
-        lbist_exec::resilient_chunks_with_scratch(
-            &self.active,
-            &mut self.batch_det,
-            workers,
-            &mut self.scratch,
-            || Propagator::new(cc),
-            |idx_shard, det_shard, prop| {
-                grade_shard(
-                    cc, faults, observed, idx_shard, frame_ro, lane_mask, prop, det_shard, cancel,
-                );
-            },
-            &RetryPolicy::default(),
-            cancel,
-        );
+        if let (Some(prog), Some(plan)) = (&self.kernel, &self.kplan) {
+            let prog: &KernelProgram = prog;
+            lbist_exec::resilient_chunks_with_scratch(
+                &self.active,
+                &mut self.batch_det,
+                workers,
+                &mut self.kscratch,
+                || KernelScratch::new(prog, cc),
+                |idx_shard, det_shard, scratch| {
+                    kernel_grade_shard(
+                        prog, plan, cc, idx_shard, frame_ro, lane_mask, scratch, det_shard, cancel,
+                    );
+                },
+                &RetryPolicy::default(),
+                cancel,
+            );
+        } else {
+            lbist_exec::resilient_chunks_with_scratch(
+                &self.active,
+                &mut self.batch_det,
+                workers,
+                &mut self.scratch,
+                || Propagator::new(cc),
+                |idx_shard, det_shard, prop| {
+                    grade_shard(
+                        cc, faults, observed, idx_shard, frame_ro, lane_mask, prop, det_shard,
+                        cancel,
+                    );
+                },
+                &RetryPolicy::default(),
+                cancel,
+            );
+        }
         if cancel.is_some_and(|c| c.is_cancelled()) {
             // Unwind cleanly: the half-graded batch is discarded whole.
             return None;
@@ -734,6 +818,90 @@ mod tests {
         }
         check::<u128>();
         check::<[u64; 4]>();
+    }
+
+    /// The kernel path (compiled program + event-driven replay) reports exactly
+    /// the interpreter's per-fault detection words across a circuit
+    /// mixing inverter chains, inverting gates, flip-flops, stem,
+    /// branch, and D-pin faults — serial and sharded.
+    #[test]
+    fn kernel_grading_matches_interpreter_bit_for_bit() {
+        let mut nl = Netlist::new("kern");
+        let a = nl.add_input("a");
+        let b = nl.add_input("b");
+        let c = nl.add_input("c");
+        let n1 = nl.add_gate(GateKind::Not, &[a]);
+        let n2 = nl.add_gate(GateKind::Not, &[n1]);
+        let g1 = nl.add_gate(GateKind::And, &[n2, b]);
+        let g2 = nl.add_gate(GateKind::Nor, &[g1, c]);
+        let g3 = nl.add_gate(GateKind::Xor, &[g2, a, b]);
+        let ff = nl.add_dff(g3, DomainId::new(0));
+        let g4 = nl.add_gate(GateKind::Or, &[ff, c]);
+        nl.add_output("y", g4);
+        let cc = CompiledCircuit::compile(&nl).unwrap();
+        let universe = FaultUniverse::stuck_at(&nl);
+        let faults = universe.representatives();
+        let observed = StuckAtSim::observe_all_captures(&cc);
+        let keep = crate::grading_keep_set(&cc, &[&faults], &observed);
+        let prog = std::sync::Arc::new(lbist_sim::KernelProgram::lower(&cc, &keep));
+
+        let inputs = [a, b, c, ff];
+        let word = |k: u64, bit: usize| -> u64 {
+            (k + 1).wrapping_mul(0x9E37_79B9_7F4A_7C15).rotate_left((bit * 11) as u32)
+        };
+        let run = |kernel: bool, threads: usize| {
+            let mut sim = StuckAtSim::new(&cc, faults.clone(), observed.clone());
+            sim.set_threads(threads);
+            sim.set_drop_after(2);
+            if kernel {
+                sim.set_kernel(Some(prog.clone()));
+            }
+            assert_eq!(sim.uses_kernel(), kernel);
+            for k in 0..4u64 {
+                let mut frame = cc.new_frame();
+                for (bit, &i) in inputs.iter().enumerate() {
+                    frame[i.index()] = word(k, bit);
+                }
+                sim.run_batch(&mut frame, 64);
+            }
+            (sim.detections().to_vec(), sim.coverage(), sim.active_faults())
+        };
+
+        let reference = run(false, 1);
+        assert!(reference.1.detected > 0, "scenario must detect something");
+        for threads in [1, 3] {
+            let kernel = run(true, threads);
+            assert_eq!(kernel.0, reference.0, "kernel detections differ ({threads} threads)");
+            assert_eq!(kernel.1, reference.1, "kernel coverage differs ({threads} threads)");
+            assert_eq!(kernel.2, reference.2, "kernel active count differs ({threads} threads)");
+        }
+    }
+
+    /// A kernel program lowered without the grading keep set fails
+    /// loudly at the first batch instead of silently misgrading.
+    #[test]
+    #[should_panic(expected = "grading_keep_set")]
+    fn kernel_without_keep_set_panics() {
+        // a -> NOT -> NOT -> y: with only the output kept, the chain
+        // interiors fuse into operand flags, so a fault site on one of
+        // them has no slot to seed.
+        let mut nl = Netlist::new("fused");
+        let a = nl.add_input("a");
+        let n1 = nl.add_gate(GateKind::Not, &[a]);
+        let n2 = nl.add_gate(GateKind::Not, &[n1]);
+        nl.add_output("y", n2);
+        let cc = CompiledCircuit::compile(&nl).unwrap();
+        let mut keep = vec![false; cc.num_nodes()];
+        for &o in cc.outputs() {
+            keep[o.index()] = true;
+        }
+        let prog = std::sync::Arc::new(lbist_sim::KernelProgram::lower(&cc, &keep));
+        let faults = vec![Fault::stem(n1, FaultKind::StuckAt0)];
+        let mut sim = StuckAtSim::new(&cc, faults, vec![]);
+        sim.set_kernel(Some(prog));
+        let mut frame = cc.new_frame();
+        frame[a.index()] = 1;
+        sim.run_batch(&mut frame, 1);
     }
 
     /// Compaction bookkeeping: a dropped fault leaves the active list but

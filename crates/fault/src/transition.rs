@@ -28,14 +28,16 @@
 //! [`Propagator`] and flip-flop overlay, so parallel and serial coverage
 //! are bit-identical.
 
+use crate::kernel::{kernel_replay_shard, KernelScratch, TransitionKernelPlan};
 use crate::phases::SimPhaseMetrics;
 use crate::propagate::Propagator;
 use crate::stuck::CANCEL_POLL_STRIDE;
 use crate::{CoverageReport, Fault};
 use lbist_exec::{CancelToken, LaneWord, RetryPolicy};
 use lbist_netlist::{DomainId, NodeId};
-use lbist_sim::CompiledCircuit;
+use lbist_sim::{CompiledCircuit, KernelProgram};
 use std::collections::HashMap;
+use std::sync::Arc;
 
 /// The default 64-lane launch-on-capture simulator —
 /// [`WideTransitionSim`] at the `u64` frame width every existing call
@@ -101,7 +103,7 @@ impl CaptureWindow {
     }
 
     /// The domain captured between frame `f` and `f + 1`, if any.
-    fn capturing_domain(&self, frame: usize) -> Option<DomainId> {
+    pub(crate) fn capturing_domain(&self, frame: usize) -> Option<DomainId> {
         // Captures happen after F0..F(2n-1): domain k pulses at boundaries
         // 2k (its launch C1) and 2k+1 (its capture C2).
         if frame >= 2 * self.order.len() {
@@ -181,6 +183,12 @@ pub struct WideTransitionSim<'a, W: LaneWord = u64> {
     threads_auto: bool,
     /// One replay scratch per worker, reused across batches.
     scratch: Vec<ReplayScratch<W>>,
+    /// Compiled kernel program (see [`WideTransitionSim::set_kernel`]).
+    kernel: Option<Arc<KernelProgram>>,
+    /// Replay plan for the kernel path, built lazily at the first batch.
+    kplan: Option<TransitionKernelPlan>,
+    /// One kernel replay scratch per worker.
+    kscratch: Vec<KernelScratch<W>>,
     /// Per-active-fault detection words (aligned with `active`).
     batch_det: Vec<W>,
     /// Fault-free value frames, one per window frame (reused per batch).
@@ -227,10 +235,45 @@ impl<'a, W: LaneWord> WideTransitionSim<'a, W> {
             threads: lbist_exec::current_num_threads(),
             threads_auto: true,
             scratch: Vec::new(),
+            kernel: None,
+            kplan: None,
+            kscratch: Vec::new(),
             batch_det: Vec::new(),
             cancel: None,
             phases: SimPhaseMetrics::default(),
         }
+    }
+
+    /// Installs (or clears) a compiled kernel program: subsequent batches
+    /// evaluate the fault-free window frames with
+    /// [`KernelProgram::execute`] and replay faults over precomputed
+    /// the lowered instructions, event-driven (the sparse form of
+    /// patched-instruction execution).
+    /// Results are bit-identical to the interpreter path.
+    ///
+    /// The program must have been lowered from this simulator's circuit
+    /// with a keep set covering this fault list (use
+    /// [`crate::grading_keep_set`]); violations panic at the next batch.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the program's node count differs from the circuit's.
+    pub fn set_kernel(&mut self, kernel: Option<Arc<KernelProgram>>) {
+        if let Some(k) = &kernel {
+            assert_eq!(
+                k.num_nodes(),
+                self.cc.num_nodes(),
+                "kernel program was lowered from a different circuit"
+            );
+        }
+        self.kernel = kernel;
+        self.kplan = None;
+        self.kscratch.clear();
+    }
+
+    /// `true` when a compiled kernel program drives this simulator.
+    pub fn uses_kernel(&self) -> bool {
+        self.kernel.is_some()
     }
 
     /// Pins grading to the calling thread (the determinism escape hatch;
@@ -315,6 +358,15 @@ impl<'a, W: LaneWord> WideTransitionSim<'a, W> {
         if cancel.is_some_and(|c| c.is_cancelled()) {
             return None;
         }
+        if let Some(prog) = &self.kernel {
+            if self.kplan.is_none() {
+                // One-time replay-plan construction is detection
+                // machinery — charged to the detect span so the phase
+                // trace still accounts for the batch wall time.
+                let _plan_span = self.phases.detect_ns.start();
+                self.kplan = Some(TransitionKernelPlan::build(prog, self.cc, &self.faults));
+            }
+        }
         let lane_mask = W::mask_lanes(num_patterns);
         {
             let _sim_span = self.phases.sim_ns.start();
@@ -342,28 +394,56 @@ impl<'a, W: LaneWord> WideTransitionSim<'a, W> {
         let window = &self.window;
         let faults: &[Fault] = &self.faults;
         let good_frames: &[Vec<W>] = &self.good_frames;
-        lbist_exec::resilient_chunks_with_scratch(
-            &self.active,
-            &mut self.batch_det,
-            workers,
-            &mut self.scratch,
-            || ReplayScratch::new(cc),
-            |idx_shard, det_shard, scratch| {
-                replay_shard(
-                    cc,
-                    window,
-                    faults,
-                    good_frames,
-                    idx_shard,
-                    lane_mask,
-                    scratch,
-                    det_shard,
-                    cancel,
-                );
-            },
-            &RetryPolicy::default(),
-            cancel,
-        );
+        if let (Some(prog), Some(plan)) = (&self.kernel, &self.kplan) {
+            let prog: &KernelProgram = prog;
+            lbist_exec::resilient_chunks_with_scratch(
+                &self.active,
+                &mut self.batch_det,
+                workers,
+                &mut self.kscratch,
+                || KernelScratch::new(prog, cc),
+                |idx_shard, det_shard, scratch| {
+                    kernel_replay_shard(
+                        prog,
+                        plan,
+                        cc,
+                        window,
+                        faults,
+                        good_frames,
+                        idx_shard,
+                        lane_mask,
+                        scratch,
+                        det_shard,
+                        cancel,
+                    );
+                },
+                &RetryPolicy::default(),
+                cancel,
+            );
+        } else {
+            lbist_exec::resilient_chunks_with_scratch(
+                &self.active,
+                &mut self.batch_det,
+                workers,
+                &mut self.scratch,
+                || ReplayScratch::new(cc),
+                |idx_shard, det_shard, scratch| {
+                    replay_shard(
+                        cc,
+                        window,
+                        faults,
+                        good_frames,
+                        idx_shard,
+                        lane_mask,
+                        scratch,
+                        det_shard,
+                        cancel,
+                    );
+                },
+                &RetryPolicy::default(),
+                cancel,
+            );
+        }
         if cancel.is_some_and(|c| c.is_cancelled()) {
             return None;
         }
@@ -430,7 +510,10 @@ impl<'a, W: LaneWord> WideTransitionSim<'a, W> {
 
     fn compute_good_frames(&mut self, base: &[W]) {
         let nframes = self.window.num_frames();
-        self.cc.eval2_into(base, &mut self.good_frames[0]);
+        match &self.kernel {
+            Some(prog) => prog.execute_into(base, &mut self.good_frames[0]),
+            None => self.cc.eval2_into(base, &mut self.good_frames[0]),
+        }
         for frame in 1..nframes {
             let (prev_slice, rest) = self.good_frames.split_at_mut(frame);
             let prev = &prev_slice[frame - 1];
@@ -446,7 +529,10 @@ impl<'a, W: LaneWord> WideTransitionSim<'a, W> {
                     cur[ff.index()] = prev[d_src.index()];
                 }
             }
-            self.cc.eval2(cur);
+            match &self.kernel {
+                Some(prog) => prog.execute(cur),
+                None => self.cc.eval2(cur),
+            }
         }
     }
 
@@ -835,6 +921,60 @@ mod tests {
         }
         check::<u128>();
         check::<[u64; 4]>();
+    }
+
+    /// The kernel path replays the capture window bit-identically to the
+    /// interpreter: same detections, coverage, and compaction across a
+    /// two-domain design whose overlay state carries between frames.
+    #[test]
+    fn kernel_transition_grading_matches_interpreter_bit_for_bit() {
+        let mut nl = Netlist::new("kpar");
+        let pi = nl.add_input("pi");
+        let mut prev = nl.add_dff(pi, DomainId::new(0));
+        let mut sites = Vec::new();
+        for i in 0..6 {
+            let inv = nl.add_gate(GateKind::Not, &[prev]);
+            sites.push(inv);
+            prev = nl.add_dff(inv, DomainId::new((i % 2) as u16));
+        }
+        nl.add_output("q", prev);
+        let cc = CompiledCircuit::compile(&nl).unwrap();
+        let faults: Vec<Fault> = sites
+            .iter()
+            .flat_map(|&s| {
+                [Fault::stem(s, FaultKind::SlowToRise), Fault::stem(s, FaultKind::SlowToFall)]
+            })
+            .collect();
+        let observed = crate::WideStuckAtSim::<u64>::observe_all_captures(&cc);
+        let keep = crate::grading_keep_set(&cc, &[&faults], &observed);
+        let prog = std::sync::Arc::new(lbist_sim::KernelProgram::lower(&cc, &keep));
+
+        let run = |kernel: bool, threads: usize| {
+            let mut sim = TransitionSim::new(&cc, faults.clone(), CaptureWindow::all_domains(2));
+            sim.set_threads(threads);
+            if kernel {
+                sim.set_kernel(Some(prog.clone()));
+            }
+            assert_eq!(sim.uses_kernel(), kernel);
+            for seed in 0..4u64 {
+                let mut base = cc.new_frame();
+                base[pi.index()] = seed.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+                for (i, &ff) in cc.dffs().iter().enumerate() {
+                    base[ff.index()] = (seed ^ i as u64).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+                }
+                sim.run_batch(&base, 64);
+            }
+            (sim.detections().to_vec(), sim.coverage(), sim.active_faults())
+        };
+
+        let reference = run(false, 1);
+        assert!(reference.1.detected > 0, "scenario must detect something");
+        for threads in [1, 4] {
+            let kernel = run(true, threads);
+            assert_eq!(kernel.0, reference.0, "kernel detections differ ({threads} threads)");
+            assert_eq!(kernel.1, reference.1, "kernel coverage differs ({threads} threads)");
+            assert_eq!(kernel.2, reference.2, "kernel active count differs ({threads} threads)");
+        }
     }
 
     /// Parallel transition grading (forced to several shards) reports the

@@ -14,7 +14,7 @@ use lbist_core::ModelTag;
 use lbist_dft::{prepare_core, BistReadyCore, PrepConfig, TpiMethod};
 use lbist_fault::{Fault, FaultUniverse};
 use lbist_netlist::Netlist;
-use lbist_sim::CompiledCircuit;
+use lbist_sim::{CompiledCircuit, KernelProgram};
 use std::panic::{self, AssertUnwindSafe};
 use std::sync::{Arc, OnceLock};
 
@@ -28,6 +28,7 @@ pub(crate) struct JobAssets {
     pub cc: CompiledCircuit,
     stuck: OnceLock<Arc<Vec<Fault>>>,
     transition: OnceLock<Arc<Vec<Fault>>>,
+    kernel: OnceLock<Arc<KernelProgram>>,
 }
 
 impl JobAssets {
@@ -57,6 +58,34 @@ impl JobAssets {
                 })
                 .clone(),
         }
+    }
+
+    /// `true` once [`JobAssets::kernel_program`] has lowered this
+    /// design's compiled kernel (the `serve.kernel_cache_hits/misses`
+    /// split).
+    pub fn kernel_ready(&self) -> bool {
+        self.kernel.get().is_some()
+    }
+
+    /// The compiled simulation kernel shared by every default-fault-list
+    /// job on this design, lowered once per cache entry with a keep set
+    /// covering *both* default universes — so stuck-at and transition
+    /// slices, across jobs and preemption boundaries, replay the same
+    /// program instead of re-lowering per slice.
+    pub fn kernel_program(&self) -> Arc<KernelProgram> {
+        self.kernel
+            .get_or_init(|| {
+                let stuck = self.default_faults(ModelTag::StuckAt);
+                let transition = self.default_faults(ModelTag::Transition);
+                let observed = lbist_fault::StuckAtSim::observe_all_captures(&self.cc);
+                let keep = lbist_fault::grading_keep_set(
+                    &self.cc,
+                    &[stuck.as_slice(), transition.as_slice()],
+                    &observed,
+                );
+                Arc::new(KernelProgram::lower(&self.cc, &keep))
+            })
+            .clone()
     }
 }
 
@@ -159,7 +188,13 @@ fn build_assets(netlist: &Netlist, chains: usize) -> Result<JobAssets, String> {
             },
         );
         let cc = CompiledCircuit::compile(&core.netlist).map_err(|e| e.to_string())?;
-        Ok(JobAssets { core, cc, stuck: OnceLock::new(), transition: OnceLock::new() })
+        Ok(JobAssets {
+            core,
+            cc,
+            stuck: OnceLock::new(),
+            transition: OnceLock::new(),
+            kernel: OnceLock::new(),
+        })
     }));
     match built {
         Ok(result) => result.map_err(|e: String| format!("design failed to compile: {e}")),

@@ -34,6 +34,7 @@ use lbist_exec::{retry_backoff, LaneWord, RetryPolicy, ShardPanic};
 use lbist_fault::{CaptureWindow, Fault};
 use lbist_netlist::Netlist;
 use lbist_obs::{Counter, Gauge, Histogram, Registry};
+use lbist_sim::KernelProgram;
 use std::panic::{self, AssertUnwindSafe};
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -137,6 +138,12 @@ pub struct PlaneMetrics {
     pub preemptions: u64,
     /// Slice retries after shard panics across all jobs.
     pub retries: u64,
+    /// Default-fault admissions that reused a cached compiled kernel
+    /// program.
+    pub kernel_cache_hits: u64,
+    /// Default-fault admissions that lowered the design's kernel
+    /// program for the first time.
+    pub kernel_cache_misses: u64,
 }
 
 /// The plane's live handles into its registry: lifecycle counters
@@ -152,6 +159,8 @@ struct PlaneCounters {
     failed: Counter,
     preemptions: Counter,
     retries: Counter,
+    kernel_cache_hits: Counter,
+    kernel_cache_misses: Counter,
     queue_depth: Gauge,
     queue_wait_ns: Histogram,
     slice_ns: Histogram,
@@ -168,6 +177,8 @@ impl PlaneCounters {
             failed: registry.counter("serve.failed"),
             preemptions: registry.counter("serve.preemptions"),
             retries: registry.counter("serve.retries"),
+            kernel_cache_hits: registry.counter("serve.kernel_cache_hits"),
+            kernel_cache_misses: registry.counter("serve.kernel_cache_misses"),
             queue_depth: registry.gauge("serve.queue_depth"),
             queue_wait_ns: registry.histogram("serve.queue_wait_ns"),
             slice_ns: registry.histogram("serve.slice_ns"),
@@ -188,6 +199,10 @@ struct QueuedJob {
     spec: JobSpec,
     assets: Arc<JobAssets>,
     faults: Arc<Vec<Fault>>,
+    /// The compiled simulation program every slice of this job replays:
+    /// the design's cached kernel for default-fault jobs, a job-private
+    /// lowering for custom fault lists.
+    kernel: Arc<KernelProgram>,
     gates: u64,
     batches_done: u64,
     preemptions: u32,
@@ -205,6 +220,7 @@ struct QueuedJob {
 struct Admitted {
     assets: Arc<JobAssets>,
     faults: Arc<Vec<Fault>>,
+    kernel: Arc<KernelProgram>,
     gates: u64,
 }
 
@@ -290,7 +306,7 @@ impl ControlPlane {
         self.counters.submitted.inc();
         let submitted = Instant::now();
         match self.admit(tenant, &spec, payload) {
-            Ok(Admitted { assets, faults, gates }) => {
+            Ok(Admitted { assets, faults, kernel, gates }) => {
                 self.counters.accepted.inc();
                 let ckpt = self.spool.join(format!("job-{id}.ckpt"));
                 self.queue.push(QueuedJob {
@@ -299,6 +315,7 @@ impl ControlPlane {
                     spec,
                     assets,
                     faults,
+                    kernel,
                     gates,
                     batches_done: 0,
                     preemptions: 0,
@@ -374,6 +391,8 @@ impl ControlPlane {
             failed: self.counters.failed.value(),
             preemptions: self.counters.preemptions.value(),
             retries: self.counters.retries.value(),
+            kernel_cache_hits: self.counters.kernel_cache_hits.value(),
+            kernel_cache_misses: self.counters.kernel_cache_misses.value(),
         }
     }
 
@@ -421,19 +440,35 @@ impl ControlPlane {
             ));
         }
         let assets = self.cache.get_or_build(fingerprint, spec.chains, &netlist)?;
-        let faults = match &payload.faults {
+        let (faults, custom) = match &payload.faults {
             Some(bytes) => {
                 let faults =
                     lbist_ckpt::open_faults(bytes).map_err(|e| format!("bad fault list: {e}"))?;
                 validate_faults(&faults, &netlist, spec.model)?;
-                Arc::new(faults)
+                (Arc::new(faults), true)
             }
-            None => assets.default_faults(spec.model),
+            None => (assets.default_faults(spec.model), false),
         };
         if faults.is_empty() {
             return Err("empty fault list".to_string());
         }
-        Ok(Admitted { assets, faults, gates })
+        let kernel = if custom {
+            // Custom fault lists get a job-private lowering whose keep
+            // set covers exactly this job's sites; slices replay it
+            // without re-lowering.
+            let observed = lbist_fault::StuckAtSim::observe_all_captures(&assets.cc);
+            let keep = lbist_fault::grading_keep_set(&assets.cc, &[faults.as_slice()], &observed);
+            Arc::new(KernelProgram::lower(&assets.cc, &keep))
+        } else {
+            // Default-fault jobs share one program per cached design.
+            if assets.kernel_ready() {
+                self.counters.kernel_cache_hits.inc();
+            } else {
+                self.counters.kernel_cache_misses.inc();
+            }
+            assets.kernel_program()
+        };
+        Ok(Admitted { assets, faults, kernel, gates })
     }
 
     /// Sheds until the queue depth bound holds: victim = largest
@@ -662,6 +697,7 @@ fn run_controlled<W: LaneWord>(
     if cfg.sequential {
         session.sequential();
     }
+    session.set_kernel_program(job.kernel.clone());
     session.set_drop_after(job.spec.drop_after);
     let faults = job.faults.as_ref().clone();
     let batches = job.spec.batches as usize;

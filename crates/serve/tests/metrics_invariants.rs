@@ -124,6 +124,37 @@ fn metrics_accessor_agrees_with_registry_snapshot() {
     assert!(lat.sum > 0, "slices take nonzero time");
 }
 
+/// The compiled-kernel program is lowered once per cached design: the
+/// first default-fault admission is a `serve.kernel_cache_misses`, every
+/// later one on the same design a `serve.kernel_cache_hits`, and the
+/// accessor agrees with the registry snapshot.
+#[test]
+fn kernel_cache_counters_split_by_design() {
+    let registry = Registry::new();
+    let mut plane = ControlPlane::new(ServeConfig {
+        registry: Some(registry.clone()),
+        ..ServeConfig::default()
+    })
+    .unwrap();
+    let tenant = plane.register_tenant("acme", 1);
+    let a = small_netlist(37);
+    let b = small_netlist(41);
+
+    plane.submit(tenant, JobSpec::stuck_at(1), &payload(&a)); // lowers a's kernel
+    plane.submit(tenant, JobSpec::stuck_at(1), &payload(&a)); // reuses it
+    plane.submit(tenant, JobSpec::transition(1), &payload(&a)); // same program, both models
+    plane.submit(tenant, JobSpec::stuck_at(1), &payload(&b)); // new design, new lowering
+    plane.run_until_idle();
+
+    let m = plane.metrics();
+    assert_eq!(m.kernel_cache_misses, 2, "one lowering per distinct design");
+    assert_eq!(m.kernel_cache_hits, 2, "repeat admissions reuse the cached program");
+    let snap = registry.snapshot();
+    assert_eq!(snap.counter("serve.kernel_cache_hits"), Some(m.kernel_cache_hits));
+    assert_eq!(snap.counter("serve.kernel_cache_misses"), Some(m.kernel_cache_misses));
+    assert_eq!(plane.metrics().completed, 4, "kernel-path jobs all complete");
+}
+
 /// A plane built without an explicit registry still meters itself (into
 /// a private enabled registry), so `metrics()` never silently reads
 /// no-op cells.

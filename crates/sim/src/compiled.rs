@@ -386,6 +386,7 @@ mod tests {
         check::<u64>();
         check::<u128>();
         check::<[u64; 4]>();
+        check::<[u64; 8]>();
     }
 
     #[test]

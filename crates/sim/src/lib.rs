@@ -18,6 +18,11 @@
 //! * A **sequential engine** ([`SeqSim`] / [`WideSeqSim`]) with
 //!   per-clock-domain capture, the primitive underneath the double-capture
 //!   at-speed scheme.
+//! * A **compiled kernel** ([`KernelProgram`]): the circuit lowered once
+//!   into flat word-op bytecode (constants folded, inverter chains fused
+//!   into operand flags) that executes with no per-gate dispatch, and
+//!   injects faults as patched instructions — the fast path under fault
+//!   grading.
 //!
 //! # Example
 //!
@@ -43,11 +48,13 @@
 #![warn(missing_docs)]
 
 mod compiled;
+mod kernel;
 mod logic;
 mod seq;
 mod three;
 
 pub use compiled::{eval_gate, CompiledCircuit};
+pub use kernel::{KernelBackend, KernelProgram, LowerStats, PatchKind, SlotState};
 pub use logic::{pack_bits, unpack_bits, Logic};
 pub use seq::{SeqSim, WideSeqSim};
 pub use three::{Frame3, WideFrame3};
